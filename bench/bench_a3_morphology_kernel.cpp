@@ -1,0 +1,147 @@
+// A3 — Kernel benchmark: the morphology computation itself. The paper notes
+// "the computational requirements for calculating these parameters for a
+// single galaxy are fairly light" (§2) — the grid matters because thousands
+// of galaxies are processed. This benchmark measures the real kernel: CAS
+// parameters per second vs cutout size and galaxy type, the cost breakdown
+// of its stages, and thread-pool scaling of a batch.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/background.hpp"
+#include "core/galmorph.hpp"
+#include "core/morphology.hpp"
+#include "core/photometry.hpp"
+#include "grid/threadpool.hpp"
+#include "sim/galaxy.hpp"
+
+namespace {
+
+using namespace nvo;
+
+sim::GalaxyTruth make_truth(sim::MorphType type, int size_hint) {
+  sim::GalaxyTruth g;
+  g.id = std::string("BENCH_") + sim::to_string(type) + std::to_string(size_hint);
+  g.seed = hash64(g.id);
+  g.type = type;
+  g.total_flux = 8e4;
+  g.r_e_pix = 4.0;
+  if (type == sim::MorphType::kSpiral) {
+    g.sersic_n = 1.0;
+    g.arm_amplitude = 0.5;
+    g.clumpiness = 0.1;
+    g.r_e_pix = 6.0;
+  }
+  return g;
+}
+
+void print_a3() {
+  std::printf("=== A3: morphology kernel cost profile ===\n");
+  std::printf("(see google-benchmark output below: kernel vs cutout size, "
+              "per-stage costs, thread scaling)\n\n");
+}
+
+void BM_MeasureMorphologyBySize(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const image::Image img =
+      sim::render_galaxy(make_truth(sim::MorphType::kElliptical, size), size, {});
+  for (auto _ : state) {
+    auto params = core::measure_morphology(img);
+    benchmark::DoNotOptimize(params);
+  }
+  state.SetComplexityN(size);
+}
+BENCHMARK(BM_MeasureMorphologyBySize)
+    ->Arg(32)->Arg(64)->Arg(96)->Arg(128)->Complexity()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MeasureSpiral(benchmark::State& state) {
+  const image::Image img =
+      sim::render_galaxy(make_truth(sim::MorphType::kSpiral, 64), 64, {});
+  for (auto _ : state) {
+    auto params = core::measure_morphology(img);
+    benchmark::DoNotOptimize(params);
+  }
+}
+BENCHMARK(BM_MeasureSpiral)->Unit(benchmark::kMicrosecond);
+
+void BM_StageBackground(benchmark::State& state) {
+  const image::Image img =
+      sim::render_galaxy(make_truth(sim::MorphType::kElliptical, 64), 64, {});
+  for (auto _ : state) {
+    auto bg = core::estimate_background(img);
+    benchmark::DoNotOptimize(bg);
+  }
+}
+BENCHMARK(BM_StageBackground)->Unit(benchmark::kMicrosecond);
+
+void BM_StagePetrosian(benchmark::State& state) {
+  const image::Image raw =
+      sim::render_galaxy(make_truth(sim::MorphType::kElliptical, 64), 64, {});
+  const auto bg = core::estimate_background(raw);
+  const image::Image img = core::subtract_background(raw, bg);
+  for (auto _ : state) {
+    auto rp = core::petrosian_radius(img, 31.5, 31.5);
+    benchmark::DoNotOptimize(rp);
+  }
+}
+BENCHMARK(BM_StagePetrosian)->Unit(benchmark::kMicrosecond);
+
+void BM_StageAsymmetry(benchmark::State& state) {
+  const image::Image raw =
+      sim::render_galaxy(make_truth(sim::MorphType::kSpiral, 64), 64, {});
+  const auto bg = core::estimate_background(raw);
+  const image::Image img = core::subtract_background(raw, bg);
+  for (auto _ : state) {
+    const double a = core::asymmetry_statistic(img, 31.5, 31.5, 18.0);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_StageAsymmetry)->Unit(benchmark::kMicrosecond);
+
+void BM_GalMorphFromBytes(benchmark::State& state) {
+  // The full job body: decode FITS + measure + physical scale.
+  image::FitsFile fits;
+  fits.data = sim::render_galaxy(make_truth(sim::MorphType::kElliptical, 64), 64, {});
+  const std::vector<std::uint8_t> bytes = image::write_fits(fits);
+  core::GalMorphArgs args;
+  args.redshift = 0.2;
+  for (auto _ : state) {
+    auto result = core::run_gal_morph_bytes("g", bytes, args);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GalMorphFromBytes)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchThreadScaling(benchmark::State& state) {
+  // 64 cutouts measured on a pool of range(0) threads. On a single-core
+  // host the scaling flattens at 1; on multi-core it tracks the pool size.
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  std::vector<image::Image> cutouts;
+  for (int i = 0; i < 64; ++i) {
+    sim::GalaxyTruth g = make_truth(
+        i % 2 ? sim::MorphType::kSpiral : sim::MorphType::kElliptical, i);
+    g.id += "_batch" + std::to_string(i);
+    g.seed = hash64(g.id);
+    cutouts.push_back(sim::render_galaxy(g, 64, {}));
+  }
+  grid::ThreadPool pool(threads);
+  for (auto _ : state) {
+    std::vector<core::MorphologyParams> results(cutouts.size());
+    grid::parallel_for(pool, cutouts.size(), [&](std::size_t i) {
+      results[i] = core::measure_morphology(cutouts[i]);
+    });
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_BatchThreadScaling)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_a3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// A4 — Ablation: intra-pool Condor matchmaking. The paper delegates it:
+// "The scheduling of jobs within a condor pool is left to the condor
+// matchmaking system" (§3.3). This bench exercises our ClassAd matchmaker
+// on a heterogeneous pool of the kind a 2003 Condor flock actually was
+// (mixed memory, architectures, and owner policies) with galMorph-shaped
+// jobs, reporting placement quality, and times expression evaluation and
+// negotiation.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "grid/classad.hpp"
+
+namespace {
+
+using namespace nvo;
+
+/// A heterogeneous flock: one third big-memory Linux boxes, one third small
+/// desktops that only run jobs when idle, one third SPARC machines the
+/// x86-only galMorph binary cannot use.
+grid::Matchmaker make_flock(int machines, std::uint64_t seed) {
+  grid::Matchmaker mm;
+  Rng rng(seed);
+  for (int i = 0; i < machines; ++i) {
+    grid::MachineAd m;
+    m.name = "vm" + std::to_string(i);
+    const int kind = i % 3;
+    switch (kind) {
+      case 0:
+        m.ad.set("Memory", 1024.0 + 1024.0 * static_cast<double>(rng.uniform_index(4)));
+        m.ad.set("Arch", "x86");
+        m.ad.set("OpSys", "LINUX");
+        m.ad.set("KeyboardIdle", 1e6);
+        m.requirements = grid::AdExpr::parse("true").value();
+        break;
+      case 1:
+        m.ad.set("Memory", 128.0 + 128.0 * static_cast<double>(rng.uniform_index(3)));
+        m.ad.set("Arch", "x86");
+        m.ad.set("OpSys", "LINUX");
+        m.ad.set("KeyboardIdle", rng.uniform(0.0, 2000.0));
+        // Desktop policy: only run when the owner is away.
+        m.requirements = grid::AdExpr::parse("KeyboardIdle > 600").value();
+        break;
+      default:
+        m.ad.set("Memory", 2048.0);
+        m.ad.set("Arch", "sparc");
+        m.ad.set("OpSys", "SOLARIS");
+        m.ad.set("KeyboardIdle", 1e6);
+        m.requirements = grid::AdExpr::parse("true").value();
+        break;
+    }
+    m.ad.set("Mips", rng.uniform(200.0, 2000.0));
+    mm.add_machine(std::move(m));
+  }
+  return mm;
+}
+
+grid::JobAd make_job(int image_pixels) {
+  grid::JobAd j;
+  j.id = "galMorph";
+  j.ad.set("ImageSize", static_cast<double>(image_pixels));
+  j.ad.set("Owner", "nvo");
+  // Memory demand scales with the cutout; x86 binary only.
+  j.requirements = grid::AdExpr::parse(
+                       "Arch == \"x86\" && Memory >= 64 + ImageSize / 256")
+                       .value();
+  j.rank = grid::AdExpr::parse("Mips + Memory / 16").value();
+  return j;
+}
+
+void print_a4() {
+  std::printf("=== A4: ClassAd matchmaking on a heterogeneous Condor flock ===\n");
+  grid::Matchmaker mm = make_flock(90, 5);
+  std::printf("flock: 90 machines (30 servers, 30 desktops with idle-only "
+              "policy, 30 sparc)\n");
+  std::printf("%12s | %10s %14s %16s\n", "cutout(px)", "matches", "best machine",
+              "best rank");
+  for (int pixels : {4096, 65536, 262144}) {  // 64^2 .. 512^2 cutouts
+    const grid::JobAd job = make_job(pixels);
+    const auto matches = mm.matches(job);
+    std::printf("%12d | %10zu %14s %16.1f\n", pixels, matches.size(),
+                matches.empty() ? "-" : matches.front().machine.c_str(),
+                matches.empty() ? 0.0 : matches.front().rank);
+  }
+  std::printf("(bigger cutouts exclude the small desktops; sparc boxes never "
+              "match the x86 binary; idle-only policies exclude busy "
+              "desktops)\n\n");
+}
+
+void BM_ExpressionParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto e = grid::AdExpr::parse(
+        "Arch == \"x86\" && Memory >= 64 + ImageSize / 256 && (LoadAvg < 0.5 || "
+        "KeyboardIdle > 600)");
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_ExpressionParse);
+
+void BM_ExpressionEval(benchmark::State& state) {
+  const auto e = grid::AdExpr::parse("Mips + Memory / 16 - 100 * LoadAvg").value();
+  grid::ClassAd ad;
+  ad.set("Mips", 800.0);
+  ad.set("Memory", 1024.0);
+  ad.set("LoadAvg", 0.3);
+  grid::ClassAd empty;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.eval_rank(ad, empty));
+  }
+}
+BENCHMARK(BM_ExpressionEval);
+
+void BM_Negotiation(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  grid::Matchmaker mm = make_flock(machines, 7);
+  const grid::JobAd job = make_job(65536);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mm.match(job));
+  }
+  state.SetComplexityN(machines);
+}
+BENCHMARK(BM_Negotiation)->Arg(30)->Arg(90)->Arg(270)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_a4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

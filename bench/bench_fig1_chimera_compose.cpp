@@ -1,0 +1,139 @@
+// F1 — Paper Figure 1: the abstract workflow Chimera composes from
+// derivations ("if a user requests file c, Chimera will produce the
+// workflow d1 -> b -> d2 -> c"). Prints the composed Fig.-1 DAG, then
+// benchmarks composition across chain length and fan-out — the scaling that
+// matters when the portal converts a 561-galaxy catalog into derivations.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "vds/chimera.hpp"
+#include "vds/vdl_parser.hpp"
+
+namespace {
+
+using namespace nvo;
+
+vds::VirtualDataCatalog chain_catalog(int length) {
+  vds::VirtualDataCatalog vdc;
+  vds::Transformation tr;
+  tr.name = "t";
+  tr.args = {{"input", vds::Direction::kIn}, {"output", vds::Direction::kOut}};
+  (void)vdc.define_transformation(tr);
+  for (int i = 0; i < length; ++i) {
+    vds::Derivation d;
+    d.name = "d" + std::to_string(i + 1);
+    d.transformation = "t";
+    d.bindings["input"] =
+        vds::ActualArg{true, i == 0 ? "a" : "f" + std::to_string(i), vds::Direction::kIn};
+    d.bindings["output"] =
+        vds::ActualArg{true, "f" + std::to_string(i + 1), vds::Direction::kOut};
+    (void)vdc.define_derivation(d);
+  }
+  return vdc;
+}
+
+/// The galMorph shape: N leaf derivations fanning into one concat.
+vds::VirtualDataCatalog fanin_catalog(int width) {
+  vds::VirtualDataCatalog vdc;
+  vds::Transformation leaf;
+  leaf.name = "galMorph";
+  leaf.args = {{"image", vds::Direction::kIn}, {"galMorph", vds::Direction::kOut}};
+  (void)vdc.define_transformation(leaf);
+  vds::Transformation concat;
+  concat.name = "concat";
+  for (int i = 0; i < width; ++i) {
+    concat.args.push_back({"r" + std::to_string(i), vds::Direction::kIn});
+  }
+  concat.args.push_back({"votable", vds::Direction::kOut});
+  (void)vdc.define_transformation(concat);
+  vds::Derivation dc;
+  dc.name = "concat_all";
+  dc.transformation = "concat";
+  for (int i = 0; i < width; ++i) {
+    vds::Derivation d;
+    d.name = "m" + std::to_string(i);
+    d.transformation = "galMorph";
+    d.bindings["image"] =
+        vds::ActualArg{true, "img" + std::to_string(i) + ".fit", vds::Direction::kIn};
+    d.bindings["galMorph"] =
+        vds::ActualArg{true, "res" + std::to_string(i) + ".txt", vds::Direction::kOut};
+    (void)vdc.define_derivation(d);
+    dc.bindings["r" + std::to_string(i)] =
+        vds::ActualArg{true, "res" + std::to_string(i) + ".txt", vds::Direction::kIn};
+  }
+  dc.bindings["votable"] = vds::ActualArg{true, "out.vot", vds::Direction::kOut};
+  (void)vdc.define_derivation(dc);
+  return vdc;
+}
+
+void print_figure1() {
+  std::printf("=== Figure 1: abstract workflow composed by Chimera ===\n");
+  // The paper's exact scenario: d1: a -> b, d2: b -> c, request c.
+  vds::VirtualDataCatalog vdc = chain_catalog(2);
+  auto dag = vds::compose_abstract_workflow(vdc, {"f2"});
+  std::printf("request: f2 (the paper's 'c')\n%s", dag->to_string().c_str());
+  std::printf("raw inputs: ");
+  for (const std::string& lfn : vds::raw_inputs(dag.value())) {
+    std::printf("%s ", lfn.c_str());
+  }
+  std::printf("\n\n");
+
+  std::printf("composition scaling (galMorph fan-in shape):\n");
+  std::printf("%10s %12s %12s\n", "galaxies", "dag nodes", "dag edges");
+  for (int width : {37, 152, 561}) {  // the paper's min/mid/max cluster sizes
+    vds::VirtualDataCatalog fan = fanin_catalog(width);
+    auto fan_dag = vds::compose_abstract_workflow(fan, {"out.vot"});
+    std::printf("%10d %12zu %12zu\n", width, fan_dag->num_nodes(),
+                fan_dag->num_edges());
+  }
+  std::printf("\n");
+}
+
+void BM_ComposeChain(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  vds::VirtualDataCatalog vdc = chain_catalog(length);
+  const std::string request = "f" + std::to_string(length);
+  for (auto _ : state) {
+    auto dag = vds::compose_abstract_workflow(vdc, {request});
+    benchmark::DoNotOptimize(dag);
+  }
+  state.SetComplexityN(length);
+}
+BENCHMARK(BM_ComposeChain)->Arg(8)->Arg(64)->Arg(512)->Complexity();
+
+void BM_ComposeFanIn(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  vds::VirtualDataCatalog vdc = fanin_catalog(width);
+  for (auto _ : state) {
+    auto dag = vds::compose_abstract_workflow(vdc, {"out.vot"});
+    benchmark::DoNotOptimize(dag);
+  }
+  state.SetComplexityN(width);
+}
+BENCHMARK(BM_ComposeFanIn)->Arg(37)->Arg(152)->Arg(561)->Complexity();
+
+void BM_IngestVdlDocument(benchmark::State& state) {
+  // Parse + ingest a generated VDL document of the paper's example form.
+  std::string vdl = "TR galMorph( in redshift, in image, out galMorph ) { }\n";
+  for (int i = 0; i < 100; ++i) {
+    vdl += "DV d" + std::to_string(i) + "->galMorph( redshift=\"0.027886\", image=@{in:\"g" +
+           std::to_string(i) + ".fit\"}, galMorph=@{out:\"g" + std::to_string(i) +
+           ".txt\"} );\n";
+  }
+  for (auto _ : state) {
+    auto doc = vds::parse_vdl(vdl);
+    vds::VirtualDataCatalog vdc;
+    benchmark::DoNotOptimize(vdc.ingest(doc.value()));
+  }
+}
+BENCHMARK(BM_IngestVdlDocument);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

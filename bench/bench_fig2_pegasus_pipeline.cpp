@@ -1,0 +1,127 @@
+// F2 — Paper Figure 2: "Chimera-driven Pegasus", the sixteen-step request
+// pipeline: abstract workflow in, RLS lookups, reduction, Transformation
+// Catalog mapping, submit-file generation, DAGMan execution, results out.
+// Regenerates the stage-by-stage cost profile for galMorph-shaped requests
+// of the paper's cluster sizes and benchmarks the end-to-end request
+// handler.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "pegasus/request_manager.hpp"
+
+namespace {
+
+using namespace nvo;
+
+struct Workload {
+  vds::VirtualDataCatalog vdc;
+  grid::Grid grid = grid::make_paper_grid();
+  pegasus::ReplicaLocationService rls;
+  pegasus::TransformationCatalog tc;
+  std::string request;
+
+  explicit Workload(int galaxies) {
+    vds::Transformation leaf;
+    leaf.name = "galMorph";
+    leaf.args = {{"image", vds::Direction::kIn},
+                 {"galMorph", vds::Direction::kOut}};
+    (void)vdc.define_transformation(leaf);
+    vds::Transformation concat;
+    concat.name = "concat";
+    for (int i = 0; i < galaxies; ++i) {
+      concat.args.push_back({"r" + std::to_string(i), vds::Direction::kIn});
+    }
+    concat.args.push_back({"votable", vds::Direction::kOut});
+    (void)vdc.define_transformation(concat);
+    vds::Derivation dc;
+    dc.name = "concat_all";
+    dc.transformation = "concat";
+    for (int i = 0; i < galaxies; ++i) {
+      const std::string img = "g" + std::to_string(i) + ".fit";
+      const std::string res = "g" + std::to_string(i) + ".txt";
+      vds::Derivation d;
+      d.name = "m" + std::to_string(i);
+      d.transformation = "galMorph";
+      d.bindings["image"] = vds::ActualArg{true, img, vds::Direction::kIn};
+      d.bindings["galMorph"] = vds::ActualArg{true, res, vds::Direction::kOut};
+      (void)vdc.define_derivation(d);
+      dc.bindings["r" + std::to_string(i)] =
+          vds::ActualArg{true, res, vds::Direction::kIn};
+      // Cutouts cached at ISI (the service's local cache), per §4.3.
+      rls.add(img, "isi", "gsiftp://isi/" + img);
+      grid.put_file("isi", img, 64 * 64 * 4 + 5760);
+    }
+    dc.bindings["votable"] = vds::ActualArg{true, "cluster.vot", vds::Direction::kOut};
+    (void)vdc.define_derivation(dc);
+    for (const std::string& site : grid.site_names()) {
+      (void)tc.add({"galMorph", site, "/grid/bin/galMorph", {}});
+      (void)tc.add({"concat", site, "/grid/bin/concat", {}});
+    }
+    request = "cluster.vot";
+  }
+};
+
+void print_figure2() {
+  std::printf("=== Figure 2: the Chimera-driven Pegasus request pipeline ===\n");
+  std::printf("%10s | %12s %10s %12s | %10s %10s %10s | %14s\n", "galaxies",
+              "compose(ms)", "plan(ms)", "submitgen(ms)", "jobs", "transfers",
+              "registers", "makespan(sim s)");
+  for (int n : {37, 152, 561}) {
+    Workload w(n);
+    pegasus::RequestManager manager(w.vdc, w.grid, w.rls, w.tc,
+                                    pegasus::PlannerConfig{},
+                                    grid::JobCostModel{}, grid::FailureModel{});
+    auto trace = manager.handle({w.request});
+    if (!trace.ok()) {
+      std::printf("ERROR: %s\n", trace.error().to_string().c_str());
+      continue;
+    }
+    std::printf("%10d | %12.2f %10.2f %12.2f | %10zu %10zu %10zu | %14.1f\n", n,
+                trace->compose_ms, trace->plan_ms, trace->submit_gen_ms,
+                trace->execution.compute_jobs, trace->execution.transfer_jobs,
+                trace->execution.register_jobs,
+                trace->execution.makespan_seconds);
+  }
+  std::printf("(the pipeline stages are Fig. 2 steps 1-11; makespan is steps "
+              "12-15 on the simulated 3-pool grid)\n\n");
+}
+
+void BM_RequestPipeline(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Workload w(n);  // fresh RLS: no reduction shortcut
+    pegasus::RequestManager manager(w.vdc, w.grid, w.rls, w.tc,
+                                    pegasus::PlannerConfig{},
+                                    grid::JobCostModel{}, grid::FailureModel{});
+    state.ResumeTiming();
+    auto trace = manager.handle({w.request});
+    benchmark::DoNotOptimize(trace);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RequestPipeline)->Arg(37)->Arg(152)->Arg(561)->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SubmitFileGeneration(benchmark::State& state) {
+  Workload w(152);
+  pegasus::Planner planner(w.grid, w.rls, w.tc, pegasus::PlannerConfig{}, 1);
+  vds::Dag abstract =
+      vds::compose_abstract_workflow(w.vdc, {w.request}).value();
+  auto plan = planner.plan(abstract);
+  for (auto _ : state) {
+    auto files = pegasus::generate_submit_files(plan->concrete);
+    benchmark::DoNotOptimize(files);
+  }
+}
+BENCHMARK(BM_SubmitFileGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

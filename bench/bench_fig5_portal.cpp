@@ -1,0 +1,95 @@
+// F5 — Paper Figure 5: portal operation. Walks the full user flow on one
+// cluster — select, large-scale image search, catalog assembly (cone
+// searches + join), cutout references, compute submission, merge — and
+// reports per-stage simulated time. Includes the paper's own bottleneck
+// observation: "an image query and download for each galaxy must be done
+// separately. This could be sped up tremendously if one could query for all
+// images at once" — both modes are measured side by side.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/campaign.hpp"
+
+namespace {
+
+using namespace nvo;
+
+void print_figure5() {
+  std::printf("=== Figure 5: portal operation, per-stage simulated time ===\n");
+  analysis::CampaignConfig config;
+  config.population_scale = 0.2;
+  analysis::Campaign campaign(config);
+  const std::string name = "MS0906";
+
+  auto outcome = campaign.run_cluster(name);
+  if (!outcome.ok()) {
+    std::printf("ERROR: %s\n", outcome.error().to_string().c_str());
+    return;
+  }
+  const portal::PortalTrace& t = outcome->portal_trace;
+  std::printf("cluster %s: %zu galaxies (%zu valid, %zu invalid)\n", name.c_str(),
+              t.galaxies, t.valid, t.invalid);
+  std::printf("%-34s %14s\n", "stage", "sim time (ms)");
+  std::printf("%-34s %14.0f\n", "large-scale image search (3 SIA)", t.image_search_ms);
+  std::printf("%-34s %14.0f\n", "catalog build (2 cones + join)", t.catalog_build_ms);
+  std::printf("%-34s %14.0f   (%zu queries)\n", "cutout references (SIA)",
+              t.cutout_query_ms, t.cutout_queries);
+  std::printf("%-34s %14.0f   (%zu polls)\n", "compute service wait",
+              t.compute_wait_ms, t.polls);
+  std::printf("%-34s %14.2f\n", "final merge (local join)", t.merge_ms);
+  std::printf("%-34s %14.0f\n", "TOTAL", t.total_ms());
+
+  // The batched counterfactual.
+  analysis::CampaignConfig batched_config = config;
+  batched_config.batched_cutouts = true;
+  analysis::Campaign batched(batched_config);
+  auto batched_outcome = batched.run_cluster(name);
+  if (batched_outcome.ok()) {
+    const portal::PortalTrace& b = batched_outcome->portal_trace;
+    std::printf("\nper-galaxy vs batched cutout queries (the paper's wished-for "
+                "speedup):\n");
+    std::printf("%-14s %10s %16s\n", "mode", "queries", "sim time (ms)");
+    std::printf("%-14s %10zu %16.0f\n", "per-galaxy", t.cutout_queries,
+                t.cutout_query_ms);
+    std::printf("%-14s %10zu %16.0f   (%.0fx faster)\n", "batched",
+                b.cutout_queries, b.cutout_query_ms,
+                t.cutout_query_ms / std::max(b.cutout_query_ms, 1.0));
+  }
+  std::printf("\n");
+}
+
+void BM_PortalCatalogBuild(benchmark::State& state) {
+  analysis::CampaignConfig config;
+  config.population_scale = 0.05;
+  analysis::Campaign campaign(config);
+  for (auto _ : state) {
+    auto catalog = campaign.portal().build_galaxy_catalog("A2390");
+    benchmark::DoNotOptimize(catalog);
+  }
+}
+BENCHMARK(BM_PortalCatalogBuild)->Unit(benchmark::kMillisecond);
+
+void BM_PortalFullAnalysisSmall(benchmark::State& state) {
+  // Fresh campaign per iteration: the result cache would otherwise turn
+  // every iteration after the first into a cache hit.
+  for (auto _ : state) {
+    state.PauseTiming();
+    analysis::CampaignConfig config;
+    config.population_scale = 0.02;
+    analysis::Campaign campaign(config);
+    state.ResumeTiming();
+    auto outcome = campaign.portal().run_analysis("MS1621");
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_PortalFullAnalysisSmall)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// T1 — Paper Table 1: "Data and Interfaces used by the Galaxy Morphology
+// Application". Regenerates the federation inventory (five data centers,
+// their collections, and the interfaces each implements) and measures each
+// interface live against the simulated archives: metadata-query latency and
+// a data fetch, in simulated WAN milliseconds. google-benchmark then times
+// the protocol implementations themselves (wall clock).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "services/cone_search.hpp"
+#include "services/federation.hpp"
+#include "services/sia.hpp"
+#include "sim/universe.hpp"
+#include "votable/votable_io.hpp"
+
+namespace {
+
+using namespace nvo;
+
+struct Fixture {
+  sim::Universe universe = sim::Universe::make_paper_campaign(1, 0.1);
+  services::HttpFabric fabric{42};
+  services::Federation federation = services::register_federation(fabric, universe);
+  const sim::Cluster& cluster() const { return universe.clusters().front(); }
+};
+
+Fixture& fixture() {
+  static Fixture fx;
+  return fx;
+}
+
+void print_table1() {
+  Fixture& fx = fixture();
+  const sky::Equatorial pos = fx.cluster().center();
+
+  std::printf("=== Table 1: Data and Interfaces used by the Galaxy Morphology "
+              "Application ===\n");
+  std::printf("%-34s %-28s %-18s %10s %12s\n", "Data Center", "Data Collection",
+              "Interface", "query(ms)", "fetch(KB)");
+
+  struct Row {
+    const char* center;
+    const char* collection;
+    const char* interface_name;
+    bool is_sia;
+    std::string base;
+  };
+  const Row rows[] = {
+      {"Chandra X-ray Center", "Chandra Data Archive", "SIA", true,
+       fx.federation.chandra_sia},
+      {"NASA HEASARC", "ROSAT X-ray data", "SIA", true, fx.federation.rosat_sia},
+      {"NASA IPAC", "NASA Extragalactic DB (NED)", "Cone Search", false,
+       fx.federation.ned_cone},
+      {"CADC", "CNOC Survey", "SIA", true, fx.federation.cnoc_sia},
+      {"CADC", "CNOC Survey", "Cone Search", false, fx.federation.cnoc_cone},
+      {"MAST (STScI)", "Digitized Sky Survey (DSS)", "SIA", true,
+       fx.federation.dss_sia},
+      {"MAST (STScI)", "DSS cutout service", "SIA (cutout)", true,
+       fx.federation.cutout_sia},
+  };
+  for (const Row& row : rows) {
+    double query_ms = 0.0;
+    double fetch_kb = 0.0;
+    if (row.is_sia) {
+      const double before = fx.fabric.metrics().total_elapsed_ms;
+      auto records = services::sia_query(fx.fabric, row.base, pos, 0.3);
+      query_ms = fx.fabric.metrics().total_elapsed_ms - before;
+      if (records.ok() && !records->empty()) {
+        auto bytes = services::fetch_image_bytes(fx.fabric,
+                                                 records->front().access_url);
+        if (bytes.ok()) fetch_kb = static_cast<double>(bytes->size()) / 1024.0;
+      }
+    } else {
+      const double before = fx.fabric.metrics().total_elapsed_ms;
+      auto table = services::cone_search(fx.fabric, row.base, pos, 0.2);
+      query_ms = fx.fabric.metrics().total_elapsed_ms - before;
+      if (table.ok()) {
+        fetch_kb = static_cast<double>(
+                       votable::to_votable_xml(table.value()).size()) /
+                   1024.0;
+      }
+    }
+    std::printf("%-34s %-28s %-18s %10.1f %12.1f\n", row.center, row.collection,
+                row.interface_name, query_ms, fetch_kb);
+  }
+  std::printf("\n");
+}
+
+void BM_ConeSearchQuery(benchmark::State& state) {
+  Fixture& fx = fixture();
+  const sky::Equatorial pos = fx.cluster().center();
+  for (auto _ : state) {
+    auto table = services::cone_search(fx.fabric, fx.federation.ned_cone, pos, 0.2);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_ConeSearchQuery);
+
+void BM_SiaMetadataQuery(benchmark::State& state) {
+  Fixture& fx = fixture();
+  const sky::Equatorial pos = fx.cluster().center();
+  for (auto _ : state) {
+    auto records = services::sia_query(fx.fabric, fx.federation.dss_sia, pos, 0.3);
+    benchmark::DoNotOptimize(records);
+  }
+}
+BENCHMARK(BM_SiaMetadataQuery);
+
+void BM_CutoutFetchDecode(benchmark::State& state) {
+  Fixture& fx = fixture();
+  const sim::GalaxyTruth& g = fx.cluster().galaxies.front();
+  auto records = services::sia_query(fx.fabric, fx.federation.cutout_sia,
+                                     g.position, 64.0 / 3600.0);
+  const std::string url = records->front().access_url;
+  for (auto _ : state) {
+    auto fits = services::fetch_image(fx.fabric, url);
+    benchmark::DoNotOptimize(fits);
+  }
+}
+BENCHMARK(BM_CutoutFetchDecode);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

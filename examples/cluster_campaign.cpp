@@ -1,0 +1,46 @@
+// Cluster campaign: the paper's §5 experiment — eight clusters analyzed
+// through the full stack, with the accounting the paper reports and the
+// per-cluster Dressler analysis.
+//
+//   $ ./cluster_campaign [population_scale]
+//
+// population_scale 1.0 (default 0.3 here for a quick run) reproduces the
+// paper's 37..561 members per cluster / 1525 galaxies total.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/campaign.hpp"
+
+using namespace nvo;
+
+int main(int argc, char** argv) {
+  analysis::CampaignConfig config;
+  config.population_scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+  config.compute_threads = 2;
+
+  std::printf("=== eight-cluster campaign, population scale %.2f ===\n\n",
+              config.population_scale);
+  analysis::Campaign campaign(config);
+  auto report = campaign.run();
+  if (!report.ok()) {
+    std::printf("campaign failed: %s\n", report.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->to_text().c_str());
+
+  std::printf("science summary per cluster:\n");
+  for (const analysis::ClusterOutcome& c : report->clusters) {
+    std::printf("  %-8s early core/edge %.2f/%.2f  rho(A,Sigma)=%+.2f  "
+                "rho(C,Sigma)=%+.2f  %s\n",
+                c.name.c_str(), c.dressler.early_fraction_core,
+                c.dressler.early_fraction_edge,
+                c.dressler.spearman_asymmetry_density,
+                c.dressler.spearman_concentration_density,
+                c.dressler.relation_detected() ? "relation: YES" : "relation: -");
+  }
+  std::printf("\nDressler (1980) by hand vs this pipeline on the grid: \"we "
+              "have 'rediscovered' the\ndensity-morphology relation ... "
+              "pointing out the value of the Grid for applying new\nanalysis "
+              "techniques on existing data\" (paper, Section 5)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: measure the morphology of one galaxy, end to end, with no
+// grid machinery — the core library in ~60 lines.
+//
+//   $ ./quickstart
+//
+// Synthesizes an elliptical and a spiral at redshift 0.15, runs the
+// galMorph transformation on each (the same kernel the workflow jobs run),
+// and prints the three paper parameters: average surface brightness,
+// concentration index, asymmetry index.
+#include <cstdio>
+
+#include "core/galmorph.hpp"
+#include "image/fits.hpp"
+#include "sim/galaxy.hpp"
+
+using namespace nvo;
+
+namespace {
+
+sim::GalaxyTruth make_galaxy(sim::MorphType type) {
+  sim::GalaxyTruth g;
+  g.id = std::string("DEMO_") + sim::to_string(type);
+  g.seed = hash64(g.id);
+  g.type = type;
+  g.redshift = 0.15;
+  g.total_flux = 9e4;
+  g.r_e_pix = 4.5;
+  if (type == sim::MorphType::kSpiral) {
+    g.sersic_n = 1.0;        // exponential disk
+    g.arm_amplitude = 0.55;  // grand-design arms
+    g.clumpiness = 0.12;     // star-forming clumps
+    g.r_e_pix = 6.5;
+  }
+  return g;
+}
+
+void analyze(const sim::GalaxyTruth& g) {
+  // Render a 64x64 survey cutout (1"/pixel, sky + Poisson + read noise).
+  image::FitsFile cutout;
+  cutout.data = sim::render_galaxy(g, 64, sim::RenderOptions{});
+  cutout.header.set_string("OBJECT", g.id, "synthetic galaxy");
+
+  // The paper's transformation arguments: TR galMorph(in redshift, in
+  // pixScale, in zeroPoint, in Ho, in om, in flat, in image, out galMorph).
+  core::GalMorphArgs args;
+  args.redshift = g.redshift;
+  args.pix_scale_deg = 1.0 / 3600.0;  // 1 arcsec/pixel
+  args.zero_point = 25.0;
+
+  const core::GalMorphResult result = core::run_gal_morph(g.id, cutout, args);
+
+  std::printf("%s (truth: %s)\n", g.id.c_str(), sim::to_string(g.type));
+  if (!result.params.valid) {
+    std::printf("  INVALID: %s\n", result.params.failure_reason.c_str());
+    return;
+  }
+  std::printf("  average surface brightness : %6.2f mag/arcsec^2\n",
+              result.params.surface_brightness);
+  std::printf("  concentration index        : %6.2f\n",
+              result.params.concentration);
+  std::printf("  asymmetry index            : %6.3f\n", result.params.asymmetry);
+  std::printf("  petrosian radius           : %6.2f pix = %.1f kpc (H0=%.0f)\n",
+              result.params.petrosian_r, result.petrosian_r_kpc, args.h0);
+  std::printf("  S/N                        : %6.1f\n\n", result.params.snr);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("galMorph quickstart — the two morphology archetypes:\n\n");
+  analyze(make_galaxy(sim::MorphType::kElliptical));
+  analyze(make_galaxy(sim::MorphType::kSpiral));
+  std::printf("expected ordering (Conselice 2003): the elliptical is more\n"
+              "concentrated (higher C) and more symmetric (lower A).\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Workflow demo: the Virtual Data System end to end, following paper
+// Figures 1-4 with the paper's own VDL example.
+//
+//   $ ./workflow_demo
+//
+//   1. Define TR galMorph and derivations in VDL text; parse + ingest.
+//   2. Request a logical file -> Chimera composes the abstract workflow.
+//   3. Pegasus: RLS lookup, reduction, feasibility, site mapping, transfer
+//      and registration nodes, Condor submit files.
+//   4. DAGMan executes the concrete workflow on the simulated 3-pool grid.
+//   5. A second identical request is satisfied by reduction alone — the
+//      virtual-data reuse the system is named for.
+#include <cstdio>
+
+#include "grid/dagman.hpp"
+#include "pegasus/planner.hpp"
+#include "pegasus/request_manager.hpp"
+#include "vds/chimera.hpp"
+#include "vds/vdl_parser.hpp"
+
+using namespace nvo;
+
+int main() {
+  // ---- 1. the VDL document (paper §3.2 syntax) ----
+  const std::string vdl = R"(
+# galaxy morphology virtual data definitions
+TR galMorph( in redshift, in pixScale, in zeroPoint, in Ho, in om, in flat,
+             in image, out galMorph ) { }
+TR concat2( in r1, in r2, out votable ) { }
+
+DV d1->galMorph( redshift="0.027886", image=@{in:"NGP9_F323-0927589.fit"},
+                 pixScale="2.831933107035062E-4", zeroPoint="0", Ho="100",
+                 om="0.3", flat="1",
+                 galMorph=@{out:"NGP9_F323-0927589.txt"} );
+DV d2->galMorph( redshift="0.027886", image=@{in:"NGP9_F324-0927590.fit"},
+                 pixScale="2.831933107035062E-4", zeroPoint="0", Ho="100",
+                 om="0.3", flat="1",
+                 galMorph=@{out:"NGP9_F324-0927590.txt"} );
+DV dc->concat2( r1=@{in:"NGP9_F323-0927589.txt"},
+                r2=@{in:"NGP9_F324-0927590.txt"},
+                votable=@{out:"NGP9_morph.vot"} );
+)";
+  std::printf("--- VDL document ---%s\n", vdl.c_str());
+
+  auto doc = vds::parse_vdl(vdl);
+  if (!doc.ok()) {
+    std::printf("VDL parse error: %s\n", doc.error().to_string().c_str());
+    return 1;
+  }
+  vds::VirtualDataCatalog vdc;
+  if (Status s = vdc.ingest(doc.value()); !s.ok()) {
+    std::printf("catalog error: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("catalog: %zu transformations, %zu derivations\n\n",
+              vdc.num_transformations(), vdc.num_derivations());
+
+  // ---- grid environment: the three Condor pools + data placement ----
+  grid::Grid grid = grid::make_paper_grid();
+  pegasus::ReplicaLocationService rls;
+  pegasus::TransformationCatalog tc;
+  for (const std::string& site : grid.site_names()) {
+    (void)tc.add({"galMorph", site, "/grid/bin/galMorph", {}});
+  }
+  (void)tc.add({"concat2", "isi", "/grid/bin/concat", {}});
+  for (const char* img : {"NGP9_F323-0927589.fit", "NGP9_F324-0927590.fit"}) {
+    rls.add(img, "isi", std::string("gsiftp://isi/") + img);
+    grid.put_file("isi", img, 22160);
+  }
+
+  // ---- 2-4. request the final product through the request manager ----
+  pegasus::RequestManager manager(vdc, grid, rls, tc, pegasus::PlannerConfig{},
+                                  grid::JobCostModel{}, grid::FailureModel{});
+  auto trace = manager.handle({"NGP9_morph.vot"});
+  if (!trace.ok()) {
+    std::printf("request failed: %s\n", trace.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("--- abstract workflow (Chimera, Fig. 1) ---\n%s\n",
+              trace->abstract.to_string().c_str());
+  std::printf("--- concrete workflow (Pegasus, Fig. 4) ---\n%s\n",
+              trace->plan.concrete.to_string().c_str());
+  std::printf("--- DAGMan input file ---\n%s\n", trace->submits.dag_file.c_str());
+  std::printf("--- one Condor submit file ---\n%s\n",
+              trace->submits.submit.begin()->second.c_str());
+  std::printf("execution: %zu jobs in %.1f simulated seconds; %zu replicas "
+              "registered\n\n",
+              trace->execution.jobs_total, trace->execution.makespan_seconds,
+              trace->registrations);
+
+  // ---- 5. ask again: virtual data pays off ----
+  auto again = manager.handle({"NGP9_morph.vot"});
+  std::printf("second request: %zu of %zu jobs pruned by reduction, %zu jobs "
+              "executed (%s)\n",
+              again->plan.pruned_jobs, again->plan.abstract_jobs,
+              again->execution.jobs_total,
+              again->satisfied ? "satisfied from existing replicas" : "FAILED");
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "analysis/campaign.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace nvo::analysis {
+
+Campaign::Campaign(CampaignConfig config) : config_(config) {
+  sim::UniverseConfig ucfg;
+  ucfg.seed = config_.seed;
+  ucfg.corruption_rate = config_.corruption_rate;
+  universe_ = std::make_unique<sim::Universe>(
+      sim::Universe::make_paper_campaign(config_.seed, config_.population_scale));
+  // make_paper_campaign builds with default config; rebuild with ours when
+  // the corruption rate differs.
+  if (config_.corruption_rate != universe_->config().corruption_rate) {
+    sim::UniverseConfig custom = universe_->config();
+    custom.corruption_rate = config_.corruption_rate;
+    auto rebuilt = std::make_unique<sim::Universe>(custom);
+    for (const sim::Cluster& c : universe_->clusters()) rebuilt->add_cluster(c.spec);
+    universe_ = std::move(rebuilt);
+  }
+
+  fabric_ = std::make_unique<services::HttpFabric>(config_.seed ^ 0xFAB);
+  federation_ = services::register_federation(*fabric_, *universe_);
+  grid_ = std::make_unique<grid::Grid>(grid::make_paper_grid());
+  rls_ = std::make_unique<pegasus::ReplicaLocationService>();
+  tc_ = std::make_unique<pegasus::TransformationCatalog>();
+
+  portal::ComputeServiceConfig scfg;
+  scfg.seed = config_.seed ^ 0x5E47;
+  scfg.compute_threads = config_.compute_threads;
+  scfg.planner.site_policy = config_.site_policy;
+  compute_ = std::make_unique<portal::MorphologyService>(*fabric_, *grid_, *rls_,
+                                                         *tc_, scfg);
+
+  portal::PortalConfig pcfg;
+  pcfg.batched_cutout_query = config_.batched_cutouts;
+  portal_ = std::make_unique<portal::Portal>(*fabric_, federation_, *compute_, pcfg);
+  for (const sim::Cluster& c : universe_->clusters()) {
+    portal::ClusterEntry entry;
+    entry.name = c.name();
+    entry.position = c.center();
+    entry.redshift = c.redshift();
+    entry.search_radius_deg = c.spec.extent_arcmin / 60.0;
+    portal_->add_cluster(entry);
+  }
+}
+
+Expected<ClusterOutcome> Campaign::run_cluster(const std::string& name) {
+  auto outcome = portal_->run_analysis(name);
+  if (!outcome.ok()) return outcome.error();
+
+  ClusterOutcome out;
+  out.name = name;
+  out.portal_trace = outcome->trace;
+  out.galaxies = outcome->trace.galaxies;
+  out.valid = outcome->trace.valid;
+  out.invalid = outcome->trace.invalid;
+
+  if (const portal::ServiceTrace* trace = compute_->last_trace()) {
+    out.compute_jobs = trace->execution.compute_jobs;
+    out.transfer_jobs = trace->execution.transfer_jobs;
+    out.register_jobs = trace->execution.register_jobs;
+    out.makespan_seconds = trace->execution.makespan_seconds;
+  }
+
+  const sim::Cluster* cluster = universe_->find_cluster(name);
+  auto dressler = analyze_cluster(outcome->catalog, cluster->center());
+  if (dressler.ok()) {
+    out.dressler = std::move(dressler.value());
+  }
+  return out;
+}
+
+Expected<CampaignReport> Campaign::run() {
+  CampaignReport report;
+  fabric_->reset_metrics();
+  report.min_galaxies = SIZE_MAX;
+  for (const sim::Cluster& c : universe_->clusters()) {
+    auto outcome = run_cluster(c.name());
+    if (!outcome.ok()) return outcome.error();
+    const ClusterOutcome& o = outcome.value();
+    report.total_galaxies += o.galaxies;
+    report.min_galaxies = std::min(report.min_galaxies, o.galaxies);
+    report.max_galaxies = std::max(report.max_galaxies, o.galaxies);
+    report.total_compute_jobs += o.compute_jobs;
+    report.total_transfer_jobs += o.transfer_jobs;
+    report.total_register_jobs += o.register_jobs;
+    report.total_sim_seconds += o.makespan_seconds + o.portal_trace.total_ms() / 1000.0;
+    if (o.dressler.relation_detected()) ++report.clusters_with_relation;
+    report.clusters.push_back(std::move(outcome.value()));
+  }
+  // Every processed galaxy corresponds to one cutout image; the fabric
+  // metrics carry total bytes over the simulated WAN.
+  std::size_t images = 0;
+  for (const ClusterOutcome& o : report.clusters) images += o.galaxies;
+  report.total_images_fetched = images;
+  report.total_bytes_transferred = fabric_->metrics().bytes_transferred;
+  report.pools_used = grid_->sites().size();
+  return report;
+}
+
+std::string CampaignReport::to_text() const {
+  std::string out;
+  out += "cluster    galaxies  valid  invalid  jobs  transfers  makespan(sim s)  relation\n";
+  for (const ClusterOutcome& c : clusters) {
+    out += format("%-9s %8zu %6zu %8zu %5zu %10zu %16.1f  %s\n", c.name.c_str(),
+                  c.galaxies, c.valid, c.invalid, c.compute_jobs, c.transfer_jobs,
+                  c.makespan_seconds,
+                  c.dressler.relation_detected() ? "YES" : "no");
+  }
+  out += format("clusters: %zu, galaxies: %zu (min %zu, max %zu)\n", clusters.size(),
+                total_galaxies, min_galaxies, max_galaxies);
+  out += format("compute jobs: %zu, transfers: %zu, registrations: %zu\n",
+                total_compute_jobs, total_transfer_jobs, total_register_jobs);
+  out += format("images fetched: %zu, bytes over fabric: %zu\n", total_images_fetched,
+                total_bytes_transferred);
+  out += format("pools used: %zu, total simulated time: %.1f s\n", pools_used,
+                total_sim_seconds);
+  out += format("clusters showing the density-morphology relation: %zu / %zu\n",
+                clusters_with_relation, clusters.size());
+  return out;
+}
+
+}  // namespace nvo::analysis

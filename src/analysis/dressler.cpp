@@ -1,0 +1,162 @@
+#include "analysis/dressler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace nvo::analysis {
+
+bool classify_early_type(double concentration, double asymmetry,
+                         const ClassifierThresholds& thresholds) {
+  return concentration - thresholds.asymmetry_weight * asymmetry >=
+         thresholds.score_threshold;
+}
+
+std::vector<double> local_density_arcmin2(const std::vector<sky::Equatorial>& positions,
+                                          const sky::Equatorial& center, int k) {
+  const std::size_t n = positions.size();
+  std::vector<double> out(n, 0.0);
+  if (n < 2) return out;
+  const int kk = std::min<int>(k, static_cast<int>(n) - 1);
+
+  // Tangent-plane coordinates (arcmin) about the cluster center make the
+  // neighbor distances Euclidean.
+  std::vector<double> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sky::TangentPlane tp = sky::project_tan(center, positions[i]);
+    xs[i] = tp.xi_deg * 60.0;
+    ys[i] = tp.eta_deg * 60.0;
+  }
+  std::vector<double> d2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double dx = xs[j] - xs[i];
+      const double dy = ys[j] - ys[i];
+      d2[j] = dx * dx + dy * dy;
+    }
+    d2[i] = 1e300;  // exclude self
+    std::nth_element(d2.begin(), d2.begin() + (kk - 1), d2.end());
+    const double dk = std::sqrt(std::max(d2[kk - 1], 1e-6));
+    out[i] = static_cast<double>(kk) / (3.14159265358979323846 * dk * dk);
+  }
+  return out;
+}
+
+bool DresslerReport::relation_detected() const {
+  return early_fraction_core > early_fraction_edge &&
+         spearman_asymmetry_density < 0.0 && spearman_concentration_density > 0.0 &&
+         spearman_asymmetry_radius > 0.0;
+}
+
+Expected<DresslerReport> analyze_cluster(const votable::Table& merged_catalog,
+                                         const sky::Equatorial& cluster_center,
+                                         std::size_t radial_bins,
+                                         const ClassifierThresholds& thresholds) {
+  for (const char* col : {"id", "ra", "dec", "valid", "concentration", "asymmetry"}) {
+    if (!merged_catalog.column_index(col)) {
+      return Error(ErrorCode::kInvalidArgument,
+                   std::string("catalog lacks column ") + col);
+    }
+  }
+
+  DresslerReport report;
+  std::vector<sky::Equatorial> positions;
+  for (std::size_t i = 0; i < merged_catalog.num_rows(); ++i) {
+    const auto valid = merged_catalog.cell(i, "valid").as_bool();
+    if (!valid || !*valid) {
+      ++report.invalid_dropped;
+      continue;
+    }
+    AnalysisGalaxy g;
+    g.id = merged_catalog.cell(i, "id").as_string().value_or("");
+    g.position.ra_deg = merged_catalog.cell(i, "ra").as_number().value_or(0.0);
+    g.position.dec_deg = merged_catalog.cell(i, "dec").as_number().value_or(0.0);
+    g.concentration = merged_catalog.cell(i, "concentration").as_number().value_or(0.0);
+    g.asymmetry = merged_catalog.cell(i, "asymmetry").as_number().value_or(0.0);
+    g.surface_brightness =
+        merged_catalog.cell(i, "surface_brightness").as_number().value_or(0.0);
+    g.radius_arcmin =
+        sky::angular_separation_deg(cluster_center, g.position) * 60.0;
+    g.early_type = classify_early_type(g.concentration, g.asymmetry, thresholds);
+    positions.push_back(g.position);
+    report.galaxies.push_back(std::move(g));
+  }
+  if (report.galaxies.size() < 8) {
+    return Error(ErrorCode::kInvalidArgument,
+                 format("only %zu valid galaxies — too few for the analysis",
+                        report.galaxies.size()));
+  }
+
+  const std::vector<double> density =
+      local_density_arcmin2(positions, cluster_center);
+  std::vector<double> radii, log_density, asym, conc;
+  std::vector<bool> early;
+  for (std::size_t i = 0; i < report.galaxies.size(); ++i) {
+    AnalysisGalaxy& g = report.galaxies[i];
+    g.log_local_density = std::log10(std::max(density[i], 1e-6));
+    radii.push_back(g.radius_arcmin);
+    log_density.push_back(g.log_local_density);
+    asym.push_back(g.asymmetry);
+    conc.push_back(g.concentration);
+    early.push_back(g.early_type);
+  }
+
+  const double r_max = *std::max_element(radii.begin(), radii.end()) * 1.0001;
+  report.early_fraction_vs_radius =
+      binned_fraction(radii, early, radial_bins, 0.0, r_max);
+  const double d_lo = *std::min_element(log_density.begin(), log_density.end());
+  const double d_hi = *std::max_element(log_density.begin(), log_density.end()) * 1.0001;
+  report.early_fraction_vs_density =
+      binned_fraction(log_density, early, radial_bins, d_lo,
+                      d_hi > d_lo ? d_hi : d_lo + 1.0);
+
+  report.spearman_asymmetry_density = spearman(log_density, asym);
+  report.spearman_concentration_density = spearman(log_density, conc);
+  report.spearman_asymmetry_radius = spearman(radii, asym);
+
+  // Core and edge fractions from the first / last populated radial bins.
+  for (const BinnedFraction& b : report.early_fraction_vs_radius) {
+    if (b.count > 0) {
+      report.early_fraction_core = b.fraction;
+      break;
+    }
+  }
+  for (auto it = report.early_fraction_vs_radius.rbegin();
+       it != report.early_fraction_vs_radius.rend(); ++it) {
+    if (it->count > 0) {
+      report.early_fraction_edge = it->fraction;
+      break;
+    }
+  }
+  return report;
+}
+
+std::string report_to_text(const DresslerReport& report) {
+  std::string out;
+  out += format("galaxies analyzed: %zu (dropped invalid: %zu)\n",
+                report.galaxies.size(), report.invalid_dropped);
+  out += "early-type fraction vs cluster radius (arcmin):\n";
+  for (const BinnedFraction& b : report.early_fraction_vs_radius) {
+    out += format("  r=%6.2f  f_early=%.3f  (n=%zu)\n", b.x_center, b.fraction,
+                  b.count);
+  }
+  out += "early-type fraction vs log10 local density:\n";
+  for (const BinnedFraction& b : report.early_fraction_vs_density) {
+    out += format("  logS=%6.2f  f_early=%.3f  (n=%zu)\n", b.x_center, b.fraction,
+                  b.count);
+  }
+  out += format("spearman(asymmetry, density)     = %+.3f (expect < 0)\n",
+                report.spearman_asymmetry_density);
+  out += format("spearman(concentration, density) = %+.3f (expect > 0)\n",
+                report.spearman_concentration_density);
+  out += format("spearman(asymmetry, radius)      = %+.3f (expect > 0)\n",
+                report.spearman_asymmetry_radius);
+  out += format("early fraction: core %.3f vs edge %.3f\n", report.early_fraction_core,
+                report.early_fraction_edge);
+  out += format("density-morphology relation detected: %s\n",
+                report.relation_detected() ? "YES" : "no");
+  return out;
+}
+
+}  // namespace nvo::analysis

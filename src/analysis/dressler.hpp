@@ -1,0 +1,78 @@
+// The science analysis of paper §2/§5: "our science model examines the
+// distribution of star formation indicators ... as a function of cluster
+// radius, local density, and x-ray surface brightness", culminating in the
+// rediscovery of the Dressler (1980) density-morphology relation. Operates
+// on the portal's merged catalog (positions + computed morphology).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "common/expected.hpp"
+#include "sky/coords.hpp"
+#include "votable/table.hpp"
+
+namespace nvo::analysis {
+
+/// One galaxy prepared for analysis.
+struct AnalysisGalaxy {
+  std::string id;
+  sky::Equatorial position;
+  double radius_arcmin = 0.0;        ///< projected cluster-centric distance
+  double log_local_density = 0.0;    ///< log10 Sigma_k (gal / arcmin^2)
+  double concentration = 0.0;
+  double asymmetry = 0.0;
+  double surface_brightness = 0.0;
+  bool early_type = false;           ///< classified from the measured indices
+};
+
+/// Morphological classification. Early types are concentrated and
+/// symmetric; late types diffuse and asymmetric (Conselice 2003 orderings).
+/// A linear discriminant in the (C, A) plane — early iff
+/// C - asymmetry_weight * A >= score_threshold — separates the measured
+/// populations better than independent cuts: S0s sit at intermediate C but
+/// very low A, while spirals with comparable C carry higher A.
+struct ClassifierThresholds {
+  double score_threshold = 2.6;
+  double asymmetry_weight = 4.0;
+};
+bool classify_early_type(double concentration, double asymmetry,
+                         const ClassifierThresholds& thresholds = {});
+
+/// Projected k-NN local density Sigma_k = k / (pi d_k^2) in galaxies per
+/// square arcminute, Dressler's estimator (k defaults to 10; clipped to
+/// n-1 for small samples).
+std::vector<double> local_density_arcmin2(const std::vector<sky::Equatorial>& positions,
+                                          const sky::Equatorial& center, int k = 10);
+
+/// The full analysis product.
+struct DresslerReport {
+  std::vector<AnalysisGalaxy> galaxies;   ///< valid measurements only
+  std::size_t invalid_dropped = 0;
+
+  // The relation, three ways.
+  std::vector<BinnedFraction> early_fraction_vs_radius;    ///< arcmin bins
+  std::vector<BinnedFraction> early_fraction_vs_density;   ///< log-density bins
+  double spearman_asymmetry_density = 0.0;   ///< expected negative
+  double spearman_concentration_density = 0.0;  ///< expected positive
+  double spearman_asymmetry_radius = 0.0;    ///< expected positive
+  double early_fraction_core = 0.0;  ///< innermost radial bin
+  double early_fraction_edge = 0.0;  ///< outermost populated radial bin
+
+  /// True when every qualitative Dressler signature holds (the §5 claim).
+  bool relation_detected() const;
+};
+
+/// Runs the analysis on a merged catalog. Required columns: id, ra, dec,
+/// valid, concentration, asymmetry, surface_brightness (the portal's merge
+/// product). Rows with valid != true are dropped (counted).
+Expected<DresslerReport> analyze_cluster(const votable::Table& merged_catalog,
+                                         const sky::Equatorial& cluster_center,
+                                         std::size_t radial_bins = 5,
+                                         const ClassifierThresholds& thresholds = {});
+
+/// Plain-text rendering of the report (the rows a paper table would show).
+std::string report_to_text(const DresslerReport& report);
+
+}  // namespace nvo::analysis

@@ -1,0 +1,159 @@
+#include "analysis/mirage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace nvo::analysis {
+
+std::string to_mirage(const votable::Table& table) {
+  std::string out = "format";
+  for (const votable::Field& f : table.fields()) {
+    // Mirage variable names are whitespace-free tokens.
+    out += " " + replace_all(f.name, " ", "_");
+  }
+  out += "\n";
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> cells;
+    for (const votable::Value& v : table.row(r)) {
+      if (v.is_null()) {
+        cells.push_back("-9999");
+      } else {
+        std::string text = v.to_text();
+        cells.push_back(text.empty() ? "-9999" : replace_all(text, " ", "_"));
+      }
+    }
+    out += join(cells, " ") + "\n";
+  }
+  return out;
+}
+
+Expected<votable::Table> from_mirage(const std::string& text) {
+  const std::vector<std::string> lines = split(text, '\n');
+  std::size_t line_index = 0;
+  while (line_index < lines.size() && trim(lines[line_index]).empty()) ++line_index;
+  if (line_index >= lines.size()) {
+    return Error(ErrorCode::kParseError, "empty Mirage document");
+  }
+  const std::vector<std::string> header = split_ws(lines[line_index]);
+  if (header.empty() || header[0] != "format") {
+    return Error(ErrorCode::kParseError, "Mirage document lacks a format line");
+  }
+  std::vector<votable::Field> fields;
+  for (std::size_t i = 1; i < header.size(); ++i) {
+    // Column types are inferred from content below; start as string.
+    fields.push_back({header[i], votable::DataType::kString, "", "", ""});
+  }
+  if (fields.empty()) {
+    return Error(ErrorCode::kParseError, "Mirage format line names no variables");
+  }
+
+  // First pass: collect rows, track numeric-ness per column.
+  std::vector<std::vector<std::string>> raw_rows;
+  std::vector<bool> numeric(fields.size(), true);
+  for (std::size_t l = line_index + 1; l < lines.size(); ++l) {
+    const std::vector<std::string> cells = split_ws(lines[l]);
+    if (cells.empty()) continue;
+    if (cells.size() != fields.size()) {
+      return Error(ErrorCode::kParseError,
+                   format("row %zu has %zu cells, expected %zu", l, cells.size(),
+                          fields.size()));
+    }
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (cells[c] != "-9999" && !parse_double(cells[c])) numeric[c] = false;
+    }
+    raw_rows.push_back(cells);
+  }
+  for (std::size_t c = 0; c < fields.size(); ++c) {
+    if (numeric[c]) fields[c].datatype = votable::DataType::kDouble;
+  }
+
+  votable::Table out(fields);
+  out.name = "mirage_import";
+  for (const auto& cells : raw_rows) {
+    votable::Row row;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (cells[c] == "-9999") {
+        row.emplace_back();
+      } else if (fields[c].datatype == votable::DataType::kDouble) {
+        row.push_back(votable::Value::of_double(parse_double(cells[c]).value()));
+      } else {
+        row.push_back(votable::Value::of_string(cells[c]));
+      }
+    }
+    (void)out.append_row(std::move(row));
+  }
+  return out;
+}
+
+std::string scatter_ascii(const std::vector<double>& x, const std::vector<double>& y,
+                          const std::vector<int>& point_class,
+                          const ScatterOptions& options) {
+  const char glyphs[] = {'o', 'x', '+', '*'};
+  if (x.empty() || x.size() != y.size()) return "(no data)\n";
+  const double x_min = *std::min_element(x.begin(), x.end());
+  const double x_max = *std::max_element(x.begin(), x.end());
+  const double y_min = *std::min_element(y.begin(), y.end());
+  const double y_max = *std::max_element(y.begin(), y.end());
+  const double x_span = x_max > x_min ? x_max - x_min : 1.0;
+  const double y_span = y_max > y_min ? y_max - y_min : 1.0;
+
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>(options.height),
+      std::string(static_cast<std::size_t>(options.width), ' '));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(x[i]) || !std::isfinite(y[i])) continue;
+    const int cx = static_cast<int>((x[i] - x_min) / x_span * (options.width - 1));
+    const int cy = static_cast<int>((y[i] - y_min) / y_span * (options.height - 1));
+    const int cls =
+        i < point_class.size() ? std::abs(point_class[i]) % 4 : 0;
+    // Row 0 of the canvas is the top: invert y.
+    canvas[static_cast<std::size_t>(options.height - 1 - cy)]
+          [static_cast<std::size_t>(cx)] = glyphs[cls];
+  }
+
+  std::string out = format("%s vs %s  [y: %.3g..%.3g]\n", options.y_label.c_str(),
+                           options.x_label.c_str(), y_min, y_max);
+  for (const std::string& row : canvas) out += "|" + row + "|\n";
+  out += format("x: %.3g..%.3g\n", x_min, x_max);
+  return out;
+}
+
+Expected<std::string> scatter_columns(const votable::Table& table,
+                                      const std::string& x_column,
+                                      const std::string& y_column,
+                                      const std::string& class_column,
+                                      const ScatterOptions& options) {
+  if (!table.column_index(x_column)) {
+    return Error(ErrorCode::kNotFound, "column " + x_column);
+  }
+  if (!table.column_index(y_column)) {
+    return Error(ErrorCode::kNotFound, "column " + y_column);
+  }
+  std::vector<double> x, y;
+  std::vector<int> cls;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const auto xv = table.cell(r, x_column).as_number();
+    const auto yv = table.cell(r, y_column).as_number();
+    if (!xv || !yv) continue;
+    x.push_back(*xv);
+    y.push_back(*yv);
+    int c = 0;
+    if (!class_column.empty()) {
+      const votable::Value& cv = table.cell(r, class_column);
+      if (const auto b = cv.as_bool()) {
+        c = *b ? 0 : 1;
+      } else if (const auto n = cv.as_number()) {
+        c = static_cast<int>(*n);
+      }
+    }
+    cls.push_back(c);
+  }
+  ScatterOptions opts = options;
+  if (opts.x_label == "x") opts.x_label = x_column;
+  if (opts.y_label == "y") opts.y_label = y_column;
+  return scatter_ascii(x, y, cls, opts);
+}
+
+}  // namespace nvo::analysis

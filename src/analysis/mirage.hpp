@@ -1,0 +1,54 @@
+// Mirage export + scatter plots (paper §4.4): "We also made use of another
+// visualization tool from IBM called Mirage which can create various plots
+// of tabular data; this tool allowed us to use scatter plots to look for
+// correlations between our morphology parameters and other galaxy
+// characteristics ... We were able to support Mirage by creating an XSL
+// stylesheet that transformed the VOTable into the tool's native format."
+//
+// This module is that stylesheet's typed equivalent (VOTable -> Mirage
+// whitespace-column format) plus a self-contained ASCII scatter renderer,
+// so the correlation plots the paper made in Mirage can be regenerated
+// without the (long gone) tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "votable/table.hpp"
+
+namespace nvo::analysis {
+
+/// Serializes a table into the Mirage native format: a `format` header line
+/// naming the variables, then one whitespace-separated row per record.
+/// String columns are emitted verbatim (Mirage treats them as categorical);
+/// null cells become the sentinel "-9999".
+std::string to_mirage(const votable::Table& table);
+
+/// Parses the Mirage format back (column names from the format line; all
+/// values typed as strings/doubles by content) — used for round-trip tests
+/// and for reading Mirage-side selections back in.
+Expected<votable::Table> from_mirage(const std::string& text);
+
+/// ASCII scatter plot of y against x, with optional per-point classes
+/// rendered as distinct glyphs ('o', 'x', '+', '*'). Null-safe: rows where
+/// either coordinate is missing are skipped.
+struct ScatterOptions {
+  int width = 64;
+  int height = 20;
+  std::string x_label = "x";
+  std::string y_label = "y";
+};
+std::string scatter_ascii(const std::vector<double>& x, const std::vector<double>& y,
+                          const std::vector<int>& point_class,
+                          const ScatterOptions& options = {});
+
+/// Convenience: scatter two numeric columns of a table, classed by a bool
+/// column ("valid"-style) when given.
+Expected<std::string> scatter_columns(const votable::Table& table,
+                                      const std::string& x_column,
+                                      const std::string& y_column,
+                                      const std::string& class_column = "",
+                                      const ScatterOptions& options = {});
+
+}  // namespace nvo::analysis

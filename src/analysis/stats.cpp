@@ -1,0 +1,117 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace nvo::analysis {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks(const std::vector<double>& v) {
+  std::vector<std::size_t> order(v.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> out(v.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) out[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return out;
+}
+
+double spearman(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  return pearson(ranks(x), ranks(y));
+}
+
+std::vector<BinnedPoint> binned_profile(const std::vector<double>& x,
+                                        const std::vector<double>& y,
+                                        std::size_t bins, double x_min, double x_max) {
+  std::vector<BinnedPoint> out(bins);
+  if (bins == 0 || x.size() != y.size() || x_max <= x_min) return {};
+  const double width = (x_max - x_min) / static_cast<double>(bins);
+  std::vector<std::vector<double>> buckets(bins);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < x_min || x[i] >= x_max) continue;
+    const auto b = static_cast<std::size_t>((x[i] - x_min) / width);
+    buckets[std::min(b, bins - 1)].push_back(y[i]);
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    out[b].x_center = x_min + (static_cast<double>(b) + 0.5) * width;
+    out[b].y_mean = mean(buckets[b]);
+    out[b].y_stddev = stddev(buckets[b]);
+    out[b].count = buckets[b].size();
+  }
+  return out;
+}
+
+std::vector<BinnedFraction> binned_fraction(const std::vector<double>& x,
+                                            const std::vector<bool>& flags,
+                                            std::size_t bins, double x_min,
+                                            double x_max) {
+  std::vector<BinnedFraction> out(bins);
+  if (bins == 0 || x.size() != flags.size() || x_max <= x_min) return {};
+  const double width = (x_max - x_min) / static_cast<double>(bins);
+  std::vector<std::size_t> total(bins, 0);
+  std::vector<std::size_t> hits(bins, 0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < x_min || x[i] >= x_max) continue;
+    const auto b = std::min(static_cast<std::size_t>((x[i] - x_min) / width), bins - 1);
+    ++total[b];
+    if (flags[i]) ++hits[b];
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    out[b].x_center = x_min + (static_cast<double>(b) + 0.5) * width;
+    out[b].count = total[b];
+    out[b].fraction =
+        total[b] > 0 ? static_cast<double>(hits[b]) / static_cast<double>(total[b]) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace nvo::analysis

@@ -1,0 +1,48 @@
+// Descriptive statistics for the science analysis: the correlations and
+// binned profiles behind Fig. 7 ("scatter plots to look for correlations
+// between our morphology parameters and other galaxy characteristics").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nvo::analysis {
+
+double mean(const std::vector<double>& v);
+double median(std::vector<double> v);  // by value: nth_element mutates
+double stddev(const std::vector<double>& v);
+
+/// Pearson linear correlation; 0 when either side is constant or sizes
+/// mismatch.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson on fractional ranks, ties averaged).
+double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fractional ranks with ties averaged (helper, exposed for tests).
+std::vector<double> ranks(const std::vector<double>& v);
+
+/// Equal-width binned profile of y against x.
+struct BinnedPoint {
+  double x_center = 0.0;
+  double y_mean = 0.0;
+  double y_stddev = 0.0;
+  std::size_t count = 0;
+};
+std::vector<BinnedPoint> binned_profile(const std::vector<double>& x,
+                                        const std::vector<double>& y,
+                                        std::size_t bins, double x_min, double x_max);
+
+/// Fraction of `flags` true within each bin of x (e.g. early-type fraction
+/// vs radius).
+struct BinnedFraction {
+  double x_center = 0.0;
+  double fraction = 0.0;
+  std::size_t count = 0;
+};
+std::vector<BinnedFraction> binned_fraction(const std::vector<double>& x,
+                                            const std::vector<bool>& flags,
+                                            std::size_t bins, double x_min,
+                                            double x_max);
+
+}  // namespace nvo::analysis

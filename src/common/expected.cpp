@@ -1,0 +1,38 @@
+#include "common/expected.hpp"
+
+namespace nvo {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "kInvalidArgument";
+    case ErrorCode::kNotFound:
+      return "kNotFound";
+    case ErrorCode::kParseError:
+      return "kParseError";
+    case ErrorCode::kIoError:
+      return "kIoError";
+    case ErrorCode::kServiceUnavailable:
+      return "kServiceUnavailable";
+    case ErrorCode::kTimeout:
+      return "kTimeout";
+    case ErrorCode::kComputeFailed:
+      return "kComputeFailed";
+    case ErrorCode::kInfeasible:
+      return "kInfeasible";
+    case ErrorCode::kAlreadyExists:
+      return "kAlreadyExists";
+    case ErrorCode::kInternal:
+      return "kInternal";
+  }
+  return "kUnknown";
+}
+
+std::string Error::to_string() const {
+  std::string out = nvo::to_string(code);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+}  // namespace nvo

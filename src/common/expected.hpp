@@ -1,0 +1,106 @@
+// Lightweight Expected<T> error-or-value type (std::expected is C++23; we
+// target C++20). Used across the library for fallible operations so that
+// services can propagate protocol-level failures without exceptions.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace nvo {
+
+/// Error category, loosely mirroring the failure classes the paper's
+/// prototype had to deal with (bad images, unreachable services, missing
+/// replicas, malformed documents...).
+enum class ErrorCode {
+  kInvalidArgument,
+  kNotFound,
+  kParseError,
+  kIoError,
+  kServiceUnavailable,
+  kTimeout,
+  kComputeFailed,
+  kInfeasible,
+  kAlreadyExists,
+  kInternal,
+};
+
+/// Human-readable name for an ErrorCode.
+const char* to_string(ErrorCode code);
+
+/// An error: a code plus a free-form message with context.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  Error() = default;
+  Error(ErrorCode c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  /// Renders "kNotFound: no replica for lfn 'x'".
+  std::string to_string() const;
+};
+
+/// Either a value of type T or an Error. Monostate-free, minimal interface:
+/// ok(), value(), error(), value_or().
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+  Expected(ErrorCode code, std::string msg) : data_(Error(code, std::move(msg))) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? std::get<T>(data_) : std::move(fallback); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Expected<void> analogue: success or an Error.
+class Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+  Status(ErrorCode code, std::string msg) : error_(code, std::move(msg)), failed_(true) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace nvo

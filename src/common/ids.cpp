@@ -1,0 +1,25 @@
+#include "common/ids.hpp"
+
+#include <atomic>
+
+#include "common/strings.hpp"
+
+namespace nvo {
+
+struct IdGenerator::Impl {
+  std::atomic<std::uint64_t> counter{0};
+};
+
+IdGenerator::IdGenerator(std::string prefix)
+    : prefix_(std::move(prefix)), impl_(std::make_shared<Impl>()) {}
+
+std::string IdGenerator::next() {
+  const std::uint64_t n = impl_->counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  return format("%s-%06llu", prefix_.c_str(), static_cast<unsigned long long>(n));
+}
+
+std::uint64_t IdGenerator::count() const {
+  return impl_->counter.load(std::memory_order_relaxed);
+}
+
+}  // namespace nvo

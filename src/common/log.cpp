@@ -1,0 +1,52 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace nvo {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;  // keeps multi-threaded grid-executor lines intact
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log(LogLevel level, const std::string& tag, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] [%s] %s\n", level_name(level), tag.c_str(), message.c_str());
+}
+
+void log_debug(const std::string& tag, const std::string& message) {
+  log(LogLevel::kDebug, tag, message);
+}
+void log_info(const std::string& tag, const std::string& message) {
+  log(LogLevel::kInfo, tag, message);
+}
+void log_warn(const std::string& tag, const std::string& message) {
+  log(LogLevel::kWarn, tag, message);
+}
+void log_error(const std::string& tag, const std::string& message) {
+  log(LogLevel::kError, tag, message);
+}
+
+}  // namespace nvo

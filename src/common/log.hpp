@@ -1,0 +1,24 @@
+// Minimal leveled logger. Default level is kWarn so tests and benchmarks run
+// quietly; examples raise it to kInfo to narrate the pipeline the way the
+// paper's portal surfaced status messages.
+#pragma once
+
+#include <string>
+
+namespace nvo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `[level] [tag] message` to stderr when enabled.
+void log(LogLevel level, const std::string& tag, const std::string& message);
+
+void log_debug(const std::string& tag, const std::string& message);
+void log_info(const std::string& tag, const std::string& message);
+void log_warn(const std::string& tag, const std::string& message);
+void log_error(const std::string& tag, const std::string& message);
+
+}  // namespace nvo

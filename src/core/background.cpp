@@ -1,0 +1,63 @@
+#include "core/background.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace nvo::core {
+
+BackgroundEstimate estimate_background(const image::Image& img, int border,
+                                       int iterations, double clip_sigma) {
+  BackgroundEstimate out;
+  if (img.empty()) return out;
+  border = std::min({border, img.width() / 2, img.height() / 2});
+  border = std::max(border, 1);
+
+  std::vector<float> samples;
+  samples.reserve(static_cast<std::size_t>(2 * border) *
+                  (img.width() + img.height()));
+  for (int y = 0; y < img.height(); ++y) {
+    const bool edge_row = y < border || y >= img.height() - border;
+    for (int x = 0; x < img.width(); ++x) {
+      if (edge_row || x < border || x >= img.width() - border) {
+        samples.push_back(img.at(x, y));
+      }
+    }
+  }
+  if (samples.empty()) return out;
+
+  // Iterative sigma clipping.
+  double mean = 0.0;
+  double sigma = 0.0;
+  std::vector<float> kept = samples;
+  for (int it = 0; it < iterations; ++it) {
+    double sum = 0.0;
+    for (float v : kept) sum += v;
+    mean = sum / static_cast<double>(kept.size());
+    double var = 0.0;
+    for (float v : kept) var += (v - mean) * (v - mean);
+    sigma = kept.size() > 1 ? std::sqrt(var / static_cast<double>(kept.size() - 1)) : 0.0;
+    if (sigma <= 0.0) break;
+    std::vector<float> next;
+    next.reserve(kept.size());
+    for (float v : kept) {
+      if (std::fabs(v - mean) <= clip_sigma * sigma) next.push_back(v);
+    }
+    if (next.size() == kept.size() || next.size() < 8) break;
+    kept = std::move(next);
+  }
+  out.level = mean;
+  out.sigma = sigma;
+  out.pixels_used = static_cast<int>(kept.size());
+  return out;
+}
+
+image::Image subtract_background(const image::Image& img,
+                                 const BackgroundEstimate& bg) {
+  image::Image out = img;
+  const float level = static_cast<float>(bg.level);
+  for (float& v : out.pixels()) v -= level;
+  return out;
+}
+
+}  // namespace nvo::core

@@ -1,0 +1,26 @@
+// Sky background estimation for galaxy cutouts. The morphology parameters
+// are defined on background-subtracted light, and the asymmetry index needs
+// a noise term to subtract; both come from a sigma-clipped estimate over the
+// frame border (the region least contaminated by the centered galaxy).
+#pragma once
+
+#include "image/image.hpp"
+
+namespace nvo::core {
+
+struct BackgroundEstimate {
+  double level = 0.0;  ///< clipped mean, counts/pixel
+  double sigma = 0.0;  ///< clipped standard deviation
+  int pixels_used = 0;
+};
+
+/// Estimates the background from a border of `border` pixels around the
+/// frame using iterative 3-sigma clipping (max `iterations` rounds).
+BackgroundEstimate estimate_background(const image::Image& img, int border = 6,
+                                       int iterations = 5, double clip_sigma = 3.0);
+
+/// Returns a copy with the background level subtracted.
+image::Image subtract_background(const image::Image& img,
+                                 const BackgroundEstimate& bg);
+
+}  // namespace nvo::core

@@ -1,0 +1,79 @@
+// The galMorph transformation: the executable body behind the paper's VDL
+// template
+//
+//   TR galMorph( in redshift, in pixScale, in zeroPoint, in Ho, in om,
+//                in flat, in image, out galMorph ) { ... }
+//
+// It consumes one galaxy cutout (FITS) plus the scalar parameters, measures
+// the three morphology parameters, derives the physical scale from the
+// cosmology, and writes a small key=value text product (the paper's
+// "NGP9_F323-0927589.txt"-style output) carrying the §4.3.1 validity flag.
+// concat_results is the final concatenation step that merges per-galaxy
+// products into the output VOTable.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "core/morphology.hpp"
+#include "image/fits.hpp"
+#include "sky/cosmology.hpp"
+#include "votable/table.hpp"
+
+namespace nvo::core {
+
+/// Scalar arguments of the galMorph transformation, exactly the VDL set.
+struct GalMorphArgs {
+  double redshift = 0.0;
+  double pix_scale_deg = 2.831933107035062e-4;  ///< pixScale (deg/pixel)
+  double zero_point = 0.0;                      ///< zeroPoint
+  double h0 = 100.0;                            ///< Ho
+  double omega_m = 0.3;                         ///< om
+  bool flat = true;                             ///< flat
+
+  /// Parses from the string map a workflow node carries (VDL actual
+  /// parameters). Missing keys keep defaults; malformed values error.
+  static Expected<GalMorphArgs> from_args(const std::map<std::string, std::string>& args);
+  std::map<std::string, std::string> to_args() const;
+
+  sky::Cosmology cosmology() const;
+};
+
+/// One galaxy's computed product.
+struct GalMorphResult {
+  std::string galaxy_id;
+  MorphologyParams params;       ///< includes the validity flag
+  double redshift = 0.0;
+  double kpc_per_arcsec = 0.0;   ///< physical scale from the cosmology
+  double petrosian_r_kpc = 0.0;  ///< physical size of the aperture radius
+
+  /// key=value text serialization (the .txt workflow product).
+  std::string to_text() const;
+  static Expected<GalMorphResult> parse_text(const std::string& text);
+};
+
+/// Runs the transformation on an in-memory FITS cutout.
+GalMorphResult run_gal_morph(const std::string& galaxy_id, const image::FitsFile& fits,
+                             const GalMorphArgs& args);
+
+/// Same, from serialized FITS bytes (the form jobs receive from storage);
+/// undecodable images produce an invalid result, not an error — the paper's
+/// fault-tolerance choice.
+GalMorphResult run_gal_morph_bytes(const std::string& galaxy_id,
+                                   const std::vector<std::uint8_t>& fits_bytes,
+                                   const GalMorphArgs& args);
+
+/// The final concatenation: merges per-galaxy products into the output
+/// VOTable. Invalid galaxies appear with valid=false and null measurements
+/// ("this prevented a few failures from taking down the entire
+/// experiment").
+votable::Table concat_results(const std::vector<GalMorphResult>& results,
+                              const std::string& table_name);
+
+/// Parses one row of a concat_results table back into a result (used by the
+/// analysis layer and round-trip tests).
+Expected<GalMorphResult> result_from_row(const votable::Table& table, std::size_t row);
+
+}  // namespace nvo::core

@@ -1,0 +1,163 @@
+#include "core/morphology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "core/photometry.hpp"
+#include "core/segmentation.hpp"
+
+namespace nvo::core {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Detects the saturated-band corruption mode of bad archive cutouts: any
+/// full row pinned at a single extreme value.
+bool has_saturated_band(const image::Image& img) {
+  if (img.width() < 2) return false;
+  for (int y = 0; y < img.height(); ++y) {
+    const float first = img.at(0, y);
+    if (first < 60000.0f) continue;
+    bool uniform = true;
+    for (int x = 1; x < img.width(); ++x) {
+      if (img.at(x, y) != first) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) return true;
+  }
+  return false;
+}
+
+bool has_nonfinite(const image::Image& img) {
+  for (float v : img.pixels()) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+MorphologyParams invalid(const std::string& reason) {
+  MorphologyParams p;
+  p.valid = false;
+  p.failure_reason = reason;
+  return p;
+}
+
+}  // namespace
+
+double asymmetry_statistic(const image::Image& img, double cx, double cy,
+                           double radius) {
+  const image::Image rotated = img.rotate180_about(cx, cy);
+  double num = 0.0;
+  double den = 0.0;
+  const int x0 = std::max(0, static_cast<int>(cx - radius));
+  const int x1 = std::min(img.width() - 1, static_cast<int>(cx + radius));
+  const int y0 = std::max(0, static_cast<int>(cy - radius));
+  const int y1 = std::min(img.height() - 1, static_cast<int>(cy + radius));
+  const double r2 = radius * radius;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const double dx = x - cx;
+      const double dy = y - cy;
+      if (dx * dx + dy * dy > r2) continue;
+      num += std::fabs(img.at(x, y) - rotated.at(x, y));
+      den += std::fabs(img.at(x, y));
+    }
+  }
+  return den > 0.0 ? num / (2.0 * den) : 0.0;
+}
+
+MorphologyParams measure_morphology(const image::Image& cutout,
+                                    const MorphologyOptions& options) {
+  if (cutout.empty() || cutout.width() < 16 || cutout.height() < 16) {
+    return invalid("frame too small");
+  }
+  if (has_nonfinite(cutout)) return invalid("non-finite pixels");
+  if (has_saturated_band(cutout)) return invalid("saturated defect band");
+
+  MorphologyParams p;
+  const BackgroundEstimate bg =
+      estimate_background(cutout, options.background_border);
+  p.background_level = bg.level;
+  p.background_sigma = bg.sigma;
+  // Background-subtract, then mask companion sources: crowded cluster-core
+  // cutouts contain neighbors whose light would corrupt every index.
+  const image::Image img =
+      mask_companions(subtract_background(cutout, bg), bg.sigma);
+
+  const double frame_limit = std::min(cutout.width(), cutout.height()) / 2.0 - 1.0;
+  const Centroid centroid = find_centroid(img, frame_limit);
+  p.centroid_x = centroid.x;
+  p.centroid_y = centroid.y;
+
+  const auto r_p = petrosian_radius(img, centroid.x, centroid.y,
+                                    options.petrosian_eta, frame_limit);
+  if (!r_p) return invalid("no Petrosian radius (source too faint or absent)");
+  p.petrosian_r = *r_p;
+
+  const double aperture =
+      std::min(options.aperture_petrosian_factor * *r_p, frame_limit);
+  p.total_flux = aperture_flux(img, centroid.x, centroid.y, aperture);
+  if (p.total_flux <= 0.0) return invalid("non-positive aperture flux");
+
+  const double n_pix = kPi * aperture * aperture;
+  p.snr = bg.sigma > 0.0 ? p.total_flux / (bg.sigma * std::sqrt(n_pix)) : 1e9;
+  if (p.snr < options.min_snr) {
+    return invalid(format("S/N %.2f below threshold %.2f", p.snr, options.min_snr));
+  }
+
+  // --- average surface brightness, mag/arcsec^2 ---
+  const double area_arcsec2 =
+      n_pix * options.pixel_scale_arcsec * options.pixel_scale_arcsec;
+  p.surface_brightness = options.zero_point - 2.5 * std::log10(p.total_flux) +
+                         2.5 * std::log10(area_arcsec2);
+
+  // --- concentration ---
+  const auto r20 =
+      radius_enclosing(img, centroid.x, centroid.y, 0.2, p.total_flux, aperture);
+  const auto r80 =
+      radius_enclosing(img, centroid.x, centroid.y, 0.8, p.total_flux, aperture);
+  if (!r20 || !r80 || *r20 <= 0.0) return invalid("curve of growth undefined");
+  p.r20 = *r20;
+  p.r80 = *r80;
+  p.concentration = 5.0 * std::log10(*r80 / *r20);
+
+  // --- asymmetry: minimize over sub-pixel recentering (coarse 0.5-pixel
+  // 3x3 grid, then 0.25-pixel refinement about the best), then subtract the
+  // analytic noise floor ---
+  double best = 1e300;
+  double best_x = centroid.x;
+  double best_y = centroid.y;
+  for (double step : {0.5, 0.25}) {
+    const double base_x = best_x;
+    const double base_y = best_y;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const double cx = base_x + dx * step;
+        const double cy = base_y + dy * step;
+        const double a = asymmetry_statistic(img, cx, cy, aperture);
+        if (a < best) {
+          best = a;
+          best_x = cx;
+          best_y = cy;
+        }
+      }
+    }
+  }
+  // The pixel-difference of two independent N(0, sigma) draws has mean
+  // absolute value 2 sigma / sqrt(pi); summed over the aperture and divided
+  // by 2 * flux it is the expected asymmetry of pure noise.
+  const double noise_floor =
+      p.total_flux > 0.0
+          ? n_pix * (2.0 * bg.sigma / std::sqrt(kPi)) / (2.0 * p.total_flux)
+          : 0.0;
+  p.asymmetry = std::max(0.0, best - noise_floor);
+
+  p.valid = true;
+  return p;
+}
+
+}  // namespace nvo::core

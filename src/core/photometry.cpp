@@ -1,0 +1,143 @@
+#include "core/photometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nvo::core {
+
+Centroid find_centroid(const image::Image& img, double radius, int max_iterations) {
+  Centroid c;
+  c.x = (img.width() - 1) / 2.0;
+  c.y = (img.height() - 1) / 2.0;
+  for (int it = 0; it < max_iterations; ++it) {
+    double sum = 0.0;
+    double sx = 0.0;
+    double sy = 0.0;
+    const int x0 = std::max(0, static_cast<int>(c.x - radius));
+    const int x1 = std::min(img.width() - 1, static_cast<int>(c.x + radius));
+    const int y0 = std::max(0, static_cast<int>(c.y - radius));
+    const int y1 = std::min(img.height() - 1, static_cast<int>(c.y + radius));
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        const double dx = x - c.x;
+        const double dy = y - c.y;
+        if (dx * dx + dy * dy > radius * radius) continue;
+        const double w = std::max(0.0f, img.at(x, y));
+        sum += w;
+        sx += w * x;
+        sy += w * y;
+      }
+    }
+    if (sum <= 0.0) return c;  // not converged
+    const double nx = sx / sum;
+    const double ny = sy / sum;
+    const double shift = std::hypot(nx - c.x, ny - c.y);
+    c.x = nx;
+    c.y = ny;
+    if (shift < 0.05) {
+      c.converged = true;
+      return c;
+    }
+  }
+  return c;
+}
+
+double aperture_flux(const image::Image& img, double cx, double cy, double radius) {
+  if (radius <= 0.0) return 0.0;
+  double flux = 0.0;
+  const int x0 = std::max(0, static_cast<int>(std::floor(cx - radius - 1)));
+  const int x1 = std::min(img.width() - 1, static_cast<int>(std::ceil(cx + radius + 1)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(cy - radius - 1)));
+  const int y1 = std::min(img.height() - 1, static_cast<int>(std::ceil(cy + radius + 1)));
+  const double r2 = radius * radius;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const double dx = x - cx;
+      const double dy = y - cy;
+      const double d2 = dx * dx + dy * dy;
+      // Fully inside / outside fast paths (pixel half-diagonal ~0.71).
+      const double d = std::sqrt(d2);
+      if (d <= radius - 0.71) {
+        flux += img.at(x, y);
+        continue;
+      }
+      if (d >= radius + 0.71) continue;
+      // Boundary pixel: 4x4 sub-sampling for the covered fraction.
+      int covered = 0;
+      for (int sy = 0; sy < 4; ++sy) {
+        for (int sx = 0; sx < 4; ++sx) {
+          const double px = x - 0.5 + (sx + 0.5) / 4.0;
+          const double py = y - 0.5 + (sy + 0.5) / 4.0;
+          const double ddx = px - cx;
+          const double ddy = py - cy;
+          if (ddx * ddx + ddy * ddy <= r2) ++covered;
+        }
+      }
+      flux += img.at(x, y) * covered / 16.0;
+    }
+  }
+  return flux;
+}
+
+std::optional<double> radius_enclosing(const image::Image& img, double cx, double cy,
+                                       double fraction, double total_flux,
+                                       double max_radius) {
+  if (total_flux <= 0.0 || fraction <= 0.0 || fraction >= 1.0) return std::nullopt;
+  const double target = fraction * total_flux;
+  double lo = 0.0;
+  double hi = max_radius;
+  if (aperture_flux(img, cx, cy, hi) < target) return std::nullopt;
+  for (int it = 0; it < 40 && hi - lo > 0.01; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (aperture_flux(img, cx, cy, mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double annulus_mean(const image::Image& img, double cx, double cy, double r_in,
+                    double r_out) {
+  double sum = 0.0;
+  int count = 0;
+  const int x0 = std::max(0, static_cast<int>(std::floor(cx - r_out)));
+  const int x1 = std::min(img.width() - 1, static_cast<int>(std::ceil(cx + r_out)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(cy - r_out)));
+  const int y1 = std::min(img.height() - 1, static_cast<int>(std::ceil(cy + r_out)));
+  const double in2 = r_in * r_in;
+  const double out2 = r_out * r_out;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const double dx = x - cx;
+      const double dy = y - cy;
+      const double d2 = dx * dx + dy * dy;
+      if (d2 < in2 || d2 >= out2) continue;
+      sum += img.at(x, y);
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+std::optional<double> petrosian_radius(const image::Image& img, double cx, double cy,
+                                       double eta, double max_radius) {
+  const double limit =
+      std::min({max_radius, static_cast<double>(img.width()),
+                static_cast<double>(img.height())});
+  const double pi = 3.14159265358979323846;
+  for (double r = 1.5; r <= limit; r += 0.5) {
+    const double enclosed = aperture_flux(img, cx, cy, r);
+    const double area = pi * r * r;
+    const double mean_interior = enclosed / area;
+    if (mean_interior <= 0.0) return std::nullopt;
+    // Fixed +-0.8 pixel band: a proportional band (0.9r..1.1r) is empty of
+    // pixel centers at small radii on the integer lattice.
+    const double local = annulus_mean(img, cx, cy, std::max(r - 0.8, 0.0), r + 0.8);
+    if (local < eta * mean_interior) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace nvo::core

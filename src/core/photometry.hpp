@@ -1,0 +1,49 @@
+// Aperture photometry primitives underlying the morphology parameters:
+// flux-weighted centroiding, circular-aperture flux with sub-pixel edge
+// weighting, curve-of-growth radii (r20/r80 for the concentration index),
+// and a Petrosian-style total-light radius that sets the measurement
+// aperture independently of redshift dimming.
+#pragma once
+
+#include <optional>
+
+#include "image/image.hpp"
+
+namespace nvo::core {
+
+struct Centroid {
+  double x = 0.0;
+  double y = 0.0;
+  bool converged = false;
+};
+
+/// Iterative flux-weighted centroid: starts at the frame center, computes
+/// the first moment within `radius`, recenters, and repeats until the shift
+/// falls below 0.05 pixels (or `max_iterations`). Works on
+/// background-subtracted data; negative pixels are clamped to zero in the
+/// weights so noise cannot drag the centroid off the source.
+Centroid find_centroid(const image::Image& img, double radius,
+                       int max_iterations = 12);
+
+/// Flux within a circular aperture (sub-pixel edge handling by 2x2
+/// sub-sampling of boundary pixels).
+double aperture_flux(const image::Image& img, double cx, double cy, double radius);
+
+/// Smallest radius whose enclosed flux reaches `fraction` of `total_flux`,
+/// by bisection on the (monotone) curve of growth. nullopt when the total
+/// is non-positive or the fraction is not reached within `max_radius`.
+std::optional<double> radius_enclosing(const image::Image& img, double cx, double cy,
+                                       double fraction, double total_flux,
+                                       double max_radius);
+
+/// Mean surface brightness in an annulus [r_in, r_out).
+double annulus_mean(const image::Image& img, double cx, double cy, double r_in,
+                    double r_out);
+
+/// Petrosian radius: the radius where the local annular surface brightness
+/// falls to `eta` (default 0.2) of the mean surface brightness interior to
+/// it. Scanned outward in 0.5-pixel steps; nullopt if never reached.
+std::optional<double> petrosian_radius(const image::Image& img, double cx, double cy,
+                                       double eta = 0.2, double max_radius = 1e9);
+
+}  // namespace nvo::core

@@ -1,0 +1,157 @@
+#include "core/segmentation.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+namespace nvo::core {
+
+Segmentation segment(const image::Image& img, double threshold,
+                     double central_box_fraction) {
+  Segmentation seg;
+  seg.width = img.width();
+  seg.height = img.height();
+  seg.labels.assign(img.size(), 0);
+
+  // Flood-fill labeling, 4-connectivity.
+  for (int y = 0; y < seg.height; ++y) {
+    for (int x = 0; x < seg.width; ++x) {
+      const std::size_t idx = static_cast<std::size_t>(y) * seg.width + x;
+      if (seg.labels[idx] != 0 || img.at(x, y) < threshold) continue;
+      const int label = ++seg.count;
+      std::deque<std::pair<int, int>> frontier{{x, y}};
+      seg.labels[idx] = label;
+      while (!frontier.empty()) {
+        const auto [cx, cy] = frontier.front();
+        frontier.pop_front();
+        const int nx[4] = {cx - 1, cx + 1, cx, cx};
+        const int ny[4] = {cy, cy, cy - 1, cy + 1};
+        for (int k = 0; k < 4; ++k) {
+          if (!img.in_bounds(nx[k], ny[k])) continue;
+          const std::size_t nidx =
+              static_cast<std::size_t>(ny[k]) * seg.width + nx[k];
+          if (seg.labels[nidx] != 0 || img.at(nx[k], ny[k]) < threshold) continue;
+          seg.labels[nidx] = label;
+          frontier.emplace_back(nx[k], ny[k]);
+        }
+      }
+    }
+  }
+
+  // Central source: brightest above-threshold pixel in the central box.
+  const int bx = static_cast<int>(seg.width * (1.0 - central_box_fraction) / 2.0);
+  const int by = static_cast<int>(seg.height * (1.0 - central_box_fraction) / 2.0);
+  float best = -1e30f;
+  for (int y = by; y < seg.height - by; ++y) {
+    for (int x = bx; x < seg.width - bx; ++x) {
+      if (seg.label_at(x, y) == 0) continue;
+      if (img.at(x, y) > best) {
+        best = img.at(x, y);
+        seg.central = seg.label_at(x, y);
+      }
+    }
+  }
+  return seg;
+}
+
+image::Image mask_companions(const image::Image& img, double background_sigma,
+                             double threshold_sigma, int dilate_pixels,
+                             double deblend_sigma) {
+  const double threshold = std::max(threshold_sigma * background_sigma, 1e-6);
+  const Segmentation seg = segment(img, threshold);
+  if (seg.central == 0) return img;
+
+  // Mark pixels of every non-central low-threshold component.
+  std::vector<std::uint8_t> mask(img.size(), 0);
+  for (int y = 0; y < seg.height; ++y) {
+    for (int x = 0; x < seg.width; ++x) {
+      const int label = seg.label_at(x, y);
+      if (label != 0 && label != seg.central) {
+        mask[static_cast<std::size_t>(y) * seg.width + x] = 1;
+      }
+    }
+  }
+
+  // Deblend the central component: find high-threshold cores inside it.
+  {
+    image::Image central_only(seg.width, seg.height, 0.0f);
+    for (int y = 0; y < seg.height; ++y) {
+      for (int x = 0; x < seg.width; ++x) {
+        if (seg.label_at(x, y) == seg.central) central_only.at(x, y) = img.at(x, y);
+      }
+    }
+    const double high = std::max(deblend_sigma * background_sigma, 10.0 * threshold / threshold_sigma);
+    const Segmentation cores = segment(central_only, high);
+    if (cores.count >= 2 && cores.central != 0) {
+      // Peak position of each core.
+      std::vector<double> peak_x(static_cast<std::size_t>(cores.count) + 1, 0.0);
+      std::vector<double> peak_y(static_cast<std::size_t>(cores.count) + 1, 0.0);
+      std::vector<float> peak_v(static_cast<std::size_t>(cores.count) + 1, -1e30f);
+      for (int y = 0; y < seg.height; ++y) {
+        for (int x = 0; x < seg.width; ++x) {
+          const int c = cores.label_at(x, y);
+          if (c == 0) continue;
+          if (central_only.at(x, y) > peak_v[static_cast<std::size_t>(c)]) {
+            peak_v[static_cast<std::size_t>(c)] = central_only.at(x, y);
+            peak_x[static_cast<std::size_t>(c)] = x;
+            peak_y[static_cast<std::size_t>(c)] = y;
+          }
+        }
+      }
+      // Assign every central-component pixel to the nearest core; mask
+      // pixels claimed by non-central cores.
+      for (int y = 0; y < seg.height; ++y) {
+        for (int x = 0; x < seg.width; ++x) {
+          if (seg.label_at(x, y) != seg.central) continue;
+          int best_core = 0;
+          double best_d2 = 1e300;
+          for (int c = 1; c <= cores.count; ++c) {
+            const double dx = x - peak_x[static_cast<std::size_t>(c)];
+            const double dy = y - peak_y[static_cast<std::size_t>(c)];
+            const double d2 = dx * dx + dy * dy;
+            if (d2 < best_d2) {
+              best_d2 = d2;
+              best_core = c;
+            }
+          }
+          if (best_core != cores.central) {
+            mask[static_cast<std::size_t>(y) * seg.width + x] = 1;
+          }
+        }
+      }
+    }
+  }
+  if (seg.count <= 1 &&
+      std::find(mask.begin(), mask.end(), 1) == mask.end()) {
+    return img;
+  }
+  for (int pass = 0; pass < dilate_pixels; ++pass) {
+    std::vector<std::uint8_t> grown = mask;
+    for (int y = 0; y < seg.height; ++y) {
+      for (int x = 0; x < seg.width; ++x) {
+        if (mask[static_cast<std::size_t>(y) * seg.width + x] == 0) continue;
+        const int nx[4] = {x - 1, x + 1, x, x};
+        const int ny[4] = {y, y, y - 1, y + 1};
+        for (int k = 0; k < 4; ++k) {
+          if (!img.in_bounds(nx[k], ny[k])) continue;
+          const std::size_t nidx =
+              static_cast<std::size_t>(ny[k]) * seg.width + nx[k];
+          // Never eat into the central component itself.
+          if (seg.labels[nidx] == seg.central) continue;
+          grown[nidx] = 1;
+        }
+      }
+    }
+    mask = std::move(grown);
+  }
+
+  image::Image out = img;
+  for (int y = 0; y < seg.height; ++y) {
+    for (int x = 0; x < seg.width; ++x) {
+      if (mask[static_cast<std::size_t>(y) * seg.width + x]) out.at(x, y) = 0.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace nvo::core

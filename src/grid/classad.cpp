@@ -1,0 +1,440 @@
+#include "grid/classad.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace nvo::grid {
+
+std::optional<AdValue> ClassAd::get(const std::string& name) const {
+  const auto it = attrs_.find(name);
+  if (it == attrs_.end()) return std::nullopt;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// expression AST
+// ---------------------------------------------------------------------------
+
+struct AdExpr::Node {
+  enum class Kind {
+    kNumber,
+    kString,
+    kBool,
+    kAttr,
+    kOr,
+    kAnd,
+    kNot,
+    kNeg,
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+  };
+  Kind kind;
+  double number = 0.0;
+  std::string text;  // string literal or attribute name
+  bool boolean = false;
+  std::shared_ptr<const Node> lhs;
+  std::shared_ptr<const Node> rhs;
+};
+
+namespace {
+
+using Node = AdExpr::Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+NodePtr make_leaf(Node::Kind kind) {
+  auto n = std::make_shared<Node>();
+  n->kind = kind;
+  return n;
+}
+
+NodePtr make_binary(Node::Kind kind, NodePtr lhs, NodePtr rhs) {
+  auto n = std::make_shared<Node>();
+  n->kind = kind;
+  n->lhs = std::move(lhs);
+  n->rhs = std::move(rhs);
+  return n;
+}
+
+class ExprParser {
+ public:
+  explicit ExprParser(const std::string& text) : s_(text) {}
+
+  Expected<NodePtr> parse() {
+    auto e = parse_or();
+    if (!e.ok()) return e;
+    skip_ws();
+    if (pos_ != s_.size()) {
+      return Error(ErrorCode::kParseError,
+                   format("trailing input at offset %zu in expression", pos_));
+    }
+    return e;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(std::string_view token) {
+    skip_ws();
+    if (s_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  Expected<NodePtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.ok()) return lhs;
+    while (consume("||")) {
+      auto rhs = parse_and();
+      if (!rhs.ok()) return rhs;
+      lhs = make_binary(Node::Kind::kOr, lhs.value(), rhs.value());
+    }
+    return lhs;
+  }
+
+  Expected<NodePtr> parse_and() {
+    auto lhs = parse_compare();
+    if (!lhs.ok()) return lhs;
+    while (consume("&&")) {
+      auto rhs = parse_compare();
+      if (!rhs.ok()) return rhs;
+      lhs = make_binary(Node::Kind::kAnd, lhs.value(), rhs.value());
+    }
+    return lhs;
+  }
+
+  Expected<NodePtr> parse_compare() {
+    auto lhs = parse_additive();
+    if (!lhs.ok()) return lhs;
+    // Note: order matters — match two-char operators first.
+    struct Op {
+      const char* token;
+      Node::Kind kind;
+    };
+    static const Op ops[] = {{"==", Node::Kind::kEq}, {"!=", Node::Kind::kNe},
+                             {"<=", Node::Kind::kLe}, {">=", Node::Kind::kGe},
+                             {"<", Node::Kind::kLt},  {">", Node::Kind::kGt}};
+    for (const Op& op : ops) {
+      if (consume(op.token)) {
+        auto rhs = parse_additive();
+        if (!rhs.ok()) return rhs;
+        return make_binary(op.kind, lhs.value(), rhs.value());
+      }
+    }
+    return lhs;
+  }
+
+  Expected<NodePtr> parse_additive() {
+    auto lhs = parse_multiplicative();
+    if (!lhs.ok()) return lhs;
+    for (;;) {
+      if (consume("+")) {
+        auto rhs = parse_multiplicative();
+        if (!rhs.ok()) return rhs;
+        lhs = make_binary(Node::Kind::kAdd, lhs.value(), rhs.value());
+      } else if (consume("-")) {
+        auto rhs = parse_multiplicative();
+        if (!rhs.ok()) return rhs;
+        lhs = make_binary(Node::Kind::kSub, lhs.value(), rhs.value());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Expected<NodePtr> parse_multiplicative() {
+    auto lhs = parse_unary();
+    if (!lhs.ok()) return lhs;
+    for (;;) {
+      if (consume("*")) {
+        auto rhs = parse_unary();
+        if (!rhs.ok()) return rhs;
+        lhs = make_binary(Node::Kind::kMul, lhs.value(), rhs.value());
+      } else if (consume("/")) {
+        auto rhs = parse_unary();
+        if (!rhs.ok()) return rhs;
+        lhs = make_binary(Node::Kind::kDiv, lhs.value(), rhs.value());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Expected<NodePtr> parse_unary() {
+    if (consume("!")) {
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      auto n = std::make_shared<Node>();
+      n->kind = Node::Kind::kNot;
+      n->lhs = operand.value();
+      return NodePtr(n);
+    }
+    if (consume("-")) {
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      auto n = std::make_shared<Node>();
+      n->kind = Node::Kind::kNeg;
+      n->lhs = operand.value();
+      return NodePtr(n);
+    }
+    return parse_primary();
+  }
+
+  Expected<NodePtr> parse_primary() {
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      return Error(ErrorCode::kParseError, "unexpected end of expression");
+    }
+    if (consume("(")) {
+      auto inner = parse_or();
+      if (!inner.ok()) return inner;
+      if (!consume(")")) {
+        return Error(ErrorCode::kParseError, "expected ')' in expression");
+      }
+      return inner;
+    }
+    const char c = s_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string value;
+      while (pos_ < s_.size() && s_[pos_] != '"') {
+        if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) ++pos_;
+        value += s_[pos_++];
+      }
+      if (pos_ >= s_.size()) {
+        return Error(ErrorCode::kParseError, "unterminated string literal");
+      }
+      ++pos_;
+      auto n = make_leaf(Node::Kind::kString);
+      const_cast<Node*>(n.get())->text = std::move(value);
+      return n;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      const std::size_t start = pos_;
+      while (pos_ < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+              s_[pos_] == 'e' || s_[pos_] == 'E' ||
+              ((s_[pos_] == '+' || s_[pos_] == '-') && pos_ > start &&
+               (s_[pos_ - 1] == 'e' || s_[pos_ - 1] == 'E')))) {
+        ++pos_;
+      }
+      const auto v = parse_double(s_.substr(start, pos_ - start));
+      if (!v) return Error(ErrorCode::kParseError, "bad numeric literal");
+      auto n = make_leaf(Node::Kind::kNumber);
+      const_cast<Node*>(n.get())->number = *v;
+      return n;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+              s_[pos_] == '_' || s_[pos_] == '.')) {
+        ++pos_;
+      }
+      const std::string name = s_.substr(start, pos_ - start);
+      const std::string lower = to_lower(name);
+      if (lower == "true" || lower == "false") {
+        auto n = make_leaf(Node::Kind::kBool);
+        const_cast<Node*>(n.get())->boolean = lower == "true";
+        return n;
+      }
+      auto n = make_leaf(Node::Kind::kAttr);
+      const_cast<Node*>(n.get())->text = name;
+      return n;
+    }
+    return Error(ErrorCode::kParseError,
+                 format("unexpected character '%c' at offset %zu", c, pos_));
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Numeric view of a value; booleans coerce, strings error.
+Expected<double> as_number(const AdValue& v) {
+  if (const double* d = std::get_if<double>(&v)) return *d;
+  if (const bool* b = std::get_if<bool>(&v)) return *b ? 1.0 : 0.0;
+  return Error(ErrorCode::kInvalidArgument, "string where number expected");
+}
+
+Expected<bool> as_boolean(const AdValue& v) {
+  if (const bool* b = std::get_if<bool>(&v)) return *b;
+  if (const double* d = std::get_if<double>(&v)) return *d != 0.0;
+  return Error(ErrorCode::kInvalidArgument, "string where boolean expected");
+}
+
+Expected<AdValue> eval_node(const Node& node, const ClassAd& my,
+                            const ClassAd& target) {
+  using Kind = Node::Kind;
+  switch (node.kind) {
+    case Kind::kNumber:
+      return AdValue(node.number);
+    case Kind::kString:
+      return AdValue(node.text);
+    case Kind::kBool:
+      return AdValue(node.boolean);
+    case Kind::kAttr: {
+      if (auto v = my.get(node.text)) return *v;
+      if (auto v = target.get(node.text)) return *v;
+      return Error(ErrorCode::kNotFound, "UNDEFINED attribute " + node.text);
+    }
+    case Kind::kNot: {
+      auto v = eval_node(*node.lhs, my, target);
+      if (!v.ok()) return v;
+      auto b = as_boolean(v.value());
+      if (!b.ok()) return b.error();
+      return AdValue(!b.value());
+    }
+    case Kind::kNeg: {
+      auto v = eval_node(*node.lhs, my, target);
+      if (!v.ok()) return v;
+      auto d = as_number(v.value());
+      if (!d.ok()) return d.error();
+      return AdValue(-d.value());
+    }
+    case Kind::kOr:
+    case Kind::kAnd: {
+      // Short-circuit.
+      auto lv = eval_node(*node.lhs, my, target);
+      if (!lv.ok()) return lv;
+      auto lb = as_boolean(lv.value());
+      if (!lb.ok()) return lb.error();
+      if (node.kind == Kind::kOr && lb.value()) return AdValue(true);
+      if (node.kind == Kind::kAnd && !lb.value()) return AdValue(false);
+      auto rv = eval_node(*node.rhs, my, target);
+      if (!rv.ok()) return rv;
+      auto rb = as_boolean(rv.value());
+      if (!rb.ok()) return rb.error();
+      return AdValue(rb.value());
+    }
+    default:
+      break;
+  }
+  // Binary comparisons and arithmetic.
+  auto lv = eval_node(*node.lhs, my, target);
+  if (!lv.ok()) return lv;
+  auto rv = eval_node(*node.rhs, my, target);
+  if (!rv.ok()) return rv;
+  const bool both_strings = std::holds_alternative<std::string>(lv.value()) &&
+                            std::holds_alternative<std::string>(rv.value());
+  switch (node.kind) {
+    case Node::Kind::kEq:
+      if (both_strings) {
+        return AdValue(std::get<std::string>(lv.value()) ==
+                       std::get<std::string>(rv.value()));
+      }
+      break;
+    case Node::Kind::kNe:
+      if (both_strings) {
+        return AdValue(std::get<std::string>(lv.value()) !=
+                       std::get<std::string>(rv.value()));
+      }
+      break;
+    default:
+      if (both_strings) {
+        return Error(ErrorCode::kInvalidArgument, "string arithmetic");
+      }
+  }
+  auto ld = as_number(lv.value());
+  if (!ld.ok()) return ld.error();
+  auto rd = as_number(rv.value());
+  if (!rd.ok()) return rd.error();
+  switch (node.kind) {
+    case Node::Kind::kEq:
+      return AdValue(ld.value() == rd.value());
+    case Node::Kind::kNe:
+      return AdValue(ld.value() != rd.value());
+    case Node::Kind::kLt:
+      return AdValue(ld.value() < rd.value());
+    case Node::Kind::kLe:
+      return AdValue(ld.value() <= rd.value());
+    case Node::Kind::kGt:
+      return AdValue(ld.value() > rd.value());
+    case Node::Kind::kGe:
+      return AdValue(ld.value() >= rd.value());
+    case Node::Kind::kAdd:
+      return AdValue(ld.value() + rd.value());
+    case Node::Kind::kSub:
+      return AdValue(ld.value() - rd.value());
+    case Node::Kind::kMul:
+      return AdValue(ld.value() * rd.value());
+    case Node::Kind::kDiv:
+      if (rd.value() == 0.0) {
+        return Error(ErrorCode::kInvalidArgument, "division by zero");
+      }
+      return AdValue(ld.value() / rd.value());
+    default:
+      return Error(ErrorCode::kInternal, "unhandled expression node");
+  }
+}
+
+}  // namespace
+
+Expected<AdExpr> AdExpr::parse(const std::string& text) {
+  ExprParser parser(text);
+  auto root = parser.parse();
+  if (!root.ok()) return root.error();
+  AdExpr expr;
+  expr.root_ = std::move(root.value());
+  expr.text_ = text;
+  return expr;
+}
+
+Expected<AdValue> AdExpr::eval(const ClassAd& my, const ClassAd& target) const {
+  if (!root_) return Error(ErrorCode::kInvalidArgument, "empty expression");
+  return eval_node(*root_, my, target);
+}
+
+bool AdExpr::eval_bool(const ClassAd& my, const ClassAd& target) const {
+  auto v = eval(my, target);
+  if (!v.ok()) return false;  // UNDEFINED -> no match
+  auto b = as_boolean(v.value());
+  return b.ok() && b.value();
+}
+
+double AdExpr::eval_rank(const ClassAd& my, const ClassAd& target) const {
+  auto v = eval(my, target);
+  if (!v.ok()) return 0.0;
+  auto d = as_number(v.value());
+  return d.ok() ? d.value() : 0.0;
+}
+
+std::vector<Matchmaker::Candidate> Matchmaker::matches(const JobAd& job) const {
+  std::vector<Candidate> out;
+  for (const MachineAd& machine : machines_) {
+    // Two-way matching: the job's requirements against the machine, and
+    // the machine's policy against the job.
+    if (!job.requirements.eval_bool(job.ad, machine.ad)) continue;
+    if (!machine.requirements.eval_bool(machine.ad, job.ad)) continue;
+    out.push_back({machine.name, job.rank.eval_rank(job.ad, machine.ad)});
+  }
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.rank != b.rank) return a.rank > b.rank;
+    return a.machine < b.machine;
+  });
+  return out;
+}
+
+std::optional<std::string> Matchmaker::match(const JobAd& job) const {
+  const auto all = matches(job);
+  if (all.empty()) return std::nullopt;
+  return all.front().machine;
+}
+
+}  // namespace nvo::grid

@@ -1,0 +1,117 @@
+// Condor ClassAd matchmaking. The paper: "The scheduling of jobs within a
+// condor pool is left to the condor matchmaking system" (§3.3). This is
+// that system, reduced to its core: jobs and machines advertise attribute
+// sets (ClassAds); a job matches a machine when both `requirements`
+// expressions evaluate true against the other's ad; among matches, the
+// job's `rank` expression orders preference. Expressions are parsed from a
+// ClassAd-like grammar:
+//
+//   requirements = "Memory >= 512 && Arch == \"x86\" && LoadAvg < 0.5"
+//   rank         = "Mips + 1000 * (OpSys == \"LINUX\")"
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace nvo::grid {
+
+/// Attribute value: number, string, or boolean.
+using AdValue = std::variant<double, std::string, bool>;
+
+/// An attribute set ("ClassAd"). `other` attribute references in an
+/// expression resolve first in the subject ad, then in the candidate ad
+/// (a simplification of ClassAd MY./TARGET. scoping: unqualified names try
+/// MY first, then TARGET).
+class ClassAd {
+ public:
+  void set(const std::string& name, double value) { attrs_[name] = value; }
+  void set(const std::string& name, const std::string& value) {
+    attrs_[name] = value;
+  }
+  void set(const std::string& name, const char* value) {
+    attrs_[name] = std::string(value);
+  }
+  void set(const std::string& name, bool value) { attrs_[name] = value; }
+
+  std::optional<AdValue> get(const std::string& name) const;
+  std::size_t size() const { return attrs_.size(); }
+
+ private:
+  std::map<std::string, AdValue> attrs_;
+};
+
+/// A parsed expression, evaluable against (my, target) ad pairs.
+class AdExpr {
+ public:
+  /// Parses the expression grammar: ||, &&, comparisons
+  /// (== != < <= > >=), + -, * /, unary !/-, parentheses, numeric and
+  /// string literals, true/false, and attribute names.
+  static Expected<AdExpr> parse(const std::string& text);
+
+  /// Evaluates to a value; attribute lookups miss -> evaluation error
+  /// (ClassAd UNDEFINED, which fails requirements).
+  Expected<AdValue> eval(const ClassAd& my, const ClassAd& target) const;
+
+  /// Boolean evaluation: errors and non-boolean results count as false
+  /// (UNDEFINED semantics for requirements).
+  bool eval_bool(const ClassAd& my, const ClassAd& target) const;
+
+  /// Numeric evaluation for rank: errors count as 0 (lowest preference);
+  /// booleans coerce to 0/1.
+  double eval_rank(const ClassAd& my, const ClassAd& target) const;
+
+  const std::string& text() const { return text_; }
+
+  /// AST node; public so the out-of-line parser in classad.cpp can build
+  /// trees (the type is still opaque to library users).
+  struct Node;
+
+ private:
+  std::shared_ptr<const Node> root_;
+  std::string text_;
+};
+
+/// A machine in the pool.
+struct MachineAd {
+  std::string name;
+  ClassAd ad;
+  AdExpr requirements;  ///< machine's own policy ("START expression")
+};
+
+/// A job to place.
+struct JobAd {
+  std::string id;
+  ClassAd ad;
+  AdExpr requirements;
+  AdExpr rank;  ///< higher is better
+};
+
+/// The negotiator: finds the best matching machine for a job, two-way
+/// (job.requirements against machine, machine.requirements against job),
+/// ranked by job.rank then by machine name for determinism.
+class Matchmaker {
+ public:
+  void add_machine(MachineAd machine) { machines_.push_back(std::move(machine)); }
+  std::size_t num_machines() const { return machines_.size(); }
+
+  /// Best match, or nullopt when nothing matches.
+  std::optional<std::string> match(const JobAd& job) const;
+
+  /// All matches with their rank values, best first.
+  struct Candidate {
+    std::string machine;
+    double rank = 0.0;
+  };
+  std::vector<Candidate> matches(const JobAd& job) const;
+
+ private:
+  std::vector<MachineAd> machines_;
+};
+
+}  // namespace nvo::grid

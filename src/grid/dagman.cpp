@@ -1,0 +1,349 @@
+#include "grid/dagman.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <queue>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace nvo::grid {
+
+const NodeResult* RunReport::result_for(const std::string& id) const {
+  for (const NodeResult& r : nodes) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// DagManSim
+// ---------------------------------------------------------------------------
+
+DagManSim::DagManSim(const Grid& grid, JobCostModel cost, FailureModel failure,
+                     std::uint64_t seed)
+    : grid_(grid), cost_(std::move(cost)), failure_(failure), rng_(seed) {}
+
+namespace {
+
+struct SimEvent {
+  double time = 0.0;
+  std::size_t sequence = 0;  // tie-break for determinism
+  std::string node_id;
+  bool operator>(const SimEvent& other) const {
+    if (time != other.time) return time > other.time;
+    return sequence > other.sequence;
+  }
+};
+
+}  // namespace
+
+Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
+  auto order = dag.topological_order();
+  if (!order.ok()) return order.error();
+
+  RunReport report;
+  report.jobs_total = dag.num_nodes();
+
+  // Validate sites and classify nodes up front.
+  for (const std::string& id : dag.node_ids()) {
+    const vds::DagNode* n = dag.node(id);
+    switch (n->type) {
+      case vds::JobType::kCompute:
+        ++report.compute_jobs;
+        if (!grid_.site(n->site)) {
+          return Error(ErrorCode::kInvalidArgument,
+                       "compute node " + id + " mapped to unknown site '" + n->site +
+                           "'");
+        }
+        break;
+      case vds::JobType::kTransfer:
+        ++report.transfer_jobs;
+        break;
+      case vds::JobType::kRegister:
+        ++report.register_jobs;
+        break;
+    }
+  }
+
+  std::map<std::string, NodeResult> results;
+  std::map<std::string, std::size_t> waiting_parents;
+  for (const std::string& id : dag.node_ids()) {
+    waiting_parents[id] = dag.parents(id).size();
+    NodeResult r;
+    r.id = id;
+    results[id] = r;
+  }
+
+  std::map<std::string, int> free_slots;
+  for (const SiteConfig& s : grid_.sites()) free_slots[s.name] = s.slots;
+
+  // Per-site FIFO of compute nodes awaiting a slot; transfers/registers
+  // dispatch immediately.
+  std::map<std::string, std::deque<std::string>> site_queue;
+  std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<>> events;
+  std::size_t sequence = 0;
+  double now = 0.0;
+  std::map<std::string, int> attempts;
+  std::set<std::string> failed_permanently;
+
+  auto duration_of = [&](const vds::DagNode& n) -> double {
+    switch (n.type) {
+      case vds::JobType::kCompute: {
+        const double ref = cost_.compute_seconds ? cost_.compute_seconds(n)
+                                                 : cost_.compute_reference_seconds;
+        const SiteConfig* site = grid_.site(n.site);
+        return ref / std::max(site ? site->speed_factor : 1.0, 1e-6);
+      }
+      case vds::JobType::kTransfer:
+        return grid_.transfer_seconds(n.source_site, n.site, n.file);
+      case vds::JobType::kRegister:
+        return cost_.register_seconds;
+    }
+    return 0.0;
+  };
+
+  auto start_node = [&](const std::string& id) {
+    const vds::DagNode* n = dag.node(id);
+    NodeResult& r = results[id];
+    if (r.attempts == 0) r.start_seconds = now;
+    ++r.attempts;
+    r.site = n->site;
+    const double d = duration_of(*n);
+    if (n->type == vds::JobType::kCompute) {
+      report.site_busy_seconds[n->site] += d;
+    }
+    events.push(SimEvent{now + d, ++sequence, id});
+  };
+
+  auto dispatch = [&](const std::string& id) {
+    const vds::DagNode* n = dag.node(id);
+    if (n->type == vds::JobType::kCompute) {
+      if (free_slots[n->site] > 0) {
+        --free_slots[n->site];
+        start_node(id);
+      } else {
+        site_queue[n->site].push_back(id);
+      }
+    } else {
+      start_node(id);
+    }
+  };
+
+  // Seed with roots.
+  for (const std::string& id : dag.node_ids()) {
+    if (waiting_parents[id] == 0) dispatch(id);
+  }
+
+  std::size_t completed = 0;
+  while (!events.empty()) {
+    const SimEvent ev = events.top();
+    events.pop();
+    now = ev.time;
+    const vds::DagNode* n = dag.node(ev.node_id);
+    NodeResult& r = results[ev.node_id];
+
+    // Outcome draw.
+    bool failed = failure_.permanent_failures.count(ev.node_id) != 0;
+    if (!failed) {
+      const double rate = n->type == vds::JobType::kTransfer
+                              ? failure_.transfer_failure_rate
+                              : n->type == vds::JobType::kCompute
+                                    ? failure_.compute_failure_rate
+                                    : 0.0;
+      failed = rate > 0.0 && rng_.bernoulli(rate);
+    }
+
+    if (failed && r.attempts <= failure_.max_retries) {
+      ++report.retries;
+      ++r.attempts;
+      // Retry in place: the slot is still held (DAGMan resubmits).
+      const double d = duration_of(*n);
+      if (n->type == vds::JobType::kCompute) report.site_busy_seconds[n->site] += d;
+      events.push(SimEvent{now + d, ++sequence, ev.node_id});
+      continue;
+    }
+
+    // Slot release.
+    if (n->type == vds::JobType::kCompute) {
+      auto& q = site_queue[n->site];
+      if (!q.empty()) {
+        const std::string next = q.front();
+        q.pop_front();
+        start_node(next);  // slot handed directly to the next queued job
+      } else {
+        ++free_slots[n->site];
+      }
+    }
+
+    r.end_seconds = now;
+    ++completed;
+    if (failed) {
+      r.outcome = NodeOutcome::kFailed;
+      failed_permanently.insert(ev.node_id);
+      ++report.jobs_failed;
+      continue;  // descendants stay blocked -> reported skipped
+    }
+    r.outcome = NodeOutcome::kSucceeded;
+    ++report.jobs_succeeded;
+    for (const std::string& child : dag.children(ev.node_id)) {
+      if (--waiting_parents[child] == 0) dispatch(child);
+    }
+  }
+
+  report.makespan_seconds = now;
+  for (const std::string& id : dag.node_ids()) {
+    const NodeResult& r = results[id];
+    if (r.outcome == NodeOutcome::kSkipped) ++report.jobs_skipped;
+    report.nodes.push_back(r);
+  }
+  report.workflow_succeeded = report.jobs_succeeded == report.jobs_total;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// DagManLocal
+// ---------------------------------------------------------------------------
+
+void DagManLocal::register_payload(const std::string& transformation, Payload payload) {
+  payloads_[transformation] = std::move(payload);
+}
+
+Expected<RunReport> DagManLocal::run(const vds::Dag& dag) {
+  auto order = dag.topological_order();
+  if (!order.ok()) return order.error();
+
+  // Pre-flight: every compute node needs a payload.
+  for (const std::string& id : dag.node_ids()) {
+    const vds::DagNode* n = dag.node(id);
+    if (n->type == vds::JobType::kCompute && !payloads_.count(n->transformation)) {
+      return Error(ErrorCode::kNotFound,
+                   "no payload registered for transformation '" + n->transformation +
+                       "'");
+    }
+  }
+
+  struct State {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::map<std::string, std::size_t> waiting_parents;
+    std::map<std::string, NodeResult> results;
+    std::size_t outstanding = 0;  // dispatched but not finished
+  };
+  State state;
+  for (const std::string& id : dag.node_ids()) {
+    state.waiting_parents[id] = dag.parents(id).size();
+    NodeResult r;
+    r.id = id;
+    state.results[id] = r;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto wall_seconds = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+
+  // Recursive dispatch: run a node's payload on the pool; on success push
+  // newly-ready children. The caller must have incremented
+  // state.outstanding for `id` already (under the lock), so the counter can
+  // never dip to zero while a ready child awaits submission.
+  std::function<void(const std::string&)> dispatch = [&](const std::string& id) {
+    pool_.submit([&, id] {
+      const vds::DagNode* n = dag.node(id);
+      const double start = wall_seconds();
+      Status status = Status::Ok();
+      switch (n->type) {
+        case vds::JobType::kCompute:
+          status = payloads_.at(n->transformation)(*n);
+          break;
+        case vds::JobType::kTransfer:
+          if (transfer_hook_) status = transfer_hook_(*n);
+          break;
+        case vds::JobType::kRegister:
+          if (register_hook_) status = register_hook_(*n);
+          break;
+      }
+      std::vector<std::string> ready;
+      {
+        std::lock_guard lock(state.mutex);
+        NodeResult& r = state.results[id];
+        r.attempts = 1;
+        r.start_seconds = start;
+        r.end_seconds = wall_seconds();
+        r.site = n->site;
+        if (status.ok()) {
+          r.outcome = NodeOutcome::kSucceeded;
+          for (const std::string& child : dag.children(id)) {
+            if (--state.waiting_parents[child] == 0) {
+              ready.push_back(child);
+              ++state.outstanding;  // reserve before our own decrement
+            }
+          }
+        } else {
+          r.outcome = NodeOutcome::kFailed;
+          log_warn("dagman", "node " + id + " failed: " + status.error().to_string());
+        }
+        --state.outstanding;
+        if (state.outstanding == 0) state.done_cv.notify_all();
+      }
+      for (const std::string& child : ready) dispatch(child);
+    });
+  };
+
+  std::vector<std::string> roots;
+  {
+    std::lock_guard lock(state.mutex);
+    for (const std::string& id : dag.node_ids()) {
+      if (state.waiting_parents[id] == 0) {
+        roots.push_back(id);
+        ++state.outstanding;
+      }
+    }
+  }
+  for (const std::string& id : roots) dispatch(id);
+
+  {
+    std::unique_lock lock(state.mutex);
+    state.done_cv.wait(lock, [&] { return state.outstanding == 0; });
+  }
+  pool_.wait_idle();
+
+  RunReport report;
+  report.jobs_total = dag.num_nodes();
+  report.makespan_seconds = wall_seconds();
+  for (const std::string& id : dag.node_ids()) {
+    const vds::DagNode* n = dag.node(id);
+    switch (n->type) {
+      case vds::JobType::kCompute:
+        ++report.compute_jobs;
+        break;
+      case vds::JobType::kTransfer:
+        ++report.transfer_jobs;
+        break;
+      case vds::JobType::kRegister:
+        ++report.register_jobs;
+        break;
+    }
+    const NodeResult& r = state.results[id];
+    switch (r.outcome) {
+      case NodeOutcome::kSucceeded:
+        ++report.jobs_succeeded;
+        break;
+      case NodeOutcome::kFailed:
+        ++report.jobs_failed;
+        break;
+      case NodeOutcome::kSkipped:
+        ++report.jobs_skipped;
+        break;
+    }
+    report.nodes.push_back(r);
+  }
+  report.workflow_succeeded = report.jobs_succeeded == report.jobs_total;
+  return report;
+}
+
+}  // namespace nvo::grid

@@ -1,0 +1,89 @@
+#include "grid/grid.hpp"
+
+#include <algorithm>
+
+namespace nvo::grid {
+
+Status Grid::add_site(SiteConfig config) {
+  for (const SiteConfig& s : sites_) {
+    if (s.name == config.name) return Error(ErrorCode::kAlreadyExists, config.name);
+  }
+  files_at_site_[config.name];
+  sites_.push_back(std::move(config));
+  return Status::Ok();
+}
+
+const SiteConfig* Grid::site(const std::string& name) const {
+  for (const SiteConfig& s : sites_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Grid::site_names() const {
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const SiteConfig& s : sites_) out.push_back(s.name);
+  return out;
+}
+
+void Grid::put_file(const std::string& site_name, const std::string& lfn,
+                    std::size_t bytes) {
+  files_at_site_[site_name].insert(lfn);
+  file_bytes_[lfn] = bytes;
+}
+
+bool Grid::has_file(const std::string& site_name, const std::string& lfn) const {
+  const auto it = files_at_site_.find(site_name);
+  return it != files_at_site_.end() && it->second.count(lfn) != 0;
+}
+
+void Grid::remove_file(const std::string& site_name, const std::string& lfn) {
+  const auto it = files_at_site_.find(site_name);
+  if (it != files_at_site_.end()) it->second.erase(lfn);
+}
+
+std::optional<std::size_t> Grid::file_size(const std::string& lfn) const {
+  const auto it = file_bytes_.find(lfn);
+  if (it == file_bytes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> Grid::locations(const std::string& lfn) const {
+  std::vector<std::string> out;
+  for (const auto& [site_name, lfns] : files_at_site_) {
+    if (lfns.count(lfn)) out.push_back(site_name);
+  }
+  return out;
+}
+
+double Grid::transfer_seconds_for_bytes(const std::string& src, const std::string& dst,
+                                        std::size_t bytes) const {
+  if (src == dst) return 0.0;
+  const SiteConfig* a = site(src);
+  const SiteConfig* b = site(dst);
+  // Unknown endpoints (e.g. a user-facing storage location outside the
+  // grid) get a conservative default channel.
+  const double latency_ms =
+      (a ? a->gridftp_latency_ms : 50.0) + (b ? b->gridftp_latency_ms : 50.0);
+  const double bandwidth =
+      std::min(a ? a->gridftp_bandwidth_mbps : 10.0, b ? b->gridftp_bandwidth_mbps : 10.0);
+  const double megabits = static_cast<double>(bytes) * 8.0 / 1e6;
+  return latency_ms / 1000.0 + (bandwidth > 0.0 ? megabits / bandwidth : 0.0);
+}
+
+double Grid::transfer_seconds(const std::string& src, const std::string& dst,
+                              const std::string& lfn) const {
+  return transfer_seconds_for_bytes(src, dst,
+                                    file_size(lfn).value_or(default_file_bytes));
+}
+
+Grid make_paper_grid() {
+  Grid g;
+  (void)g.add_site({"isi", 6, 1.0, 15.0, 155.0});        // close to the data
+  (void)g.add_site({"uwisc", 24, 0.8, 35.0, 45.0});      // big flock, slower WAN
+  (void)g.add_site({"fermilab", 12, 1.2, 25.0, 100.0});  // fast farm nodes
+  return g;
+}
+
+}  // namespace nvo::grid

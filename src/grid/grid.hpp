@@ -1,0 +1,67 @@
+// The simulated computational grid: compute sites (Condor pools) with
+// bounded worker slots and per-site storage, plus the inter-site transfer
+// model (GridFTP-class bulk transport, "which provides much better
+// performance than the SIA", §4.3.1). The paper's campaign ran on three
+// pools — USC/ISI, University of Wisconsin, and Fermilab — which
+// make_paper_grid reproduces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace nvo::grid {
+
+struct SiteConfig {
+  std::string name;
+  int slots = 8;               ///< concurrent jobs the pool can run
+  double speed_factor = 1.0;   ///< relative CPU speed (1 = reference)
+  double gridftp_latency_ms = 20.0;
+  double gridftp_bandwidth_mbps = 100.0;  ///< per-stream WAN bandwidth
+};
+
+/// Storage-and-sites model. Files are logical names with sizes; a file may
+/// be replicated at several sites (what the RLS indexes).
+class Grid {
+ public:
+  Status add_site(SiteConfig config);
+
+  const std::vector<SiteConfig>& sites() const { return sites_; }
+  const SiteConfig* site(const std::string& name) const;
+  std::vector<std::string> site_names() const;
+
+  /// Storage operations.
+  void put_file(const std::string& site, const std::string& lfn, std::size_t bytes);
+  bool has_file(const std::string& site, const std::string& lfn) const;
+  void remove_file(const std::string& site, const std::string& lfn);
+  std::optional<std::size_t> file_size(const std::string& lfn) const;
+  /// Sites currently holding the file.
+  std::vector<std::string> locations(const std::string& lfn) const;
+
+  /// Simulated seconds to move `lfn` from src to dst (latency + size over
+  /// the min of the two endpoints' bandwidth). Unknown file sizes use
+  /// `default_file_bytes`.
+  double transfer_seconds(const std::string& src, const std::string& dst,
+                          const std::string& lfn) const;
+  double transfer_seconds_for_bytes(const std::string& src, const std::string& dst,
+                                    std::size_t bytes) const;
+
+  std::size_t default_file_bytes = 64 * 1024;
+
+ private:
+  std::vector<SiteConfig> sites_;
+  std::map<std::string, std::set<std::string>> files_at_site_;  // site -> lfns
+  std::map<std::string, std::size_t> file_bytes_;               // lfn -> size
+};
+
+/// The three Condor pools of paper §5, with distinct sizes and speeds
+/// (Wisconsin's flock is big but heterogeneous, ISI's small but close to
+/// the data, Fermilab in between).
+Grid make_paper_grid();
+
+}  // namespace nvo::grid

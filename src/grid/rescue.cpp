@@ -1,0 +1,89 @@
+#include "grid/rescue.hpp"
+
+#include <map>
+
+namespace nvo::grid {
+
+Expected<vds::Dag> make_rescue_dag(const vds::Dag& concrete,
+                                   const RunReport& report) {
+  vds::Dag rescue;
+  for (const NodeResult& r : report.nodes) {
+    if (r.outcome == NodeOutcome::kSucceeded) continue;
+    const vds::DagNode* n = concrete.node(r.id);
+    if (!n) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "report names unknown node " + r.id);
+    }
+    if (const Status s = rescue.add_node(*n); !s.ok()) return s.error();
+  }
+  for (const std::string& id : rescue.node_ids()) {
+    for (const std::string& child : concrete.children(id)) {
+      if (rescue.has_node(child)) {
+        if (const Status s = rescue.add_edge(id, child); !s.ok()) return s.error();
+      }
+    }
+  }
+  return rescue;
+}
+
+Expected<RescueOutcome> run_with_rescue(DagManSim& dagman, const vds::Dag& concrete,
+                                        int max_rounds) {
+  RescueOutcome outcome;
+  std::map<std::string, NodeResult> latest;
+
+  vds::Dag current = concrete;
+  for (int round = 0; round < max_rounds && !current.empty(); ++round) {
+    auto report = dagman.run(current);
+    if (!report.ok()) return report.error();
+    ++outcome.rounds;
+    for (const NodeResult& r : report->nodes) latest[r.id] = r;
+    if (report->workflow_succeeded) break;
+    auto rescue = make_rescue_dag(current, report.value());
+    if (!rescue.ok()) return rescue.error();
+    current = std::move(rescue.value());
+  }
+
+  // Merge the final per-node outcomes into a report shaped like a single
+  // run over the original DAG.
+  RunReport& merged = outcome.final_report;
+  merged.jobs_total = concrete.num_nodes();
+  for (const std::string& id : concrete.node_ids()) {
+    const vds::DagNode* n = concrete.node(id);
+    switch (n->type) {
+      case vds::JobType::kCompute:
+        ++merged.compute_jobs;
+        break;
+      case vds::JobType::kTransfer:
+        ++merged.transfer_jobs;
+        break;
+      case vds::JobType::kRegister:
+        ++merged.register_jobs;
+        break;
+    }
+    const auto it = latest.find(id);
+    NodeResult r;
+    if (it != latest.end()) {
+      r = it->second;
+    } else {
+      r.id = id;
+    }
+    switch (r.outcome) {
+      case NodeOutcome::kSucceeded:
+        ++merged.jobs_succeeded;
+        break;
+      case NodeOutcome::kFailed:
+        ++merged.jobs_failed;
+        break;
+      case NodeOutcome::kSkipped:
+        ++merged.jobs_skipped;
+        break;
+    }
+    merged.makespan_seconds = std::max(merged.makespan_seconds, r.end_seconds);
+    merged.nodes.push_back(std::move(r));
+  }
+  merged.workflow_succeeded = merged.jobs_succeeded == merged.jobs_total;
+  outcome.fully_succeeded = merged.workflow_succeeded;
+  return outcome;
+}
+
+}  // namespace nvo::grid

@@ -1,0 +1,33 @@
+// DAGMan rescue DAGs. When a DAGMan run ends with failures, Condor's DAGMan
+// writes a "rescue DAG" containing the not-yet-completed portion so the
+// workflow can be resubmitted without redoing finished work — the
+// between-runs counterpart of the paper's per-galaxy fault tolerance. Given
+// an executed concrete DAG and its report, build the DAG of failed +
+// skipped nodes (succeeded nodes are dropped; edges from succeeded parents
+// vanish since those inputs now exist).
+#pragma once
+
+#include "common/expected.hpp"
+#include "grid/dagman.hpp"
+#include "vds/dag.hpp"
+
+namespace nvo::grid {
+
+/// The rescue workflow: every node that did not succeed, with the edges
+/// among them preserved. Succeeded nodes are treated as materialized — the
+/// same assumption Pegasus reduction makes about RLS replicas.
+Expected<vds::Dag> make_rescue_dag(const vds::Dag& concrete, const RunReport& report);
+
+/// Convenience loop: run, and while failures remain, rescue + rerun, up to
+/// `max_rounds`. Each round only re-attempts the unfinished portion.
+/// Returns the merged report of the final state (every node's last
+/// outcome) plus how many rounds ran.
+struct RescueOutcome {
+  RunReport final_report;       ///< outcome per original node (merged)
+  std::size_t rounds = 0;       ///< executions performed (>= 1)
+  bool fully_succeeded = false;
+};
+Expected<RescueOutcome> run_with_rescue(DagManSim& dagman, const vds::Dag& concrete,
+                                        int max_rounds = 3);
+
+}  // namespace nvo::grid

@@ -1,0 +1,53 @@
+// Work-queue thread pool for real (non-simulated) execution of workflow
+// payloads — the role the Condor pools' worker nodes played. Follows the
+// C++ Core Guidelines concurrency rules: jthread-based workers joined by
+// RAII, condition-variable signalling, no detached threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nvo::grid {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 means hardware_concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (payload errors are reported
+  /// through their own channels; an escaping exception terminates).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void worker_loop(std::stop_token stop);
+
+  std::mutex mutex_;
+  std::condition_variable_any work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  std::vector<std::jthread> workers_;  // declared last: joins before members die
+};
+
+/// Runs fn(i) for i in [0, n) across the pool, blocking until done. Chunked
+/// to amortize queue overhead on fine-grained loops.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace nvo::grid

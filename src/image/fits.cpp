@@ -1,0 +1,379 @@
+#include "image/fits.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "common/strings.hpp"
+
+namespace nvo::image {
+
+namespace {
+
+constexpr std::size_t kRecord = 2880;
+constexpr std::size_t kCard = 80;
+
+std::string format_card(const FitsCard& card) {
+  // KEYWORD = value / comment, padded to 80 columns.
+  std::string out = card.keyword;
+  out.resize(8, ' ');
+  if (card.keyword == "COMMENT" || card.keyword == "HISTORY" || card.keyword == "END") {
+    out += card.value;
+  } else {
+    out += "= ";
+    std::string value;
+    if (card.is_string) {
+      // Fixed format: quoted string starting at column 11, closing quote
+      // no earlier than column 20.
+      std::string quoted = "'" + replace_all(card.value, "'", "''");
+      while (quoted.size() < 9) quoted += ' ';
+      quoted += "'";
+      value = quoted;
+    } else {
+      // Right-justify in columns 11-30 per fixed format.
+      value = card.value;
+      if (value.size() < 20) value.insert(0, 20 - value.size(), ' ');
+    }
+    out += value;
+    if (!card.comment.empty()) {
+      out += " / ";
+      out += card.comment;
+    }
+  }
+  if (out.size() > kCard) out.resize(kCard);
+  out.resize(kCard, ' ');
+  return out;
+}
+
+void pad_to_record(std::vector<std::uint8_t>& bytes, std::uint8_t fill) {
+  const std::size_t rem = bytes.size() % kRecord;
+  if (rem != 0) bytes.insert(bytes.end(), kRecord - rem, fill);
+}
+
+void append_card(std::vector<std::uint8_t>& bytes, const FitsCard& card) {
+  const std::string s = format_card(card);
+  bytes.insert(bytes.end(), s.begin(), s.end());
+}
+
+void push_be(std::vector<std::uint8_t>& bytes, std::uint32_t v, int n) {
+  for (int i = n - 1; i >= 0; --i) {
+    bytes.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t read_be(const std::uint8_t* p, int n) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < n; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+void FitsHeader::upsert(FitsCard card) {
+  for (auto& existing : cards_) {
+    if (existing.keyword == card.keyword) {
+      existing = std::move(card);
+      return;
+    }
+  }
+  cards_.push_back(std::move(card));
+}
+
+const FitsCard* FitsHeader::find(const std::string& keyword) const {
+  for (const auto& card : cards_) {
+    if (card.keyword == keyword) return &card;
+  }
+  return nullptr;
+}
+
+void FitsHeader::set_logical(const std::string& keyword, bool value,
+                             const std::string& comment) {
+  upsert(FitsCard{keyword, value ? "T" : "F", comment, false});
+}
+
+void FitsHeader::set_int(const std::string& keyword, long long value,
+                         const std::string& comment) {
+  upsert(FitsCard{keyword, format("%lld", value), comment, false});
+}
+
+void FitsHeader::set_real(const std::string& keyword, double value,
+                          const std::string& comment) {
+  upsert(FitsCard{keyword, format("%.14G", value), comment, false});
+}
+
+void FitsHeader::set_string(const std::string& keyword, const std::string& value,
+                            const std::string& comment) {
+  upsert(FitsCard{keyword, value, comment, true});
+}
+
+std::optional<bool> FitsHeader::get_logical(const std::string& keyword) const {
+  const FitsCard* card = find(keyword);
+  if (!card || card->is_string) return std::nullopt;
+  const std::string_view v = trim(card->value);
+  if (v == "T") return true;
+  if (v == "F") return false;
+  return std::nullopt;
+}
+
+std::optional<long long> FitsHeader::get_int(const std::string& keyword) const {
+  const FitsCard* card = find(keyword);
+  if (!card || card->is_string) return std::nullopt;
+  return parse_int(card->value);
+}
+
+std::optional<double> FitsHeader::get_real(const std::string& keyword) const {
+  const FitsCard* card = find(keyword);
+  if (!card || card->is_string) return std::nullopt;
+  return parse_double(card->value);
+}
+
+std::optional<std::string> FitsHeader::get_string(const std::string& keyword) const {
+  const FitsCard* card = find(keyword);
+  if (!card) return std::nullopt;
+  if (card->is_string) return card->value;
+  return std::string(trim(card->value));
+}
+
+bool FitsHeader::has(const std::string& keyword) const { return find(keyword) != nullptr; }
+
+std::vector<std::uint8_t> write_fits(const FitsFile& file) {
+  std::vector<std::uint8_t> bytes;
+
+  // --- header ---
+  append_card(bytes, {"SIMPLE", "T", "conforms to FITS standard", false});
+  append_card(bytes, {"BITPIX", format("%d", file.bitpix), "bits per data value", false});
+  append_card(bytes, {"NAXIS", "2", "number of axes", false});
+  append_card(bytes, {"NAXIS1", format("%d", file.data.width()), "", false});
+  append_card(bytes, {"NAXIS2", format("%d", file.data.height()), "", false});
+  for (const auto& card : file.header.cards()) {
+    if (card.keyword == "SIMPLE" || card.keyword == "BITPIX" ||
+        starts_with(card.keyword, "NAXIS") || card.keyword == "END") {
+      continue;  // structural cards are ours
+    }
+    append_card(bytes, card);
+  }
+  append_card(bytes, {"END", "", "", false});
+  // Header padding is ASCII spaces.
+  pad_to_record(bytes, ' ');
+
+  // --- data unit, big endian ---
+  const Image& img = file.data;
+  const std::size_t n = img.size();
+  switch (file.bitpix) {
+    case -32: {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t u;
+        const float v = img.pixels()[i];
+        std::memcpy(&u, &v, 4);
+        push_be(bytes, u, 4);
+      }
+      break;
+    }
+    case 32: {
+      for (std::size_t i = 0; i < n; ++i) {
+        const long long v = std::llround(static_cast<double>(img.pixels()[i]));
+        push_be(bytes, static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                            std::clamp<long long>(v, INT32_MIN, INT32_MAX))),
+                4);
+      }
+      break;
+    }
+    case 16: {
+      for (std::size_t i = 0; i < n; ++i) {
+        const long long v = std::llround(static_cast<double>(img.pixels()[i]));
+        push_be(bytes,
+                static_cast<std::uint16_t>(static_cast<std::int16_t>(
+                    std::clamp<long long>(v, INT16_MIN, INT16_MAX))),
+                2);
+      }
+      break;
+    }
+    case 8: {
+      for (std::size_t i = 0; i < n; ++i) {
+        const long long v = std::llround(static_cast<double>(img.pixels()[i]));
+        bytes.push_back(static_cast<std::uint8_t>(std::clamp<long long>(v, 0, 255)));
+      }
+      break;
+    }
+    default:
+      // Unsupported bitpix at write time is a programming error; emit float.
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t u;
+        const float v = img.pixels()[i];
+        std::memcpy(&u, &v, 4);
+        push_be(bytes, u, 4);
+      }
+      break;
+  }
+  // Data padding is zero bytes.
+  pad_to_record(bytes, 0);
+  return bytes;
+}
+
+Expected<FitsFile> read_fits(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kRecord || bytes.size() % kCard != 0) {
+    return Error(ErrorCode::kParseError, "FITS stream shorter than one record");
+  }
+  FitsFile out;
+  std::size_t pos = 0;
+  bool saw_end = false;
+  // --- parse header cards ---
+  while (pos + kCard <= bytes.size()) {
+    std::string card(reinterpret_cast<const char*>(&bytes[pos]), kCard);
+    pos += kCard;
+    const std::string keyword{trim(card.substr(0, 8))};
+    if (keyword == "END") {
+      saw_end = true;
+      break;
+    }
+    if (keyword.empty() || keyword == "COMMENT" || keyword == "HISTORY") continue;
+    if (card.size() < 10 || card[8] != '=') continue;
+    std::string value_field = card.substr(10);
+    FitsCard parsed;
+    parsed.keyword = keyword;
+    const std::string_view vtrim = trim(value_field);
+    if (!vtrim.empty() && vtrim.front() == '\'') {
+      // String value: scan for the closing quote, honoring '' escapes.
+      std::string s;
+      bool closed = false;
+      for (std::size_t i = 1; i < vtrim.size(); ++i) {
+        if (vtrim[i] == '\'') {
+          if (i + 1 < vtrim.size() && vtrim[i + 1] == '\'') {
+            s += '\'';
+            ++i;
+          } else {
+            closed = true;
+            break;
+          }
+        } else {
+          s += vtrim[i];
+        }
+      }
+      if (!closed) {
+        return Error(ErrorCode::kParseError, "unterminated string in card " + keyword);
+      }
+      // FITS strings have significant leading, insignificant trailing blanks.
+      while (!s.empty() && s.back() == ' ') s.pop_back();
+      parsed.value = s;
+      parsed.is_string = true;
+    } else {
+      // Value ends at the comment slash (if any).
+      const std::size_t slash = value_field.find('/');
+      parsed.value = std::string(trim(value_field.substr(0, slash)));
+      if (slash != std::string::npos) {
+        parsed.comment = std::string(trim(value_field.substr(slash + 1)));
+      }
+    }
+    if (parsed.is_string) {
+      out.header.set_string(parsed.keyword, parsed.value, parsed.comment);
+    } else {
+      // Re-enter the card through the typed setters, dispatching on content.
+      if (auto iv = parse_int(parsed.value)) {
+        out.header.set_int(parsed.keyword, *iv, parsed.comment);
+      } else if (auto dv = parse_double(parsed.value)) {
+        out.header.set_real(parsed.keyword, *dv, parsed.comment);
+      } else if (parsed.value == "T" || parsed.value == "F") {
+        out.header.set_logical(parsed.keyword, parsed.value == "T", parsed.comment);
+      } else {
+        out.header.set_string(parsed.keyword, parsed.value, parsed.comment);
+      }
+    }
+  }
+  if (!saw_end) return Error(ErrorCode::kParseError, "no END card in FITS header");
+
+  // --- structural keywords ---
+  const auto simple = out.header.get_logical("SIMPLE");
+  if (!simple || !*simple) return Error(ErrorCode::kParseError, "SIMPLE != T");
+  const auto bitpix = out.header.get_int("BITPIX");
+  const auto naxis = out.header.get_int("NAXIS");
+  if (!bitpix || !naxis) return Error(ErrorCode::kParseError, "missing BITPIX/NAXIS");
+  if (*naxis != 2) {
+    return Error(ErrorCode::kParseError, format("NAXIS=%lld unsupported (need 2)",
+                                                static_cast<long long>(*naxis)));
+  }
+  const auto naxis1 = out.header.get_int("NAXIS1");
+  const auto naxis2 = out.header.get_int("NAXIS2");
+  if (!naxis1 || !naxis2 || *naxis1 <= 0 || *naxis2 <= 0) {
+    return Error(ErrorCode::kParseError, "bad NAXIS1/NAXIS2");
+  }
+  out.bitpix = static_cast<int>(*bitpix);
+  const double bscale = out.header.get_real("BSCALE").value_or(1.0);
+  const double bzero = out.header.get_real("BZERO").value_or(0.0);
+
+  // Data unit starts at the next record boundary after END.
+  pos = (pos + kRecord - 1) / kRecord * kRecord;
+
+  const int w = static_cast<int>(*naxis1);
+  const int h = static_cast<int>(*naxis2);
+  const std::size_t n = static_cast<std::size_t>(w) * h;
+  const int bytes_per = std::abs(out.bitpix) / 8;
+  if (pos + n * bytes_per > bytes.size()) {
+    return Error(ErrorCode::kParseError, "FITS data unit truncated");
+  }
+  out.data = Image(w, h);
+  const std::uint8_t* p = &bytes[pos];
+  for (std::size_t i = 0; i < n; ++i, p += bytes_per) {
+    double v = 0.0;
+    switch (out.bitpix) {
+      case -32: {
+        const std::uint32_t u = read_be(p, 4);
+        float f;
+        std::memcpy(&f, &u, 4);
+        v = f;
+        break;
+      }
+      case 32:
+        v = static_cast<std::int32_t>(read_be(p, 4));
+        break;
+      case 16:
+        v = static_cast<std::int16_t>(static_cast<std::uint16_t>(read_be(p, 2)));
+        break;
+      case 8:
+        v = p[0];
+        break;
+      default:
+        return Error(ErrorCode::kParseError, format("unsupported BITPIX %d", out.bitpix));
+    }
+    out.data.pixels()[i] = static_cast<float>(bscale * v + bzero);
+  }
+  return out;
+}
+
+Status write_fits_file(const std::string& path, const FitsFile& file) {
+  const std::vector<std::uint8_t> bytes = write_fits(file);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Error(ErrorCode::kIoError, "cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Error(ErrorCode::kIoError, "short write to " + path);
+  return Status::Ok();
+}
+
+Expected<FitsFile> read_fits_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error(ErrorCode::kIoError, "cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return read_fits(bytes);
+}
+
+std::size_t fits_serialized_size(const FitsFile& file) {
+  // Header: 5 structural cards + user cards + END, rounded to records.
+  std::size_t user_cards = 0;
+  for (const auto& card : file.header.cards()) {
+    if (card.keyword == "SIMPLE" || card.keyword == "BITPIX" ||
+        starts_with(card.keyword, "NAXIS") || card.keyword == "END") {
+      continue;
+    }
+    ++user_cards;
+  }
+  const std::size_t header_cards = 5 + user_cards + 1;
+  const std::size_t header_bytes = (header_cards * kCard + kRecord - 1) / kRecord * kRecord;
+  const std::size_t data_raw = file.data.size() * (std::abs(file.bitpix) / 8);
+  const std::size_t data_bytes = (data_raw + kRecord - 1) / kRecord * kRecord;
+  return header_bytes + data_bytes;
+}
+
+}  // namespace nvo::image

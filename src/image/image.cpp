@@ -1,0 +1,92 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace nvo::image {
+
+Image::Image(int width, int height, float fill)
+    : width_(width), height_(height),
+      data_(static_cast<std::size_t>(std::max(width, 0)) * std::max(height, 0), fill) {
+  assert(width >= 0 && height >= 0);
+}
+
+float Image::at_or(int x, int y, float fill) const {
+  return in_bounds(x, y) ? at(x, y) : fill;
+}
+
+float Image::sample_bilinear(double x, double y, float fill) const {
+  const int x0 = static_cast<int>(std::floor(x));
+  const int y0 = static_cast<int>(std::floor(y));
+  const double fx = x - x0;
+  const double fy = y - y0;
+  const double v00 = at_or(x0, y0, fill);
+  const double v10 = at_or(x0 + 1, y0, fill);
+  const double v01 = at_or(x0, y0 + 1, fill);
+  const double v11 = at_or(x0 + 1, y0 + 1, fill);
+  const double top = v01 * (1.0 - fx) + v11 * fx;
+  const double bot = v00 * (1.0 - fx) + v10 * fx;
+  return static_cast<float>(bot * (1.0 - fy) + top * fy);
+}
+
+double Image::total_flux() const {
+  double sum = 0.0;
+  for (float v : data_) sum += v;
+  return sum;
+}
+
+float Image::min_value() const {
+  if (data_.empty()) return 0.0f;
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Image::max_value() const {
+  if (data_.empty()) return 0.0f;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Image::mean_value() const {
+  if (data_.empty()) return 0.0;
+  return total_flux() / static_cast<double>(data_.size());
+}
+
+void Image::add(const Image& other) {
+  assert(other.width_ == width_ && other.height_ == height_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Image::scale(float factor) {
+  for (float& v : data_) v *= factor;
+}
+
+Image Image::cutout(int x0, int y0, int w, int h, float fill) const {
+  Image out(w, h, fill);
+  const int src_x_begin = std::max(x0, 0);
+  const int src_x_end = std::min(x0 + w, width_);
+  const int src_y_begin = std::max(y0, 0);
+  const int src_y_end = std::min(y0 + h, height_);
+  for (int sy = src_y_begin; sy < src_y_end; ++sy) {
+    for (int sx = src_x_begin; sx < src_x_end; ++sx) {
+      out.at(sx - x0, sy - y0) = at(sx, sy);
+    }
+  }
+  return out;
+}
+
+Image Image::rotate180_about(double cx, double cy, float fill) const {
+  Image out(width_, height_, fill);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      // Destination pixel (x, y) reads from the point mirrored through
+      // (cx, cy): p' = 2c - p.
+      const double sx = 2.0 * cx - x;
+      const double sy = 2.0 * cy - y;
+      out.at(x, y) = sample_bilinear(sx, sy, fill);
+    }
+  }
+  return out;
+}
+
+}  // namespace nvo::image

@@ -1,0 +1,71 @@
+// Core raster type used throughout the pipeline: a row-major float32 image,
+// the in-memory equivalent of a FITS primary HDU data array. Pixel (0,0) is
+// the bottom-left corner, matching FITS convention (NAXIS1 = x = column,
+// NAXIS2 = y = row, first pixel at the start of the data unit).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nvo::image {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, float fill = 0.0f);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Unchecked pixel access. x is the column in [0,width), y the row.
+  float& at(int x, int y) { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+  float at(int x, int y) const { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+
+  /// Bounds-checked read; out-of-frame pixels read as `fill`.
+  float at_or(int x, int y, float fill = 0.0f) const;
+
+  bool in_bounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& pixels() { return data_; }
+  const std::vector<float>& pixels() const { return data_; }
+
+  /// Bilinear sample at fractional pixel coordinates; out-of-frame -> fill.
+  float sample_bilinear(double x, double y, float fill = 0.0f) const;
+
+  /// Sum of all pixels.
+  double total_flux() const;
+
+  /// Min / max / mean over all pixels; zeros when empty.
+  float min_value() const;
+  float max_value() const;
+  double mean_value() const;
+
+  /// Adds `other` pixel-wise; dimensions must match.
+  void add(const Image& other);
+
+  /// Multiplies every pixel by a scalar.
+  void scale(float factor);
+
+  /// Extracts the [x0, x0+w) x [y0, y0+h) sub-image. Regions extending past
+  /// the frame are filled with `fill` — cutouts near a mosaic edge behave
+  /// the way the paper's cutout services did (padded, not truncated).
+  Image cutout(int x0, int y0, int w, int h, float fill = 0.0f) const;
+
+  /// Image rotated by 180 degrees about the point (cx, cy) in pixel
+  /// coordinates (bilinear resampled). This is the R operator of the
+  /// Conselice asymmetry index: A ~ sum|I - R(I)| / sum|I|.
+  Image rotate180_about(double cx, double cy, float fill = 0.0f) const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace nvo::image

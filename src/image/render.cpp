@@ -1,0 +1,124 @@
+#include "image/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/strings.hpp"
+
+namespace nvo::image {
+
+RgbImage::RgbImage(int width, int height, Rgb fill)
+    : width_(width), height_(height),
+      data_(static_cast<std::size_t>(std::max(width, 0)) * std::max(height, 0), fill) {}
+
+void RgbImage::draw_dot(int cx, int cy, int radius, Rgb color) {
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (dx * dx + dy * dy > radius * radius) continue;
+      const int x = cx + dx;
+      const int y = cy + dy;
+      if (in_bounds(x, y)) at(x, y) = color;
+    }
+  }
+}
+
+std::vector<std::uint8_t> RgbImage::to_ppm() const {
+  const std::string header = format("P6\n%d %d\n255\n", width_, height_);
+  std::vector<std::uint8_t> out(header.begin(), header.end());
+  out.reserve(out.size() + data_.size() * 3);
+  for (int y = height_ - 1; y >= 0; --y) {  // flip: north (max y) on top
+    for (int x = 0; x < width_; ++x) {
+      const Rgb c = at(x, y);
+      out.push_back(c.r);
+      out.push_back(c.g);
+      out.push_back(c.b);
+    }
+  }
+  return out;
+}
+
+Status RgbImage::write_ppm(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = to_ppm();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Error(ErrorCode::kIoError, "cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Error(ErrorCode::kIoError, "short write to " + path);
+  return Status::Ok();
+}
+
+double asinh_stretch(double value, double soft, double max_value) {
+  if (max_value <= 0.0) return 0.0;
+  const double denom = std::asinh(max_value / soft);
+  if (denom <= 0.0) return 0.0;
+  const double v = std::asinh(std::max(value, 0.0) / soft) / denom;
+  return std::clamp(v, 0.0, 1.0);
+}
+
+namespace {
+// A robust display maximum: the 99.5th percentile, so a single bright core
+// does not crush the rest of the frame to black.
+double display_max(const Image& img) {
+  std::vector<float> sorted = img.pixels();
+  if (sorted.empty()) return 1.0;
+  const std::size_t k =
+      std::min(sorted.size() - 1, static_cast<std::size_t>(sorted.size() * 0.995));
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(k),
+                   sorted.end());
+  const double v = sorted[k];
+  return v > 0.0 ? v : 1.0;
+}
+}  // namespace
+
+RgbImage render_grayscale(const Image& img) {
+  RgbImage out(img.width(), img.height());
+  const double vmax = display_max(img);
+  const double soft = vmax / 50.0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const double v = asinh_stretch(img.at(x, y), soft, vmax);
+      const auto g = static_cast<std::uint8_t>(255.0 * v);
+      out.at(x, y) = {g, g, g};
+    }
+  }
+  return out;
+}
+
+RgbImage render_composite(const Image& red_channel, const Image& blue_channel) {
+  const int w = std::max(red_channel.width(), blue_channel.width());
+  const int h = std::max(red_channel.height(), blue_channel.height());
+  RgbImage out(w, h);
+  const double rmax = display_max(red_channel);
+  const double bmax = display_max(blue_channel);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double rv =
+          asinh_stretch(red_channel.at_or(x, y), rmax / 50.0, rmax);
+      const double bv =
+          asinh_stretch(blue_channel.at_or(x, y), bmax / 50.0, bmax);
+      Rgb c;
+      c.r = static_cast<std::uint8_t>(255.0 * rv);
+      c.g = static_cast<std::uint8_t>(255.0 * (0.5 * rv + 0.25 * bv));
+      c.b = static_cast<std::uint8_t>(255.0 * bv);
+      out.at(x, y) = c;
+    }
+  }
+  return out;
+}
+
+Rgb asymmetry_colormap(double value, double lo, double hi) {
+  double t = hi > lo ? (value - lo) / (hi - lo) : 0.5;
+  t = std::clamp(t, 0.0, 1.0);
+  // t = 0 -> orange (symmetric ellipticals), t = 1 -> blue (asymmetric
+  // spirals), matching the Fig. 7 caption.
+  Rgb orange{255, 150, 30};
+  Rgb blue{60, 110, 255};
+  Rgb out;
+  out.r = static_cast<std::uint8_t>(orange.r + t * (blue.r - orange.r));
+  out.g = static_cast<std::uint8_t>(orange.g + t * (blue.g - orange.g));
+  out.b = static_cast<std::uint8_t>(orange.b + t * (blue.b - orange.b));
+  return out;
+}
+
+}  // namespace nvo::image

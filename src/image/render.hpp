@@ -1,0 +1,64 @@
+// Visualization: the stand-in for the Aladin viewer of the paper's Figure 7.
+// Renders optical + X-ray composites as PPM with catalog-position dots
+// colored by a scalar (the asymmetry index in the paper: blue = asymmetric
+// spirals scattered across the field, orange = symmetric ellipticals
+// concentrated at the center).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "image/image.hpp"
+
+namespace nvo::image {
+
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+};
+
+/// 8-bit RGB raster with PPM (P6) serialization.
+class RgbImage {
+ public:
+  RgbImage() = default;
+  RgbImage(int width, int height, Rgb fill = {});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  Rgb& at(int x, int y) { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+  Rgb at(int x, int y) const { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+  bool in_bounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  /// Draws a filled disc (the catalog dots of Fig. 7).
+  void draw_dot(int cx, int cy, int radius, Rgb color);
+
+  /// Serializes as binary PPM (P6). Row 0 of the Image is the *bottom* of
+  /// the sky frame, so rows are flipped to put north up in the output.
+  std::vector<std::uint8_t> to_ppm() const;
+  Status write_ppm(const std::string& path) const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Rgb> data_;
+};
+
+/// asinh intensity stretch mapping flux to [0,1]; the standard display
+/// stretch for survey imagery (linear near zero, log-like at the bright end).
+double asinh_stretch(double value, double soft, double max_value);
+
+/// Grayscale rendering of a flux image with asinh stretch.
+RgbImage render_grayscale(const Image& img);
+
+/// Two-channel composite: `red_channel` (optical in Fig. 7) rendered in red/
+/// yellow tones, `blue_channel` (X-ray) in blue, per the figure caption.
+RgbImage render_composite(const Image& red_channel, const Image& blue_channel);
+
+/// Maps a scalar in [lo, hi] onto the blue->orange diverging ramp used for
+/// the asymmetry dots.
+Rgb asymmetry_colormap(double value, double lo, double hi);
+
+}  // namespace nvo::image

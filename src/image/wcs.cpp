@@ -1,0 +1,61 @@
+#include "image/wcs.hpp"
+
+namespace nvo::image {
+
+Wcs::Wcs(const sky::Equatorial& center, double crpix_x, double crpix_y,
+         double pixel_scale_deg)
+    : crval_(center.normalized()),
+      crpix_x_(crpix_x),
+      crpix_y_(crpix_y),
+      scale_deg_(pixel_scale_deg) {}
+
+Wcs Wcs::centered(const sky::Equatorial& center, int width, int height,
+                  double pixel_scale_deg) {
+  // FITS reference pixel of a centered image: (N+1)/2 in 1-based coords.
+  return Wcs(center, (width + 1) / 2.0, (height + 1) / 2.0, pixel_scale_deg);
+}
+
+sky::Equatorial Wcs::pixel_to_sky(double x, double y) const {
+  // Standard coordinates: xi to the east. CDELT1 is negative (RA grows
+  // leftward on the image), so xi = -scale * dx.
+  const double dx = (x + 1.0) - crpix_x_;  // convert 0-based to 1-based
+  const double dy = (y + 1.0) - crpix_y_;
+  sky::TangentPlane tp;
+  tp.xi_deg = -scale_deg_ * dx;
+  tp.eta_deg = scale_deg_ * dy;
+  return sky::deproject_tan(crval_, tp);
+}
+
+Wcs::PixelXY Wcs::sky_to_pixel(const sky::Equatorial& p) const {
+  const sky::TangentPlane tp = sky::project_tan(crval_, p);
+  PixelXY out;
+  out.x = crpix_x_ - tp.xi_deg / scale_deg_ - 1.0;
+  out.y = crpix_y_ + tp.eta_deg / scale_deg_ - 1.0;
+  return out;
+}
+
+void Wcs::to_header(FitsHeader& header) const {
+  header.set_string("CTYPE1", "RA---TAN", "gnomonic projection");
+  header.set_string("CTYPE2", "DEC--TAN", "gnomonic projection");
+  header.set_real("CRVAL1", crval_.ra_deg, "reference RA (deg)");
+  header.set_real("CRVAL2", crval_.dec_deg, "reference Dec (deg)");
+  header.set_real("CRPIX1", crpix_x_, "reference pixel, axis 1");
+  header.set_real("CRPIX2", crpix_y_, "reference pixel, axis 2");
+  header.set_real("CDELT1", -scale_deg_, "deg/pixel (RA grows left)");
+  header.set_real("CDELT2", scale_deg_, "deg/pixel");
+}
+
+std::optional<Wcs> Wcs::from_header(const FitsHeader& header) {
+  const auto crval1 = header.get_real("CRVAL1");
+  const auto crval2 = header.get_real("CRVAL2");
+  const auto crpix1 = header.get_real("CRPIX1");
+  const auto crpix2 = header.get_real("CRPIX2");
+  const auto cdelt2 = header.get_real("CDELT2");
+  if (!crval1 || !crval2 || !crpix1 || !crpix2 || !cdelt2) return std::nullopt;
+  sky::Equatorial center;
+  center.ra_deg = *crval1;
+  center.dec_deg = *crval2;
+  return Wcs(center, *crpix1, *crpix2, *cdelt2);
+}
+
+}  // namespace nvo::image

@@ -1,0 +1,57 @@
+// World Coordinate System: the mapping between pixel coordinates of an image
+// and positions on the sky, using the gnomonic (TAN) projection standard in
+// optical survey imagery (the DSS plates the paper's portal pulled use
+// exactly this). Round-trips through FITS headers via the usual keywords
+// (CRVAL1/2, CRPIX1/2, CDELT1/2, CTYPE1/2).
+#pragma once
+
+#include <optional>
+
+#include "image/fits.hpp"
+#include "sky/coords.hpp"
+
+namespace nvo::image {
+
+class Wcs {
+ public:
+  Wcs() = default;
+
+  /// Builds a TAN WCS: `center` maps to reference pixel (crpix_x, crpix_y)
+  /// (1-based, FITS convention), with `pixel_scale_deg` degrees per pixel.
+  /// RA increases to the left (negative CDELT1) as on the sky.
+  Wcs(const sky::Equatorial& center, double crpix_x, double crpix_y,
+      double pixel_scale_deg);
+
+  /// Convenience: reference pixel at the image center.
+  static Wcs centered(const sky::Equatorial& center, int width, int height,
+                      double pixel_scale_deg);
+
+  const sky::Equatorial& reference() const { return crval_; }
+  double pixel_scale_deg() const { return scale_deg_; }
+  double pixel_scale_arcsec() const { return scale_deg_ * sky::kArcsecPerDeg; }
+
+  /// Sky position of the (0-based) pixel coordinate (x, y). Fractional
+  /// coordinates are allowed; (x, y) = crpix-1 maps to crval exactly.
+  sky::Equatorial pixel_to_sky(double x, double y) const;
+
+  /// Pixel coordinate (0-based) of a sky position.
+  struct PixelXY {
+    double x = 0.0;
+    double y = 0.0;
+  };
+  PixelXY sky_to_pixel(const sky::Equatorial& p) const;
+
+  /// Writes CRVAL/CRPIX/CDELT/CTYPE cards.
+  void to_header(FitsHeader& header) const;
+
+  /// Reads a TAN WCS from header cards; nullopt when keywords are missing.
+  static std::optional<Wcs> from_header(const FitsHeader& header);
+
+ private:
+  sky::Equatorial crval_;
+  double crpix_x_ = 1.0;  // 1-based, per FITS
+  double crpix_y_ = 1.0;
+  double scale_deg_ = 1.0 / 3600.0;  // |CDELT|
+};
+
+}  // namespace nvo::image

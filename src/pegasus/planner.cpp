@@ -1,0 +1,428 @@
+#include "pegasus/planner.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace nvo::pegasus {
+
+Planner::Planner(const grid::Grid& grid, const ReplicaLocationService& rls,
+                 const TransformationCatalog& tc, PlannerConfig config,
+                 std::uint64_t seed)
+    : grid_(grid), rls_(rls), tc_(tc), config_(std::move(config)), rng_(seed) {}
+
+Expected<vds::Dag> Planner::reduce(const vds::Dag& abstract) const {
+  auto order = abstract.topological_order();
+  if (!order.ok()) return order.error();
+
+  // Final products: outputs consumed by no node in the abstract workflow —
+  // these are what the request asked for.
+  std::set<std::string> consumed;
+  for (const std::string& id : abstract.node_ids()) {
+    for (const std::string& lfn : abstract.node(id)->inputs) consumed.insert(lfn);
+  }
+
+  // Decide keep/prune in reverse topological order: a job is kept iff some
+  // output of it is (a) not already replicated and (b) either a final
+  // product or consumed by a kept job. "The reduction component assumes
+  // that it is more costly to execute a component than to access the
+  // results of the component if that data is available."
+  std::set<std::string> kept;
+  std::set<std::string> inputs_of_kept;
+  const std::vector<std::string>& topo = order.value();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const vds::DagNode* n = abstract.node(*it);
+    bool needed = false;
+    for (const std::string& lfn : n->outputs) {
+      if (rls_.exists(lfn)) continue;  // someone already materialized it
+      const bool is_final = !consumed.count(lfn);
+      if (is_final || inputs_of_kept.count(lfn)) {
+        needed = true;
+        break;
+      }
+    }
+    if (needed) {
+      kept.insert(*it);
+      for (const std::string& lfn : n->inputs) inputs_of_kept.insert(lfn);
+    }
+  }
+
+  vds::Dag reduced;
+  for (const std::string& id : abstract.node_ids()) {
+    if (kept.count(id)) {
+      const Status s = reduced.add_node(*abstract.node(id));
+      if (!s.ok()) return s.error();
+    }
+  }
+  for (const std::string& id : abstract.node_ids()) {
+    if (!kept.count(id)) continue;
+    for (const std::string& child : abstract.children(id)) {
+      if (kept.count(child)) {
+        const Status s = reduced.add_edge(id, child);
+        if (!s.ok()) return s.error();
+      }
+    }
+  }
+  return reduced;
+}
+
+Status Planner::check_feasibility(const vds::Dag& dag) const {
+  // Files produced inside the (reduced) workflow.
+  std::set<std::string> produced;
+  for (const std::string& id : dag.node_ids()) {
+    for (const std::string& lfn : dag.node(id)->outputs) produced.insert(lfn);
+  }
+  for (const std::string& id : dag.node_ids()) {
+    for (const std::string& lfn : dag.node(id)->inputs) {
+      if (produced.count(lfn)) continue;
+      if (!rls_.exists(lfn)) {
+        return Error(ErrorCode::kInfeasible,
+                     "input '" + lfn + "' of job " + id +
+                         " has no replica anywhere in the grid");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Expected<std::string> Planner::select_site(const vds::DagNode& node,
+                                           const std::map<std::string, int>& load) {
+  // Candidate sites: where the executable is installed AND that the grid
+  // knows about.
+  std::vector<std::string> candidates;
+  for (const std::string& site : tc_.sites_for(node.transformation)) {
+    if (grid_.site(site)) candidates.push_back(site);
+  }
+  if (candidates.empty()) {
+    return Error(ErrorCode::kInfeasible,
+                 "transformation '" + node.transformation +
+                     "' is not installed at any grid site");
+  }
+  // Shared metric helper: this plan's own assignments per slot.
+  const auto static_metric = [&](const std::string& site) {
+    const auto it = load.find(site);
+    const int assigned = it == load.end() ? 0 : it->second;
+    const grid::SiteConfig* cfg = grid_.site(site);
+    return static_cast<double>(assigned) / std::max(cfg->slots, 1);
+  };
+
+  switch (config_.site_policy) {
+    case SitePolicy::kRandom:
+      return candidates[rng_.uniform_index(candidates.size())];
+    case SitePolicy::kLeastLoaded: {
+      std::string best = candidates.front();
+      double best_metric = 1e300;
+      for (const std::string& site : candidates) {
+        const double metric = static_metric(site);
+        if (metric < best_metric) {
+          best_metric = metric;
+          best = site;
+        }
+      }
+      return best;
+    }
+    case SitePolicy::kMdsRank: {
+      // Dynamic information: external pressure from the MDS record plus
+      // this plan's own assignments. Sites without a fresh record (dead or
+      // stale) are skipped unless no candidate has one.
+      std::string best;
+      double best_metric = 1e300;
+      for (const std::string& site : candidates) {
+        double metric = static_metric(site);
+        if (mds_) {
+          const auto info = mds_->query(site, mds_now_s_);
+          if (!info) continue;  // stale/dead: avoid
+          metric += info->pressure();
+        }
+        if (metric < best_metric) {
+          best_metric = metric;
+          best = site;
+        }
+      }
+      if (!best.empty()) return best;
+      // Every record stale: degrade to least-loaded rather than fail.
+      std::string fallback = candidates.front();
+      double fallback_metric = 1e300;
+      for (const std::string& site : candidates) {
+        const double metric = static_metric(site);
+        if (metric < fallback_metric) {
+          fallback_metric = metric;
+          fallback = site;
+        }
+      }
+      return fallback;
+    }
+  }
+  return candidates.front();
+}
+
+Expected<Replica> Planner::select_replica(const std::string& lfn) {
+  const std::vector<Replica> replicas = rls_.lookup(lfn);
+  if (replicas.empty()) {
+    return Error(ErrorCode::kNotFound, "no replica of '" + lfn + "'");
+  }
+  switch (config_.replica_policy) {
+    case ReplicaPolicy::kRandom:
+      return replicas[rng_.uniform_index(replicas.size())];
+    case ReplicaPolicy::kFirst:
+      return replicas.front();
+  }
+  return replicas.front();
+}
+
+Expected<PlanResult> Planner::plan(const vds::Dag& abstract) {
+  const std::size_t abstract_jobs = abstract.num_nodes();
+
+  // Final products of the abstract workflow already materialized are
+  // reported as reused (the web service short-circuits on them).
+  std::set<std::string> consumed;
+  for (const std::string& id : abstract.node_ids()) {
+    for (const std::string& lfn : abstract.node(id)->inputs) consumed.insert(lfn);
+  }
+  std::vector<std::string> reused;
+  for (const std::string& id : abstract.node_ids()) {
+    for (const std::string& lfn : abstract.node(id)->outputs) {
+      if (!consumed.count(lfn) && rls_.exists(lfn)) reused.push_back(lfn);
+    }
+  }
+
+  vds::Dag reduced;
+  if (config_.reduce) {
+    auto r = reduce(abstract);
+    if (!r.ok()) return r.error();
+    reduced = std::move(r.value());
+  } else {
+    reduced = abstract;
+  }
+  const std::size_t pruned = abstract_jobs - reduced.num_nodes();
+
+  const Status feasible = check_feasibility(reduced);
+  if (!feasible.ok()) return feasible.error();
+
+  return concretize(std::move(reduced), abstract_jobs, pruned, std::move(reused));
+}
+
+Expected<PlanResult> Planner::concretize(vds::Dag reduced, std::size_t abstract_jobs,
+                                         std::size_t pruned,
+                                         std::vector<std::string> reused_outputs) {
+  PlanResult result;
+  result.abstract_jobs = abstract_jobs;
+  result.pruned_jobs = pruned;
+  result.reused_outputs = std::move(reused_outputs);
+
+  // --- site selection ---
+  std::map<std::string, int> load;
+  for (const std::string& id : reduced.node_ids()) {
+    vds::DagNode* n = reduced.mutable_node(id);
+    auto site = select_site(*n, load);
+    if (!site.ok()) return site.error();
+    n->site = std::move(site.value());
+    ++load[n->site];
+    auto entry = tc_.lookup_at(n->transformation, n->site);
+    if (entry.ok()) n->executable = entry->executable;
+  }
+
+  // Producer map within the reduced workflow.
+  std::map<std::string, std::string> produced_by;
+  for (const std::string& id : reduced.node_ids()) {
+    for (const std::string& lfn : reduced.node(id)->outputs) produced_by[lfn] = id;
+  }
+  std::set<std::string> final_products;
+  {
+    std::set<std::string> consumed;
+    for (const std::string& id : reduced.node_ids()) {
+      for (const std::string& lfn : reduced.node(id)->inputs) consumed.insert(lfn);
+    }
+    for (const auto& [lfn, id] : produced_by) {
+      if (!consumed.count(lfn)) final_products.insert(lfn);
+    }
+  }
+
+  // The concrete DAG starts as a copy of the mapped compute nodes + edges.
+  vds::Dag concrete = reduced;
+
+  // --- stage-in transfers (deduplicated per (site, lfn)) ---
+  std::map<std::pair<std::string, std::string>, std::string> staged;  // -> node id
+  std::size_t transfer_counter = 0;
+  for (const std::string& id : reduced.node_ids()) {
+    const vds::DagNode* n = reduced.node(id);
+    const std::string exec_site = n->site;
+    for (const std::string& lfn : n->inputs) {
+      const auto producer = produced_by.find(lfn);
+      if (producer != produced_by.end()) {
+        // Produced inside the workflow. If the producer runs elsewhere,
+        // insert an inter-site transfer between them.
+        const std::string producer_site = reduced.node(producer->second)->site;
+        if (producer_site == exec_site) continue;
+        const auto key = std::make_pair(exec_site, lfn);
+        auto it = staged.find(key);
+        if (it == staged.end()) {
+          vds::DagNode tx;
+          tx.id = format("tx_%zu", ++transfer_counter);
+          tx.type = vds::JobType::kTransfer;
+          tx.file = lfn;
+          tx.source_site = producer_site;
+          tx.site = exec_site;
+          if (const Status s = concrete.add_node(tx); !s.ok()) return s.error();
+          if (const Status s = concrete.add_edge(producer->second, tx.id); !s.ok()) {
+            return s.error();
+          }
+          it = staged.emplace(key, tx.id).first;
+        }
+        if (const Status s = concrete.add_edge(it->second, id); !s.ok()) {
+          return s.error();
+        }
+        continue;
+      }
+      // Raw input: stage in from a selected replica, unless a copy is
+      // already at the execution site.
+      if (grid_.has_file(exec_site, lfn)) continue;
+      const auto key = std::make_pair(exec_site, lfn);
+      auto it = staged.find(key);
+      if (it == staged.end()) {
+        auto replica = select_replica(lfn);
+        if (!replica.ok()) return replica.error();
+        if (replica->site == exec_site) continue;  // registered replica local
+        vds::DagNode tx;
+        tx.id = format("tx_%zu", ++transfer_counter);
+        tx.type = vds::JobType::kTransfer;
+        tx.file = lfn;
+        tx.source_site = replica->site;
+        tx.site = exec_site;
+        if (const Status s = concrete.add_node(tx); !s.ok()) return s.error();
+        it = staged.emplace(key, tx.id).first;
+      }
+      if (const Status s = concrete.add_edge(it->second, id); !s.ok()) {
+        return s.error();
+      }
+    }
+  }
+
+  // --- stage-out + registration for final products (Fig. 4) ---
+  std::size_t register_counter = 0;
+  for (const std::string& lfn : final_products) {
+    const std::string producer_id = produced_by.at(lfn);
+    std::string tail = producer_id;
+    if (config_.stage_out) {
+      vds::DagNode tx;
+      tx.id = format("tx_out_%zu", ++transfer_counter);
+      tx.type = vds::JobType::kTransfer;
+      tx.file = lfn;
+      tx.source_site = reduced.node(producer_id)->site;
+      tx.site = config_.output_site;
+      if (const Status s = concrete.add_node(tx); !s.ok()) return s.error();
+      if (const Status s = concrete.add_edge(tail, tx.id); !s.ok()) return s.error();
+      tail = tx.id;
+    }
+    if (config_.register_outputs) {
+      vds::DagNode reg;
+      reg.id = format("reg_%zu", ++register_counter);
+      reg.type = vds::JobType::kRegister;
+      reg.file = lfn;
+      reg.site = config_.stage_out ? config_.output_site
+                                   : reduced.node(producer_id)->site;
+      if (const Status s = concrete.add_node(reg); !s.ok()) return s.error();
+      if (const Status s = concrete.add_edge(tail, reg.id); !s.ok()) return s.error();
+    }
+  }
+
+  for (const std::string& id : concrete.node_ids()) {
+    switch (concrete.node(id)->type) {
+      case vds::JobType::kCompute:
+        ++result.compute_nodes;
+        break;
+      case vds::JobType::kTransfer:
+        ++result.transfer_nodes;
+        break;
+      case vds::JobType::kRegister:
+        ++result.register_nodes;
+        break;
+    }
+  }
+  result.concrete = std::move(concrete);
+  return result;
+}
+
+SubmitFiles generate_submit_files(const vds::Dag& concrete) {
+  SubmitFiles out;
+  std::string dag_text;
+  for (const std::string& id : concrete.node_ids()) {
+    const vds::DagNode* n = concrete.node(id);
+    std::string sub;
+    switch (n->type) {
+      case vds::JobType::kCompute: {
+        sub += "universe = globus\n";
+        sub += format("globusscheduler = %s/jobmanager-condor\n", n->site.c_str());
+        sub += format("executable = %s\n",
+                      n->executable.empty() ? ("/grid/bin/" + n->transformation).c_str()
+                                            : n->executable.c_str());
+        std::string args;
+        for (const auto& [key, value] : n->args) {
+          args += format(" -%s %s", key.c_str(), value.c_str());
+        }
+        for (const std::string& lfn : n->inputs) args += " -i " + lfn;
+        for (const std::string& lfn : n->outputs) args += " -o " + lfn;
+        sub += "arguments =" + args + "\n";
+        sub += "transfer_input_files = " + join(n->inputs, ",") + "\n";
+        break;
+      }
+      case vds::JobType::kTransfer:
+        sub += "universe = globus\n";
+        sub += "executable = /grid/bin/globus-url-copy\n";
+        sub += format("arguments = gsiftp://%s/%s gsiftp://%s/%s\n",
+                      n->source_site.c_str(), n->file.c_str(), n->site.c_str(),
+                      n->file.c_str());
+        break;
+      case vds::JobType::kRegister:
+        sub += "universe = scheduler\n";
+        sub += "executable = /grid/bin/rls-register\n";
+        sub += format("arguments = %s gsiftp://%s/%s\n", n->file.c_str(),
+                      n->site.c_str(), n->file.c_str());
+        break;
+    }
+    sub += "log = " + id + ".log\n";
+    sub += "queue\n";
+    const std::string filename = id + ".sub";
+    out.submit[filename] = std::move(sub);
+    dag_text += "JOB " + id + " " + filename + "\n";
+  }
+  for (const std::string& id : concrete.node_ids()) {
+    const auto& kids = concrete.children(id);
+    if (!kids.empty()) {
+      dag_text += "PARENT " + id + " CHILD " + join(kids, " ") + "\n";
+    }
+  }
+  out.dag_file = std::move(dag_text);
+  return out;
+}
+
+std::size_t commit_execution(const vds::Dag& concrete, const grid::RunReport& report,
+                             ReplicaLocationService& rls, grid::Grid& grid) {
+  std::size_t registrations = 0;
+  for (const grid::NodeResult& r : report.nodes) {
+    if (r.outcome != grid::NodeOutcome::kSucceeded) continue;
+    const vds::DagNode* n = concrete.node(r.id);
+    if (!n) continue;
+    switch (n->type) {
+      case vds::JobType::kCompute:
+        // Products appear in the execution site's storage.
+        for (const std::string& lfn : n->outputs) {
+          grid.put_file(n->site, lfn,
+                        grid.file_size(lfn).value_or(grid.default_file_bytes));
+        }
+        break;
+      case vds::JobType::kTransfer:
+        grid.put_file(n->site, n->file,
+                      grid.file_size(n->file).value_or(grid.default_file_bytes));
+        break;
+      case vds::JobType::kRegister:
+        rls.add(n->file, n->site, "gsiftp://" + n->site + "/" + n->file);
+        ++registrations;
+        break;
+    }
+  }
+  return registrations;
+}
+
+}  // namespace nvo::pegasus

@@ -1,0 +1,73 @@
+#include "pegasus/request_manager.hpp"
+
+#include <chrono>
+
+namespace nvo::pegasus {
+
+namespace {
+double ms_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+}  // namespace
+
+RequestManager::RequestManager(const vds::VirtualDataCatalog& vdc, grid::Grid& grid,
+                               ReplicaLocationService& rls,
+                               const TransformationCatalog& tc,
+                               PlannerConfig planner_config, grid::JobCostModel cost,
+                               grid::FailureModel failure, std::uint64_t seed)
+    : vdc_(vdc),
+      grid_(grid),
+      rls_(rls),
+      tc_(tc),
+      planner_config_(std::move(planner_config)),
+      cost_(std::move(cost)),
+      failure_(failure),
+      seed_(seed) {}
+
+Expected<RequestTrace> RequestManager::handle(const std::vector<std::string>& requests) {
+  RequestTrace trace;
+  trace.requested = requests;
+
+  // (1)-(2): Chimera composes the abstract workflow.
+  auto t0 = std::chrono::steady_clock::now();
+  auto abstract = vds::compose_abstract_workflow(vdc_, requests);
+  if (!abstract.ok()) return abstract.error();
+  trace.abstract = std::move(abstract.value());
+  trace.compose_ms = ms_since(t0);
+
+  // (3)-(8): reduction, feasibility, mapping.
+  t0 = std::chrono::steady_clock::now();
+  Planner planner(grid_, rls_, tc_, planner_config_, seed_);
+  auto plan = planner.plan(trace.abstract);
+  if (!plan.ok()) return plan.error();
+  trace.plan = std::move(plan.value());
+  trace.plan_ms = ms_since(t0);
+
+  // (9)-(11): submit-file generation.
+  t0 = std::chrono::steady_clock::now();
+  trace.submits = generate_submit_files(trace.plan.concrete);
+  trace.submit_gen_ms = ms_since(t0);
+
+  // (12)-(15): DAGMan executes the concrete workflow.
+  grid::DagManSim dagman(grid_, cost_, failure_, seed_ ^ 0xDA6);
+  auto report = dagman.run(trace.plan.concrete);
+  if (!report.ok()) return report.error();
+  trace.execution = std::move(report.value());
+
+  // (16): results registered / delivered.
+  trace.registrations =
+      commit_execution(trace.plan.concrete, trace.execution, rls_, grid_);
+
+  trace.satisfied = true;
+  for (const std::string& lfn : trace.requested) {
+    if (!rls_.exists(lfn)) {
+      trace.satisfied = false;
+      break;
+    }
+  }
+  return trace;
+}
+
+}  // namespace nvo::pegasus

@@ -1,0 +1,57 @@
+#include "pegasus/rls.hpp"
+
+#include <algorithm>
+
+namespace nvo::pegasus {
+
+void ReplicaLocationService::add(const std::string& lfn, const std::string& site,
+                                 const std::string& pfn) {
+  std::lock_guard lock(mutex_);
+  ++stats_.registrations;
+  auto& list = replicas_[lfn];
+  for (Replica& r : list) {
+    if (r.site == site) {
+      r.pfn = pfn;
+      return;
+    }
+  }
+  list.push_back(Replica{lfn, site, pfn});
+}
+
+Status ReplicaLocationService::remove(const std::string& lfn, const std::string& site) {
+  std::lock_guard lock(mutex_);
+  const auto it = replicas_.find(lfn);
+  if (it == replicas_.end()) return Error(ErrorCode::kNotFound, lfn);
+  auto& list = it->second;
+  const auto pos = std::find_if(list.begin(), list.end(),
+                                [&](const Replica& r) { return r.site == site; });
+  if (pos == list.end()) return Error(ErrorCode::kNotFound, lfn + " at " + site);
+  list.erase(pos);
+  if (list.empty()) replicas_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<Replica> ReplicaLocationService::lookup(const std::string& lfn) const {
+  std::lock_guard lock(mutex_);
+  ++stats_.queries;
+  const auto it = replicas_.find(lfn);
+  return it == replicas_.end() ? std::vector<Replica>{} : it->second;
+}
+
+bool ReplicaLocationService::exists(const std::string& lfn) const {
+  std::lock_guard lock(mutex_);
+  ++stats_.queries;
+  return replicas_.count(lfn) != 0;
+}
+
+std::size_t ReplicaLocationService::num_logical_files() const {
+  std::lock_guard lock(mutex_);
+  return replicas_.size();
+}
+
+ReplicaLocationService::Stats ReplicaLocationService::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace nvo::pegasus

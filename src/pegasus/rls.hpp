@@ -1,0 +1,52 @@
+// Replica Location Service: the Globus RLS stand-in ("Pegasus uses services
+// such as the Globus Replica Location Service ... to locate the input data
+// in the Grid environment", §3.2). Maps logical file names to physical
+// locations (site + physical name). Thread-safe: the asynchronous compute
+// service registers results while the portal polls.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace nvo::pegasus {
+
+struct Replica {
+  std::string lfn;   ///< logical file name
+  std::string site;  ///< grid site (or archive host) holding the copy
+  std::string pfn;   ///< physical file name / URL at that site
+};
+
+class ReplicaLocationService {
+ public:
+  /// Registers a replica; duplicate (lfn, site) pairs update the pfn.
+  void add(const std::string& lfn, const std::string& site, const std::string& pfn);
+
+  /// Removes one site's replica of a file.
+  Status remove(const std::string& lfn, const std::string& site);
+
+  /// All replicas of a logical file (empty when unknown).
+  std::vector<Replica> lookup(const std::string& lfn) const;
+
+  /// True when at least one replica exists.
+  bool exists(const std::string& lfn) const;
+
+  std::size_t num_logical_files() const;
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t registrations = 0;
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<Replica>> replicas_;
+  mutable Stats stats_;
+};
+
+}  // namespace nvo::pegasus

@@ -1,0 +1,42 @@
+#include "pegasus/tc.hpp"
+
+namespace nvo::pegasus {
+
+Status TransformationCatalog::add(TcEntry entry) {
+  for (const TcEntry& e : entries_) {
+    if (e.transformation == entry.transformation && e.site == entry.site) {
+      return Error(ErrorCode::kAlreadyExists,
+                   entry.transformation + " at " + entry.site);
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+std::vector<TcEntry> TransformationCatalog::lookup(
+    const std::string& transformation) const {
+  std::vector<TcEntry> out;
+  for (const TcEntry& e : entries_) {
+    if (e.transformation == transformation) out.push_back(e);
+  }
+  return out;
+}
+
+Expected<TcEntry> TransformationCatalog::lookup_at(const std::string& transformation,
+                                                   const std::string& site) const {
+  for (const TcEntry& e : entries_) {
+    if (e.transformation == transformation && e.site == site) return e;
+  }
+  return Error(ErrorCode::kNotFound, transformation + " not installed at " + site);
+}
+
+std::vector<std::string> TransformationCatalog::sites_for(
+    const std::string& transformation) const {
+  std::vector<std::string> out;
+  for (const TcEntry& e : entries_) {
+    if (e.transformation == transformation) out.push_back(e.site);
+  }
+  return out;
+}
+
+}  // namespace nvo::pegasus

@@ -1,0 +1,42 @@
+// Transformation Catalog (§3.2): "performs the mapping between a logical
+// component name and the location of the corresponding executables on
+// specific compute resources", and carries creation annotations.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace nvo::pegasus {
+
+struct TcEntry {
+  std::string transformation;  ///< logical name, e.g. "galMorph"
+  std::string site;            ///< compute resource where it is installed
+  std::string executable;      ///< physical path on that site
+  std::map<std::string, std::string> annotations;  ///< creation info, versions
+};
+
+class TransformationCatalog {
+ public:
+  /// Registers an installation; one entry per (transformation, site).
+  Status add(TcEntry entry);
+
+  /// All installations of a transformation (empty when unknown anywhere).
+  std::vector<TcEntry> lookup(const std::string& transformation) const;
+
+  /// Installation at a specific site.
+  Expected<TcEntry> lookup_at(const std::string& transformation,
+                              const std::string& site) const;
+
+  /// Sites where the transformation is installed.
+  std::vector<std::string> sites_for(const std::string& transformation) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<TcEntry> entries_;
+};
+
+}  // namespace nvo::pegasus

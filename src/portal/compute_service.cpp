@@ -1,0 +1,322 @@
+#include "portal/compute_service.hpp"
+
+#include <chrono>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "grid/threadpool.hpp"
+#include "portal/transforms.hpp"
+#include "services/sia.hpp"
+#include "votable/votable_io.hpp"
+
+namespace nvo::portal {
+
+namespace {
+double wall_ms_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+}  // namespace
+
+MorphologyService::MorphologyService(services::HttpFabric& fabric, grid::Grid& grid,
+                                     pegasus::ReplicaLocationService& rls,
+                                     pegasus::TransformationCatalog& tc,
+                                     ComputeServiceConfig config)
+    : fabric_(fabric),
+      grid_(grid),
+      rls_(rls),
+      tc_(tc),
+      config_(std::move(config)),
+      ids_("req"),
+      state_(std::make_shared<State>()) {
+  // galMorph is installed at every pool (the paper shipped its executable to
+  // all three sites).
+  for (const std::string& site : grid_.site_names()) {
+    (void)tc_.add({"galMorph", site, "/grid/bin/galMorph", {{"version", "1.0"}}});
+  }
+
+  // Status endpoint: tiny key=value document.
+  auto state = state_;
+  fabric_.route(config_.host, "/status",
+                [state](const services::Url& url)
+                    -> Expected<services::HttpResponse> {
+                  const auto id = url.param("id");
+                  if (!id) return Error(ErrorCode::kInvalidArgument, "missing id");
+                  const auto it = state->requests.find(*id);
+                  if (it == state->requests.end()) {
+                    return Error(ErrorCode::kNotFound, "unknown request " + *id);
+                  }
+                  const RequestRecord& r = it->second;
+                  std::string body = "state=" + r.state + "\n";
+                  if (r.state == "completed") {
+                    body += "result=" + r.result_lfn + "\n";
+                  }
+                  for (const std::string& m : r.messages) body += "message=" + m + "\n";
+                  return services::HttpResponse::text(body);
+                },
+                services::EndpointModel{10.0, 50.0, 0.0, true});
+
+  // Result endpoint: serves the computed VOTable.
+  fabric_.route(config_.host, "/results",
+                [state](const services::Url& url)
+                    -> Expected<services::HttpResponse> {
+                  const auto name = url.param("name");
+                  if (!name) return Error(ErrorCode::kInvalidArgument, "missing name");
+                  const auto it = state->results.find(*name);
+                  if (it == state->results.end()) {
+                    return Error(ErrorCode::kNotFound, "no result " + *name);
+                  }
+                  return services::HttpResponse::text(it->second,
+                                                      "text/xml;content=x-votable");
+                },
+                services::EndpointModel{10.0, 50.0, 0.0, true});
+}
+
+Expected<std::string> MorphologyService::gal_morph_compute(const votable::Table& input,
+                                                           const std::string& out_name) {
+  RequestRecord record;
+  record.id = ids_.next();
+  record.trace.request_id = record.id;
+  record.trace.cluster_name = out_name;
+  const std::string status_url =
+      "http://" + config_.host + "/status?id=" + record.id;
+  record.messages.push_back("request accepted: " + out_name);
+
+  const Status s = process(record, input, out_name);
+  if (!s.ok()) {
+    record.state = "failed";
+    record.messages.push_back("error: " + s.error().to_string());
+  }
+  const std::string request_id = record.id;
+  state_->requests[request_id] = std::move(record);
+  state_->order.push_back(request_id);
+  return status_url;
+}
+
+Status MorphologyService::process(RequestRecord& record, const votable::Table& input,
+                                  const std::string& out_name) {
+  ServiceTrace& trace = record.trace;
+  const std::string out_lfn = ends_with(out_name, ".vot")
+                                  ? out_name
+                                  : output_votable_lfn(out_name);
+  record.result_lfn = "http://" + config_.host + "/results?name=" + out_lfn;
+
+  // (2) RLS lookup for the output VOTable: the result cache.
+  if (rls_.exists(out_lfn) && state_->results.count(out_lfn)) {
+    trace.cache_hit = true;
+    trace.total_sim_seconds = 0.0;
+    record.state = "completed";
+    record.messages.push_back("output " + out_lfn + " already materialized (RLS hit)");
+    return Status::Ok();
+  }
+
+  const auto id_col = input.column_index("id");
+  const auto url_col = input.column_index("cutout_url");
+  if (!id_col || !url_col) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "input VOTable needs id and cutout_url columns");
+  }
+  trace.galaxies = input.num_rows();
+  if (trace.galaxies == 0) {
+    return Error(ErrorCode::kInvalidArgument, "input VOTable has no rows");
+  }
+
+  // (3) Download images into the local cache; register each in the RLS.
+  record.messages.push_back(format("staging %zu galaxy images", trace.galaxies));
+  std::vector<std::string> galaxy_ids;
+  galaxy_ids.reserve(trace.galaxies);
+  for (std::size_t i = 0; i < input.num_rows(); ++i) {
+    const auto id = input.row(i)[*id_col].as_string();
+    const auto url = input.row(i)[*url_col].as_string();
+    if (!id || !url) {
+      return Error(ErrorCode::kInvalidArgument, format("row %zu lacks id/url", i));
+    }
+    galaxy_ids.push_back(*id);
+    const std::string lfn = image_lfn(*id);
+    if (state_->image_cache.count(lfn)) {
+      ++trace.images_cached;
+      continue;
+    }
+    auto response = fabric_.get(*url);
+    if (!response.ok()) {
+      // An unreachable image is a per-galaxy failure, not a request
+      // failure: cache an empty payload and register it like any other
+      // replica so Pegasus's feasibility check still passes — the kernel
+      // will flag the galaxy invalid (§4.3.1 item 4).
+      log_warn("galmorph-svc",
+               "image fetch failed for " + *id + ": " + response.error().to_string());
+      state_->image_cache[lfn] = {};
+      rls_.add(lfn, config_.cache_site, *url);
+      grid_.put_file(config_.cache_site, lfn, 0);
+      ++trace.images_fetched;
+      continue;
+    }
+    trace.image_fetch_sim_ms += response->elapsed_ms;
+    ++trace.images_fetched;
+    state_->image_cache[lfn] = std::move(response->body);
+    rls_.add(lfn, config_.cache_site, *url);
+    grid_.put_file(config_.cache_site, lfn, state_->image_cache[lfn].size());
+  }
+
+  // (4a) VDL generation (the second stylesheet).
+  auto t0 = std::chrono::steady_clock::now();
+  auto vdl_doc = catalog_to_vdl_document(input, out_name, config_.default_args);
+  if (!vdl_doc.ok()) return vdl_doc.error();
+  trace.vdl_bytes = 0.0;  // recomputed below from text size
+  {
+    auto vdl_text = catalog_to_vdl(input, out_name, config_.default_args);
+    if (vdl_text.ok()) trace.vdl_bytes = static_cast<double>(vdl_text->size());
+  }
+
+  // (4b) Chimera composition.
+  vds::VirtualDataCatalog vdc;
+  if (const Status s = vdc.ingest(vdl_doc.value()); !s.ok()) return s;
+  auto abstract = vds::compose_abstract_workflow(vdc, {out_lfn});
+  if (!abstract.ok()) return abstract.error();
+  trace.compose_wall_ms = wall_ms_since(t0);
+
+  // (4c) Pegasus planning. The generated concat transformation runs at the
+  // service's own site (where the results will be gathered).
+  (void)tc_.add({"concatMorph_" + out_name, config_.cache_site,
+                 "/grid/bin/concatMorph", {}});
+  t0 = std::chrono::steady_clock::now();
+  pegasus::PlannerConfig planner_config = config_.planner;
+  planner_config.output_site = config_.cache_site;
+  pegasus::Planner planner(grid_, rls_, tc_, planner_config, config_.seed);
+  auto plan = planner.plan(abstract.value());
+  if (!plan.ok()) return plan.error();
+  trace.plan = std::move(plan.value());
+  trace.plan_wall_ms = wall_ms_since(t0);
+
+  // (4d) Simulated DAGMan execution for the timing/accounting shape.
+  grid::JobCostModel cost = config_.cost;
+  if (!cost.compute_seconds) {
+    const double ref = cost.compute_reference_seconds;
+    cost.compute_seconds = [ref](const vds::DagNode& n) {
+      if (starts_with(n.transformation, "concatMorph")) {
+        return 0.5 + 0.002 * static_cast<double>(n.inputs.size());
+      }
+      return ref;
+    };
+  }
+  grid::DagManSim dagman(grid_, cost, config_.failure, config_.seed ^ 0xDA6);
+  auto report = dagman.run(trace.plan.concrete);
+  if (!report.ok()) return report.error();
+  trace.execution = std::move(report.value());
+  (void)pegasus::commit_execution(trace.plan.concrete, trace.execution, rls_, grid_);
+  // Record provenance of every product this run materialized.
+  std::vector<std::string> succeeded;
+  for (const grid::NodeResult& r : trace.execution.nodes) {
+    if (r.outcome == grid::NodeOutcome::kSucceeded) succeeded.push_back(r.id);
+  }
+  provenance_.record_execution(trace.plan.concrete, succeeded,
+                               trace.execution.makespan_seconds);
+
+  // (4e) Real morphology computation on the cached images, in parallel.
+  t0 = std::chrono::steady_clock::now();
+  std::vector<core::GalMorphResult> results(galaxy_ids.size());
+  {
+    grid::ThreadPool pool(config_.compute_threads);
+    const auto z_col = input.column_index("redshift");
+    grid::parallel_for(pool, galaxy_ids.size(), [&](std::size_t i) {
+      core::GalMorphArgs args = config_.default_args;
+      if (z_col) {
+        const auto z = input.row(i)[*z_col].as_number();
+        if (z) args.redshift = *z;
+      }
+      const std::string lfn = image_lfn(galaxy_ids[i]);
+      const auto it = state_->image_cache.find(lfn);
+      if (it == state_->image_cache.end() || it->second.empty()) {
+        results[i].galaxy_id = galaxy_ids[i];
+        results[i].redshift = args.redshift;
+        results[i].params.valid = false;
+        results[i].params.failure_reason = "image unavailable";
+        return;
+      }
+      results[i] = core::run_gal_morph_bytes(galaxy_ids[i], it->second, args);
+    });
+  }
+  trace.kernel_wall_ms = wall_ms_since(t0);
+
+  // Grid-level failures (when injected) override kernel success: a job that
+  // never ran produces no product.
+  for (std::size_t i = 0; i < galaxy_ids.size(); ++i) {
+    const grid::NodeResult* nr = trace.execution.result_for("m_" + galaxy_ids[i]);
+    if (nr && nr->outcome == grid::NodeOutcome::kFailed) {
+      results[i].params.valid = false;
+      results[i].params.failure_reason = "grid job failed";
+    }
+  }
+  for (const core::GalMorphResult& r : results) {
+    if (r.params.valid) {
+      ++trace.valid_results;
+    } else {
+      ++trace.invalid_results;
+    }
+  }
+
+  // (5) Materialize, register, and expose the output VOTable.
+  const votable::Table out_table = core::concat_results(results, out_lfn);
+  state_->results[out_lfn] = votable::to_votable_xml(out_table);
+  rls_.add(out_lfn, config_.cache_site, record.result_lfn);
+  grid_.put_file(config_.cache_site, out_lfn, state_->results[out_lfn].size());
+
+  trace.total_sim_seconds =
+      trace.image_fetch_sim_ms / 1000.0 + trace.execution.makespan_seconds;
+  record.state = "completed";
+  record.messages.push_back(
+      format("job completed: %zu valid, %zu invalid, makespan %.1f sim-s",
+             trace.valid_results, trace.invalid_results,
+             trace.execution.makespan_seconds));
+  return Status::Ok();
+}
+
+Expected<MorphologyService::PollResult> MorphologyService::poll(
+    const std::string& status_url) const {
+  auto response = fabric_.get(status_url);
+  if (!response.ok()) return response.error();
+  if (response->status != 200) {
+    return Error(ErrorCode::kServiceUnavailable,
+                 format("status poll returned %d", response->status));
+  }
+  PollResult out;
+  for (const std::string& line : split(response->body_text(), '\n')) {
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "state") {
+      out.state = value;
+    } else if (key == "result") {
+      out.result_url = value;
+    } else if (key == "message") {
+      out.messages.push_back(value);
+    }
+  }
+  return out;
+}
+
+Expected<votable::Table> MorphologyService::fetch_result(
+    const std::string& result_url) const {
+  auto response = fabric_.get(result_url);
+  if (!response.ok()) return response.error();
+  if (response->status != 200) {
+    return Error(ErrorCode::kServiceUnavailable,
+                 format("result fetch returned %d", response->status));
+  }
+  return votable::from_votable_xml(response->body_text());
+}
+
+const ServiceTrace* MorphologyService::trace(const std::string& request_id) const {
+  const auto it = state_->requests.find(request_id);
+  return it == state_->requests.end() ? nullptr : &it->second.trace;
+}
+
+const ServiceTrace* MorphologyService::last_trace() const {
+  if (state_->order.empty()) return nullptr;
+  return trace(state_->order.back());
+}
+
+}  // namespace nvo::portal

@@ -1,0 +1,54 @@
+#include "services/cone_search.hpp"
+
+#include "common/strings.hpp"
+#include "votable/table_ops.hpp"
+#include "votable/votable_io.hpp"
+
+namespace nvo::services {
+
+Handler make_cone_search_handler(std::function<votable::Table()> catalog_supplier) {
+  return [supplier = std::move(catalog_supplier)](const Url& url)
+             -> Expected<HttpResponse> {
+    const auto ra = url.param_double("RA");
+    const auto dec = url.param_double("DEC");
+    const auto sr = url.param_double("SR");
+    if (!ra || !dec || !sr || *sr < 0.0) {
+      HttpResponse bad = HttpResponse::text("missing or invalid RA/DEC/SR");
+      bad.status = 400;
+      return bad;
+    }
+    const votable::Table catalog = supplier();
+    const auto ra_col = catalog.column_index("ra");
+    const auto dec_col = catalog.column_index("dec");
+    if (!ra_col || !dec_col) {
+      HttpResponse bad = HttpResponse::text("catalog lacks ra/dec columns");
+      bad.status = 500;
+      return bad;
+    }
+    const sky::Equatorial center{*ra, *dec};
+    const votable::Table hits = votable::select(catalog, [&](const votable::Row& row) {
+      const auto r = row[*ra_col].as_number();
+      const auto d = row[*dec_col].as_number();
+      if (!r || !d) return false;
+      return sky::within_cone(center, *sr, sky::Equatorial{*r, *d});
+    });
+    return HttpResponse::text(votable::to_votable_xml(hits), "text/xml;content=x-votable");
+  };
+}
+
+Expected<votable::Table> cone_search(HttpFabric& fabric, const std::string& base_url,
+                                     const sky::Equatorial& center, double radius_deg) {
+  const std::string url =
+      format("%s?RA=%.6f&DEC=%.6f&SR=%.6f", base_url.c_str(), center.ra_deg,
+             center.dec_deg, radius_deg);
+  auto response = fabric.get(url);
+  if (!response.ok()) return response.error();
+  if (response->status != 200) {
+    return Error(ErrorCode::kServiceUnavailable,
+                 format("cone search returned %d: %s", response->status,
+                        response->body_text().c_str()));
+  }
+  return votable::from_votable_xml(response->body_text());
+}
+
+}  // namespace nvo::services

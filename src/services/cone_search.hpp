@@ -1,0 +1,27 @@
+// The NVO Cone Search protocol (§3.1): "an interface for searching and
+// retrieving records from an astronomical catalog over the web" keyed on a
+// sky position and radius. Query parameters RA, DEC, SR (decimal degrees);
+// response is a VOTable of the catalog rows within the cone.
+#pragma once
+
+#include <functional>
+
+#include "common/expected.hpp"
+#include "services/http.hpp"
+#include "sky/coords.hpp"
+#include "votable/table.hpp"
+
+namespace nvo::services {
+
+/// Server side: wraps a catalog supplier into a Cone Search endpoint.
+/// The supplied table must have "ra" and "dec" double columns in degrees;
+/// rows outside the requested cone are filtered out. Missing/invalid RA,
+/// DEC, or SR parameters produce a 400 response, per the protocol's error
+/// convention.
+Handler make_cone_search_handler(std::function<votable::Table()> catalog_supplier);
+
+/// Client side: issues the GET and parses the VOTable response.
+Expected<votable::Table> cone_search(HttpFabric& fabric, const std::string& base_url,
+                                     const sky::Equatorial& center, double radius_deg);
+
+}  // namespace nvo::services

@@ -1,0 +1,267 @@
+#include "services/federation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include <memory>
+
+#include "common/strings.hpp"
+#include "services/cone_search.hpp"
+#include "services/sia.hpp"
+#include "sky/spatial_index.hpp"
+#include "votable/table_ops.hpp"
+
+namespace nvo::services {
+
+namespace {
+
+/// All-cluster concatenation of a per-cluster catalog; Cone Search filters
+/// it positionally.
+votable::Table combined_catalog(
+    const sim::Universe& universe,
+    votable::Table (sim::Universe::*catalog)(const sim::Cluster&) const) {
+  votable::Table out;
+  bool first = true;
+  for (const sim::Cluster& c : universe.clusters()) {
+    votable::Table t = (universe.*catalog)(c);
+    if (first) {
+      out = std::move(t);
+      first = false;
+    } else {
+      auto stacked = votable::vstack(out, t);
+      if (stacked.ok()) out = std::move(stacked.value());
+    }
+  }
+  out.name = "ALL_CLUSTERS";
+  return out;
+}
+
+/// All-sky index over every galaxy of the universe: the id returned by a
+/// spatial query maps back to (cluster, galaxy). Built once at federation
+/// registration and shared by the positional handlers — the survey-scale
+/// access structure a production archive needs (cf. the NVO's HTM).
+struct GalaxyIndex {
+  struct Ref {
+    const sim::Cluster* cluster;
+    const sim::GalaxyTruth* galaxy;
+  };
+  std::vector<Ref> refs;
+  std::unique_ptr<sky::SpatialIndex> index;
+
+  explicit GalaxyIndex(const sim::Universe& universe) {
+    std::vector<sky::Equatorial> positions;
+    for (const sim::Cluster& c : universe.clusters()) {
+      for (const sim::GalaxyTruth& g : c.galaxies) {
+        refs.push_back({&c, &g});
+        positions.push_back(g.position);
+      }
+    }
+    index = std::make_unique<sky::SpatialIndex>(std::move(positions), 720);
+  }
+};
+
+/// Finds the (cluster, galaxy) nearest a position, within `tol_deg`.
+struct GalaxyHit {
+  const sim::Cluster* cluster = nullptr;
+  const sim::GalaxyTruth* galaxy = nullptr;
+};
+GalaxyHit nearest_galaxy(const GalaxyIndex& gi, const sky::Equatorial& pos,
+                         double tol_deg) {
+  GalaxyHit best;
+  const std::size_t id = gi.index->nearest(pos, tol_deg);
+  if (id != sky::SpatialIndex::npos) {
+    best.cluster = gi.refs[id].cluster;
+    best.galaxy = gi.refs[id].galaxy;
+  }
+  return best;
+}
+
+/// SIA finder over per-cluster field images.
+SiaFinder make_field_finder(const sim::Universe& universe, const std::string& title,
+                            const std::string& image_base, int image_pix,
+                            double pixel_scale_arcsec) {
+  return [&universe, title, image_base, image_pix,
+          pixel_scale_arcsec](const sky::Equatorial& pos, double size_deg) {
+    std::vector<SiaRecord> out;
+    const double field_deg = image_pix * pixel_scale_arcsec / sky::kArcsecPerDeg;
+    for (const sim::Cluster& c : universe.clusters()) {
+      const double sep = sky::angular_separation_deg(c.center(), pos);
+      if (sep > size_deg / 2.0 + field_deg / 2.0) continue;
+      SiaRecord r;
+      r.title = title + " " + c.name();
+      r.center = c.center();
+      r.size_deg = field_deg;
+      r.access_url = format("%s?CLUSTER=%s", image_base.c_str(), c.name().c_str());
+      r.estimated_bytes =
+          static_cast<std::size_t>(image_pix) * image_pix * 4 + 2880 * 2;
+      out.push_back(std::move(r));
+    }
+    return out;
+  };
+}
+
+}  // namespace
+
+Federation register_federation(HttpFabric& fabric, const sim::Universe& universe) {
+  Federation fed;
+  const sim::Universe* u = &universe;
+  // Shared by the positional handlers below (captured by value in their
+  // closures, so it outlives this function).
+  auto galaxy_index = std::make_shared<const GalaxyIndex>(universe);
+
+  // ---- Chandra Data Archive: high-resolution X-ray SIA ----
+  {
+    const std::string host = Federation::kChandraHost;
+    const std::string image_base = "http://" + host + "/cda/image";
+    fabric.route(host, "/cda/sia",
+                 make_sia_query_handler(
+                     make_field_finder(universe, "Chandra ACIS", image_base, 256, 2.0)),
+                 EndpointModel{70.0, 6.0, 0.0, true});
+    fabric.route(host, "/cda/image",
+                 make_image_handler([u](const Url& url) -> Expected<image::FitsFile> {
+                   const auto name = url.param("CLUSTER");
+                   if (!name) return Error(ErrorCode::kInvalidArgument, "no CLUSTER");
+                   const sim::Cluster* c = u->find_cluster(*name);
+                   if (!c) return Error(ErrorCode::kNotFound, "cluster " + *name);
+                   return u->xray_field(*c, 256, 2.0);
+                 }),
+                 EndpointModel{70.0, 6.0, 0.0, true});
+    fed.chandra_sia = "http://" + host + "/cda/sia";
+  }
+
+  // ---- HEASARC: ROSAT all-sky X-ray SIA (coarser sampling) ----
+  {
+    const std::string host = Federation::kHeasarcHost;
+    const std::string image_base = "http://" + host + "/rosat/image";
+    fabric.route(host, "/rosat/sia",
+                 make_sia_query_handler(
+                     make_field_finder(universe, "ROSAT PSPC", image_base, 128, 8.0)),
+                 EndpointModel{60.0, 10.0, 0.0, true});
+    fabric.route(host, "/rosat/image",
+                 make_image_handler([u](const Url& url) -> Expected<image::FitsFile> {
+                   const auto name = url.param("CLUSTER");
+                   if (!name) return Error(ErrorCode::kInvalidArgument, "no CLUSTER");
+                   const sim::Cluster* c = u->find_cluster(*name);
+                   if (!c) return Error(ErrorCode::kNotFound, "cluster " + *name);
+                   return u->xray_field(*c, 128, 8.0);
+                 }),
+                 EndpointModel{60.0, 10.0, 0.0, true});
+    fed.rosat_sia = "http://" + host + "/rosat/sia";
+  }
+
+  // ---- IPAC: NED cone search ----
+  {
+    const std::string host = Federation::kIpacHost;
+    fabric.route(host, "/ned/cone",
+                 make_cone_search_handler([u]() {
+                   return combined_catalog(*u, &sim::Universe::ned_catalog);
+                 }),
+                 EndpointModel{90.0, 8.0, 0.0, true});
+    fed.ned_cone = "http://" + host + "/ned/cone";
+  }
+
+  // ---- CADC: CNOC survey, SIA + cone ----
+  {
+    const std::string host = Federation::kCadcHost;
+    const std::string image_base = "http://" + host + "/cnoc/image";
+    fabric.route(host, "/cnoc/sia",
+                 make_sia_query_handler(
+                     make_field_finder(universe, "CNOC field", image_base, 512, 2.0)),
+                 EndpointModel{110.0, 5.0, 0.0, true});
+    fabric.route(host, "/cnoc/image",
+                 make_image_handler([u](const Url& url) -> Expected<image::FitsFile> {
+                   const auto name = url.param("CLUSTER");
+                   if (!name) return Error(ErrorCode::kInvalidArgument, "no CLUSTER");
+                   const sim::Cluster* c = u->find_cluster(*name);
+                   if (!c) return Error(ErrorCode::kNotFound, "cluster " + *name);
+                   return u->optical_field(*c, 512, 2.0);
+                 }),
+                 EndpointModel{110.0, 5.0, 0.0, true});
+    fabric.route(host, "/cnoc/cone",
+                 make_cone_search_handler([u]() {
+                   return combined_catalog(*u, &sim::Universe::cnoc_catalog);
+                 }),
+                 EndpointModel{110.0, 5.0, 0.0, true});
+    fed.cnoc_sia = "http://" + host + "/cnoc/sia";
+    fed.cnoc_cone = "http://" + host + "/cnoc/cone";
+  }
+
+  // ---- MAST: DSS fields + the dynamic galaxy cutout service ----
+  {
+    const std::string host = Federation::kMastHost;
+    const std::string image_base = "http://" + host + "/dss/image";
+    fabric.route(host, "/dss/sia",
+                 make_sia_query_handler(
+                     make_field_finder(universe, "DSS", image_base, 512, 2.0)),
+                 EndpointModel{80.0, 4.0, 0.0, true});
+    fabric.route(host, "/dss/image",
+                 make_image_handler([u](const Url& url) -> Expected<image::FitsFile> {
+                   const auto name = url.param("CLUSTER");
+                   if (!name) return Error(ErrorCode::kInvalidArgument, "no CLUSTER");
+                   const sim::Cluster* c = u->find_cluster(*name);
+                   if (!c) return Error(ErrorCode::kNotFound, "cluster " + *name);
+                   return u->optical_field(*c, 512, 2.0);
+                 }),
+                 EndpointModel{80.0, 4.0, 0.0, true});
+
+    // Cutout SIA: one record per catalogued galaxy inside the query cone.
+    // The per-record acref points at the dynamic cutout endpoint — and a
+    // wide cone returns every member in one query, which is exactly the
+    // batched mode the paper says would speed things up "tremendously".
+    const std::string cutout_base = "http://" + host + "/cutout/image";
+    fabric.route(
+        host, "/cutout/sia",
+        make_sia_query_handler([galaxy_index, cutout_base](
+                                   const sky::Equatorial& pos, double size_deg) {
+          std::vector<SiaRecord> out;
+          const double cutout_deg = 64.0 / sky::kArcsecPerDeg;  // 64 pix at 1"/pix
+          for (const std::size_t id :
+               galaxy_index->index->query_cone(pos, size_deg / 2.0)) {
+            const sim::GalaxyTruth& g = *galaxy_index->refs[id].galaxy;
+            SiaRecord r;
+            r.title = g.id;
+            r.center = g.position;
+            r.size_deg = cutout_deg;
+            r.access_url =
+                format("%s?POS=%.6f,%.6f&SIZE=%.6f", cutout_base.c_str(),
+                       g.position.ra_deg, g.position.dec_deg, cutout_deg);
+            r.estimated_bytes = 64 * 64 * 4 + 2880 * 2;
+            out.push_back(std::move(r));
+          }
+          return out;
+        }),
+        EndpointModel{80.0, 4.0, 0.0, true});
+    fabric.route(
+        host, "/cutout/image",
+        make_image_handler([u, galaxy_index](const Url& url)
+                               -> Expected<image::FitsFile> {
+          const auto pos_text = url.param("POS");
+          const auto size = url.param_double("SIZE");
+          if (!pos_text || !size) {
+            return Error(ErrorCode::kInvalidArgument, "cutout needs POS and SIZE");
+          }
+          const auto parts = split(*pos_text, ',');
+          const auto ra = parts.size() == 2 ? parse_double(parts[0]) : std::nullopt;
+          const auto dec = parts.size() == 2 ? parse_double(parts[1]) : std::nullopt;
+          if (!ra || !dec) return Error(ErrorCode::kInvalidArgument, "bad POS");
+          const sky::Equatorial pos{*ra, *dec};
+          const int pix = std::clamp(
+              static_cast<int>(std::lround(*size * sky::kArcsecPerDeg)), 32, 128);
+          const GalaxyHit hit =
+              nearest_galaxy(*galaxy_index, pos, 30.0 / sky::kArcsecPerDeg);
+          if (!hit.galaxy) {
+            return Error(ErrorCode::kNotFound,
+                         "no catalogued galaxy near " + pos.to_string());
+          }
+          return u->galaxy_cutout(*hit.cluster, *hit.galaxy, pix);
+        }),
+        EndpointModel{80.0, 4.0, 0.0, true});
+
+    fed.dss_sia = "http://" + host + "/dss/sia";
+    fed.cutout_sia = "http://" + host + "/cutout/sia";
+  }
+
+  return fed;
+}
+
+}  // namespace nvo::services

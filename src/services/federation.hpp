@@ -1,0 +1,45 @@
+// The five data centers of paper Table 1, wired onto an HttpFabric and
+// backed by the synthetic universe:
+//
+//   Chandra X-ray Center   Chandra Data Archive          SIA
+//   NASA HEASARC           ROSAT X-ray data              SIA
+//   NASA IPAC              NASA Extragalactic DB (NED)   Cone Search
+//   CADC                   CNOC Survey                   SIA + Cone Search
+//   MAST (STScI)           Digitized Sky Survey (DSS)    SIA + Cone Search
+//
+// MAST additionally hosts the dynamic galaxy cutout service the pipeline
+// feeds the compute jobs from. Endpoint performance models differ per
+// center, reflecting the paper's observation that the per-request SIA
+// latency is the application's bottleneck.
+#pragma once
+
+#include <string>
+
+#include "services/http.hpp"
+#include "sim/universe.hpp"
+
+namespace nvo::services {
+
+/// Base URLs of the registered federation endpoints.
+struct Federation {
+  std::string chandra_sia;  ///< Chandra Data Archive SIA metadata query
+  std::string rosat_sia;    ///< HEASARC ROSAT SIA metadata query
+  std::string ned_cone;     ///< IPAC NED Cone Search
+  std::string cnoc_sia;     ///< CADC CNOC SIA
+  std::string cnoc_cone;    ///< CADC CNOC Cone Search
+  std::string dss_sia;      ///< MAST DSS SIA (large-scale fields)
+  std::string cutout_sia;   ///< MAST galaxy cutout SIA (dynamic cutouts)
+
+  /// Hosts, for availability toggling in fault-injection tests.
+  static constexpr const char* kChandraHost = "cda.harvard.sim";
+  static constexpr const char* kHeasarcHost = "heasarc.gsfc.sim";
+  static constexpr const char* kIpacHost = "ned.ipac.sim";
+  static constexpr const char* kCadcHost = "cadc.hia.sim";
+  static constexpr const char* kMastHost = "archive.stsci.sim";
+};
+
+/// Registers all Table-1 services on the fabric, serving data from the
+/// universe. The universe reference must outlive the fabric's routes.
+Federation register_federation(HttpFabric& fabric, const sim::Universe& universe);
+
+}  // namespace nvo::services

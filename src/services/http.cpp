@@ -1,0 +1,202 @@
+#include "services/http.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace nvo::services {
+
+namespace {
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_value(s[i + 1]);
+      const int lo = hex_value(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += s[i] == '+' ? ' ' : s[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string url_encode(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.' ||
+                      c == '~' || c == ',';
+    if (safe) {
+      out += c;
+    } else {
+      out += format("%%%02X", static_cast<unsigned char>(c));
+    }
+  }
+  return out;
+}
+
+std::string Url::to_string() const {
+  std::string out = scheme + "://" + host + path;
+  bool first = true;
+  for (const auto& [k, v] : query) {
+    out += first ? '?' : '&';
+    first = false;
+    out += k;
+    out += '=';
+    out += url_encode(v);
+  }
+  return out;
+}
+
+Expected<Url> Url::parse(const std::string& text) {
+  Url url;
+  std::string_view rest = text;
+  const std::size_t scheme_end = rest.find("://");
+  if (scheme_end == std::string_view::npos) {
+    return Error(ErrorCode::kParseError, "no scheme in URL: " + text);
+  }
+  url.scheme = std::string(rest.substr(0, scheme_end));
+  rest.remove_prefix(scheme_end + 3);
+  const std::size_t path_start = rest.find('/');
+  if (path_start == std::string_view::npos) {
+    url.host = std::string(rest);
+    url.path = "/";
+    return url;
+  }
+  url.host = std::string(rest.substr(0, path_start));
+  rest.remove_prefix(path_start);
+  const std::size_t query_start = rest.find('?');
+  if (query_start == std::string_view::npos) {
+    url.path = std::string(rest);
+    return url;
+  }
+  url.path = std::string(rest.substr(0, query_start));
+  rest.remove_prefix(query_start + 1);
+  for (const std::string& pair : split(rest, '&')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      url.query[url_decode(pair)] = "";
+    } else {
+      url.query[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+    }
+  }
+  return url;
+}
+
+std::optional<std::string> Url::param(const std::string& key) const {
+  const auto it = query.find(key);
+  if (it == query.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> Url::param_double(const std::string& key) const {
+  const auto v = param(key);
+  if (!v) return std::nullopt;
+  return parse_double(*v);
+}
+
+HttpResponse HttpResponse::text(std::string s, const std::string& type) {
+  HttpResponse r;
+  r.content_type = type;
+  r.body.assign(s.begin(), s.end());
+  return r;
+}
+
+HttpResponse HttpResponse::binary(std::vector<std::uint8_t> bytes,
+                                  const std::string& type) {
+  HttpResponse r;
+  r.content_type = type;
+  r.body = std::move(bytes);
+  return r;
+}
+
+HttpFabric::HttpFabric(std::uint64_t seed) : rng_(seed) {}
+
+void HttpFabric::route(const std::string& host, const std::string& path_prefix,
+                       Handler handler, EndpointModel model) {
+  routes_.push_back(Route{host, path_prefix, std::move(handler), model});
+}
+
+Status HttpFabric::set_up(const std::string& host, const std::string& path_prefix,
+                          bool up) {
+  for (Route& r : routes_) {
+    if (r.host == host && r.path_prefix == path_prefix) {
+      r.model.up = up;
+      return Status::Ok();
+    }
+  }
+  return Error(ErrorCode::kNotFound, "no route " + host + path_prefix);
+}
+
+HttpFabric::Route* HttpFabric::find_route(const Url& url) {
+  Route* best = nullptr;
+  for (Route& r : routes_) {
+    if (r.host != url.host) continue;
+    if (!starts_with(url.path, r.path_prefix)) continue;
+    if (!best || r.path_prefix.size() > best->path_prefix.size()) best = &r;
+  }
+  return best;
+}
+
+Expected<HttpResponse> HttpFabric::get(const std::string& url_text) {
+  const auto parsed = Url::parse(url_text);
+  if (!parsed.ok()) return parsed.error();
+  const Url& url = parsed.value();
+
+  ++metrics_.requests;
+  Route* route = find_route(url);
+  if (!route) {
+    ++metrics_.failures;
+    return Error(ErrorCode::kNotFound, "no service at " + url.host + url.path);
+  }
+  if (!route->model.up) {
+    ++metrics_.failures;
+    metrics_.total_elapsed_ms += route->model.latency_ms;
+    return Error(ErrorCode::kServiceUnavailable, url.host + " is down");
+  }
+  if (route->model.failure_rate > 0.0 && rng_.bernoulli(route->model.failure_rate)) {
+    ++metrics_.failures;
+    metrics_.total_elapsed_ms += route->model.latency_ms;
+    return Error(ErrorCode::kServiceUnavailable,
+                 "transient failure at " + url.host + url.path);
+  }
+
+  auto result = route->handler(url);
+  if (!result.ok()) {
+    ++metrics_.failures;
+    metrics_.total_elapsed_ms += route->model.latency_ms;
+    return result;
+  }
+  HttpResponse response = std::move(result.value());
+  // Simulated cost: connection latency + payload / bandwidth, with a mild
+  // stochastic jitter so repeated queries are not suspiciously identical.
+  const double megabits = static_cast<double>(response.body.size()) * 8.0 / 1e6;
+  const double transfer_ms =
+      route->model.bandwidth_mbps > 0.0
+          ? megabits / route->model.bandwidth_mbps * 1000.0
+          : 0.0;
+  const double jitter = 1.0 + 0.1 * (rng_.uniform() - 0.5);
+  response.elapsed_ms = (route->model.latency_ms + transfer_ms) * jitter;
+
+  metrics_.bytes_transferred += response.body.size();
+  metrics_.total_elapsed_ms += response.elapsed_ms;
+  return response;
+}
+
+}  // namespace nvo::services

@@ -1,0 +1,106 @@
+// In-process HTTP GET fabric: the transport beneath every simulated NVO
+// service. The paper's interfaces are deliberately simple — "based on HTTP
+// Get operations" (§3.1) — so the fabric models exactly that: URL in, typed
+// response out, with a per-endpoint performance model (connection latency,
+// bandwidth, failure rate, up/down state) that reproduces the WAN behaviour
+// the prototype saw: per-request overhead dominating many-small-image
+// workloads, and archives occasionally being down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/rng.hpp"
+
+namespace nvo::services {
+
+/// A parsed URL: scheme://host/path?query.
+struct Url {
+  std::string scheme = "http";
+  std::string host;
+  std::string path;                          ///< begins with '/'
+  std::map<std::string, std::string> query;  ///< decoded key -> value
+
+  std::string to_string() const;
+  static Expected<Url> parse(const std::string& text);
+
+  /// Query parameter lookup.
+  std::optional<std::string> param(const std::string& key) const;
+  std::optional<double> param_double(const std::string& key) const;
+};
+
+/// Percent-encodes a query value.
+std::string url_encode(const std::string& s);
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain";
+  std::vector<std::uint8_t> body;
+  double elapsed_ms = 0.0;  ///< simulated wall time for this request
+
+  std::string body_text() const { return std::string(body.begin(), body.end()); }
+  static HttpResponse text(std::string s, const std::string& type = "text/plain");
+  static HttpResponse binary(std::vector<std::uint8_t> bytes, const std::string& type);
+};
+
+/// Endpoint handler: path + query in, response out.
+using Handler = std::function<Expected<HttpResponse>(const Url&)>;
+
+/// Performance/fault model for one endpoint.
+struct EndpointModel {
+  double latency_ms = 50.0;         ///< per-request setup cost (the SIA killer)
+  double bandwidth_mbps = 8.0;      ///< payload transfer rate
+  double failure_rate = 0.0;        ///< probability of a 503 per request
+  bool up = true;                   ///< hard down switch (archive outage)
+};
+
+/// The fabric: a routing table plus metrics. Thread-compatible: handlers
+/// run on the calling thread; the metrics counters are plain (the grid
+/// executor serializes its fabric access through the service layer).
+class HttpFabric {
+ public:
+  explicit HttpFabric(std::uint64_t seed = 7);
+
+  /// Registers `handler` for all URLs on `host` whose path begins with
+  /// `path_prefix` (longest prefix wins).
+  void route(const std::string& host, const std::string& path_prefix, Handler handler,
+             EndpointModel model = {});
+
+  /// Toggles an endpoint's availability (e.g. "MAST is down").
+  Status set_up(const std::string& host, const std::string& path_prefix, bool up);
+
+  /// Issues a GET. On success the response's elapsed_ms includes the
+  /// endpoint model's latency + transfer time.
+  Expected<HttpResponse> get(const std::string& url_text);
+
+  /// Cumulative metrics.
+  struct Metrics {
+    std::uint64_t requests = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t bytes_transferred = 0;
+    double total_elapsed_ms = 0.0;
+  };
+  const Metrics& metrics() const { return metrics_; }
+  void reset_metrics() { metrics_ = {}; }
+
+ private:
+  struct Route {
+    std::string host;
+    std::string path_prefix;
+    Handler handler;
+    EndpointModel model;
+  };
+  Route* find_route(const Url& url);
+
+  std::vector<Route> routes_;
+  Rng rng_;
+  Metrics metrics_;
+};
+
+}  // namespace nvo::services

@@ -1,0 +1,97 @@
+#include "services/myproxy.hpp"
+
+#include <algorithm>
+
+namespace nvo::services {
+
+void MyProxyServer::store(const std::string& subject, const std::string& passphrase,
+                          double now_s, double lifetime_s) {
+  Stored entry;
+  entry.passphrase = passphrase;
+  entry.credential.subject = subject;
+  entry.credential.issuer = subject;  // end-entity self-issued
+  entry.credential.delegation_depth = 0;
+  entry.credential.issued_at_s = now_s;
+  entry.credential.lifetime_s = lifetime_s;
+  entry.credential.serial = next_serial_++;
+  issued_[entry.credential.serial] = subject;
+  stored_[subject] = std::move(entry);
+}
+
+Expected<ProxyCredential> MyProxyServer::retrieve(const std::string& subject,
+                                                  const std::string& passphrase,
+                                                  double now_s,
+                                                  double requested_lifetime_s) {
+  const auto it = stored_.find(subject);
+  if (it == stored_.end()) {
+    return Error(ErrorCode::kNotFound, "no stored credential for " + subject);
+  }
+  Stored& entry = it->second;
+  if (entry.revoked) {
+    return Error(ErrorCode::kInvalidArgument, "credential revoked for " + subject);
+  }
+  if (entry.passphrase != passphrase) {
+    return Error(ErrorCode::kInvalidArgument, "bad passphrase for " + subject);
+  }
+  if (entry.credential.expired(now_s)) {
+    return Error(ErrorCode::kTimeout, "stored credential expired for " + subject);
+  }
+  ProxyCredential proxy;
+  proxy.subject = subject;
+  proxy.issuer = subject;
+  proxy.delegation_depth = 1;
+  proxy.issued_at_s = now_s;
+  proxy.lifetime_s =
+      std::min(requested_lifetime_s, entry.credential.remaining_s(now_s));
+  proxy.serial = next_serial_++;
+  issued_[proxy.serial] = subject;
+  return proxy;
+}
+
+Status MyProxyServer::revoke(const std::string& subject) {
+  const auto it = stored_.find(subject);
+  if (it == stored_.end()) return Error(ErrorCode::kNotFound, subject);
+  it->second.revoked = true;
+  return Status::Ok();
+}
+
+Status MyProxyServer::validate(const ProxyCredential& proxy, double now_s) const {
+  const auto issued = issued_.find(proxy.serial);
+  if (issued == issued_.end() || issued->second != proxy.subject) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "unknown credential serial for " + proxy.subject);
+  }
+  const auto it = stored_.find(proxy.subject);
+  if (it == stored_.end()) {
+    return Error(ErrorCode::kNotFound, "unknown subject " + proxy.subject);
+  }
+  if (it->second.revoked) {
+    return Error(ErrorCode::kInvalidArgument, "revoked: " + proxy.subject);
+  }
+  if (proxy.expired(now_s)) {
+    return Error(ErrorCode::kTimeout, "proxy expired: " + proxy.subject);
+  }
+  if (proxy.delegation_depth < 0 || proxy.delegation_depth > 10) {
+    return Error(ErrorCode::kInvalidArgument, "implausible delegation depth");
+  }
+  return Status::Ok();
+}
+
+Expected<ProxyCredential> MyProxyServer::delegate(const ProxyCredential& parent,
+                                                  double now_s,
+                                                  double requested_lifetime_s) const {
+  const Status parent_ok = validate(parent, now_s);
+  if (!parent_ok.ok()) return parent_ok.error();
+  ProxyCredential child = parent;
+  child.issuer = parent.subject;
+  child.delegation_depth = parent.delegation_depth + 1;
+  child.issued_at_s = now_s;
+  child.lifetime_s = std::min(requested_lifetime_s, parent.remaining_s(now_s));
+  // Delegations inherit the parent's serial lineage: the server recognizes
+  // them through the parent's registration. A fresh serial would require a
+  // callback to the server; GSI delegation is offline, so we keep the
+  // parent's serial (subject binding is what validate checks).
+  return child;
+}
+
+}  // namespace nvo::services

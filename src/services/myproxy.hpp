@@ -1,0 +1,79 @@
+// MyProxy-style credential management. The paper: "This prototype web
+// service submits jobs onto the Grid using the credentials stored at the
+// web server. However, for a more general solution, we are planning to use
+// MyProxy as a solution for authentication of users" (§4.3.1 item 5).
+// This is that general solution: an online credential repository where
+// users deposit delegated proxy credentials under a passphrase, and
+// services retrieve short-lived delegations to act on the user's behalf —
+// the GSI delegation model reduced to its observable behaviour (subjects,
+// lifetimes, delegation chains, revocation).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace nvo::services {
+
+/// A (possibly delegated) proxy credential.
+struct ProxyCredential {
+  std::string subject;        ///< "/O=NVO/CN=Jane Astronomer"
+  std::string issuer;         ///< signing identity (user or upstream proxy)
+  int delegation_depth = 0;   ///< 0 = end-entity, 1 = first proxy, ...
+  double issued_at_s = 0.0;
+  double lifetime_s = 43200;  ///< 12h default, MyProxy-style
+  std::uint64_t serial = 0;   ///< unique per credential
+
+  bool expired(double now_s) const { return now_s >= issued_at_s + lifetime_s; }
+  double remaining_s(double now_s) const {
+    return std::max(0.0, issued_at_s + lifetime_s - now_s);
+  }
+};
+
+/// The online repository ("myproxy-server").
+class MyProxyServer {
+ public:
+  /// Deposits a long-lived credential for `subject` protected by
+  /// `passphrase` (myproxy-init). Re-depositing replaces it.
+  void store(const std::string& subject, const std::string& passphrase,
+             double now_s, double lifetime_s = 7.0 * 86400.0);
+
+  /// Retrieves a short-lived delegated proxy (myproxy-logon): requires the
+  /// right passphrase and an unexpired stored credential. The delegation's
+  /// lifetime is capped by both `requested_lifetime_s` and the stored
+  /// credential's remaining lifetime.
+  Expected<ProxyCredential> retrieve(const std::string& subject,
+                                     const std::string& passphrase, double now_s,
+                                     double requested_lifetime_s = 43200.0);
+
+  /// Revokes a subject's stored credential; outstanding proxies validated
+  /// against this server fail afterwards.
+  Status revoke(const std::string& subject);
+
+  /// Validates a proxy: known unrevoked subject, unexpired, sane chain.
+  Status validate(const ProxyCredential& proxy, double now_s) const;
+
+  /// Further delegation (e.g. the compute service delegating to a job):
+  /// child proxy with depth+1, lifetime capped by the parent's remainder.
+  Expected<ProxyCredential> delegate(const ProxyCredential& parent, double now_s,
+                                     double requested_lifetime_s) const;
+
+  std::size_t stored_count() const { return stored_.size(); }
+
+ private:
+  struct Stored {
+    std::string passphrase;
+    ProxyCredential credential;
+    bool revoked = false;
+  };
+  std::map<std::string, Stored> stored_;
+  std::uint64_t next_serial_ = 1;
+  // Serials issued by this server (so validate can reject forgeries).
+  std::map<std::uint64_t, std::string> issued_;  // serial -> subject
+};
+
+}  // namespace nvo::services

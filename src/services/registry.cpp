@@ -1,0 +1,75 @@
+#include "services/registry.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace nvo::services {
+
+const char* to_string(Capability c) {
+  switch (c) {
+    case Capability::kConeSearch:
+      return "cone-search";
+    case Capability::kSimpleImageAccess:
+      return "sia";
+    case Capability::kCutout:
+      return "cutout";
+    case Capability::kCompute:
+      return "compute";
+  }
+  return "?";
+}
+
+bool ServiceRecord::covers(const sky::Equatorial& pos) const {
+  if (coverage_radius_deg < 0.0) return true;  // all-sky
+  return sky::within_cone(coverage_center, coverage_radius_deg, pos);
+}
+
+Status Registry::add(ServiceRecord record) {
+  for (const ServiceRecord& r : records_) {
+    if (r.identifier == record.identifier) {
+      return Error(ErrorCode::kAlreadyExists, record.identifier);
+    }
+  }
+  records_.push_back(std::move(record));
+  return Status::Ok();
+}
+
+std::vector<ServiceRecord> Registry::find_by_capability(Capability c) const {
+  std::vector<ServiceRecord> out;
+  for (const ServiceRecord& r : records_) {
+    if (r.capability == c) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<ServiceRecord> Registry::discover(Capability c, const sky::Equatorial& pos,
+                                              const std::string& waveband) const {
+  std::vector<ServiceRecord> out;
+  for (const ServiceRecord& r : records_) {
+    if (r.capability != c) continue;
+    if (!r.covers(pos)) continue;
+    if (!waveband.empty() && r.waveband != waveband) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<ServiceRecord> Registry::search_keyword(const std::string& keyword) const {
+  const std::string needle = to_lower(keyword);
+  std::vector<ServiceRecord> out;
+  for (const ServiceRecord& r : records_) {
+    const std::string haystack = to_lower(r.title + " " + r.publisher);
+    if (haystack.find(needle) != std::string::npos) out.push_back(r);
+  }
+  return out;
+}
+
+Expected<ServiceRecord> Registry::resolve(const std::string& identifier) const {
+  for (const ServiceRecord& r : records_) {
+    if (r.identifier == identifier) return r;
+  }
+  return Error(ErrorCode::kNotFound, "no service " + identifier);
+}
+
+}  // namespace nvo::services

@@ -1,0 +1,62 @@
+// Service registry: the capability the paper names as the most obvious
+// missing NVO infrastructure — "a general registry of image and catalog
+// services ... would allow the user to discover and choose the appropriate
+// data resources rather than being limited to the ones that were hard-coded
+// into the portal" (§4.2, §5). Records are registered with typed
+// capabilities and discovered by capability + coverage + keyword.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "sky/coords.hpp"
+
+namespace nvo::services {
+
+enum class Capability { kConeSearch, kSimpleImageAccess, kCutout, kCompute };
+
+const char* to_string(Capability c);
+
+struct ServiceRecord {
+  std::string identifier;   ///< e.g. "ivo://sim.mast/dss"
+  std::string title;        ///< human-readable
+  std::string publisher;    ///< data center name
+  Capability capability = Capability::kConeSearch;
+  std::string base_url;     ///< endpoint to call
+  std::string waveband;     ///< "optical", "x-ray", ...
+  // Sky coverage: all-sky when radius_deg < 0.
+  sky::Equatorial coverage_center;
+  double coverage_radius_deg = -1.0;
+
+  bool covers(const sky::Equatorial& pos) const;
+};
+
+/// In-memory registry with the query shapes a portal needs.
+class Registry {
+ public:
+  /// Registers a record; identifiers are unique.
+  Status add(ServiceRecord record);
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<ServiceRecord>& records() const { return records_; }
+
+  /// All services with a capability.
+  std::vector<ServiceRecord> find_by_capability(Capability c) const;
+
+  /// Services with the capability whose coverage includes `pos`, optionally
+  /// filtered by waveband ("" = any).
+  std::vector<ServiceRecord> discover(Capability c, const sky::Equatorial& pos,
+                                      const std::string& waveband = "") const;
+
+  /// Case-insensitive substring search over title + publisher.
+  std::vector<ServiceRecord> search_keyword(const std::string& keyword) const;
+
+  /// Lookup by identifier.
+  Expected<ServiceRecord> resolve(const std::string& identifier) const;
+
+ private:
+  std::vector<ServiceRecord> records_;
+};
+
+}  // namespace nvo::services

@@ -1,0 +1,143 @@
+#include "services/table_service.hpp"
+
+#include "common/strings.hpp"
+#include "votable/table_ops.hpp"
+#include "votable/votable_io.hpp"
+
+namespace nvo::services {
+
+namespace {
+
+/// Fetches and parses an operand VOTable named by URL.
+Expected<votable::Table> fetch_table(HttpFabric& fabric, const std::string& url) {
+  auto response = fabric.get(url);
+  if (!response.ok()) return response.error();
+  if (response->status != 200) {
+    return Error(ErrorCode::kServiceUnavailable,
+                 format("operand fetch returned %d for %s", response->status,
+                        url.c_str()));
+  }
+  return votable::from_votable_xml(response->body_text());
+}
+
+HttpResponse bad_request(const std::string& message) {
+  HttpResponse r = HttpResponse::text(message);
+  r.status = 400;
+  return r;
+}
+
+HttpResponse table_response(const votable::Table& table) {
+  return HttpResponse::text(votable::to_votable_xml(table),
+                            "text/xml;content=x-votable");
+}
+
+}  // namespace
+
+TableService register_table_service(HttpFabric& fabric, const std::string& host) {
+  HttpFabric* fab = &fabric;
+  const EndpointModel model{30.0, 40.0, 0.0, true};
+
+  fabric.route(host, "/tables/join",
+               [fab](const Url& url) -> Expected<HttpResponse> {
+                 const auto left = url.param("left");
+                 const auto right = url.param("right");
+                 const auto lkey = url.param("lkey");
+                 const auto rkey = url.param("rkey");
+                 if (!left || !right || !lkey || !rkey) {
+                   return bad_request("join needs left, right, lkey, rkey");
+                 }
+                 const std::string kind = url.param("kind").value_or("inner");
+                 if (kind != "inner" && kind != "left") {
+                   return bad_request("kind must be inner or left");
+                 }
+                 auto lt = fetch_table(*fab, *left);
+                 if (!lt.ok()) return lt.error();
+                 auto rt = fetch_table(*fab, *right);
+                 if (!rt.ok()) return rt.error();
+                 auto joined = votable::join(lt.value(), rt.value(), *lkey, *rkey,
+                                             kind == "left"
+                                                 ? votable::JoinKind::kLeft
+                                                 : votable::JoinKind::kInner);
+                 if (!joined.ok()) return bad_request(joined.error().to_string());
+                 return table_response(joined.value());
+               },
+               model);
+
+  fabric.route(host, "/tables/sort",
+               [fab](const Url& url) -> Expected<HttpResponse> {
+                 const auto in = url.param("in");
+                 const auto by = url.param("by");
+                 if (!in || !by) return bad_request("sort needs in, by");
+                 const bool ascending = url.param("order").value_or("asc") != "desc";
+                 auto table = fetch_table(*fab, *in);
+                 if (!table.ok()) return table.error();
+                 auto sorted = votable::sort_by(table.value(), *by, ascending);
+                 if (!sorted.ok()) return bad_request(sorted.error().to_string());
+                 return table_response(sorted.value());
+               },
+               model);
+
+  fabric.route(host, "/tables/project",
+               [fab](const Url& url) -> Expected<HttpResponse> {
+                 const auto in = url.param("in");
+                 const auto cols = url.param("cols");
+                 if (!in || !cols) return bad_request("project needs in, cols");
+                 auto table = fetch_table(*fab, *in);
+                 if (!table.ok()) return table.error();
+                 auto projected = votable::project(table.value(), split(*cols, ','));
+                 if (!projected.ok()) {
+                   return bad_request(projected.error().to_string());
+                 }
+                 return table_response(projected.value());
+               },
+               model);
+
+  TableService svc;
+  svc.join_url = "http://" + host + "/tables/join";
+  svc.sort_url = "http://" + host + "/tables/sort";
+  svc.project_url = "http://" + host + "/tables/project";
+  return svc;
+}
+
+namespace {
+Expected<votable::Table> parse_service_response(Expected<HttpResponse> response) {
+  if (!response.ok()) return response.error();
+  if (response->status != 200) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "table service error: " + response->body_text());
+  }
+  return votable::from_votable_xml(response->body_text());
+}
+}  // namespace
+
+Expected<votable::Table> remote_join(HttpFabric& fabric, const TableService& svc,
+                                     const std::string& left_url,
+                                     const std::string& right_url,
+                                     const std::string& left_key,
+                                     const std::string& right_key, bool left_join) {
+  const std::string url = svc.join_url + "?left=" + url_encode(left_url) +
+                          "&right=" + url_encode(right_url) +
+                          "&lkey=" + url_encode(left_key) +
+                          "&rkey=" + url_encode(right_key) +
+                          "&kind=" + (left_join ? "left" : "inner");
+  return parse_service_response(fabric.get(url));
+}
+
+Expected<votable::Table> remote_sort(HttpFabric& fabric, const TableService& svc,
+                                     const std::string& table_url,
+                                     const std::string& by_column, bool ascending) {
+  const std::string url = svc.sort_url + "?in=" + url_encode(table_url) +
+                          "&by=" + url_encode(by_column) +
+                          "&order=" + (ascending ? "asc" : "desc");
+  return parse_service_response(fabric.get(url));
+}
+
+Expected<votable::Table> remote_project(HttpFabric& fabric, const TableService& svc,
+                                        const std::string& table_url,
+                                        const std::vector<std::string>& columns) {
+  const std::string url = svc.project_url + "?in=" + url_encode(table_url) +
+                          "&cols=" + url_encode(join(columns, ","));
+  return parse_service_response(fabric.get(url));
+}
+
+}  // namespace nvo::services

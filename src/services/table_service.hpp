@@ -1,0 +1,52 @@
+// The generic VOTable manipulation *service*. The paper twice calls this
+// out as missing infrastructure: "joining is one of a few general-purpose
+// VOTable manipulations that should be implemented as a generic, external
+// service that could be used by a number of different NVO applications"
+// (§4.2) and "we also discovered the general utility of a service that
+// could join two VOTables on an arbitrary column or manipulate tables in
+// other ways" (§5). This module exposes the votable/table_ops library as
+// HTTP endpoints in the VO style: operand tables are named by URL, fetched
+// by the service, and the result returned as a VOTable document.
+//
+//   /tables/join?left=<url>&right=<url>&lkey=<col>&rkey=<col>&kind=inner|left
+//   /tables/sort?in=<url>&by=<col>&order=asc|desc
+//   /tables/project?in=<url>&cols=a,b,c
+#pragma once
+
+#include <string>
+
+#include "common/expected.hpp"
+#include "services/http.hpp"
+#include "votable/table.hpp"
+
+namespace nvo::services {
+
+/// Base URLs of the registered endpoints.
+struct TableService {
+  std::string join_url;
+  std::string sort_url;
+  std::string project_url;
+};
+
+/// Registers the service on the fabric under `host`. The fabric reference
+/// must outlive the routes (the service fetches its operand tables through
+/// the same fabric).
+TableService register_table_service(HttpFabric& fabric,
+                                    const std::string& host = "tables.nvo.sim");
+
+/// Client-side conveniences.
+Expected<votable::Table> remote_join(HttpFabric& fabric, const TableService& svc,
+                                     const std::string& left_url,
+                                     const std::string& right_url,
+                                     const std::string& left_key,
+                                     const std::string& right_key,
+                                     bool left_join = false);
+Expected<votable::Table> remote_sort(HttpFabric& fabric, const TableService& svc,
+                                     const std::string& table_url,
+                                     const std::string& by_column,
+                                     bool ascending = true);
+Expected<votable::Table> remote_project(HttpFabric& fabric, const TableService& svc,
+                                        const std::string& table_url,
+                                        const std::vector<std::string>& columns);
+
+}  // namespace nvo::services

@@ -1,0 +1,118 @@
+#include "sim/cluster.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace nvo::sim {
+
+namespace {
+
+/// Samples a projected radius (arcmin) from the cored profile
+/// Sigma(r) ~ 1 / (1 + (r/rc)^2), truncated at the extent radius, by
+/// inverse-transform sampling of the enclosed-count function
+/// N(<r) ~ ln(1 + (r/rc)^2).
+double sample_radius(const ClusterSpec& spec, Rng& rng) {
+  const double rc = spec.core_radius_arcmin;
+  const double xmax = spec.extent_arcmin / rc;
+  const double total = std::log1p(xmax * xmax);
+  const double u = rng.uniform() * total;
+  const double x = std::sqrt(std::expm1(u));
+  return x * rc;
+}
+
+}  // namespace
+
+double early_type_probability(const ClusterSpec& spec, double radius_arcmin) {
+  // Linear in log-density; the cored profile makes log Sigma fall like
+  // -log(1 + (r/rc)^2), so interpolate on that coordinate between the core
+  // and edge fractions.
+  const double rc = spec.core_radius_arcmin;
+  const double x = radius_arcmin / rc;
+  const double xe = spec.extent_arcmin / rc;
+  const double t = std::log1p(x * x) / std::log1p(xe * xe);  // 0 at core, 1 at edge
+  return spec.elliptical_fraction_core +
+         (spec.elliptical_fraction_edge - spec.elliptical_fraction_core) * t;
+}
+
+Cluster generate_cluster(const ClusterSpec& spec, const sky::Cosmology& cosmology) {
+  Cluster out;
+  out.spec = spec;
+  Rng rng(spec.seed);
+  // Physical scale sets apparent sizes: a fixed 3 kpc half-light radius
+  // maps to fewer pixels at higher redshift.
+  const double kpc_per_arcsec = cosmology.kpc_per_arcsec(spec.redshift);
+  const double arcsec_per_kpc = 1.0 / std::max(kpc_per_arcsec, 1e-6);
+
+  out.galaxies.reserve(static_cast<std::size_t>(spec.n_galaxies));
+  for (int i = 0; i < spec.n_galaxies; ++i) {
+    GalaxyTruth g;
+    g.id = format("%s_G%04d", spec.name.c_str(), i);
+    g.seed = hash64(g.id);
+    Rng grng(g.seed);
+
+    // --- placement ---
+    const double r = sample_radius(spec, rng);
+    const double theta = rng.uniform(0.0, 2.0 * sky::kPi);
+    g.position = sky::offset_by_arcmin(spec.center, r * std::cos(theta),
+                                       r * std::sin(theta));
+    g.radius_arcmin = r;
+
+    // --- kinematics: cluster redshift + ~1000 km/s velocity dispersion ---
+    g.redshift = spec.redshift + grng.normal(0.0, 1000.0 / sky::kSpeedOfLightKmS);
+
+    // --- morphology via the Dressler mixing rule ---
+    const double p_early = early_type_probability(spec, r);
+    if (rng.bernoulli(p_early)) {
+      g.type = grng.bernoulli(0.65) ? MorphType::kElliptical : MorphType::kS0;
+    } else {
+      g.type = grng.bernoulli(spec.irregular_fraction) ? MorphType::kIrregular
+                                                       : MorphType::kSpiral;
+    }
+
+    // --- luminosity: crude Schechter-like tail; brighter in the core ---
+    const double lum = grng.pareto(1.0, 1.7);        // L/L* >= 1 tail
+    const double dim = cosmology.distance_modulus(spec.redshift) - 35.0;
+    g.mag = 19.5 - 2.5 * std::log10(lum) + dim;      // arbitrary zeropoint
+    g.total_flux = 2.0e4 * lum;                      // detector counts
+
+    // --- structural parameters per type ---
+    const double r_e_kpc = grng.uniform(2.0, 5.0);   // physical half-light
+    const double r_e_arcsec = r_e_kpc * arcsec_per_kpc;
+    g.r_e_pix = std::max(1.8, r_e_arcsec);           // at 1"/pix sampling
+    g.position_angle_rad = grng.uniform(0.0, sky::kPi);
+    switch (g.type) {
+      case MorphType::kElliptical:
+        g.sersic_n = grng.uniform(3.5, 4.5);
+        g.axis_ratio = grng.uniform(0.7, 0.95);
+        g.arm_amplitude = 0.0;
+        g.clumpiness = 0.0;
+        break;
+      case MorphType::kS0:
+        g.sersic_n = grng.uniform(2.0, 3.0);
+        g.axis_ratio = grng.uniform(0.5, 0.85);
+        g.arm_amplitude = 0.0;
+        g.clumpiness = 0.0;
+        break;
+      case MorphType::kSpiral:
+        g.sersic_n = grng.uniform(0.9, 1.3);
+        g.axis_ratio = grng.uniform(0.45, 0.9);
+        g.arm_amplitude = grng.uniform(0.35, 0.7);
+        g.arm_pitch_rad = grng.uniform(0.25, 0.45);
+        g.clumpiness = grng.uniform(0.05, 0.15);
+        g.r_e_pix *= 1.6;  // disks are larger at fixed luminosity
+        break;
+      case MorphType::kIrregular:
+        g.sersic_n = grng.uniform(0.7, 1.1);
+        g.axis_ratio = grng.uniform(0.4, 0.8);
+        g.arm_amplitude = grng.uniform(0.1, 0.3);
+        g.clumpiness = grng.uniform(0.3, 0.5);
+        g.r_e_pix *= 1.4;
+        break;
+    }
+    out.galaxies.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace nvo::sim

@@ -1,0 +1,183 @@
+#include "sim/galaxy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/profiles.hpp"
+
+namespace nvo::sim {
+
+namespace {
+
+constexpr float kSaturation = 65535.0f;
+
+/// Effective profile with PSF softening: we fold the Gaussian seeing into
+/// the profile by adding the PSF sigma in quadrature to the scale radius.
+/// This is the standard cheap approximation for well-resolved sources.
+double softened_re(double r_e_pix, double psf_fwhm_pix) {
+  const double psf_sigma = psf_fwhm_pix / 2.35482;
+  return std::sqrt(r_e_pix * r_e_pix + psf_sigma * psf_sigma);
+}
+
+struct ClumpSet {
+  struct Clump {
+    double dx, dy, flux, sigma;
+  };
+  std::vector<Clump> clumps;
+};
+
+/// Draws the irregular/star-forming clumps for a galaxy from its own seed,
+/// so a galaxy's image is identical however many times it is rendered.
+ClumpSet make_clumps(const GalaxyTruth& g) {
+  ClumpSet set;
+  if (g.clumpiness <= 0.0) return set;
+  Rng rng(g.seed ^ 0xC1u);
+  const int n = 3 + static_cast<int>(rng.uniform_index(5));
+  const double clump_flux = g.total_flux * g.clumpiness / n;
+  for (int i = 0; i < n; ++i) {
+    ClumpSet::Clump c;
+    const double r = rng.uniform(0.3, 1.8) * g.r_e_pix;
+    const double th = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    c.dx = r * std::cos(th);
+    c.dy = r * std::sin(th);
+    c.flux = clump_flux * rng.uniform(0.5, 1.5);
+    c.sigma = std::max(0.8, 0.25 * g.r_e_pix);
+    set.clumps.push_back(c);
+  }
+  return set;
+}
+
+}  // namespace
+
+const char* to_string(MorphType t) {
+  switch (t) {
+    case MorphType::kElliptical:
+      return "E";
+    case MorphType::kS0:
+      return "S0";
+    case MorphType::kSpiral:
+      return "Sp";
+    case MorphType::kIrregular:
+      return "Irr";
+  }
+  return "?";
+}
+
+void add_galaxy_light(image::Image& frame, const GalaxyTruth& g, double cx, double cy,
+                      const RenderOptions& opts) {
+  const double re = softened_re(g.r_e_pix, opts.psf_fwhm_pix);
+  const double psf_sigma = opts.psf_fwhm_pix / 2.35482;
+  // High-n Sersic profiles have an integrable cusp at r = 0 that finite
+  // pixel sampling cannot integrate; evaluating at sqrt(r^2 + sigma_psf^2)
+  // caps it the way real seeing does.
+  const double cusp_soft = std::max(psf_sigma, 0.4);
+  // Normalize to the requested total flux. The elliptical radius compresses
+  // the minor axis, scaling the plane integral by the axis ratio q, so the
+  // normalization divides by q; the cusp softening removes the inner
+  // portion of the analytic integral, handled by the corrected total.
+  const double q = std::max(g.axis_ratio, 1e-3);
+  const double norm =
+      g.total_flux * (1.0 - g.clumpiness) /
+      std::max(q * sersic_cusp_softened_total(re, g.sersic_n, cusp_soft), 1e-9);
+  const ClumpSet clumps = make_clumps(g);
+
+  // Render within a box of +-12 r_e: an n=4 profile still holds ~7% of its
+  // light beyond 8 r_e, so the box must reach well into the wings.
+  const double extent = std::max(12.0 * re, 6.0);
+  const int x0 = std::max(0, static_cast<int>(std::floor(cx - extent)));
+  const int x1 = std::min(frame.width() - 1, static_cast<int>(std::ceil(cx + extent)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(cy - extent)));
+  const int y1 = std::min(frame.height() - 1, static_cast<int>(std::ceil(cy + extent)));
+
+  auto profile = [&](double dx, double dy) {
+    const double r_ell =
+        elliptical_radius(dx, dy, g.axis_ratio, g.position_angle_rad);
+    const double r = std::sqrt(r_ell * r_ell + cusp_soft * cusp_soft);
+    double v = norm * sersic_profile(r, re, g.sersic_n);
+    if (g.arm_amplitude > 0.0) {
+      v *= spiral_modulation(dx, dy, g.arm_amplitude, g.arm_pitch_rad, re);
+    }
+    return v;
+  };
+
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      frame.at(x, y) += static_cast<float>(
+          integrate_pixel(profile, cx, cy, x, y, opts.supersample));
+    }
+  }
+
+  // Clumps: small Gaussians offset from the center (asymmetric by
+  // construction — they are drawn independently per position angle).
+  for (const auto& c : clumps.clumps) {
+    const double ccx = cx + c.dx;
+    const double ccy = cy + c.dy;
+    const double sigma = std::sqrt(c.sigma * c.sigma +
+                                   (opts.psf_fwhm_pix / 2.35482) *
+                                       (opts.psf_fwhm_pix / 2.35482));
+    const double amp = c.flux / (2.0 * 3.14159265358979323846 * sigma * sigma);
+    const int bx0 = std::max(0, static_cast<int>(ccx - 5 * sigma));
+    const int bx1 = std::min(frame.width() - 1, static_cast<int>(ccx + 5 * sigma));
+    const int by0 = std::max(0, static_cast<int>(ccy - 5 * sigma));
+    const int by1 = std::min(frame.height() - 1, static_cast<int>(ccy + 5 * sigma));
+    for (int y = by0; y <= by1; ++y) {
+      for (int x = bx0; x <= bx1; ++x) {
+        const double dx = x - ccx;
+        const double dy = y - ccy;
+        frame.at(x, y) += static_cast<float>(
+            amp * std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma)));
+      }
+    }
+  }
+}
+
+image::Image render_galaxy(const GalaxyTruth& g, int size, const RenderOptions& opts) {
+  image::Image frame(size, size, 0.0f);
+  const double c = (size - 1) / 2.0;
+  add_galaxy_light(frame, g, c, c, opts);
+  Rng rng(g.seed ^ 0x0157EEDull);
+  apply_noise(frame, opts, rng);
+  return frame;
+}
+
+void apply_noise(image::Image& frame, const RenderOptions& opts, Rng& rng) {
+  for (float& v : frame.pixels()) {
+    double signal = v + opts.sky_level;
+    if (opts.poisson_noise) {
+      signal = static_cast<double>(rng.poisson(std::max(signal, 0.0)));
+    }
+    if (opts.read_noise > 0.0) {
+      signal += rng.normal(0.0, opts.read_noise);
+    }
+    v = static_cast<float>(signal);
+  }
+}
+
+void corrupt_image(image::Image& frame, Rng& rng) {
+  if (frame.height() == 0) return;
+  const int band = std::max(1, frame.height() / 8);
+  const int start = static_cast<int>(rng.uniform_index(
+      static_cast<std::uint64_t>(std::max(1, frame.height() - band))));
+  for (int y = start; y < std::min(frame.height(), start + band); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      frame.at(x, y) = kSaturation;
+    }
+  }
+}
+
+bool looks_corrupted(const image::Image& frame) {
+  // A corrupted frame has a contiguous run of fully saturated rows.
+  for (int y = 0; y < frame.height(); ++y) {
+    bool all_saturated = frame.width() > 0;
+    for (int x = 0; x < frame.width(); ++x) {
+      if (frame.at(x, y) < kSaturation) {
+        all_saturated = false;
+        break;
+      }
+    }
+    if (all_saturated) return true;
+  }
+  return false;
+}
+
+}  // namespace nvo::sim

@@ -1,0 +1,98 @@
+#include "sim/profiles.hpp"
+
+#include <cmath>
+
+namespace nvo::sim {
+
+double sersic_bn(double n) {
+  // Ciotti & Bertin (1999): b_n ~ 2n - 1/3 + 4/(405n) + 46/(25515 n^2).
+  return 2.0 * n - 1.0 / 3.0 + 4.0 / (405.0 * n) + 46.0 / (25515.0 * n * n);
+}
+
+double sersic_profile(double r, double r_e, double n) {
+  if (r_e <= 0.0 || n <= 0.0) return 0.0;
+  const double bn = sersic_bn(n);
+  return std::exp(-bn * std::pow(r / r_e, 1.0 / n));
+}
+
+double sersic_total_flux(double r_e, double n) {
+  // \int_0^inf 2 pi r exp(-b (r/re)^(1/n)) dr = 2 pi n re^2 Gamma(2n) b^-2n.
+  const double bn = sersic_bn(n);
+  return 2.0 * 3.14159265358979323846 * n * r_e * r_e * std::tgamma(2.0 * n) *
+         std::pow(bn, -2.0 * n);
+}
+
+double regularized_gamma_p(double a, double x) {
+  if (x <= 0.0) return 0.0;
+  if (a <= 0.0) return 1.0;
+  const double log_gamma_a = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series: P(a,x) = x^a e^-x / Gamma(a) * sum x^k / (a)_(k+1).
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int k = 0; k < 200; ++k) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-14) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - log_gamma_a);
+  }
+  // Continued fraction for Q(a,x) (Lentz's method).
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 200; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-14) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - log_gamma_a) * h;
+  return 1.0 - q;
+}
+
+double sersic_cusp_softened_total(double r_e, double n, double soft) {
+  const double total = sersic_total_flux(r_e, n);
+  if (soft <= 0.0) return total;
+  const double bn = sersic_bn(n);
+  const double x = bn * std::pow(soft / r_e, 1.0 / n);
+  return total * (1.0 - regularized_gamma_p(2.0 * n, x));
+}
+
+double elliptical_radius(double dx, double dy, double q, double pa_rad) {
+  const double c = std::cos(pa_rad);
+  const double s = std::sin(pa_rad);
+  const double u = dx * c + dy * s;         // along the major axis
+  const double v = -dx * s + dy * c;        // along the minor axis
+  const double qq = q <= 0.0 ? 1e-3 : q;
+  return std::sqrt(u * u + (v / qq) * (v / qq));
+}
+
+double spiral_modulation(double dx, double dy, double amp, double pitch_rad,
+                         double r0) {
+  if (amp <= 0.0) return 1.0;
+  const double r = std::sqrt(dx * dx + dy * dy);
+  const double theta = std::atan2(dy, dx);
+  const double tan_pitch = std::tan(pitch_rad);
+  const double winding =
+      tan_pitch != 0.0 ? std::log(std::max(r, 0.25) / r0) / tan_pitch : 0.0;
+  // m=2 grand-design pattern plus an m=1 lopsidedness term. The m=2 term
+  // alone is point-symmetric (cos(2(theta+pi-w)) = cos(2(theta-w))), so a
+  // pure two-arm spiral would have zero rotational asymmetry; real disks
+  // are lopsided, and the m=1 component is what the asymmetry index sees.
+  const double m2 = amp * std::cos(2.0 * (theta - winding));
+  const double m1 = 0.6 * amp * std::cos(theta - winding);
+  return std::max(0.0, 1.0 + m2 + m1);
+}
+
+}  // namespace nvo::sim

@@ -1,0 +1,31 @@
+#include "sim/xray.hpp"
+
+#include <cmath>
+
+namespace nvo::sim {
+
+double xray_surface_brightness(double r_arcmin, const XrayOptions& opts) {
+  const double x = r_arcmin / opts.core_radius_arcmin;
+  return opts.peak_counts * std::pow(1.0 + x * x, 0.5 - 3.0 * opts.beta);
+}
+
+image::Image render_xray_map(const Cluster& cluster, int size,
+                             double pixel_scale_arcsec, const XrayOptions& opts) {
+  image::Image frame(size, size, 0.0f);
+  const double c = (size - 1) / 2.0;
+  const double arcmin_per_pix = pixel_scale_arcsec / 60.0;
+  Rng rng(hash64(cluster.name()) ^ 0x0A5EAull);
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const double dx = (x - c) * arcmin_per_pix;
+      const double dy = (y - c) * arcmin_per_pix;
+      const double r = std::sqrt(dx * dx + dy * dy);
+      double v = xray_surface_brightness(r, opts) + opts.background;
+      if (opts.poisson) v = static_cast<double>(rng.poisson(v));
+      frame.at(x, y) = static_cast<float>(v);
+    }
+  }
+  return frame;
+}
+
+}  // namespace nvo::sim

@@ -1,0 +1,30 @@
+// X-ray surface-brightness synthesis: the large-scale image the paper pulls
+// from the ROSAT / Chandra archives to trace "the hot inter-galactic gas".
+// Uses the standard isothermal beta model, S(r) = S0 (1 + (r/rc)^2)^(0.5-3b).
+#pragma once
+
+#include "common/rng.hpp"
+#include "image/image.hpp"
+#include "sim/cluster.hpp"
+
+namespace nvo::sim {
+
+struct XrayOptions {
+  double beta = 2.0 / 3.0;          ///< canonical beta
+  double core_radius_arcmin = 1.5;  ///< gas core (smaller than the galaxy core)
+  double peak_counts = 400.0;       ///< S0 in detector counts
+  double background = 2.0;          ///< particle + sky background counts
+  bool poisson = true;              ///< photon counting noise
+};
+
+/// Renders the cluster's X-ray map on a size x size frame at the given
+/// pixel scale, centered on the cluster center. Deterministic in the
+/// cluster seed.
+image::Image render_xray_map(const Cluster& cluster, int size,
+                             double pixel_scale_arcsec, const XrayOptions& opts);
+
+/// Beta-model surface brightness at projected radius r (arcmin),
+/// background-free, normalized to opts.peak_counts at r = 0.
+double xray_surface_brightness(double r_arcmin, const XrayOptions& opts);
+
+}  // namespace nvo::sim

@@ -1,0 +1,110 @@
+#include "sky/coords.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace nvo::sky {
+
+Equatorial Equatorial::normalized() const {
+  Equatorial out = *this;
+  out.ra_deg = std::fmod(out.ra_deg, 360.0);
+  if (out.ra_deg < 0.0) out.ra_deg += 360.0;
+  out.dec_deg = std::clamp(out.dec_deg, -90.0, 90.0);
+  return out;
+}
+
+std::string Equatorial::to_string() const {
+  return format("RA=%.6f Dec=%+.6f", ra_deg, dec_deg);
+}
+
+double angular_separation_deg(const Equatorial& a, const Equatorial& b) {
+  const double ra1 = a.ra_deg * kDegToRad;
+  const double dec1 = a.dec_deg * kDegToRad;
+  const double ra2 = b.ra_deg * kDegToRad;
+  const double dec2 = b.dec_deg * kDegToRad;
+  const double sdra = std::sin((ra2 - ra1) / 2.0);
+  const double sddec = std::sin((dec2 - dec1) / 2.0);
+  const double h = sddec * sddec + std::cos(dec1) * std::cos(dec2) * sdra * sdra;
+  return 2.0 * std::asin(std::min(1.0, std::sqrt(h))) * kRadToDeg;
+}
+
+double position_angle_deg(const Equatorial& a, const Equatorial& b) {
+  const double ra1 = a.ra_deg * kDegToRad;
+  const double dec1 = a.dec_deg * kDegToRad;
+  const double ra2 = b.ra_deg * kDegToRad;
+  const double dec2 = b.dec_deg * kDegToRad;
+  const double dra = ra2 - ra1;
+  const double y = std::sin(dra) * std::cos(dec2);
+  const double x = std::cos(dec1) * std::sin(dec2) - std::sin(dec1) * std::cos(dec2) * std::cos(dra);
+  double pa = std::atan2(y, x) * kRadToDeg;
+  if (pa < 0.0) pa += 360.0;
+  return pa;
+}
+
+bool within_cone(const Equatorial& center, double radius_deg, const Equatorial& p) {
+  return angular_separation_deg(center, p) <= radius_deg;
+}
+
+TangentPlane project_tan(const Equatorial& center, const Equatorial& p) {
+  const double ra0 = center.ra_deg * kDegToRad;
+  const double dec0 = center.dec_deg * kDegToRad;
+  const double ra = p.ra_deg * kDegToRad;
+  const double dec = p.dec_deg * kDegToRad;
+  const double cosc = std::sin(dec0) * std::sin(dec) +
+                      std::cos(dec0) * std::cos(dec) * std::cos(ra - ra0);
+  // cosc <= 0 means the point is on or beyond the horizon of the projection;
+  // the cluster fields we project are degrees across, so this indicates
+  // caller error. Saturate rather than divide by ~0.
+  const double denom = std::max(cosc, 1e-9);
+  TangentPlane tp;
+  tp.xi_deg = std::cos(dec) * std::sin(ra - ra0) / denom * kRadToDeg;
+  tp.eta_deg = (std::cos(dec0) * std::sin(dec) -
+                std::sin(dec0) * std::cos(dec) * std::cos(ra - ra0)) /
+               denom * kRadToDeg;
+  return tp;
+}
+
+Equatorial deproject_tan(const Equatorial& center, const TangentPlane& tp) {
+  const double ra0 = center.ra_deg * kDegToRad;
+  const double dec0 = center.dec_deg * kDegToRad;
+  const double xi = tp.xi_deg * kDegToRad;
+  const double eta = tp.eta_deg * kDegToRad;
+  const double rho = std::sqrt(xi * xi + eta * eta);
+  if (rho == 0.0) return center;
+  const double c = std::atan(rho);
+  const double cosc = std::cos(c);
+  const double sinc = std::sin(c);
+  const double dec = std::asin(cosc * std::sin(dec0) + eta * sinc * std::cos(dec0) / rho);
+  const double ra =
+      ra0 + std::atan2(xi * sinc, rho * std::cos(dec0) * cosc - eta * std::sin(dec0) * sinc);
+  Equatorial out;
+  out.ra_deg = ra * kRadToDeg;
+  out.dec_deg = dec * kRadToDeg;
+  return out.normalized();
+}
+
+Equatorial offset_by_arcmin(const Equatorial& center, double east_arcmin,
+                            double north_arcmin) {
+  TangentPlane tp;
+  tp.xi_deg = east_arcmin / 60.0;
+  tp.eta_deg = north_arcmin / 60.0;
+  return deproject_tan(center, tp);
+}
+
+std::string to_sexagesimal(const Equatorial& p) {
+  const Equatorial n = p.normalized();
+  const double ra_hours = n.ra_deg / 15.0;
+  const int rh = static_cast<int>(ra_hours);
+  const int rm = static_cast<int>((ra_hours - rh) * 60.0);
+  const double rs = ((ra_hours - rh) * 60.0 - rm) * 60.0;
+  const char sign = n.dec_deg < 0.0 ? '-' : '+';
+  const double adec = std::fabs(n.dec_deg);
+  const int dd = static_cast<int>(adec);
+  const int dm = static_cast<int>((adec - dd) * 60.0);
+  const double ds = ((adec - dd) * 60.0 - dm) * 60.0;
+  return format("%02dh%02dm%04.1fs %c%02dd%02dm%02.0fs", rh, rm, rs, sign, dd, dm, ds);
+}
+
+}  // namespace nvo::sky

@@ -1,0 +1,60 @@
+// Celestial coordinate math: equatorial positions, angular separations, cone
+// membership (the geometric predicate behind the Cone Search protocol), and
+// gnomonic tangent-plane projection (the geometry behind SIA cutouts and our
+// WCS). Angles at the interface are in degrees, matching the Cone Search /
+// SIA query conventions (RA, DEC, SR all in decimal degrees).
+#pragma once
+
+#include <string>
+
+namespace nvo::sky {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kDegToRad = kPi / 180.0;
+inline constexpr double kRadToDeg = 180.0 / kPi;
+inline constexpr double kArcsecPerDeg = 3600.0;
+
+/// An equatorial (ICRS-like) position in decimal degrees.
+struct Equatorial {
+  double ra_deg = 0.0;   ///< right ascension, [0, 360)
+  double dec_deg = 0.0;  ///< declination, [-90, +90]
+
+  /// Canonicalizes RA into [0,360) and clamps Dec into [-90,90].
+  Equatorial normalized() const;
+
+  /// "RA=210.2583 Dec=+02.8775" style rendering for logs and tables.
+  std::string to_string() const;
+};
+
+/// Great-circle separation in degrees, computed with the haversine formula
+/// (numerically stable for the small separations typical of cluster work).
+double angular_separation_deg(const Equatorial& a, const Equatorial& b);
+
+/// Position angle of b as seen from a, degrees east of north in [0, 360).
+double position_angle_deg(const Equatorial& a, const Equatorial& b);
+
+/// True when `p` lies within `radius_deg` of `center` — the Cone Search
+/// containment predicate.
+bool within_cone(const Equatorial& center, double radius_deg, const Equatorial& p);
+
+/// Gnomonic (TAN) projection of `p` about `center`. Returns standard
+/// coordinates (xi, eta) in degrees: xi grows toward increasing RA (east),
+/// eta toward increasing Dec (north).
+struct TangentPlane {
+  double xi_deg = 0.0;
+  double eta_deg = 0.0;
+};
+TangentPlane project_tan(const Equatorial& center, const Equatorial& p);
+
+/// Inverse gnomonic projection: standard coordinates back to the sphere.
+Equatorial deproject_tan(const Equatorial& center, const TangentPlane& tp);
+
+/// Moves `center` by (dra, ddec) arcminutes on the tangent plane; used by
+/// the cluster generator to place member galaxies.
+Equatorial offset_by_arcmin(const Equatorial& center, double east_arcmin,
+                            double north_arcmin);
+
+/// Sexagesimal rendering "14h02m31.2s  +02d52m39s" used in catalogs.
+std::string to_sexagesimal(const Equatorial& p);
+
+}  // namespace nvo::sky

@@ -1,0 +1,68 @@
+#include "sky/cosmology.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "sky/coords.hpp"
+
+namespace nvo::sky {
+
+double Cosmology::hubble_distance_mpc() const { return kSpeedOfLightKmS / h0_km_s_mpc; }
+
+double Cosmology::efunc(double z) const {
+  const double zp1 = 1.0 + z;
+  const double e2 = omega_m * zp1 * zp1 * zp1 + omega_k() * zp1 * zp1 + omega_lambda();
+  return std::sqrt(std::max(e2, 1e-30));
+}
+
+double Cosmology::comoving_distance_mpc(double z) const {
+  assert(z >= 0.0);
+  if (z <= 0.0) return 0.0;
+  // Composite Simpson integration of dz'/E(z') on [0, z].
+  const int segments = 256;  // even
+  const double h = z / segments;
+  double sum = 1.0 / efunc(0.0) + 1.0 / efunc(z);
+  for (int i = 1; i < segments; ++i) {
+    const double zi = h * i;
+    sum += (i % 2 == 1 ? 4.0 : 2.0) / efunc(zi);
+  }
+  return hubble_distance_mpc() * sum * h / 3.0;
+}
+
+double Cosmology::transverse_comoving_distance_mpc(double z) const {
+  const double dc = comoving_distance_mpc(z);
+  const double ok = omega_k();
+  if (std::fabs(ok) < 1e-12) return dc;
+  const double dh = hubble_distance_mpc();
+  const double sqrt_ok = std::sqrt(std::fabs(ok));
+  const double x = sqrt_ok * dc / dh;
+  if (ok > 0.0) return dh / sqrt_ok * std::sinh(x);
+  return dh / sqrt_ok * std::sin(x);
+}
+
+double Cosmology::angular_diameter_distance_mpc(double z) const {
+  return transverse_comoving_distance_mpc(z) / (1.0 + z);
+}
+
+double Cosmology::luminosity_distance_mpc(double z) const {
+  return transverse_comoving_distance_mpc(z) * (1.0 + z);
+}
+
+double Cosmology::distance_modulus(double z) const {
+  const double dl_mpc = luminosity_distance_mpc(z);
+  // 10 pc = 1e-5 Mpc.
+  return 5.0 * std::log10(std::max(dl_mpc, 1e-30) / 1e-5);
+}
+
+double Cosmology::kpc_per_arcsec(double z) const {
+  const double da_kpc = angular_diameter_distance_mpc(z) * 1000.0;
+  const double arcsec_to_rad = kDegToRad / kArcsecPerDeg;
+  return da_kpc * arcsec_to_rad;
+}
+
+double Cosmology::surface_brightness_dimming(double z) const {
+  const double zp1 = 1.0 + z;
+  return zp1 * zp1 * zp1 * zp1;
+}
+
+}  // namespace nvo::sky

@@ -1,0 +1,53 @@
+// FLRW cosmology. The paper's galMorph transformation takes (redshift,
+// pixScale, zeroPoint, Ho, om, flat) — exactly the parameters needed to turn
+// apparent image quantities into physical ones. We implement the distance
+// ladder for a (possibly non-flat) matter + lambda universe so the pipeline
+// can compute physical pixel scales and rest-frame surface brightness.
+#pragma once
+
+namespace nvo::sky {
+
+/// Cosmological model parameters, defaulting to the paper's choice
+/// (Ho = 100 h km/s/Mpc, om = 0.3, flat = 1 -> om + ol = 1).
+struct Cosmology {
+  double h0_km_s_mpc = 100.0;  ///< Hubble constant
+  double omega_m = 0.3;        ///< matter density
+  bool flat = true;            ///< if true, omega_lambda = 1 - omega_m
+  double omega_l = 0.7;        ///< used only when !flat
+
+  double omega_lambda() const { return flat ? 1.0 - omega_m : omega_l; }
+  double omega_k() const { return 1.0 - omega_m - omega_lambda(); }
+
+  /// Hubble distance c/H0 in Mpc.
+  double hubble_distance_mpc() const;
+
+  /// Dimensionless expansion rate E(z) = H(z)/H0.
+  double efunc(double z) const;
+
+  /// Line-of-sight comoving distance in Mpc (Simpson-rule integration of
+  /// 1/E(z); converged well below 0.01% for z <= 10 at the default step).
+  double comoving_distance_mpc(double z) const;
+
+  /// Transverse comoving distance (handles open/closed curvature).
+  double transverse_comoving_distance_mpc(double z) const;
+
+  /// Angular diameter distance D_A = D_M / (1+z) in Mpc.
+  double angular_diameter_distance_mpc(double z) const;
+
+  /// Luminosity distance D_L = D_M (1+z) in Mpc.
+  double luminosity_distance_mpc(double z) const;
+
+  /// Distance modulus m - M = 5 log10(D_L / 10 pc).
+  double distance_modulus(double z) const;
+
+  /// Physical scale in kpc per arcsecond at redshift z.
+  double kpc_per_arcsec(double z) const;
+
+  /// Cosmological (1+z)^4 surface-brightness dimming factor (Tolman).
+  double surface_brightness_dimming(double z) const;
+};
+
+/// Speed of light in km/s.
+inline constexpr double kSpeedOfLightKmS = 299792.458;
+
+}  // namespace nvo::sky

@@ -1,0 +1,104 @@
+#include "sky/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nvo::sky {
+
+SpatialIndex::SpatialIndex(std::vector<Equatorial> positions, int bands)
+    : positions_(std::move(positions)),
+      bands_(std::max(bands, 1)),
+      band_height_deg_(180.0 / bands_),
+      band_entries_(static_cast<std::size_t>(bands_)) {
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    positions_[i] = positions_[i].normalized();
+    band_entries_[static_cast<std::size_t>(band_of(positions_[i].dec_deg))]
+        .push_back({positions_[i].ra_deg, i});
+  }
+  for (auto& band : band_entries_) {
+    std::sort(band.begin(), band.end(),
+              [](const Entry& a, const Entry& b) { return a.ra_deg < b.ra_deg; });
+  }
+}
+
+int SpatialIndex::band_of(double dec_deg) const {
+  const int b = static_cast<int>((dec_deg + 90.0) / band_height_deg_);
+  return std::clamp(b, 0, bands_ - 1);
+}
+
+std::vector<std::size_t> SpatialIndex::query_cone(const Equatorial& center,
+                                                  double radius_deg) const {
+  std::vector<std::size_t> out;
+  if (radius_deg < 0.0) return out;
+  const Equatorial c = center.normalized();
+  last_candidates_ = 0;
+
+  const int band_lo = band_of(std::max(c.dec_deg - radius_deg, -90.0));
+  const int band_hi = band_of(std::min(c.dec_deg + radius_deg, 90.0));
+
+  // Exact small-circle RA extent: a cone of radius r centered at dec d0
+  // spans +-asin(sin r / cos d0) in right ascension (attained at the
+  // tangent declination), provided the cone does not reach the pole
+  // (|d0| + r < 90); otherwise every RA is inside.
+  const double sin_r = std::sin(std::min(radius_deg, 180.0) * kDegToRad);
+  const double cos_d0 = std::cos(c.dec_deg * kDegToRad);
+  const bool full_circle =
+      std::fabs(c.dec_deg) + radius_deg >= 90.0 || sin_r >= cos_d0;
+  const double half_width =
+      full_circle ? 180.0 : std::asin(sin_r / cos_d0) * kRadToDeg;
+
+  for (int b = band_lo; b <= band_hi; ++b) {
+    const auto& band = band_entries_[static_cast<std::size_t>(b)];
+    if (band.empty()) continue;
+
+    auto scan = [&](double ra_lo, double ra_hi) {
+      const auto begin = std::lower_bound(
+          band.begin(), band.end(), ra_lo,
+          [](const Entry& e, double v) { return e.ra_deg < v; });
+      const auto end = std::upper_bound(
+          band.begin(), band.end(), ra_hi,
+          [](double v, const Entry& e) { return v < e.ra_deg; });
+      for (auto it = begin; it != end; ++it) {
+        ++last_candidates_;
+        if (angular_separation_deg(c, positions_[it->id]) <= radius_deg) {
+          out.push_back(it->id);
+        }
+      }
+    };
+
+    if (full_circle) {
+      scan(0.0, 360.0);
+    } else {
+      const double lo = c.ra_deg - half_width;
+      const double hi = c.ra_deg + half_width;
+      if (lo < 0.0) {
+        scan(0.0, hi);
+        scan(lo + 360.0, 360.0);
+      } else if (hi > 360.0) {
+        scan(lo, 360.0);
+        scan(0.0, hi - 360.0);
+      } else {
+        scan(lo, hi);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t SpatialIndex::nearest(const Equatorial& center,
+                                  double max_radius_deg) const {
+  const auto candidates = query_cone(center, max_radius_deg);
+  std::size_t best = npos;
+  double best_sep = max_radius_deg;
+  for (std::size_t id : candidates) {
+    const double sep = angular_separation_deg(center, positions_[id]);
+    if (sep <= best_sep) {
+      best_sep = sep;
+      best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace nvo::sky

@@ -1,0 +1,170 @@
+#include "vds/chimera.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace nvo::vds {
+
+Status VirtualDataCatalog::define_transformation(Transformation tr) {
+  if (transformations_.count(tr.name)) {
+    return Error(ErrorCode::kAlreadyExists, "transformation " + tr.name);
+  }
+  std::set<std::string> seen;
+  for (const FormalArg& a : tr.args) {
+    if (!seen.insert(a.name).second) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "duplicate formal argument '" + a.name + "' in TR " + tr.name);
+    }
+  }
+  transformations_[tr.name] = std::move(tr);
+  return Status::Ok();
+}
+
+Status VirtualDataCatalog::define_derivation(Derivation dv) {
+  if (derivations_.count(dv.name)) {
+    return Error(ErrorCode::kAlreadyExists, "derivation " + dv.name);
+  }
+  const auto tr_it = transformations_.find(dv.transformation);
+  if (tr_it == transformations_.end()) {
+    return Error(ErrorCode::kNotFound,
+                 "DV " + dv.name + " references unknown TR " + dv.transformation);
+  }
+  const Transformation& tr = tr_it->second;
+  // Every binding names a formal; file directions match.
+  for (const auto& [formal_name, actual] : dv.bindings) {
+    const FormalArg* formal = tr.find_arg(formal_name);
+    if (!formal) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "DV " + dv.name + " binds unknown argument '" + formal_name + "'");
+    }
+    if (actual.is_file && actual.direction != formal->direction) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "DV " + dv.name + " direction mismatch on '" + formal_name + "'");
+    }
+    if (!actual.is_file && formal->direction == Direction::kOut) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "DV " + dv.name + " binds scalar to out argument '" + formal_name +
+                       "'");
+    }
+  }
+  // Every formal is bound.
+  for (const FormalArg& formal : tr.args) {
+    if (!dv.bindings.count(formal.name)) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "DV " + dv.name + " leaves argument '" + formal.name + "' unbound");
+    }
+  }
+  // Single-producer rule.
+  for (const std::string& lfn : dv.output_files()) {
+    const auto it = producer_of_.find(lfn);
+    if (it != producer_of_.end()) {
+      return Error(ErrorCode::kAlreadyExists,
+                   "logical file '" + lfn + "' already produced by " + it->second);
+    }
+  }
+  for (const std::string& lfn : dv.output_files()) producer_of_[lfn] = dv.name;
+  derivations_[dv.name] = std::move(dv);
+  return Status::Ok();
+}
+
+Status VirtualDataCatalog::ingest(const VdlDocument& doc) {
+  for (const Transformation& tr : doc.transformations) {
+    const Status s = define_transformation(tr);
+    if (!s.ok()) return s;
+  }
+  for (const Derivation& dv : doc.derivations) {
+    const Status s = define_derivation(dv);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+const Transformation* VirtualDataCatalog::transformation(const std::string& name) const {
+  const auto it = transformations_.find(name);
+  return it == transformations_.end() ? nullptr : &it->second;
+}
+
+const Derivation* VirtualDataCatalog::derivation(const std::string& name) const {
+  const auto it = derivations_.find(name);
+  return it == derivations_.end() ? nullptr : &it->second;
+}
+
+const Derivation* VirtualDataCatalog::producer(const std::string& logical_file) const {
+  const auto it = producer_of_.find(logical_file);
+  if (it == producer_of_.end()) return nullptr;
+  return derivation(it->second);
+}
+
+Expected<Dag> compose_abstract_workflow(const VirtualDataCatalog& catalog,
+                                        const std::vector<std::string>& requests) {
+  Dag dag;
+  // Breadth-first walk backwards from the requested files through their
+  // producing derivations.
+  std::deque<const Derivation*> frontier;
+  std::set<std::string> enqueued;  // derivation names already queued
+
+  for (const std::string& lfn : requests) {
+    const Derivation* dv = catalog.producer(lfn);
+    if (!dv) {
+      return Error(ErrorCode::kNotFound,
+                   "no derivation produces requested file '" + lfn + "'");
+    }
+    if (enqueued.insert(dv->name).second) frontier.push_back(dv);
+  }
+
+  while (!frontier.empty()) {
+    const Derivation* dv = frontier.front();
+    frontier.pop_front();
+    DagNode node;
+    node.id = dv->name;
+    node.type = JobType::kCompute;
+    node.transformation = dv->transformation;
+    node.inputs = dv->input_files();
+    node.outputs = dv->output_files();
+    node.args = dv->scalar_args();
+    const Status s = dag.add_node(std::move(node));
+    if (!s.ok()) return s.error();
+    for (const std::string& input : dv->input_files()) {
+      const Derivation* upstream = catalog.producer(input);
+      if (!upstream) continue;  // raw input — fine, feasibility checks later
+      if (enqueued.insert(upstream->name).second) frontier.push_back(upstream);
+    }
+  }
+
+  // Dependency edges via file flow.
+  std::map<std::string, std::string> produced_by;  // lfn -> node id (in dag)
+  for (const std::string& id : dag.node_ids()) {
+    for (const std::string& lfn : dag.node(id)->outputs) produced_by[lfn] = id;
+  }
+  for (const std::string& id : dag.node_ids()) {
+    for (const std::string& lfn : dag.node(id)->inputs) {
+      const auto it = produced_by.find(lfn);
+      if (it != produced_by.end()) {
+        const Status s = dag.add_edge(it->second, id);
+        if (!s.ok()) return s.error();
+      }
+    }
+  }
+
+  // A derivation set with circular file dependencies is not a workflow.
+  auto order = dag.topological_order();
+  if (!order.ok()) return order.error();
+  return dag;
+}
+
+std::vector<std::string> raw_inputs(const Dag& dag) {
+  std::set<std::string> produced;
+  for (const std::string& id : dag.node_ids()) {
+    for (const std::string& lfn : dag.node(id)->outputs) produced.insert(lfn);
+  }
+  std::set<std::string> raw;
+  for (const std::string& id : dag.node_ids()) {
+    for (const std::string& lfn : dag.node(id)->inputs) {
+      if (!produced.count(lfn)) raw.insert(lfn);
+    }
+  }
+  return {raw.begin(), raw.end()};
+}
+
+}  // namespace nvo::vds

@@ -1,0 +1,118 @@
+#include "vds/provenance.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/strings.hpp"
+
+namespace nvo::vds {
+
+void ProvenanceCatalog::record(ProvenanceRecord record) {
+  // Drop stale consumer edges when a product is re-derived differently.
+  const auto old = records_.find(record.lfn);
+  if (old != records_.end()) {
+    for (const std::string& input : old->second.inputs) {
+      const auto it = consumers_.find(input);
+      if (it != consumers_.end()) it->second.erase(record.lfn);
+    }
+  }
+  for (const std::string& input : record.inputs) {
+    consumers_[input].insert(record.lfn);
+  }
+  records_[record.lfn] = std::move(record);
+}
+
+void ProvenanceCatalog::record_execution(const Dag& concrete,
+                                         const std::vector<std::string>& succeeded,
+                                         double completed_at_s) {
+  for (const std::string& id : succeeded) {
+    const DagNode* n = concrete.node(id);
+    if (!n || n->type != JobType::kCompute) continue;
+    for (const std::string& lfn : n->outputs) {
+      ProvenanceRecord r;
+      r.lfn = lfn;
+      r.derivation = n->id;
+      r.transformation = n->transformation;
+      r.parameters = n->args;
+      r.inputs = n->inputs;
+      r.site = n->site;
+      r.completed_at_s = completed_at_s;
+      record(std::move(r));
+    }
+  }
+}
+
+bool ProvenanceCatalog::has(const std::string& lfn) const {
+  return records_.count(lfn) != 0;
+}
+
+Expected<ProvenanceRecord> ProvenanceCatalog::lookup(const std::string& lfn) const {
+  const auto it = records_.find(lfn);
+  if (it == records_.end()) {
+    return Error(ErrorCode::kNotFound, "no provenance for '" + lfn + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ProvenanceCatalog::lineage(const std::string& lfn) const {
+  // Depth-first post-order gives ancestors-before-descendants.
+  std::vector<std::string> out;
+  std::set<std::string> visited;
+  std::vector<std::pair<std::string, bool>> stack{{lfn, false}};
+  while (!stack.empty()) {
+    auto [current, expanded] = stack.back();
+    stack.pop_back();
+    if (expanded) {
+      if (current != lfn) out.push_back(current);
+      continue;
+    }
+    if (!visited.insert(current).second) continue;
+    stack.emplace_back(current, true);
+    const auto it = records_.find(current);
+    if (it == records_.end()) continue;  // raw input
+    for (const std::string& input : it->second.inputs) {
+      stack.emplace_back(input, false);
+    }
+  }
+  return out;
+}
+
+std::string ProvenanceCatalog::lineage_text(const std::string& lfn) const {
+  std::string out;
+  std::vector<std::string> chain = lineage(lfn);
+  chain.push_back(lfn);
+  for (const std::string& file : chain) {
+    const auto it = records_.find(file);
+    if (it == records_.end()) {
+      out += format("%s (raw input)\n", file.c_str());
+    } else {
+      out += format("%s  <- %s/%s @%s (%zu inputs)\n", file.c_str(),
+                    it->second.derivation.c_str(),
+                    it->second.transformation.c_str(), it->second.site.c_str(),
+                    it->second.inputs.size());
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ProvenanceCatalog::downstream_of(const std::string& lfn) const {
+  std::vector<std::string> out;
+  std::set<std::string> visited{lfn};
+  std::deque<std::string> frontier{lfn};
+  while (!frontier.empty()) {
+    const std::string current = frontier.front();
+    frontier.pop_front();
+    const auto it = consumers_.find(current);
+    if (it == consumers_.end()) continue;
+    for (const std::string& product : it->second) {
+      if (visited.insert(product).second) {
+        out.push_back(product);
+        frontier.push_back(product);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace nvo::vds

@@ -1,0 +1,64 @@
+// Provenance: the other half of GriPhyN's "virtual data and provenance"
+// (§3.3). Records, for every materialized logical file, the derivation and
+// transformation that produced it, the actual parameters, the inputs it was
+// derived from, and where/when it ran — and answers the two questions a
+// virtual-data system must: "how was this file made?" (lineage) and "if
+// this file changes, what becomes stale?" (invalidation).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "vds/dag.hpp"
+
+namespace nvo::vds {
+
+/// One materialization event.
+struct ProvenanceRecord {
+  std::string lfn;             ///< the product
+  std::string derivation;      ///< DV name
+  std::string transformation;  ///< TR name
+  std::map<std::string, std::string> parameters;  ///< actual scalar args
+  std::vector<std::string> inputs;                ///< logical inputs consumed
+  std::string site;            ///< where it ran
+  double completed_at_s = 0.0; ///< simulated completion time
+};
+
+class ProvenanceCatalog {
+ public:
+  /// Records a materialization; re-deriving the same lfn overwrites (the
+  /// newest derivation wins, as in the VDS).
+  void record(ProvenanceRecord record);
+
+  /// Ingests every succeeded compute node of an executed concrete DAG.
+  void record_execution(const Dag& concrete,
+                        const std::vector<std::string>& succeeded_nodes,
+                        double completed_at_s = 0.0);
+
+  bool has(const std::string& lfn) const;
+  Expected<ProvenanceRecord> lookup(const std::string& lfn) const;
+  std::size_t size() const { return records_.size(); }
+
+  /// Full upstream lineage of a file: every ancestor lfn (transitively),
+  /// in dependency order (furthest ancestors first). Files with no record
+  /// (raw inputs) appear as leaves of the ancestry.
+  std::vector<std::string> lineage(const std::string& lfn) const;
+
+  /// Derivation chain rendering: "a --[d1/t]--> b --[d2/t]--> c".
+  std::string lineage_text(const std::string& lfn) const;
+
+  /// Invalidation: every recorded product transitively derived from `lfn`
+  /// (not including `lfn` itself). These are the files that must be
+  /// re-derived when `lfn` changes — the cache-coherence question behind
+  /// Pegasus's reuse policy.
+  std::vector<std::string> downstream_of(const std::string& lfn) const;
+
+ private:
+  std::map<std::string, ProvenanceRecord> records_;       // lfn -> record
+  std::map<std::string, std::set<std::string>> consumers_; // lfn -> products
+};
+
+}  // namespace nvo::vds

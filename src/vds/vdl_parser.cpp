@@ -1,0 +1,244 @@
+#include "vds/vdl_parser.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace nvo::vds {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : s_(text) {}
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < s_.size() && s_[pos_] == '#') {
+        skip_line();
+        continue;
+      }
+      if (pos_ + 1 < s_.size() && s_[pos_] == '/' && s_[pos_ + 1] == '/') {
+        skip_line();
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool eof() {
+    skip_ws_and_comments();
+    return pos_ >= s_.size();
+  }
+
+  bool consume(std::string_view token) {
+    skip_ws_and_comments();
+    if (s_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  /// Like consume, but only matches when the token is not followed by an
+  /// identifier character — so the keyword "in" cannot eat the prefix of an
+  /// argument named "input".
+  bool consume_keyword(std::string_view token) {
+    skip_ws_and_comments();
+    if (s_.compare(pos_, token.size(), token) != 0) return false;
+    const std::size_t after = pos_ + token.size();
+    if (after < s_.size()) {
+      const char c = s_[after];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') return false;
+    }
+    pos_ += token.size();
+    return true;
+  }
+
+  /// Identifier: [A-Za-z_][A-Za-z0-9_.]*. The '-' is excluded so the DV
+  /// arrow "d1->galMorph" lexes as identifier, '->', identifier; hyphenated
+  /// logical file names are quoted strings, not identifiers.
+  Expected<std::string> identifier() {
+    skip_ws_and_comments();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() &&
+        (std::isalpha(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '_')) {
+      ++pos_;
+      while (pos_ < s_.size()) {
+        const char c = s_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.') {
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+    }
+    if (pos_ == start) {
+      return Error(ErrorCode::kParseError, here("expected identifier"));
+    }
+    return s_.substr(start, pos_ - start);
+  }
+
+  /// Double-quoted string with backslash escapes.
+  Expected<std::string> quoted_string() {
+    skip_ws_and_comments();
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      return Error(ErrorCode::kParseError, here("expected '\"'"));
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) ++pos_;
+      out += s_[pos_++];
+    }
+    if (pos_ >= s_.size()) {
+      return Error(ErrorCode::kParseError, "unterminated string literal");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  /// Skips a balanced { ... } block (TR bodies are opaque to us, as they
+  /// were elided "{ ... }" in the paper).
+  Status skip_braced_block() {
+    skip_ws_and_comments();
+    if (pos_ >= s_.size() || s_[pos_] != '{') {
+      return Error(ErrorCode::kParseError, here("expected '{'"));
+    }
+    int depth = 0;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '{') ++depth;
+      if (c == '}' && --depth == 0) return Status::Ok();
+    }
+    return Error(ErrorCode::kParseError, "unterminated '{' block");
+  }
+
+  std::string here(const std::string& what) const {
+    return format("%s at offset %zu", what.c_str(), pos_);
+  }
+
+ private:
+  void skip_line() {
+    while (pos_ < s_.size() && s_[pos_] != '\n') ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+Expected<Transformation> parse_tr(Lexer& lex) {
+  Transformation tr;
+  auto name = lex.identifier();
+  if (!name.ok()) return name.error();
+  tr.name = std::move(name.value());
+  if (!lex.consume("(")) return Error(ErrorCode::kParseError, "expected '(' after TR name");
+  if (!lex.consume(")")) {
+    for (;;) {
+      Direction dir;
+      if (lex.consume_keyword("in")) {
+        dir = Direction::kIn;
+      } else if (lex.consume_keyword("out")) {
+        dir = Direction::kOut;
+      } else {
+        return Error(ErrorCode::kParseError, lex.here("expected 'in' or 'out'"));
+      }
+      auto arg = lex.identifier();
+      if (!arg.ok()) return arg.error();
+      tr.args.push_back(FormalArg{std::move(arg.value()), dir});
+      if (lex.consume(")")) break;
+      if (!lex.consume(",")) {
+        return Error(ErrorCode::kParseError, lex.here("expected ',' or ')'"));
+      }
+    }
+  }
+  const Status body = lex.skip_braced_block();
+  if (!body.ok()) return body.error();
+  return tr;
+}
+
+Expected<Derivation> parse_dv(Lexer& lex) {
+  Derivation dv;
+  auto name = lex.identifier();
+  if (!name.ok()) return name.error();
+  dv.name = std::move(name.value());
+  if (!lex.consume("->")) {
+    return Error(ErrorCode::kParseError, lex.here("expected '->' after DV name"));
+  }
+  auto tr_name = lex.identifier();
+  if (!tr_name.ok()) return tr_name.error();
+  dv.transformation = std::move(tr_name.value());
+  if (!lex.consume("(")) return Error(ErrorCode::kParseError, "expected '(' in DV");
+  if (!lex.consume(")")) {
+    for (;;) {
+      auto formal = lex.identifier();
+      if (!formal.ok()) return formal.error();
+      if (!lex.consume("=")) {
+        return Error(ErrorCode::kParseError, lex.here("expected '=' in DV binding"));
+      }
+      ActualArg actual;
+      if (lex.consume("@{")) {
+        actual.is_file = true;
+        if (lex.consume_keyword("in")) {
+          actual.direction = Direction::kIn;
+        } else if (lex.consume_keyword("out")) {
+          actual.direction = Direction::kOut;
+        } else {
+          return Error(ErrorCode::kParseError, lex.here("expected in/out in @{...}"));
+        }
+        if (!lex.consume(":")) {
+          return Error(ErrorCode::kParseError, lex.here("expected ':' in @{...}"));
+        }
+        auto lfn = lex.quoted_string();
+        if (!lfn.ok()) return lfn.error();
+        actual.value = std::move(lfn.value());
+        if (!lex.consume("}")) {
+          return Error(ErrorCode::kParseError, lex.here("expected '}' closing @{...}"));
+        }
+      } else {
+        auto literal = lex.quoted_string();
+        if (!literal.ok()) return literal.error();
+        actual.value = std::move(literal.value());
+      }
+      if (dv.bindings.count(formal.value())) {
+        return Error(ErrorCode::kParseError,
+                     "duplicate binding '" + formal.value() + "' in DV " + dv.name);
+      }
+      dv.bindings[formal.value()] = std::move(actual);
+      if (lex.consume(")")) break;
+      if (!lex.consume(",")) {
+        return Error(ErrorCode::kParseError, lex.here("expected ',' or ')'"));
+      }
+    }
+  }
+  if (!lex.consume(";")) {
+    return Error(ErrorCode::kParseError, lex.here("expected ';' after DV"));
+  }
+  return dv;
+}
+
+}  // namespace
+
+Expected<VdlDocument> parse_vdl(const std::string& text) {
+  VdlDocument doc;
+  Lexer lex(text);
+  while (!lex.eof()) {
+    if (lex.consume_keyword("TR")) {
+      auto tr = parse_tr(lex);
+      if (!tr.ok()) return tr.error();
+      doc.transformations.push_back(std::move(tr.value()));
+    } else if (lex.consume_keyword("DV")) {
+      auto dv = parse_dv(lex);
+      if (!dv.ok()) return dv.error();
+      doc.derivations.push_back(std::move(dv.value()));
+    } else {
+      return Error(ErrorCode::kParseError, lex.here("expected 'TR' or 'DV'"));
+    }
+  }
+  return doc;
+}
+
+}  // namespace nvo::vds

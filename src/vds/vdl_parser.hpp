@@ -1,0 +1,24 @@
+// Recursive-descent parser for the VDL concrete syntax (see vdl.hpp). A VDL
+// document is a sequence of TR and DV statements; this is the format the
+// portal's XSLT-equivalent transform emits ("a second stylesheet converted
+// the catalog directly into a derivation file containing the Virtual Data
+// Language markup", §4.3) and the format Chimera ingests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "vds/vdl.hpp"
+
+namespace nvo::vds {
+
+struct VdlDocument {
+  std::vector<Transformation> transformations;
+  std::vector<Derivation> derivations;
+};
+
+/// Parses a full VDL document. Comments run from '#' or '//' to newline.
+Expected<VdlDocument> parse_vdl(const std::string& text);
+
+}  // namespace nvo::vds

@@ -1,0 +1,144 @@
+#include "votable/table.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace nvo::votable {
+
+const Value Table::kNull{};
+
+const char* to_votable_datatype(DataType t) {
+  switch (t) {
+    case DataType::kDouble:
+      return "double";
+    case DataType::kLong:
+      return "long";
+    case DataType::kString:
+      return "char";
+    case DataType::kBool:
+      return "boolean";
+  }
+  return "char";
+}
+
+std::optional<DataType> datatype_from_votable(const std::string& s) {
+  if (s == "double" || s == "float") return DataType::kDouble;
+  if (s == "long" || s == "int" || s == "short") return DataType::kLong;
+  if (s == "char" || s == "unicodeChar") return DataType::kString;
+  if (s == "boolean") return DataType::kBool;
+  return std::nullopt;
+}
+
+std::optional<double> Value::as_double() const {
+  if (!payload_) return std::nullopt;
+  if (const double* v = std::get_if<double>(&*payload_)) return *v;
+  return std::nullopt;
+}
+
+std::optional<long long> Value::as_long() const {
+  if (!payload_) return std::nullopt;
+  if (const long long* v = std::get_if<long long>(&*payload_)) return *v;
+  return std::nullopt;
+}
+
+std::optional<std::string> Value::as_string() const {
+  if (!payload_) return std::nullopt;
+  if (const std::string* v = std::get_if<std::string>(&*payload_)) return *v;
+  return std::nullopt;
+}
+
+std::optional<bool> Value::as_bool() const {
+  if (!payload_) return std::nullopt;
+  if (const bool* v = std::get_if<bool>(&*payload_)) return *v;
+  return std::nullopt;
+}
+
+std::optional<double> Value::as_number() const {
+  if (!payload_) return std::nullopt;
+  if (const double* v = std::get_if<double>(&*payload_)) return *v;
+  if (const long long* v = std::get_if<long long>(&*payload_)) {
+    return static_cast<double>(*v);
+  }
+  return std::nullopt;
+}
+
+std::string Value::to_text() const {
+  if (!payload_) return "";
+  if (const double* v = std::get_if<double>(&*payload_)) {
+    if (std::isnan(*v)) return "";
+    return format("%.10g", *v);
+  }
+  if (const long long* v = std::get_if<long long>(&*payload_)) {
+    return format("%lld", *v);
+  }
+  if (const std::string* v = std::get_if<std::string>(&*payload_)) return *v;
+  if (const bool* v = std::get_if<bool>(&*payload_)) return *v ? "true" : "false";
+  return "";
+}
+
+Expected<Value> Value::parse(const std::string& text, DataType type) {
+  const std::string_view t = trim(text);
+  if (t.empty()) return Value();  // null
+  switch (type) {
+    case DataType::kDouble: {
+      const auto v = parse_double(t);
+      if (!v) return Error(ErrorCode::kParseError, "bad double: '" + text + "'");
+      return Value::of_double(*v);
+    }
+    case DataType::kLong: {
+      const auto v = parse_int(t);
+      if (!v) return Error(ErrorCode::kParseError, "bad long: '" + text + "'");
+      return Value::of_long(*v);
+    }
+    case DataType::kString:
+      return Value::of_string(std::string(t));
+    case DataType::kBool: {
+      const std::string lower = to_lower(t);
+      if (lower == "true" || lower == "t" || lower == "1") return Value::of_bool(true);
+      if (lower == "false" || lower == "f" || lower == "0") return Value::of_bool(false);
+      return Error(ErrorCode::kParseError, "bad boolean: '" + text + "'");
+    }
+  }
+  return Error(ErrorCode::kParseError, "unknown datatype");
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  return *payload_ == *other.payload_;
+}
+
+std::optional<std::size_t> Table::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+void Table::add_column(Field field) {
+  fields_.push_back(std::move(field));
+  for (auto& r : rows_) r.emplace_back();
+}
+
+Status Table::append_row(Row row) {
+  if (row.size() != fields_.size()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 format("row arity %zu != %zu columns", row.size(), fields_.size()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+const Value& Table::cell(std::size_t row_index, const std::string& column) const {
+  const auto idx = column_index(column);
+  if (!idx || row_index >= rows_.size()) return kNull;
+  return rows_[row_index][*idx];
+}
+
+void Table::set_cell(std::size_t row_index, const std::string& column, Value v) {
+  const auto idx = column_index(column);
+  if (!idx || row_index >= rows_.size()) return;
+  rows_[row_index][*idx] = std::move(v);
+}
+
+}  // namespace nvo::votable

@@ -1,0 +1,109 @@
+// Typed tabular data: the in-memory model behind VOTable documents. Columns
+// carry the VOTable FIELD metadata (name, datatype, unit, UCD); cells are
+// typed values with explicit nulls, which is how the paper's pipeline
+// represented failed per-galaxy computations ("a validity flag to the set of
+// returned values").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace nvo::votable {
+
+/// VOTable primitive datatypes we support (the subset the prototype used).
+enum class DataType { kDouble, kLong, kString, kBool };
+
+const char* to_votable_datatype(DataType t);
+std::optional<DataType> datatype_from_votable(const std::string& s);
+
+/// Column metadata, mirroring the VOTable FIELD element.
+struct Field {
+  std::string name;
+  DataType datatype = DataType::kDouble;
+  std::string unit;         ///< e.g. "deg", "mag/arcsec2"
+  std::string ucd;          ///< Unified Content Descriptor, e.g. "pos.eq.ra"
+  std::string description;  ///< free text
+};
+
+/// One cell: a typed value or null. Null cells serialize as empty TD
+/// elements, the VOTable convention.
+class Value {
+ public:
+  Value() = default;  // null
+  static Value of_double(double v) { return Value(Payload(v)); }
+  static Value of_long(long long v) { return Value(Payload(v)); }
+  static Value of_string(std::string v) { return Value(Payload(std::move(v))); }
+  static Value of_bool(bool v) { return Value(Payload(v)); }
+
+  bool is_null() const { return !payload_.has_value(); }
+
+  /// Typed reads; return nullopt on null or type mismatch.
+  std::optional<double> as_double() const;
+  std::optional<long long> as_long() const;
+  std::optional<std::string> as_string() const;
+  std::optional<bool> as_bool() const;
+
+  /// Numeric read with coercion: longs convert to double.
+  std::optional<double> as_number() const;
+
+  /// Canonical text rendering used for TD cells and join keys.
+  std::string to_text() const;
+
+  /// Parses text into a value of the given type; empty text -> null.
+  static Expected<Value> parse(const std::string& text, DataType type);
+
+  bool operator==(const Value& other) const;
+
+ private:
+  using Payload = std::variant<double, long long, std::string, bool>;
+  explicit Value(Payload p) : payload_(std::move(p)) {}
+  std::optional<Payload> payload_;
+};
+
+using Row = std::vector<Value>;
+
+/// A table: ordered fields + rows. Invariant: every row has exactly
+/// fields().size() cells (enforced by append_row).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  std::size_t num_columns() const { return fields_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Index of a column by name; nullopt when absent.
+  std::optional<std::size_t> column_index(const std::string& name) const;
+
+  /// Appends a column; existing rows get null cells.
+  void add_column(Field field);
+
+  /// Appends a row; fails if the arity is wrong.
+  Status append_row(Row row);
+
+  const Row& row(std::size_t i) const { return rows_[i]; }
+  Row& row(std::size_t i) { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Cell accessors by column name (null Value when column is missing).
+  const Value& cell(std::size_t row_index, const std::string& column) const;
+  void set_cell(std::size_t row_index, const std::string& column, Value v);
+
+  /// Table-level metadata (maps to the TABLE name attribute / DESCRIPTION).
+  std::string name;
+  std::string description;
+
+ private:
+  std::vector<Field> fields_;
+  std::vector<Row> rows_;
+  static const Value kNull;
+};
+
+}  // namespace nvo::votable

@@ -1,0 +1,164 @@
+#include "votable/table_ops.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.hpp"
+
+namespace nvo::votable {
+
+namespace {
+
+/// Join keys compare by canonical text, so a long 42 matches a string "42"
+/// coming from a different archive's schema — the heterogeneity the paper's
+/// catalogs actually exhibited.
+std::string key_text(const Value& v) { return v.to_text(); }
+
+}  // namespace
+
+Expected<Table> join(const Table& left, const Table& right,
+                     const std::string& left_key, const std::string& right_key,
+                     JoinKind kind) {
+  const auto lk = left.column_index(left_key);
+  if (!lk) return Error(ErrorCode::kNotFound, "left key column '" + left_key + "'");
+  const auto rk = right.column_index(right_key);
+  if (!rk) return Error(ErrorCode::kNotFound, "right key column '" + right_key + "'");
+
+  // Output schema.
+  std::vector<Field> fields = left.fields();
+  std::vector<std::size_t> right_cols;  // column indices copied from right
+  for (std::size_t c = 0; c < right.num_columns(); ++c) {
+    if (c == *rk) continue;
+    Field f = right.fields()[c];
+    const bool clash = std::any_of(fields.begin(), fields.end(),
+                                   [&](const Field& g) { return g.name == f.name; });
+    if (clash) f.name += "_2";
+    fields.push_back(std::move(f));
+    right_cols.push_back(c);
+  }
+  Table out(std::move(fields));
+  out.name = left.name;
+  out.description = "join(" + left.name + ", " + right.name + ") on " + left_key;
+
+  // Build hash index over the right table.
+  std::unordered_multimap<std::string, std::size_t> index;
+  index.reserve(right.num_rows());
+  for (std::size_t r = 0; r < right.num_rows(); ++r) {
+    const Value& v = right.row(r)[*rk];
+    if (v.is_null()) continue;  // null keys never match
+    index.emplace(key_text(v), r);
+  }
+
+  for (std::size_t lr = 0; lr < left.num_rows(); ++lr) {
+    const Value& key = left.row(lr)[*lk];
+    bool matched = false;
+    if (!key.is_null()) {
+      auto [begin, end] = index.equal_range(key_text(key));
+      for (auto it = begin; it != end; ++it) {
+        Row row = left.row(lr);
+        for (std::size_t c : right_cols) row.push_back(right.row(it->second)[c]);
+        (void)out.append_row(std::move(row));
+        matched = true;
+      }
+    }
+    if (!matched && kind == JoinKind::kLeft) {
+      Row row = left.row(lr);
+      row.resize(row.size() + right_cols.size());  // null-filled right side
+      (void)out.append_row(std::move(row));
+    }
+  }
+  return out;
+}
+
+Expected<Table> vstack(const Table& top, const Table& bottom) {
+  // Map bottom columns onto top's schema by name.
+  std::vector<std::size_t> mapping(top.num_columns());
+  for (std::size_t c = 0; c < top.num_columns(); ++c) {
+    const Field& f = top.fields()[c];
+    const auto idx = bottom.column_index(f.name);
+    if (!idx) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "vstack: bottom table lacks column '" + f.name + "'");
+    }
+    if (bottom.fields()[*idx].datatype != f.datatype) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "vstack: datatype mismatch on column '" + f.name + "'");
+    }
+    mapping[c] = *idx;
+  }
+  Table out(top.fields());
+  out.name = top.name;
+  out.description = top.description;
+  for (const Row& r : top.rows()) (void)out.append_row(r);
+  for (const Row& r : bottom.rows()) {
+    Row row;
+    row.reserve(mapping.size());
+    for (std::size_t c : mapping) row.push_back(r[c]);
+    (void)out.append_row(std::move(row));
+  }
+  return out;
+}
+
+Table select(const Table& table, const std::function<bool(const Row&)>& predicate) {
+  Table out(table.fields());
+  out.name = table.name;
+  out.description = table.description;
+  for (const Row& r : table.rows()) {
+    if (predicate(r)) (void)out.append_row(r);
+  }
+  return out;
+}
+
+Expected<Table> sort_by(const Table& table, const std::string& column, bool ascending) {
+  const auto idx = table.column_index(column);
+  if (!idx) return Error(ErrorCode::kNotFound, "sort column '" + column + "'");
+  std::vector<std::size_t> order(table.num_rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto va = table.row(a)[*idx].as_number();
+    const auto vb = table.row(b)[*idx].as_number();
+    if (!va && !vb) return false;
+    if (!va) return false;  // nulls last regardless of direction
+    if (!vb) return true;
+    return ascending ? *va < *vb : *va > *vb;
+  });
+  Table out(table.fields());
+  out.name = table.name;
+  out.description = table.description;
+  for (std::size_t i : order) (void)out.append_row(table.row(i));
+  return out;
+}
+
+Expected<Table> project(const Table& table, const std::vector<std::string>& columns) {
+  std::vector<std::size_t> idx;
+  std::vector<Field> fields;
+  for (const std::string& name : columns) {
+    const auto i = table.column_index(name);
+    if (!i) return Error(ErrorCode::kNotFound, "project column '" + name + "'");
+    idx.push_back(*i);
+    fields.push_back(table.fields()[*i]);
+  }
+  Table out(std::move(fields));
+  out.name = table.name;
+  for (const Row& r : table.rows()) {
+    Row row;
+    row.reserve(idx.size());
+    for (std::size_t i : idx) row.push_back(r[i]);
+    (void)out.append_row(std::move(row));
+  }
+  return out;
+}
+
+Table with_column(const Table& table, Field field,
+                  const std::function<Value(const Row&, std::size_t)>& compute) {
+  Table out = table;
+  const auto existing = out.column_index(field.name);
+  if (!existing) out.add_column(field);
+  const std::size_t col = out.column_index(field.name).value();
+  for (std::size_t r = 0; r < out.num_rows(); ++r) {
+    out.row(r)[col] = compute(table.row(r), r);
+  }
+  return out;
+}
+
+}  // namespace nvo::votable

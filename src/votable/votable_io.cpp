@@ -1,0 +1,120 @@
+#include "votable/votable_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace nvo::votable {
+
+std::unique_ptr<XmlNode> to_votable_tree(const Table& table) {
+  auto root = std::make_unique<XmlNode>();
+  root->name = "VOTABLE";
+  root->set_attr("version", "1.1");
+  XmlNode& resource = root->append_child("RESOURCE");
+  XmlNode& tbl = resource.append_child("TABLE");
+  if (!table.name.empty()) tbl.set_attr("name", table.name);
+  if (!table.description.empty()) {
+    tbl.append_child("DESCRIPTION").text = table.description;
+  }
+  for (const Field& f : table.fields()) {
+    XmlNode& field = tbl.append_child("FIELD");
+    field.set_attr("name", f.name);
+    field.set_attr("datatype", to_votable_datatype(f.datatype));
+    if (f.datatype == DataType::kString) field.set_attr("arraysize", "*");
+    if (!f.unit.empty()) field.set_attr("unit", f.unit);
+    if (!f.ucd.empty()) field.set_attr("ucd", f.ucd);
+    if (!f.description.empty()) {
+      field.append_child("DESCRIPTION").text = f.description;
+    }
+  }
+  XmlNode& tabledata = tbl.append_child("DATA").append_child("TABLEDATA");
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    XmlNode& tr = tabledata.append_child("TR");
+    for (const Value& cell : table.row(r)) {
+      tr.append_child("TD").text = cell.to_text();
+    }
+  }
+  return root;
+}
+
+std::string to_votable_xml(const Table& table) {
+  return xml_serialize(*to_votable_tree(table));
+}
+
+Expected<Table> from_votable_tree(const XmlNode& root) {
+  if (root.name != "VOTABLE") {
+    return Error(ErrorCode::kParseError, "root element is not VOTABLE");
+  }
+  const XmlNode* resource = root.child("RESOURCE");
+  if (!resource) return Error(ErrorCode::kParseError, "no RESOURCE element");
+  const XmlNode* tbl = resource->child("TABLE");
+  if (!tbl) return Error(ErrorCode::kParseError, "no TABLE element");
+
+  std::vector<Field> fields;
+  for (const XmlNode* field_node : tbl->children_named("FIELD")) {
+    Field f;
+    f.name = field_node->attr("name").value_or("");
+    const std::string dt = field_node->attr("datatype").value_or("char");
+    const auto parsed = datatype_from_votable(dt);
+    if (!parsed) {
+      return Error(ErrorCode::kParseError, "unsupported FIELD datatype '" + dt + "'");
+    }
+    f.datatype = *parsed;
+    f.unit = field_node->attr("unit").value_or("");
+    f.ucd = field_node->attr("ucd").value_or("");
+    if (const XmlNode* d = field_node->child("DESCRIPTION")) f.description = d->text;
+    fields.push_back(std::move(f));
+  }
+
+  Table out(std::move(fields));
+  out.name = tbl->attr("name").value_or("");
+  if (const XmlNode* d = tbl->child("DESCRIPTION")) out.description = d->text;
+
+  const XmlNode* data = tbl->child("DATA");
+  if (!data) return out;  // header-only table is legal
+  const XmlNode* tabledata = data->child("TABLEDATA");
+  if (!tabledata) return out;
+
+  for (const XmlNode* tr : tabledata->children_named("TR")) {
+    const auto tds = tr->children_named("TD");
+    if (tds.size() != out.num_columns()) {
+      return Error(ErrorCode::kParseError,
+                   format("TR has %zu TDs, expected %zu", tds.size(), out.num_columns()));
+    }
+    Row row;
+    row.reserve(tds.size());
+    for (std::size_t c = 0; c < tds.size(); ++c) {
+      auto v = Value::parse(tds[c]->text, out.fields()[c].datatype);
+      if (!v.ok()) return v.error();
+      row.push_back(std::move(v.value()));
+    }
+    const Status s = out.append_row(std::move(row));
+    if (!s.ok()) return s.error();
+  }
+  return out;
+}
+
+Expected<Table> from_votable_xml(const std::string& xml_text) {
+  auto doc = xml_parse(xml_text);
+  if (!doc.ok()) return doc.error();
+  return from_votable_tree(*doc.value());
+}
+
+Status write_votable_file(const std::string& path, const Table& table) {
+  std::ofstream out(path);
+  if (!out) return Error(ErrorCode::kIoError, "cannot open " + path);
+  out << to_votable_xml(table);
+  if (!out) return Error(ErrorCode::kIoError, "short write to " + path);
+  return Status::Ok();
+}
+
+Expected<Table> read_votable_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error(ErrorCode::kIoError, "cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return from_votable_xml(ss.str());
+}
+
+}  // namespace nvo::votable

@@ -1,0 +1,43 @@
+// VOTable serialization: Table <-> the VOTABLE XML dialect the paper's
+// portal, web service, and visualization tools exchanged ("by virtue of
+// being XML, VOTable is readily created and manipulated with off-the-shelf
+// tools"). We emit the 1.1-style layout the NVO prototypes used:
+//
+//   <VOTABLE version="1.1">
+//     <RESOURCE>
+//       <TABLE name="...">
+//         <DESCRIPTION>...</DESCRIPTION>
+//         <FIELD name="ra" datatype="double" unit="deg" ucd="pos.eq.ra"/>
+//         ...
+//         <DATA><TABLEDATA><TR><TD>...</TD>...</TR>...</TABLEDATA></DATA>
+//       </TABLE>
+//     </RESOURCE>
+//   </VOTABLE>
+#pragma once
+
+#include <string>
+
+#include "common/expected.hpp"
+#include "votable/table.hpp"
+#include "votable/xml.hpp"
+
+namespace nvo::votable {
+
+/// Serializes a Table to VOTable XML text.
+std::string to_votable_xml(const Table& table);
+
+/// Builds the XML document tree without flattening to text (useful for the
+/// portal transforms, which walk the tree).
+std::unique_ptr<XmlNode> to_votable_tree(const Table& table);
+
+/// Parses the first TABLE of the first RESOURCE of a VOTable document.
+Expected<Table> from_votable_xml(const std::string& xml_text);
+
+/// Parses from an already-built document tree.
+Expected<Table> from_votable_tree(const XmlNode& root);
+
+/// File-system convenience wrappers.
+Status write_votable_file(const std::string& path, const Table& table);
+Expected<Table> read_votable_file(const std::string& path);
+
+}  // namespace nvo::votable

@@ -1,0 +1,319 @@
+#include "votable/xml.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace nvo::votable {
+
+std::optional<std::string> XmlNode::attr(const std::string& key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+void XmlNode::set_attr(const std::string& key, std::string value) {
+  for (auto& [k, v] : attributes) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attributes.emplace_back(key, std::move(value));
+}
+
+const XmlNode* XmlNode::child(const std::string& child_name) const {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(const std::string& child_name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c->name == child_name) out.push_back(c.get());
+  }
+  return out;
+}
+
+XmlNode& XmlNode::append_child(std::string child_name) {
+  children.push_back(std::make_unique<XmlNode>());
+  children.back()->name = std::move(child_name);
+  return *children.back();
+}
+
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string xml_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '&') {
+      out += s[i];
+      continue;
+    }
+    const std::size_t semi = s.find(';', i);
+    if (semi == std::string_view::npos) {
+      out += s[i];
+      continue;
+    }
+    const std::string_view entity = s.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out += '&';
+    } else if (entity == "lt") {
+      out += '<';
+    } else if (entity == "gt") {
+      out += '>';
+    } else if (entity == "quot") {
+      out += '"';
+    } else if (entity == "apos") {
+      out += '\'';
+    } else if (!entity.empty() && entity[0] == '#') {
+      long code = 0;
+      if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+        code = std::strtol(std::string(entity.substr(2)).c_str(), nullptr, 16);
+      } else {
+        code = std::strtol(std::string(entity.substr(1)).c_str(), nullptr, 10);
+      }
+      if (code > 0 && code < 128) {
+        out += static_cast<char>(code);
+      }
+    } else {
+      // Unknown entity: keep verbatim.
+      out += '&';
+      out += entity;
+      out += ';';
+    }
+    i = semi;
+  }
+  return out;
+}
+
+void serialize_node(const XmlNode& node, std::string& out, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  out += indent;
+  out += '<';
+  out += node.name;
+  for (const auto& [k, v] : node.attributes) {
+    out += ' ';
+    out += k;
+    out += "=\"";
+    out += xml_escape(v);
+    out += '"';
+  }
+  if (node.children.empty() && node.text.empty()) {
+    out += "/>\n";
+    return;
+  }
+  out += '>';
+  if (node.children.empty()) {
+    out += xml_escape(node.text);
+    out += "</";
+    out += node.name;
+    out += ">\n";
+    return;
+  }
+  out += '\n';
+  for (const auto& c : node.children) serialize_node(*c, out, depth + 1);
+  out += indent;
+  out += "</";
+  out += node.name;
+  out += ">\n";
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Expected<std::unique_ptr<XmlNode>> parse() {
+    skip_prolog();
+    auto root = parse_element();
+    if (!root.ok()) return root;
+    skip_misc();
+    if (pos_ != s_.size()) {
+      return Error(ErrorCode::kParseError,
+                   format("trailing content at offset %zu", pos_));
+    }
+    return root;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  bool consume(std::string_view token) {
+    if (s_.compare(pos_, token.size(), token) == 0) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void skip_comment_or_pi() {
+    for (;;) {
+      skip_ws();
+      if (consume("<!--")) {
+        const std::size_t end = s_.find("-->", pos_);
+        pos_ = end == std::string::npos ? s_.size() : end + 3;
+      } else if (consume("<?")) {
+        const std::size_t end = s_.find("?>", pos_);
+        pos_ = end == std::string::npos ? s_.size() : end + 2;
+      } else if (consume("<!DOCTYPE")) {
+        const std::size_t end = s_.find('>', pos_);
+        pos_ = end == std::string::npos ? s_.size() : end + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_prolog() { skip_comment_or_pi(); }
+  void skip_misc() { skip_comment_or_pi(); }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+          c == ':' || c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return s_.substr(start, pos_ - start);
+  }
+
+  Expected<std::unique_ptr<XmlNode>> parse_element() {
+    skip_ws();
+    if (!consume("<")) {
+      return Error(ErrorCode::kParseError, format("expected '<' at offset %zu", pos_));
+    }
+    auto node = std::make_unique<XmlNode>();
+    node->name = parse_name();
+    if (node->name.empty()) {
+      return Error(ErrorCode::kParseError, format("empty element name at %zu", pos_));
+    }
+    // Attributes.
+    for (;;) {
+      skip_ws();
+      if (consume("/>")) return node;
+      if (consume(">")) break;
+      const std::string key = parse_name();
+      if (key.empty()) {
+        return Error(ErrorCode::kParseError, format("bad attribute at %zu", pos_));
+      }
+      skip_ws();
+      if (!consume("=")) {
+        return Error(ErrorCode::kParseError, format("expected '=' at %zu", pos_));
+      }
+      skip_ws();
+      if (pos_ >= s_.size() || (s_[pos_] != '"' && s_[pos_] != '\'')) {
+        return Error(ErrorCode::kParseError, format("expected quote at %zu", pos_));
+      }
+      const char quote = s_[pos_++];
+      const std::size_t end = s_.find(quote, pos_);
+      if (end == std::string::npos) {
+        return Error(ErrorCode::kParseError, "unterminated attribute value");
+      }
+      node->attributes.emplace_back(key, xml_unescape(s_.substr(pos_, end - pos_)));
+      pos_ = end + 1;
+    }
+    // Content.
+    for (;;) {
+      if (pos_ >= s_.size()) {
+        return Error(ErrorCode::kParseError, "unexpected end inside <" + node->name + ">");
+      }
+      if (consume("<!--")) {
+        const std::size_t end = s_.find("-->", pos_);
+        if (end == std::string::npos) {
+          return Error(ErrorCode::kParseError, "unterminated comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (consume("<![CDATA[")) {
+        const std::size_t end = s_.find("]]>", pos_);
+        if (end == std::string::npos) {
+          return Error(ErrorCode::kParseError, "unterminated CDATA");
+        }
+        node->text += s_.substr(pos_, end - pos_);
+        pos_ = end + 3;
+        continue;
+      }
+      if (s_.compare(pos_, 2, "</") == 0) {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        skip_ws();
+        if (!consume(">")) {
+          return Error(ErrorCode::kParseError, "malformed closing tag");
+        }
+        if (closing != node->name) {
+          return Error(ErrorCode::kParseError,
+                       "mismatched </" + closing + "> for <" + node->name + ">");
+        }
+        return node;
+      }
+      if (s_[pos_] == '<') {
+        auto child = parse_element();
+        if (!child.ok()) return child;
+        node->children.push_back(std::move(child.value()));
+        continue;
+      }
+      // Character data until the next '<'.
+      const std::size_t end = s_.find('<', pos_);
+      if (end == std::string::npos) {
+        return Error(ErrorCode::kParseError, "unexpected end in text content");
+      }
+      node->text += xml_unescape(s_.substr(pos_, end - pos_));
+      pos_ = end;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string xml_serialize(const XmlNode& root) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  serialize_node(root, out, 0);
+  return out;
+}
+
+Expected<std::unique_ptr<XmlNode>> xml_parse(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace nvo::votable

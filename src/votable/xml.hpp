@@ -1,0 +1,49 @@
+// Small XML document model + parser, sufficient for VOTable (the paper's
+// XML table interchange schema) and for the XSLT-like document transforms of
+// §4.3. Supports elements, attributes (order-preserving), character data,
+// comments, and XML declarations. No namespaces-as-objects: prefixed names
+// are kept verbatim, which is how the 2003-era VOTable tooling treated them.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace nvo::votable {
+
+/// One XML element. Text content is modeled as the concatenation of all
+/// character data directly inside the element (sufficient for TABLEDATA
+/// cells, which never mix text and elements).
+struct XmlNode {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::string text;
+  std::vector<std::unique_ptr<XmlNode>> children;
+
+  /// Attribute lookup; nullopt when absent.
+  std::optional<std::string> attr(const std::string& key) const;
+  void set_attr(const std::string& key, std::string value);
+
+  /// First child with the given element name, or nullptr.
+  const XmlNode* child(const std::string& child_name) const;
+
+  /// All children with the given element name.
+  std::vector<const XmlNode*> children_named(const std::string& child_name) const;
+
+  /// Appends a new child element and returns a reference to it.
+  XmlNode& append_child(std::string child_name);
+};
+
+/// Escapes &<>"' for attribute/text contexts.
+std::string xml_escape(const std::string& s);
+
+/// Serializes with 2-space indentation and an XML declaration.
+std::string xml_serialize(const XmlNode& root);
+
+/// Parses a document; returns the root element.
+Expected<std::unique_ptr<XmlNode>> xml_parse(const std::string& text);
+
+}  // namespace nvo::votable

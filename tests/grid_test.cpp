@@ -1,0 +1,406 @@
+// Tests for the execution substrate: thread pool, grid storage/transfer
+// model, the discrete-event DAGMan, and the real-execution DAGMan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "grid/dagman.hpp"
+#include "grid/grid.hpp"
+#include "grid/threadpool.hpp"
+
+namespace nvo::grid {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroItems) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForSingleItem) {
+  ThreadPool pool(2);
+  int value = 0;
+  parallel_for(pool, 1, [&](std::size_t i) { value = static_cast<int>(i) + 7; });
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+// ---------------------------------------------------------------------------
+// Grid storage and transfer model
+// ---------------------------------------------------------------------------
+
+TEST(Grid, SitesUnique) {
+  Grid g;
+  EXPECT_TRUE(g.add_site({"isi", 4, 1.0, 10.0, 100.0}).ok());
+  EXPECT_FALSE(g.add_site({"isi", 8, 1.0, 10.0, 100.0}).ok());
+  EXPECT_NE(g.site("isi"), nullptr);
+  EXPECT_EQ(g.site("nope"), nullptr);
+}
+
+TEST(Grid, FileStorage) {
+  Grid g = make_paper_grid();
+  EXPECT_FALSE(g.has_file("isi", "a.fit"));
+  g.put_file("isi", "a.fit", 1024);
+  EXPECT_TRUE(g.has_file("isi", "a.fit"));
+  EXPECT_EQ(g.file_size("a.fit").value(), 1024u);
+  EXPECT_EQ(g.locations("a.fit"), std::vector<std::string>{"isi"});
+  g.put_file("fermilab", "a.fit", 1024);
+  EXPECT_EQ(g.locations("a.fit").size(), 2u);
+  g.remove_file("isi", "a.fit");
+  EXPECT_FALSE(g.has_file("isi", "a.fit"));
+}
+
+TEST(Grid, TransferTimeZeroSameSite) {
+  Grid g = make_paper_grid();
+  g.put_file("isi", "x", 1 << 20);
+  EXPECT_DOUBLE_EQ(g.transfer_seconds("isi", "isi", "x"), 0.0);
+}
+
+TEST(Grid, TransferTimeLatencyPlusBandwidth) {
+  Grid g;
+  (void)g.add_site({"a", 1, 1.0, 100.0, 100.0});  // 100 ms latency, 100 Mbps
+  (void)g.add_site({"b", 1, 1.0, 100.0, 10.0});   // 100 ms latency, 10 Mbps
+  g.put_file("a", "big", 10 * 1000 * 1000);       // 80 Mbit
+  // latency 0.2 s + 80 Mbit / min(100,10) Mbps = 8 s.
+  EXPECT_NEAR(g.transfer_seconds("a", "b", "big"), 8.2, 1e-9);
+}
+
+TEST(Grid, UnknownFileUsesDefaultSize) {
+  Grid g = make_paper_grid();
+  g.default_file_bytes = 1000;
+  const double t = g.transfer_seconds("isi", "fermilab", "unknown.dat");
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 1.0);
+}
+
+TEST(Grid, PaperGridHasThreePools) {
+  const Grid g = make_paper_grid();
+  EXPECT_EQ(g.sites().size(), 3u);
+  EXPECT_NE(g.site("uwisc"), nullptr);
+  EXPECT_NE(g.site("fermilab"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// DagManSim
+// ---------------------------------------------------------------------------
+
+vds::Dag compute_chain(int n, const std::string& site) {
+  vds::Dag dag;
+  for (int i = 0; i < n; ++i) {
+    vds::DagNode node;
+    node.id = "j" + std::to_string(i);
+    node.type = vds::JobType::kCompute;
+    node.transformation = "t";
+    node.site = site;
+    (void)dag.add_node(node);
+    if (i > 0) (void)dag.add_edge("j" + std::to_string(i - 1), node.id);
+  }
+  return dag;
+}
+
+TEST(DagManSim, ChainMakespanIsSumOfDurations) {
+  Grid g;
+  (void)g.add_site({"s", 4, 1.0, 10.0, 100.0});
+  JobCostModel cost;
+  cost.compute_reference_seconds = 2.0;
+  DagManSim dagman(g, cost, FailureModel{});
+  auto report = dagman.run(compute_chain(5, "s"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->workflow_succeeded);
+  EXPECT_DOUBLE_EQ(report->makespan_seconds, 10.0);
+  EXPECT_EQ(report->jobs_succeeded, 5u);
+}
+
+TEST(DagManSim, SiteSpeedScalesDuration) {
+  Grid g;
+  (void)g.add_site({"fast", 4, 2.0, 10.0, 100.0});
+  JobCostModel cost;
+  cost.compute_reference_seconds = 2.0;
+  DagManSim dagman(g, cost, FailureModel{});
+  auto report = dagman.run(compute_chain(3, "fast"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->makespan_seconds, 3.0);  // 3 * 2s / 2x
+}
+
+TEST(DagManSim, SlotLimitSerializesIndependentJobs) {
+  Grid g;
+  (void)g.add_site({"s", 2, 1.0, 10.0, 100.0});
+  vds::Dag dag;
+  for (int i = 0; i < 6; ++i) {
+    vds::DagNode node;
+    node.id = "p" + std::to_string(i);
+    node.type = vds::JobType::kCompute;
+    node.site = "s";
+    (void)dag.add_node(node);
+  }
+  JobCostModel cost;
+  cost.compute_reference_seconds = 1.0;
+  DagManSim dagman(g, cost, FailureModel{});
+  auto report = dagman.run(dag);
+  ASSERT_TRUE(report.ok());
+  // 6 one-second jobs on 2 slots -> 3 waves.
+  EXPECT_DOUBLE_EQ(report->makespan_seconds, 3.0);
+  EXPECT_NEAR(report->site_busy_seconds.at("s"), 6.0, 1e-9);
+}
+
+TEST(DagManSim, TransferNodesUseChannelModel) {
+  Grid g;
+  (void)g.add_site({"a", 1, 1.0, 100.0, 100.0});
+  (void)g.add_site({"b", 1, 1.0, 100.0, 100.0});
+  g.put_file("a", "f", 10 * 1000 * 1000);  // 80 Mbit -> 0.8 s + 0.2 s latency
+  vds::Dag dag;
+  vds::DagNode tx;
+  tx.id = "tx";
+  tx.type = vds::JobType::kTransfer;
+  tx.file = "f";
+  tx.source_site = "a";
+  tx.site = "b";
+  (void)dag.add_node(tx);
+  DagManSim dagman(g, JobCostModel{}, FailureModel{});
+  auto report = dagman.run(dag);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->makespan_seconds, 1.0, 1e-9);
+  EXPECT_EQ(report->transfer_jobs, 1u);
+}
+
+TEST(DagManSim, PerNodeCostOverride) {
+  Grid g;
+  (void)g.add_site({"s", 4, 1.0, 10.0, 100.0});
+  JobCostModel cost;
+  cost.compute_seconds = [](const vds::DagNode& n) {
+    return n.id == "j0" ? 10.0 : 1.0;
+  };
+  DagManSim dagman(g, cost, FailureModel{});
+  auto report = dagman.run(compute_chain(2, "s"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->makespan_seconds, 11.0);
+}
+
+TEST(DagManSim, UnknownSiteIsError) {
+  Grid g = make_paper_grid();
+  auto report = DagManSim(g, JobCostModel{}, FailureModel{}).run(compute_chain(1, "mars"));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(DagManSim, RetriesRecoverTransientFailures) {
+  Grid g;
+  (void)g.add_site({"s", 4, 1.0, 10.0, 100.0});
+  FailureModel failure;
+  failure.compute_failure_rate = 0.3;
+  failure.max_retries = 10;  // effectively always recovers
+  DagManSim dagman(g, JobCostModel{}, failure, 7);
+  auto report = dagman.run(compute_chain(20, "s"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->workflow_succeeded);
+  EXPECT_GT(report->retries, 0u);
+}
+
+TEST(DagManSim, PermanentFailureSkipsDescendants) {
+  Grid g;
+  (void)g.add_site({"s", 4, 1.0, 10.0, 100.0});
+  FailureModel failure;
+  failure.max_retries = 1;
+  failure.permanent_failures.insert("j1");
+  DagManSim dagman(g, JobCostModel{}, failure);
+  auto report = dagman.run(compute_chain(4, "s"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->workflow_succeeded);
+  EXPECT_EQ(report->jobs_succeeded, 1u);  // j0
+  EXPECT_EQ(report->jobs_failed, 1u);     // j1
+  EXPECT_EQ(report->jobs_skipped, 2u);    // j2, j3
+  EXPECT_EQ(report->result_for("j1")->outcome, NodeOutcome::kFailed);
+  EXPECT_GT(report->result_for("j1")->attempts, 1);  // it was retried
+  EXPECT_EQ(report->result_for("j3")->outcome, NodeOutcome::kSkipped);
+}
+
+TEST(DagManSim, DeterministicInSeed) {
+  Grid g = make_paper_grid();
+  FailureModel failure;
+  failure.compute_failure_rate = 0.2;
+  auto run = [&](std::uint64_t seed) {
+    DagManSim dagman(g, JobCostModel{}, failure, seed);
+    return dagman.run(compute_chain(30, "isi"))->makespan_seconds;
+  };
+  EXPECT_DOUBLE_EQ(run(5), run(5));
+}
+
+TEST(DagManSim, EmptyDagSucceedsInstantly) {
+  Grid g = make_paper_grid();
+  auto report = DagManSim(g, JobCostModel{}, FailureModel{}).run(vds::Dag{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->workflow_succeeded);
+  EXPECT_DOUBLE_EQ(report->makespan_seconds, 0.0);
+}
+
+TEST(DagManSim, ParallelBranchesOverlap) {
+  Grid g;
+  (void)g.add_site({"s", 8, 1.0, 10.0, 100.0});
+  // Fan-out: root -> 4 branches -> join.
+  vds::Dag dag;
+  vds::DagNode root;
+  root.id = "root";
+  root.type = vds::JobType::kCompute;
+  root.site = "s";
+  (void)dag.add_node(root);
+  for (int i = 0; i < 4; ++i) {
+    vds::DagNode n;
+    n.id = "b" + std::to_string(i);
+    n.type = vds::JobType::kCompute;
+    n.site = "s";
+    (void)dag.add_node(n);
+    (void)dag.add_edge("root", n.id);
+  }
+  vds::DagNode join;
+  join.id = "join";
+  join.type = vds::JobType::kCompute;
+  join.site = "s";
+  (void)dag.add_node(join);
+  for (int i = 0; i < 4; ++i) (void)dag.add_edge("b" + std::to_string(i), "join");
+  JobCostModel cost;
+  cost.compute_reference_seconds = 1.0;
+  auto report = DagManSim(g, cost, FailureModel{}).run(dag);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->makespan_seconds, 3.0);  // branches run together
+}
+
+// ---------------------------------------------------------------------------
+// DagManLocal
+// ---------------------------------------------------------------------------
+
+TEST(DagManLocal, ExecutesInDependencyOrder) {
+  ThreadPool pool(3);
+  DagManLocal dagman(pool);
+  std::mutex m;
+  std::vector<std::string> order;
+  dagman.register_payload("t", [&](const vds::DagNode& n) {
+    std::lock_guard lock(m);
+    order.push_back(n.id);
+    return Status::Ok();
+  });
+  auto report = dagman.run(compute_chain(5, ""));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->workflow_succeeded);
+  ASSERT_EQ(order.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[i], "j" + std::to_string(i));
+}
+
+TEST(DagManLocal, MissingPayloadIsError) {
+  ThreadPool pool(2);
+  DagManLocal dagman(pool);
+  EXPECT_FALSE(dagman.run(compute_chain(1, "")).ok());
+}
+
+TEST(DagManLocal, FailurePropagatesAsSkip) {
+  ThreadPool pool(2);
+  DagManLocal dagman(pool);
+  dagman.register_payload("t", [](const vds::DagNode& n) -> Status {
+    if (n.id == "j1") return Error(ErrorCode::kComputeFailed, "boom");
+    return Status::Ok();
+  });
+  auto report = dagman.run(compute_chain(4, ""));
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->workflow_succeeded);
+  EXPECT_EQ(report->jobs_succeeded, 1u);
+  EXPECT_EQ(report->jobs_failed, 1u);
+  EXPECT_EQ(report->jobs_skipped, 2u);
+}
+
+TEST(DagManLocal, ParallelFanOutActuallyConcurrent) {
+  ThreadPool pool(4);
+  DagManLocal dagman(pool);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  dagman.register_payload("t", [&](const vds::DagNode&) {
+    const int now = running.fetch_add(1) + 1;
+    int old_peak = peak.load();
+    while (now > old_peak && !peak.compare_exchange_weak(old_peak, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    running.fetch_sub(1);
+    return Status::Ok();
+  });
+  vds::Dag dag;
+  for (int i = 0; i < 8; ++i) {
+    vds::DagNode n;
+    n.id = "p" + std::to_string(i);
+    n.type = vds::JobType::kCompute;
+    n.transformation = "t";
+    (void)dag.add_node(n);
+  }
+  auto report = dagman.run(dag);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->workflow_succeeded);
+  EXPECT_GE(peak.load(), 2);  // at least two payloads overlapped
+}
+
+TEST(DagManLocal, TransferAndRegisterHooksRun) {
+  ThreadPool pool(2);
+  DagManLocal dagman(pool);
+  std::atomic<int> transfers{0}, registers{0};
+  dagman.set_transfer_hook([&](const vds::DagNode&) {
+    transfers.fetch_add(1);
+    return Status::Ok();
+  });
+  dagman.set_register_hook([&](const vds::DagNode&) {
+    registers.fetch_add(1);
+    return Status::Ok();
+  });
+  vds::Dag dag;
+  vds::DagNode tx;
+  tx.id = "tx";
+  tx.type = vds::JobType::kTransfer;
+  (void)dag.add_node(tx);
+  vds::DagNode reg;
+  reg.id = "reg";
+  reg.type = vds::JobType::kRegister;
+  (void)dag.add_node(reg);
+  (void)dag.add_edge("tx", "reg");
+  auto report = dagman.run(dag);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(transfers.load(), 1);
+  EXPECT_EQ(registers.load(), 1);
+  EXPECT_EQ(report->transfer_jobs, 1u);
+  EXPECT_EQ(report->register_jobs, 1u);
+}
+
+}  // namespace
+}  // namespace nvo::grid

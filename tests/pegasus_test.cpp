@@ -1,0 +1,466 @@
+// Tests for Pegasus: RLS, Transformation Catalog, abstract-DAG reduction,
+// feasibility, concretization (the Fig. 3/4 patterns), submit-file
+// generation, site/replica policies, and the request manager (Fig. 2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pegasus/planner.hpp"
+#include "pegasus/request_manager.hpp"
+#include "pegasus/rls.hpp"
+#include "pegasus/tc.hpp"
+#include "vds/chimera.hpp"
+
+namespace nvo::pegasus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RLS
+// ---------------------------------------------------------------------------
+
+TEST(Rls, RegisterLookupRemove) {
+  ReplicaLocationService rls;
+  EXPECT_FALSE(rls.exists("f"));
+  rls.add("f", "isi", "gsiftp://isi/f");
+  rls.add("f", "uwisc", "gsiftp://uwisc/f");
+  EXPECT_TRUE(rls.exists("f"));
+  EXPECT_EQ(rls.lookup("f").size(), 2u);
+  EXPECT_EQ(rls.num_logical_files(), 1u);
+  ASSERT_TRUE(rls.remove("f", "isi").ok());
+  EXPECT_EQ(rls.lookup("f").size(), 1u);
+  ASSERT_TRUE(rls.remove("f", "uwisc").ok());
+  EXPECT_FALSE(rls.exists("f"));
+  EXPECT_FALSE(rls.remove("f", "isi").ok());
+}
+
+TEST(Rls, DuplicateSiteUpdatesPfn) {
+  ReplicaLocationService rls;
+  rls.add("f", "isi", "old");
+  rls.add("f", "isi", "new");
+  ASSERT_EQ(rls.lookup("f").size(), 1u);
+  EXPECT_EQ(rls.lookup("f")[0].pfn, "new");
+}
+
+TEST(Rls, StatsCount) {
+  ReplicaLocationService rls;
+  rls.add("a", "s", "p");
+  (void)rls.exists("a");
+  (void)rls.lookup("a");
+  EXPECT_EQ(rls.stats().registrations, 1u);
+  EXPECT_EQ(rls.stats().queries, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Transformation Catalog
+// ---------------------------------------------------------------------------
+
+TEST(Tc, AddLookupSites) {
+  TransformationCatalog tc;
+  ASSERT_TRUE(tc.add({"galMorph", "isi", "/bin/gm", {}}).ok());
+  ASSERT_TRUE(tc.add({"galMorph", "uwisc", "/opt/gm", {}}).ok());
+  EXPECT_FALSE(tc.add({"galMorph", "isi", "/dup", {}}).ok());
+  EXPECT_EQ(tc.lookup("galMorph").size(), 2u);
+  EXPECT_EQ(tc.sites_for("galMorph").size(), 2u);
+  EXPECT_TRUE(tc.lookup_at("galMorph", "isi").ok());
+  EXPECT_EQ(tc.lookup_at("galMorph", "isi")->executable, "/bin/gm");
+  EXPECT_FALSE(tc.lookup_at("galMorph", "mars").ok());
+  EXPECT_TRUE(tc.lookup("unknown").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Planner fixtures
+// ---------------------------------------------------------------------------
+
+// Chain a -> [d1] -> b -> [d2] -> c, the paper's running example.
+vds::Dag paper_chain() {
+  vds::VirtualDataCatalog vdc;
+  vds::Transformation tr;
+  tr.name = "t";
+  tr.args = {{"input", vds::Direction::kIn}, {"output", vds::Direction::kOut}};
+  (void)vdc.define_transformation(tr);
+  auto dv = [&](const char* name, const char* in, const char* out) {
+    vds::Derivation d;
+    d.name = name;
+    d.transformation = "t";
+    d.bindings["input"] = vds::ActualArg{true, in, vds::Direction::kIn};
+    d.bindings["output"] = vds::ActualArg{true, out, vds::Direction::kOut};
+    (void)vdc.define_derivation(d);
+  };
+  dv("d1", "a", "b");
+  dv("d2", "b", "c");
+  return vds::compose_abstract_workflow(vdc, {"c"}).value();
+}
+
+struct PlannerFixture {
+  grid::Grid grid = grid::make_paper_grid();
+  ReplicaLocationService rls;
+  TransformationCatalog tc;
+
+  PlannerFixture() {
+    for (const std::string& site : grid.site_names()) {
+      (void)tc.add({"t", site, "/grid/bin/t", {}});
+    }
+    // Raw input exists at fermilab.
+    rls.add("a", "fermilab", "gsiftp://fermilab/a");
+    grid.put_file("fermilab", "a", 4096);
+  }
+
+  Planner planner(PlannerConfig config = {}, std::uint64_t seed = 1) {
+    return Planner(grid, rls, tc, config, seed);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// reduction (Fig. 3)
+// ---------------------------------------------------------------------------
+
+TEST(Reduction, NothingPrunedWithEmptyRls) {
+  PlannerFixture fx;
+  auto reduced = fx.planner().reduce(paper_chain());
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->num_nodes(), 2u);
+}
+
+TEST(Reduction, IntermediatePrunesUpstream) {
+  // "If the intermediate file b exists ... the workflow will be reduced"
+  // to just d2 (paper Fig. 3).
+  PlannerFixture fx;
+  fx.rls.add("b", "isi", "gsiftp://isi/b");
+  fx.grid.put_file("isi", "b", 4096);
+  auto reduced = fx.planner().reduce(paper_chain());
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->num_nodes(), 1u);
+  EXPECT_TRUE(reduced->has_node("d2"));
+}
+
+TEST(Reduction, FinalProductPrunesEverything) {
+  PlannerFixture fx;
+  fx.rls.add("c", "isi", "gsiftp://isi/c");
+  auto reduced = fx.planner().reduce(paper_chain());
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->num_nodes(), 0u);
+}
+
+TEST(Reduction, SharedIntermediateKeptWhenAnyConsumerNeedsIt) {
+  // d1: a->b ; d2: b->c ; d3: b->e. Only c exists. d1 must stay because d3
+  // still needs b... unless b itself exists.
+  vds::VirtualDataCatalog vdc;
+  vds::Transformation tr;
+  tr.name = "t";
+  tr.args = {{"input", vds::Direction::kIn}, {"output", vds::Direction::kOut}};
+  (void)vdc.define_transformation(tr);
+  auto dv = [&](const char* name, const char* in, const char* out) {
+    vds::Derivation d;
+    d.name = name;
+    d.transformation = "t";
+    d.bindings["input"] = vds::ActualArg{true, in, vds::Direction::kIn};
+    d.bindings["output"] = vds::ActualArg{true, out, vds::Direction::kOut};
+    (void)vdc.define_derivation(d);
+  };
+  dv("d1", "a", "b");
+  dv("d2", "b", "c");
+  dv("d3", "b", "e");
+  const vds::Dag abstract =
+      vds::compose_abstract_workflow(vdc, {"c", "e"}).value();
+
+  PlannerFixture fx;
+  fx.rls.add("c", "isi", "p");
+  auto reduced = fx.planner().reduce(abstract);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->num_nodes(), 2u);  // d1 and d3 remain
+  EXPECT_TRUE(reduced->has_node("d1"));
+  EXPECT_TRUE(reduced->has_node("d3"));
+
+  fx.rls.add("b", "isi", "p");
+  auto reduced2 = fx.planner().reduce(abstract);
+  ASSERT_TRUE(reduced2.ok());
+  EXPECT_EQ(reduced2->num_nodes(), 1u);  // only d3 (e still missing)
+  EXPECT_TRUE(reduced2->has_node("d3"));
+}
+
+TEST(Reduction, DisabledByConfig) {
+  PlannerFixture fx;
+  fx.rls.add("b", "isi", "p");
+  fx.grid.put_file("isi", "b", 1);
+  PlannerConfig config;
+  config.reduce = false;
+  auto plan = fx.planner(config).plan(paper_chain());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->pruned_jobs, 0u);
+  EXPECT_EQ(plan->compute_nodes, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// feasibility
+// ---------------------------------------------------------------------------
+
+TEST(Feasibility, MissingRawInputIsInfeasible) {
+  PlannerFixture fx;
+  (void)fx.rls.remove("a", "fermilab");
+  auto plan = fx.planner().plan(paper_chain());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, ErrorCode::kInfeasible);
+}
+
+TEST(Feasibility, PrunedIntermediateMustHaveReplica) {
+  // If d1 is pruned because b exists, d2's input b must be findable — it
+  // is, by construction. Removing b after reduction would be infeasible;
+  // here we verify the positive path end-to-end.
+  PlannerFixture fx;
+  fx.rls.add("b", "uwisc", "p");
+  fx.grid.put_file("uwisc", "b", 1);
+  auto plan = fx.planner().plan(paper_chain());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->pruned_jobs, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// concretization (Fig. 4)
+// ---------------------------------------------------------------------------
+
+TEST(Concrete, Figure4Pattern) {
+  // Reduced workflow = d2 with input b at site A; executed at some site B:
+  // move b -> execute d2 -> move c to U -> register c (paper Fig. 4).
+  PlannerFixture fx;
+  fx.rls.add("b", "fermilab", "p");
+  fx.grid.put_file("fermilab", "b", 4096);
+  PlannerConfig config;
+  config.site_policy = SitePolicy::kRandom;
+  config.output_site = "user";
+  auto plan = fx.planner(config, 3).plan(paper_chain());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->compute_nodes, 1u);
+  EXPECT_EQ(plan->register_nodes, 1u);
+  // Stage-out transfer always present; stage-in only if d2 mapped away
+  // from fermilab.
+  const vds::Dag& dag = plan->concrete;
+  const vds::DagNode* d2 = dag.node("d2");
+  ASSERT_NE(d2, nullptr);
+  EXPECT_FALSE(d2->site.empty());
+  EXPECT_EQ(d2->executable, "/grid/bin/t");
+  if (d2->site == "fermilab") {
+    EXPECT_EQ(plan->transfer_nodes, 1u);  // just stage-out
+  } else {
+    EXPECT_EQ(plan->transfer_nodes, 2u);  // stage-in + stage-out
+  }
+  // The register node is downstream of the stage-out transfer.
+  auto order = dag.topological_order().value();
+  EXPECT_EQ(order.back().substr(0, 3), "reg");
+}
+
+TEST(Concrete, StageInDeduplicatedPerSiteFile) {
+  // Two jobs at the same site consuming the same raw input get one
+  // transfer.
+  vds::VirtualDataCatalog vdc;
+  vds::Transformation tr;
+  tr.name = "t";
+  tr.args = {{"input", vds::Direction::kIn}, {"output", vds::Direction::kOut}};
+  (void)vdc.define_transformation(tr);
+  for (int i = 0; i < 4; ++i) {
+    vds::Derivation d;
+    d.name = "d" + std::to_string(i);
+    d.transformation = "t";
+    d.bindings["input"] = vds::ActualArg{true, "shared", vds::Direction::kIn};
+    d.bindings["output"] =
+        vds::ActualArg{true, "out" + std::to_string(i), vds::Direction::kOut};
+    (void)vdc.define_derivation(d);
+  }
+  const vds::Dag abstract = vds::compose_abstract_workflow(
+      vdc, {"out0", "out1", "out2", "out3"}).value();
+
+  grid::Grid g;
+  (void)g.add_site({"only", 4, 1.0, 10.0, 100.0});
+  (void)g.add_site({"store", 4, 1.0, 10.0, 100.0});
+  ReplicaLocationService rls;
+  rls.add("shared", "store", "p");
+  TransformationCatalog tc;
+  (void)tc.add({"t", "only", "/bin/t", {}});
+  PlannerConfig config;
+  config.stage_out = false;
+  config.register_outputs = false;
+  Planner planner(g, rls, tc, config, 1);
+  auto plan = planner.plan(abstract);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->compute_nodes, 4u);
+  EXPECT_EQ(plan->transfer_nodes, 1u);  // one staging of "shared"
+}
+
+TEST(Concrete, InterSiteTransferInserted) {
+  // Force d1 and d2 to different sites: t installed at two sites, with d1
+  // only able to run where the planner puts it... easiest: two
+  // transformations pinned by TC.
+  vds::VirtualDataCatalog vdc;
+  vds::Transformation t1, t2;
+  t1.name = "t1";
+  t1.args = {{"input", vds::Direction::kIn}, {"output", vds::Direction::kOut}};
+  t2 = t1;
+  t2.name = "t2";
+  (void)vdc.define_transformation(t1);
+  (void)vdc.define_transformation(t2);
+  vds::Derivation d1, d2;
+  d1.name = "d1";
+  d1.transformation = "t1";
+  d1.bindings["input"] = vds::ActualArg{true, "a", vds::Direction::kIn};
+  d1.bindings["output"] = vds::ActualArg{true, "b", vds::Direction::kOut};
+  d2.name = "d2";
+  d2.transformation = "t2";
+  d2.bindings["input"] = vds::ActualArg{true, "b", vds::Direction::kIn};
+  d2.bindings["output"] = vds::ActualArg{true, "c", vds::Direction::kOut};
+  (void)vdc.define_derivation(d1);
+  (void)vdc.define_derivation(d2);
+  const vds::Dag abstract = vds::compose_abstract_workflow(vdc, {"c"}).value();
+
+  grid::Grid g = grid::make_paper_grid();
+  ReplicaLocationService rls;
+  rls.add("a", "isi", "p");
+  TransformationCatalog tc;
+  (void)tc.add({"t1", "isi", "/bin/t1", {}});
+  (void)tc.add({"t2", "uwisc", "/bin/t2", {}});
+  PlannerConfig config;
+  config.stage_out = false;
+  config.register_outputs = false;
+  Planner planner(g, rls, tc, config, 1);
+  auto plan = planner.plan(abstract);
+  ASSERT_TRUE(plan.ok());
+  // d1 at isi (input a local, no stage-in), b must move isi -> uwisc.
+  EXPECT_EQ(plan->transfer_nodes, 1u);
+  const vds::DagNode* tx = nullptr;
+  for (const std::string& id : plan->concrete.node_ids()) {
+    if (plan->concrete.node(id)->type == vds::JobType::kTransfer) {
+      tx = plan->concrete.node(id);
+    }
+  }
+  ASSERT_NE(tx, nullptr);
+  EXPECT_EQ(tx->file, "b");
+  EXPECT_EQ(tx->source_site, "isi");
+  EXPECT_EQ(tx->site, "uwisc");
+}
+
+TEST(Concrete, NoInstallationAnywhereIsInfeasible) {
+  PlannerFixture fx;
+  TransformationCatalog empty_tc;
+  Planner planner(fx.grid, fx.rls, empty_tc, PlannerConfig{}, 1);
+  auto plan = planner.plan(paper_chain());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, ErrorCode::kInfeasible);
+}
+
+TEST(Concrete, LeastLoadedSpreadsByCapacity) {
+  PlannerFixture fx;
+  // 60 independent jobs; least-loaded should respect slot proportions
+  // (isi 6, uwisc 24, fermilab 12 -> 1:4:2).
+  vds::VirtualDataCatalog vdc;
+  vds::Transformation tr;
+  tr.name = "t";
+  tr.args = {{"input", vds::Direction::kIn}, {"output", vds::Direction::kOut}};
+  (void)vdc.define_transformation(tr);
+  std::vector<std::string> requests;
+  for (int i = 0; i < 60; ++i) {
+    vds::Derivation d;
+    d.name = "d" + std::to_string(i);
+    d.transformation = "t";
+    d.bindings["input"] = vds::ActualArg{true, "a", vds::Direction::kIn};
+    d.bindings["output"] =
+        vds::ActualArg{true, "o" + std::to_string(i), vds::Direction::kOut};
+    (void)vdc.define_derivation(d);
+    requests.push_back("o" + std::to_string(i));
+  }
+  const vds::Dag abstract = vds::compose_abstract_workflow(vdc, requests).value();
+  PlannerConfig config;
+  config.site_policy = SitePolicy::kLeastLoaded;
+  config.stage_out = false;
+  config.register_outputs = false;
+  auto plan = fx.planner(config).plan(abstract);
+  ASSERT_TRUE(plan.ok());
+  std::map<std::string, int> per_site;
+  for (const std::string& id : plan->concrete.node_ids()) {
+    const vds::DagNode* n = plan->concrete.node(id);
+    if (n->type == vds::JobType::kCompute) ++per_site[n->site];
+  }
+  EXPECT_NEAR(per_site["uwisc"], 60 * 24 / 42.0, 3.0);
+  EXPECT_NEAR(per_site["isi"], 60 * 6 / 42.0, 3.0);
+}
+
+TEST(Concrete, ReusedOutputsReported) {
+  PlannerFixture fx;
+  fx.rls.add("c", "isi", "p");
+  auto plan = fx.planner().plan(paper_chain());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->reused_outputs.size(), 1u);
+  EXPECT_EQ(plan->reused_outputs[0], "c");
+  EXPECT_EQ(plan->compute_nodes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// submit files
+// ---------------------------------------------------------------------------
+
+TEST(SubmitFiles, OnePerNodePlusDagWiring) {
+  PlannerFixture fx;
+  auto plan = fx.planner().plan(paper_chain());
+  ASSERT_TRUE(plan.ok());
+  const SubmitFiles files = generate_submit_files(plan->concrete);
+  EXPECT_EQ(files.submit.size(), plan->concrete.num_nodes());
+  // Every node appears as a JOB line; every edge as PARENT/CHILD.
+  for (const std::string& id : plan->concrete.node_ids()) {
+    EXPECT_NE(files.dag_file.find("JOB " + id), std::string::npos);
+  }
+  EXPECT_NE(files.dag_file.find("PARENT"), std::string::npos);
+  // Compute submit files carry the Globus boilerplate and arguments.
+  const std::string& d2_sub = files.submit.at("d2.sub");
+  EXPECT_NE(d2_sub.find("universe = globus"), std::string::npos);
+  EXPECT_NE(d2_sub.find("executable = /grid/bin/t"), std::string::npos);
+  EXPECT_NE(d2_sub.find("queue"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// commit + request manager (Fig. 2)
+// ---------------------------------------------------------------------------
+
+TEST(RequestManager, EndToEndMaterializesRequest) {
+  PlannerFixture fx;
+  vds::VirtualDataCatalog vdc;
+  vds::Transformation tr;
+  tr.name = "t";
+  tr.args = {{"input", vds::Direction::kIn}, {"output", vds::Direction::kOut}};
+  (void)vdc.define_transformation(tr);
+  auto dv = [&](const char* name, const char* in, const char* out) {
+    vds::Derivation d;
+    d.name = name;
+    d.transformation = "t";
+    d.bindings["input"] = vds::ActualArg{true, in, vds::Direction::kIn};
+    d.bindings["output"] = vds::ActualArg{true, out, vds::Direction::kOut};
+    (void)vdc.define_derivation(d);
+  };
+  dv("d1", "a", "b");
+  dv("d2", "b", "c");
+
+  RequestManager manager(vdc, fx.grid, fx.rls, fx.tc, PlannerConfig{},
+                         grid::JobCostModel{}, grid::FailureModel{});
+  auto trace = manager.handle({"c"});
+  ASSERT_TRUE(trace.ok()) << trace.error().to_string();
+  EXPECT_TRUE(trace->satisfied);
+  EXPECT_TRUE(trace->execution.workflow_succeeded);
+  EXPECT_TRUE(fx.rls.exists("c"));  // registered by commit
+  EXPECT_GT(trace->registrations, 0u);
+  EXPECT_EQ(trace->abstract.num_nodes(), 2u);
+  EXPECT_GT(trace->execution.makespan_seconds, 0.0);
+
+  // Second identical request: fully reduced, nothing to execute.
+  auto second = manager.handle({"c"});
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->satisfied);
+  EXPECT_EQ(second->plan.pruned_jobs, 2u);
+  EXPECT_EQ(second->execution.jobs_total, 0u);
+}
+
+TEST(RequestManager, UnknownProductFails) {
+  PlannerFixture fx;
+  vds::VirtualDataCatalog vdc;
+  RequestManager manager(vdc, fx.grid, fx.rls, fx.tc, PlannerConfig{},
+                         grid::JobCostModel{}, grid::FailureModel{});
+  EXPECT_FALSE(manager.handle({"nothing"}).ok());
+}
+
+}  // namespace
+}  // namespace nvo::pegasus

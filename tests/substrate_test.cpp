@@ -1,0 +1,350 @@
+// Tests for the deeper grid/sky substrate features: Condor ClassAd
+// matchmaking, DAGMan rescue DAGs, and the cone-search spatial index.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "grid/classad.hpp"
+#include "grid/rescue.hpp"
+#include "sky/spatial_index.hpp"
+
+namespace nvo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ClassAd expressions
+// ---------------------------------------------------------------------------
+
+grid::ClassAd machine_ad(double memory, const char* arch, double load) {
+  grid::ClassAd ad;
+  ad.set("Memory", memory);
+  ad.set("Arch", arch);
+  ad.set("LoadAvg", load);
+  return ad;
+}
+
+TEST(AdExpr, LiteralsAndArithmetic) {
+  grid::ClassAd empty;
+  auto e = grid::AdExpr::parse("2 + 3 * 4 - 6 / 2");
+  ASSERT_TRUE(e.ok()) << e.error().to_string();
+  auto v = e->eval(empty, empty);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(v.value()), 11.0);
+}
+
+TEST(AdExpr, PrecedenceAndParens) {
+  grid::ClassAd empty;
+  EXPECT_DOUBLE_EQ(std::get<double>(
+                       grid::AdExpr::parse("(2 + 3) * 4")->eval(empty, empty).value()),
+                   20.0);
+  EXPECT_EQ(std::get<bool>(grid::AdExpr::parse("1 + 1 == 2 && 3 < 4")
+                               ->eval(empty, empty)
+                               .value()),
+            true);
+  EXPECT_DOUBLE_EQ(
+      std::get<double>(grid::AdExpr::parse("-3 + 1")->eval(empty, empty).value()),
+      -2.0);
+}
+
+TEST(AdExpr, AttributeLookupMyThenTarget) {
+  grid::ClassAd my;
+  my.set("x", 5.0);
+  grid::ClassAd target;
+  target.set("x", 100.0);  // shadowed by my
+  target.set("y", 7.0);
+  auto e = grid::AdExpr::parse("x + y");
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(e->eval(my, target).value()), 12.0);
+}
+
+TEST(AdExpr, UndefinedAttributeFailsRequirements) {
+  grid::ClassAd empty;
+  auto e = grid::AdExpr::parse("Memory >= 512");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e->eval(empty, empty).ok());   // UNDEFINED
+  EXPECT_FALSE(e->eval_bool(empty, empty));   // -> no match
+  EXPECT_DOUBLE_EQ(e->eval_rank(empty, empty), 0.0);
+}
+
+TEST(AdExpr, StringComparisons) {
+  grid::ClassAd ad = machine_ad(1024, "x86", 0.1);
+  auto eq = grid::AdExpr::parse("Arch == \"x86\"");
+  auto ne = grid::AdExpr::parse("Arch != \"sparc\"");
+  ASSERT_TRUE(eq.ok() && ne.ok());
+  EXPECT_TRUE(eq->eval_bool(ad, ad));
+  EXPECT_TRUE(ne->eval_bool(ad, ad));
+  // String arithmetic is an error -> requirements false.
+  auto bad = grid::AdExpr::parse("Arch + 1 > 0");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->eval_bool(ad, ad));
+}
+
+TEST(AdExpr, BooleanCoercionAndShortCircuit) {
+  grid::ClassAd ad;
+  ad.set("HasData", true);
+  // The right operand of || is UNDEFINED, but short-circuit avoids it.
+  auto e = grid::AdExpr::parse("HasData || Missing > 1");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->eval_bool(ad, ad));
+  auto r = grid::AdExpr::parse("true + 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(r->eval(ad, ad).value()), 2.0);
+  auto notx = grid::AdExpr::parse("!false");
+  EXPECT_TRUE(notx->eval_bool(ad, ad));
+}
+
+TEST(AdExpr, ParseErrors) {
+  EXPECT_FALSE(grid::AdExpr::parse("").ok());
+  EXPECT_FALSE(grid::AdExpr::parse("1 +").ok());
+  EXPECT_FALSE(grid::AdExpr::parse("(1 + 2").ok());
+  EXPECT_FALSE(grid::AdExpr::parse("\"unterminated").ok());
+  EXPECT_FALSE(grid::AdExpr::parse("1 2").ok());
+  EXPECT_FALSE(grid::AdExpr::parse("@bad").ok());
+}
+
+TEST(AdExpr, DivisionByZeroIsError) {
+  grid::ClassAd empty;
+  auto e = grid::AdExpr::parse("1 / 0");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e->eval(empty, empty).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Matchmaker
+// ---------------------------------------------------------------------------
+
+grid::MachineAd machine(const char* name, double memory, const char* arch,
+                        double load, const char* start = "true") {
+  grid::MachineAd m;
+  m.name = name;
+  m.ad = machine_ad(memory, arch, load);
+  m.ad.set("Mips", memory / 2.0);  // toy speed metric
+  m.requirements = grid::AdExpr::parse(start).value();
+  return m;
+}
+
+grid::JobAd galmorph_job(const char* req, const char* rank) {
+  grid::JobAd j;
+  j.id = "galMorph_G1";
+  j.ad.set("ImageSize", 64.0);
+  j.ad.set("Owner", "nvo");
+  j.requirements = grid::AdExpr::parse(req).value();
+  j.rank = grid::AdExpr::parse(rank).value();
+  return j;
+}
+
+TEST(Matchmaker, TwoWayMatchingAndRanking) {
+  grid::Matchmaker mm;
+  mm.add_machine(machine("slow-big", 2048, "x86", 0.2));
+  mm.add_machine(machine("fast-small", 256, "x86", 0.1));
+  mm.add_machine(machine("sparc-box", 4096, "sparc", 0.0));
+
+  const grid::JobAd job =
+      galmorph_job("Memory >= 512 && Arch == \"x86\"", "Memory");
+  const auto all = mm.matches(job);
+  ASSERT_EQ(all.size(), 1u);  // only slow-big satisfies both clauses
+  EXPECT_EQ(all[0].machine, "slow-big");
+  EXPECT_EQ(mm.match(job).value(), "slow-big");
+}
+
+TEST(Matchmaker, RankOrdersPreference) {
+  grid::Matchmaker mm;
+  mm.add_machine(machine("a", 512, "x86", 0.9));
+  mm.add_machine(machine("b", 1024, "x86", 0.1));
+  const grid::JobAd job = galmorph_job("Memory >= 256", "Mips - 100 * LoadAvg");
+  const auto all = mm.matches(job);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].machine, "b");  // 512-10 beats 256-90
+}
+
+TEST(Matchmaker, MachinePolicyRejectsJob) {
+  grid::Matchmaker mm;
+  // Machine only accepts jobs owned by "cms".
+  mm.add_machine(machine("picky", 4096, "x86", 0.0, "Owner == \"cms\""));
+  const grid::JobAd job = galmorph_job("Memory >= 256", "0");
+  EXPECT_FALSE(mm.match(job).has_value());
+}
+
+TEST(Matchmaker, NoMachines) {
+  grid::Matchmaker mm;
+  EXPECT_FALSE(mm.match(galmorph_job("true", "0")).has_value());
+}
+
+TEST(Matchmaker, DeterministicTieBreak) {
+  grid::Matchmaker mm;
+  mm.add_machine(machine("zeta", 512, "x86", 0.0));
+  mm.add_machine(machine("alpha", 512, "x86", 0.0));
+  const grid::JobAd job = galmorph_job("Memory >= 256", "Memory");
+  EXPECT_EQ(mm.match(job).value(), "alpha");  // equal rank -> name order
+}
+
+// ---------------------------------------------------------------------------
+// Rescue DAGs
+// ---------------------------------------------------------------------------
+
+vds::Dag chain(int n, const std::string& site) {
+  vds::Dag dag;
+  for (int i = 0; i < n; ++i) {
+    vds::DagNode node;
+    node.id = "j" + std::to_string(i);
+    node.type = vds::JobType::kCompute;
+    node.site = site;
+    (void)dag.add_node(node);
+    if (i > 0) (void)dag.add_edge("j" + std::to_string(i - 1), node.id);
+  }
+  return dag;
+}
+
+TEST(Rescue, RescueDagContainsUnfinishedOnly) {
+  grid::Grid g;
+  (void)g.add_site({"s", 4, 1.0, 10.0, 100.0});
+  grid::FailureModel failure;
+  failure.max_retries = 0;
+  failure.permanent_failures.insert("j2");
+  grid::DagManSim dagman(g, grid::JobCostModel{}, failure);
+  const vds::Dag dag = chain(5, "s");
+  auto report = dagman.run(dag);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->workflow_succeeded);
+
+  auto rescue = grid::make_rescue_dag(dag, report.value());
+  ASSERT_TRUE(rescue.ok());
+  EXPECT_EQ(rescue->num_nodes(), 3u);  // j2 (failed), j3, j4 (skipped)
+  EXPECT_FALSE(rescue->has_node("j0"));
+  EXPECT_TRUE(rescue->has_node("j2"));
+  // Edge j2 -> j3 preserved; j1 -> j2 gone (j1 succeeded).
+  EXPECT_EQ(rescue->parents("j2").size(), 0u);
+  EXPECT_EQ(rescue->children("j2"), std::vector<std::string>{"j3"});
+}
+
+TEST(Rescue, RunWithRescueRecoversTransientFailures) {
+  grid::Grid g;
+  (void)g.add_site({"s", 4, 1.0, 10.0, 100.0});
+  grid::FailureModel failure;
+  failure.compute_failure_rate = 0.3;
+  failure.max_retries = 0;  // no in-run retries: rescue rounds must recover
+  grid::DagManSim dagman(g, grid::JobCostModel{}, failure, 17);
+  auto outcome = grid::run_with_rescue(dagman, chain(20, "s"), 20);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->fully_succeeded);
+  EXPECT_GT(outcome->rounds, 1u);
+  EXPECT_EQ(outcome->final_report.jobs_succeeded, 20u);
+}
+
+TEST(Rescue, PermanentFailureStopsAtMaxRounds) {
+  grid::Grid g;
+  (void)g.add_site({"s", 4, 1.0, 10.0, 100.0});
+  grid::FailureModel failure;
+  failure.max_retries = 0;
+  failure.permanent_failures.insert("j1");
+  grid::DagManSim dagman(g, grid::JobCostModel{}, failure);
+  auto outcome = grid::run_with_rescue(dagman, chain(4, "s"), 3);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->fully_succeeded);
+  EXPECT_EQ(outcome->rounds, 3u);
+  EXPECT_EQ(outcome->final_report.jobs_succeeded, 1u);  // j0 only
+  EXPECT_EQ(outcome->final_report.jobs_failed, 1u);     // j1, every round
+  EXPECT_EQ(outcome->final_report.jobs_skipped, 2u);
+}
+
+TEST(Rescue, CleanRunNeedsOneRound) {
+  grid::Grid g;
+  (void)g.add_site({"s", 4, 1.0, 10.0, 100.0});
+  grid::DagManSim dagman(g, grid::JobCostModel{}, grid::FailureModel{});
+  auto outcome = grid::run_with_rescue(dagman, chain(5, "s"), 3);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->fully_succeeded);
+  EXPECT_EQ(outcome->rounds, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SpatialIndex
+// ---------------------------------------------------------------------------
+
+std::vector<sky::Equatorial> random_sky(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<sky::Equatorial> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Uniform on the sphere: dec from asin(u).
+    const double dec = std::asin(rng.uniform(-1.0, 1.0)) * sky::kRadToDeg;
+    out.push_back({rng.uniform(0.0, 360.0), dec});
+  }
+  return out;
+}
+
+TEST(SpatialIndex, MatchesBruteForce) {
+  const auto positions = random_sky(3000, 9);
+  const sky::SpatialIndex index(positions);
+  Rng rng(10);
+  for (int trial = 0; trial < 30; ++trial) {
+    const sky::Equatorial center{rng.uniform(0.0, 360.0),
+                                 std::asin(rng.uniform(-1.0, 1.0)) * sky::kRadToDeg};
+    const double radius = rng.uniform(0.1, 15.0);
+    const auto got = index.query_cone(center, radius);
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (sky::angular_separation_deg(center, positions[i]) <= radius) {
+        expected.push_back(i);
+      }
+    }
+    ASSERT_EQ(got, expected) << "trial " << trial << " center "
+                             << center.to_string() << " r " << radius;
+  }
+}
+
+TEST(SpatialIndex, RaWrapHandled) {
+  std::vector<sky::Equatorial> positions{{359.9, 0.0}, {0.1, 0.0}, {180.0, 0.0}};
+  const sky::SpatialIndex index(positions);
+  const auto hits = index.query_cone({0.0, 0.0}, 0.5);
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(SpatialIndex, PolarConesCoverAllRa) {
+  std::vector<sky::Equatorial> positions{{10.0, 89.5}, {200.0, 89.4}, {0.0, 0.0}};
+  const sky::SpatialIndex index(positions);
+  const auto hits = index.query_cone({120.0, 90.0}, 1.0);
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(SpatialIndex, NearestWithinRadius) {
+  const auto positions = random_sky(500, 11);
+  const sky::SpatialIndex index(positions);
+  const sky::Equatorial probe{123.0, -12.0};
+  const std::size_t got = index.nearest(probe, 30.0);
+  ASSERT_NE(got, sky::SpatialIndex::npos);
+  // Brute-force nearest.
+  std::size_t expected = 0;
+  double best = 1e300;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const double sep = sky::angular_separation_deg(probe, positions[i]);
+    if (sep < best) {
+      best = sep;
+      expected = i;
+    }
+  }
+  EXPECT_EQ(got, expected);
+  // Impossible radius.
+  EXPECT_EQ(index.nearest(probe, 1e-6), sky::SpatialIndex::npos);
+}
+
+TEST(SpatialIndex, PrefilterIsSelective) {
+  const auto positions = random_sky(20000, 13);
+  const sky::SpatialIndex index(positions, 360);
+  (void)index.query_cone({180.0, 0.0}, 1.0);
+  // A 1-degree cone should consider far fewer than all 20000 points.
+  EXPECT_LT(index.last_candidates(), 500u);
+}
+
+TEST(SpatialIndex, EmptyAndDegenerate) {
+  const sky::SpatialIndex empty({});
+  EXPECT_TRUE(empty.query_cone({0, 0}, 10).empty());
+  EXPECT_EQ(empty.nearest({0, 0}, 10), sky::SpatialIndex::npos);
+  const sky::SpatialIndex one({{10.0, 10.0}});
+  EXPECT_EQ(one.query_cone({10.0, 10.0}, 0.01).size(), 1u);
+  EXPECT_TRUE(one.query_cone({10.0, 10.0}, -1.0).empty());
+}
+
+}  // namespace
+}  // namespace nvo

@@ -1,0 +1,157 @@
+// galmorph — the command-line morphology tool a downstream astronomer
+// would run on their own FITS cutouts.
+//
+//   usage: galmorph [options] <cutout.fits> [more.fits ...]
+//     --redshift <z>      source redshift             (default 0)
+//     --pixscale <deg>    pixel scale, deg/pixel      (default 2.777778e-4 = 1")
+//     --zeropoint <mag>   photometric zero point      (default 0)
+//     --Ho <km/s/Mpc>     Hubble constant             (default 100)
+//     --om <Omega_m>      matter density              (default 0.3)
+//     --flat <0|1>        flat cosmology              (default 1)
+//     --votable <path>    also write results as a VOTable
+//     --demo              generate and measure two synthetic galaxies
+//
+// Prints one line per galaxy: id, validity, SB, C, A, r_p — and exits
+// nonzero only on usage errors (bad images produce invalid rows, not
+// failures, per the paper's fault-tolerance design).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "core/galmorph.hpp"
+#include "image/fits.hpp"
+#include "sim/galaxy.hpp"
+#include "votable/votable_io.hpp"
+
+using namespace nvo;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: galmorph [--redshift z] [--pixscale deg] [--zeropoint m]\n"
+               "                [--Ho h] [--om o] [--flat 0|1] [--votable out.vot]\n"
+               "                (<cutout.fits> ... | --demo)\n");
+}
+
+image::FitsFile demo_galaxy(sim::MorphType type) {
+  sim::GalaxyTruth g;
+  g.id = std::string("DEMO_") + sim::to_string(type);
+  g.seed = hash64(g.id);
+  g.type = type;
+  g.total_flux = 9e4;
+  g.r_e_pix = 5.0;
+  if (type == sim::MorphType::kSpiral) {
+    g.sersic_n = 1.0;
+    g.arm_amplitude = 0.55;
+    g.clumpiness = 0.12;
+  }
+  image::FitsFile f;
+  f.data = sim::render_galaxy(g, 64, {});
+  f.header.set_string("OBJECT", g.id, "synthetic demo galaxy");
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::GalMorphArgs args;
+  std::string votable_path;
+  bool demo = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](double& target) -> bool {
+      if (i + 1 >= argc) return false;
+      const auto v = parse_double(argv[++i]);
+      if (!v) return false;
+      target = *v;
+      return true;
+    };
+    if (arg == "--redshift") {
+      if (!next_value(args.redshift)) { usage(); return 2; }
+    } else if (arg == "--pixscale") {
+      if (!next_value(args.pix_scale_deg)) { usage(); return 2; }
+    } else if (arg == "--zeropoint") {
+      if (!next_value(args.zero_point)) { usage(); return 2; }
+    } else if (arg == "--Ho") {
+      if (!next_value(args.h0)) { usage(); return 2; }
+    } else if (arg == "--om") {
+      if (!next_value(args.omega_m)) { usage(); return 2; }
+    } else if (arg == "--flat") {
+      double flat = 1.0;
+      if (!next_value(flat)) { usage(); return 2; }
+      args.flat = flat != 0.0;
+    } else if (arg == "--votable") {
+      if (i + 1 >= argc) { usage(); return 2; }
+      votable_path = argv[++i];
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() && !demo) {
+    usage();
+    return 2;
+  }
+
+  std::vector<core::GalMorphResult> results;
+  std::printf("%-24s %-7s %10s %8s %8s %8s\n", "id", "valid", "SB", "C", "A",
+              "r_p(pix)");
+
+  auto report = [&](const core::GalMorphResult& r) {
+    if (r.params.valid) {
+      std::printf("%-24s %-7s %10.2f %8.2f %8.3f %8.2f\n", r.galaxy_id.c_str(),
+                  "yes", r.params.surface_brightness, r.params.concentration,
+                  r.params.asymmetry, r.params.petrosian_r);
+    } else {
+      std::printf("%-24s %-7s  (%s)\n", r.galaxy_id.c_str(), "NO",
+                  r.params.failure_reason.c_str());
+    }
+    results.push_back(r);
+  };
+
+  if (demo) {
+    report(core::run_gal_morph("DEMO_E", demo_galaxy(sim::MorphType::kElliptical),
+                               args));
+    report(core::run_gal_morph("DEMO_Sp", demo_galaxy(sim::MorphType::kSpiral),
+                               args));
+  }
+  for (const std::string& path : files) {
+    auto fits = image::read_fits_file(path);
+    if (!fits.ok()) {
+      core::GalMorphResult bad;
+      bad.galaxy_id = path;
+      bad.params.valid = false;
+      bad.params.failure_reason = fits.error().to_string();
+      report(bad);
+      continue;
+    }
+    const std::string id =
+        fits->header.get_string("OBJECT").value_or(path);
+    report(core::run_gal_morph(id, fits.value(), args));
+  }
+
+  if (!votable_path.empty()) {
+    const votable::Table table = core::concat_results(results, "galmorph_cli");
+    const Status s = votable::write_votable_file(votable_path, table);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", votable_path.c_str(),
+                   s.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu rows)\n", votable_path.c_str(), results.size());
+  }
+  return 0;
+}
