@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_reuse_policy.dir/bench_a1_reuse_policy.cpp.o"
+  "CMakeFiles/bench_a1_reuse_policy.dir/bench_a1_reuse_policy.cpp.o.d"
+  "bench_a1_reuse_policy"
+  "bench_a1_reuse_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_reuse_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

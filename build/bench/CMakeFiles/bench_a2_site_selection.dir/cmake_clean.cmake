@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_site_selection.dir/bench_a2_site_selection.cpp.o"
+  "CMakeFiles/bench_a2_site_selection.dir/bench_a2_site_selection.cpp.o.d"
+  "bench_a2_site_selection"
+  "bench_a2_site_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_site_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

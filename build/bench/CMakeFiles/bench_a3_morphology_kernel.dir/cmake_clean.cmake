@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_morphology_kernel.dir/bench_a3_morphology_kernel.cpp.o"
+  "CMakeFiles/bench_a3_morphology_kernel.dir/bench_a3_morphology_kernel.cpp.o.d"
+  "bench_a3_morphology_kernel"
+  "bench_a3_morphology_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_morphology_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

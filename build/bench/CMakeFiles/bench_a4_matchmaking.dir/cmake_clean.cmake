@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_matchmaking.dir/bench_a4_matchmaking.cpp.o"
+  "CMakeFiles/bench_a4_matchmaking.dir/bench_a4_matchmaking.cpp.o.d"
+  "bench_a4_matchmaking"
+  "bench_a4_matchmaking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_matchmaking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_chimera_compose.dir/bench_fig1_chimera_compose.cpp.o"
+  "CMakeFiles/bench_fig1_chimera_compose.dir/bench_fig1_chimera_compose.cpp.o.d"
+  "bench_fig1_chimera_compose"
+  "bench_fig1_chimera_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_chimera_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_concrete_exec.dir/bench_fig4_concrete_exec.cpp.o"
+  "CMakeFiles/bench_fig4_concrete_exec.dir/bench_fig4_concrete_exec.cpp.o.d"
+  "bench_fig4_concrete_exec"
+  "bench_fig4_concrete_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_concrete_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

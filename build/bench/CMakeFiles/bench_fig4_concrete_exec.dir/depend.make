@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_concrete_exec.
+# This may be replaced when dependencies are built.

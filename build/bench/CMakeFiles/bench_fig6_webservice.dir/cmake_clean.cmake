@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_webservice.dir/bench_fig6_webservice.cpp.o"
+  "CMakeFiles/bench_fig6_webservice.dir/bench_fig6_webservice.cpp.o.d"
+  "bench_fig6_webservice"
+  "bench_fig6_webservice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_webservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

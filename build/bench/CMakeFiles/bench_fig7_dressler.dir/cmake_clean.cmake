@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_dressler.dir/bench_fig7_dressler.cpp.o"
+  "CMakeFiles/bench_fig7_dressler.dir/bench_fig7_dressler.cpp.o.d"
+  "bench_fig7_dressler"
+  "bench_fig7_dressler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_dressler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

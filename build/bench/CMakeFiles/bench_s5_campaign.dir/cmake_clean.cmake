@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s5_campaign.dir/bench_s5_campaign.cpp.o"
+  "CMakeFiles/bench_s5_campaign.dir/bench_s5_campaign.cpp.o.d"
+  "bench_s5_campaign"
+  "bench_s5_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s5_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

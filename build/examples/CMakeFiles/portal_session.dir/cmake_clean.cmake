@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portal_session.dir/portal_session.cpp.o"
+  "CMakeFiles/portal_session.dir/portal_session.cpp.o.d"
+  "portal_session"
+  "portal_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portal_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_demo.dir/workflow_demo.cpp.o"
+  "CMakeFiles/workflow_demo.dir/workflow_demo.cpp.o.d"
+  "workflow_demo"
+  "workflow_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sky")
+subdirs("image")
+subdirs("votable")
+subdirs("sim")
+subdirs("services")
+subdirs("vds")
+subdirs("grid")
+subdirs("pegasus")
+subdirs("core")
+subdirs("portal")
+subdirs("analysis")

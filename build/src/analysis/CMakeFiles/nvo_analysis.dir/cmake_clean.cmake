@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvo_analysis.dir/campaign.cpp.o"
+  "CMakeFiles/nvo_analysis.dir/campaign.cpp.o.d"
+  "CMakeFiles/nvo_analysis.dir/dressler.cpp.o"
+  "CMakeFiles/nvo_analysis.dir/dressler.cpp.o.d"
+  "CMakeFiles/nvo_analysis.dir/mirage.cpp.o"
+  "CMakeFiles/nvo_analysis.dir/mirage.cpp.o.d"
+  "CMakeFiles/nvo_analysis.dir/stats.cpp.o"
+  "CMakeFiles/nvo_analysis.dir/stats.cpp.o.d"
+  "libnvo_analysis.a"
+  "libnvo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

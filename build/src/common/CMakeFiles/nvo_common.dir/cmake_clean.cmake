@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvo_common.dir/expected.cpp.o"
+  "CMakeFiles/nvo_common.dir/expected.cpp.o.d"
+  "CMakeFiles/nvo_common.dir/ids.cpp.o"
+  "CMakeFiles/nvo_common.dir/ids.cpp.o.d"
+  "CMakeFiles/nvo_common.dir/log.cpp.o"
+  "CMakeFiles/nvo_common.dir/log.cpp.o.d"
+  "CMakeFiles/nvo_common.dir/rng.cpp.o"
+  "CMakeFiles/nvo_common.dir/rng.cpp.o.d"
+  "CMakeFiles/nvo_common.dir/strings.cpp.o"
+  "CMakeFiles/nvo_common.dir/strings.cpp.o.d"
+  "libnvo_common.a"
+  "libnvo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

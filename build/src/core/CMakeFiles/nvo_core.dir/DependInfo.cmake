@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/background.cpp" "src/core/CMakeFiles/nvo_core.dir/background.cpp.o" "gcc" "src/core/CMakeFiles/nvo_core.dir/background.cpp.o.d"
+  "/root/repo/src/core/galmorph.cpp" "src/core/CMakeFiles/nvo_core.dir/galmorph.cpp.o" "gcc" "src/core/CMakeFiles/nvo_core.dir/galmorph.cpp.o.d"
+  "/root/repo/src/core/morphology.cpp" "src/core/CMakeFiles/nvo_core.dir/morphology.cpp.o" "gcc" "src/core/CMakeFiles/nvo_core.dir/morphology.cpp.o.d"
+  "/root/repo/src/core/photometry.cpp" "src/core/CMakeFiles/nvo_core.dir/photometry.cpp.o" "gcc" "src/core/CMakeFiles/nvo_core.dir/photometry.cpp.o.d"
+  "/root/repo/src/core/segmentation.cpp" "src/core/CMakeFiles/nvo_core.dir/segmentation.cpp.o" "gcc" "src/core/CMakeFiles/nvo_core.dir/segmentation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/nvo_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/sky/CMakeFiles/nvo_sky.dir/DependInfo.cmake"
+  "/root/repo/build/src/votable/CMakeFiles/nvo_votable.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

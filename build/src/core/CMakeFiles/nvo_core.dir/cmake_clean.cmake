@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvo_core.dir/background.cpp.o"
+  "CMakeFiles/nvo_core.dir/background.cpp.o.d"
+  "CMakeFiles/nvo_core.dir/galmorph.cpp.o"
+  "CMakeFiles/nvo_core.dir/galmorph.cpp.o.d"
+  "CMakeFiles/nvo_core.dir/morphology.cpp.o"
+  "CMakeFiles/nvo_core.dir/morphology.cpp.o.d"
+  "CMakeFiles/nvo_core.dir/photometry.cpp.o"
+  "CMakeFiles/nvo_core.dir/photometry.cpp.o.d"
+  "CMakeFiles/nvo_core.dir/segmentation.cpp.o"
+  "CMakeFiles/nvo_core.dir/segmentation.cpp.o.d"
+  "libnvo_core.a"
+  "libnvo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

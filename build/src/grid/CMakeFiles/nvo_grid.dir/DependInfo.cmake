@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/classad.cpp" "src/grid/CMakeFiles/nvo_grid.dir/classad.cpp.o" "gcc" "src/grid/CMakeFiles/nvo_grid.dir/classad.cpp.o.d"
+  "/root/repo/src/grid/dagman.cpp" "src/grid/CMakeFiles/nvo_grid.dir/dagman.cpp.o" "gcc" "src/grid/CMakeFiles/nvo_grid.dir/dagman.cpp.o.d"
+  "/root/repo/src/grid/grid.cpp" "src/grid/CMakeFiles/nvo_grid.dir/grid.cpp.o" "gcc" "src/grid/CMakeFiles/nvo_grid.dir/grid.cpp.o.d"
+  "/root/repo/src/grid/mds.cpp" "src/grid/CMakeFiles/nvo_grid.dir/mds.cpp.o" "gcc" "src/grid/CMakeFiles/nvo_grid.dir/mds.cpp.o.d"
+  "/root/repo/src/grid/rescue.cpp" "src/grid/CMakeFiles/nvo_grid.dir/rescue.cpp.o" "gcc" "src/grid/CMakeFiles/nvo_grid.dir/rescue.cpp.o.d"
+  "/root/repo/src/grid/threadpool.cpp" "src/grid/CMakeFiles/nvo_grid.dir/threadpool.cpp.o" "gcc" "src/grid/CMakeFiles/nvo_grid.dir/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vds/CMakeFiles/nvo_vds.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

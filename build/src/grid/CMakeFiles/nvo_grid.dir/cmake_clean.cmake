@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvo_grid.dir/classad.cpp.o"
+  "CMakeFiles/nvo_grid.dir/classad.cpp.o.d"
+  "CMakeFiles/nvo_grid.dir/dagman.cpp.o"
+  "CMakeFiles/nvo_grid.dir/dagman.cpp.o.d"
+  "CMakeFiles/nvo_grid.dir/grid.cpp.o"
+  "CMakeFiles/nvo_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/nvo_grid.dir/mds.cpp.o"
+  "CMakeFiles/nvo_grid.dir/mds.cpp.o.d"
+  "CMakeFiles/nvo_grid.dir/rescue.cpp.o"
+  "CMakeFiles/nvo_grid.dir/rescue.cpp.o.d"
+  "CMakeFiles/nvo_grid.dir/threadpool.cpp.o"
+  "CMakeFiles/nvo_grid.dir/threadpool.cpp.o.d"
+  "libnvo_grid.a"
+  "libnvo_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

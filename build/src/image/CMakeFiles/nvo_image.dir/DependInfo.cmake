@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/fits.cpp" "src/image/CMakeFiles/nvo_image.dir/fits.cpp.o" "gcc" "src/image/CMakeFiles/nvo_image.dir/fits.cpp.o.d"
+  "/root/repo/src/image/image.cpp" "src/image/CMakeFiles/nvo_image.dir/image.cpp.o" "gcc" "src/image/CMakeFiles/nvo_image.dir/image.cpp.o.d"
+  "/root/repo/src/image/render.cpp" "src/image/CMakeFiles/nvo_image.dir/render.cpp.o" "gcc" "src/image/CMakeFiles/nvo_image.dir/render.cpp.o.d"
+  "/root/repo/src/image/wcs.cpp" "src/image/CMakeFiles/nvo_image.dir/wcs.cpp.o" "gcc" "src/image/CMakeFiles/nvo_image.dir/wcs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sky/CMakeFiles/nvo_sky.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

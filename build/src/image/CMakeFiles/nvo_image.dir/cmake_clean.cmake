@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvo_image.dir/fits.cpp.o"
+  "CMakeFiles/nvo_image.dir/fits.cpp.o.d"
+  "CMakeFiles/nvo_image.dir/image.cpp.o"
+  "CMakeFiles/nvo_image.dir/image.cpp.o.d"
+  "CMakeFiles/nvo_image.dir/render.cpp.o"
+  "CMakeFiles/nvo_image.dir/render.cpp.o.d"
+  "CMakeFiles/nvo_image.dir/wcs.cpp.o"
+  "CMakeFiles/nvo_image.dir/wcs.cpp.o.d"
+  "libnvo_image.a"
+  "libnvo_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pegasus/planner.cpp" "src/pegasus/CMakeFiles/nvo_pegasus.dir/planner.cpp.o" "gcc" "src/pegasus/CMakeFiles/nvo_pegasus.dir/planner.cpp.o.d"
+  "/root/repo/src/pegasus/request_manager.cpp" "src/pegasus/CMakeFiles/nvo_pegasus.dir/request_manager.cpp.o" "gcc" "src/pegasus/CMakeFiles/nvo_pegasus.dir/request_manager.cpp.o.d"
+  "/root/repo/src/pegasus/rls.cpp" "src/pegasus/CMakeFiles/nvo_pegasus.dir/rls.cpp.o" "gcc" "src/pegasus/CMakeFiles/nvo_pegasus.dir/rls.cpp.o.d"
+  "/root/repo/src/pegasus/tc.cpp" "src/pegasus/CMakeFiles/nvo_pegasus.dir/tc.cpp.o" "gcc" "src/pegasus/CMakeFiles/nvo_pegasus.dir/tc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vds/CMakeFiles/nvo_vds.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/nvo_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

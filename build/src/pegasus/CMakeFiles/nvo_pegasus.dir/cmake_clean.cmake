@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvo_pegasus.dir/planner.cpp.o"
+  "CMakeFiles/nvo_pegasus.dir/planner.cpp.o.d"
+  "CMakeFiles/nvo_pegasus.dir/request_manager.cpp.o"
+  "CMakeFiles/nvo_pegasus.dir/request_manager.cpp.o.d"
+  "CMakeFiles/nvo_pegasus.dir/rls.cpp.o"
+  "CMakeFiles/nvo_pegasus.dir/rls.cpp.o.d"
+  "CMakeFiles/nvo_pegasus.dir/tc.cpp.o"
+  "CMakeFiles/nvo_pegasus.dir/tc.cpp.o.d"
+  "libnvo_pegasus.a"
+  "libnvo_pegasus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_pegasus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvo_portal.dir/compute_service.cpp.o"
+  "CMakeFiles/nvo_portal.dir/compute_service.cpp.o.d"
+  "CMakeFiles/nvo_portal.dir/portal.cpp.o"
+  "CMakeFiles/nvo_portal.dir/portal.cpp.o.d"
+  "CMakeFiles/nvo_portal.dir/transforms.cpp.o"
+  "CMakeFiles/nvo_portal.dir/transforms.cpp.o.d"
+  "libnvo_portal.a"
+  "libnvo_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/cone_search.cpp" "src/services/CMakeFiles/nvo_services.dir/cone_search.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/cone_search.cpp.o.d"
+  "/root/repo/src/services/federation.cpp" "src/services/CMakeFiles/nvo_services.dir/federation.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/federation.cpp.o.d"
+  "/root/repo/src/services/http.cpp" "src/services/CMakeFiles/nvo_services.dir/http.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/http.cpp.o.d"
+  "/root/repo/src/services/myproxy.cpp" "src/services/CMakeFiles/nvo_services.dir/myproxy.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/myproxy.cpp.o.d"
+  "/root/repo/src/services/registry.cpp" "src/services/CMakeFiles/nvo_services.dir/registry.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/registry.cpp.o.d"
+  "/root/repo/src/services/sia.cpp" "src/services/CMakeFiles/nvo_services.dir/sia.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/sia.cpp.o.d"
+  "/root/repo/src/services/table_service.cpp" "src/services/CMakeFiles/nvo_services.dir/table_service.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/table_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sky/CMakeFiles/nvo_sky.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/nvo_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/votable/CMakeFiles/nvo_votable.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvo_services.dir/cone_search.cpp.o"
+  "CMakeFiles/nvo_services.dir/cone_search.cpp.o.d"
+  "CMakeFiles/nvo_services.dir/federation.cpp.o"
+  "CMakeFiles/nvo_services.dir/federation.cpp.o.d"
+  "CMakeFiles/nvo_services.dir/http.cpp.o"
+  "CMakeFiles/nvo_services.dir/http.cpp.o.d"
+  "CMakeFiles/nvo_services.dir/myproxy.cpp.o"
+  "CMakeFiles/nvo_services.dir/myproxy.cpp.o.d"
+  "CMakeFiles/nvo_services.dir/registry.cpp.o"
+  "CMakeFiles/nvo_services.dir/registry.cpp.o.d"
+  "CMakeFiles/nvo_services.dir/sia.cpp.o"
+  "CMakeFiles/nvo_services.dir/sia.cpp.o.d"
+  "CMakeFiles/nvo_services.dir/table_service.cpp.o"
+  "CMakeFiles/nvo_services.dir/table_service.cpp.o.d"
+  "libnvo_services.a"
+  "libnvo_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

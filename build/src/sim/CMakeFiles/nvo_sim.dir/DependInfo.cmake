@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/nvo_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/nvo_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/galaxy.cpp" "src/sim/CMakeFiles/nvo_sim.dir/galaxy.cpp.o" "gcc" "src/sim/CMakeFiles/nvo_sim.dir/galaxy.cpp.o.d"
+  "/root/repo/src/sim/profiles.cpp" "src/sim/CMakeFiles/nvo_sim.dir/profiles.cpp.o" "gcc" "src/sim/CMakeFiles/nvo_sim.dir/profiles.cpp.o.d"
+  "/root/repo/src/sim/universe.cpp" "src/sim/CMakeFiles/nvo_sim.dir/universe.cpp.o" "gcc" "src/sim/CMakeFiles/nvo_sim.dir/universe.cpp.o.d"
+  "/root/repo/src/sim/xray.cpp" "src/sim/CMakeFiles/nvo_sim.dir/xray.cpp.o" "gcc" "src/sim/CMakeFiles/nvo_sim.dir/xray.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sky/CMakeFiles/nvo_sky.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/nvo_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/votable/CMakeFiles/nvo_votable.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

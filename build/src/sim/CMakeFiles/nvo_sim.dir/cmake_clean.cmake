@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvo_sim.dir/cluster.cpp.o"
+  "CMakeFiles/nvo_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/nvo_sim.dir/galaxy.cpp.o"
+  "CMakeFiles/nvo_sim.dir/galaxy.cpp.o.d"
+  "CMakeFiles/nvo_sim.dir/profiles.cpp.o"
+  "CMakeFiles/nvo_sim.dir/profiles.cpp.o.d"
+  "CMakeFiles/nvo_sim.dir/universe.cpp.o"
+  "CMakeFiles/nvo_sim.dir/universe.cpp.o.d"
+  "CMakeFiles/nvo_sim.dir/xray.cpp.o"
+  "CMakeFiles/nvo_sim.dir/xray.cpp.o.d"
+  "libnvo_sim.a"
+  "libnvo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sky/coords.cpp" "src/sky/CMakeFiles/nvo_sky.dir/coords.cpp.o" "gcc" "src/sky/CMakeFiles/nvo_sky.dir/coords.cpp.o.d"
+  "/root/repo/src/sky/cosmology.cpp" "src/sky/CMakeFiles/nvo_sky.dir/cosmology.cpp.o" "gcc" "src/sky/CMakeFiles/nvo_sky.dir/cosmology.cpp.o.d"
+  "/root/repo/src/sky/spatial_index.cpp" "src/sky/CMakeFiles/nvo_sky.dir/spatial_index.cpp.o" "gcc" "src/sky/CMakeFiles/nvo_sky.dir/spatial_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

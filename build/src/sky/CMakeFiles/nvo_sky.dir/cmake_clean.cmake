@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvo_sky.dir/coords.cpp.o"
+  "CMakeFiles/nvo_sky.dir/coords.cpp.o.d"
+  "CMakeFiles/nvo_sky.dir/cosmology.cpp.o"
+  "CMakeFiles/nvo_sky.dir/cosmology.cpp.o.d"
+  "CMakeFiles/nvo_sky.dir/spatial_index.cpp.o"
+  "CMakeFiles/nvo_sky.dir/spatial_index.cpp.o.d"
+  "libnvo_sky.a"
+  "libnvo_sky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_sky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

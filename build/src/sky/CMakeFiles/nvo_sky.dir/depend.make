@@ -1,0 +1,2 @@
+# Empty dependencies file for nvo_sky.
+# This may be replaced when dependencies are built.

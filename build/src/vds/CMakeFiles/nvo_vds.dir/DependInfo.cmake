@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vds/chimera.cpp" "src/vds/CMakeFiles/nvo_vds.dir/chimera.cpp.o" "gcc" "src/vds/CMakeFiles/nvo_vds.dir/chimera.cpp.o.d"
+  "/root/repo/src/vds/dag.cpp" "src/vds/CMakeFiles/nvo_vds.dir/dag.cpp.o" "gcc" "src/vds/CMakeFiles/nvo_vds.dir/dag.cpp.o.d"
+  "/root/repo/src/vds/provenance.cpp" "src/vds/CMakeFiles/nvo_vds.dir/provenance.cpp.o" "gcc" "src/vds/CMakeFiles/nvo_vds.dir/provenance.cpp.o.d"
+  "/root/repo/src/vds/vdl.cpp" "src/vds/CMakeFiles/nvo_vds.dir/vdl.cpp.o" "gcc" "src/vds/CMakeFiles/nvo_vds.dir/vdl.cpp.o.d"
+  "/root/repo/src/vds/vdl_parser.cpp" "src/vds/CMakeFiles/nvo_vds.dir/vdl_parser.cpp.o" "gcc" "src/vds/CMakeFiles/nvo_vds.dir/vdl_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvo_vds.dir/chimera.cpp.o"
+  "CMakeFiles/nvo_vds.dir/chimera.cpp.o.d"
+  "CMakeFiles/nvo_vds.dir/dag.cpp.o"
+  "CMakeFiles/nvo_vds.dir/dag.cpp.o.d"
+  "CMakeFiles/nvo_vds.dir/provenance.cpp.o"
+  "CMakeFiles/nvo_vds.dir/provenance.cpp.o.d"
+  "CMakeFiles/nvo_vds.dir/vdl.cpp.o"
+  "CMakeFiles/nvo_vds.dir/vdl.cpp.o.d"
+  "CMakeFiles/nvo_vds.dir/vdl_parser.cpp.o"
+  "CMakeFiles/nvo_vds.dir/vdl_parser.cpp.o.d"
+  "libnvo_vds.a"
+  "libnvo_vds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_vds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

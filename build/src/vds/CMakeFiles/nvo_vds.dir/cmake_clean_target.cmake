@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnvo_vds.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/votable/table.cpp" "src/votable/CMakeFiles/nvo_votable.dir/table.cpp.o" "gcc" "src/votable/CMakeFiles/nvo_votable.dir/table.cpp.o.d"
+  "/root/repo/src/votable/table_ops.cpp" "src/votable/CMakeFiles/nvo_votable.dir/table_ops.cpp.o" "gcc" "src/votable/CMakeFiles/nvo_votable.dir/table_ops.cpp.o.d"
+  "/root/repo/src/votable/votable_io.cpp" "src/votable/CMakeFiles/nvo_votable.dir/votable_io.cpp.o" "gcc" "src/votable/CMakeFiles/nvo_votable.dir/votable_io.cpp.o.d"
+  "/root/repo/src/votable/xml.cpp" "src/votable/CMakeFiles/nvo_votable.dir/xml.cpp.o" "gcc" "src/votable/CMakeFiles/nvo_votable.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nvo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

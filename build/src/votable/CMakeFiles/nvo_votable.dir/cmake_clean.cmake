@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvo_votable.dir/table.cpp.o"
+  "CMakeFiles/nvo_votable.dir/table.cpp.o.d"
+  "CMakeFiles/nvo_votable.dir/table_ops.cpp.o"
+  "CMakeFiles/nvo_votable.dir/table_ops.cpp.o.d"
+  "CMakeFiles/nvo_votable.dir/votable_io.cpp.o"
+  "CMakeFiles/nvo_votable.dir/votable_io.cpp.o.d"
+  "CMakeFiles/nvo_votable.dir/xml.cpp.o"
+  "CMakeFiles/nvo_votable.dir/xml.cpp.o.d"
+  "libnvo_votable.a"
+  "libnvo_votable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvo_votable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

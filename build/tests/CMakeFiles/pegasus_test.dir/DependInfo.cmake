@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pegasus_test.cpp" "tests/CMakeFiles/pegasus_test.dir/pegasus_test.cpp.o" "gcc" "tests/CMakeFiles/pegasus_test.dir/pegasus_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pegasus/CMakeFiles/nvo_pegasus.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/nvo_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/vds/CMakeFiles/nvo_vds.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pegasus_test.dir/pegasus_test.cpp.o"
+  "CMakeFiles/pegasus_test.dir/pegasus_test.cpp.o.d"
+  "pegasus_test"
+  "pegasus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pegasus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sky_test.dir/sky_test.cpp.o"
+  "CMakeFiles/sky_test.dir/sky_test.cpp.o.d"
+  "sky_test"
+  "sky_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vds_test.dir/vds_test.cpp.o"
+  "CMakeFiles/vds_test.dir/vds_test.cpp.o.d"
+  "vds_test"
+  "vds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

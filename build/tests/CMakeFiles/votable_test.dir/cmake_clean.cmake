@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/votable_test.dir/votable_test.cpp.o"
+  "CMakeFiles/votable_test.dir/votable_test.cpp.o.d"
+  "votable_test"
+  "votable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/votable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galmorph.dir/galmorph_cli.cpp.o"
+  "CMakeFiles/galmorph.dir/galmorph_cli.cpp.o.d"
+  "galmorph"
+  "galmorph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galmorph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

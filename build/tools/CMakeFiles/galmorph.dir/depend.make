@@ -1,0 +1,2 @@
+# Empty dependencies file for galmorph.
+# This may be replaced when dependencies are built.

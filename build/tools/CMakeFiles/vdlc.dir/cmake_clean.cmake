@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdlc.dir/vdlc.cpp.o"
+  "CMakeFiles/vdlc.dir/vdlc.cpp.o.d"
+  "vdlc"
+  "vdlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vdlc.
+# This may be replaced when dependencies are built.
