@@ -224,9 +224,9 @@ bench/CMakeFiles/bench_fig7_dressler.dir/bench_fig7_dressler.cpp.o: \
  /root/repo/src/portal/compute_service.hpp /root/repo/src/common/ids.hpp \
  /root/repo/src/core/galmorph.hpp /root/repo/src/core/morphology.hpp \
  /root/repo/src/core/background.hpp /root/repo/src/image/image.hpp \
- /root/repo/src/image/fits.hpp /root/repo/src/sky/cosmology.hpp \
- /root/repo/src/grid/dagman.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/core/photometry.hpp /root/repo/src/image/fits.hpp \
+ /root/repo/src/sky/cosmology.hpp /root/repo/src/grid/dagman.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \

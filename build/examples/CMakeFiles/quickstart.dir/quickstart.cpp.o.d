@@ -141,7 +141,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/core/background.hpp /root/repo/src/image/image.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/image/fits.hpp \
- /root/repo/src/sky/cosmology.hpp /root/repo/src/votable/table.hpp \
- /root/repo/src/sim/galaxy.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/sky/coords.hpp
+ /usr/include/c++/12/cstddef /root/repo/src/core/photometry.hpp \
+ /root/repo/src/image/fits.hpp /root/repo/src/sky/cosmology.hpp \
+ /root/repo/src/votable/table.hpp /root/repo/src/sim/galaxy.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/sky/coords.hpp

@@ -141,10 +141,10 @@ src/core/CMakeFiles/nvo_core.dir/galmorph.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/core/background.hpp /root/repo/src/image/image.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/image/fits.hpp \
- /root/repo/src/sky/cosmology.hpp /root/repo/src/votable/table.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/cstddef /root/repo/src/core/photometry.hpp \
+ /root/repo/src/image/fits.hpp /root/repo/src/sky/cosmology.hpp \
+ /root/repo/src/votable/table.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

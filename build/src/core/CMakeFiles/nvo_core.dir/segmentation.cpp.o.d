@@ -102,6 +102,4 @@ src/core/CMakeFiles/nvo_core.dir/segmentation.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cstdint \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc
+ /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h

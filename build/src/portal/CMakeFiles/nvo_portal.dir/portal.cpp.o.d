@@ -212,9 +212,10 @@ src/portal/CMakeFiles/nvo_portal.dir/portal.cpp.o: \
  /root/repo/src/core/galmorph.hpp /root/repo/src/core/morphology.hpp \
  /usr/include/c++/12/optional /root/repo/src/core/background.hpp \
  /root/repo/src/image/image.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/image/fits.hpp /root/repo/src/sky/cosmology.hpp \
- /root/repo/src/votable/table.hpp /root/repo/src/grid/dagman.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/core/photometry.hpp /root/repo/src/image/fits.hpp \
+ /root/repo/src/sky/cosmology.hpp /root/repo/src/votable/table.hpp \
+ /root/repo/src/grid/dagman.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \

@@ -317,7 +317,7 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/background.hpp /root/repo/src/image/image.hpp \
  /root/repo/src/core/galmorph.hpp /root/repo/src/common/expected.hpp \
- /root/repo/src/core/morphology.hpp /root/repo/src/image/fits.hpp \
- /root/repo/src/sky/cosmology.hpp /root/repo/src/votable/table.hpp \
- /root/repo/src/core/photometry.hpp /root/repo/src/sim/galaxy.hpp \
+ /root/repo/src/core/morphology.hpp /root/repo/src/core/photometry.hpp \
+ /root/repo/src/image/fits.hpp /root/repo/src/sky/cosmology.hpp \
+ /root/repo/src/votable/table.hpp /root/repo/src/sim/galaxy.hpp \
  /root/repo/src/common/rng.hpp /root/repo/src/sky/coords.hpp

@@ -303,9 +303,9 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /root/repo/src/portal/compute_service.hpp /root/repo/src/common/ids.hpp \
  /root/repo/src/core/galmorph.hpp /root/repo/src/core/morphology.hpp \
  /root/repo/src/core/background.hpp /root/repo/src/image/image.hpp \
- /root/repo/src/image/fits.hpp /root/repo/src/sky/cosmology.hpp \
- /root/repo/src/grid/dagman.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/grid/threadpool.hpp \
+ /root/repo/src/core/photometry.hpp /root/repo/src/image/fits.hpp \
+ /root/repo/src/sky/cosmology.hpp /root/repo/src/grid/dagman.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/grid/threadpool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \

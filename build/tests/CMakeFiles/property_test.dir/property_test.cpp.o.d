@@ -317,8 +317,9 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/rng.hpp \
  /root/repo/src/common/strings.hpp /root/repo/src/core/morphology.hpp \
  /root/repo/src/core/background.hpp /root/repo/src/image/image.hpp \
- /root/repo/src/grid/dagman.hpp /root/repo/src/common/expected.hpp \
- /root/repo/src/grid/grid.hpp /root/repo/src/grid/threadpool.hpp \
+ /root/repo/src/core/photometry.hpp /root/repo/src/grid/dagman.hpp \
+ /root/repo/src/common/expected.hpp /root/repo/src/grid/grid.hpp \
+ /root/repo/src/grid/threadpool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \

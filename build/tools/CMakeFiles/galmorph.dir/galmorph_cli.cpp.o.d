@@ -142,11 +142,12 @@ tools/CMakeFiles/galmorph.dir/galmorph_cli.cpp.o: \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/core/morphology.hpp /root/repo/src/core/background.hpp \
  /root/repo/src/image/image.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/image/fits.hpp /root/repo/src/sky/cosmology.hpp \
- /root/repo/src/votable/table.hpp /root/repo/src/sim/galaxy.hpp \
- /root/repo/src/common/rng.hpp /root/repo/src/sky/coords.hpp \
- /root/repo/src/votable/votable_io.hpp /root/repo/src/votable/xml.hpp \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/core/photometry.hpp /root/repo/src/image/fits.hpp \
+ /root/repo/src/sky/cosmology.hpp /root/repo/src/votable/table.hpp \
+ /root/repo/src/sim/galaxy.hpp /root/repo/src/common/rng.hpp \
+ /root/repo/src/sky/coords.hpp /root/repo/src/votable/votable_io.hpp \
+ /root/repo/src/votable/xml.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \

@@ -60,4 +60,11 @@ image::Image subtract_background(const image::Image& img,
   return out;
 }
 
+void subtract_background_into(const image::Image& img, const BackgroundEstimate& bg,
+                              image::Image& out) {
+  out.assign_from(img);
+  const float level = static_cast<float>(bg.level);
+  for (float& v : out.pixels()) v -= level;
+}
+
 }  // namespace nvo::core

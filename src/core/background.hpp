@@ -23,4 +23,10 @@ BackgroundEstimate estimate_background(const image::Image& img, int border = 6,
 image::Image subtract_background(const image::Image& img,
                                  const BackgroundEstimate& bg);
 
+/// Writes the background-subtracted frame into `out`, reusing its
+/// allocation — the zero-copy path the batch kernel uses so each galaxy
+/// costs one scratch buffer instead of two fresh images.
+void subtract_background_into(const image::Image& img, const BackgroundEstimate& bg,
+                              image::Image& out);
+
 }  // namespace nvo::core

@@ -13,30 +13,25 @@ namespace {
 
 constexpr double kPi = 3.14159265358979323846;
 
-/// Detects the saturated-band corruption mode of bad archive cutouts: any
-/// full row pinned at a single extreme value.
-bool has_saturated_band(const image::Image& img) {
-  if (img.width() < 2) return false;
+/// Fused validity scan: one pass over the frame detects both corruption
+/// modes the kernel rejects — non-finite pixels, and the saturated-band
+/// defect of bad archive cutouts (any full row pinned at a single extreme
+/// value). Non-finite pixels take precedence, matching the original
+/// two-scan ordering. Returns nullptr when the frame is clean.
+const char* validation_failure(const image::Image& img) {
+  bool saturated = false;
   for (int y = 0; y < img.height(); ++y) {
     const float first = img.at(0, y);
-    if (first < 60000.0f) continue;
-    bool uniform = true;
-    for (int x = 1; x < img.width(); ++x) {
-      if (img.at(x, y) != first) {
-        uniform = false;
-        break;
-      }
+    const bool check_band = !saturated && img.width() >= 2 && first >= 60000.0f;
+    bool uniform = check_band;
+    for (int x = 0; x < img.width(); ++x) {
+      const float v = img.at(x, y);
+      if (!std::isfinite(v)) return "non-finite pixels";
+      if (uniform && x > 0 && v != first) uniform = false;
     }
-    if (uniform) return true;
+    if (check_band && uniform) saturated = true;
   }
-  return false;
-}
-
-bool has_nonfinite(const image::Image& img) {
-  for (float v : img.pixels()) {
-    if (!std::isfinite(v)) return true;
-  }
-  return false;
+  return saturated ? "saturated defect band" : nullptr;
 }
 
 MorphologyParams invalid(const std::string& reason) {
@@ -50,7 +45,12 @@ MorphologyParams invalid(const std::string& reason) {
 
 double asymmetry_statistic(const image::Image& img, double cx, double cy,
                            double radius) {
-  const image::Image rotated = img.rotate180_about(cx, cy);
+  // The rotated counterpart I_180(x, y) is sampled by index arithmetic —
+  // bilinear at (2cx - x, 2cy - y) — touching only aperture pixels, instead
+  // of materializing a full rotated frame per call. The source row index
+  // and vertical weight are fixed across a destination row, and the
+  // interior fast path reads the four taps directly; both evaluate the
+  // bilinear formula exactly as Image::sample_bilinear does.
   double num = 0.0;
   double den = 0.0;
   const int x0 = std::max(0, static_cast<int>(cx - radius));
@@ -59,12 +59,35 @@ double asymmetry_statistic(const image::Image& img, double cx, double cy,
   const int y1 = std::min(img.height() - 1, static_cast<int>(cy + radius));
   const double r2 = radius * radius;
   for (int y = y0; y <= y1; ++y) {
+    const double sy = 2.0 * cy - y;
+    const int iy0 = static_cast<int>(std::floor(sy));
+    const double fy = sy - iy0;
+    const bool row_interior = iy0 >= 0 && iy0 + 1 < img.height();
+    const float* row0 = row_interior ? img.data() + static_cast<std::size_t>(iy0) * img.width() : nullptr;
+    const float* row1 = row_interior ? row0 + img.width() : nullptr;
+    const double dy = y - cy;
+    const double dy2 = dy * dy;
     for (int x = x0; x <= x1; ++x) {
       const double dx = x - cx;
-      const double dy = y - cy;
-      if (dx * dx + dy * dy > r2) continue;
-      num += std::fabs(img.at(x, y) - rotated.at(x, y));
-      den += std::fabs(img.at(x, y));
+      if (dx * dx + dy2 > r2) continue;
+      const float v = img.at(x, y);
+      const double sx = 2.0 * cx - x;
+      float rotated;
+      const int ix0 = static_cast<int>(std::floor(sx));
+      if (row_interior && ix0 >= 0 && ix0 + 1 < img.width()) {
+        const double fx = sx - ix0;
+        const double v00 = row0[ix0];
+        const double v10 = row0[ix0 + 1];
+        const double v01 = row1[ix0];
+        const double v11 = row1[ix0 + 1];
+        const double top = v01 * (1.0 - fx) + v11 * fx;
+        const double bot = v00 * (1.0 - fx) + v10 * fx;
+        rotated = static_cast<float>(bot * (1.0 - fy) + top * fy);
+      } else {
+        rotated = img.sample_bilinear(sx, sy);
+      }
+      num += std::fabs(v - rotated);
+      den += std::fabs(v);
     }
   }
   return den > 0.0 ? num / (2.0 * den) : 0.0;
@@ -72,11 +95,17 @@ double asymmetry_statistic(const image::Image& img, double cx, double cy,
 
 MorphologyParams measure_morphology(const image::Image& cutout,
                                     const MorphologyOptions& options) {
+  thread_local MorphologyWorkspace workspace;
+  return measure_morphology(cutout, options, workspace);
+}
+
+MorphologyParams measure_morphology(const image::Image& cutout,
+                                    const MorphologyOptions& options,
+                                    MorphologyWorkspace& workspace) {
   if (cutout.empty() || cutout.width() < 16 || cutout.height() < 16) {
     return invalid("frame too small");
   }
-  if (has_nonfinite(cutout)) return invalid("non-finite pixels");
-  if (has_saturated_band(cutout)) return invalid("saturated defect band");
+  if (const char* reason = validation_failure(cutout)) return invalid(reason);
 
   MorphologyParams p;
   const BackgroundEstimate bg =
@@ -84,23 +113,31 @@ MorphologyParams measure_morphology(const image::Image& cutout,
   p.background_level = bg.level;
   p.background_sigma = bg.sigma;
   // Background-subtract, then mask companion sources: crowded cluster-core
-  // cutouts contain neighbors whose light would corrupt every index.
-  const image::Image img =
-      mask_companions(subtract_background(cutout, bg), bg.sigma);
+  // cutouts contain neighbors whose light would corrupt every index. Both
+  // stages run in the workspace scratch frame — one reused buffer, not two
+  // fresh image copies per galaxy.
+  image::Image& img = workspace.scratch;
+  subtract_background_into(cutout, bg, img);
+  mask_companions_inplace(img, bg.sigma);
 
   const double frame_limit = std::min(cutout.width(), cutout.height()) / 2.0 - 1.0;
   const Centroid centroid = find_centroid(img, frame_limit);
   p.centroid_x = centroid.x;
   p.centroid_y = centroid.y;
 
-  const auto r_p = petrosian_radius(img, centroid.x, centroid.y,
-                                    options.petrosian_eta, frame_limit);
+  // Every radial query below — the Petrosian sweep, the total-flux
+  // aperture, and the r20/r80 bisections — is answered from one precomputed
+  // curve of growth instead of a fresh aperture scan per query.
+  CurveOfGrowth& cog = workspace.cog;
+  cog.build(img, centroid.x, centroid.y);
+
+  const auto r_p = cog.petrosian_radius(options.petrosian_eta, frame_limit);
   if (!r_p) return invalid("no Petrosian radius (source too faint or absent)");
   p.petrosian_r = *r_p;
 
   const double aperture =
       std::min(options.aperture_petrosian_factor * *r_p, frame_limit);
-  p.total_flux = aperture_flux(img, centroid.x, centroid.y, aperture);
+  p.total_flux = cog.aperture_flux(aperture);
   if (p.total_flux <= 0.0) return invalid("non-positive aperture flux");
 
   const double n_pix = kPi * aperture * aperture;
@@ -116,10 +153,8 @@ MorphologyParams measure_morphology(const image::Image& cutout,
                          2.5 * std::log10(area_arcsec2);
 
   // --- concentration ---
-  const auto r20 =
-      radius_enclosing(img, centroid.x, centroid.y, 0.2, p.total_flux, aperture);
-  const auto r80 =
-      radius_enclosing(img, centroid.x, centroid.y, 0.8, p.total_flux, aperture);
+  const auto r20 = cog.radius_enclosing(0.2, p.total_flux, aperture);
+  const auto r80 = cog.radius_enclosing(0.8, p.total_flux, aperture);
   if (!r20 || !r80 || *r20 <= 0.0) return invalid("curve of growth undefined");
   p.r20 = *r20;
   p.r80 = *r80;

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/background.hpp"
+#include "core/photometry.hpp"
 #include "image/image.hpp"
 
 namespace nvo::core {
@@ -54,10 +55,25 @@ struct MorphologyParams {
   double snr = 0.0;
 };
 
+/// Reusable per-thread scratch state for measure_morphology: the
+/// background-subtracted/companion-masked working frame and the radial
+/// curve of growth. Holding one of these across a batch of equally-sized
+/// cutouts makes the kernel's image-processing stages allocation-free in
+/// the steady state.
+struct MorphologyWorkspace {
+  image::Image scratch;
+  CurveOfGrowth cog;
+};
+
 /// Full measurement on a cutout (raw counts, background included). Never
-/// throws; all failure modes produce valid=false with a reason.
+/// throws; all failure modes produce valid=false with a reason. The
+/// workspace-free overload uses a thread-local workspace, so batch callers
+/// on a persistent thread pool still get steady-state buffer reuse.
 MorphologyParams measure_morphology(const image::Image& cutout,
                                     const MorphologyOptions& options = {});
+MorphologyParams measure_morphology(const image::Image& cutout,
+                                    const MorphologyOptions& options,
+                                    MorphologyWorkspace& workspace);
 
 /// The asymmetry statistic about a fixed center on background-subtracted
 /// data (exposed for tests): sum|I - R(I)| / (2 sum|I|) within `radius`.

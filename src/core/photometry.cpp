@@ -5,6 +5,34 @@
 
 namespace nvo::core {
 
+namespace {
+
+// Half-diagonal margin (in pixels) around an aperture radius inside which a
+// pixel can straddle the boundary. The 4x4 sub-sample grid spans at most
+// ~0.53 px from the pixel center, so the weight is exactly 1 inside
+// r - 0.71 and exactly 0 outside r + 0.71; classifying a pixel on either
+// side of those cuts cannot change its contribution.
+constexpr double kBoundaryBand = 0.71;
+
+/// Covered fraction (in sixteenths) of the pixel centered at (x, y) for a
+/// circular aperture of squared radius r2 about (cx, cy): the 4x4
+/// sub-sample count used by every flux query, boundary pixels only.
+inline int subsampled_coverage(int x, int y, double cx, double cy, double r2) {
+  int covered = 0;
+  for (int sy = 0; sy < 4; ++sy) {
+    for (int sx = 0; sx < 4; ++sx) {
+      const double px = x - 0.5 + (sx + 0.5) / 4.0;
+      const double py = y - 0.5 + (sy + 0.5) / 4.0;
+      const double ddx = px - cx;
+      const double ddy = py - cy;
+      if (ddx * ddx + ddy * ddy <= r2) ++covered;
+    }
+  }
+  return covered;
+}
+
+}  // namespace
+
 Centroid find_centroid(const image::Image& img, double radius, int max_iterations) {
   Centroid c;
   c.x = (img.width() - 1) / 2.0;
@@ -50,52 +78,26 @@ double aperture_flux(const image::Image& img, double cx, double cy, double radiu
   const int y0 = std::max(0, static_cast<int>(std::floor(cy - radius - 1)));
   const int y1 = std::min(img.height() - 1, static_cast<int>(std::ceil(cy + radius + 1)));
   const double r2 = radius * radius;
+  // Squared-distance cuts for the fully-inside / fully-outside fast paths;
+  // no per-pixel sqrt. A negative inner edge (radius < band) disables the
+  // inside fast path rather than matching d2 <= (negative)^2.
+  const double inner = radius - kBoundaryBand;
+  const double inner2 = inner > 0.0 ? inner * inner : -1.0;
+  const double outer2 = (radius + kBoundaryBand) * (radius + kBoundaryBand);
   for (int y = y0; y <= y1; ++y) {
     for (int x = x0; x <= x1; ++x) {
       const double dx = x - cx;
       const double dy = y - cy;
       const double d2 = dx * dx + dy * dy;
-      // Fully inside / outside fast paths (pixel half-diagonal ~0.71).
-      const double d = std::sqrt(d2);
-      if (d <= radius - 0.71) {
+      if (d2 >= outer2) continue;
+      if (d2 <= inner2) {
         flux += img.at(x, y);
         continue;
       }
-      if (d >= radius + 0.71) continue;
-      // Boundary pixel: 4x4 sub-sampling for the covered fraction.
-      int covered = 0;
-      for (int sy = 0; sy < 4; ++sy) {
-        for (int sx = 0; sx < 4; ++sx) {
-          const double px = x - 0.5 + (sx + 0.5) / 4.0;
-          const double py = y - 0.5 + (sy + 0.5) / 4.0;
-          const double ddx = px - cx;
-          const double ddy = py - cy;
-          if (ddx * ddx + ddy * ddy <= r2) ++covered;
-        }
-      }
-      flux += img.at(x, y) * covered / 16.0;
+      flux += img.at(x, y) * subsampled_coverage(x, y, cx, cy, r2) / 16.0;
     }
   }
   return flux;
-}
-
-std::optional<double> radius_enclosing(const image::Image& img, double cx, double cy,
-                                       double fraction, double total_flux,
-                                       double max_radius) {
-  if (total_flux <= 0.0 || fraction <= 0.0 || fraction >= 1.0) return std::nullopt;
-  const double target = fraction * total_flux;
-  double lo = 0.0;
-  double hi = max_radius;
-  if (aperture_flux(img, cx, cy, hi) < target) return std::nullopt;
-  for (int it = 0; it < 40 && hi - lo > 0.01; ++it) {
-    const double mid = 0.5 * (lo + hi);
-    if (aperture_flux(img, cx, cy, mid) < target) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return 0.5 * (lo + hi);
 }
 
 double annulus_mean(const image::Image& img, double cx, double cy, double r_in,
@@ -121,20 +123,179 @@ double annulus_mean(const image::Image& img, double cx, double cy, double r_in,
   return count > 0 ? sum / count : 0.0;
 }
 
+std::optional<double> radius_enclosing(const image::Image& img, double cx, double cy,
+                                       double fraction, double total_flux,
+                                       double max_radius) {
+  CurveOfGrowth cog;
+  cog.build(img, cx, cy);
+  return cog.radius_enclosing(fraction, total_flux, max_radius);
+}
+
 std::optional<double> petrosian_radius(const image::Image& img, double cx, double cy,
                                        double eta, double max_radius) {
+  CurveOfGrowth cog;
+  cog.build(img, cx, cy);
+  return cog.petrosian_radius(eta, max_radius);
+}
+
+int CurveOfGrowth::shell_of(double d2) const {
+  return std::min(static_cast<int>(std::sqrt(d2)), num_shells_ - 1);
+}
+
+void CurveOfGrowth::build(const image::Image& img, double cx, double cy) {
+  cx_ = cx;
+  cy_ = cy;
+  width_ = img.width();
+  height_ = img.height();
+  const std::size_t n = img.size();
+  if (n == 0) {
+    entries_.clear();
+    num_shells_ = 0;
+    return;
+  }
+  // Shell count from the farthest frame corner; per-entry clamping below
+  // makes the exact value uncritical.
+  double d2max = 0.0;
+  for (int corner = 0; corner < 4; ++corner) {
+    const double dx = (corner & 1 ? width_ - 1 : 0) - cx;
+    const double dy = (corner & 2 ? height_ - 1 : 0) - cy;
+    d2max = std::max(d2max, dx * dx + dy * dy);
+  }
+  num_shells_ = static_cast<int>(std::sqrt(d2max)) + 2;
+
+  // Counting sort into radial shells: histogram pass...
+  shell_start_.assign(static_cast<std::size_t>(num_shells_) + 1, 0);
+  shell_scratch_.resize(n);
+  std::size_t i = 0;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x, ++i) {
+      const double dx = x - cx;
+      const double dy = y - cy;
+      const int s = shell_of(dx * dx + dy * dy);
+      shell_scratch_[i] = static_cast<std::uint16_t>(s);
+      ++shell_start_[static_cast<std::size_t>(s) + 1];
+    }
+  }
+  for (int s = 0; s < num_shells_; ++s) {
+    shell_start_[static_cast<std::size_t>(s) + 1] +=
+        shell_start_[static_cast<std::size_t>(s)];
+  }
+  // ...then scatter. Entries are unordered within a shell; queries resolve
+  // exact squared-distance thresholds per entry.
+  scatter_cursor_.assign(shell_start_.begin(), shell_start_.end() - 1);
+  entries_.resize(n);
+  i = 0;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x, ++i) {
+      const double dx = x - cx;
+      const double dy = y - cy;
+      entries_[scatter_cursor_[shell_scratch_[i]]++] =
+          Entry{dx * dx + dy * dy, img.at(x, y), static_cast<std::uint16_t>(x),
+                static_cast<std::uint16_t>(y)};
+    }
+  }
+  shell_flux_prefix_.resize(static_cast<std::size_t>(num_shells_) + 1);
+  shell_flux_prefix_[0] = 0.0;
+  for (int s = 0; s < num_shells_; ++s) {
+    double sum = 0.0;
+    for (std::uint32_t e = shell_start_[s]; e < shell_start_[s + 1]; ++e) {
+      sum += entries_[e].value;
+    }
+    shell_flux_prefix_[static_cast<std::size_t>(s) + 1] =
+        shell_flux_prefix_[static_cast<std::size_t>(s)] + sum;
+  }
+}
+
+void CurveOfGrowth::scan_shells(int shell_lo, int shell_hi, double in2, double out2,
+                                double& sum, int& count) const {
+  shell_lo = std::clamp(shell_lo, 0, num_shells_);
+  shell_hi = std::clamp(shell_hi, shell_lo, num_shells_);
+  for (std::uint32_t i = shell_start_[shell_lo]; i < shell_start_[shell_hi]; ++i) {
+    const double d2 = entries_[i].d2;
+    if (d2 < in2 || d2 >= out2) continue;
+    sum += entries_[i].value;
+    ++count;
+  }
+}
+
+double CurveOfGrowth::aperture_flux(double radius) const {
+  if (radius <= 0.0 || entries_.empty()) return 0.0;
+  const double r2 = radius * radius;
+  const double inner = radius - kBoundaryBand;
+  const double inner2 = inner > 0.0 ? inner * inner : -1.0;
+  const double outer = radius + kBoundaryBand;
+  const double outer2 = outer * outer;
+  // Shells [0, full) lie strictly inside radius - band (one whole shell of
+  // margin, far beyond any sqrt rounding): their flux is a prefix lookup.
+  const int full =
+      std::clamp(inner > 1.0 ? static_cast<int>(inner) - 1 : 0, 0, num_shells_);
+  const int last = std::clamp(static_cast<int>(outer) + 2, full, num_shells_);
+  double flux = shell_flux_prefix_[full];
+  // Straddling shells: the same squared-distance cuts and sub-pixel
+  // boundary weighting as the direct scan, applied per entry.
+  for (std::uint32_t i = shell_start_[full]; i < shell_start_[last]; ++i) {
+    const Entry& e = entries_[i];
+    if (e.d2 >= outer2) continue;
+    if (e.d2 <= inner2) {
+      flux += e.value;
+      continue;
+    }
+    flux += e.value * subsampled_coverage(e.x, e.y, cx_, cy_, r2) / 16.0;
+  }
+  return flux;
+}
+
+double CurveOfGrowth::annulus_mean(double r_in, double r_out) const {
+  if (entries_.empty() || r_out <= 0.0) return 0.0;
+  const double in2 = r_in * r_in;
+  const double out2 = r_out * r_out;
+  // Whole shells strictly inside [r_in, r_out) resolve by prefix lookup;
+  // the edge shells are scanned with the exact pixel-center cuts.
+  const int full_lo = std::clamp(static_cast<int>(r_in) + 1, 0, num_shells_);
+  const int full_hi =
+      std::clamp(r_out > 1.0 ? static_cast<int>(r_out) - 1 : 0, full_lo, num_shells_);
+  const int scan_lo = r_in > 1.0 ? static_cast<int>(r_in) - 1 : 0;
+  const int scan_hi = static_cast<int>(r_out) + 2;
+  double sum = shell_flux_prefix_[full_hi] - shell_flux_prefix_[full_lo];
+  int count = static_cast<int>(shell_start_[full_hi] - shell_start_[full_lo]);
+  scan_shells(scan_lo, full_lo, in2, out2, sum, count);
+  scan_shells(full_hi, scan_hi, in2, out2, sum, count);
+  return count > 0 ? sum / count : 0.0;
+}
+
+std::optional<double> CurveOfGrowth::radius_enclosing(double fraction,
+                                                      double total_flux,
+                                                      double max_radius) const {
+  if (total_flux <= 0.0 || fraction <= 0.0 || fraction >= 1.0) return std::nullopt;
+  const double target = fraction * total_flux;
+  double lo = 0.0;
+  double hi = max_radius;
+  if (aperture_flux(hi) < target) return std::nullopt;
+  for (int it = 0; it < 40 && hi - lo > 0.01; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (aperture_flux(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::optional<double> CurveOfGrowth::petrosian_radius(double eta,
+                                                      double max_radius) const {
   const double limit =
-      std::min({max_radius, static_cast<double>(img.width()),
-                static_cast<double>(img.height())});
+      std::min({max_radius, static_cast<double>(width_),
+                static_cast<double>(height_)});
   const double pi = 3.14159265358979323846;
   for (double r = 1.5; r <= limit; r += 0.5) {
-    const double enclosed = aperture_flux(img, cx, cy, r);
+    const double enclosed = aperture_flux(r);
     const double area = pi * r * r;
     const double mean_interior = enclosed / area;
     if (mean_interior <= 0.0) return std::nullopt;
     // Fixed +-0.8 pixel band: a proportional band (0.9r..1.1r) is empty of
     // pixel centers at small radii on the integer lattice.
-    const double local = annulus_mean(img, cx, cy, std::max(r - 0.8, 0.0), r + 0.8);
+    const double local = annulus_mean(std::max(r - 0.8, 0.0), r + 0.8);
     if (local < eta * mean_interior) return r;
   }
   return std::nullopt;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 namespace nvo::core {
 
@@ -13,27 +13,33 @@ Segmentation segment(const image::Image& img, double threshold,
   seg.height = img.height();
   seg.labels.assign(img.size(), 0);
 
-  // Flood-fill labeling, 4-connectivity.
-  for (int y = 0; y < seg.height; ++y) {
-    for (int x = 0; x < seg.width; ++x) {
-      const std::size_t idx = static_cast<std::size_t>(y) * seg.width + x;
-      if (seg.labels[idx] != 0 || img.at(x, y) < threshold) continue;
-      const int label = ++seg.count;
-      std::deque<std::pair<int, int>> frontier{{x, y}};
-      seg.labels[idx] = label;
-      while (!frontier.empty()) {
-        const auto [cx, cy] = frontier.front();
-        frontier.pop_front();
-        const int nx[4] = {cx - 1, cx + 1, cx, cx};
-        const int ny[4] = {cy, cy, cy - 1, cy + 1};
-        for (int k = 0; k < 4; ++k) {
-          if (!img.in_bounds(nx[k], ny[k])) continue;
-          const std::size_t nidx =
-              static_cast<std::size_t>(ny[k]) * seg.width + nx[k];
-          if (seg.labels[nidx] != 0 || img.at(nx[k], ny[k]) < threshold) continue;
-          seg.labels[nidx] = label;
-          frontier.emplace_back(nx[k], ny[k]);
-        }
+  // Flood-fill labeling, 4-connectivity, over the flat pixel array. One BFS
+  // queue shared by all components (head index instead of pop_front), so a
+  // noisy frame with hundreds of single-pixel components costs one
+  // allocation, not one per component.
+  const float* px = img.data();
+  int* labels = seg.labels.data();
+  const float thr = static_cast<float>(threshold);
+  const std::size_t n = img.size();
+  std::vector<std::pair<int, int>> frontier;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    if (labels[idx] != 0 || !(px[idx] >= thr)) continue;
+    const int label = ++seg.count;
+    frontier.clear();
+    frontier.emplace_back(static_cast<int>(idx % seg.width),
+                          static_cast<int>(idx / seg.width));
+    labels[idx] = label;
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const auto [cx, cy] = frontier[head];
+      const int nx[4] = {cx - 1, cx + 1, cx, cx};
+      const int ny[4] = {cy, cy, cy - 1, cy + 1};
+      for (int k = 0; k < 4; ++k) {
+        if (!img.in_bounds(nx[k], ny[k])) continue;
+        const std::size_t nidx =
+            static_cast<std::size_t>(ny[k]) * seg.width + nx[k];
+        if (labels[nidx] != 0 || !(px[nidx] >= thr)) continue;
+        labels[nidx] = label;
+        frontier.emplace_back(nx[k], ny[k]);
       }
     }
   }
@@ -43,11 +49,12 @@ Segmentation segment(const image::Image& img, double threshold,
   const int by = static_cast<int>(seg.height * (1.0 - central_box_fraction) / 2.0);
   float best = -1e30f;
   for (int y = by; y < seg.height - by; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * seg.width;
     for (int x = bx; x < seg.width - bx; ++x) {
-      if (seg.label_at(x, y) == 0) continue;
-      if (img.at(x, y) > best) {
-        best = img.at(x, y);
-        seg.central = seg.label_at(x, y);
+      if (labels[row + x] == 0) continue;
+      if (px[row + x] > best) {
+        best = px[row + x];
+        seg.central = labels[row + x];
       }
     }
   }
@@ -57,27 +64,35 @@ Segmentation segment(const image::Image& img, double threshold,
 image::Image mask_companions(const image::Image& img, double background_sigma,
                              double threshold_sigma, int dilate_pixels,
                              double deblend_sigma) {
+  image::Image out = img;
+  mask_companions_inplace(out, background_sigma, threshold_sigma, dilate_pixels,
+                          deblend_sigma);
+  return out;
+}
+
+void mask_companions_inplace(image::Image& img, double background_sigma,
+                             double threshold_sigma, int dilate_pixels,
+                             double deblend_sigma) {
   const double threshold = std::max(threshold_sigma * background_sigma, 1e-6);
   const Segmentation seg = segment(img, threshold);
-  if (seg.central == 0) return img;
+  if (seg.central == 0) return;
 
   // Mark pixels of every non-central low-threshold component.
-  std::vector<std::uint8_t> mask(img.size(), 0);
-  for (int y = 0; y < seg.height; ++y) {
-    for (int x = 0; x < seg.width; ++x) {
-      const int label = seg.label_at(x, y);
-      if (label != 0 && label != seg.central) {
-        mask[static_cast<std::size_t>(y) * seg.width + x] = 1;
-      }
-    }
+  const std::size_t n = img.size();
+  std::vector<std::uint8_t> mask(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = seg.labels[i];
+    if (label != 0 && label != seg.central) mask[i] = 1;
   }
 
   // Deblend the central component: find high-threshold cores inside it.
   {
     image::Image central_only(seg.width, seg.height, 0.0f);
-    for (int y = 0; y < seg.height; ++y) {
-      for (int x = 0; x < seg.width; ++x) {
-        if (seg.label_at(x, y) == seg.central) central_only.at(x, y) = img.at(x, y);
+    {
+      const float* src = img.data();
+      float* dst = central_only.data();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (seg.labels[i] == seg.central) dst[i] = src[i];
       }
     }
     const double high = std::max(deblend_sigma * background_sigma, 10.0 * threshold / threshold_sigma);
@@ -123,7 +138,7 @@ image::Image mask_companions(const image::Image& img, double background_sigma,
   }
   if (seg.count <= 1 &&
       std::find(mask.begin(), mask.end(), 1) == mask.end()) {
-    return img;
+    return;
   }
   for (int pass = 0; pass < dilate_pixels; ++pass) {
     std::vector<std::uint8_t> grown = mask;
@@ -145,13 +160,10 @@ image::Image mask_companions(const image::Image& img, double background_sigma,
     mask = std::move(grown);
   }
 
-  image::Image out = img;
-  for (int y = 0; y < seg.height; ++y) {
-    for (int x = 0; x < seg.width; ++x) {
-      if (mask[static_cast<std::size_t>(y) * seg.width + x]) out.at(x, y) = 0.0f;
-    }
+  float* dst = img.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask[i]) dst[i] = 0.0f;
   }
-  return out;
 }
 
 }  // namespace nvo::core

@@ -45,4 +45,13 @@ image::Image mask_companions(const image::Image& background_subtracted,
                              double threshold_sigma = 2.0, int dilate_pixels = 2,
                              double deblend_sigma = 10.0);
 
+/// In-place form of mask_companions: zeroes the masked pixels directly in
+/// `background_subtracted` instead of returning a modified copy. The batch
+/// kernel runs it on its reusable scratch frame so companion masking adds
+/// no per-galaxy image allocation.
+void mask_companions_inplace(image::Image& background_subtracted,
+                             double background_sigma,
+                             double threshold_sigma = 2.0, int dilate_pixels = 2,
+                             double deblend_sigma = 10.0);
+
 }  // namespace nvo::core

@@ -31,6 +31,20 @@ float Image::sample_bilinear(double x, double y, float fill) const {
   return static_cast<float>(bot * (1.0 - fy) + top * fy);
 }
 
+void Image::reshape(int width, int height, float fill) {
+  assert(width >= 0 && height >= 0);
+  width_ = width;
+  height_ = height;
+  data_.assign(static_cast<std::size_t>(std::max(width, 0)) * std::max(height, 0),
+               fill);
+}
+
+void Image::assign_from(const Image& src) {
+  width_ = src.width_;
+  height_ = src.height_;
+  data_.assign(src.data_.begin(), src.data_.end());
+}
+
 double Image::total_flux() const {
   double sum = 0.0;
   for (float v : data_) sum += v;

@@ -38,6 +38,23 @@ class Image {
   /// Bilinear sample at fractional pixel coordinates; out-of-frame -> fill.
   float sample_bilinear(double x, double y, float fill = 0.0f) const;
 
+  /// Bilinear sample of this image rotated 180 degrees about (cx, cy),
+  /// evaluated at destination pixel (x, y) — the per-pixel form of
+  /// rotate180_about that lets the asymmetry statistic touch only aperture
+  /// pixels without materializing the rotated frame.
+  float sample_rotated180(double cx, double cy, int x, int y,
+                          float fill = 0.0f) const {
+    return sample_bilinear(2.0 * cx - x, 2.0 * cy - y, fill);
+  }
+
+  /// Resizes to width x height, discarding contents (every pixel reset to
+  /// `fill`). Reuses the existing allocation when capacity suffices, so a
+  /// long-lived scratch Image cycles through a batch without reallocating.
+  void reshape(int width, int height, float fill = 0.0f);
+
+  /// Copies `src` into this image (dimensions + pixels), reusing capacity.
+  void assign_from(const Image& src);
+
   /// Sum of all pixels.
   double total_flux() const;
 

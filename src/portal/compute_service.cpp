@@ -29,6 +29,7 @@ MorphologyService::MorphologyService(services::HttpFabric& fabric, grid::Grid& g
       tc_(tc),
       config_(std::move(config)),
       ids_("req"),
+      pool_(config_.compute_threads),
       state_(std::make_shared<State>()) {
   // galMorph is installed at every pool (the paper shipped its executable to
   // all three sites).
@@ -213,13 +214,15 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   provenance_.record_execution(trace.plan.concrete, succeeded,
                                trace.execution.makespan_seconds);
 
-  // (4e) Real morphology computation on the cached images, in parallel.
+  // (4e) Real morphology computation on the cached images, on the
+  // service-lifetime pool. parallel_for chunks the galaxy list into batches
+  // (a few per worker), so each persistent worker streams a batch of
+  // cutouts through its thread-local kernel workspace.
   t0 = std::chrono::steady_clock::now();
   std::vector<core::GalMorphResult> results(galaxy_ids.size());
   {
-    grid::ThreadPool pool(config_.compute_threads);
     const auto z_col = input.column_index("redshift");
-    grid::parallel_for(pool, galaxy_ids.size(), [&](std::size_t i) {
+    grid::parallel_for(pool_, galaxy_ids.size(), [&](std::size_t i) {
       core::GalMorphArgs args = config_.default_args;
       if (z_col) {
         const auto z = input.row(i)[*z_col].as_number();

@@ -29,6 +29,7 @@
 #include "core/galmorph.hpp"
 #include "grid/dagman.hpp"
 #include "grid/grid.hpp"
+#include "grid/threadpool.hpp"
 #include "pegasus/planner.hpp"
 #include "pegasus/rls.hpp"
 #include "pegasus/tc.hpp"
@@ -130,6 +131,10 @@ class MorphologyService {
   ComputeServiceConfig config_;
   IdGenerator ids_;
   vds::ProvenanceCatalog provenance_;
+  // Service-lifetime compute pool: worker threads persist across requests
+  // (and with them the kernel's thread-local workspaces), instead of being
+  // spawned and joined inside every request.
+  grid::ThreadPool pool_;
 
   // Shared with fabric handler closures.
   struct State {

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Runs the A3 morphology-kernel benchmark and writes BENCH_a3.json at the
+# repository root. The file holds the optimization trajectory: the frozen
+# seed-kernel run ("baseline", bench/baselines/bench_a3_seed.json) next to a
+# fresh run of the current tree ("current"), both in google-benchmark JSON
+# format, so before/after numbers travel together.
+#
+# Usage: tools/run_bench_a3.sh [extra google-benchmark flags]
+#   BUILD_DIR=<dir>  build tree containing bench/bench_a3_morphology_kernel
+#                    (default: <repo>/build)
+set -e
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+BIN="$BUILD/bench/bench_a3_morphology_kernel"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found — build the bench_a3_morphology_kernel target first" >&2
+  echo "  cmake -B build -S . && cmake --build build --target bench_a3_morphology_kernel" >&2
+  exit 1
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+"$BIN" --benchmark_out="$TMP" --benchmark_out_format=json "$@"
+
+{
+  printf '{\n"baseline": '
+  cat "$ROOT/bench/baselines/bench_a3_seed.json"
+  printf ',\n"current": '
+  cat "$TMP"
+  printf '}\n'
+} > "$ROOT/BENCH_a3.json"
+
+echo "wrote $ROOT/BENCH_a3.json"
