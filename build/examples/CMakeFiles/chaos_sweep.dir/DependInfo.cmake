@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/chaos_sweep.cpp" "examples/CMakeFiles/chaos_sweep.dir/chaos_sweep.cpp.o" "gcc" "examples/CMakeFiles/chaos_sweep.dir/chaos_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/nvo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/portal/CMakeFiles/nvo_portal.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/nvo_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pegasus/CMakeFiles/nvo_pegasus.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/nvo_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/vds/CMakeFiles/nvo_vds.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nvo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/votable/CMakeFiles/nvo_votable.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/nvo_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/sky/CMakeFiles/nvo_sky.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -229,6 +229,11 @@ src/pegasus/CMakeFiles/nvo_pegasus.dir/request_manager.cpp.o: \
  /root/repo/src/grid/mds.hpp /root/repo/src/pegasus/rls.hpp \
  /root/repo/src/pegasus/tc.hpp /root/repo/src/vds/chimera.hpp \
  /root/repo/src/vds/vdl.hpp /root/repo/src/vds/vdl_parser.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

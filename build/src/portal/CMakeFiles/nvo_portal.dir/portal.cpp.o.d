@@ -241,14 +241,15 @@ src/portal/CMakeFiles/nvo_portal.dir/portal.cpp.o: \
  /root/repo/src/vds/dag.hpp /root/repo/src/pegasus/planner.hpp \
  /root/repo/src/grid/mds.hpp /root/repo/src/pegasus/rls.hpp \
  /root/repo/src/pegasus/tc.hpp /root/repo/src/services/http.hpp \
- /root/repo/src/vds/chimera.hpp /root/repo/src/vds/vdl.hpp \
- /root/repo/src/vds/vdl_parser.hpp /root/repo/src/vds/provenance.hpp \
- /root/repo/src/services/federation.hpp /root/repo/src/sim/universe.hpp \
- /root/repo/src/image/wcs.hpp /root/repo/src/sky/coords.hpp \
- /root/repo/src/sim/cluster.hpp /root/repo/src/sim/galaxy.hpp \
- /root/repo/src/sim/xray.hpp /root/repo/src/services/registry.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/services/resilience.hpp /root/repo/src/vds/chimera.hpp \
+ /root/repo/src/vds/vdl.hpp /root/repo/src/vds/vdl_parser.hpp \
+ /root/repo/src/vds/provenance.hpp /root/repo/src/services/federation.hpp \
+ /root/repo/src/sim/universe.hpp /root/repo/src/image/wcs.hpp \
+ /root/repo/src/sky/coords.hpp /root/repo/src/sim/cluster.hpp \
+ /root/repo/src/sim/galaxy.hpp /root/repo/src/sim/xray.hpp \
+ /root/repo/src/services/registry.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/log.hpp \
  /root/repo/src/common/strings.hpp \
  /root/repo/src/services/cone_search.hpp /root/repo/src/services/sia.hpp \

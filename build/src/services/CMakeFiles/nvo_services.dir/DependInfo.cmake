@@ -8,11 +8,13 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/chaos.cpp" "src/services/CMakeFiles/nvo_services.dir/chaos.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/chaos.cpp.o.d"
   "/root/repo/src/services/cone_search.cpp" "src/services/CMakeFiles/nvo_services.dir/cone_search.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/cone_search.cpp.o.d"
   "/root/repo/src/services/federation.cpp" "src/services/CMakeFiles/nvo_services.dir/federation.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/federation.cpp.o.d"
   "/root/repo/src/services/http.cpp" "src/services/CMakeFiles/nvo_services.dir/http.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/http.cpp.o.d"
   "/root/repo/src/services/myproxy.cpp" "src/services/CMakeFiles/nvo_services.dir/myproxy.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/myproxy.cpp.o.d"
   "/root/repo/src/services/registry.cpp" "src/services/CMakeFiles/nvo_services.dir/registry.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/registry.cpp.o.d"
+  "/root/repo/src/services/resilience.cpp" "src/services/CMakeFiles/nvo_services.dir/resilience.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/resilience.cpp.o.d"
   "/root/repo/src/services/sia.cpp" "src/services/CMakeFiles/nvo_services.dir/sia.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/sia.cpp.o.d"
   "/root/repo/src/services/table_service.cpp" "src/services/CMakeFiles/nvo_services.dir/table_service.cpp.o" "gcc" "src/services/CMakeFiles/nvo_services.dir/table_service.cpp.o.d"
   )

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/nvo_services.dir/chaos.cpp.o"
+  "CMakeFiles/nvo_services.dir/chaos.cpp.o.d"
   "CMakeFiles/nvo_services.dir/cone_search.cpp.o"
   "CMakeFiles/nvo_services.dir/cone_search.cpp.o.d"
   "CMakeFiles/nvo_services.dir/federation.cpp.o"
@@ -9,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/nvo_services.dir/myproxy.cpp.o.d"
   "CMakeFiles/nvo_services.dir/registry.cpp.o"
   "CMakeFiles/nvo_services.dir/registry.cpp.o.d"
+  "CMakeFiles/nvo_services.dir/resilience.cpp.o"
+  "CMakeFiles/nvo_services.dir/resilience.cpp.o.d"
   "CMakeFiles/nvo_services.dir/sia.cpp.o"
   "CMakeFiles/nvo_services.dir/sia.cpp.o.d"
   "CMakeFiles/nvo_services.dir/table_service.cpp.o"

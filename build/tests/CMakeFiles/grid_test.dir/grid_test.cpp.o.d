@@ -307,4 +307,4 @@ tests/CMakeFiles/grid_test.dir/grid_test.cpp.o: \
  /root/repo/src/grid/threadpool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/vds/dag.hpp
+ /root/repo/src/vds/dag.hpp /root/repo/src/grid/rescue.hpp

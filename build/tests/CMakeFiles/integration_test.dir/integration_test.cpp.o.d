@@ -316,10 +316,11 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/thread /root/repo/src/vds/dag.hpp \
  /root/repo/src/pegasus/planner.hpp /root/repo/src/grid/mds.hpp \
- /root/repo/src/services/http.hpp /root/repo/src/vds/chimera.hpp \
- /root/repo/src/vds/vdl.hpp /root/repo/src/vds/vdl_parser.hpp \
- /root/repo/src/vds/provenance.hpp /root/repo/src/portal/portal.hpp \
- /root/repo/src/services/federation.hpp /root/repo/src/sim/universe.hpp \
- /root/repo/src/image/wcs.hpp /root/repo/src/sim/cluster.hpp \
- /root/repo/src/sim/galaxy.hpp /root/repo/src/sim/xray.hpp \
- /root/repo/src/services/registry.hpp
+ /root/repo/src/services/http.hpp /root/repo/src/services/resilience.hpp \
+ /root/repo/src/vds/chimera.hpp /root/repo/src/vds/vdl.hpp \
+ /root/repo/src/vds/vdl_parser.hpp /root/repo/src/vds/provenance.hpp \
+ /root/repo/src/portal/portal.hpp /root/repo/src/services/federation.hpp \
+ /root/repo/src/sim/universe.hpp /root/repo/src/image/wcs.hpp \
+ /root/repo/src/sim/cluster.hpp /root/repo/src/sim/galaxy.hpp \
+ /root/repo/src/sim/xray.hpp /root/repo/src/services/registry.hpp \
+ /root/repo/src/services/chaos.hpp

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/resilience_test.cpp" "tests/CMakeFiles/resilience_test.dir/resilience_test.cpp.o" "gcc" "tests/CMakeFiles/resilience_test.dir/resilience_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/services/CMakeFiles/nvo_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/nvo_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/sky/CMakeFiles/nvo_sky.dir/DependInfo.cmake"
+  "/root/repo/build/src/votable/CMakeFiles/nvo_votable.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nvo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,104 @@
+// Chaos sweep: the eight-cluster campaign re-run under increasing transient
+// failure rates on every federated archive, plus a final run with a full
+// CADC outage on top. Prints one table row per fault level: how much the
+// retry layer worked (retries, breaker trips, mirror failovers), what it
+// cost (simulated-time inflation vs fault-free), and whether the science
+// survived (galaxies measured, clusters showing the relation).
+//
+//   $ ./chaos_sweep [population_scale]
+//
+// Deterministic: same build, same scale -> same table.
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/campaign.hpp"
+#include "services/chaos.hpp"
+#include "services/federation.hpp"
+
+using namespace nvo;
+
+namespace {
+
+analysis::CampaignConfig make_config(double scale) {
+  analysis::CampaignConfig config;
+  config.population_scale = scale;
+  config.compute_threads = 2;
+  return config;
+}
+
+services::ChaosSchedule all_archives_flaky(double rate) {
+  services::ChaosSchedule chaos;
+  for (const std::string& host : services::Federation::archive_hosts()) {
+    chaos.flaky(host, rate);
+  }
+  return chaos;
+}
+
+struct SweepRow {
+  std::string label;
+  analysis::CampaignReport report;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.15;
+  std::printf("=== chaos sweep, population scale %.2f ===\n\n", scale);
+
+  std::vector<SweepRow> rows;
+  auto run = [&](const std::string& label, services::ChaosSchedule chaos,
+                 bool cadc_outage) -> bool {
+    analysis::CampaignConfig config = make_config(scale);
+    if (cadc_outage) {
+      chaos.outage(services::Federation::kCadcHost, 0.0,
+                   std::numeric_limits<double>::infinity());
+    }
+    config.chaos = std::move(chaos);
+    auto report = analysis::Campaign(config).run();
+    if (!report.ok()) {
+      std::printf("%s: campaign FAILED: %s\n", label.c_str(),
+                  report.error().to_string().c_str());
+      return false;
+    }
+    rows.push_back({label, std::move(report.value())});
+    return true;
+  };
+
+  if (!run("fault-free", {}, false)) return 1;
+  for (double rate : {0.05, 0.10, 0.15, 0.20, 0.25}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "flaky %.0f%%", rate * 100.0);
+    if (!run(label, all_archives_flaky(rate), false)) return 1;
+  }
+  if (!run("flaky 20% + CADC out", all_archives_flaky(0.20), true)) return 1;
+
+  const double base_sim = rows.front().report.total_sim_seconds;
+  std::printf(
+      "%-22s %9s %7s %9s %8s %10s %11s %9s %9s\n", "scenario", "galaxies",
+      "valid", "retries", "breaker", "failovers", "degraded", "sim-time",
+      "relation");
+  for (const SweepRow& row : rows) {
+    const analysis::CampaignReport& r = row.report;
+    std::size_t valid = 0;
+    for (const analysis::ClusterOutcome& c : r.clusters) valid += c.valid;
+    std::printf("%-22s %9zu %7zu %9llu %8llu %10llu %11zu %8.2fx %6zu/%zu\n",
+                row.label.c_str(), r.total_galaxies, valid,
+                static_cast<unsigned long long>(r.total_retries),
+                static_cast<unsigned long long>(r.total_breaker_trips),
+                static_cast<unsigned long long>(r.total_failovers),
+                r.archives_degraded, r.total_sim_seconds / base_sim,
+                r.clusters_with_relation, r.clusters.size());
+  }
+
+  std::printf("\ndegradations in the final scenario:\n");
+  const analysis::CampaignReport& last = rows.back().report;
+  if (last.degradations.empty()) std::printf("  (none)\n");
+  for (const auto& d : last.degradations) {
+    std::printf("  %s/%s: %s\n", d.cluster.c_str(), d.status.archive.c_str(),
+                d.status.skipped_reason.c_str());
+  }
+  return 0;
+}

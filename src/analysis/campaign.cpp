@@ -23,7 +23,10 @@ Campaign::Campaign(CampaignConfig config) : config_(config) {
   }
 
   fabric_ = std::make_unique<services::HttpFabric>(config_.seed ^ 0xFAB);
-  federation_ = services::register_federation(*fabric_, *universe_);
+  services::FederationOptions fopts;
+  fopts.with_mirror = config_.enable_mirror;
+  federation_ = services::register_federation(*fabric_, *universe_, fopts);
+  if (!config_.chaos.empty()) services::install_chaos(*fabric_, config_.chaos);
   grid_ = std::make_unique<grid::Grid>(grid::make_paper_grid());
   rls_ = std::make_unique<pegasus::ReplicaLocationService>();
   tc_ = std::make_unique<pegasus::TransformationCatalog>();
@@ -32,11 +35,18 @@ Campaign::Campaign(CampaignConfig config) : config_(config) {
   scfg.seed = config_.seed ^ 0x5E47;
   scfg.compute_threads = config_.compute_threads;
   scfg.planner.site_policy = config_.site_policy;
+  scfg.retry = config_.retry;
+  scfg.breaker = config_.breaker;
+  if (!federation_.mirror_host.empty()) {
+    scfg.mirrors[services::Federation::kMastHost] = federation_.mirror_host;
+  }
   compute_ = std::make_unique<portal::MorphologyService>(*fabric_, *grid_, *rls_,
                                                          *tc_, scfg);
 
   portal::PortalConfig pcfg;
   pcfg.batched_cutout_query = config_.batched_cutouts;
+  pcfg.retry = config_.retry;
+  pcfg.breaker = config_.breaker;
   portal_ = std::make_unique<portal::Portal>(*fabric_, federation_, *compute_, pcfg);
   for (const sim::Cluster& c : universe_->clusters()) {
     portal::ClusterEntry entry;
@@ -59,11 +69,19 @@ Expected<ClusterOutcome> Campaign::run_cluster(const std::string& name) {
   out.valid = outcome->trace.valid;
   out.invalid = outcome->trace.invalid;
 
+  out.retries = outcome->trace.retries;
+  out.breaker_trips = outcome->trace.breaker_trips;
+  out.failovers = outcome->trace.failovers;
+  out.archives_degraded = outcome->trace.archives_degraded();
+
   if (const portal::ServiceTrace* trace = compute_->last_trace()) {
     out.compute_jobs = trace->execution.compute_jobs;
     out.transfer_jobs = trace->execution.transfer_jobs;
     out.register_jobs = trace->execution.register_jobs;
     out.makespan_seconds = trace->execution.makespan_seconds;
+    out.retries += trace->staging_retries;
+    out.breaker_trips += trace->staging_breaker_trips;
+    out.failovers += trace->staging_failovers;
   }
 
   const sim::Cluster* cluster = universe_->find_cluster(name);
@@ -90,6 +108,13 @@ Expected<CampaignReport> Campaign::run() {
     report.total_register_jobs += o.register_jobs;
     report.total_sim_seconds += o.makespan_seconds + o.portal_trace.total_ms() / 1000.0;
     if (o.dressler.relation_detected()) ++report.clusters_with_relation;
+    report.total_retries += o.retries;
+    report.total_breaker_trips += o.breaker_trips;
+    report.total_failovers += o.failovers;
+    report.archives_degraded += o.archives_degraded;
+    for (const portal::ArchiveStatus& a : o.portal_trace.archives) {
+      if (a.degraded()) report.degradations.push_back({o.name, a});
+    }
     report.clusters.push_back(std::move(outcome.value()));
   }
   // Every processed galaxy corresponds to one cutout image; the fabric
@@ -104,11 +129,11 @@ Expected<CampaignReport> Campaign::run() {
 
 std::string CampaignReport::to_text() const {
   std::string out;
-  out += "cluster    galaxies  valid  invalid  jobs  transfers  makespan(sim s)  relation\n";
+  out += "cluster    galaxies  valid  invalid  jobs  transfers  retries  makespan(sim s)  relation\n";
   for (const ClusterOutcome& c : clusters) {
-    out += format("%-9s %8zu %6zu %8zu %5zu %10zu %16.1f  %s\n", c.name.c_str(),
+    out += format("%-9s %8zu %6zu %8zu %5zu %10zu %8llu %16.1f  %s\n", c.name.c_str(),
                   c.galaxies, c.valid, c.invalid, c.compute_jobs, c.transfer_jobs,
-                  c.makespan_seconds,
+                  static_cast<unsigned long long>(c.retries), c.makespan_seconds,
                   c.dressler.relation_detected() ? "YES" : "no");
   }
   out += format("clusters: %zu, galaxies: %zu (min %zu, max %zu)\n", clusters.size(),
@@ -119,6 +144,21 @@ std::string CampaignReport::to_text() const {
                 total_bytes_transferred);
   out += format("pools used: %zu, total simulated time: %.1f s\n", pools_used,
                 total_sim_seconds);
+  out += format("retries: %llu, breaker trips: %llu, mirror failovers: %llu\n",
+                static_cast<unsigned long long>(total_retries),
+                static_cast<unsigned long long>(total_breaker_trips),
+                static_cast<unsigned long long>(total_failovers));
+  if (!degradations.empty()) {
+    out += format("degraded archive interactions: %zu\n", archives_degraded);
+    for (const Degradation& d : degradations) {
+      out += format("  %s/%s (%s): attempts %llu, retries %llu, skipped: %s\n",
+                    d.cluster.c_str(), d.status.archive.c_str(),
+                    d.status.endpoint.c_str(),
+                    static_cast<unsigned long long>(d.status.attempted),
+                    static_cast<unsigned long long>(d.status.retries),
+                    d.status.skipped_reason.c_str());
+    }
+  }
   out += format("clusters showing the density-morphology relation: %zu / %zu\n",
                 clusters_with_relation, clusters.size());
   return out;

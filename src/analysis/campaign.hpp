@@ -18,8 +18,10 @@
 #include "pegasus/tc.hpp"
 #include "portal/compute_service.hpp"
 #include "portal/portal.hpp"
+#include "services/chaos.hpp"
 #include "services/federation.hpp"
 #include "services/http.hpp"
+#include "services/resilience.hpp"
 #include "sim/universe.hpp"
 
 namespace nvo::analysis {
@@ -33,6 +35,10 @@ struct CampaignConfig {
   /// Scale factor on cluster sizes (1.0 = the paper's 37..561 members);
   /// smaller values keep unit tests fast.
   double population_scale = 1.0;
+  services::RetryPolicy retry;    ///< per-request tolerance (portal + compute)
+  services::BreakerPolicy breaker;
+  services::ChaosSchedule chaos;  ///< scripted fault windows (empty = none)
+  bool enable_mirror = true;      ///< register the DSS/cutout failover mirror
 };
 
 struct ClusterOutcome {
@@ -44,6 +50,10 @@ struct ClusterOutcome {
   std::size_t transfer_jobs = 0;
   std::size_t register_jobs = 0;
   double makespan_seconds = 0.0;  ///< simulated
+  std::uint64_t retries = 0;        ///< HTTP re-attempts (portal + staging)
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t failovers = 0;      ///< requests served by the mirror
+  std::size_t archives_degraded = 0;  ///< archives that did not deliver
   portal::PortalTrace portal_trace;
   DresslerReport dressler;
 };
@@ -61,6 +71,18 @@ struct CampaignReport {
   std::size_t clusters_with_relation = 0;
   double total_sim_seconds = 0.0;
   std::size_t pools_used = 0;
+
+  // Resilience accounting for the whole campaign.
+  std::uint64_t total_retries = 0;
+  std::uint64_t total_breaker_trips = 0;
+  std::uint64_t total_failovers = 0;
+  std::size_t archives_degraded = 0;  ///< degraded archive interactions, summed
+  /// Every degraded archive interaction, labelled "<cluster>/<archive>".
+  struct Degradation {
+    std::string cluster;
+    portal::ArchiveStatus status;
+  };
+  std::vector<Degradation> degradations;
 
   std::string to_text() const;
 };

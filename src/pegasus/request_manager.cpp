@@ -1,5 +1,6 @@
 #include "pegasus/request_manager.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 namespace nvo::pegasus {
@@ -12,11 +13,19 @@ double ms_since(const std::chrono::steady_clock::time_point& t0) {
 }
 }  // namespace
 
+grid::FailureModel unify_retry_budgets(grid::FailureModel failure,
+                                       int per_request_attempts) {
+  const int in_job_retries = std::max(0, per_request_attempts - 1);
+  failure.max_retries = std::max(0, failure.max_retries - in_job_retries);
+  return failure;
+}
+
 RequestManager::RequestManager(const vds::VirtualDataCatalog& vdc, grid::Grid& grid,
                                ReplicaLocationService& rls,
                                const TransformationCatalog& tc,
                                PlannerConfig planner_config, grid::JobCostModel cost,
-                               grid::FailureModel failure, std::uint64_t seed)
+                               grid::FailureModel failure, std::uint64_t seed,
+                               int per_request_attempts)
     : vdc_(vdc),
       grid_(grid),
       rls_(rls),
@@ -24,7 +33,8 @@ RequestManager::RequestManager(const vds::VirtualDataCatalog& vdc, grid::Grid& g
       planner_config_(std::move(planner_config)),
       cost_(std::move(cost)),
       failure_(failure),
-      seed_(seed) {}
+      seed_(seed),
+      per_request_attempts_(per_request_attempts) {}
 
 Expected<RequestTrace> RequestManager::handle(const std::vector<std::string>& requests) {
   RequestTrace trace;
@@ -50,8 +60,12 @@ Expected<RequestTrace> RequestManager::handle(const std::vector<std::string>& re
   trace.submits = generate_submit_files(trace.plan.concrete);
   trace.submit_gen_ms = ms_since(t0);
 
-  // (12)-(15): DAGMan executes the concrete workflow.
-  grid::DagManSim dagman(grid_, cost_, failure_, seed_ ^ 0xDA6);
+  // (12)-(15): DAGMan executes the concrete workflow, with its node-retry
+  // budget reduced by the in-job transfer retries so the two layers do not
+  // compound on permanent failures.
+  grid::DagManSim dagman(grid_, cost_,
+                         unify_retry_budgets(failure_, per_request_attempts_),
+                         seed_ ^ 0xDA6);
   auto report = dagman.run(trace.plan.concrete);
   if (!report.ok()) return report.error();
   trace.execution = std::move(report.value());

@@ -34,12 +34,23 @@ struct RequestTrace {
   bool satisfied = false;
 };
 
+/// Unifies the per-request retry budget (a ResilientClient inside a job's
+/// staging phase making `per_request_attempts` attempts per transfer) with
+/// DAGMan's per-node retry budget. Without this, a permanently failing
+/// transfer is retried multiplicatively: max_retries DAGMan reruns times
+/// per_request_attempts HTTP attempts each. The unified model deducts the
+/// in-job attempts from DAGMan's budget so a hard failure costs a bounded
+/// number of attempts before it lands in the rescue DAG.
+grid::FailureModel unify_retry_budgets(grid::FailureModel failure,
+                                       int per_request_attempts);
+
 class RequestManager {
  public:
   RequestManager(const vds::VirtualDataCatalog& vdc, grid::Grid& grid,
                  ReplicaLocationService& rls, const TransformationCatalog& tc,
                  PlannerConfig planner_config, grid::JobCostModel cost,
-                 grid::FailureModel failure, std::uint64_t seed = 99);
+                 grid::FailureModel failure, std::uint64_t seed = 99,
+                 int per_request_attempts = 1);
 
   /// Handles one request for a set of logical files.
   Expected<RequestTrace> handle(const std::vector<std::string>& requests);
@@ -56,6 +67,7 @@ class RequestManager {
   grid::JobCostModel cost_;
   grid::FailureModel failure_;
   std::uint64_t seed_;
+  int per_request_attempts_;
 };
 
 }  // namespace nvo::pegasus

@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "grid/threadpool.hpp"
+#include "pegasus/request_manager.hpp"
 #include "portal/transforms.hpp"
 #include "services/sia.hpp"
 #include "votable/votable_io.hpp"
@@ -28,9 +29,11 @@ MorphologyService::MorphologyService(services::HttpFabric& fabric, grid::Grid& g
       rls_(rls),
       tc_(tc),
       config_(std::move(config)),
+      client_(fabric, config_.retry, config_.breaker, "compute"),
       ids_("req"),
       pool_(config_.compute_threads),
       state_(std::make_shared<State>()) {
+  for (const auto& [host, mirror] : config_.mirrors) client_.add_mirror(host, mirror);
   // galMorph is installed at every pool (the paper shipped its executable to
   // all three sites).
   for (const std::string& site : grid_.site_names()) {
@@ -124,7 +127,11 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   }
 
   // (3) Download images into the local cache; register each in the RLS.
+  // Each fetch goes through the resilient client (retry/backoff, breaker,
+  // mirror failover); the stage's simulated cost is measured as the fabric's
+  // elapsed-time delta so retries and backoff waits are accounted too.
   record.messages.push_back(format("staging %zu galaxy images", trace.galaxies));
+  const services::EndpointStats staging_before = client_.totals();
   std::vector<std::string> galaxy_ids;
   galaxy_ids.reserve(trace.galaxies);
   for (std::size_t i = 0; i < input.num_rows(); ++i) {
@@ -139,26 +146,34 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
       ++trace.images_cached;
       continue;
     }
-    auto response = fabric_.get(*url);
-    if (!response.ok()) {
+    const double fetch_before_ms = fabric_.metrics().total_elapsed_ms;
+    auto response = client_.get(*url);
+    trace.image_fetch_sim_ms += fabric_.metrics().total_elapsed_ms - fetch_before_ms;
+    if (!response.ok() || response->status != 200) {
       // An unreachable image is a per-galaxy failure, not a request
       // failure: cache an empty payload and register it like any other
       // replica so Pegasus's feasibility check still passes — the kernel
       // will flag the galaxy invalid (§4.3.1 item 4).
-      log_warn("galmorph-svc",
-               "image fetch failed for " + *id + ": " + response.error().to_string());
+      const std::string why = response.ok()
+                                  ? format("status %d", response->status)
+                                  : response.error().to_string();
+      log_warn("galmorph-svc", "image fetch failed for " + *id + ": " + why);
       state_->image_cache[lfn] = {};
       rls_.add(lfn, config_.cache_site, *url);
       grid_.put_file(config_.cache_site, lfn, 0);
       ++trace.images_fetched;
       continue;
     }
-    trace.image_fetch_sim_ms += response->elapsed_ms;
     ++trace.images_fetched;
     state_->image_cache[lfn] = std::move(response->body);
     rls_.add(lfn, config_.cache_site, *url);
     grid_.put_file(config_.cache_site, lfn, state_->image_cache[lfn].size());
   }
+  const services::EndpointStats staging_after = client_.totals();
+  trace.staging_retries = staging_after.retries - staging_before.retries;
+  trace.staging_failovers = staging_after.failovers - staging_before.failovers;
+  trace.staging_breaker_trips =
+      staging_after.breaker_trips - staging_before.breaker_trips;
 
   // (4a) VDL generation (the second stylesheet).
   auto t0 = std::chrono::steady_clock::now();
@@ -201,7 +216,13 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
       return ref;
     };
   }
-  grid::DagManSim dagman(grid_, cost, config_.failure, config_.seed ^ 0xDA6);
+  // Node-retry budget unified with the per-request retries the staging
+  // phase already performs, so a permanent failure is not retried
+  // multiplicatively across the two layers.
+  grid::DagManSim dagman(
+      grid_, cost,
+      pegasus::unify_retry_budgets(config_.failure, config_.retry.max_attempts),
+      config_.seed ^ 0xDA6);
   auto report = dagman.run(trace.plan.concrete);
   if (!report.ok()) return report.error();
   trace.execution = std::move(report.value());
@@ -277,7 +298,7 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
 
 Expected<MorphologyService::PollResult> MorphologyService::poll(
     const std::string& status_url) const {
-  auto response = fabric_.get(status_url);
+  auto response = client_.get(status_url);
   if (!response.ok()) return response.error();
   if (response->status != 200) {
     return Error(ErrorCode::kServiceUnavailable,
@@ -303,7 +324,7 @@ Expected<MorphologyService::PollResult> MorphologyService::poll(
 
 Expected<votable::Table> MorphologyService::fetch_result(
     const std::string& result_url) const {
-  auto response = fabric_.get(result_url);
+  auto response = client_.get(result_url);
   if (!response.ok()) return response.error();
   if (response->status != 200) {
     return Error(ErrorCode::kServiceUnavailable,

@@ -34,6 +34,7 @@
 #include "pegasus/rls.hpp"
 #include "pegasus/tc.hpp"
 #include "services/http.hpp"
+#include "services/resilience.hpp"
 #include "vds/chimera.hpp"
 #include "vds/provenance.hpp"
 #include "votable/table.hpp"
@@ -49,6 +50,10 @@ struct ComputeServiceConfig {
   grid::FailureModel failure;             ///< injected grid failures
   std::size_t compute_threads = 2;        ///< real kernel parallelism
   std::uint64_t seed = 17;
+  services::RetryPolicy retry;            ///< image staging / poll tolerance
+  services::BreakerPolicy breaker;
+  /// Failover mirrors for staging fetches (archive host -> mirror host).
+  std::map<std::string, std::string> mirrors;
 };
 
 /// Everything measured about one request (drives the Fig. 6 benchmark).
@@ -60,6 +65,9 @@ struct ServiceTrace {
   std::size_t images_fetched = 0;  ///< downloaded via SIA this request
   std::size_t images_cached = 0;   ///< served from the local cache
   double image_fetch_sim_ms = 0.0; ///< simulated SIA download time
+  std::uint64_t staging_retries = 0;    ///< HTTP re-attempts while staging
+  std::uint64_t staging_failovers = 0;  ///< staging fetches served by a mirror
+  std::uint64_t staging_breaker_trips = 0;
   double vdl_bytes = 0.0;
   double compose_wall_ms = 0.0;
   double plan_wall_ms = 0.0;
@@ -112,6 +120,9 @@ class MorphologyService {
 
   const ComputeServiceConfig& config() const { return config_; }
 
+  /// The service's resilient HTTP client (staging + poll tolerance state).
+  const services::ResilientClient& client() const { return client_; }
+
  private:
   struct RequestRecord {
     std::string id;
@@ -129,6 +140,9 @@ class MorphologyService {
   pegasus::ReplicaLocationService& rls_;
   pegasus::TransformationCatalog& tc_;
   ComputeServiceConfig config_;
+  // Mutable: poll/fetch_result are logically const reads but go through the
+  // client's retry/breaker state.
+  mutable services::ResilientClient client_;
   IdGenerator ids_;
   vds::ProvenanceCatalog provenance_;
   // Service-lifetime compute pool: worker threads persist across requests

@@ -1,6 +1,7 @@
 #include "portal/portal.hpp"
 
 #include <chrono>
+#include <utility>
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
@@ -16,6 +17,17 @@ double wall_ms_since(const std::chrono::steady_clock::time_point& t0) {
                                                    t0)
       .count();
 }
+
+std::string host_of(const std::string& base_url) {
+  auto url = services::Url::parse(base_url);
+  return url.ok() ? url->host : std::string();
+}
+
+services::EndpointStats stats_snapshot(const services::ResilientClient& client,
+                                       const std::string& base_url) {
+  const services::EndpointStats* p = client.stats_for(host_of(base_url));
+  return p ? *p : services::EndpointStats{};
+}
 }  // namespace
 
 Portal::Portal(services::HttpFabric& fabric, const services::Federation& federation,
@@ -23,7 +35,38 @@ Portal::Portal(services::HttpFabric& fabric, const services::Federation& federat
     : fabric_(fabric),
       federation_(federation),
       compute_(compute),
-      config_(std::move(config)) {}
+      config_(std::move(config)),
+      client_(fabric, config_.retry, config_.breaker, "portal") {
+  if (!federation_.mirror_host.empty()) {
+    client_.add_mirror(services::Federation::kMastHost, federation_.mirror_host);
+  }
+}
+
+ArchiveStatus Portal::archive_status(const std::string& archive,
+                                     const std::string& base_url,
+                                     const services::EndpointStats& before) const {
+  ArchiveStatus s;
+  s.archive = archive;
+  s.endpoint = base_url;
+  services::EndpointStats after;
+  if (const services::EndpointStats* p = client_.stats_for(host_of(base_url))) {
+    after = *p;
+  }
+  s.attempted = after.attempts - before.attempts;
+  s.succeeded = after.successes - before.successes;
+  s.retries = after.retries - before.retries;
+  s.breaker_trips = after.breaker_trips - before.breaker_trips;
+  s.failovers = after.failovers - before.failovers;
+  return s;
+}
+
+void Portal::record_archive(PortalTrace* trace, ArchiveStatus status) {
+  if (!trace) return;
+  trace->retries += status.retries;
+  trace->breaker_trips += status.breaker_trips;
+  trace->failovers += status.failovers;
+  trace->archives.push_back(std::move(status));
+}
 
 void Portal::add_cluster(ClusterEntry entry) { clusters_.push_back(std::move(entry)); }
 
@@ -75,21 +118,35 @@ Expected<Portal::ImageLinks> Portal::find_large_scale_images(
   const double before = fabric_.metrics().total_elapsed_ms;
   // Optical: DSS. X-ray: ROSAT + Chandra. An archive being down is not
   // fatal — the analysis can proceed without a large-scale image.
-  auto dss = services::sia_query(fabric_, federation_.dss_sia, cluster->position,
-                                 cluster->search_radius_deg * 2.0);
-  if (dss.ok()) {
-    for (const auto& r : dss.value()) links.optical.push_back(r.access_url);
-  } else {
-    log_warn("portal", "DSS SIA failed: " + dss.error().to_string());
+  {
+    const auto snap = stats_snapshot(client_, federation_.dss_sia);
+    auto dss = services::sia_query(client_, federation_.dss_sia, cluster->position,
+                                   cluster->search_radius_deg * 2.0);
+    ArchiveStatus status = archive_status("DSS", federation_.dss_sia, snap);
+    if (dss.ok()) {
+      status.rows = dss->size();
+      for (const auto& r : dss.value()) links.optical.push_back(r.access_url);
+    } else {
+      status.skipped_reason = dss.error().to_string();
+      log_warn("portal", "DSS SIA failed: " + dss.error().to_string());
+    }
+    record_archive(trace, std::move(status));
   }
-  for (const std::string& base : {federation_.rosat_sia, federation_.chandra_sia}) {
-    auto xr = services::sia_query(fabric_, base, cluster->position,
+  const std::pair<const char*, const std::string*> xray_archives[] = {
+      {"ROSAT", &federation_.rosat_sia}, {"Chandra", &federation_.chandra_sia}};
+  for (const auto& [name, base] : xray_archives) {
+    const auto snap = stats_snapshot(client_, *base);
+    auto xr = services::sia_query(client_, *base, cluster->position,
                                   cluster->search_radius_deg * 2.0);
+    ArchiveStatus status = archive_status(name, *base, snap);
     if (xr.ok()) {
+      status.rows = xr->size();
       for (const auto& r : xr.value()) links.xray.push_back(r.access_url);
     } else {
+      status.skipped_reason = xr.error().to_string();
       log_warn("portal", "X-ray SIA failed: " + xr.error().to_string());
     }
+    record_archive(trace, std::move(status));
   }
   if (trace) trace->image_search_ms += fabric_.metrics().total_elapsed_ms - before;
   return links;
@@ -101,14 +158,21 @@ Expected<votable::Table> Portal::build_galaxy_catalog(const std::string& cluster
   if (!cluster) return Error(ErrorCode::kNotFound, "unknown cluster " + cluster_name);
 
   const double before = fabric_.metrics().total_elapsed_ms;
-  auto ned = services::cone_search(fabric_, federation_.ned_cone, cluster->position,
+  const auto ned_snap = stats_snapshot(client_, federation_.ned_cone);
+  auto ned = services::cone_search(client_, federation_.ned_cone, cluster->position,
                                    cluster->search_radius_deg);
-  if (!ned.ok()) return ned.error();
-  auto cnoc = services::cone_search(fabric_, federation_.cnoc_cone, cluster->position,
+  ArchiveStatus ned_status = archive_status("NED", federation_.ned_cone, ned_snap);
+  const auto cnoc_snap = stats_snapshot(client_, federation_.cnoc_cone);
+  auto cnoc = services::cone_search(client_, federation_.cnoc_cone, cluster->position,
                                     cluster->search_radius_deg);
+  ArchiveStatus cnoc_status = archive_status("CNOC", federation_.cnoc_cone, cnoc_snap);
+  if (ned.ok()) ned_status.rows = ned->num_rows();
+  if (cnoc.ok()) cnoc_status.rows = cnoc->num_rows();
 
+  // Graceful degradation: either survey alone still yields a usable catalog
+  // (both carry id/ra/dec); only losing both archives is fatal.
   votable::Table catalog;
-  if (cnoc.ok() && cnoc->num_rows() > 0) {
+  if (ned.ok() && cnoc.ok() && cnoc->num_rows() > 0) {
     // The generic join the paper calls for: NED brings position/redshift/
     // magnitude, CNOC adds velocity and color. Left join keeps galaxies the
     // second survey missed.
@@ -116,13 +180,30 @@ Expected<votable::Table> Portal::build_galaxy_catalog(const std::string& cluster
                                 votable::JoinKind::kLeft);
     if (!joined.ok()) return joined.error();
     catalog = std::move(joined.value());
-  } else {
+  } else if (ned.ok()) {
     if (!cnoc.ok()) {
+      cnoc_status.skipped_reason = cnoc.error().to_string();
       log_warn("portal", "CNOC cone search failed (continuing with NED only): " +
                              cnoc.error().to_string());
     }
     catalog = std::move(ned.value());
+  } else if (cnoc.ok() && cnoc->num_rows() > 0) {
+    ned_status.skipped_reason = ned.error().to_string();
+    log_warn("portal", "NED cone search failed (continuing with CNOC only): " +
+                           ned.error().to_string());
+    catalog = std::move(cnoc.value());
+  } else {
+    record_archive(trace, std::move(ned_status));
+    record_archive(trace, std::move(cnoc_status));
+    if (trace) trace->catalog_build_ms += fabric_.metrics().total_elapsed_ms - before;
+    return Error(ErrorCode::kServiceUnavailable,
+                 "all catalog archives unavailable for " + cluster_name + ": NED: " +
+                     ned.error().to_string() +
+                     (cnoc.ok() ? "; CNOC: empty" : "; CNOC: " +
+                                                        cnoc.error().to_string()));
   }
+  record_archive(trace, std::move(ned_status));
+  record_archive(trace, std::move(cnoc_status));
   catalog.name = cluster_name + "_catalog";
   if (trace) trace->catalog_build_ms += fabric_.metrics().total_elapsed_ms - before;
   return catalog;
@@ -140,17 +221,26 @@ Expected<votable::Table> Portal::attach_cutout_refs(votable::Table catalog,
   }
 
   const double before = fabric_.metrics().total_elapsed_ms;
+  const auto cutout_snap = stats_snapshot(client_, federation_.cutout_sia);
   std::size_t queries = 0;
+  std::size_t refs_attached = 0;
   catalog.add_column({"cutout_url", votable::DataType::kString, "", "meta.ref.url",
                       "galaxy cutout access reference"});
 
   if (config_.batched_cutout_query) {
     // The batched mode the paper wanted: one wide cone returns every
     // member's cutout reference; match records to rows by position.
-    auto records = services::sia_query(fabric_, federation_.cutout_sia,
+    auto records = services::sia_query(client_, federation_.cutout_sia,
                                        cluster->position,
                                        cluster->search_radius_deg * 2.0);
-    if (!records.ok()) return records.error();
+    if (!records.ok()) {
+      ArchiveStatus status =
+          archive_status("MAST cutout", federation_.cutout_sia, cutout_snap);
+      status.skipped_reason = records.error().to_string();
+      record_archive(trace, std::move(status));
+      if (trace) trace->cutout_query_ms += fabric_.metrics().total_elapsed_ms - before;
+      return records.error();
+    }
     ++queries;
     for (std::size_t i = 0; i < catalog.num_rows(); ++i) {
       const auto ra = catalog.row(i)[*ra_col].as_number();
@@ -166,16 +256,20 @@ Expected<votable::Table> Portal::attach_cutout_refs(votable::Table catalog,
           best = &r;
         }
       }
-      if (best) catalog.set_cell(i, "cutout_url", votable::Value::of_string(best->access_url));
+      if (best) {
+        catalog.set_cell(i, "cutout_url", votable::Value::of_string(best->access_url));
+        ++refs_attached;
+      }
     }
   } else {
     // The paper's actual behaviour: "an image query ... for each galaxy
-    // must be done separately" — the application's bottleneck.
+    // must be done separately" — the application's bottleneck. A failed
+    // query loses that one galaxy's cutout reference, not the stage.
     for (std::size_t i = 0; i < catalog.num_rows(); ++i) {
       const auto ra = catalog.row(i)[*ra_col].as_number();
       const auto dec = catalog.row(i)[*dec_col].as_number();
       if (!ra || !dec) continue;
-      auto records = services::sia_query(fabric_, federation_.cutout_sia,
+      auto records = services::sia_query(client_, federation_.cutout_sia,
                                          {*ra, *dec}, config_.cutout_size_deg);
       ++queries;
       if (!records.ok() || records->empty()) continue;
@@ -193,7 +287,17 @@ Expected<votable::Table> Portal::attach_cutout_refs(votable::Table catalog,
       }
       catalog.set_cell(i, "cutout_url",
                        votable::Value::of_string(best->access_url));
+      ++refs_attached;
     }
+  }
+  {
+    ArchiveStatus status =
+        archive_status("MAST cutout", federation_.cutout_sia, cutout_snap);
+    status.rows = refs_attached;
+    if (refs_attached == 0 && catalog.num_rows() > 0) {
+      status.skipped_reason = "no cutout reference resolved";
+    }
+    record_archive(trace, std::move(status));
   }
   if (trace) {
     trace->cutout_query_ms += fabric_.metrics().total_elapsed_ms - before;

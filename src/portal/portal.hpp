@@ -16,6 +16,7 @@
 #include "services/federation.hpp"
 #include "services/http.hpp"
 #include "services/registry.hpp"
+#include "services/resilience.hpp"
 #include "sky/coords.hpp"
 #include "votable/table.hpp"
 
@@ -36,6 +37,26 @@ struct PortalConfig {
   bool batched_cutout_query = false;  ///< one wide SIA cone vs per-galaxy loop
   double cutout_size_deg = 64.0 / 3600.0;
   int poll_limit = 64;                ///< max status polls before giving up
+  services::RetryPolicy retry;        ///< per-request tolerance for all queries
+  services::BreakerPolicy breaker;
+};
+
+/// Outcome of one archive interaction within an analysis run: how hard the
+/// resilience layer had to work and whether the stage ultimately got its
+/// data. `skipped_reason` is non-empty when the stage continued without this
+/// archive (graceful degradation).
+struct ArchiveStatus {
+  std::string archive;             ///< human name ("NED", "CNOC", ...)
+  std::string endpoint;            ///< base URL queried
+  std::uint64_t attempted = 0;     ///< HTTP attempts issued (incl. retries)
+  std::uint64_t succeeded = 0;     ///< attempts that returned cleanly
+  std::uint64_t retries = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t failovers = 0;     ///< requests served by the mirror
+  std::size_t rows = 0;            ///< table rows / records contributed
+  std::string skipped_reason;      ///< "" when the archive delivered
+
+  bool degraded() const { return !skipped_reason.empty(); }
 };
 
 /// Per-stage accounting for one analysis run (simulated milliseconds from
@@ -52,9 +73,21 @@ struct PortalTrace {
   std::size_t valid = 0;
   std::size_t invalid = 0;
 
+  // Resilience accounting, summed over the portal's archive interactions.
+  std::vector<ArchiveStatus> archives;
+  std::uint64_t retries = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t failovers = 0;
+
   double total_ms() const {
     return image_search_ms + catalog_build_ms + cutout_query_ms + compute_wait_ms +
            merge_ms;
+  }
+  /// Archives that did not deliver (skipped or failed over entirely).
+  std::size_t archives_degraded() const {
+    std::size_t n = 0;
+    for (const ArchiveStatus& a : archives) n += a.degraded() ? 1 : 0;
+    return n;
   }
 };
 
@@ -100,13 +133,25 @@ class Portal {
   };
   Expected<AnalysisOutcome> run_analysis(const std::string& cluster_name);
 
+  /// The portal's resilient HTTP client (retry/breaker/failover state).
+  services::ResilientClient& client() { return client_; }
+
  private:
   const ClusterEntry* find_cluster(const std::string& name) const;
+
+  /// Snapshot-diff helper: builds an ArchiveStatus from the client's
+  /// per-endpoint stats accumulated since `before`.
+  ArchiveStatus archive_status(const std::string& archive,
+                               const std::string& base_url,
+                               const services::EndpointStats& before) const;
+  /// Appends `status` to the trace and folds its counters into the totals.
+  static void record_archive(PortalTrace* trace, ArchiveStatus status);
 
   services::HttpFabric& fabric_;
   services::Federation federation_;
   MorphologyService& compute_;
   PortalConfig config_;
+  services::ResilientClient client_;
   std::vector<ClusterEntry> clusters_;
 };
 

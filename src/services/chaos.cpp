@@ -1,0 +1,83 @@
+#include "services/chaos.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace nvo::services {
+
+ChaosSchedule& ChaosSchedule::add(FaultWindow window) {
+  windows_.push_back(std::move(window));
+  return *this;
+}
+
+ChaosSchedule& ChaosSchedule::outage(std::string host, double start_ms,
+                                     double end_ms) {
+  FaultWindow w;
+  w.kind = FaultWindow::Kind::kOutage;
+  w.host = std::move(host);
+  w.start_ms = start_ms;
+  w.end_ms = end_ms;
+  return add(std::move(w));
+}
+
+ChaosSchedule& ChaosSchedule::flaky(std::string host, double rate, double start_ms,
+                                    double end_ms) {
+  FaultWindow w;
+  w.kind = FaultWindow::Kind::kFlaky;
+  w.host = std::move(host);
+  w.failure_rate = rate;
+  w.start_ms = start_ms;
+  w.end_ms = end_ms;
+  return add(std::move(w));
+}
+
+ChaosSchedule& ChaosSchedule::brownout(std::string host, double bandwidth_factor,
+                                       double extra_latency_ms, double start_ms,
+                                       double end_ms) {
+  FaultWindow w;
+  w.kind = FaultWindow::Kind::kBrownout;
+  w.host = std::move(host);
+  w.bandwidth_factor = bandwidth_factor;
+  w.extra_latency_ms = extra_latency_ms;
+  w.start_ms = start_ms;
+  w.end_ms = end_ms;
+  return add(std::move(w));
+}
+
+EndpointModel ChaosSchedule::apply(const Url& url, EndpointModel model,
+                                   double now_ms) const {
+  for (const FaultWindow& w : windows_) {
+    if (now_ms < w.start_ms || now_ms >= w.end_ms) continue;
+    if (!w.host.empty() && w.host != url.host) continue;
+    if (!w.path_prefix.empty() && !starts_with(url.path, w.path_prefix)) continue;
+    switch (w.kind) {
+      case FaultWindow::Kind::kOutage:
+        model.up = false;
+        break;
+      case FaultWindow::Kind::kFlaky:
+        model.failure_rate = std::max(model.failure_rate, w.failure_rate);
+        break;
+      case FaultWindow::Kind::kBrownout:
+        model.bandwidth_mbps *= w.bandwidth_factor;
+        model.latency_ms += w.extra_latency_ms;
+        break;
+    }
+  }
+  return model;
+}
+
+void install_chaos(HttpFabric& fabric, ChaosSchedule schedule) {
+  if (schedule.empty()) {
+    fabric.set_fault_injector(nullptr);
+    return;
+  }
+  fabric.set_fault_injector(
+      [schedule = std::move(schedule)](
+          const Url& url, const EndpointModel& model,
+          double now_ms) -> std::optional<EndpointModel> {
+        return schedule.apply(url, model, now_ms);
+      });
+}
+
+}  // namespace nvo::services

@@ -1,0 +1,63 @@
+// Deterministic fault injection for the HTTP fabric. The paper's campaign
+// ran against archives that were "occasionally down"; this harness scripts
+// exactly that against the fabric's simulated clock: outage windows (an
+// archive is hard-down for a stretch of simulated time), flaky periods
+// (elevated 503 rates), and bandwidth brownouts (throttled transfer plus
+// extra latency, which the retry layer's per-attempt timeout converts into
+// retries). Because windows are keyed on simulated milliseconds and every
+// stochastic draw is seeded, two identically-seeded chaos campaigns are
+// bit-identical.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "services/http.hpp"
+
+namespace nvo::services {
+
+/// One scripted fault: a model override active on matching requests inside
+/// [start_ms, end_ms) of the fabric's simulated clock.
+struct FaultWindow {
+  enum class Kind { kOutage, kFlaky, kBrownout };
+  Kind kind = Kind::kOutage;
+  std::string host;         ///< exact host; empty matches every host
+  std::string path_prefix;  ///< path prefix; empty matches every path
+  double start_ms = 0.0;
+  double end_ms = std::numeric_limits<double>::infinity();
+  double failure_rate = 0.0;      ///< kFlaky: per-request 503 probability
+  double bandwidth_factor = 1.0;  ///< kBrownout: multiplies bandwidth
+  double extra_latency_ms = 0.0;  ///< kBrownout: added per-request latency
+};
+
+/// An ordered script of fault windows; overlapping windows compose (an
+/// outage beats a flaky period on the same endpoint).
+class ChaosSchedule {
+ public:
+  ChaosSchedule& add(FaultWindow window);
+  /// The archive is hard-down during [start_ms, end_ms).
+  ChaosSchedule& outage(std::string host, double start_ms, double end_ms);
+  /// Requests sampled to fail with `rate` during the window.
+  ChaosSchedule& flaky(std::string host, double rate, double start_ms = 0.0,
+                       double end_ms = std::numeric_limits<double>::infinity());
+  /// Bandwidth multiplied by `bandwidth_factor` (and latency raised by
+  /// `extra_latency_ms`) during the window.
+  ChaosSchedule& brownout(std::string host, double bandwidth_factor,
+                          double extra_latency_ms, double start_ms, double end_ms);
+
+  bool empty() const { return windows_.empty(); }
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+
+  /// Applies every matching active window to `model`.
+  EndpointModel apply(const Url& url, EndpointModel model, double now_ms) const;
+
+ private:
+  std::vector<FaultWindow> windows_;
+};
+
+/// Installs the schedule as the fabric's fault injector (replacing any
+/// previous one). The schedule is copied into the hook.
+void install_chaos(HttpFabric& fabric, ChaosSchedule schedule);
+
+}  // namespace nvo::services

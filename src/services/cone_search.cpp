@@ -36,12 +36,12 @@ Handler make_cone_search_handler(std::function<votable::Table()> catalog_supplie
   };
 }
 
-Expected<votable::Table> cone_search(HttpFabric& fabric, const std::string& base_url,
+Expected<votable::Table> cone_search(HttpChannel& channel, const std::string& base_url,
                                      const sky::Equatorial& center, double radius_deg) {
   const std::string url =
       format("%s?RA=%.6f&DEC=%.6f&SR=%.6f", base_url.c_str(), center.ra_deg,
              center.dec_deg, radius_deg);
-  auto response = fabric.get(url);
+  auto response = channel.get(url);
   if (!response.ok()) return response.error();
   if (response->status != 200) {
     return Error(ErrorCode::kServiceUnavailable,

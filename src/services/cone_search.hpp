@@ -20,8 +20,10 @@ namespace nvo::services {
 /// convention.
 Handler make_cone_search_handler(std::function<votable::Table()> catalog_supplier);
 
-/// Client side: issues the GET and parses the VOTable response.
-Expected<votable::Table> cone_search(HttpFabric& fabric, const std::string& base_url,
+/// Client side: issues the GET and parses the VOTable response. Accepts any
+/// HttpChannel — the raw fabric or a ResilientClient for retry/breaker
+/// tolerance.
+Expected<votable::Table> cone_search(HttpChannel& channel, const std::string& base_url,
                                      const sky::Equatorial& center, double radius_deg);
 
 }  // namespace nvo::services

@@ -102,7 +102,14 @@ SiaFinder make_field_finder(const sim::Universe& universe, const std::string& ti
 
 }  // namespace
 
-Federation register_federation(HttpFabric& fabric, const sim::Universe& universe) {
+const std::vector<std::string>& Federation::archive_hosts() {
+  static const std::vector<std::string> hosts = {
+      kChandraHost, kHeasarcHost, kIpacHost, kCadcHost, kMastHost};
+  return hosts;
+}
+
+Federation register_federation(HttpFabric& fabric, const sim::Universe& universe,
+                               const FederationOptions& options) {
   Federation fed;
   const sim::Universe* u = &universe;
   // Shared by the positional handlers below (captured by value in their
@@ -190,29 +197,24 @@ Federation register_federation(HttpFabric& fabric, const sim::Universe& universe
   {
     const std::string host = Federation::kMastHost;
     const std::string image_base = "http://" + host + "/dss/image";
-    fabric.route(host, "/dss/sia",
-                 make_sia_query_handler(
-                     make_field_finder(universe, "DSS", image_base, 512, 2.0)),
-                 EndpointModel{80.0, 4.0, 0.0, true});
-    fabric.route(host, "/dss/image",
-                 make_image_handler([u](const Url& url) -> Expected<image::FitsFile> {
-                   const auto name = url.param("CLUSTER");
-                   if (!name) return Error(ErrorCode::kInvalidArgument, "no CLUSTER");
-                   const sim::Cluster* c = u->find_cluster(*name);
-                   if (!c) return Error(ErrorCode::kNotFound, "cluster " + *name);
-                   return u->optical_field(*c, 512, 2.0);
-                 }),
-                 EndpointModel{80.0, 4.0, 0.0, true});
+    const Handler dss_sia_handler = make_sia_query_handler(
+        make_field_finder(universe, "DSS", image_base, 512, 2.0));
+    const Handler dss_image_handler =
+        make_image_handler([u](const Url& url) -> Expected<image::FitsFile> {
+          const auto name = url.param("CLUSTER");
+          if (!name) return Error(ErrorCode::kInvalidArgument, "no CLUSTER");
+          const sim::Cluster* c = u->find_cluster(*name);
+          if (!c) return Error(ErrorCode::kNotFound, "cluster " + *name);
+          return u->optical_field(*c, 512, 2.0);
+        });
 
     // Cutout SIA: one record per catalogued galaxy inside the query cone.
     // The per-record acref points at the dynamic cutout endpoint — and a
     // wide cone returns every member in one query, which is exactly the
     // batched mode the paper says would speed things up "tremendously".
     const std::string cutout_base = "http://" + host + "/cutout/image";
-    fabric.route(
-        host, "/cutout/sia",
-        make_sia_query_handler([galaxy_index, cutout_base](
-                                   const sky::Equatorial& pos, double size_deg) {
+    const Handler cutout_sia_handler = make_sia_query_handler(
+        [galaxy_index, cutout_base](const sky::Equatorial& pos, double size_deg) {
           std::vector<SiaRecord> out;
           const double cutout_deg = 64.0 / sky::kArcsecPerDeg;  // 64 pix at 1"/pix
           for (const std::size_t id :
@@ -229,12 +231,9 @@ Federation register_federation(HttpFabric& fabric, const sim::Universe& universe
             out.push_back(std::move(r));
           }
           return out;
-        }),
-        EndpointModel{80.0, 4.0, 0.0, true});
-    fabric.route(
-        host, "/cutout/image",
-        make_image_handler([u, galaxy_index](const Url& url)
-                               -> Expected<image::FitsFile> {
+        });
+    const Handler cutout_image_handler = make_image_handler(
+        [u, galaxy_index](const Url& url) -> Expected<image::FitsFile> {
           const auto pos_text = url.param("POS");
           const auto size = url.param_double("SIZE");
           if (!pos_text || !size) {
@@ -254,11 +253,33 @@ Federation register_federation(HttpFabric& fabric, const sim::Universe& universe
                          "no catalogued galaxy near " + pos.to_string());
           }
           return u->galaxy_cutout(*hit.cluster, *hit.galaxy, pix);
-        }),
-        EndpointModel{80.0, 4.0, 0.0, true});
+        });
+
+    fabric.route(host, "/dss/sia", dss_sia_handler, EndpointModel{80.0, 4.0, 0.0, true});
+    fabric.route(host, "/dss/image", dss_image_handler,
+                 EndpointModel{80.0, 4.0, 0.0, true});
+    fabric.route(host, "/cutout/sia", cutout_sia_handler,
+                 EndpointModel{80.0, 4.0, 0.0, true});
+    fabric.route(host, "/cutout/image", cutout_image_handler,
+                 EndpointModel{80.0, 4.0, 0.0, true});
 
     fed.dss_sia = "http://" + host + "/dss/sia";
     fed.cutout_sia = "http://" + host + "/cutout/sia";
+
+    // Failover mirror: the same DSS + cutout services under a second host
+    // (a touch slower, as a farther mirror would be). Never contacted unless
+    // a ResilientClient fails over to it, so registering it changes nothing
+    // in a fault-free run.
+    if (options.with_mirror && !options.mirror_host.empty()) {
+      const EndpointModel mirror_model{120.0, 3.0, 0.0, true};
+      fabric.route(options.mirror_host, "/dss/sia", dss_sia_handler, mirror_model);
+      fabric.route(options.mirror_host, "/dss/image", dss_image_handler, mirror_model);
+      fabric.route(options.mirror_host, "/cutout/sia", cutout_sia_handler,
+                   mirror_model);
+      fabric.route(options.mirror_host, "/cutout/image", cutout_image_handler,
+                   mirror_model);
+      fed.mirror_host = options.mirror_host;
+    }
   }
 
   return fed;

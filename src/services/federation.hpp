@@ -14,6 +14,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "services/http.hpp"
 #include "sim/universe.hpp"
@@ -29,6 +30,7 @@ struct Federation {
   std::string cnoc_cone;    ///< CADC CNOC Cone Search
   std::string dss_sia;      ///< MAST DSS SIA (large-scale fields)
   std::string cutout_sia;   ///< MAST galaxy cutout SIA (dynamic cutouts)
+  std::string mirror_host;  ///< DSS/cutout failover mirror ("" if disabled)
 
   /// Hosts, for availability toggling in fault-injection tests.
   static constexpr const char* kChandraHost = "cda.harvard.sim";
@@ -36,10 +38,23 @@ struct Federation {
   static constexpr const char* kIpacHost = "ned.ipac.sim";
   static constexpr const char* kCadcHost = "cadc.hia.sim";
   static constexpr const char* kMastHost = "archive.stsci.sim";
+  static constexpr const char* kMirrorHost = "dss-mirror.stsci.sim";
+
+  /// Every archive host (mirror excluded), for fleet-wide chaos schedules.
+  static const std::vector<std::string>& archive_hosts();
+};
+
+struct FederationOptions {
+  /// Register a second copy of the MAST DSS + cutout services under
+  /// `mirror_host` (slightly slower, as a farther mirror would be) so the
+  /// resilience layer can fail over when the primary archive is down.
+  bool with_mirror = true;
+  std::string mirror_host = Federation::kMirrorHost;
 };
 
 /// Registers all Table-1 services on the fabric, serving data from the
 /// universe. The universe reference must outlive the fabric's routes.
-Federation register_federation(HttpFabric& fabric, const sim::Universe& universe);
+Federation register_federation(HttpFabric& fabric, const sim::Universe& universe,
+                               const FederationOptions& options = {});
 
 }  // namespace nvo::services

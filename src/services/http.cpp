@@ -126,11 +126,28 @@ HttpResponse HttpResponse::binary(std::vector<std::uint8_t> bytes,
   return r;
 }
 
-HttpFabric::HttpFabric(std::uint64_t seed) : rng_(seed) {}
+HttpFabric::HttpFabric(std::uint64_t seed) : seed_(seed), rng_(seed) {}
 
 void HttpFabric::route(const std::string& host, const std::string& path_prefix,
                        Handler handler, EndpointModel model) {
-  routes_.push_back(Route{host, path_prefix, std::move(handler), model});
+  routes_.push_back(Route{host, path_prefix, std::move(handler), model, {}});
+}
+
+void HttpFabric::reset_metrics() {
+  metrics_ = {};
+  for (Route& r : routes_) r.metrics = {};
+}
+
+std::optional<HttpFabric::Metrics> HttpFabric::metrics_for(
+    const std::string& host, const std::string& path_prefix) const {
+  for (const Route& r : routes_) {
+    if (r.host == host && r.path_prefix == path_prefix) return r.metrics;
+  }
+  return std::nullopt;
+}
+
+void HttpFabric::advance_clock(double ms) {
+  if (ms > 0.0) metrics_.total_elapsed_ms += ms;
 }
 
 Status HttpFabric::set_up(const std::string& host, const std::string& path_prefix,
@@ -163,24 +180,45 @@ Expected<HttpResponse> HttpFabric::get(const std::string& url_text) {
   Route* route = find_route(url);
   if (!route) {
     ++metrics_.failures;
+    ++metrics_.unrouted;
     return Error(ErrorCode::kNotFound, "no service at " + url.host + url.path);
   }
-  if (!route->model.up) {
+  ++route->metrics.requests;
+
+  // Effective model for this request: the route's configuration, optionally
+  // overridden by the chaos injector (outage windows, flaky periods,
+  // bandwidth brownouts scripted against the simulated clock).
+  EndpointModel model = route->model;
+  if (injector_) {
+    if (auto override_model = injector_(url, model, now_ms())) {
+      model = *override_model;
+    }
+  }
+
+  const auto charge_failure = [&](double elapsed_ms) {
     ++metrics_.failures;
-    metrics_.total_elapsed_ms += route->model.latency_ms;
+    ++route->metrics.failures;
+    metrics_.total_elapsed_ms += elapsed_ms;
+    route->metrics.total_elapsed_ms += elapsed_ms;
+  };
+
+  if (!model.up) {
+    ++metrics_.hard_down;
+    ++route->metrics.hard_down;
+    charge_failure(model.latency_ms);
     return Error(ErrorCode::kServiceUnavailable, url.host + " is down");
   }
-  if (route->model.failure_rate > 0.0 && rng_.bernoulli(route->model.failure_rate)) {
-    ++metrics_.failures;
-    metrics_.total_elapsed_ms += route->model.latency_ms;
+  if (model.failure_rate > 0.0 && rng_.bernoulli(model.failure_rate)) {
+    ++metrics_.transient_failures;
+    ++route->metrics.transient_failures;
+    charge_failure(model.latency_ms);
     return Error(ErrorCode::kServiceUnavailable,
                  "transient failure at " + url.host + url.path);
   }
 
   auto result = route->handler(url);
   if (!result.ok()) {
-    ++metrics_.failures;
-    metrics_.total_elapsed_ms += route->model.latency_ms;
+    charge_failure(model.latency_ms);
     return result;
   }
   HttpResponse response = std::move(result.value());
@@ -188,14 +226,14 @@ Expected<HttpResponse> HttpFabric::get(const std::string& url_text) {
   // stochastic jitter so repeated queries are not suspiciously identical.
   const double megabits = static_cast<double>(response.body.size()) * 8.0 / 1e6;
   const double transfer_ms =
-      route->model.bandwidth_mbps > 0.0
-          ? megabits / route->model.bandwidth_mbps * 1000.0
-          : 0.0;
+      model.bandwidth_mbps > 0.0 ? megabits / model.bandwidth_mbps * 1000.0 : 0.0;
   const double jitter = 1.0 + 0.1 * (rng_.uniform() - 0.5);
-  response.elapsed_ms = (route->model.latency_ms + transfer_ms) * jitter;
+  response.elapsed_ms = (model.latency_ms + transfer_ms) * jitter;
 
   metrics_.bytes_transferred += response.body.size();
   metrics_.total_elapsed_ms += response.elapsed_ms;
+  route->metrics.bytes_transferred += response.body.size();
+  route->metrics.total_elapsed_ms += response.elapsed_ms;
   return response;
 }
 

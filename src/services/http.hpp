@@ -60,10 +60,19 @@ struct EndpointModel {
   bool up = true;                   ///< hard down switch (archive outage)
 };
 
+/// Anything a protocol client can issue GETs through: the raw fabric or a
+/// resilience wrapper (ResilientClient). Cone Search / SIA clients are
+/// written against this interface so callers choose the tolerance layer.
+class HttpChannel {
+ public:
+  virtual ~HttpChannel() = default;
+  virtual Expected<HttpResponse> get(const std::string& url_text) = 0;
+};
+
 /// The fabric: a routing table plus metrics. Thread-compatible: handlers
 /// run on the calling thread; the metrics counters are plain (the grid
 /// executor serializes its fabric access through the service layer).
-class HttpFabric {
+class HttpFabric : public HttpChannel {
  public:
   explicit HttpFabric(std::uint64_t seed = 7);
 
@@ -77,17 +86,52 @@ class HttpFabric {
 
   /// Issues a GET. On success the response's elapsed_ms includes the
   /// endpoint model's latency + transfer time.
-  Expected<HttpResponse> get(const std::string& url_text);
+  Expected<HttpResponse> get(const std::string& url_text) override;
 
-  /// Cumulative metrics.
+  /// Cumulative metrics. `failures` counts every unsuccessful request:
+  /// sampled 503s, hard-down endpoints (`up == false`), handler errors,
+  /// and unrouted requests (the latter also itemized in `unrouted`).
   struct Metrics {
     std::uint64_t requests = 0;
     std::uint64_t failures = 0;
+    std::uint64_t unrouted = 0;           ///< no service matched the URL
+    std::uint64_t hard_down = 0;          ///< endpoint was switched off
+    std::uint64_t transient_failures = 0; ///< sampled 503s
     std::uint64_t bytes_transferred = 0;
     double total_elapsed_ms = 0.0;
   };
   const Metrics& metrics() const { return metrics_; }
-  void reset_metrics() { metrics_ = {}; }
+  void reset_metrics();
+
+  /// Per-route metrics breakdown (same counters, scoped to one endpoint).
+  /// Returns nullopt when no such route is registered; `unrouted` is always
+  /// zero here (an unrouted request has no route to charge).
+  std::optional<Metrics> metrics_for(const std::string& host,
+                                     const std::string& path_prefix) const;
+
+  /// The fabric's simulated clock: cumulative simulated milliseconds spent
+  /// in requests (and injected waits). Drives retry backoff deadlines,
+  /// circuit-breaker cool-downs, and chaos fault windows.
+  double now_ms() const { return metrics_.total_elapsed_ms; }
+
+  /// Advances the simulated clock without issuing a request (retry backoff
+  /// sleeps). The wait is accounted into total_elapsed_ms like any other
+  /// simulated cost.
+  void advance_clock(double ms);
+
+  /// The construction seed; resilience wrappers derive their jitter streams
+  /// from this lineage (without consuming this fabric's own generator, so
+  /// installing a wrapper does not perturb the fault-free request timings).
+  std::uint64_t seed() const { return seed_; }
+
+  /// Fault injector hook (the chaos harness): called per request with the
+  /// target URL, the route's configured model, and the simulated clock;
+  /// returns an overriding model for this request, or nullopt to pass
+  /// through unchanged.
+  using FaultInjector =
+      std::function<std::optional<EndpointModel>(const Url&, const EndpointModel&,
+                                                 double now_ms)>;
+  void set_fault_injector(FaultInjector injector) { injector_ = std::move(injector); }
 
  private:
   struct Route {
@@ -95,12 +139,15 @@ class HttpFabric {
     std::string path_prefix;
     Handler handler;
     EndpointModel model;
+    Metrics metrics;
   };
   Route* find_route(const Url& url);
 
   std::vector<Route> routes_;
+  std::uint64_t seed_;
   Rng rng_;
   Metrics metrics_;
+  FaultInjector injector_;
 };
 
 }  // namespace nvo::services

@@ -1,0 +1,137 @@
+// The resilience layer over the HTTP fabric. The paper's prototype ran
+// against real 2003 archives that were "occasionally down" and survived on
+// layered fault tolerance; this module is the per-request layer of that
+// stack: capped exponential backoff with deterministic seeded jitter, a
+// per-endpoint circuit breaker (closed -> open -> half-open), and mirror
+// failover — all expressed in the fabric's *simulated* time so chaos
+// experiments stay bit-reproducible. Composition with the upper layers
+// (per-galaxy isolation, DAGMan node retries, rescue DAGs) is documented in
+// DESIGN.md §7 "Failure semantics".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/expected.hpp"
+#include "common/rng.hpp"
+#include "services/http.hpp"
+
+namespace nvo::services {
+
+/// Capped exponential backoff with seeded jitter and simulated-time budgets.
+struct RetryPolicy {
+  int max_attempts = 4;            ///< total attempts per host, incl. the first
+  double base_backoff_ms = 100.0;  ///< wait before the second attempt
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 3200.0;  ///< cap on any single wait
+  double jitter_fraction = 0.25;   ///< each wait scaled by 1 +/- U*fraction
+  /// An attempt whose simulated duration exceeds this is treated as a
+  /// timeout failure even if a response arrived (client-side timeout;
+  /// catches bandwidth brownouts). 0 disables the per-attempt cap.
+  double attempt_timeout_ms = 0.0;
+  /// Overall simulated-time budget for one get() call, retries and backoff
+  /// included. 0 disables the deadline.
+  double deadline_ms = 20000.0;
+};
+
+/// Circuit-breaker thresholds, in simulated time.
+struct BreakerPolicy {
+  int failure_threshold = 4;      ///< consecutive failures that trip the breaker
+  double cooldown_ms = 30000.0;   ///< open -> half-open after this much sim time
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+const char* to_string(BreakerState state);
+
+/// Per-endpoint circuit breaker. All transitions are driven by the caller's
+/// simulated clock: closed -> open after `failure_threshold` consecutive
+/// failures; open -> half-open once `cooldown_ms` of simulated time has
+/// passed; half-open -> closed on a success, half-open -> open (a new trip)
+/// on a failure.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerPolicy policy = {}) : policy_(policy) {}
+
+  /// True when a request may be issued now; transitions open -> half-open
+  /// when the cool-down has expired.
+  bool allow(double now_ms);
+  void record_success();
+  void record_failure(double now_ms);
+
+  BreakerState state() const { return state_; }
+  std::uint64_t trips() const { return trips_; }
+
+ private:
+  void trip(double now_ms);
+
+  BreakerPolicy policy_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  double opened_at_ms_ = 0.0;
+  std::uint64_t trips_ = 0;
+};
+
+/// Cumulative per-endpoint (per-host) resilience accounting.
+struct EndpointStats {
+  std::uint64_t attempts = 0;        ///< requests actually issued
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;        ///< failed attempts (pre-retry)
+  std::uint64_t retries = 0;         ///< re-attempts after a failure
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t short_circuits = 0;  ///< calls rejected while the breaker was open
+  std::uint64_t failovers = 0;       ///< calls ultimately served by a mirror
+  double backoff_wait_ms = 0.0;      ///< simulated time spent sleeping
+};
+
+/// HttpFabric::get with retry, circuit breaking, and mirror failover.
+/// Endpoint state (breaker + stats) is keyed by host — the archive is the
+/// unit that goes down. Deterministic: the jitter stream is derived from the
+/// fabric's seed lineage (not from its live generator), so wrapping a fabric
+/// changes nothing at zero fault rate, and identically-seeded runs retry
+/// identically.
+class ResilientClient : public HttpChannel {
+ public:
+  /// `label` separates the jitter streams of multiple clients sharing one
+  /// fabric (portal vs compute service).
+  ResilientClient(HttpFabric& fabric, RetryPolicy retry = {},
+                  BreakerPolicy breaker = {}, const std::string& label = "client");
+
+  /// Registers a failover mirror: requests to `host` that cannot be served
+  /// (breaker open, retries exhausted, deadline passed) are re-issued
+  /// against `mirror_host` with the same path and query.
+  void add_mirror(const std::string& host, const std::string& mirror_host);
+
+  Expected<HttpResponse> get(const std::string& url_text) override;
+
+  /// Stats for one endpoint; nullptr when the host was never contacted.
+  const EndpointStats* stats_for(const std::string& host) const;
+  /// Sum over every endpoint.
+  EndpointStats totals() const;
+  /// Breaker state for one endpoint (kClosed when never contacted).
+  BreakerState breaker_state(const std::string& host) const;
+
+  HttpFabric& fabric() { return fabric_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+ private:
+  struct Endpoint {
+    CircuitBreaker breaker;
+    EndpointStats stats;
+  };
+  Endpoint& endpoint(const std::string& host);
+
+  /// One host's full retry loop. Returns a response (success or a
+  /// non-retryable protocol reply) or the last error.
+  Expected<HttpResponse> get_from_host(const Url& url, double deadline_ms,
+                                       Endpoint& ep);
+
+  HttpFabric& fabric_;
+  RetryPolicy retry_;
+  BreakerPolicy breaker_policy_;
+  Rng jitter_rng_;
+  std::map<std::string, Endpoint> endpoints_;
+  std::map<std::string, std::string> mirrors_;
+};
+
+}  // namespace nvo::services

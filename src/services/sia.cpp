@@ -87,13 +87,13 @@ Handler make_image_handler(ImageProducer producer) {
   };
 }
 
-Expected<std::vector<SiaRecord>> sia_query(HttpFabric& fabric,
+Expected<std::vector<SiaRecord>> sia_query(HttpChannel& channel,
                                            const std::string& base_url,
                                            const sky::Equatorial& pos,
                                            double size_deg) {
   const std::string url = format("%s?POS=%.6f,%.6f&SIZE=%.6f", base_url.c_str(),
                                  pos.ra_deg, pos.dec_deg, size_deg);
-  auto response = fabric.get(url);
+  auto response = channel.get(url);
   if (!response.ok()) return response.error();
   if (response->status != 200) {
     return Error(ErrorCode::kServiceUnavailable,
@@ -105,15 +105,15 @@ Expected<std::vector<SiaRecord>> sia_query(HttpFabric& fabric,
   return sia_records_from_table(table.value());
 }
 
-Expected<image::FitsFile> fetch_image(HttpFabric& fabric, const std::string& url) {
-  auto bytes = fetch_image_bytes(fabric, url);
+Expected<image::FitsFile> fetch_image(HttpChannel& channel, const std::string& url) {
+  auto bytes = fetch_image_bytes(channel, url);
   if (!bytes.ok()) return bytes.error();
   return image::read_fits(bytes.value());
 }
 
-Expected<std::vector<std::uint8_t>> fetch_image_bytes(HttpFabric& fabric,
+Expected<std::vector<std::uint8_t>> fetch_image_bytes(HttpChannel& channel,
                                                       const std::string& url) {
-  auto response = fabric.get(url);
+  auto response = channel.get(url);
   if (!response.ok()) return response.error();
   if (response->status != 200) {
     return Error(ErrorCode::kServiceUnavailable,

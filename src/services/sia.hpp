@@ -46,18 +46,19 @@ Handler make_sia_query_handler(SiaFinder finder);
 using ImageProducer = std::function<Expected<image::FitsFile>(const Url&)>;
 Handler make_image_handler(ImageProducer producer);
 
-/// Client side: metadata query.
-Expected<std::vector<SiaRecord>> sia_query(HttpFabric& fabric,
+/// Client side: metadata query. Accepts any HttpChannel — the raw fabric or
+/// a ResilientClient for retry/breaker/failover tolerance.
+Expected<std::vector<SiaRecord>> sia_query(HttpChannel& channel,
                                            const std::string& base_url,
                                            const sky::Equatorial& pos,
                                            double size_deg);
 
 /// Client side: image fetch (parses the FITS payload).
-Expected<image::FitsFile> fetch_image(HttpFabric& fabric, const std::string& url);
+Expected<image::FitsFile> fetch_image(HttpChannel& channel, const std::string& url);
 
 /// Client side: raw image fetch, when only the bytes are needed (the compute
 /// service caches serialized FITS without decoding).
-Expected<std::vector<std::uint8_t>> fetch_image_bytes(HttpFabric& fabric,
+Expected<std::vector<std::uint8_t>> fetch_image_bytes(HttpChannel& channel,
                                                       const std::string& url);
 
 }  // namespace nvo::services

@@ -1,0 +1,139 @@
+// Chaos-harness tests: the full eight-cluster campaign driven through
+// scripted fault windows. The resilience layer (retry/backoff, circuit
+// breakers, mirror failover, graceful catalog degradation) must keep the
+// science output intact — same galaxies, same clusters showing the
+// density-morphology relation — while the report itemizes what degraded.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "analysis/campaign.hpp"
+#include "services/chaos.hpp"
+#include "services/federation.hpp"
+
+namespace nvo::analysis {
+namespace {
+
+CampaignConfig base_config(double population_scale = 0.1) {
+  CampaignConfig config;
+  config.population_scale = population_scale;
+  config.compute_threads = 2;
+  return config;
+}
+
+std::size_t report_invalid(const CampaignReport& report) {
+  std::size_t invalid = 0;
+  for (const ClusterOutcome& c : report.clusters) invalid += c.invalid;
+  return invalid;
+}
+
+/// Flaky windows on every federated archive host for the whole run.
+services::ChaosSchedule all_archives_flaky(double rate) {
+  services::ChaosSchedule chaos;
+  for (const std::string& host : services::Federation::archive_hosts()) {
+    chaos.flaky(host, rate);
+  }
+  return chaos;
+}
+
+TEST(Chaos, ZeroFaultRunIsUnchangedByTheResilienceLayer) {
+  // With no faults the retry/breaker/mirror machinery must be invisible:
+  // disabling the mirror (removing the failover layer entirely) produces a
+  // bit-identical campaign report.
+  CampaignConfig with_mirror = base_config();
+  CampaignConfig without_mirror = base_config();
+  without_mirror.enable_mirror = false;
+
+  auto a = Campaign(with_mirror).run();
+  auto b = Campaign(without_mirror).run();
+  ASSERT_TRUE(a.ok()) << a.error().to_string();
+  ASSERT_TRUE(b.ok()) << b.error().to_string();
+  EXPECT_EQ(a->to_text(), b->to_text());
+  EXPECT_EQ(a->total_retries, 0u);
+  EXPECT_EQ(a->total_breaker_trips, 0u);
+  EXPECT_EQ(a->total_failovers, 0u);
+  EXPECT_EQ(a->archives_degraded, 0u);
+}
+
+TEST(Chaos, TransientFaultSweepPreservesTheCampaign) {
+  auto baseline = Campaign(base_config()).run();
+  ASSERT_TRUE(baseline.ok());
+
+  for (double rate : {0.05, 0.15, 0.25}) {
+    CampaignConfig config = base_config();
+    config.chaos = all_archives_flaky(rate);
+    auto report = Campaign(config).run();
+    ASSERT_TRUE(report.ok()) << "rate " << rate << ": "
+                             << report.error().to_string();
+    // No silent galaxy loss: every catalog row the fault-free run saw is
+    // still reached, and nearly all of them are measured.
+    EXPECT_EQ(report->total_galaxies, baseline->total_galaxies) << rate;
+    EXPECT_EQ(report->clusters.size(), baseline->clusters.size());
+    EXPECT_GE(report->total_galaxies - report_invalid(*report),
+              static_cast<std::size_t>(0.95 * (baseline->total_galaxies -
+                                               report_invalid(*baseline))))
+        << rate;
+    // The retry layer was actually exercised.
+    EXPECT_GT(report->total_retries, 0u) << rate;
+  }
+}
+
+TEST(Chaos, IdenticallySeededChaosCampaignsAreBitIdentical) {
+  CampaignConfig config = base_config();
+  config.chaos = all_archives_flaky(0.2);
+  config.chaos.outage(services::Federation::kCadcHost, 0.0,
+                      std::numeric_limits<double>::infinity());
+
+  auto a = Campaign(config).run();
+  auto b = Campaign(config).run();
+  ASSERT_TRUE(a.ok()) << a.error().to_string();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->to_text(), b->to_text());
+  EXPECT_GT(a->total_retries, 0u);  // the runs were genuinely chaotic
+}
+
+TEST(Chaos, FullArchiveOutageDegradesGracefully) {
+  // The acceptance scenario: 20% transient failures on every archive plus a
+  // full CADC outage (the CNOC catalog and its SIA service are gone for the
+  // entire run). The campaign must still complete all eight clusters with
+  // the same galaxies and the same clusters showing the relation, and the
+  // report must itemize the degradation.
+  auto baseline = Campaign(base_config(0.15)).run();
+  ASSERT_TRUE(baseline.ok());
+
+  CampaignConfig config = base_config(0.15);
+  config.chaos = all_archives_flaky(0.2);
+  config.chaos.outage(services::Federation::kCadcHost, 0.0,
+                      std::numeric_limits<double>::infinity());
+  auto report = Campaign(config).run();
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+
+  EXPECT_EQ(report->clusters.size(), 8u);
+  EXPECT_EQ(report->total_galaxies, baseline->total_galaxies);
+  // >= 95% of the reachable galaxies measured.
+  const std::size_t valid = report->total_galaxies - report_invalid(*report);
+  const std::size_t baseline_valid =
+      baseline->total_galaxies - report_invalid(*baseline);
+  EXPECT_GE(valid, static_cast<std::size_t>(0.95 * baseline_valid));
+
+  // Same science: the relation appears in exactly the clusters it appeared
+  // in without faults.
+  ASSERT_EQ(report->clusters.size(), baseline->clusters.size());
+  for (std::size_t i = 0; i < report->clusters.size(); ++i) {
+    EXPECT_EQ(report->clusters[i].dressler.relation_detected(),
+              baseline->clusters[i].dressler.relation_detected())
+        << report->clusters[i].name;
+  }
+
+  // The degradation is visible, per archive, in the report.
+  EXPECT_GT(report->archives_degraded, 0u);
+  const std::string text = report->to_text();
+  EXPECT_NE(text.find("degraded archive interactions"), std::string::npos);
+  EXPECT_NE(text.find("CNOC"), std::string::npos);
+  EXPECT_GT(report->total_retries, 0u);
+}
+
+}  // namespace
+}  // namespace nvo::analysis

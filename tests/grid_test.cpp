@@ -10,6 +10,7 @@
 
 #include "grid/dagman.hpp"
 #include "grid/grid.hpp"
+#include "grid/rescue.hpp"
 #include "grid/threadpool.hpp"
 
 namespace nvo::grid {
@@ -250,6 +251,56 @@ TEST(DagManSim, PermanentFailureSkipsDescendants) {
   EXPECT_EQ(report->result_for("j1")->outcome, NodeOutcome::kFailed);
   EXPECT_GT(report->result_for("j1")->attempts, 1);  // it was retried
   EXPECT_EQ(report->result_for("j3")->outcome, NodeOutcome::kSkipped);
+}
+
+TEST(DagManSim, UnifiedRetryBudgetBoundsPermanentFailureCost) {
+  Grid g;
+  (void)g.add_site({"s", 4, 1.0, 10.0, 100.0});
+  JobCostModel cost;
+  cost.compute_reference_seconds = 2.0;
+
+  FailureModel per_node;  // default budget: 2 node-level retries
+  per_node.permanent_failures.insert("j1");
+  auto fat = DagManSim(g, cost, per_node).run(compute_chain(4, "s"));
+  ASSERT_TRUE(fat.ok());
+
+  FailureModel unified = per_node;
+  unified.max_retries = 0;  // budget handed to the per-request HTTP layer
+  auto lean = DagManSim(g, cost, unified).run(compute_chain(4, "s"));
+  ASSERT_TRUE(lean.ok());
+
+  // The permanent failure is detected after a single attempt instead of
+  // burning the whole node-retry budget on a job that can never succeed.
+  EXPECT_EQ(fat->result_for("j1")->attempts, per_node.max_retries + 1);
+  EXPECT_EQ(lean->result_for("j1")->attempts, 1);
+  EXPECT_EQ(lean->retries, 0u);
+  EXPECT_LT(lean->makespan_seconds, fat->makespan_seconds);
+}
+
+TEST(Rescue, PermanentFailureLandsInRescueDagExactlyOnce) {
+  Grid g;
+  (void)g.add_site({"s", 4, 1.0, 10.0, 100.0});
+  FailureModel failure;
+  failure.max_retries = 0;  // unified budget: HTTP layer already retried
+  failure.permanent_failures.insert("j1");
+  DagManSim dagman(g, JobCostModel{}, failure);
+  const vds::Dag dag = compute_chain(4, "s");
+
+  auto first = dagman.run(dag);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first->workflow_succeeded);
+  auto rescue = make_rescue_dag(dag, first.value());
+  ASSERT_TRUE(rescue.ok());
+  EXPECT_TRUE(rescue->has_node("j1"));
+  EXPECT_EQ(rescue->num_nodes(), 3u);  // j1 plus its skipped descendants
+
+  auto outcome = run_with_rescue(dagman, dag, 3);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->fully_succeeded);
+  EXPECT_EQ(outcome->rounds, 3u);
+  // Each rescue round re-attempts the hard failure exactly once; the retry
+  // budget lives in the per-request layer, not in DAGMan reruns.
+  EXPECT_EQ(outcome->final_report.result_for("j1")->attempts, 1);
 }
 
 TEST(DagManSim, DeterministicInSeed) {

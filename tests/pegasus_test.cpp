@@ -454,6 +454,88 @@ TEST(RequestManager, EndToEndMaterializesRequest) {
   EXPECT_EQ(second->execution.jobs_total, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// unified retry budgets (per-request HTTP retries vs DAGMan node retries)
+// ---------------------------------------------------------------------------
+
+TEST(UnifyRetryBudgets, SubtractsInJobRetriesFromNodeBudget) {
+  grid::FailureModel failure;
+  failure.max_retries = 4;
+  EXPECT_EQ(unify_retry_budgets(failure, 2).max_retries, 3);
+  EXPECT_EQ(unify_retry_budgets(failure, 5).max_retries, 0);
+  EXPECT_EQ(unify_retry_budgets(failure, 9).max_retries, 0);  // never negative
+}
+
+TEST(UnifyRetryBudgets, SingleAttemptClientLeavesBudgetUntouched) {
+  grid::FailureModel failure;
+  failure.max_retries = 2;
+  failure.compute_failure_rate = 0.1;
+  failure.permanent_failures.insert("jX");
+  const grid::FailureModel out = unify_retry_budgets(failure, 1);
+  EXPECT_EQ(out.max_retries, 2);
+  EXPECT_DOUBLE_EQ(out.compute_failure_rate, 0.1);
+  EXPECT_EQ(out.permanent_failures.count("jX"), 1u);
+}
+
+TEST(UnifyRetryBudgets, DefaultsHandOffWholeTransientBudget) {
+  // The default RetryPolicy makes four HTTP attempts per request; against
+  // the default FailureModel (two node retries) DAGMan keeps none for
+  // itself and hard failures go straight to the rescue DAG.
+  grid::FailureModel failure;
+  EXPECT_EQ(failure.max_retries, 2);
+  EXPECT_EQ(unify_retry_budgets(failure, 4).max_retries, 0);
+}
+
+TEST(RequestManager, PerRequestAttemptsExhaustPermanentFailureQuickly) {
+  vds::VirtualDataCatalog vdc;
+  vds::Transformation tr;
+  tr.name = "t";
+  tr.args = {{"input", vds::Direction::kIn}, {"output", vds::Direction::kOut}};
+  (void)vdc.define_transformation(tr);
+  auto dv = [&](const char* name, const char* in, const char* out) {
+    vds::Derivation d;
+    d.name = name;
+    d.transformation = "t";
+    d.bindings["input"] = vds::ActualArg{true, in, vds::Direction::kIn};
+    d.bindings["output"] = vds::ActualArg{true, out, vds::Direction::kOut};
+    (void)vdc.define_derivation(d);
+  };
+  dv("d1", "a", "b");
+  dv("d2", "b", "c");
+
+  grid::FailureModel failure;
+  failure.max_retries = 3;
+  failure.permanent_failures.insert("d2");
+
+  // Legacy layering: DAGMan alone owns the budget, so the corrupted product
+  // is recomputed max_retries + 1 times.
+  {
+    PlannerFixture fx;
+    RequestManager manager(vdc, fx.grid, fx.rls, fx.tc, PlannerConfig{},
+                           grid::JobCostModel{}, failure);
+    auto trace = manager.handle({"c"});
+    ASSERT_TRUE(trace.ok()) << trace.error().to_string();
+    EXPECT_FALSE(trace->satisfied);
+    EXPECT_FALSE(trace->execution.workflow_succeeded);
+    EXPECT_EQ(trace->execution.result_for("d2")->attempts, 4);
+  }
+
+  // Unified layering: a four-attempt ResilientClient inside the job leaves
+  // DAGMan zero node retries, so the same failure exhausts after a single
+  // execution attempt — no multiplicative retry blow-up.
+  {
+    PlannerFixture fx;
+    RequestManager manager(vdc, fx.grid, fx.rls, fx.tc, PlannerConfig{},
+                           grid::JobCostModel{}, failure, /*seed=*/99,
+                           /*per_request_attempts=*/4);
+    auto trace = manager.handle({"c"});
+    ASSERT_TRUE(trace.ok()) << trace.error().to_string();
+    EXPECT_FALSE(trace->satisfied);
+    EXPECT_EQ(trace->execution.result_for("d2")->attempts, 1);
+    EXPECT_EQ(trace->execution.retries, 0u);
+  }
+}
+
 TEST(RequestManager, UnknownProductFails) {
   PlannerFixture fx;
   vds::VirtualDataCatalog vdc;

@@ -284,9 +284,10 @@ TEST_F(PortalFixture, RegistryPublication) {
 
 TEST_F(PortalFixture, CutoutArchiveOutageYieldsInvalidRowsNotFailure) {
   // §4.3.1 item 4 at the archive level: the cutout SIA metadata was already
-  // merged into the catalog, then MAST's image endpoint goes down. Every
-  // fetch fails; the request must still complete, with all rows flagged
-  // invalid ("image unavailable"), not error out.
+  // merged into the catalog, then MAST's image endpoint goes down — and so
+  // does its failover mirror (total outage). Every fetch fails; the request
+  // must still complete, with all rows flagged invalid ("image
+  // unavailable"), not error out.
   Portal& portal = campaign_.portal();
   const std::string cluster = campaign_.universe().clusters().front().name();
   auto catalog = portal.build_galaxy_catalog(cluster);
@@ -296,6 +297,9 @@ TEST_F(PortalFixture, CutoutArchiveOutageYieldsInvalidRowsNotFailure) {
 
   ASSERT_TRUE(campaign_.fabric()
                   .set_up(services::Federation::kMastHost, "/cutout/image", false)
+                  .ok());
+  ASSERT_TRUE(campaign_.fabric()
+                  .set_up(services::Federation::kMirrorHost, "/cutout/image", false)
                   .ok());
   MorphologyService& service = campaign_.compute_service();
   auto url = service.gal_morph_compute(with_refs.value(), cluster);

@@ -1,0 +1,374 @@
+// Tests for the per-request resilience layer (retry/backoff, circuit
+// breakers, mirror failover) and the deterministic chaos harness. All
+// timing is the fabric's simulated clock, so every expectation here is
+// exact and reproducible.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "services/chaos.hpp"
+#include "services/http.hpp"
+#include "services/resilience.hpp"
+
+namespace nvo::services {
+namespace {
+
+Handler ok_handler(const std::string& body = "ok") {
+  return [body](const Url&) { return HttpResponse::text(body); };
+}
+
+Handler error_500_handler() {
+  return [](const Url&) {
+    HttpResponse r = HttpResponse::text("boom");
+    r.status = 503;
+    return r;
+  };
+}
+
+Handler not_found_handler() {
+  return [](const Url&) -> Expected<HttpResponse> {
+    return Error(ErrorCode::kNotFound, "no such galaxy");
+  };
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailuresAndCoolsDown) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 3;
+  policy.cooldown_ms = 1000.0;
+  CircuitBreaker breaker(policy);
+
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_failure(0.0);
+  breaker.record_failure(1.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow(2.0));
+  breaker.record_failure(2.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+
+  // Open: requests rejected until the cool-down expires.
+  EXPECT_FALSE(breaker.allow(500.0));
+  EXPECT_TRUE(breaker.allow(1002.0));  // -> half-open probe
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+
+  // Half-open failure re-trips immediately (single strike).
+  breaker.record_failure(1002.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+
+  // Second probe succeeds: breaker closes and the failure count resets.
+  EXPECT_TRUE(breaker.allow(2003.0));
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_failure(2004.0);
+  breaker.record_failure(2005.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);  // threshold is 3 again
+}
+
+TEST(CircuitBreaker, SuccessResetsConsecutiveCount) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 2;
+  CircuitBreaker breaker(policy);
+  breaker.record_failure(0.0);
+  breaker.record_success();
+  breaker.record_failure(1.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_failure(2.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+// ---------------------------------------------------------------------------
+// Retry / backoff
+// ---------------------------------------------------------------------------
+
+TEST(ResilientClient, RetriesThroughTransientFailures) {
+  HttpFabric fabric(11);
+  fabric.route("flaky.sim", "/data", ok_handler(),
+               EndpointModel{10.0, 8.0, 0.6, true});
+
+  RetryPolicy retry;
+  retry.max_attempts = 10;
+  retry.deadline_ms = 0.0;  // no deadline
+  BreakerPolicy breaker;
+  breaker.failure_threshold = 100;  // keep the breaker out of this test
+  ResilientClient client(fabric, retry, breaker);
+
+  for (int i = 0; i < 20; ++i) {
+    auto r = client.get("http://flaky.sim/data");
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_EQ(r->body_text(), "ok");
+  }
+  const EndpointStats* stats = client.stats_for("flaky.sim");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->successes, 20u);
+  EXPECT_GT(stats->retries, 0u);  // 60% failure rate must have forced retries
+  EXPECT_GT(stats->backoff_wait_ms, 0.0);
+}
+
+TEST(ResilientClient, BackoffAdvancesSimulatedClockDeterministically) {
+  const auto run_once = [] {
+    HttpFabric fabric(99);
+    fabric.route("down.sim", "/x", ok_handler(),
+                 EndpointModel{10.0, 8.0, 0.0, false});
+    RetryPolicy retry;
+    retry.max_attempts = 3;
+    retry.base_backoff_ms = 100.0;
+    retry.deadline_ms = 0.0;
+    BreakerPolicy breaker;
+    breaker.failure_threshold = 100;
+    ResilientClient client(fabric, retry, breaker);
+    auto r = client.get("http://down.sim/x");
+    EXPECT_FALSE(r.ok());
+    return fabric.metrics().total_elapsed_ms;
+  };
+  const double first = run_once();
+  const double second = run_once();
+  EXPECT_DOUBLE_EQ(first, second);  // seeded jitter: bit-identical reruns
+  // 3 attempts x 10ms latency + 2 backoffs (~100, ~200 ms with ±12.5% jitter).
+  EXPECT_GT(first, 30.0 + 0.875 * 300.0);
+  EXPECT_LT(first, 30.0 + 1.125 * 300.0);
+}
+
+TEST(ResilientClient, DeadlineBoundsTotalSimulatedTime) {
+  HttpFabric fabric(7);
+  fabric.route("down.sim", "/x", ok_handler(), EndpointModel{50.0, 8.0, 0.0, false});
+  RetryPolicy retry;
+  retry.max_attempts = 100;
+  retry.base_backoff_ms = 200.0;
+  retry.deadline_ms = 1500.0;
+  BreakerPolicy breaker;
+  breaker.failure_threshold = 1000;
+  ResilientClient client(fabric, retry, breaker);
+
+  auto r = client.get("http://down.sim/x");
+  EXPECT_FALSE(r.ok());
+  // The retry loop must give up within (about) the deadline, not run all
+  // 100 attempts: the last backoff is refused when it would pass the limit.
+  EXPECT_LE(fabric.metrics().total_elapsed_ms, 1500.0 + 50.0);
+  const EndpointStats* stats = client.stats_for("down.sim");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_LT(stats->attempts, 100u);
+}
+
+TEST(ResilientClient, NonRetryableErrorReturnsImmediately) {
+  HttpFabric fabric(5);
+  fabric.route("mast.sim", "/cutout", not_found_handler());
+  ResilientClient client(fabric);
+  client.add_mirror("mast.sim", "mirror.sim");  // must NOT be consulted
+  fabric.route("mirror.sim", "/cutout", ok_handler());
+
+  auto r = client.get("http://mast.sim/cutout?POS=1,2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  const EndpointStats* stats = client.stats_for("mast.sim");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->attempts, 1u);  // no retry on a 404-class miss
+  EXPECT_EQ(stats->failovers, 0u);
+  EXPECT_EQ(client.stats_for("mirror.sim"), nullptr);
+}
+
+TEST(ResilientClient, ServerErrorStatusIsRetried) {
+  HttpFabric fabric(5);
+  fabric.route("err.sim", "/x", error_500_handler());
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.base_backoff_ms = 10.0;
+  ResilientClient client(fabric, retry);
+  auto r = client.get("http://err.sim/x");
+  EXPECT_FALSE(r.ok());
+  const EndpointStats* stats = client.stats_for("err.sim");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->attempts, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Breaker integration: short-circuiting and recovery
+// ---------------------------------------------------------------------------
+
+TEST(ResilientClient, BreakerShortCircuitsAndRecovers) {
+  HttpFabric fabric(13);
+  fabric.route("archive.sim", "/sia", ok_handler(),
+               EndpointModel{10.0, 8.0, 0.0, false});
+  RetryPolicy retry;
+  retry.max_attempts = 10;
+  retry.base_backoff_ms = 10.0;
+  retry.deadline_ms = 0.0;
+  BreakerPolicy breaker;
+  breaker.failure_threshold = 3;
+  breaker.cooldown_ms = 5000.0;
+  ResilientClient client(fabric, retry, breaker);
+
+  // First call: 3 failures trip the breaker; the retry loop stops early.
+  auto r1 = client.get("http://archive.sim/sia");
+  EXPECT_FALSE(r1.ok());
+  const EndpointStats* stats = client.stats_for("archive.sim");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->attempts, 3u);
+  EXPECT_EQ(stats->breaker_trips, 1u);
+  EXPECT_EQ(client.breaker_state("archive.sim"), BreakerState::kOpen);
+
+  // While open: requests are rejected without touching the fabric.
+  const std::uint64_t fabric_requests = fabric.metrics().requests;
+  auto r2 = client.get("http://archive.sim/sia");
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(fabric.metrics().requests, fabric_requests);
+  EXPECT_GE(stats->short_circuits, 1u);
+
+  // Archive comes back; after the cool-down the half-open probe succeeds.
+  ASSERT_TRUE(fabric.set_up("archive.sim", "/sia", true).ok());
+  fabric.advance_clock(6000.0);
+  auto r3 = client.get("http://archive.sim/sia");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(client.breaker_state("archive.sim"), BreakerState::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// Mirror failover
+// ---------------------------------------------------------------------------
+
+TEST(ResilientClient, FailsOverToMirrorWhenPrimaryIsDown) {
+  HttpFabric fabric(21);
+  fabric.route("primary.sim", "/dss/image", ok_handler("primary"),
+               EndpointModel{10.0, 8.0, 0.0, false});
+  fabric.route("mirror.sim", "/dss/image", ok_handler("mirror"),
+               EndpointModel{20.0, 8.0, 0.0, true});
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.base_backoff_ms = 10.0;
+  ResilientClient client(fabric, retry);
+  client.add_mirror("primary.sim", "mirror.sim");
+
+  auto r = client.get("http://primary.sim/dss/image?CLUSTER=abell");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r->body_text(), "mirror");
+  const EndpointStats* primary = client.stats_for("primary.sim");
+  ASSERT_NE(primary, nullptr);
+  EXPECT_EQ(primary->failovers, 1u);
+  const EndpointStats* mirror = client.stats_for("mirror.sim");
+  ASSERT_NE(mirror, nullptr);
+  EXPECT_EQ(mirror->successes, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-fault transparency: wrapping a fabric changes nothing
+// ---------------------------------------------------------------------------
+
+TEST(ResilientClient, ZeroFaultRunIsBitIdenticalToRawFabric) {
+  const auto build = [](HttpFabric& fabric) {
+    fabric.route("a.sim", "/x", ok_handler(std::string(5000, 'a')),
+                 EndpointModel{25.0, 4.0, 0.0, true});
+    fabric.route("b.sim", "/y", ok_handler(std::string(900, 'b')),
+                 EndpointModel{60.0, 16.0, 0.0, true});
+  };
+  HttpFabric raw(12345);
+  build(raw);
+  HttpFabric wrapped_fabric(12345);
+  build(wrapped_fabric);
+  ResilientClient client(wrapped_fabric);
+
+  for (int i = 0; i < 10; ++i) {
+    auto a = raw.get("http://a.sim/x");
+    auto b = client.get("http://a.sim/x");
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->body_text(), b->body_text());
+    EXPECT_DOUBLE_EQ(a->elapsed_ms, b->elapsed_ms);
+    auto c = raw.get("http://b.sim/y");
+    auto d = client.get("http://b.sim/y");
+    ASSERT_TRUE(c.ok() && d.ok());
+    EXPECT_DOUBLE_EQ(c->elapsed_ms, d->elapsed_ms);
+  }
+  EXPECT_DOUBLE_EQ(raw.metrics().total_elapsed_ms,
+                   wrapped_fabric.metrics().total_elapsed_ms);
+  EXPECT_EQ(raw.metrics().bytes_transferred,
+            wrapped_fabric.metrics().bytes_transferred);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos schedule: scripted fault windows on the simulated clock
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, OutageWindowAppliesOnlyWithinItsInterval) {
+  HttpFabric fabric(3);
+  fabric.route("cadc.sim", "/cnoc/cone", ok_handler(),
+               EndpointModel{10.0, 8.0, 0.0, true});
+  ChaosSchedule schedule;
+  schedule.outage("cadc.sim", 1000.0, 2000.0);
+  install_chaos(fabric, schedule);
+
+  // Before the window (clock starts at 0): healthy.
+  EXPECT_TRUE(fabric.get("http://cadc.sim/cnoc/cone?RA=1&DEC=2&SR=0.1").ok());
+  // Inside [1000, 2000): hard down.
+  fabric.advance_clock(1500.0 - fabric.now_ms());
+  auto mid = fabric.get("http://cadc.sim/cnoc/cone?RA=1&DEC=2&SR=0.1");
+  ASSERT_FALSE(mid.ok());
+  EXPECT_EQ(mid.error().code, ErrorCode::kServiceUnavailable);
+  EXPECT_EQ(fabric.metrics().hard_down, 1u);
+  // Past the end: healthy again.
+  fabric.advance_clock(2000.0 - fabric.now_ms());
+  EXPECT_TRUE(fabric.get("http://cadc.sim/cnoc/cone?RA=1&DEC=2&SR=0.1").ok());
+}
+
+TEST(Chaos, FlakyWindowRaisesFailureRate) {
+  HttpFabric fabric(17);
+  fabric.route("flaky.sim", "/x", ok_handler(), EndpointModel{5.0, 8.0, 0.0, true});
+  ChaosSchedule schedule;
+  schedule.flaky("flaky.sim", 0.5);
+  install_chaos(fabric, schedule);
+
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!fabric.get("http://flaky.sim/x").ok()) ++failures;
+  }
+  EXPECT_GT(failures, 60);   // ~100 expected at 50%
+  EXPECT_LT(failures, 140);
+  EXPECT_EQ(fabric.metrics().transient_failures, static_cast<std::uint64_t>(failures));
+}
+
+TEST(Chaos, BrownoutSlowsTransfersAndTriggersAttemptTimeout) {
+  HttpFabric fabric(29);
+  // 100 KB body at 8 Mbps ~ 100 ms transfer. Brownout to 1% bandwidth with
+  // +500ms latency pushes an attempt over a 2s client-side budget.
+  fabric.route("slow.sim", "/big", ok_handler(std::string(100000, 'x')),
+               EndpointModel{10.0, 8.0, 0.0, true});
+  ChaosSchedule schedule;
+  schedule.brownout("slow.sim", 0.01, 500.0, 0.0,
+                    std::numeric_limits<double>::infinity());
+  install_chaos(fabric, schedule);
+
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.base_backoff_ms = 10.0;
+  retry.attempt_timeout_ms = 2000.0;
+  retry.deadline_ms = 0.0;
+  ResilientClient client(fabric, retry);
+  auto r = client.get("http://slow.sim/big");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kTimeout);
+  const EndpointStats* stats = client.stats_for("slow.sim");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->attempts, 2u);
+}
+
+TEST(Chaos, PathPrefixScopesAWindow) {
+  HttpFabric fabric(31);
+  fabric.route("mast.sim", "/cutout/image", ok_handler());
+  fabric.route("mast.sim", "/dss/sia", ok_handler());
+  ChaosSchedule schedule;
+  FaultWindow w;
+  w.kind = FaultWindow::Kind::kOutage;
+  w.host = "mast.sim";
+  w.path_prefix = "/cutout";
+  schedule.add(w);
+  install_chaos(fabric, schedule);
+
+  EXPECT_FALSE(fabric.get("http://mast.sim/cutout/image?POS=1,2&SIZE=0.01").ok());
+  EXPECT_TRUE(fabric.get("http://mast.sim/dss/sia?POS=1,2&SIZE=0.2").ok());
+}
+
+}  // namespace
+}  // namespace nvo::services

@@ -112,6 +112,72 @@ TEST(HttpFabric, DownEndpointReturns503Class) {
   EXPECT_FALSE(fabric.set_up("nope.sim", "/x", true).ok());
 }
 
+TEST(HttpFabric, FailureCountersItemizeEveryClass) {
+  HttpFabric fabric(9);
+  EndpointModel always_down;
+  always_down.up = false;
+  fabric.route("down.sim", "/x", [](const Url&) {
+    return HttpResponse::text("never");
+  }, always_down);
+  EndpointModel always_fail;
+  always_fail.failure_rate = 1.0;
+  fabric.route("flaky.sim", "/y", [](const Url&) {
+    return HttpResponse::text("rarely");
+  }, always_fail);
+
+  EXPECT_FALSE(fabric.get("http://down.sim/x").ok());     // hard down
+  EXPECT_FALSE(fabric.get("http://flaky.sim/y").ok());    // sampled 503
+  EXPECT_FALSE(fabric.get("http://nowhere.sim/z").ok());  // unrouted
+
+  // `failures` counts all three; the itemized counters split them.
+  EXPECT_EQ(fabric.metrics().failures, 3u);
+  EXPECT_EQ(fabric.metrics().hard_down, 1u);
+  EXPECT_EQ(fabric.metrics().transient_failures, 1u);
+  EXPECT_EQ(fabric.metrics().unrouted, 1u);
+}
+
+TEST(HttpFabric, PerRouteMetricsBreakdown) {
+  HttpFabric fabric(9);
+  fabric.route("a.sim", "/x", [](const Url&) {
+    return HttpResponse::text("12345");
+  });
+  fabric.route("a.sim", "/y", [](const Url&) {
+    return HttpResponse::text("67");
+  });
+  (void)fabric.get("http://a.sim/x");
+  (void)fabric.get("http://a.sim/x");
+  (void)fabric.get("http://a.sim/y");
+
+  const auto x = fabric.metrics_for("a.sim", "/x");
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(x->requests, 2u);
+  EXPECT_EQ(x->bytes_transferred, 10u);
+  EXPECT_GT(x->total_elapsed_ms, 0.0);
+  const auto y = fabric.metrics_for("a.sim", "/y");
+  ASSERT_TRUE(y.has_value());
+  EXPECT_EQ(y->requests, 1u);
+  EXPECT_EQ(y->bytes_transferred, 2u);
+  // Per-route totals add up to the global ones.
+  EXPECT_EQ(x->requests + y->requests, fabric.metrics().requests);
+  EXPECT_EQ(x->bytes_transferred + y->bytes_transferred,
+            fabric.metrics().bytes_transferred);
+  EXPECT_DOUBLE_EQ(x->total_elapsed_ms + y->total_elapsed_ms,
+                   fabric.metrics().total_elapsed_ms);
+  // Unknown route: no metrics; reset clears per-route state too.
+  EXPECT_FALSE(fabric.metrics_for("a.sim", "/nope").has_value());
+  fabric.reset_metrics();
+  EXPECT_EQ(fabric.metrics_for("a.sim", "/x")->requests, 0u);
+}
+
+TEST(HttpFabric, AdvanceClockMovesSimulatedTimeForward) {
+  HttpFabric fabric(4);
+  EXPECT_DOUBLE_EQ(fabric.now_ms(), 0.0);
+  fabric.advance_clock(250.0);
+  EXPECT_DOUBLE_EQ(fabric.now_ms(), 250.0);
+  fabric.advance_clock(-50.0);  // negative waits are ignored
+  EXPECT_DOUBLE_EQ(fabric.now_ms(), 250.0);
+}
+
 TEST(HttpFabric, TransientFailuresAtConfiguredRate) {
   HttpFabric fabric(12345);
   EndpointModel flaky;

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Runs the chaos-sweep experiment (examples/chaos_sweep) and prints the
+# table that EXPERIMENTS.md "CH — chaos sweep" records: campaign accounting
+# under increasing transient failure rates plus a full CADC outage.
+#
+# Usage: tools/run_chaos_sweep.sh [population_scale]
+#   BUILD_DIR=<dir>  build tree containing examples/chaos_sweep
+#                    (default: <repo>/build)
+set -e
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+BIN="$BUILD/examples/chaos_sweep"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found — build the chaos_sweep target first" >&2
+  echo "  cmake -B build -S . && cmake --build build --target chaos_sweep" >&2
+  exit 1
+fi
+
+"$BIN" "$@"

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Builds the tree with AddressSanitizer + UBSan into build-asan/ and runs the
+# resilience-facing test lane (retry/breaker/failover unit tests, fabric
+# metrics, and the chaos campaign suite) under the instrumented binaries.
+#
+# Usage: tools/run_sanitize_tests.sh [ctest -R regex]
+#   default regex: resilience_test|chaos_test|services_test
+#   BUILD_DIR=<dir>  sanitizer build tree (default: <repo>/build-asan)
+set -e
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build-asan}"
+REGEX="${1:-resilience_test|chaos_test|services_test}"
+
+cmake -B "$BUILD" -S "$ROOT" -DNVO_SANITIZE="address;undefined" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j --target \
+      resilience_test chaos_test services_test
+
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  ctest --test-dir "$BUILD" -R "$REGEX" --output-on-failure
