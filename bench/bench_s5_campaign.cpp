@@ -14,14 +14,87 @@
 // density-morphology relation rediscovered.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 
 #include "analysis/campaign.hpp"
+#include "votable/table.hpp"
+#include "votable/votable_io.hpp"
+
+// ---------------------------------------------------------------------------
+// Heap-allocation counter (same replaceable-operator pattern as the A3
+// bench): the campaign data plane claims allocation-free VOTable codec hot
+// paths, so the serialize/parse benchmarks report exact allocations per
+// iteration.
+// ---------------------------------------------------------------------------
+static std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
 using namespace nvo;
+
+void report_allocs(benchmark::State& state, std::uint64_t before) {
+  const std::uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  state.counters["heap_allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(after - before) /
+      static_cast<double>(state.iterations()));
+}
+
+/// A morphology-catalog-shaped table (the VOTable that rides every compute
+/// round-trip): short string id, positional/photometric doubles, a validity
+/// flag, and a long cutout access URL.
+votable::Table make_codec_table(std::size_t rows) {
+  using votable::DataType;
+  using votable::Field;
+  using votable::Value;
+  votable::Table t({
+      Field{"id", DataType::kString, "", "meta.id", "galaxy id"},
+      Field{"ra", DataType::kDouble, "deg", "pos.eq.ra", ""},
+      Field{"dec", DataType::kDouble, "deg", "pos.eq.dec", ""},
+      Field{"redshift", DataType::kDouble, "", "src.redshift", ""},
+      Field{"concentration", DataType::kDouble, "", "", ""},
+      Field{"asymmetry", DataType::kDouble, "", "", ""},
+      Field{"mean_sb", DataType::kDouble, "mag/arcsec2", "", ""},
+      Field{"valid", DataType::kBool, "", "", ""},
+      Field{"cutout_url", DataType::kString, "", "meta.ref.url", ""},
+  });
+  t.name = "CODEC_BENCH";
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double ra = 200.0 + 0.001 * static_cast<double>(i);
+    const double dec = -5.0 + 0.0007 * static_cast<double>(i);
+    (void)t.append_row({
+        Value::of_string("MS0906_" + std::to_string(i)),
+        Value::of_double(ra),
+        Value::of_double(dec),
+        Value::of_double(0.17),
+        Value::of_double(2.6031 + 0.001 * static_cast<double>(i % 17)),
+        Value::of_double(0.0831 + 0.001 * static_cast<double>(i % 13)),
+        Value::of_double(21.407),
+        Value::of_bool(i % 23 != 0),
+        Value::of_string("http://archive.stsci.sim/cutout/image?POS=" +
+                         std::to_string(ra) + "," + std::to_string(dec) +
+                         "&SIZE=0.017778"),
+    });
+  }
+  return t;
+}
 
 void print_s5() {
   // NVO_S5_SCALE=0.2 gives a quick look; default is the paper's full scale.
@@ -77,6 +150,70 @@ void BM_CampaignScaled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CampaignScaled)->Arg(5)->Arg(15)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignThroughput(benchmark::State& state) {
+  // End-to-end galaxies/second: the headline data-plane number. Arg is the
+  // population scale in percent. items_per_second == galaxies analyzed per
+  // wall-clock second, total_sim_seconds tracks the simulated-WAN makespan.
+  const double scale = static_cast<double>(state.range(0)) / 100.0;
+  std::size_t galaxies = 0;
+  double sim_seconds = 0.0;
+  for (auto _ : state) {
+    analysis::CampaignConfig config;
+    config.population_scale = scale;
+    config.compute_threads = 2;
+    analysis::Campaign campaign(config);
+    auto report = campaign.run();
+    benchmark::DoNotOptimize(report);
+    if (report.ok()) {
+      galaxies += report->total_galaxies;
+      sim_seconds += report->total_sim_seconds;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(galaxies));
+  state.counters["total_sim_seconds"] = benchmark::Counter(
+      sim_seconds / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_CampaignThroughput)->Arg(15)->Unit(benchmark::kMillisecond);
+
+void BM_VotableSerialize(benchmark::State& state) {
+  // Steady-state serialization of a morphology-catalog-shaped table into a
+  // reused buffer (the data plane's hot path): after the first iteration
+  // grows the buffer, heap_allocs_per_iter must be zero.
+  const votable::Table table = make_codec_table(static_cast<std::size_t>(state.range(0)));
+  std::string xml;
+  votable::to_votable_xml(table, xml);  // warm the buffer outside the loop
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    votable::to_votable_xml(table, xml);
+    benchmark::DoNotOptimize(xml.data());
+  }
+  report_allocs(state, before);
+  state.SetBytesProcessed(static_cast<std::int64_t>(xml.size() * state.iterations()));
+}
+BENCHMARK(BM_VotableSerialize)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_VotableParse(benchmark::State& state) {
+  // Steady-state parse back into a reused table: the reader recycles the
+  // table's cell storage when the schema matches, so re-parsing the same
+  // document shape is allocation-free.
+  const votable::Table table = make_codec_table(static_cast<std::size_t>(state.range(0)));
+  const std::string xml = votable::to_votable_xml(table);
+  votable::VotableReader reader;
+  votable::Table parsed;
+  if (auto status = reader.read(xml, parsed); !status.ok()) {
+    state.SkipWithError(status.error().to_string().c_str());
+    return;
+  }
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    (void)reader.read(xml, parsed);
+    benchmark::DoNotOptimize(parsed.num_rows());
+  }
+  report_allocs(state, before);
+  state.SetBytesProcessed(static_cast<std::int64_t>(xml.size() * state.iterations()));
+}
+BENCHMARK(BM_VotableParse)->Arg(512)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -37,6 +37,7 @@ Campaign::Campaign(CampaignConfig config) : config_(config) {
   scfg.planner.site_policy = config_.site_policy;
   scfg.retry = config_.retry;
   scfg.breaker = config_.breaker;
+  scfg.replica_cache = config_.image_cache;
   if (!federation_.mirror_host.empty()) {
     scfg.mirrors[services::Federation::kMastHost] = federation_.mirror_host;
   }
@@ -44,7 +45,8 @@ Campaign::Campaign(CampaignConfig config) : config_(config) {
                                                          *tc_, scfg);
 
   portal::PortalConfig pcfg;
-  pcfg.batched_cutout_query = config_.batched_cutouts;
+  pcfg.cutout_query = config_.batched_cutouts ? portal::CutoutQueryMode::kWideCone
+                                              : config_.cutout_mode;
   pcfg.retry = config_.retry;
   pcfg.breaker = config_.breaker;
   portal_ = std::make_unique<portal::Portal>(*fabric_, federation_, *compute_, pcfg);

@@ -21,6 +21,7 @@
 #include "services/chaos.hpp"
 #include "services/federation.hpp"
 #include "services/http.hpp"
+#include "services/replica_cache.hpp"
 #include "services/resilience.hpp"
 #include "sim/universe.hpp"
 
@@ -28,7 +29,10 @@ namespace nvo::analysis {
 
 struct CampaignConfig {
   std::uint64_t seed = 20031115;
-  bool batched_cutouts = false;   ///< use the batched SIA mode
+  bool batched_cutouts = false;   ///< legacy switch: force the wide-cone SIA mode
+  /// Cutout metadata retrieval mode when batched_cutouts is off (coalesced
+  /// patch batching by default; kPerGalaxy reproduces the paper's loop).
+  portal::CutoutQueryMode cutout_mode = portal::CutoutQueryMode::kCoalesced;
   std::size_t compute_threads = 2;
   double corruption_rate = 0.04;  ///< bad-cutout fraction
   pegasus::SitePolicy site_policy = pegasus::SitePolicy::kRandom;
@@ -39,6 +43,9 @@ struct CampaignConfig {
   services::BreakerPolicy breaker;
   services::ChaosSchedule chaos;  ///< scripted fault windows (empty = none)
   bool enable_mirror = true;      ///< register the DSS/cutout failover mirror
+  /// Compute-service image store (sharded LRU). Tests shrink byte_budget to
+  /// force eviction and verify the science is cache-invariant.
+  services::ReplicaCacheConfig image_cache;
 };
 
 struct ClusterOutcome {

@@ -158,17 +158,20 @@ Expected<std::string> Planner::select_site(const vds::DagNode& node,
 }
 
 Expected<Replica> Planner::select_replica(const std::string& lfn) {
-  const std::vector<Replica> replicas = rls_.lookup(lfn);
-  if (replicas.empty()) {
+  // lookup_into reuses the planner's scratch vector: concretizing a
+  // campaign-sized workflow resolves hundreds of LFNs, and the by-value
+  // lookup() paid a vector + string allocations for each.
+  const std::size_t n = rls_.lookup_into(lfn, replica_scratch_);
+  if (n == 0) {
     return Error(ErrorCode::kNotFound, "no replica of '" + lfn + "'");
   }
   switch (config_.replica_policy) {
     case ReplicaPolicy::kRandom:
-      return replicas[rng_.uniform_index(replicas.size())];
+      return replica_scratch_[rng_.uniform_index(n)];
     case ReplicaPolicy::kFirst:
-      return replicas.front();
+      return replica_scratch_.front();
   }
-  return replicas.front();
+  return replica_scratch_.front();
 }
 
 Expected<PlanResult> Planner::plan(const vds::Dag& abstract) {

@@ -103,6 +103,9 @@ class Planner {
   mutable Rng rng_;
   const grid::Mds* mds_ = nullptr;
   double mds_now_s_ = 0.0;
+  /// Scratch buffer for lookup_into: reused across the many per-LFN replica
+  /// resolutions a single concretization performs.
+  std::vector<Replica> replica_scratch_;
 };
 
 /// Condor-G submit-file generation (Fig. 2 step "Submit File Generator"):

@@ -38,6 +38,24 @@ std::vector<Replica> ReplicaLocationService::lookup(const std::string& lfn) cons
   return it == replicas_.end() ? std::vector<Replica>{} : it->second;
 }
 
+std::size_t ReplicaLocationService::lookup_into(const std::string& lfn,
+                                                std::vector<Replica>& out) const {
+  std::lock_guard lock(mutex_);
+  ++stats_.queries;
+  const auto it = replicas_.find(lfn);
+  const std::size_t n = it == replicas_.end() ? 0 : it->second.size();
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Field-wise copy-assign so surviving elements recycle their string
+    // capacity across calls.
+    const Replica& src = it->second[i];
+    out[i].lfn = src.lfn;
+    out[i].site = src.site;
+    out[i].pfn = src.pfn;
+  }
+  return n;
+}
+
 bool ReplicaLocationService::exists(const std::string& lfn) const {
   std::lock_guard lock(mutex_);
   ++stats_.queries;

@@ -32,6 +32,13 @@ class ReplicaLocationService {
   /// All replicas of a logical file (empty when unknown).
   std::vector<Replica> lookup(const std::string& lfn) const;
 
+  /// Allocation-reusing fast path: clears and refills `out` with the
+  /// replicas of `lfn` under a single lock acquisition and returns the
+  /// count. Callers that resolve many LFNs (the planner's reduction and
+  /// replica-selection stages) keep one scratch vector across calls instead
+  /// of paying a fresh allocation per lookup().
+  std::size_t lookup_into(const std::string& lfn, std::vector<Replica>& out) const;
+
   /// True when at least one replica exists.
   bool exists(const std::string& lfn) const;
 

@@ -32,8 +32,21 @@ MorphologyService::MorphologyService(services::HttpFabric& fabric, grid::Grid& g
       client_(fabric, config_.retry, config_.breaker, "compute"),
       ids_("req"),
       pool_(config_.compute_threads),
+      cache_(config_.replica_cache),
       state_(std::make_shared<State>()) {
   for (const auto& [host, mirror] : config_.mirrors) client_.add_mirror(host, mirror);
+  // Keep the RLS and grid truthful under eviction: a dropped replica must
+  // not be advertised, or Pegasus would prune a stage-in it still needs.
+  cache_.set_eviction_callback([this](const std::string& lfn) {
+    // An LFN staged by the active request stays advertised until that
+    // request's plan is committed (see EvictionDeferral in process()).
+    if (defer_evictions_ && request_lfns_.count(lfn) != 0) {
+      deferred_evictions_.push_back(lfn);
+      return;
+    }
+    (void)rls_.remove(lfn, config_.cache_site);
+    grid_.remove_file(config_.cache_site, lfn);
+  });
   // galMorph is installed at every pool (the paper shipped its executable to
   // all three sites).
   for (const std::string& site : grid_.site_names()) {
@@ -126,14 +139,56 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     return Error(ErrorCode::kInvalidArgument, "input VOTable has no rows");
   }
 
-  // (3) Download images into the local cache; register each in the RLS.
-  // Each fetch goes through the resilient client (retry/backoff, breaker,
-  // mirror failover); the stage's simulated cost is measured as the fabric's
-  // elapsed-time delta so retries and backoff waits are accounted too.
+  // (3) Stage images through the replica cache, pipelined against the
+  // morphology kernels: each fetch stays on this thread (the fabric is
+  // thread-compatible, not thread-safe), but the moment a payload is
+  // resident its kernel task is submitted to the pool, so simulated
+  // transfer time overlaps real compute time instead of serializing with
+  // it. A bounded in-flight count keeps pinned cutout memory proportional
+  // to the prefetch depth, not the cluster size.
   record.messages.push_back(format("staging %zu galaxy images", trace.galaxies));
   const services::EndpointStats staging_before = client_.totals();
+  const auto stage_t0 = std::chrono::steady_clock::now();
+  const auto z_col = input.column_index("redshift");
+  std::vector<core::GalMorphResult> results(trace.galaxies);
   std::vector<std::string> galaxy_ids;
-  galaxy_ids.reserve(trace.galaxies);
+  galaxy_ids.reserve(trace.galaxies);  // exact: element refs stay stable
+
+  // Declared before Drain so it flushes after the pool is idle: deferred
+  // evictions deregister (only if still non-resident) once nothing in this
+  // request can reference the replicas any more, on success and error paths
+  // alike.
+  struct EvictionDeferral {
+    MorphologyService& svc;
+    explicit EvictionDeferral(MorphologyService& s) : svc(s) {
+      svc.defer_evictions_ = true;
+      svc.request_lfns_.clear();
+      svc.deferred_evictions_.clear();
+    }
+    ~EvictionDeferral() {
+      svc.defer_evictions_ = false;
+      for (const std::string& lfn : svc.deferred_evictions_) {
+        if (!svc.cache_.contains(lfn)) {
+          (void)svc.rls_.remove(lfn, svc.config_.cache_site);
+          svc.grid_.remove_file(svc.config_.cache_site, lfn);
+        }
+      }
+      svc.deferred_evictions_.clear();
+      svc.request_lfns_.clear();
+    }
+  } deferral{*this};
+
+  std::mutex inflight_mu;
+  std::condition_variable inflight_cv;
+  std::size_t in_flight = 0;
+  const std::size_t depth = std::max<std::size_t>(1, config_.prefetch_depth);
+  // Any exit path (including mid-staging errors) must drain the pool before
+  // the locals the tasks reference go out of scope.
+  struct Drain {
+    grid::ThreadPool& pool;
+    ~Drain() { pool.wait_idle(); }
+  } drain{pool_};
+
   for (std::size_t i = 0; i < input.num_rows(); ++i) {
     const auto id = input.row(i)[*id_col].as_string();
     const auto url = input.row(i)[*url_col].as_string();
@@ -142,32 +197,62 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     }
     galaxy_ids.push_back(*id);
     const std::string lfn = image_lfn(*id);
-    if (state_->image_cache.count(lfn)) {
+    services::ReplicaCache::Payload payload = cache_.get(lfn);
+    if (payload) {
       ++trace.images_cached;
-      continue;
-    }
-    const double fetch_before_ms = fabric_.metrics().total_elapsed_ms;
-    auto response = client_.get(*url);
-    trace.image_fetch_sim_ms += fabric_.metrics().total_elapsed_ms - fetch_before_ms;
-    if (!response.ok() || response->status != 200) {
-      // An unreachable image is a per-galaxy failure, not a request
-      // failure: cache an empty payload and register it like any other
-      // replica so Pegasus's feasibility check still passes — the kernel
-      // will flag the galaxy invalid (§4.3.1 item 4).
-      const std::string why = response.ok()
-                                  ? format("status %d", response->status)
-                                  : response.error().to_string();
-      log_warn("galmorph-svc", "image fetch failed for " + *id + ": " + why);
-      state_->image_cache[lfn] = {};
-      rls_.add(lfn, config_.cache_site, *url);
-      grid_.put_file(config_.cache_site, lfn, 0);
+      request_lfns_.insert(lfn);  // a hit can still be evicted mid-request
+    } else {
+      const double fetch_before_ms = fabric_.metrics().total_elapsed_ms;
+      auto response = client_.get(*url);
+      trace.image_fetch_sim_ms +=
+          fabric_.metrics().total_elapsed_ms - fetch_before_ms;
+      if (!response.ok() || response->status != 200) {
+        // An unreachable image is a per-galaxy failure, not a request
+        // failure: cache an empty payload and register it like any other
+        // replica so Pegasus's feasibility check still passes — the kernel
+        // will flag the galaxy invalid (§4.3.1 item 4).
+        const std::string why = response.ok()
+                                    ? format("status %d", response->status)
+                                    : response.error().to_string();
+        log_warn("galmorph-svc", "image fetch failed for " + *id + ": " + why);
+        payload = cache_.put(lfn, {});
+      } else {
+        payload = cache_.put(lfn, std::move(response->body));
+      }
       ++trace.images_fetched;
-      continue;
+      rls_.add(lfn, config_.cache_site, *url);
+      grid_.put_file(config_.cache_site, lfn, payload->size());
+      request_lfns_.insert(lfn);
     }
-    ++trace.images_fetched;
-    state_->image_cache[lfn] = std::move(response->body);
-    rls_.add(lfn, config_.cache_site, *url);
-    grid_.put_file(config_.cache_site, lfn, state_->image_cache[lfn].size());
+
+    {
+      std::unique_lock lock(inflight_mu);
+      inflight_cv.wait(lock, [&] { return in_flight < depth; });
+      ++in_flight;
+    }
+    // The shared_ptr pins the bytes for the kernel even if the cache evicts
+    // the entry mid-request.
+    pool_.submit([this, i, payload = std::move(payload), z_col, &galaxy_ids,
+                  &results, &input, &inflight_mu, &inflight_cv, &in_flight] {
+      core::GalMorphArgs args = config_.default_args;
+      if (z_col) {
+        const auto z = input.row(i)[*z_col].as_number();
+        if (z) args.redshift = *z;
+      }
+      if (!payload || payload->empty()) {
+        results[i].galaxy_id = galaxy_ids[i];
+        results[i].redshift = args.redshift;
+        results[i].params.valid = false;
+        results[i].params.failure_reason = "image unavailable";
+      } else {
+        results[i] = core::run_gal_morph_bytes(galaxy_ids[i], *payload, args);
+      }
+      {
+        std::lock_guard lock(inflight_mu);
+        --in_flight;
+      }
+      inflight_cv.notify_one();
+    });
   }
   const services::EndpointStats staging_after = client_.totals();
   trace.staging_retries = staging_after.retries - staging_before.retries;
@@ -235,33 +320,12 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   provenance_.record_execution(trace.plan.concrete, succeeded,
                                trace.execution.makespan_seconds);
 
-  // (4e) Real morphology computation on the cached images, on the
-  // service-lifetime pool. parallel_for chunks the galaxy list into batches
-  // (a few per worker), so each persistent worker streams a batch of
-  // cutouts through its thread-local kernel workspace.
-  t0 = std::chrono::steady_clock::now();
-  std::vector<core::GalMorphResult> results(galaxy_ids.size());
-  {
-    const auto z_col = input.column_index("redshift");
-    grid::parallel_for(pool_, galaxy_ids.size(), [&](std::size_t i) {
-      core::GalMorphArgs args = config_.default_args;
-      if (z_col) {
-        const auto z = input.row(i)[*z_col].as_number();
-        if (z) args.redshift = *z;
-      }
-      const std::string lfn = image_lfn(galaxy_ids[i]);
-      const auto it = state_->image_cache.find(lfn);
-      if (it == state_->image_cache.end() || it->second.empty()) {
-        results[i].galaxy_id = galaxy_ids[i];
-        results[i].redshift = args.redshift;
-        results[i].params.valid = false;
-        results[i].params.failure_reason = "image unavailable";
-        return;
-      }
-      results[i] = core::run_gal_morph_bytes(galaxy_ids[i], it->second, args);
-    });
-  }
-  trace.kernel_wall_ms = wall_ms_since(t0);
+  // (4e) Barrier for the pipelined kernels submitted during staging: the
+  // planning/execution simulation above ran concurrently with the tail of
+  // the real computation. kernel_wall_ms covers the full overlapped
+  // stage-and-compute window.
+  pool_.wait_idle();
+  trace.kernel_wall_ms = wall_ms_since(stage_t0);
 
   // Grid-level failures (when injected) override kernel success: a job that
   // never ran produces no product.

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/expected.hpp"
@@ -34,6 +35,7 @@
 #include "pegasus/rls.hpp"
 #include "pegasus/tc.hpp"
 #include "services/http.hpp"
+#include "services/replica_cache.hpp"
 #include "services/resilience.hpp"
 #include "vds/chimera.hpp"
 #include "vds/provenance.hpp"
@@ -54,6 +56,13 @@ struct ComputeServiceConfig {
   services::BreakerPolicy breaker;
   /// Failover mirrors for staging fetches (archive host -> mirror host).
   std::map<std::string, std::string> mirrors;
+  /// Byte-budgeted LRU replica store backing the image cache. Evicted LFNs
+  /// are deregistered from the RLS/grid so plans never rely on them.
+  services::ReplicaCacheConfig replica_cache;
+  /// Bound on staged-but-uncomputed images in flight: the staging loop
+  /// blocks once this many kernel tasks are pending, keeping pinned cutout
+  /// memory proportional to the bound rather than the cluster size.
+  std::size_t prefetch_depth = 32;
 };
 
 /// Everything measured about one request (drives the Fig. 6 benchmark).
@@ -71,7 +80,10 @@ struct ServiceTrace {
   double vdl_bytes = 0.0;
   double compose_wall_ms = 0.0;
   double plan_wall_ms = 0.0;
-  double kernel_wall_ms = 0.0;     ///< real morphology computation
+  /// Real morphology computation. With pipelined staging the kernels run
+  /// concurrently with image fetches, so this measures the full overlapped
+  /// stage-and-compute window (fetch start to last kernel done).
+  double kernel_wall_ms = 0.0;
   pegasus::PlanResult plan;
   grid::RunReport execution;       ///< simulated DAGMan run
   std::size_t valid_results = 0;
@@ -123,6 +135,9 @@ class MorphologyService {
   /// The service's resilient HTTP client (staging + poll tolerance state).
   const services::ResilientClient& client() const { return client_; }
 
+  /// The sharded LRU replica store (hit/miss/eviction/bytes metrics).
+  const services::ReplicaCache& replica_cache() const { return cache_; }
+
  private:
   struct RequestRecord {
     std::string id;
@@ -149,12 +164,23 @@ class MorphologyService {
   // (and with them the kernel's thread-local workspaces), instead of being
   // spawned and joined inside every request.
   grid::ThreadPool pool_;
+  // Sharded byte-budgeted LRU image store replacing the old unbounded map.
+  // Entries are registered in the RLS/grid on insert and deregistered on
+  // eviction, so Pegasus reduction sees exactly what is resident.
+  services::ReplicaCache cache_;
+  // Evictions of LFNs staged by the active request are deferred until the
+  // request's plan is committed: the RLS must keep advertising a replica
+  // the in-flight workflow references, or a starved budget would fail the
+  // feasibility check instead of merely running cache-cold. Flushed (for
+  // entries still non-resident) when the request completes.
+  bool defer_evictions_ = false;
+  std::unordered_set<std::string> request_lfns_;
+  std::vector<std::string> deferred_evictions_;
 
   // Shared with fabric handler closures.
   struct State {
     std::map<std::string, RequestRecord> requests;          // id -> record
     std::map<std::string, std::string> results;             // lfn -> VOTable XML
-    std::map<std::string, std::vector<std::uint8_t>> image_cache;  // lfn -> FITS
     std::vector<std::string> order;                         // request ids, oldest first
   };
   std::shared_ptr<State> state_;

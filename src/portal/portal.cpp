@@ -1,12 +1,15 @@
 #include "portal/portal.hpp"
 
 #include <chrono>
+#include <cmath>
+#include <map>
 #include <utility>
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "services/cone_search.hpp"
 #include "services/sia.hpp"
+#include "sky/spatial_index.hpp"
 #include "votable/table_ops.hpp"
 
 namespace nvo::portal {
@@ -227,7 +230,41 @@ Expected<votable::Table> Portal::attach_cutout_refs(votable::Table catalog,
   catalog.add_column({"cutout_url", votable::DataType::kString, "", "meta.ref.url",
                       "galaxy cutout access reference"});
 
-  if (config_.batched_cutout_query) {
+  // Matches one batch of records against catalog rows by position: for each
+  // row, the nearest record strictly inside the 2 arcsec tolerance wins
+  // (first record on exact ties, like the original linear scan). An index
+  // over record centers makes this O((m + n) log m) instead of O(n·m).
+  const auto match_records =
+      [&](const std::vector<services::SiaRecord>& records,
+          const std::vector<std::size_t>& row_ids) {
+        std::vector<sky::Equatorial> centers;
+        centers.reserve(records.size());
+        for (const auto& r : records) centers.push_back(r.center);
+        const sky::SpatialIndex record_index(std::move(centers), 720);
+        constexpr double kTolDeg = 2.0 / 3600.0;  // 2 arcsec match tolerance
+        for (const std::size_t i : row_ids) {
+          const auto ra = catalog.row(i)[*ra_col].as_number();
+          const auto dec = catalog.row(i)[*dec_col].as_number();
+          if (!ra || !dec) continue;
+          const sky::Equatorial pos{*ra, *dec};
+          const services::SiaRecord* best = nullptr;
+          double best_sep = kTolDeg;
+          for (const std::size_t id : record_index.query_cone(pos, kTolDeg)) {
+            const double sep = sky::angular_separation_deg(records[id].center, pos);
+            if (sep < best_sep) {
+              best_sep = sep;
+              best = &records[id];
+            }
+          }
+          if (best) {
+            catalog.set_cell(i, "cutout_url",
+                             votable::Value::of_string(best->access_url));
+            ++refs_attached;
+          }
+        }
+      };
+
+  if (config_.cutout_query == CutoutQueryMode::kWideCone) {
     // The batched mode the paper wanted: one wide cone returns every
     // member's cutout reference; match records to rows by position.
     auto records = services::sia_query(client_, federation_.cutout_sia,
@@ -242,24 +279,46 @@ Expected<votable::Table> Portal::attach_cutout_refs(votable::Table catalog,
       return records.error();
     }
     ++queries;
+    std::vector<std::size_t> all_rows(catalog.num_rows());
+    for (std::size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+    match_records(records.value(), all_rows);
+  } else if (config_.cutout_query == CutoutQueryMode::kCoalesced) {
+    // Spatial-patch batching: rows bucketed on a fixed angular grid; one
+    // SIA range query per occupied patch covers every member, so the
+    // round-trip count follows the sky area, not the galaxy count, while
+    // each response stays patch-sized. A failed patch query loses only
+    // that patch's cutout references.
+    const double patch = std::max(config_.cutout_patch_deg, 1e-6);
+    std::map<std::pair<long, long>, std::vector<std::size_t>> patches;
     for (std::size_t i = 0; i < catalog.num_rows(); ++i) {
       const auto ra = catalog.row(i)[*ra_col].as_number();
       const auto dec = catalog.row(i)[*dec_col].as_number();
       if (!ra || !dec) continue;
-      const sky::Equatorial pos{*ra, *dec};
-      const services::SiaRecord* best = nullptr;
-      double best_sep = 2.0 / 3600.0;  // 2 arcsec match tolerance
-      for (const auto& r : records.value()) {
-        const double sep = sky::angular_separation_deg(r.center, pos);
-        if (sep < best_sep) {
-          best_sep = sep;
-          best = &r;
-        }
+      patches[{static_cast<long>(std::floor(*ra / patch)),
+               static_cast<long>(std::floor(*dec / patch))}]
+          .push_back(i);
+    }
+    for (const auto& [cell, row_ids] : patches) {
+      // Patch center = member centroid; the query radius covers the
+      // farthest member plus a cutout-size margin.
+      double sum_ra = 0.0, sum_dec = 0.0;
+      for (const std::size_t i : row_ids) {
+        sum_ra += *catalog.row(i)[*ra_col].as_number();
+        sum_dec += *catalog.row(i)[*dec_col].as_number();
       }
-      if (best) {
-        catalog.set_cell(i, "cutout_url", votable::Value::of_string(best->access_url));
-        ++refs_attached;
+      const sky::Equatorial center{sum_ra / row_ids.size(),
+                                   sum_dec / row_ids.size()};
+      double max_sep = 0.0;
+      for (const std::size_t i : row_ids) {
+        const sky::Equatorial pos{*catalog.row(i)[*ra_col].as_number(),
+                                  *catalog.row(i)[*dec_col].as_number()};
+        max_sep = std::max(max_sep, sky::angular_separation_deg(center, pos));
       }
+      auto records = services::sia_query(client_, federation_.cutout_sia, center,
+                                         2.0 * max_sep + config_.cutout_size_deg);
+      ++queries;
+      if (!records.ok() || records->empty()) continue;
+      match_records(records.value(), row_ids);
     }
   } else {
     // The paper's actual behaviour: "an image query ... for each galaxy

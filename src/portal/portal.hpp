@@ -33,8 +33,17 @@ struct ClusterEntry {
   double search_radius_deg = 0.2;
 };
 
+/// How the portal retrieves cutout access references (the application
+/// bottleneck of §4.2). kPerGalaxy is the paper's actual loop — one SIA
+/// cone per galaxy. kWideCone is the single cluster-wide query it wished
+/// for. kCoalesced groups nearby galaxies into spatial patches and issues
+/// one query per patch: round-trips amortize like the wide cone while each
+/// response stays proportional to the patch, not the cluster.
+enum class CutoutQueryMode { kPerGalaxy, kCoalesced, kWideCone };
+
 struct PortalConfig {
-  bool batched_cutout_query = false;  ///< one wide SIA cone vs per-galaxy loop
+  CutoutQueryMode cutout_query = CutoutQueryMode::kCoalesced;
+  double cutout_patch_deg = 0.1;      ///< kCoalesced patch cell size
   double cutout_size_deg = 64.0 / 3600.0;
   int poll_limit = 64;                ///< max status polls before giving up
   services::RetryPolicy retry;        ///< per-request tolerance for all queries
@@ -120,7 +129,7 @@ class Portal {
                                                 PortalTrace* trace = nullptr);
 
   /// Stage: merge cutout access references into the catalog (adds the
-  /// `cutout_url` column). Honors config.batched_cutout_query.
+  /// `cutout_url` column). Honors config.cutout_query.
   Expected<votable::Table> attach_cutout_refs(votable::Table catalog,
                                               const std::string& cluster_name,
                                               PortalTrace* trace = nullptr);

@@ -1,18 +1,39 @@
 #include "services/cone_search.hpp"
 
+#include <memory>
+#include <optional>
+#include <vector>
+
 #include "common/strings.hpp"
+#include "sky/spatial_index.hpp"
 #include "votable/table_ops.hpp"
 #include "votable/votable_io.hpp"
 
 namespace nvo::services {
 
+namespace {
+
+/// Parses the protocol's RA/DEC/SR query triple; nullopt -> caller answers
+/// with the 400 convention.
+struct ConeParams {
+  sky::Equatorial center;
+  double radius_deg;
+};
+std::optional<ConeParams> parse_cone_params(const Url& url) {
+  const auto ra = url.param_double("RA");
+  const auto dec = url.param_double("DEC");
+  const auto sr = url.param_double("SR");
+  if (!ra || !dec || !sr || *sr < 0.0) return std::nullopt;
+  return ConeParams{sky::Equatorial{*ra, *dec}, *sr};
+}
+
+}  // namespace
+
 Handler make_cone_search_handler(std::function<votable::Table()> catalog_supplier) {
   return [supplier = std::move(catalog_supplier)](const Url& url)
              -> Expected<HttpResponse> {
-    const auto ra = url.param_double("RA");
-    const auto dec = url.param_double("DEC");
-    const auto sr = url.param_double("SR");
-    if (!ra || !dec || !sr || *sr < 0.0) {
+    const auto params = parse_cone_params(url);
+    if (!params) {
       HttpResponse bad = HttpResponse::text("missing or invalid RA/DEC/SR");
       bad.status = 400;
       return bad;
@@ -25,13 +46,64 @@ Handler make_cone_search_handler(std::function<votable::Table()> catalog_supplie
       bad.status = 500;
       return bad;
     }
-    const sky::Equatorial center{*ra, *dec};
+    const sky::Equatorial center = params->center;
+    const double sr = params->radius_deg;
     const votable::Table hits = votable::select(catalog, [&](const votable::Row& row) {
       const auto r = row[*ra_col].as_number();
       const auto d = row[*dec_col].as_number();
       if (!r || !d) return false;
-      return sky::within_cone(center, *sr, sky::Equatorial{*r, *d});
+      return sky::within_cone(center, sr, sky::Equatorial{*r, *d});
     });
+    return HttpResponse::text(votable::to_votable_xml(hits), "text/xml;content=x-votable");
+  };
+}
+
+Handler make_indexed_cone_search_handler(
+    std::shared_ptr<const votable::Table> catalog) {
+  // Rows with a null/unparseable position are excluded from the index, just
+  // as the linear predicate rejects them; `row_of` maps index ids (assigned
+  // in row order, returned ascending by query_cone) back to catalog rows,
+  // so hit order equals the linear scan's row order.
+  struct Indexed {
+    std::shared_ptr<const votable::Table> catalog;
+    std::vector<std::size_t> row_of;
+    std::unique_ptr<sky::SpatialIndex> index;  // null when ra/dec are missing
+  };
+  auto ix = std::make_shared<Indexed>();
+  ix->catalog = std::move(catalog);
+  const auto ra_col = ix->catalog->column_index("ra");
+  const auto dec_col = ix->catalog->column_index("dec");
+  if (ra_col && dec_col) {
+    std::vector<sky::Equatorial> positions;
+    positions.reserve(ix->catalog->num_rows());
+    for (std::size_t r = 0; r < ix->catalog->num_rows(); ++r) {
+      const auto ra = ix->catalog->row(r)[*ra_col].as_number();
+      const auto dec = ix->catalog->row(r)[*dec_col].as_number();
+      if (!ra || !dec) continue;
+      ix->row_of.push_back(r);
+      positions.push_back(sky::Equatorial{*ra, *dec});
+    }
+    ix->index = std::make_unique<sky::SpatialIndex>(std::move(positions), 720);
+  }
+  return [ix](const Url& url) -> Expected<HttpResponse> {
+    const auto params = parse_cone_params(url);
+    if (!params) {
+      HttpResponse bad = HttpResponse::text("missing or invalid RA/DEC/SR");
+      bad.status = 400;
+      return bad;
+    }
+    if (!ix->index) {
+      HttpResponse bad = HttpResponse::text("catalog lacks ra/dec columns");
+      bad.status = 500;
+      return bad;
+    }
+    votable::Table hits(ix->catalog->fields());
+    hits.name = ix->catalog->name;
+    hits.description = ix->catalog->description;
+    for (const std::size_t id :
+         ix->index->query_cone(params->center, params->radius_deg)) {
+      (void)hits.append_row(ix->catalog->row(ix->row_of[id]));
+    }
     return HttpResponse::text(votable::to_votable_xml(hits), "text/xml;content=x-votable");
   };
 }

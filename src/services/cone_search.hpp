@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "common/expected.hpp"
 #include "services/http.hpp"
@@ -19,6 +20,15 @@ namespace nvo::services {
 /// DEC, or SR parameters produce a 400 response, per the protocol's error
 /// convention.
 Handler make_cone_search_handler(std::function<votable::Table()> catalog_supplier);
+
+/// Server side, indexed: takes the catalog built ONCE up front and answers
+/// every request from a declination-band spatial index instead of
+/// re-materializing the table and scanning it linearly per query. The index
+/// verifies candidates with the same `<= radius` separation predicate as
+/// `within_cone` and returns hits in ascending row order, so responses are
+/// byte-identical to the linear handler's.
+Handler make_indexed_cone_search_handler(
+    std::shared_ptr<const votable::Table> catalog);
 
 /// Client side: issues the GET and parses the VOTable response. Accepts any
 /// HttpChannel — the raw fabric or a ResilientClient for retry/breaker

@@ -15,25 +15,22 @@ namespace nvo::services {
 
 namespace {
 
-/// All-cluster concatenation of a per-cluster catalog; Cone Search filters
-/// it positionally.
-votable::Table combined_catalog(
+/// All-cluster concatenation of a per-cluster catalog, built ONCE at
+/// federation registration and shared (immutably) by the cone handlers —
+/// the old per-request supplier re-derived and re-stacked every cluster's
+/// table on every query.
+std::shared_ptr<const votable::Table> combined_catalog(
     const sim::Universe& universe,
     votable::Table (sim::Universe::*catalog)(const sim::Cluster&) const) {
-  votable::Table out;
-  bool first = true;
+  std::vector<votable::Table> parts;
+  parts.reserve(universe.clusters().size());
   for (const sim::Cluster& c : universe.clusters()) {
-    votable::Table t = (universe.*catalog)(c);
-    if (first) {
-      out = std::move(t);
-      first = false;
-    } else {
-      auto stacked = votable::vstack(out, t);
-      if (stacked.ok()) out = std::move(stacked.value());
-    }
+    parts.push_back((universe.*catalog)(c));
   }
+  auto stacked = votable::vstack_all(std::move(parts));
+  votable::Table out = stacked.ok() ? std::move(stacked.value()) : votable::Table();
   out.name = "ALL_CLUSTERS";
-  return out;
+  return std::make_shared<const votable::Table>(std::move(out));
 }
 
 /// All-sky index over every galaxy of the universe: the id returned by a
@@ -160,9 +157,8 @@ Federation register_federation(HttpFabric& fabric, const sim::Universe& universe
   {
     const std::string host = Federation::kIpacHost;
     fabric.route(host, "/ned/cone",
-                 make_cone_search_handler([u]() {
-                   return combined_catalog(*u, &sim::Universe::ned_catalog);
-                 }),
+                 make_indexed_cone_search_handler(
+                     combined_catalog(universe, &sim::Universe::ned_catalog)),
                  EndpointModel{90.0, 8.0, 0.0, true});
     fed.ned_cone = "http://" + host + "/ned/cone";
   }
@@ -185,9 +181,8 @@ Federation register_federation(HttpFabric& fabric, const sim::Universe& universe
                  }),
                  EndpointModel{110.0, 5.0, 0.0, true});
     fabric.route(host, "/cnoc/cone",
-                 make_cone_search_handler([u]() {
-                   return combined_catalog(*u, &sim::Universe::cnoc_catalog);
-                 }),
+                 make_indexed_cone_search_handler(
+                     combined_catalog(universe, &sim::Universe::cnoc_catalog)),
                  EndpointModel{110.0, 5.0, 0.0, true});
     fed.cnoc_sia = "http://" + host + "/cnoc/sia";
     fed.cnoc_cone = "http://" + host + "/cnoc/cone";

@@ -1,0 +1,114 @@
+#include "services/replica_cache.hpp"
+
+#include <algorithm>
+
+namespace nvo::services {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+ReplicaCache::ReplicaCache(ReplicaCacheConfig config) : config_(config) {
+  const std::size_t n = round_up_pow2(config_.shards == 0 ? 1 : config_.shards);
+  config_.shards = n;
+  // At least one byte per shard, or small budgets would round to 0 and be
+  // mistaken for "unbounded".
+  shard_budget_ =
+      config_.byte_budget == 0
+          ? 0
+          : std::max<std::size_t>(std::size_t{1}, config_.byte_budget / n);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+ReplicaCache::Shard& ReplicaCache::shard_for(const std::string& lfn) {
+  return *shards_[std::hash<std::string>{}(lfn) & (shards_.size() - 1)];
+}
+
+const ReplicaCache::Shard& ReplicaCache::shard_for(const std::string& lfn) const {
+  return *shards_[std::hash<std::string>{}(lfn) & (shards_.size() - 1)];
+}
+
+ReplicaCache::Payload ReplicaCache::get(const std::string& lfn) {
+  Shard& s = shard_for(lfn);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(lfn);
+  if (it == s.map.end()) {
+    ++s.misses;
+    return nullptr;
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);  // refresh to MRU
+  return it->second.payload;
+}
+
+ReplicaCache::Payload ReplicaCache::put(const std::string& lfn,
+                                        std::vector<std::uint8_t> bytes) {
+  auto payload =
+      std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+  std::vector<std::string> evicted;
+  Shard& s = shard_for(lfn);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.map.find(lfn);
+    if (it != s.map.end()) {
+      s.bytes -= it->second.payload->size();
+      s.bytes += payload->size();
+      it->second.payload = payload;
+      s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
+      ++s.insertions;  // every put counts, replacements included
+    } else {
+      s.lru.push_front(lfn);
+      s.map.emplace(lfn, Shard::Entry{payload, s.lru.begin()});
+      s.bytes += payload->size();
+      ++s.insertions;
+    }
+    // Evict from the cold end until this shard fits its budget slice. The
+    // just-inserted entry is exempt so an oversized payload still caches
+    // (and simply owns the whole shard).
+    while (shard_budget_ != 0 && s.bytes > shard_budget_ && s.lru.size() > 1) {
+      const std::string& victim = s.lru.back();
+      if (victim == lfn) break;
+      const auto vit = s.map.find(victim);
+      s.bytes -= vit->second.payload->size();
+      evicted.push_back(victim);
+      s.map.erase(vit);
+      s.lru.pop_back();
+      ++s.evictions;
+    }
+  }
+  if (on_evict_) {
+    for (const std::string& victim : evicted) on_evict_(victim);
+  }
+  return payload;
+}
+
+bool ReplicaCache::contains(const std::string& lfn) const {
+  const Shard& s = shard_for(lfn);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.map.count(lfn) != 0;
+}
+
+void ReplicaCache::set_eviction_callback(EvictionCallback cb) {
+  on_evict_ = std::move(cb);
+}
+
+ReplicaCache::Stats ReplicaCache::stats() const {
+  Stats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+    out.bytes += shard->bytes;
+    out.entries += shard->map.size();
+  }
+  return out;
+}
+
+}  // namespace nvo::services

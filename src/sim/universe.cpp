@@ -3,8 +3,52 @@
 #include <cmath>
 
 #include "common/strings.hpp"
+#include "sim/render_cache.hpp"
 
 namespace nvo::sim {
+
+namespace {
+
+/// Feeds every field that can influence a rendered frame into the key hash.
+/// A new GalaxyTruth or RenderOptions field MUST be added here, or stale
+/// cache hits could serve frames rendered under the old definition.
+void hash_galaxy(ContentHash& h, const GalaxyTruth& g) {
+  h.text(g.id);
+  h.f64(g.position.ra_deg);
+  h.f64(g.position.dec_deg);
+  h.f64(g.redshift);
+  h.f64(g.mag);
+  h.i32(static_cast<std::int32_t>(g.type));
+  h.f64(g.total_flux);
+  h.f64(g.r_e_pix);
+  h.f64(g.sersic_n);
+  h.f64(g.axis_ratio);
+  h.f64(g.position_angle_rad);
+  h.f64(g.arm_amplitude);
+  h.f64(g.arm_pitch_rad);
+  h.f64(g.clumpiness);
+  h.u64(g.seed);
+  h.f64(g.radius_arcmin);
+}
+
+void hash_render_options(ContentHash& h, const RenderOptions& opts) {
+  h.f64(opts.pixel_scale_arcsec);
+  h.f64(opts.sky_level);
+  h.f64(opts.read_noise);
+  h.i32(opts.poisson_noise ? 1 : 0);
+  h.f64(opts.psf_fwhm_pix);
+  h.i32(opts.supersample);
+}
+
+void hash_cluster_population(ContentHash& h, const Cluster& cluster) {
+  h.text(cluster.name());
+  h.f64(cluster.center().ra_deg);
+  h.f64(cluster.center().dec_deg);
+  h.u64(cluster.galaxies.size());
+  for (const GalaxyTruth& g : cluster.galaxies) hash_galaxy(h, g);
+}
+
+}  // namespace
 
 Universe Universe::make_paper_campaign(std::uint64_t seed, double population_scale) {
   UniverseConfig config;
@@ -59,6 +103,19 @@ const Cluster* Universe::find_cluster(const std::string& name) const {
 
 image::FitsFile Universe::optical_field(const Cluster& cluster, int size,
                                         double pixel_scale_arcsec) const {
+  ContentHash key;
+  key.text("optical_field");
+  key.i32(size);
+  key.f64(pixel_scale_arcsec);
+  hash_render_options(key, config_.render);
+  hash_cluster_population(key, cluster);
+  return RenderCache::instance().get_or_render(key.value(), [&] {
+    return render_optical_field(cluster, size, pixel_scale_arcsec);
+  });
+}
+
+image::FitsFile Universe::render_optical_field(const Cluster& cluster, int size,
+                                               double pixel_scale_arcsec) const {
   image::FitsFile out;
   out.data = image::Image(size, size, 0.0f);
   const image::Wcs wcs = image::Wcs::centered(
@@ -108,6 +165,25 @@ bool Universe::cutout_is_corrupted(const GalaxyTruth& galaxy) const {
 
 image::FitsFile Universe::galaxy_cutout(const Cluster& cluster,
                                         const GalaxyTruth& galaxy, int size) const {
+  // The frame depends on the target, every potential neighbor, the render
+  // options, and the corruption draw (galaxy.seed ^ config_.seed) — hash
+  // them all so only a truly identical synthesis can hit.
+  ContentHash key;
+  key.text("galaxy_cutout");
+  key.i32(size);
+  key.u64(config_.seed);
+  key.f64(config_.corruption_rate);
+  hash_render_options(key, config_.render);
+  hash_galaxy(key, galaxy);
+  hash_cluster_population(key, cluster);
+  return RenderCache::instance().get_or_render(key.value(), [&] {
+    return render_galaxy_cutout(cluster, galaxy, size);
+  });
+}
+
+image::FitsFile Universe::render_galaxy_cutout(const Cluster& cluster,
+                                               const GalaxyTruth& galaxy,
+                                               int size) const {
   image::FitsFile out;
   out.data = image::Image(size, size, 0.0f);
   const double c = (size - 1) / 2.0;

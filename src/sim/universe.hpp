@@ -46,7 +46,9 @@ class Universe {
   const Cluster* find_cluster(const std::string& name) const;
 
   /// Large-scale optical field: all members composited, noised, with a TAN
-  /// WCS centered on the cluster. (The DSS image of Fig. 5/7.)
+  /// WCS centered on the cluster. (The DSS image of Fig. 5/7.) Served from
+  /// the process-wide RenderCache; synthesis is a pure function of the
+  /// cluster truth, so cached frames are bit-identical to fresh renders.
   image::FitsFile optical_field(const Cluster& cluster, int size = 512,
                                 double pixel_scale_arcsec = 2.0) const;
 
@@ -57,7 +59,10 @@ class Universe {
   /// Per-galaxy cutout at the survey pixel scale, centered on the galaxy,
   /// including light from near neighbors (real cutouts are contaminated),
   /// noise, and — for a deterministic corruption_rate subset — a saturated
-  /// defect band that makes morphology computation fail.
+  /// defect band that makes morphology computation fail. Served from the
+  /// process-wide RenderCache (see render_cache.hpp): all RNG streams are
+  /// seeded from the truth records, never from request order, so a cache
+  /// hit is bit-identical to a fresh render.
   image::FitsFile galaxy_cutout(const Cluster& cluster, const GalaxyTruth& galaxy,
                                 int size = 64) const;
 
@@ -76,6 +81,12 @@ class Universe {
   votable::Table truth_catalog(const Cluster& cluster) const;
 
  private:
+  // Uncached synthesis bodies behind the RenderCache front doors.
+  image::FitsFile render_optical_field(const Cluster& cluster, int size,
+                                       double pixel_scale_arcsec) const;
+  image::FitsFile render_galaxy_cutout(const Cluster& cluster,
+                                       const GalaxyTruth& galaxy, int size) const;
+
   UniverseConfig config_;
   std::vector<Cluster> clusters_;
 };

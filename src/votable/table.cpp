@@ -1,6 +1,8 @@
 #include "votable/table.hpp"
 
+#include <charconv>
 #include <cmath>
+#include <cstdio>
 
 #include "common/strings.hpp"
 
@@ -54,6 +56,11 @@ std::optional<bool> Value::as_bool() const {
   return std::nullopt;
 }
 
+const std::string* Value::string_ref() const {
+  if (!payload_) return nullptr;
+  return std::get_if<std::string>(&*payload_);
+}
+
 std::optional<double> Value::as_number() const {
   if (!payload_) return std::nullopt;
   if (const double* v = std::get_if<double>(&*payload_)) return *v;
@@ -64,40 +71,112 @@ std::optional<double> Value::as_number() const {
 }
 
 std::string Value::to_text() const {
-  if (!payload_) return "";
+  std::string out;
+  append_text_to(out);
+  return out;
+}
+
+void Value::append_text_to(std::string& out) const {
+  if (!payload_) return;
   if (const double* v = std::get_if<double>(&*payload_)) {
-    if (std::isnan(*v)) return "";
-    return format("%.10g", *v);
+    if (std::isnan(*v)) return;
+    char buf[32];
+    const int n = std::snprintf(buf, sizeof(buf), "%.10g", *v);
+    if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+    return;
   }
   if (const long long* v = std::get_if<long long>(&*payload_)) {
-    return format("%lld", *v);
+    char buf[24];
+    const int n = std::snprintf(buf, sizeof(buf), "%lld", *v);
+    if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+    return;
   }
-  if (const std::string* v = std::get_if<std::string>(&*payload_)) return *v;
-  if (const bool* v = std::get_if<bool>(&*payload_)) return *v ? "true" : "false";
-  return "";
+  if (const std::string* v = std::get_if<std::string>(&*payload_)) {
+    out.append(*v);
+    return;
+  }
+  if (const bool* v = std::get_if<bool>(&*payload_)) {
+    out.append(*v ? "true" : "false");
+  }
 }
 
 Expected<Value> Value::parse(const std::string& text, DataType type) {
+  Value v;
+  const Status s = v.assign_parse(text, type);
+  if (!s.ok()) return s.error();
+  return v;
+}
+
+namespace {
+
+/// Case-insensitive match against a lowercase literal, without allocating.
+bool iequals_lower(std::string_view s, std::string_view lower_literal) {
+  if (s.size() != lower_literal.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (c != lower_literal[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status Value::assign_parse(std::string_view text, DataType type) {
   const std::string_view t = trim(text);
-  if (t.empty()) return Value();  // null
+  if (t.empty()) {
+    payload_.reset();
+    return Status::Ok();
+  }
   switch (type) {
     case DataType::kDouble: {
-      const auto v = parse_double(t);
-      if (!v) return Error(ErrorCode::kParseError, "bad double: '" + text + "'");
-      return Value::of_double(*v);
+      double v = 0.0;
+      const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+      if (ec != std::errc() || ptr != t.data() + t.size()) {
+        // from_chars rejects forms strtod accepts (leading '+', "INF" case
+        // variants); fall back for those rather than losing them.
+        const auto slow = parse_double(t);
+        if (!slow) {
+          return Error(ErrorCode::kParseError, "bad double: '" + std::string(t) + "'");
+        }
+        v = *slow;
+      }
+      payload_ = Payload(v);
+      return Status::Ok();
     }
     case DataType::kLong: {
-      const auto v = parse_int(t);
-      if (!v) return Error(ErrorCode::kParseError, "bad long: '" + text + "'");
-      return Value::of_long(*v);
+      long long v = 0;
+      const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+      if (ec != std::errc() || ptr != t.data() + t.size()) {
+        const auto slow = parse_int(t);
+        if (!slow) {
+          return Error(ErrorCode::kParseError, "bad long: '" + std::string(t) + "'");
+        }
+        v = *slow;
+      }
+      payload_ = Payload(v);
+      return Status::Ok();
     }
-    case DataType::kString:
-      return Value::of_string(std::string(t));
+    case DataType::kString: {
+      if (payload_.has_value()) {
+        if (std::string* s = std::get_if<std::string>(&*payload_)) {
+          s->assign(t.data(), t.size());  // reuse capacity
+          return Status::Ok();
+        }
+      }
+      payload_.emplace(std::in_place_type<std::string>, t.data(), t.size());
+      return Status::Ok();
+    }
     case DataType::kBool: {
-      const std::string lower = to_lower(t);
-      if (lower == "true" || lower == "t" || lower == "1") return Value::of_bool(true);
-      if (lower == "false" || lower == "f" || lower == "0") return Value::of_bool(false);
-      return Error(ErrorCode::kParseError, "bad boolean: '" + text + "'");
+      if (iequals_lower(t, "true") || iequals_lower(t, "t") || t == "1") {
+        payload_ = Payload(true);
+        return Status::Ok();
+      }
+      if (iequals_lower(t, "false") || iequals_lower(t, "f") || t == "0") {
+        payload_ = Payload(false);
+        return Status::Ok();
+      }
+      return Error(ErrorCode::kParseError, "bad boolean: '" + std::string(t) + "'");
     }
   }
   return Error(ErrorCode::kParseError, "unknown datatype");
@@ -127,6 +206,12 @@ Status Table::append_row(Row row) {
   }
   rows_.push_back(std::move(row));
   return Status::Ok();
+}
+
+void Table::resize_rows(std::size_t n) {
+  const std::size_t old = rows_.size();
+  rows_.resize(n);
+  for (std::size_t i = old; i < rows_.size(); ++i) rows_[i].resize(fields_.size());
 }
 
 const Value& Table::cell(std::size_t row_index, const std::string& column) const {

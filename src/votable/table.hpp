@@ -48,14 +48,27 @@ class Value {
   std::optional<std::string> as_string() const;
   std::optional<bool> as_bool() const;
 
+  /// Borrowed view of a string payload; nullptr for null or non-string.
+  /// Lets hot paths read string cells without copying.
+  const std::string* string_ref() const;
+
   /// Numeric read with coercion: longs convert to double.
   std::optional<double> as_number() const;
 
   /// Canonical text rendering used for TD cells and join keys.
   std::string to_text() const;
 
+  /// Appends the canonical text rendering to `out` without allocating
+  /// (doubles/longs format into a stack buffer). to_text() delegates here.
+  void append_text_to(std::string& out) const;
+
   /// Parses text into a value of the given type; empty text -> null.
   static Expected<Value> parse(const std::string& text, DataType type);
+
+  /// In-place parse that reuses this cell's existing storage: when the cell
+  /// already holds a string, its capacity is recycled, so steady-state
+  /// re-parsing of same-shaped tables performs zero heap allocations.
+  Status assign_parse(std::string_view text, DataType type);
 
   bool operator==(const Value& other) const;
 
@@ -87,6 +100,11 @@ class Table {
 
   /// Appends a row; fails if the arity is wrong.
   Status append_row(Row row);
+
+  /// Resizes to exactly `n` rows. New rows are null-filled at the correct
+  /// arity; surviving rows keep their cell storage, which lets parsers
+  /// recycle allocations when refilling a table of the same shape.
+  void resize_rows(std::size_t n);
 
   const Row& row(std::size_t i) const { return rows_[i]; }
   Row& row(std::size_t i) { return rows_[i]; }

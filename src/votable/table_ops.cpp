@@ -14,6 +14,25 @@ namespace {
 /// catalogs actually exhibited.
 std::string key_text(const Value& v) { return v.to_text(); }
 
+/// Fills `keys` with canonical key texts and reports whether every key is
+/// non-null and strictly increasing. When both operands of a join satisfy
+/// this (the common case for catalogs keyed on generator-ordered galaxy
+/// ids), a single forward merge reproduces the hash join's output — keys
+/// are unique, so each left row has at most one match and output order is
+/// left order either way — without materializing the index.
+bool strictly_increasing_keys(const Table& t, std::size_t key_col,
+                              std::vector<std::string>& keys) {
+  keys.clear();
+  keys.reserve(t.num_rows());
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    const Value& v = t.row(r)[key_col];
+    if (v.is_null()) return false;
+    keys.push_back(key_text(v));
+    if (r > 0 && !(keys[r - 1] < keys[r])) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Expected<Table> join(const Table& left, const Table& right,
@@ -39,6 +58,27 @@ Expected<Table> join(const Table& left, const Table& right,
   Table out(std::move(fields));
   out.name = left.name;
   out.description = "join(" + left.name + ", " + right.name + ") on " + left_key;
+
+  // Merge fast path: both key columns pre-sorted (strictly increasing) —
+  // one synchronized forward pass, no hash table.
+  std::vector<std::string> lkeys, rkeys;
+  if (strictly_increasing_keys(left, *lk, lkeys) &&
+      strictly_increasing_keys(right, *rk, rkeys)) {
+    std::size_t ri = 0;
+    for (std::size_t lr = 0; lr < left.num_rows(); ++lr) {
+      while (ri < right.num_rows() && rkeys[ri] < lkeys[lr]) ++ri;
+      if (ri < right.num_rows() && rkeys[ri] == lkeys[lr]) {
+        Row row = left.row(lr);
+        for (std::size_t c : right_cols) row.push_back(right.row(ri)[c]);
+        (void)out.append_row(std::move(row));
+      } else if (kind == JoinKind::kLeft) {
+        Row row = left.row(lr);
+        row.resize(row.size() + right_cols.size());  // null-filled right side
+        (void)out.append_row(std::move(row));
+      }
+    }
+    return out;
+  }
 
   // Build hash index over the right table.
   std::unordered_multimap<std::string, std::size_t> index;
@@ -95,6 +135,44 @@ Expected<Table> vstack(const Table& top, const Table& bottom) {
     row.reserve(mapping.size());
     for (std::size_t c : mapping) row.push_back(r[c]);
     (void)out.append_row(std::move(row));
+  }
+  return out;
+}
+
+Expected<Table> vstack_all(std::vector<Table> parts) {
+  if (parts.empty()) return Table();
+  Table out(parts.front().fields());
+  out.name = parts.front().name;
+  out.description = parts.front().description;
+  for (Table& t : parts) {
+    // Map this part's columns onto the output schema by name (same rules as
+    // vstack), then move its rows across.
+    std::vector<std::size_t> mapping(out.num_columns());
+    bool identity = true;
+    for (std::size_t c = 0; c < out.num_columns(); ++c) {
+      const Field& f = out.fields()[c];
+      const auto idx = t.column_index(f.name);
+      if (!idx) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "vstack: table lacks column '" + f.name + "'");
+      }
+      if (t.fields()[*idx].datatype != f.datatype) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "vstack: datatype mismatch on column '" + f.name + "'");
+      }
+      mapping[c] = *idx;
+      identity = identity && *idx == c;
+    }
+    for (std::size_t r = 0; r < t.num_rows(); ++r) {
+      if (identity) {
+        (void)out.append_row(std::move(t.row(r)));
+      } else {
+        Row row;
+        row.reserve(mapping.size());
+        for (std::size_t c : mapping) row.push_back(std::move(t.row(r)[c]));
+        (void)out.append_row(std::move(row));
+      }
+    }
   }
   return out;
 }

@@ -31,6 +31,12 @@ Expected<Table> join(const Table& left, const Table& right,
 /// is the "final concatenation of results" the web service performs.
 Expected<Table> vstack(const Table& top, const Table& bottom);
 
+/// One-pass concatenation of many tables under vstack's schema rules, with
+/// the first table supplying the output schema/name/description. Rows are
+/// moved out of `parts`, so with k tables of n rows each this is O(k·n)
+/// where a pairwise vstack fold re-copies the accumulator k times.
+Expected<Table> vstack_all(std::vector<Table> parts);
+
 /// Rows satisfying the predicate.
 Table select(const Table& table, const std::function<bool(const Row&)>& predicate);
 

@@ -1,5 +1,6 @@
 #include "votable/votable_io.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 
@@ -39,7 +40,95 @@ std::unique_ptr<XmlNode> to_votable_tree(const Table& table) {
 }
 
 std::string to_votable_xml(const Table& table) {
-  return xml_serialize(*to_votable_tree(table));
+  std::string out;
+  to_votable_xml(table, out);
+  return out;
+}
+
+void to_votable_xml(const Table& table, std::string& out) {
+  out.clear();
+  // Reserve ahead: fixed scaffolding + per-field metadata + per-cell markup.
+  // String cells can exceed the per-cell guess; amortized growth covers the
+  // tail, and a reused buffer stabilizes after the first call.
+  std::size_t estimate = 192;
+  for (const Field& f : table.fields()) {
+    estimate += 64 + f.name.size() + f.unit.size() + f.ucd.size() +
+                2 * f.description.size();
+  }
+  estimate += table.num_rows() * (30 + table.num_columns() * 44);
+  if (out.capacity() < estimate) out.reserve(estimate);
+
+  out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<VOTABLE version=\"1.1\">\n  <RESOURCE>\n    <TABLE";
+  if (!table.name.empty()) {
+    out += " name=\"";
+    xml_escape_append(table.name, out);
+    out += '"';
+  }
+  out += ">\n";
+  if (!table.description.empty()) {
+    out += "      <DESCRIPTION>";
+    xml_escape_append(table.description, out);
+    out += "</DESCRIPTION>\n";
+  }
+  for (const Field& f : table.fields()) {
+    out += "      <FIELD name=\"";
+    xml_escape_append(f.name, out);
+    out += "\" datatype=\"";
+    out += to_votable_datatype(f.datatype);
+    out += '"';
+    if (f.datatype == DataType::kString) out += " arraysize=\"*\"";
+    if (!f.unit.empty()) {
+      out += " unit=\"";
+      xml_escape_append(f.unit, out);
+      out += '"';
+    }
+    if (!f.ucd.empty()) {
+      out += " ucd=\"";
+      xml_escape_append(f.ucd, out);
+      out += '"';
+    }
+    if (f.description.empty()) {
+      out += "/>\n";
+    } else {
+      out += ">\n        <DESCRIPTION>";
+      xml_escape_append(f.description, out);
+      out += "</DESCRIPTION>\n      </FIELD>\n";
+    }
+  }
+  out += "      <DATA>\n";
+  if (table.num_rows() == 0) {
+    out += "        <TABLEDATA/>\n";
+  } else {
+    out += "        <TABLEDATA>\n";
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      const Row& row = table.row(r);
+      if (row.empty()) {
+        out += "          <TR/>\n";
+        continue;
+      }
+      out += "          <TR>\n";
+      for (const Value& cell : row) {
+        out += "            <TD>";
+        const std::size_t text_start = out.size();
+        if (const std::string* s = cell.string_ref()) {
+          xml_escape_append(*s, out);
+        } else {
+          cell.append_text_to(out);  // numeric/bool text never needs escaping
+        }
+        if (out.size() == text_start) {
+          // Empty text (null cell, NaN, empty string): the tree serializer
+          // self-closes these.
+          out.resize(text_start - 4);
+          out += "<TD/>\n";
+        } else {
+          out += "</TD>\n";
+        }
+      }
+      out += "          </TR>\n";
+    }
+    out += "        </TABLEDATA>\n";
+  }
+  out += "      </DATA>\n    </TABLE>\n  </RESOURCE>\n</VOTABLE>\n";
 }
 
 Expected<Table> from_votable_tree(const XmlNode& root) {
@@ -95,10 +184,322 @@ Expected<Table> from_votable_tree(const XmlNode& root) {
   return out;
 }
 
-Expected<Table> from_votable_xml(const std::string& xml_text) {
+// ---------------------------------------------------------------------------
+// Single-pass parser. Scans the canonical layout produced by
+// to_votable_xml directly into a Table, recycling the destination's field,
+// row, and cell storage. Anything structurally unexpected falls back to the
+// tree parser, which accepts the full dialect.
+// ---------------------------------------------------------------------------
+
+void VotableReader::skip_ws() {
+  while (pos_ < s_.size() &&
+         std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+    ++pos_;
+  }
+}
+
+bool VotableReader::match(std::string_view token) {
+  if (s_.compare(pos_, token.size(), token) == 0) {
+    pos_ += token.size();
+    return true;
+  }
+  return false;
+}
+
+/// Parses one `key="value"` attribute. Returns 1 on success, 0 when the
+/// element ends with '>', 2 when it self-closes with '/>', -1 on anything
+/// unexpected. `raw_value` is the escaped text between the quotes.
+int VotableReader::parse_attr(std::string_view& key, std::string_view& raw_value) {
+  skip_ws();
+  if (match("/>")) return 2;
+  if (match(">")) return 0;
+  const std::size_t key_start = pos_;
+  while (pos_ < s_.size()) {
+    const char c = s_[pos_];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+        c == ':' || c == '.') {
+      ++pos_;
+    } else {
+      break;
+    }
+  }
+  if (pos_ == key_start) return -1;
+  key = s_.substr(key_start, pos_ - key_start);
+  skip_ws();
+  if (!match("=")) return -1;
+  skip_ws();
+  if (pos_ >= s_.size() || s_[pos_] != '"') return -1;  // canonical uses "
+  ++pos_;
+  const std::size_t end = s_.find('"', pos_);
+  if (end == std::string_view::npos) return -1;
+  raw_value = s_.substr(pos_, end - pos_);
+  pos_ = end + 1;
+  return 1;
+}
+
+/// Reads character data up to the next '<'; false when the document ends.
+bool VotableReader::read_text_until_lt(std::string_view& raw) {
+  const std::size_t lt = s_.find('<', pos_);
+  if (lt == std::string_view::npos) return false;
+  raw = s_.substr(pos_, lt - pos_);
+  pos_ = lt;
+  return true;
+}
+
+/// Returns `raw` with entities resolved, using the reusable scratch buffer
+/// only when an entity is actually present.
+std::string_view VotableReader::unescaped(std::string_view raw) {
+  if (raw.find('&') == std::string_view::npos) return raw;
+  scratch_.clear();
+  xml_unescape_append(raw, scratch_);
+  return scratch_;
+}
+
+void VotableReader::assign_unescaped(std::string_view raw, std::string& target) {
+  if (raw.find('&') == std::string_view::npos) {
+    target.assign(raw.data(), raw.size());
+    return;
+  }
+  target.clear();
+  xml_unescape_append(raw, target);
+}
+
+VotableReader::FastResult VotableReader::try_fast(Table& out) {
+  pos_ = 0;
+  skip_ws();
+  if (match("<?xml")) {
+    const std::size_t end = s_.find("?>", pos_);
+    if (end == std::string_view::npos) return FastResult::kFallback;
+    pos_ = end + 2;
+  }
+  skip_ws();
+  if (!match("<VOTABLE")) return FastResult::kFallback;
+  {
+    std::string_view k, v;
+    int r;
+    while ((r = parse_attr(k, v)) == 1) {
+    }
+    if (r != 0) return FastResult::kFallback;  // a childless VOTABLE is odd
+  }
+  skip_ws();
+  if (!match("<RESOURCE>")) return FastResult::kFallback;
+  skip_ws();
+  if (!match("<TABLE")) return FastResult::kFallback;
+
+  // TABLE attributes: only `name` in the canonical layout.
+  std::string_view table_name_raw;
+  bool has_name = false;
+  {
+    std::string_view k, v;
+    int r;
+    while ((r = parse_attr(k, v)) == 1) {
+      if (k == "name") {
+        table_name_raw = v;
+        has_name = true;
+      } else {
+        return FastResult::kFallback;
+      }
+    }
+    if (r != 0) return FastResult::kFallback;
+  }
+
+  // Header: optional DESCRIPTION, then FIELDs, until DATA or </TABLE>.
+  fields_.clear();  // keeps capacity; Field strings below reuse theirs
+  std::size_t nfields = 0;
+  std::string_view table_desc_raw;
+  bool has_desc = false;
+  bool rows_present = false;
+  for (;;) {
+    skip_ws();
+    if (match("</TABLE>")) break;
+    if (match("<DESCRIPTION>")) {
+      if (has_desc || nfields > 0) return FastResult::kFallback;
+      if (!read_text_until_lt(table_desc_raw)) return FastResult::kFallback;
+      if (!match("</DESCRIPTION>")) return FastResult::kFallback;
+      has_desc = true;
+      continue;
+    }
+    if (match("<FIELD")) {
+      if (nfields == fields_.size()) fields_.emplace_back();
+      Field& f = fields_[nfields];
+      f.name.clear();
+      f.unit.clear();
+      f.ucd.clear();
+      f.description.clear();
+      f.datatype = DataType::kString;
+      std::string_view k, v;
+      int r;
+      while ((r = parse_attr(k, v)) == 1) {
+        if (k == "name") {
+          assign_unescaped(v, f.name);
+        } else if (k == "datatype") {
+          const auto dt = datatype_from_votable(std::string(unescaped(v)));
+          if (!dt) {
+            error_ = Error(ErrorCode::kParseError,
+                           "unsupported FIELD datatype '" + std::string(v) + "'");
+            return FastResult::kError;
+          }
+          f.datatype = *dt;
+        } else if (k == "arraysize") {
+          // accepted and ignored, as in the tree parser
+        } else if (k == "unit") {
+          assign_unescaped(v, f.unit);
+        } else if (k == "ucd") {
+          assign_unescaped(v, f.ucd);
+        } else {
+          return FastResult::kFallback;
+        }
+      }
+      if (r == 1 || r == -1) return FastResult::kFallback;
+      if (r == 0) {
+        // Non-self-closing FIELD: canonical layout nests one DESCRIPTION.
+        skip_ws();
+        if (!match("<DESCRIPTION>")) return FastResult::kFallback;
+        std::string_view raw;
+        if (!read_text_until_lt(raw)) return FastResult::kFallback;
+        if (!match("</DESCRIPTION>")) return FastResult::kFallback;
+        assign_unescaped(raw, f.description);
+        skip_ws();
+        if (!match("</FIELD>")) return FastResult::kFallback;
+      }
+      ++nfields;
+      continue;
+    }
+    if (match("<DATA>")) {
+      rows_present = true;
+      break;
+    }
+    return FastResult::kFallback;
+  }
+  fields_.resize(nfields);
+
+  // Adopt the schema: recycle the destination's storage when it matches.
+  bool same_schema = out.fields().size() == fields_.size();
+  for (std::size_t i = 0; same_schema && i < fields_.size(); ++i) {
+    const Field& a = out.fields()[i];
+    const Field& b = fields_[i];
+    same_schema = a.name == b.name && a.datatype == b.datatype &&
+                  a.unit == b.unit && a.ucd == b.ucd &&
+                  a.description == b.description;
+  }
+  if (!same_schema) out = Table(fields_);
+  if (has_name) {
+    assign_unescaped(table_name_raw, out.name);
+  } else {
+    out.name.clear();
+  }
+  if (has_desc) {
+    assign_unescaped(table_desc_raw, out.description);
+  } else {
+    out.description.clear();
+  }
+
+  if (!rows_present) {
+    // Header-only table (</TABLE> already consumed).
+    out.resize_rows(0);
+    skip_ws();
+    if (!match("</RESOURCE>")) return FastResult::kFallback;
+    skip_ws();
+    if (!match("</VOTABLE>")) return FastResult::kFallback;
+    skip_ws();
+    return pos_ == s_.size() ? FastResult::kOk : FastResult::kFallback;
+  }
+  return parse_rows(out);
+}
+
+VotableReader::FastResult VotableReader::parse_rows(Table& out) {
+  skip_ws();
+  std::size_t r = 0;
+  if (match("<TABLEDATA/>")) {
+    // empty table
+  } else {
+    if (!match("<TABLEDATA>")) return FastResult::kFallback;
+    const std::size_t columns = out.num_columns();
+    for (;;) {
+      skip_ws();
+      if (match("</TABLEDATA>")) break;
+      bool empty_row = false;
+      if (match("<TR/>")) {
+        empty_row = true;
+      } else if (!match("<TR>")) {
+        return FastResult::kFallback;
+      }
+      if (r >= out.num_rows()) out.resize_rows(r + 1);
+      Row& row = out.row(r);
+      std::size_t c = 0;
+      if (!empty_row) {
+        for (;;) {
+          skip_ws();
+          if (match("</TR>")) break;
+          bool null_cell = false;
+          std::string_view raw;
+          if (match("<TD/>")) {
+            null_cell = true;
+          } else if (match("<TD>")) {
+            if (!read_text_until_lt(raw)) return FastResult::kFallback;
+            if (!match("</TD>")) return FastResult::kFallback;
+          } else {
+            return FastResult::kFallback;
+          }
+          if (c >= columns) {
+            error_ = Error(ErrorCode::kParseError,
+                           format("TR has more than %zu TDs", columns));
+            return FastResult::kError;
+          }
+          if (null_cell) {
+            row[c] = Value();
+          } else {
+            const Status s =
+                row[c].assign_parse(unescaped(raw), out.fields()[c].datatype);
+            if (!s.ok()) {
+              error_ = s.error();
+              return FastResult::kError;
+            }
+          }
+          ++c;
+        }
+      }
+      if (c != columns) {
+        error_ = Error(ErrorCode::kParseError,
+                       format("TR has %zu TDs, expected %zu", c, columns));
+        return FastResult::kError;
+      }
+      ++r;
+    }
+  }
+  out.resize_rows(r);
+  skip_ws();
+  if (!match("</DATA>")) return FastResult::kFallback;
+  skip_ws();
+  if (!match("</TABLE>")) return FastResult::kFallback;
+  skip_ws();
+  if (!match("</RESOURCE>")) return FastResult::kFallback;
+  skip_ws();
+  if (!match("</VOTABLE>")) return FastResult::kFallback;
+  skip_ws();
+  return pos_ == s_.size() ? FastResult::kOk : FastResult::kFallback;
+}
+
+Status VotableReader::read(const std::string& xml_text, Table& out) {
+  s_ = xml_text;
+  const FastResult r = try_fast(out);
+  s_ = {};
+  if (r == FastResult::kOk) return Status::Ok();
+  if (r == FastResult::kError) return error_;
   auto doc = xml_parse(xml_text);
   if (!doc.ok()) return doc.error();
-  return from_votable_tree(*doc.value());
+  auto table = from_votable_tree(*doc.value());
+  if (!table.ok()) return table.error();
+  out = std::move(table.value());
+  return Status::Ok();
+}
+
+Expected<Table> from_votable_xml(const std::string& xml_text) {
+  Table out;
+  VotableReader reader;
+  const Status s = reader.read(xml_text, out);
+  if (!s.ok()) return s.error();
+  return out;
 }
 
 Status write_votable_file(const std::string& path, const Table& table) {

@@ -26,6 +26,11 @@ namespace nvo::votable {
 /// Serializes a Table to VOTable XML text.
 std::string to_votable_xml(const Table& table);
 
+/// Single-pass, reserve-ahead serializer into a caller-owned buffer
+/// (cleared first). Output is byte-identical to the tree-based path; a
+/// reused buffer makes steady-state serialization allocation-free.
+void to_votable_xml(const Table& table, std::string& out);
+
 /// Builds the XML document tree without flattening to text (useful for the
 /// portal transforms, which walk the tree).
 std::unique_ptr<XmlNode> to_votable_tree(const Table& table);
@@ -35,6 +40,34 @@ Expected<Table> from_votable_xml(const std::string& xml_text);
 
 /// Parses from an already-built document tree.
 Expected<Table> from_votable_tree(const XmlNode& root);
+
+/// Reusable single-pass VOTable parser. `read` refills `out` in place: when
+/// the document's schema matches the table's current fields, row and cell
+/// storage is recycled, so re-parsing same-shaped documents performs zero
+/// heap allocations. Documents that deviate from the canonical layout our
+/// serializer emits (comments, CDATA, foreign elements) fall back to the
+/// tree parser transparently.
+class VotableReader {
+ public:
+  Status read(const std::string& xml_text, Table& out);
+
+ private:
+  enum class FastResult { kOk, kFallback, kError };
+  FastResult try_fast(Table& out);
+  FastResult parse_rows(Table& out);
+  bool match(std::string_view token);
+  void skip_ws();
+  int parse_attr(std::string_view& key, std::string_view& raw_value);
+  bool read_text_until_lt(std::string_view& raw);
+  std::string_view unescaped(std::string_view raw);
+  static void assign_unescaped(std::string_view raw, std::string& target);
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  Error error_{ErrorCode::kParseError, ""};
+  std::string scratch_;          ///< entity-unescape buffer, capacity reused
+  std::vector<Field> fields_;    ///< parsed schema, storage reused
+};
 
 /// File-system convenience wrappers.
 Status write_votable_file(const std::string& path, const Table& table);

@@ -47,6 +47,11 @@ XmlNode& XmlNode::append_child(std::string child_name) {
 std::string xml_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
+  xml_escape_append(s, out);
+  return out;
+}
+
+void xml_escape_append(std::string_view s, std::string& out) {
   for (char c : s) {
     switch (c) {
       case '&':
@@ -68,14 +73,9 @@ std::string xml_escape(const std::string& s) {
         out += c;
     }
   }
-  return out;
 }
 
-namespace {
-
-std::string xml_unescape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
+void xml_unescape_append(std::string_view s, std::string& out) {
   for (std::size_t i = 0; i < s.size(); ++i) {
     if (s[i] != '&') {
       out += s[i];
@@ -115,6 +115,14 @@ std::string xml_unescape(std::string_view s) {
     }
     i = semi;
   }
+}
+
+namespace {
+
+std::string xml_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  xml_unescape_append(s, out);
   return out;
 }
 

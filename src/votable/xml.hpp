@@ -40,6 +40,11 @@ struct XmlNode {
 /// Escapes &<>"' for attribute/text contexts.
 std::string xml_escape(const std::string& s);
 
+/// Append-style escape/unescape used by the single-pass VOTable codec; they
+/// avoid temporary strings so hot paths can reuse one output buffer.
+void xml_escape_append(std::string_view s, std::string& out);
+void xml_unescape_append(std::string_view s, std::string& out);
+
 /// Serializes with 2-space indentation and an XML declaration.
 std::string xml_serialize(const XmlNode& root);
 

@@ -87,21 +87,31 @@ TEST(Integration, RepeatClusterUsesResultCache) {
 
 TEST(Integration, BatchedCutoutModeProducesSameScience) {
   CampaignConfig per_galaxy = small_config();
+  per_galaxy.cutout_mode = portal::CutoutQueryMode::kPerGalaxy;
+  CampaignConfig coalesced = small_config();  // kCoalesced is the default
   CampaignConfig batched = small_config();
   batched.batched_cutouts = true;
   Campaign a(per_galaxy);
+  Campaign c(coalesced);
   Campaign b(batched);
   const std::string name = a.universe().clusters().front().name();
   auto ra = a.run_cluster(name);
+  auto rc = c.run_cluster(name);
   auto rb = b.run_cluster(name);
   ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rc.ok());
   ASSERT_TRUE(rb.ok());
   EXPECT_EQ(ra->galaxies, rb->galaxies);
+  EXPECT_EQ(ra->galaxies, rc->galaxies);
   EXPECT_EQ(ra->valid, rb->valid);
-  // The batched mode needs one cutout metadata query instead of N.
+  EXPECT_EQ(ra->valid, rc->valid);
+  // The wide cone needs one cutout metadata query instead of N; coalesced
+  // patches land in between.
   EXPECT_EQ(rb->portal_trace.cutout_queries, 1u);
   EXPECT_EQ(ra->portal_trace.cutout_queries, ra->galaxies);
+  EXPECT_LT(rc->portal_trace.cutout_queries, ra->portal_trace.cutout_queries);
   EXPECT_LT(rb->portal_trace.cutout_query_ms, ra->portal_trace.cutout_query_ms);
+  EXPECT_LT(rc->portal_trace.cutout_query_ms, ra->portal_trace.cutout_query_ms);
 }
 
 TEST(Integration, CorruptionSurfacesAsInvalidNotFailure) {

@@ -221,19 +221,30 @@ TEST_F(PortalFixture, UnknownClusterRejected) {
   EXPECT_FALSE(portal.run_analysis("NOT_A_CLUSTER").ok());
 }
 
-TEST_F(PortalFixture, CutoutRefsPerGalaxyVsBatchedAgree) {
+TEST_F(PortalFixture, CutoutRefsAgreeAcrossQueryModes) {
+  // The fixture portal runs the default kCoalesced patch batching.
   Portal& portal = campaign_.portal();
   const std::string cluster = campaign_.universe().clusters().front().name();
   auto catalog = portal.build_galaxy_catalog(cluster);
   ASSERT_TRUE(catalog.ok());
+  PortalTrace coalesced_trace;
+  auto coalesced =
+      portal.attach_cutout_refs(catalog.value(), cluster, &coalesced_trace);
+  ASSERT_TRUE(coalesced.ok());
 
+  // The paper's per-galaxy loop: one metadata query per catalog row.
+  analysis::CampaignConfig pg_config = make_config();
+  pg_config.cutout_mode = portal::CutoutQueryMode::kPerGalaxy;
+  analysis::Campaign per_galaxy_campaign(pg_config);
   PortalTrace per_galaxy_trace;
-  auto per_galaxy =
-      portal.attach_cutout_refs(catalog.value(), cluster, &per_galaxy_trace);
+  auto catalog1 = per_galaxy_campaign.portal().build_galaxy_catalog(cluster);
+  ASSERT_TRUE(catalog1.ok());
+  auto per_galaxy = per_galaxy_campaign.portal().attach_cutout_refs(
+      catalog1.value(), cluster, &per_galaxy_trace);
   ASSERT_TRUE(per_galaxy.ok());
   EXPECT_EQ(per_galaxy_trace.cutout_queries, catalog->num_rows());
 
-  // Batched portal.
+  // Wide-cone portal: a single cluster-wide query.
   analysis::CampaignConfig batched_config = make_config();
   batched_config.batched_cutouts = true;
   analysis::Campaign batched(batched_config);
@@ -245,13 +256,22 @@ TEST_F(PortalFixture, CutoutRefsPerGalaxyVsBatchedAgree) {
   ASSERT_TRUE(batched_refs.ok());
   EXPECT_EQ(batched_trace.cutout_queries, 1u);
 
-  // Same galaxies end with the same access URLs either way.
+  // Coalescing lands between the extremes: far fewer round-trips than
+  // per-galaxy, patch-sized responses instead of cluster-sized ones.
+  EXPECT_GE(coalesced_trace.cutout_queries, 1u);
+  EXPECT_LT(coalesced_trace.cutout_queries, per_galaxy_trace.cutout_queries);
+
+  // Same galaxies end with the same access URLs in every mode.
   for (std::size_t i = 0; i < per_galaxy->num_rows(); ++i) {
     EXPECT_EQ(per_galaxy->cell(i, "cutout_url").as_string(),
               batched_refs->cell(i, "cutout_url").as_string());
+    EXPECT_EQ(per_galaxy->cell(i, "cutout_url").as_string(),
+              coalesced->cell(i, "cutout_url").as_string());
   }
-  // And the batched mode is much cheaper in simulated time.
+  // And the batched modes are cheaper in simulated time (coalescing's
+  // margin grows with density; this test population is deliberately tiny).
   EXPECT_LT(batched_trace.cutout_query_ms, per_galaxy_trace.cutout_query_ms / 2.0);
+  EXPECT_LT(coalesced_trace.cutout_query_ms, per_galaxy_trace.cutout_query_ms);
 }
 
 TEST_F(PortalFixture, FullAnalysisMergesMorphology) {

@@ -1,0 +1,94 @@
+#!/usr/bin/env sh
+# Campaign-scale perf lane: builds the benchmark targets in Release, runs
+# the data-plane benchmarks, and refreshes BENCH_s5.json at the repository
+# root ({"baseline": frozen seed run, "current": fresh run} — same shape as
+# BENCH_a3.json). Fails loudly if campaign throughput regresses more than
+# 10% against the stored baseline, or if the VOTable codec hot paths
+# allocate on the heap in steady state.
+#
+# Usage: tools/run_bench.sh [extra google-benchmark flags for bench_s5_campaign]
+#   BUILD_DIR=<dir>     Release build tree (default: <repo>/build-release)
+#   NVO_S5_SCALE=<f>    campaign population scale (default 0.1, matches the
+#                       frozen baseline run in bench/baselines/bench_s5_seed.json)
+set -e
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build-release}"
+SCALE="${NVO_S5_SCALE:-0.1}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j \
+  --target bench_s5_campaign --target bench_fig5_portal \
+  --target bench_a3_morphology_kernel
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "=== bench_s5_campaign (NVO_S5_SCALE=$SCALE) ==="
+NVO_S5_SCALE="$SCALE" "$BUILD/bench/bench_s5_campaign" \
+  --benchmark_min_time=0.5 \
+  --benchmark_out="$TMP" --benchmark_out_format=json "$@"
+
+echo "=== bench_fig5_portal ==="
+"$BUILD/bench/bench_fig5_portal"
+
+echo "=== bench_a3_morphology_kernel ==="
+"$BUILD/bench/bench_a3_morphology_kernel"
+
+{
+  printf '{\n"baseline": '
+  cat "$ROOT/bench/baselines/bench_s5_seed.json"
+  printf ',\n"current": '
+  cat "$TMP"
+  printf '}\n'
+} > "$ROOT/BENCH_s5.json"
+echo "wrote $ROOT/BENCH_s5.json"
+
+python3 - "$ROOT/BENCH_s5.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def by_name(run):
+    return {b["name"]: b for b in run["benchmarks"]}
+
+baseline = by_name(doc["baseline"])
+current = by_name(doc["current"])
+failures = []
+
+print(f"{'benchmark':<28} {'baseline':>12} {'current':>12} {'speedup':>8}")
+for name, base in baseline.items():
+    cur = current.get(name)
+    if cur is None:
+        failures.append(f"{name}: present in baseline but missing from current run")
+        continue
+    if "items_per_second" in base:  # throughput: higher is better
+        b, c = base["items_per_second"], cur["items_per_second"]
+        ratio = c / b
+        unit = "items/s"
+    else:  # latency: lower is better
+        b, c = base["real_time"], cur["real_time"]
+        ratio = b / c
+        unit = base["time_unit"]
+    print(f"{name:<28} {b:>12.1f} {c:>12.1f} {ratio:>7.2f}x  ({unit})")
+    if ratio < 0.9:
+        failures.append(f"{name}: >10% regression vs baseline ({ratio:.2f}x)")
+
+for name in ("BM_VotableSerialize/512", "BM_VotableParse/512"):
+    allocs = current[name].get("heap_allocs_per_iter", -1)
+    if allocs != 0:
+        failures.append(f"{name}: heap_allocs_per_iter = {allocs}, expected 0")
+
+ratio = (current["BM_CampaignThroughput/15"]["items_per_second"]
+         / baseline["BM_CampaignThroughput/15"]["items_per_second"])
+print(f"\ncampaign throughput: {ratio:.2f}x the seed baseline")
+
+if failures:
+    print("\nFAIL:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("OK: no benchmark regressed >10%; codec hot paths are allocation-free")
+EOF

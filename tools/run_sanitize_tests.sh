@@ -1,22 +1,40 @@
 #!/usr/bin/env sh
 # Builds the tree with AddressSanitizer + UBSan into build-asan/ and runs the
 # resilience-facing test lane (retry/breaker/failover unit tests, fabric
-# metrics, and the chaos campaign suite) under the instrumented binaries.
+# metrics, the chaos campaign suite, and the replica-cache/data-plane tests)
+# under the instrumented binaries, then repeats the concurrency-facing lane
+# (sharded cache + pipelined staging) under ThreadSanitizer in build-tsan/.
 #
 # Usage: tools/run_sanitize_tests.sh [ctest -R regex]
-#   default regex: resilience_test|chaos_test|services_test
-#   BUILD_DIR=<dir>  sanitizer build tree (default: <repo>/build-asan)
+#   default regex: resilience_test|chaos_test|services_test|replica_cache_test|data_plane_test
+#   BUILD_DIR=<dir>       ASan build tree (default: <repo>/build-asan)
+#   TSAN_BUILD_DIR=<dir>  TSan build tree (default: <repo>/build-tsan)
+#   NVO_SKIP_TSAN=1       run only the ASan phase
 set -e
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-asan}"
-REGEX="${1:-resilience_test|chaos_test|services_test}"
+TSAN_BUILD="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
+REGEX="${1:-resilience_test|chaos_test|services_test|replica_cache_test|data_plane_test}"
+TSAN_REGEX="${TSAN_REGEX:-replica_cache_test|data_plane_test}"
 
 cmake -B "$BUILD" -S "$ROOT" -DNVO_SANITIZE="address;undefined" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j --target \
-      resilience_test chaos_test services_test
+      resilience_test chaos_test services_test replica_cache_test data_plane_test
 
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
   ctest --test-dir "$BUILD" -R "$REGEX" --output-on-failure
+
+if [ "${NVO_SKIP_TSAN:-0}" = "1" ]; then
+  echo "NVO_SKIP_TSAN=1: skipping ThreadSanitizer phase"
+  exit 0
+fi
+
+cmake -B "$TSAN_BUILD" -S "$ROOT" -DNVO_TSAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_BUILD" -j --target replica_cache_test data_plane_test
+
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "$TSAN_BUILD" -R "$TSAN_REGEX" --output-on-failure
