@@ -17,9 +17,11 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <new>
 
 #include "analysis/campaign.hpp"
+#include "obs/metrics.hpp"
 #include "votable/table.hpp"
 #include "votable/votable_io.hpp"
 
@@ -108,12 +110,26 @@ void print_s5() {
   config.population_scale = scale;
   config.compute_threads = 2;
   analysis::Campaign campaign(config);
+  obs::MetricsRegistry registry;
+  campaign.register_metrics(registry);
   auto report = campaign.run();
   if (!report.ok()) {
     std::printf("ERROR: %s\n", report.error().to_string().c_str());
     return;
   }
   std::printf("%s\n", report->to_text().c_str());
+
+  // NVO_S5_METRICS_OUT=<path> dumps the unified metrics snapshot of the
+  // campaign run; tools/run_bench.sh embeds it in BENCH_s5.json.
+  if (const char* out = std::getenv("NVO_S5_METRICS_OUT")) {
+    std::ofstream f(out, std::ios::binary);
+    if (f) {
+      f << registry.snapshot().to_json();
+      std::printf("wrote metrics snapshot to %s\n", out);
+    } else {
+      std::printf("WARNING: cannot write metrics snapshot to %s\n", out);
+    }
+  }
 
   std::printf("%-28s %14s %14s\n", "quantity", "paper", "measured");
   std::printf("%-28s %14s %14zu\n", "clusters analyzed", "8",

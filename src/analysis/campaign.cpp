@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "services/obs_bridge.hpp"
 
 namespace nvo::analysis {
 
@@ -23,6 +24,7 @@ Campaign::Campaign(CampaignConfig config) : config_(config) {
   }
 
   fabric_ = std::make_unique<services::HttpFabric>(config_.seed ^ 0xFAB);
+  if (config_.tracer) config_.tracer->set_sim_clock(&fabric_->sim_clock());
   services::FederationOptions fopts;
   fopts.with_mirror = config_.enable_mirror;
   federation_ = services::register_federation(*fabric_, *universe_, fopts);
@@ -38,6 +40,7 @@ Campaign::Campaign(CampaignConfig config) : config_(config) {
   scfg.retry = config_.retry;
   scfg.breaker = config_.breaker;
   scfg.replica_cache = config_.image_cache;
+  scfg.tracer = config_.tracer;
   if (!federation_.mirror_host.empty()) {
     scfg.mirrors[services::Federation::kMastHost] = federation_.mirror_host;
   }
@@ -49,6 +52,7 @@ Campaign::Campaign(CampaignConfig config) : config_(config) {
                                               : config_.cutout_mode;
   pcfg.retry = config_.retry;
   pcfg.breaker = config_.breaker;
+  pcfg.tracer = config_.tracer;
   portal_ = std::make_unique<portal::Portal>(*fabric_, federation_, *compute_, pcfg);
   for (const sim::Cluster& c : universe_->clusters()) {
     portal::ClusterEntry entry;
@@ -58,6 +62,12 @@ Campaign::Campaign(CampaignConfig config) : config_(config) {
     entry.search_radius_deg = c.spec.extent_arcmin / 60.0;
     portal_->add_cluster(entry);
   }
+}
+
+void Campaign::register_metrics(obs::MetricsRegistry& registry) const {
+  services::register_metrics(registry, *fabric_, "fabric");
+  services::register_metrics(registry, portal_->client(), "client.portal");
+  compute_->register_metrics(registry);
 }
 
 Expected<ClusterOutcome> Campaign::run_cluster(const std::string& name) {
@@ -96,6 +106,9 @@ Expected<ClusterOutcome> Campaign::run_cluster(const std::string& name) {
 
 Expected<CampaignReport> Campaign::run() {
   CampaignReport report;
+  // Counters start clean for this run. The simulated clock is NOT touched
+  // (reset_metrics no longer moves time), so breaker cool-downs and chaos
+  // fault windows keep their phase across consecutive runs.
   fabric_->reset_metrics();
   report.min_galaxies = SIZE_MAX;
   for (const sim::Cluster& c : universe_->clusters()) {

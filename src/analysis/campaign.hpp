@@ -14,6 +14,8 @@
 #include "analysis/dressler.hpp"
 #include "common/expected.hpp"
 #include "grid/grid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pegasus/rls.hpp"
 #include "pegasus/tc.hpp"
 #include "portal/compute_service.hpp"
@@ -46,6 +48,10 @@ struct CampaignConfig {
   /// Compute-service image store (sharded LRU). Tests shrink byte_budget to
   /// force eviction and verify the science is cache-invariant.
   services::ReplicaCacheConfig image_cache;
+  /// Optional trace-span sink, threaded into the portal and the compute
+  /// service (the fabric's SimClock is attached automatically). Must
+  /// outlive the campaign.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct ClusterOutcome {
@@ -108,6 +114,12 @@ class Campaign {
   // Internals, exposed for examples and benchmarks.
   const sim::Universe& universe() const { return *universe_; }
   services::HttpFabric& fabric() { return *fabric_; }
+
+  /// Registers the whole stack's metrics (fabric + routes, portal client,
+  /// compute client, replica cache, kernel pool) in `registry` under the
+  /// DESIGN.md §9 names. The campaign must outlive the registry's use.
+  void register_metrics(obs::MetricsRegistry& registry) const;
+
   grid::Grid& grid() { return *grid_; }
   pegasus::ReplicaLocationService& rls() { return *rls_; }
   portal::Portal& portal() { return *portal_; }

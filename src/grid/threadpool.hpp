@@ -34,10 +34,22 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks queued but not yet picked up by a worker (instantaneous).
+  std::size_t queue_depth() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+  /// Tasks currently executing on workers (instantaneous).
+  std::size_t active_tasks() const {
+    std::lock_guard lock(mutex_);
+    return active_;
+  }
+
  private:
   void worker_loop(std::stop_token stop);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable_any work_available_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,38 @@
+// The process's simulated clock, extracted from HttpFabric's metrics.
+//
+// History: the fabric's now_ms() used to be literally
+// `metrics_.total_elapsed_ms`, so reset_metrics() rewound simulated time —
+// un-tripping circuit breakers (their cool-downs are scheduled against
+// now_ms) and replaying chaos fault windows (keyed on [start_ms, end_ms) of
+// the same clock). SimClock fixes that class of bug structurally: it only
+// advances. There is deliberately no reset(); counters are resettable,
+// time is not.
+#pragma once
+
+#include <atomic>
+
+namespace nvo::obs {
+
+/// Monotonic simulated milliseconds. Thread-safe and lock-free: readers see
+/// a non-decreasing value, writers accumulate with fetch_add.
+class SimClock {
+ public:
+  SimClock() = default;
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  /// Current simulated time in milliseconds since construction.
+  double now_ms() const { return now_ms_.load(std::memory_order_relaxed); }
+
+  /// Advances the clock. Non-positive (and NaN) deltas are ignored, so the
+  /// clock cannot move backwards through any public interface.
+  void advance(double ms) {
+    if (!(ms > 0.0)) return;
+    now_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> now_ms_{0.0};
+};
+
+}  // namespace nvo::obs

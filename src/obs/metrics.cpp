@@ -1,0 +1,207 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nvo::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  if (v == static_cast<double>(static_cast<long long>(v)) && v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  std::lock_guard lock(mu_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  total_ += 1;
+  sum_ += value;
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::lock_guard lock(mu_);
+  return counts_;
+}
+
+std::uint64_t Histogram::total_count() const {
+  std::lock_guard lock(mu_);
+  return total_;
+}
+
+double Histogram::total_sum() const {
+  std::lock_guard lock(mu_);
+  return sum_;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+double MetricsSnapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0.0 : it->second;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_escaped(out, name);
+    out += "\": ";
+    append_number(out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_escaped(out, name);
+    out += "\": ";
+    append_number(out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_escaped(out, name);
+    out += "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ", ";
+      append_number(out, h.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ", ";
+      append_number(out, static_cast<double>(h.counts[i]));
+    }
+    out += "], \"count\": ";
+    append_number(out, static_cast<double>(h.total_count));
+    out += ", \"sum\": ";
+    append_number(out, h.sum);
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += name + " ";
+    append_number(out, value);
+    out += "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += name + " ";
+    append_number(out, value);
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += name + ".count ";
+    append_number(out, static_cast<double>(h.total_count));
+    out += "\n" + name + ".sum ";
+    append_number(out, h.sum);
+    out += "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+void MetricsRegistry::register_counter(const std::string& name, Callback read) {
+  std::lock_guard lock(mu_);
+  counters_[name] = std::move(read);
+}
+
+void MetricsRegistry::register_gauge(const std::string& name, Callback read) {
+  std::lock_guard lock(mu_);
+  gauges_[name] = std::move(read);
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bucket_bounds) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>(std::move(bucket_bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::register_collector(const std::string& id, Collector collect) {
+  std::lock_guard lock(mu_);
+  collectors_[id] = std::move(collect);
+}
+
+void MetricsRegistry::unregister(const std::string& name) {
+  std::lock_guard lock(mu_);
+  counters_.erase(name);
+  gauges_.erase(name);
+  collectors_.erase(name);
+  histograms_.erase(name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, read] : counters_) snap.counters[name] = read();
+  for (const auto& [name, read] : gauges_) snap.gauges[name] = read();
+  for (const auto& [id, collect] : collectors_) collect(snap.counters, snap.gauges);
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = h->bounds();
+    data.counts = h->counts();
+    data.total_count = h->total_count();
+    data.sum = h->total_sum();
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+}  // namespace nvo::obs

@@ -1,0 +1,109 @@
+// Unified metrics: one registry in front of the ad-hoc counters that grew
+// across the services layer (HttpFabric::Metrics, ReplicaCache::Stats,
+// per-endpoint CircuitBreaker state, thread-pool queue depth).
+//
+// The registry is pull-based: components register named callbacks
+// (counters and gauges) or own histograms, and snapshot() evaluates
+// everything at one instant. Components keep their native structs — the
+// bridge functions that adapt them live next to the component (see
+// services::register_metrics overloads), so obs stays dependency-free.
+//
+// Naming convention (see DESIGN.md §9): dot-separated, lowercase,
+// `<component>.<object>.<quantity>`, e.g. `fabric.requests`,
+// `fabric.route.mast.skyview.failures`, `cache.replica.hits`,
+// `breaker.cadc.state`, `pool.queue_depth`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nvo::obs {
+
+/// Fixed-bucket histogram (cumulative counts are derived at snapshot time).
+/// Bounds are upper edges; values above the last bound land in an implicit
+/// overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bucket_bounds);
+
+  void observe(double value);
+
+  std::vector<double> bounds() const { return bounds_; }
+  /// Per-bucket counts, size = bounds.size() + 1 (last is overflow).
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t total_count() const;
+  double total_sum() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Point-in-time evaluation of every registered metric.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< size = bounds.size() + 1
+    std::uint64_t total_count = 0;
+    double sum = 0.0;
+  };
+
+  /// Monotonic totals (requests, bytes, hits...), keyed by metric name.
+  std::map<std::string, double> counters;
+  /// Instantaneous values (queue depth, breaker state, cache entries...).
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Counter value by name (0 when absent) — convenience for tests.
+  double counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+
+  std::string to_json() const;
+  std::string to_text() const;  ///< one `name value` line per metric, sorted
+};
+
+/// Named metric registry. Thread-safe; callbacks are invoked under the
+/// registry lock during snapshot(), so they must not call back into the
+/// registry. Re-registering a name replaces the previous definition.
+class MetricsRegistry {
+ public:
+  using Callback = std::function<double()>;
+
+  /// A collector contributes any number of named counters/gauges at
+  /// snapshot time — for metric families whose member set grows at runtime
+  /// (per-route fabric counters, per-endpoint breaker states).
+  using Collector =
+      std::function<void(std::map<std::string, double>& counters,
+                         std::map<std::string, double>& gauges)>;
+
+  /// Registers a monotonic total, read via callback at snapshot time.
+  void register_counter(const std::string& name, Callback read);
+  /// Registers an instantaneous value, read via callback at snapshot time.
+  void register_gauge(const std::string& name, Callback read);
+  /// Registers a dynamic family under `id` (replaces an existing one).
+  void register_collector(const std::string& id, Collector collect);
+  /// Creates (or returns the existing) histogram with the given buckets.
+  /// The registry owns it; the pointer stays valid for the registry's life.
+  Histogram* histogram(const std::string& name, std::vector<double> bucket_bounds);
+
+  void unregister(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Callback> counters_;
+  std::map<std::string, Callback> gauges_;
+  std::map<std::string, Collector> collectors_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace nvo::obs

@@ -1,0 +1,469 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nvo::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  // Counters are counts/bytes in practice; print integers exactly and
+  // timings with microsecond resolution.
+  if (v == static_cast<double>(static_cast<long long>(v)) && v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    other.tracer_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void Span::count(const std::string& key, double value) {
+  if (tracer_) tracer_->add_counter(id_, key, value);
+}
+
+void Span::note(const std::string& key, const std::string& value) {
+  if (tracer_) tracer_->add_note(id_, key, value);
+}
+
+void Span::end() {
+  if (tracer_) tracer_->end_span(id_);
+  tracer_ = nullptr;
+  id_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+void Tracer::set_sim_clock(const SimClock* clock) {
+  std::lock_guard lock(mu_);
+  sim_clock_ = clock;
+}
+
+void Tracer::set_enabled(bool enabled) {
+  std::lock_guard lock(mu_);
+  enabled_ = enabled;
+}
+
+bool Tracer::enabled() const {
+  std::lock_guard lock(mu_);
+  return enabled_;
+}
+
+double Tracer::wall_now_ms() const {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   epoch_)
+      .count();
+}
+
+int Tracer::thread_index_locked(std::thread::id tid) {
+  auto it = thread_indices_.find(tid);
+  if (it == thread_indices_.end()) {
+    const int index = static_cast<int>(thread_indices_.size()) + 1;
+    it = thread_indices_.emplace(tid, index).first;
+  }
+  return it->second;
+}
+
+Span Tracer::span(const std::string& name, const std::string& category) {
+  const double wall = wall_now_ms();
+  std::lock_guard lock(mu_);
+  if (!enabled_) return Span();
+  const auto tid = std::this_thread::get_id();
+  auto& stack = stacks_[tid];
+  const std::uint64_t parent = stack.empty() ? 0 : stack.back();
+
+  SpanRecord record;
+  record.id = next_id_++;
+  record.parent = parent;
+  record.name = name;
+  record.category = category;
+  record.thread_index = thread_index_locked(tid);
+  record.wall_start_ms = wall;
+  if (sim_clock_) record.sim_start_ms = sim_clock_->now_ms();
+  index_[record.id] = records_.size();
+  stack.push_back(record.id);
+  records_.push_back(std::move(record));
+  return Span(this, records_.back().id);
+}
+
+Span Tracer::span_under(std::uint64_t parent_id, const std::string& name,
+                        const std::string& category) {
+  const double wall = wall_now_ms();
+  std::lock_guard lock(mu_);
+  if (!enabled_) return Span();
+  const auto tid = std::this_thread::get_id();
+
+  SpanRecord record;
+  record.id = next_id_++;
+  record.parent = parent_id;
+  record.name = name;
+  record.category = category;
+  record.thread_index = thread_index_locked(tid);
+  record.wall_start_ms = wall;
+  if (sim_clock_) record.sim_start_ms = sim_clock_->now_ms();
+  index_[record.id] = records_.size();
+  stacks_[tid].push_back(record.id);
+  records_.push_back(std::move(record));
+  return Span(this, records_.back().id);
+}
+
+std::uint64_t Tracer::record_span(
+    std::uint64_t parent_id, const std::string& name, const std::string& category,
+    double sim_start_ms, double sim_dur_ms,
+    std::vector<std::pair<std::string, double>> counters,
+    std::vector<std::pair<std::string, std::string>> notes) {
+  const double wall = wall_now_ms();
+  std::lock_guard lock(mu_);
+  if (!enabled_) return 0;
+
+  SpanRecord record;
+  record.id = next_id_++;
+  record.parent = parent_id;
+  record.name = name;
+  record.category = category;
+  record.thread_index = thread_index_locked(std::this_thread::get_id());
+  record.open = false;
+  record.wall_start_ms = wall;
+  record.wall_dur_ms = 0.0;
+  record.sim_start_ms = sim_start_ms;
+  record.sim_dur_ms = sim_dur_ms;
+  record.counters = std::move(counters);
+  record.notes = std::move(notes);
+  index_[record.id] = records_.size();
+  records_.push_back(std::move(record));
+  return records_.back().id;
+}
+
+std::uint64_t Tracer::current_span_id() const {
+  std::lock_guard lock(mu_);
+  const auto it = stacks_.find(std::this_thread::get_id());
+  if (it == stacks_.end() || it->second.empty()) return 0;
+  return it->second.back();
+}
+
+void Tracer::end_span(std::uint64_t id) {
+  const double wall = wall_now_ms();
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  SpanRecord& record = records_[it->second];
+  if (!record.open) return;
+  record.open = false;
+  record.wall_dur_ms = wall - record.wall_start_ms;
+  if (sim_clock_) record.sim_dur_ms = sim_clock_->now_ms() - record.sim_start_ms;
+  // Unwind from the stack it was pushed onto. Spans normally end on their
+  // own thread in LIFO order; an out-of-order end (moved handle) is removed
+  // from wherever it sits so the stacks never corrupt.
+  for (auto& [tid, stack] : stacks_) {
+    const auto pos = std::find(stack.begin(), stack.end(), id);
+    if (pos != stack.end()) {
+      stack.erase(pos);
+      break;
+    }
+  }
+}
+
+void Tracer::add_counter(std::uint64_t id, const std::string& key, double value) {
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  SpanRecord& record = records_[it->second];
+  for (auto& [k, v] : record.counters) {
+    if (k == key) {
+      v += value;
+      return;
+    }
+  }
+  record.counters.emplace_back(key, value);
+}
+
+void Tracer::add_note(std::uint64_t id, const std::string& key,
+                      const std::string& value) {
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  records_[it->second].notes.emplace_back(key, value);
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard lock(mu_);
+  return records_;
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard lock(mu_);
+  return records_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  records_.clear();
+  index_.clear();
+  stacks_.clear();
+  // thread_indices_ kept: indices stay stable across clears.
+}
+
+// ---------------------------------------------------------------------------
+// Exports
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Children of each span, in creation order (creation order is stable; the
+/// records vector is already sorted by id).
+std::map<std::uint64_t, std::vector<const SpanRecord*>> child_map(
+    const std::vector<SpanRecord>& records) {
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  for (const SpanRecord& r : records) children[r.parent].push_back(&r);
+  return children;
+}
+
+void append_span_json(std::string& out,
+                      const std::map<std::uint64_t, std::vector<const SpanRecord*>>& kids,
+                      const SpanRecord& r, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  out += pad + "{\"name\": \"";
+  append_escaped(out, r.name);
+  out += "\", \"category\": \"";
+  append_escaped(out, r.category);
+  out += "\"";
+  out += ", \"wall_start_ms\": ";
+  append_number(out, r.wall_start_ms);
+  out += ", \"wall_dur_ms\": ";
+  append_number(out, r.wall_dur_ms);
+  out += ", \"sim_start_ms\": ";
+  append_number(out, r.sim_start_ms);
+  out += ", \"sim_dur_ms\": ";
+  append_number(out, r.sim_dur_ms);
+  out += ", \"thread\": ";
+  append_number(out, r.thread_index);
+  if (!r.counters.empty()) {
+    out += ", \"counters\": {";
+    bool first = true;
+    for (const auto& [k, v] : r.counters) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"";
+      append_escaped(out, k);
+      out += "\": ";
+      append_number(out, v);
+    }
+    out += "}";
+  }
+  if (!r.notes.empty()) {
+    out += ", \"notes\": {";
+    bool first = true;
+    for (const auto& [k, v] : r.notes) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"";
+      append_escaped(out, k);
+      out += "\": \"";
+      append_escaped(out, v);
+      out += "\"";
+    }
+    out += "}";
+  }
+  const auto it = kids.find(r.id);
+  if (it != kids.end() && !it->second.empty()) {
+    out += ", \"children\": [\n";
+    bool first = true;
+    for (const SpanRecord* child : it->second) {
+      if (!first) out += ",\n";
+      first = false;
+      append_span_json(out, kids, *child, depth + 1);
+    }
+    out += "\n" + pad + "]";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string Tracer::to_json() const {
+  const auto records = spans();
+  const auto kids = child_map(records);
+  std::string out = "{\"spans\": [\n";
+  bool first = true;
+  const auto roots = kids.find(0);
+  if (roots != kids.end()) {
+    for (const SpanRecord* root : roots->second) {
+      if (!first) out += ",\n";
+      first = false;
+      append_span_json(out, kids, *root, 1);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::to_chrome_trace() const {
+  const auto records = spans();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  out += "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", "
+         "\"args\": {\"name\": \"wall time\"}},\n";
+  out += "{\"ph\": \"M\", \"pid\": 2, \"tid\": 0, \"name\": \"process_name\", "
+         "\"args\": {\"name\": \"simulated time\"}}";
+  bool have_sim = false;
+  {
+    std::lock_guard lock(mu_);
+    have_sim = sim_clock_ != nullptr;
+  }
+  for (const SpanRecord& r : records) {
+    const auto emit = [&](int pid, int tid, double start_ms, double dur_ms) {
+      out += ",\n{\"name\": \"";
+      append_escaped(out, r.name);
+      out += "\", \"cat\": \"";
+      append_escaped(out, r.category.empty() ? std::string("span") : r.category);
+      out += "\", \"ph\": \"X\", \"pid\": ";
+      append_number(out, pid);
+      out += ", \"tid\": ";
+      append_number(out, tid);
+      out += ", \"ts\": ";
+      append_number(out, start_ms * 1000.0);  // microseconds
+      out += ", \"dur\": ";
+      append_number(out, dur_ms * 1000.0);
+      out += ", \"args\": {\"span_id\": ";
+      append_number(out, static_cast<double>(r.id));
+      out += ", \"parent_id\": ";
+      append_number(out, static_cast<double>(r.parent));
+      for (const auto& [k, v] : r.counters) {
+        out += ", \"";
+        append_escaped(out, k);
+        out += "\": ";
+        append_number(out, v);
+      }
+      for (const auto& [k, v] : r.notes) {
+        out += ", \"";
+        append_escaped(out, k);
+        out += "\": \"";
+        append_escaped(out, v);
+        out += "\"";
+      }
+      out += "}}";
+    };
+    emit(1, r.thread_index, r.wall_start_ms, r.wall_dur_ms);
+    // The simulated timeline is global (one clock), so it renders as a
+    // single track; nested spans still read correctly because Chrome
+    // stacks contained X events.
+    if (have_sim) emit(2, 1, r.sim_start_ms, r.sim_dur_ms);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+namespace {
+
+void append_tree_text(std::string& out,
+                      const std::map<std::uint64_t, std::vector<const SpanRecord*>>& kids,
+                      const std::vector<const SpanRecord*>& siblings, int depth) {
+  // Sort by name (stable: creation order breaks ties), then collapse runs
+  // of the same name into one line with summed counters. Timings are
+  // deliberately absent: this rendition is the golden-file surface.
+  std::vector<const SpanRecord*> sorted = siblings;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     return a->name < b->name;
+                   });
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j]->name == sorted[i]->name) ++j;
+    const std::size_t n = j - i;
+    std::vector<std::pair<std::string, double>> counters;
+    std::vector<const SpanRecord*> group_children;
+    for (std::size_t k = i; k < j; ++k) {
+      for (const auto& [key, value] : sorted[k]->counters) {
+        bool found = false;
+        for (auto& [ck, cv] : counters) {
+          if (ck == key) {
+            cv += value;
+            found = true;
+            break;
+          }
+        }
+        if (!found) counters.emplace_back(key, value);
+      }
+      const auto it = kids.find(sorted[k]->id);
+      if (it != kids.end()) {
+        group_children.insert(group_children.end(), it->second.begin(),
+                              it->second.end());
+      }
+    }
+    out += pad + sorted[i]->name;
+    if (!sorted[i]->category.empty()) out += " [" + sorted[i]->category + "]";
+    if (n > 1) out += " x" + std::to_string(n);
+    if (!counters.empty()) {
+      std::sort(counters.begin(), counters.end());
+      out += " {";
+      bool first = true;
+      for (const auto& [k, v] : counters) {
+        if (!first) out += ", ";
+        first = false;
+        out += k + "=";
+        append_number(out, v);
+      }
+      out += "}";
+    }
+    for (const auto& [k, v] : sorted[i]->notes) {
+      if (n == 1) out += " " + k + "=" + v;
+    }
+    out += "\n";
+    append_tree_text(out, kids, group_children, depth + 1);
+    i = j;
+  }
+}
+
+}  // namespace
+
+std::string Tracer::to_tree_text() const {
+  const auto records = spans();
+  const auto kids = child_map(records);
+  std::string out;
+  const auto roots = kids.find(0);
+  if (roots != kids.end()) append_tree_text(out, kids, roots->second, 0);
+  return out;
+}
+
+}  // namespace nvo::obs

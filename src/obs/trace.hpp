@@ -1,0 +1,157 @@
+// Hierarchical trace spans for the full request path: portal request →
+// federation cone/SIA calls → Pegasus planning/reduction → DAGMan node
+// execution → morphology kernel. Every span records both timelines of this
+// reproduction — real wall time (steady_clock) and the fabric's simulated
+// time (obs::SimClock) — plus named counters (retries, cache hits, bytes,
+// rows) and string annotations. Exports:
+//
+//   * to_json()         — the span tree as nested JSON (machine-readable),
+//   * to_chrome_trace() — Chrome trace_event format, loadable in
+//                         chrome://tracing / Perfetto (wall timeline as
+//                         pid 1, simulated timeline as pid 2),
+//   * to_tree_text()    — a canonical, timing-free rendition (children
+//                         sorted by name, repeated siblings collapsed with
+//                         summed counters) used by golden-file tests.
+//
+// Thread model: spans may be started and ended on any thread; parenting is
+// implicit per thread (innermost open span on the starting thread) or
+// explicit via span_under() for work handed to a pool. A null Tracer* (or a
+// disabled tracer) yields inert spans, so instrumented code pays nothing
+// when tracing is off.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace nvo::obs {
+
+class Tracer;
+
+/// One finished (or still-open) span, as stored by the tracer.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root
+  std::string name;
+  std::string category;
+  int thread_index = 0;       ///< stable small index per observed thread
+  bool open = true;
+  double wall_start_ms = 0.0;  ///< since tracer construction
+  double wall_dur_ms = 0.0;
+  double sim_start_ms = 0.0;   ///< SimClock value; 0 when no clock attached
+  double sim_dur_ms = 0.0;
+  /// Deterministic quantities (counts, rows, bytes): accumulated by key.
+  std::vector<std::pair<std::string, double>> counters;
+  /// Free-form string annotations, in insertion order.
+  std::vector<std::pair<std::string, std::string>> notes;
+};
+
+/// RAII handle to an open span. Movable, not copyable; ends the span on
+/// destruction unless end() was called. A default-constructed Span is inert.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  bool active() const { return tracer_ != nullptr; }
+  std::uint64_t id() const { return id_; }
+
+  /// Accumulates `value` into the named counter (creates it at 0).
+  void count(const std::string& key, double value);
+  /// Attaches (or appends) a string annotation.
+  void note(const std::string& key, const std::string& value);
+  /// Ends the span now (durations captured at this point).
+  void end();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::uint64_t id) : tracer_(tracer), id_(id) {}
+
+  Tracer* tracer_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+/// Span factory + storage. One tracer observes one logical request path (or
+/// a whole campaign); attach the fabric's SimClock to get the simulated
+/// timeline alongside wall time.
+class Tracer {
+ public:
+  Tracer();
+
+  /// Attaches the simulated clock (may be null to detach). The clock must
+  /// outlive the tracer.
+  void set_sim_clock(const SimClock* clock);
+
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  /// Starts a span as a child of the innermost open span on this thread
+  /// (a root span when there is none).
+  Span span(const std::string& name, const std::string& category = "");
+  /// Starts a span under an explicit parent id — for tasks submitted to a
+  /// thread pool, where the logical parent lives on another thread. Parent
+  /// id 0 starts a root span.
+  Span span_under(std::uint64_t parent_id, const std::string& name,
+                  const std::string& category = "");
+
+  /// Innermost open span id on the calling thread (0 when none) — capture
+  /// this before submitting work to a pool, then use span_under().
+  std::uint64_t current_span_id() const;
+
+  /// Appends an already-finished span with explicit simulated-time bounds —
+  /// for retrospective events like simulated DAGMan node executions, whose
+  /// timing comes out of the discrete-event run rather than live code.
+  /// Returns the new span's id (0 when tracing is disabled).
+  std::uint64_t record_span(std::uint64_t parent_id, const std::string& name,
+                            const std::string& category, double sim_start_ms,
+                            double sim_dur_ms,
+                            std::vector<std::pair<std::string, double>> counters = {},
+                            std::vector<std::pair<std::string, std::string>> notes = {});
+
+  /// Snapshot of every recorded span, in creation order.
+  std::vector<SpanRecord> spans() const;
+  std::size_t span_count() const;
+  void clear();
+
+  std::string to_json() const;
+  std::string to_chrome_trace() const;
+  std::string to_tree_text() const;
+
+ private:
+  friend class Span;
+  void end_span(std::uint64_t id);
+  void add_counter(std::uint64_t id, const std::string& key, double value);
+  void add_note(std::uint64_t id, const std::string& key, const std::string& value);
+  double wall_now_ms() const;
+  int thread_index_locked(std::thread::id tid);
+
+  mutable std::mutex mu_;
+  const SimClock* sim_clock_ = nullptr;
+  bool enabled_ = true;
+  std::uint64_t next_id_ = 1;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanRecord> records_;                    ///< creation order
+  std::map<std::uint64_t, std::size_t> index_;         ///< id -> records_ slot
+  std::map<std::thread::id, std::vector<std::uint64_t>> stacks_;
+  std::map<std::thread::id, int> thread_indices_;
+};
+
+/// Convenience: a span from a possibly-null tracer (inert when null or
+/// disabled). Instrumented code uses this so tracing stays optional.
+inline Span start_span(Tracer* tracer, const std::string& name,
+                       const std::string& category = "") {
+  return tracer ? tracer->span(name, category) : Span();
+}
+
+}  // namespace nvo::obs

@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "grid/threadpool.hpp"
+#include "services/obs_bridge.hpp"
 #include "pegasus/request_manager.hpp"
 #include "portal/transforms.hpp"
 #include "services/sia.hpp"
@@ -114,6 +115,8 @@ Expected<std::string> MorphologyService::gal_morph_compute(const votable::Table&
 Status MorphologyService::process(RequestRecord& record, const votable::Table& input,
                                   const std::string& out_name) {
   ServiceTrace& trace = record.trace;
+  obs::Span req = obs::start_span(config_.tracer, "compute.request", "compute");
+  req.note("request", record.id);
   const std::string out_lfn = ends_with(out_name, ".vot")
                                   ? out_name
                                   : output_votable_lfn(out_name);
@@ -125,6 +128,7 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     trace.total_sim_seconds = 0.0;
     record.state = "completed";
     record.messages.push_back("output " + out_lfn + " already materialized (RLS hit)");
+    req.count("result_cache_hit", 1.0);
     return Status::Ok();
   }
 
@@ -147,6 +151,10 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   // it. A bounded in-flight count keeps pinned cutout memory proportional
   // to the prefetch depth, not the cluster size.
   record.messages.push_back(format("staging %zu galaxy images", trace.galaxies));
+  obs::Span staging = obs::start_span(config_.tracer, "compute.staging", "compute");
+  // Kernel tasks outlive the staging loop (they drain at the (4e) barrier),
+  // so their spans parent under the staging span by explicit id.
+  const std::uint64_t staging_id = staging.id();
   const services::EndpointStats staging_before = client_.totals();
   const auto stage_t0 = std::chrono::steady_clock::now();
   const auto z_col = input.column_index("redshift");
@@ -232,8 +240,13 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     }
     // The shared_ptr pins the bytes for the kernel even if the cache evicts
     // the entry mid-request.
-    pool_.submit([this, i, payload = std::move(payload), z_col, &galaxy_ids,
-                  &results, &input, &inflight_mu, &inflight_cv, &in_flight] {
+    pool_.submit([this, i, payload = std::move(payload), z_col, staging_id,
+                  &galaxy_ids, &results, &input, &inflight_mu, &inflight_cv,
+                  &in_flight] {
+      obs::Span kernel = config_.tracer
+                             ? config_.tracer->span_under(staging_id,
+                                                          "kernel.galmorph", "kernel")
+                             : obs::Span();
       core::GalMorphArgs args = config_.default_args;
       if (z_col) {
         const auto z = input.row(i)[*z_col].as_number();
@@ -247,6 +260,7 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
       } else {
         results[i] = core::run_gal_morph_bytes(galaxy_ids[i], *payload, args);
       }
+      kernel.count(results[i].params.valid ? "valid" : "invalid", 1.0);
       {
         std::lock_guard lock(inflight_mu);
         --in_flight;
@@ -259,8 +273,14 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   trace.staging_failovers = staging_after.failovers - staging_before.failovers;
   trace.staging_breaker_trips =
       staging_after.breaker_trips - staging_before.breaker_trips;
+  staging.count("images_fetched", static_cast<double>(trace.images_fetched));
+  staging.count("images_cached", static_cast<double>(trace.images_cached));
+  staging.count("retries", static_cast<double>(trace.staging_retries));
+  staging.end();
 
   // (4a) VDL generation (the second stylesheet).
+  obs::Span compose_span =
+      obs::start_span(config_.tracer, "compute.vdl_compose", "compute");
   auto t0 = std::chrono::steady_clock::now();
   auto vdl_doc = catalog_to_vdl_document(input, out_name, config_.default_args);
   if (!vdl_doc.ok()) return vdl_doc.error();
@@ -276,11 +296,14 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   auto abstract = vds::compose_abstract_workflow(vdc, {out_lfn});
   if (!abstract.ok()) return abstract.error();
   trace.compose_wall_ms = wall_ms_since(t0);
+  compose_span.count("vdl_bytes", trace.vdl_bytes);
+  compose_span.end();
 
   // (4c) Pegasus planning. The generated concat transformation runs at the
   // service's own site (where the results will be gathered).
   (void)tc_.add({"concatMorph_" + out_name, config_.cache_site,
                  "/grid/bin/concatMorph", {}});
+  obs::Span plan_span = obs::start_span(config_.tracer, "compute.plan", "compute");
   t0 = std::chrono::steady_clock::now();
   pegasus::PlannerConfig planner_config = config_.planner;
   planner_config.output_site = config_.cache_site;
@@ -289,6 +312,8 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   if (!plan.ok()) return plan.error();
   trace.plan = std::move(plan.value());
   trace.plan_wall_ms = wall_ms_since(t0);
+  plan_span.count("concrete_nodes", static_cast<double>(trace.plan.concrete.num_nodes()));
+  plan_span.end();
 
   // (4d) Simulated DAGMan execution for the timing/accounting shape.
   grid::JobCostModel cost = config_.cost;
@@ -304,6 +329,7 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   // Node-retry budget unified with the per-request retries the staging
   // phase already performs, so a permanent failure is not retried
   // multiplicatively across the two layers.
+  obs::Span dag_span = obs::start_span(config_.tracer, "compute.dagman", "compute");
   grid::DagManSim dagman(
       grid_, cost,
       pegasus::unify_retry_budgets(config_.failure, config_.retry.max_attempts),
@@ -311,6 +337,21 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   auto report = dagman.run(trace.plan.concrete);
   if (!report.ok()) return report.error();
   trace.execution = std::move(report.value());
+  if (config_.tracer) {
+    // Node executions are simulated, so their spans are recorded
+    // retrospectively from the discrete-event report on the sim timeline.
+    for (const grid::NodeResult& r : trace.execution.nodes) {
+      if (r.outcome == grid::NodeOutcome::kSkipped) continue;
+      config_.tracer->record_span(
+          dag_span.id(), "dag.node", "grid", r.start_seconds * 1000.0,
+          (r.end_seconds - r.start_seconds) * 1000.0,
+          {{"attempts", static_cast<double>(r.attempts)},
+           {"failed", r.outcome == grid::NodeOutcome::kFailed ? 1.0 : 0.0}},
+          {{"node", r.id}, {"site", r.site}});
+    }
+  }
+  dag_span.count("jobs", static_cast<double>(trace.execution.jobs_total));
+  dag_span.end();
   (void)pegasus::commit_execution(trace.plan.concrete, trace.execution, rls_, grid_);
   // Record provenance of every product this run materialized.
   std::vector<std::string> succeeded;
@@ -352,6 +393,8 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
 
   trace.total_sim_seconds =
       trace.image_fetch_sim_ms / 1000.0 + trace.execution.makespan_seconds;
+  req.count("valid", static_cast<double>(trace.valid_results));
+  req.count("invalid", static_cast<double>(trace.invalid_results));
   record.state = "completed";
   record.messages.push_back(
       format("job completed: %zu valid, %zu invalid, makespan %.1f sim-s",
@@ -395,6 +438,20 @@ Expected<votable::Table> MorphologyService::fetch_result(
                  format("result fetch returned %d", response->status));
   }
   return votable::from_votable_xml(response->body_text());
+}
+
+void MorphologyService::register_metrics(obs::MetricsRegistry& registry) const {
+  services::register_metrics(registry, cache_, "cache.replica");
+  services::register_metrics(registry, client_, "client.compute");
+  const grid::ThreadPool* pool = &pool_;
+  registry.register_gauge("pool.queue_depth",
+                          [pool] { return static_cast<double>(pool->queue_depth()); });
+  registry.register_gauge("pool.active_tasks", [pool] {
+    return static_cast<double>(pool->active_tasks());
+  });
+  registry.register_gauge("pool.threads", [pool] {
+    return static_cast<double>(pool->num_threads());
+  });
 }
 
 const ServiceTrace* MorphologyService::trace(const std::string& request_id) const {

@@ -31,6 +31,8 @@
 #include "grid/dagman.hpp"
 #include "grid/grid.hpp"
 #include "grid/threadpool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pegasus/planner.hpp"
 #include "pegasus/rls.hpp"
 #include "pegasus/tc.hpp"
@@ -63,6 +65,9 @@ struct ComputeServiceConfig {
   /// blocks once this many kernel tasks are pending, keeping pinned cutout
   /// memory proportional to the bound rather than the cluster size.
   std::size_t prefetch_depth = 32;
+  /// Optional trace-span sink (staging, planning, DAGMan nodes, kernels).
+  /// Must outlive the service.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Everything measured about one request (drives the Fig. 6 benchmark).
@@ -137,6 +142,11 @@ class MorphologyService {
 
   /// The sharded LRU replica store (hit/miss/eviction/bytes metrics).
   const services::ReplicaCache& replica_cache() const { return cache_; }
+
+  /// Registers this service's metrics (staging client, replica cache,
+  /// kernel-pool queue depth) under "client.compute.*", "cache.replica.*"
+  /// and "pool.*". The service must outlive the registry's use.
+  void register_metrics(obs::MetricsRegistry& registry) const;
 
  private:
   struct RequestRecord {

@@ -118,10 +118,12 @@ Expected<Portal::ImageLinks> Portal::find_large_scale_images(
   if (!cluster) return Error(ErrorCode::kNotFound, "unknown cluster " + cluster_name);
 
   ImageLinks links;
+  obs::Span stage = obs::start_span(config_.tracer, "portal.image_search", "portal");
   const double before = fabric_.metrics().total_elapsed_ms;
   // Optical: DSS. X-ray: ROSAT + Chandra. An archive being down is not
   // fatal — the analysis can proceed without a large-scale image.
   {
+    obs::Span q = obs::start_span(config_.tracer, "query.DSS", "archive");
     const auto snap = stats_snapshot(client_, federation_.dss_sia);
     auto dss = services::sia_query(client_, federation_.dss_sia, cluster->position,
                                    cluster->search_radius_deg * 2.0);
@@ -132,12 +134,18 @@ Expected<Portal::ImageLinks> Portal::find_large_scale_images(
     } else {
       status.skipped_reason = dss.error().to_string();
       log_warn("portal", "DSS SIA failed: " + dss.error().to_string());
+      q.note("skipped", status.skipped_reason);
     }
+    q.count("attempts", static_cast<double>(status.attempted));
+    q.count("retries", static_cast<double>(status.retries));
+    q.count("rows", static_cast<double>(status.rows));
     record_archive(trace, std::move(status));
   }
   const std::pair<const char*, const std::string*> xray_archives[] = {
       {"ROSAT", &federation_.rosat_sia}, {"Chandra", &federation_.chandra_sia}};
   for (const auto& [name, base] : xray_archives) {
+    obs::Span q =
+        obs::start_span(config_.tracer, std::string("query.") + name, "archive");
     const auto snap = stats_snapshot(client_, *base);
     auto xr = services::sia_query(client_, *base, cluster->position,
                                   cluster->search_radius_deg * 2.0);
@@ -148,7 +156,11 @@ Expected<Portal::ImageLinks> Portal::find_large_scale_images(
     } else {
       status.skipped_reason = xr.error().to_string();
       log_warn("portal", "X-ray SIA failed: " + xr.error().to_string());
+      q.note("skipped", status.skipped_reason);
     }
+    q.count("attempts", static_cast<double>(status.attempted));
+    q.count("retries", static_cast<double>(status.retries));
+    q.count("rows", static_cast<double>(status.rows));
     record_archive(trace, std::move(status));
   }
   if (trace) trace->image_search_ms += fabric_.metrics().total_elapsed_ms - before;
@@ -160,17 +172,28 @@ Expected<votable::Table> Portal::build_galaxy_catalog(const std::string& cluster
   const ClusterEntry* cluster = find_cluster(cluster_name);
   if (!cluster) return Error(ErrorCode::kNotFound, "unknown cluster " + cluster_name);
 
+  obs::Span stage = obs::start_span(config_.tracer, "portal.catalog_build", "portal");
   const double before = fabric_.metrics().total_elapsed_ms;
+  obs::Span ned_span = obs::start_span(config_.tracer, "query.NED", "archive");
   const auto ned_snap = stats_snapshot(client_, federation_.ned_cone);
   auto ned = services::cone_search(client_, federation_.ned_cone, cluster->position,
                                    cluster->search_radius_deg);
   ArchiveStatus ned_status = archive_status("NED", federation_.ned_cone, ned_snap);
+  if (ned.ok()) ned_status.rows = ned->num_rows();
+  ned_span.count("attempts", static_cast<double>(ned_status.attempted));
+  ned_span.count("retries", static_cast<double>(ned_status.retries));
+  ned_span.count("rows", static_cast<double>(ned_status.rows));
+  ned_span.end();
+  obs::Span cnoc_span = obs::start_span(config_.tracer, "query.CNOC", "archive");
   const auto cnoc_snap = stats_snapshot(client_, federation_.cnoc_cone);
   auto cnoc = services::cone_search(client_, federation_.cnoc_cone, cluster->position,
                                     cluster->search_radius_deg);
   ArchiveStatus cnoc_status = archive_status("CNOC", federation_.cnoc_cone, cnoc_snap);
-  if (ned.ok()) ned_status.rows = ned->num_rows();
   if (cnoc.ok()) cnoc_status.rows = cnoc->num_rows();
+  cnoc_span.count("attempts", static_cast<double>(cnoc_status.attempted));
+  cnoc_span.count("retries", static_cast<double>(cnoc_status.retries));
+  cnoc_span.count("rows", static_cast<double>(cnoc_status.rows));
+  cnoc_span.end();
 
   // Graceful degradation: either survey alone still yields a usable catalog
   // (both carry id/ra/dec); only losing both archives is fatal.
@@ -196,6 +219,11 @@ Expected<votable::Table> Portal::build_galaxy_catalog(const std::string& cluster
                            ned.error().to_string());
     catalog = std::move(cnoc.value());
   } else {
+    // Dual-archive outage: record WHY each archive delivered nothing, so
+    // the failure is diagnosable from the outcome's ArchiveStatus entries.
+    ned_status.skipped_reason = ned.error().to_string();
+    cnoc_status.skipped_reason =
+        cnoc.ok() ? "empty result" : cnoc.error().to_string();
     record_archive(trace, std::move(ned_status));
     record_archive(trace, std::move(cnoc_status));
     if (trace) trace->catalog_build_ms += fabric_.metrics().total_elapsed_ms - before;
@@ -223,6 +251,7 @@ Expected<votable::Table> Portal::attach_cutout_refs(votable::Table catalog,
     return Error(ErrorCode::kInvalidArgument, "catalog lacks ra/dec");
   }
 
+  obs::Span stage = obs::start_span(config_.tracer, "portal.cutout_refs", "portal");
   const double before = fabric_.metrics().total_elapsed_ms;
   const auto cutout_snap = stats_snapshot(client_, federation_.cutout_sia);
   std::size_t queries = 0;
@@ -289,35 +318,43 @@ Expected<votable::Table> Portal::attach_cutout_refs(votable::Table catalog,
     // each response stays patch-sized. A failed patch query loses only
     // that patch's cutout references.
     const double patch = std::max(config_.cutout_patch_deg, 1e-6);
-    std::map<std::pair<long, long>, std::vector<std::size_t>> patches;
+    // Each patch keeps (row index, position): positions are captured once
+    // at bucketing time, so no later step re-dereferences as_number() on a
+    // row it has not itself checked.
+    struct Member {
+      std::size_t row;
+      sky::Equatorial pos;
+    };
+    std::map<std::pair<long, long>, std::vector<Member>> patches;
     for (std::size_t i = 0; i < catalog.num_rows(); ++i) {
       const auto ra = catalog.row(i)[*ra_col].as_number();
       const auto dec = catalog.row(i)[*dec_col].as_number();
       if (!ra || !dec) continue;
       patches[{static_cast<long>(std::floor(*ra / patch)),
                static_cast<long>(std::floor(*dec / patch))}]
-          .push_back(i);
+          .push_back(Member{i, {*ra, *dec}});
     }
-    for (const auto& [cell, row_ids] : patches) {
+    for (const auto& [cell, members] : patches) {
       // Patch center = member centroid; the query radius covers the
       // farthest member plus a cutout-size margin.
       double sum_ra = 0.0, sum_dec = 0.0;
-      for (const std::size_t i : row_ids) {
-        sum_ra += *catalog.row(i)[*ra_col].as_number();
-        sum_dec += *catalog.row(i)[*dec_col].as_number();
+      for (const Member& m : members) {
+        sum_ra += m.pos.ra_deg;
+        sum_dec += m.pos.dec_deg;
       }
-      const sky::Equatorial center{sum_ra / row_ids.size(),
-                                   sum_dec / row_ids.size()};
+      const sky::Equatorial center{sum_ra / members.size(),
+                                   sum_dec / members.size()};
       double max_sep = 0.0;
-      for (const std::size_t i : row_ids) {
-        const sky::Equatorial pos{*catalog.row(i)[*ra_col].as_number(),
-                                  *catalog.row(i)[*dec_col].as_number()};
-        max_sep = std::max(max_sep, sky::angular_separation_deg(center, pos));
+      for (const Member& m : members) {
+        max_sep = std::max(max_sep, sky::angular_separation_deg(center, m.pos));
       }
       auto records = services::sia_query(client_, federation_.cutout_sia, center,
                                          2.0 * max_sep + config_.cutout_size_deg);
       ++queries;
       if (!records.ok() || records->empty()) continue;
+      std::vector<std::size_t> row_ids;
+      row_ids.reserve(members.size());
+      for (const Member& m : members) row_ids.push_back(m.row);
       match_records(records.value(), row_ids);
     }
   } else {
@@ -358,6 +395,8 @@ Expected<votable::Table> Portal::attach_cutout_refs(votable::Table catalog,
     }
     record_archive(trace, std::move(status));
   }
+  stage.count("queries", static_cast<double>(queries));
+  stage.count("refs", static_cast<double>(refs_attached));
   if (trace) {
     trace->cutout_query_ms += fabric_.metrics().total_elapsed_ms - before;
     trace->cutout_queries += queries;
@@ -365,69 +404,87 @@ Expected<votable::Table> Portal::attach_cutout_refs(votable::Table catalog,
   return catalog;
 }
 
-Expected<Portal::AnalysisOutcome> Portal::run_analysis(const std::string& cluster_name) {
+Portal::AnalysisOutcome Portal::run_analysis(const std::string& cluster_name) {
   AnalysisOutcome outcome;
   PortalTrace& trace = outcome.trace;
+  obs::Span root = obs::start_span(config_.tracer, "portal.run_analysis", "portal");
+  root.note("cluster", cluster_name);
+  const auto fail = [&](Error error) {
+    root.note("error", error.to_string());
+    outcome.status = std::move(error);
+    return std::move(outcome);
+  };
 
   auto images = find_large_scale_images(cluster_name, &trace);
-  if (!images.ok()) return images.error();
+  if (!images.ok()) return fail(images.error());
   outcome.images = std::move(images.value());
 
   auto catalog = build_galaxy_catalog(cluster_name, &trace);
-  if (!catalog.ok()) return catalog.error();
+  if (!catalog.ok()) return fail(catalog.error());
 
   auto with_refs = attach_cutout_refs(std::move(catalog.value()), cluster_name, &trace);
-  if (!with_refs.ok()) return with_refs.error();
+  if (!with_refs.ok()) return fail(with_refs.error());
   trace.galaxies = with_refs->num_rows();
 
-  // Drop rows with no cutout reference (nothing to compute on).
+  // Drop rows with no cutout reference (nothing to compute on). The column
+  // is checked, not assumed: a degraded cutout stage surfaces as a status,
+  // never as an unchecked dereference.
   const auto url_col = with_refs->column_index("cutout_url");
+  if (!url_col) {
+    return fail(Error(ErrorCode::kInternal,
+                      "cutout stage produced no cutout_url column"));
+  }
   votable::Table compute_input =
       votable::select(with_refs.value(), [&](const votable::Row& row) {
         const auto url = row[*url_col].as_string();
         return url && !url->empty();
       });
   if (compute_input.num_rows() == 0) {
-    return Error(ErrorCode::kInvalidArgument,
-                 "no galaxy in " + cluster_name + " has a cutout reference");
+    return fail(Error(ErrorCode::kInvalidArgument,
+                      "no galaxy in " + cluster_name + " has a cutout reference"));
   }
 
   // Submit to the compute service and poll asynchronously ("the portal
   // polls the returned URL until it finds a job completed status message").
+  obs::Span compute_span = obs::start_span(config_.tracer, "portal.compute", "portal");
   const double before_compute = fabric_.metrics().total_elapsed_ms;
   auto status_url = compute_.gal_morph_compute(compute_input, cluster_name);
-  if (!status_url.ok()) return status_url.error();
+  if (!status_url.ok()) return fail(status_url.error());
   std::string result_url;
   for (int i = 0; i < config_.poll_limit; ++i) {
     auto poll = compute_.poll(status_url.value());
-    if (!poll.ok()) return poll.error();
+    if (!poll.ok()) return fail(poll.error());
     ++trace.polls;
     if (poll->state == "completed") {
       result_url = poll->result_url;
       break;
     }
     if (poll->state == "failed") {
-      return Error(ErrorCode::kComputeFailed,
-                   "compute service failed: " + join(poll->messages, "; "));
+      return fail(Error(ErrorCode::kComputeFailed,
+                        "compute service failed: " + join(poll->messages, "; ")));
     }
   }
   if (result_url.empty()) {
-    return Error(ErrorCode::kTimeout, "compute service never completed");
+    return fail(Error(ErrorCode::kTimeout, "compute service never completed"));
   }
   auto morphology = compute_.fetch_result(result_url);
-  if (!morphology.ok()) return morphology.error();
+  if (!morphology.ok()) return fail(morphology.error());
   // Simulated compute latency: the service's own accounting (staging +
   // makespan) plus the polling round-trips recorded by the fabric.
   trace.compute_wait_ms += fabric_.metrics().total_elapsed_ms - before_compute;
   if (const ServiceTrace* st = compute_.last_trace()) {
     trace.compute_wait_ms += st->total_sim_seconds * 1000.0;
   }
+  compute_span.count("polls", static_cast<double>(trace.polls));
+  compute_span.count("galaxies", static_cast<double>(compute_input.num_rows()));
+  compute_span.end();
 
   // Final merge: morphology columns joined back onto the full catalog.
+  obs::Span merge_span = obs::start_span(config_.tracer, "portal.merge", "portal");
   const auto t0 = std::chrono::steady_clock::now();
   auto merged = votable::join(with_refs.value(), morphology.value(), "id", "id",
                               votable::JoinKind::kLeft);
-  if (!merged.ok()) return merged.error();
+  if (!merged.ok()) return fail(merged.error());
   trace.merge_ms = wall_ms_since(t0);
 
   const auto valid_col = merged->column_index("valid");
@@ -441,8 +498,12 @@ Expected<Portal::AnalysisOutcome> Portal::run_analysis(const std::string& cluste
     }
     ++trace.invalid;
   }
+  merge_span.end();
   outcome.catalog = std::move(merged.value());
   outcome.catalog.name = cluster_name + "_analysis";
+  root.count("galaxies", static_cast<double>(trace.galaxies));
+  root.count("valid", static_cast<double>(trace.valid));
+  root.count("invalid", static_cast<double>(trace.invalid));
   return outcome;
 }
 

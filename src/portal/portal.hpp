@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/expected.hpp"
+#include "obs/trace.hpp"
 #include "portal/compute_service.hpp"
 #include "services/federation.hpp"
 #include "services/http.hpp"
@@ -48,6 +49,9 @@ struct PortalConfig {
   int poll_limit = 64;                ///< max status polls before giving up
   services::RetryPolicy retry;        ///< per-request tolerance for all queries
   services::BreakerPolicy breaker;
+  /// Optional trace-span sink for the request path (null = no tracing).
+  /// Must outlive the portal.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Outcome of one archive interaction within an analysis run: how hard the
@@ -135,12 +139,24 @@ class Portal {
                                               PortalTrace* trace = nullptr);
 
   /// Full §2-strategy run: images, catalog, cutouts, compute, merge.
+  ///
+  /// Unlike an Expected<...>, the outcome always carries the PortalTrace —
+  /// on failure the per-archive ArchiveStatus entries accumulated up to the
+  /// failing stage survive, so a dual-archive outage is diagnosable from
+  /// the outcome instead of from a bare error string. `ok()`, `error()`
+  /// and `operator->` keep the former Expected call sites working.
   struct AnalysisOutcome {
     votable::Table catalog;  ///< galaxy catalog + morphology columns
     ImageLinks images;
-    PortalTrace trace;
+    PortalTrace trace;       ///< populated even when the run fails
+    Status status;           ///< Ok when the full pipeline delivered
+
+    bool ok() const { return status.ok(); }
+    const Error& error() const { return status.error(); }
+    AnalysisOutcome* operator->() { return this; }
+    const AnalysisOutcome* operator->() const { return this; }
   };
-  Expected<AnalysisOutcome> run_analysis(const std::string& cluster_name);
+  AnalysisOutcome run_analysis(const std::string& cluster_name);
 
   /// The portal's resilient HTTP client (retry/breaker/failover state).
   services::ResilientClient& client() { return client_; }

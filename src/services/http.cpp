@@ -130,28 +130,53 @@ HttpFabric::HttpFabric(std::uint64_t seed) : seed_(seed), rng_(seed) {}
 
 void HttpFabric::route(const std::string& host, const std::string& path_prefix,
                        Handler handler, EndpointModel model) {
+  std::lock_guard lock(mu_);
   routes_.push_back(Route{host, path_prefix, std::move(handler), model, {}});
 }
 
 void HttpFabric::reset_metrics() {
+  std::lock_guard lock(mu_);
+  // Counters only. clock_ is deliberately left alone: simulated time is
+  // monotonic, and breakers/chaos windows are scheduled against it.
   metrics_ = {};
   for (Route& r : routes_) r.metrics = {};
 }
 
+HttpFabric::Metrics HttpFabric::metrics() const {
+  std::lock_guard lock(mu_);
+  return metrics_;
+}
+
 std::optional<HttpFabric::Metrics> HttpFabric::metrics_for(
     const std::string& host, const std::string& path_prefix) const {
+  std::lock_guard lock(mu_);
   for (const Route& r : routes_) {
     if (r.host == host && r.path_prefix == path_prefix) return r.metrics;
   }
   return std::nullopt;
 }
 
+std::vector<std::pair<std::string, std::string>> HttpFabric::route_keys() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, std::string>> keys;
+  keys.reserve(routes_.size());
+  for (const Route& r : routes_) keys.emplace_back(r.host, r.path_prefix);
+  return keys;
+}
+
+void HttpFabric::charge_elapsed(double ms) {
+  metrics_.total_elapsed_ms += ms;
+  clock_.advance(ms);
+}
+
 void HttpFabric::advance_clock(double ms) {
-  if (ms > 0.0) metrics_.total_elapsed_ms += ms;
+  std::lock_guard lock(mu_);
+  if (ms > 0.0) charge_elapsed(ms);
 }
 
 Status HttpFabric::set_up(const std::string& host, const std::string& path_prefix,
                           bool up) {
+  std::lock_guard lock(mu_);
   for (Route& r : routes_) {
     if (r.host == host && r.path_prefix == path_prefix) {
       r.model.up = up;
@@ -176,6 +201,12 @@ Expected<HttpResponse> HttpFabric::get(const std::string& url_text) {
   if (!parsed.ok()) return parsed.error();
   const Url& url = parsed.value();
 
+  // One lock around the whole dispatch keeps the RNG stream, the fault
+  // injector, and the metric charges atomic per request — the draw order
+  // (and therefore every simulated timing) is identical to the historical
+  // single-threaded behaviour as long as requests arrive in the same order.
+  std::lock_guard lock(mu_);
+
   ++metrics_.requests;
   Route* route = find_route(url);
   if (!route) {
@@ -198,7 +229,7 @@ Expected<HttpResponse> HttpFabric::get(const std::string& url_text) {
   const auto charge_failure = [&](double elapsed_ms) {
     ++metrics_.failures;
     ++route->metrics.failures;
-    metrics_.total_elapsed_ms += elapsed_ms;
+    charge_elapsed(elapsed_ms);
     route->metrics.total_elapsed_ms += elapsed_ms;
   };
 
@@ -231,7 +262,7 @@ Expected<HttpResponse> HttpFabric::get(const std::string& url_text) {
   response.elapsed_ms = (model.latency_ms + transfer_ms) * jitter;
 
   metrics_.bytes_transferred += response.body.size();
-  metrics_.total_elapsed_ms += response.elapsed_ms;
+  charge_elapsed(response.elapsed_ms);
   route->metrics.bytes_transferred += response.body.size();
   route->metrics.total_elapsed_ms += response.elapsed_ms;
   return response;

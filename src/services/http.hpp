@@ -11,12 +11,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/expected.hpp"
 #include "common/rng.hpp"
+#include "obs/clock.hpp"
 
 namespace nvo::services {
 
@@ -69,9 +71,13 @@ class HttpChannel {
   virtual Expected<HttpResponse> get(const std::string& url_text) = 0;
 };
 
-/// The fabric: a routing table plus metrics. Thread-compatible: handlers
-/// run on the calling thread; the metrics counters are plain (the grid
-/// executor serializes its fabric access through the service layer).
+/// The fabric: a routing table plus metrics and the simulated clock.
+/// Thread-safe: dispatch (routing, fault sampling, jitter draws, metric
+/// charging) runs under an internal lock, so a fabric shared between the
+/// portal thread and the compute-service pool keeps well-defined RNG draws
+/// and per-route counters. Handlers run on the calling thread while the
+/// lock is held; the lock is recursive so a handler may legitimately issue
+/// nested fabric requests (service-to-service calls).
 class HttpFabric : public HttpChannel {
  public:
   explicit HttpFabric(std::uint64_t seed = 7);
@@ -100,7 +106,12 @@ class HttpFabric : public HttpChannel {
     std::uint64_t bytes_transferred = 0;
     double total_elapsed_ms = 0.0;
   };
-  const Metrics& metrics() const { return metrics_; }
+  Metrics metrics() const;
+  /// Zeroes the cumulative counters (process-wide and per-route). Does NOT
+  /// touch the simulated clock: now_ms() is monotonic across resets, so
+  /// circuit-breaker cool-downs and chaos fault windows keep their phase.
+  /// (Historically the clock WAS metrics_.total_elapsed_ms, and resetting
+  /// metrics rewound time — see obs/clock.hpp.)
   void reset_metrics();
 
   /// Per-route metrics breakdown (same counters, scoped to one endpoint).
@@ -109,10 +120,19 @@ class HttpFabric : public HttpChannel {
   std::optional<Metrics> metrics_for(const std::string& host,
                                      const std::string& path_prefix) const;
 
-  /// The fabric's simulated clock: cumulative simulated milliseconds spent
+  /// Every registered (host, path_prefix) pair, in registration order —
+  /// lets the metrics bridge enumerate per-route counters.
+  std::vector<std::pair<std::string, std::string>> route_keys() const;
+
+  /// The fabric's simulated clock: monotonic simulated milliseconds spent
   /// in requests (and injected waits). Drives retry backoff deadlines,
-  /// circuit-breaker cool-downs, and chaos fault windows.
-  double now_ms() const { return metrics_.total_elapsed_ms; }
+  /// circuit-breaker cool-downs, and chaos fault windows. Unlike the
+  /// metrics counters, the clock survives reset_metrics().
+  double now_ms() const { return clock_.now_ms(); }
+
+  /// The underlying monotonic clock — attach it to an obs::Tracer to get
+  /// the simulated timeline alongside wall time.
+  const obs::SimClock& sim_clock() const { return clock_; }
 
   /// Advances the simulated clock without issuing a request (retry backoff
   /// sleeps). The wait is accounted into total_elapsed_ms like any other
@@ -131,7 +151,10 @@ class HttpFabric : public HttpChannel {
   using FaultInjector =
       std::function<std::optional<EndpointModel>(const Url&, const EndpointModel&,
                                                  double now_ms)>;
-  void set_fault_injector(FaultInjector injector) { injector_ = std::move(injector); }
+  void set_fault_injector(FaultInjector injector) {
+    std::lock_guard lock(mu_);
+    injector_ = std::move(injector);
+  }
 
  private:
   struct Route {
@@ -142,11 +165,15 @@ class HttpFabric : public HttpChannel {
     Metrics metrics;
   };
   Route* find_route(const Url& url);
+  void charge_elapsed(double ms);  ///< metrics + clock together (locked)
 
+  /// Recursive so a handler running under dispatch can issue nested GETs.
+  mutable std::recursive_mutex mu_;
   std::vector<Route> routes_;
   std::uint64_t seed_;
   Rng rng_;
   Metrics metrics_;
+  obs::SimClock clock_;
   FaultInjector injector_;
 };
 

@@ -1,0 +1,118 @@
+#include "services/obs_bridge.hpp"
+
+namespace nvo::services {
+
+std::string metric_key(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    const char mapped = c == '/' ? '.' : c;
+    if (mapped == '.' && (out.empty() || out.back() == '.')) continue;
+    out += mapped;
+  }
+  while (!out.empty() && out.back() == '.') out.pop_back();
+  return out;
+}
+
+void register_metrics(obs::MetricsRegistry& registry, const HttpFabric& fabric,
+                      const std::string& prefix) {
+  const HttpFabric* f = &fabric;
+  registry.register_counter(prefix + ".requests",
+                            [f] { return static_cast<double>(f->metrics().requests); });
+  registry.register_counter(prefix + ".failures",
+                            [f] { return static_cast<double>(f->metrics().failures); });
+  registry.register_counter(prefix + ".unrouted",
+                            [f] { return static_cast<double>(f->metrics().unrouted); });
+  registry.register_counter(prefix + ".hard_down",
+                            [f] { return static_cast<double>(f->metrics().hard_down); });
+  registry.register_counter(prefix + ".transient_failures", [f] {
+    return static_cast<double>(f->metrics().transient_failures);
+  });
+  registry.register_counter(prefix + ".bytes_transferred", [f] {
+    return static_cast<double>(f->metrics().bytes_transferred);
+  });
+  registry.register_counter(prefix + ".total_elapsed_ms",
+                            [f] { return f->metrics().total_elapsed_ms; });
+  registry.register_gauge(prefix + ".now_ms", [f] { return f->now_ms(); });
+  registry.register_collector(prefix + ".route", [f, prefix](auto& counters,
+                                                             auto& gauges) {
+    (void)gauges;
+    for (const auto& [host, path] : f->route_keys()) {
+      const auto m = f->metrics_for(host, path);
+      if (!m) continue;
+      const std::string base = prefix + ".route." + metric_key(host + path) + ".";
+      counters[base + "requests"] = static_cast<double>(m->requests);
+      counters[base + "failures"] = static_cast<double>(m->failures);
+      counters[base + "bytes_transferred"] =
+          static_cast<double>(m->bytes_transferred);
+      counters[base + "total_elapsed_ms"] = m->total_elapsed_ms;
+    }
+  });
+}
+
+void register_metrics(obs::MetricsRegistry& registry, const ReplicaCache& cache,
+                      const std::string& prefix) {
+  const ReplicaCache* c = &cache;
+  registry.register_counter(prefix + ".hits",
+                            [c] { return static_cast<double>(c->stats().hits); });
+  registry.register_counter(prefix + ".misses",
+                            [c] { return static_cast<double>(c->stats().misses); });
+  registry.register_counter(prefix + ".insertions",
+                            [c] { return static_cast<double>(c->stats().insertions); });
+  registry.register_counter(prefix + ".evictions",
+                            [c] { return static_cast<double>(c->stats().evictions); });
+  registry.register_gauge(prefix + ".bytes",
+                          [c] { return static_cast<double>(c->stats().bytes); });
+  registry.register_gauge(prefix + ".entries",
+                          [c] { return static_cast<double>(c->stats().entries); });
+}
+
+namespace {
+
+double breaker_state_value(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return 0.0;
+    case BreakerState::kHalfOpen: return 1.0;
+    case BreakerState::kOpen: return 2.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+void register_metrics(obs::MetricsRegistry& registry, const ResilientClient& client,
+                      const std::string& prefix) {
+  const ResilientClient* c = &client;
+  registry.register_counter(prefix + ".attempts",
+                            [c] { return static_cast<double>(c->totals().attempts); });
+  registry.register_counter(prefix + ".successes",
+                            [c] { return static_cast<double>(c->totals().successes); });
+  registry.register_counter(prefix + ".failures",
+                            [c] { return static_cast<double>(c->totals().failures); });
+  registry.register_counter(prefix + ".retries",
+                            [c] { return static_cast<double>(c->totals().retries); });
+  registry.register_counter(prefix + ".breaker_trips", [c] {
+    return static_cast<double>(c->totals().breaker_trips);
+  });
+  registry.register_counter(prefix + ".short_circuits", [c] {
+    return static_cast<double>(c->totals().short_circuits);
+  });
+  registry.register_counter(prefix + ".failovers",
+                            [c] { return static_cast<double>(c->totals().failovers); });
+  registry.register_counter(prefix + ".backoff_wait_ms",
+                            [c] { return c->totals().backoff_wait_ms; });
+  registry.register_collector(prefix + ".breaker", [c, prefix](auto& counters,
+                                                               auto& gauges) {
+    for (const std::string& host : c->known_hosts()) {
+      const std::string base = prefix + ".breaker." + metric_key(host) + ".";
+      gauges[base + "state"] = breaker_state_value(c->breaker_state(host));
+      if (const EndpointStats* s = c->stats_for(host)) {
+        counters[base + "trips"] = static_cast<double>(s->breaker_trips);
+        counters[base + "attempts"] = static_cast<double>(s->attempts);
+        counters[base + "failures"] = static_cast<double>(s->failures);
+      }
+    }
+  });
+}
+
+}  // namespace nvo::services

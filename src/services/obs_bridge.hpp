@@ -1,0 +1,45 @@
+// Bridges from the services layer's native stat structs to the unified
+// obs::MetricsRegistry. These live here (not in src/obs) so obs stays
+// dependency-free; each overload registers the component's counters/gauges
+// under the naming convention of DESIGN.md §9.
+//
+// All registrations capture the component by reference: the component must
+// outlive the registry (or be unregister()ed first). Dynamic families —
+// per-route fabric counters, per-endpoint breaker state — are registered as
+// collectors, so routes added and hosts contacted after registration still
+// appear in later snapshots.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "services/http.hpp"
+#include "services/replica_cache.hpp"
+#include "services/resilience.hpp"
+
+namespace nvo::services {
+
+/// `<prefix>.requests|failures|unrouted|hard_down|transient_failures|
+/// bytes_transferred|total_elapsed_ms` plus the gauge `<prefix>.now_ms`
+/// (the monotonic simulated clock) and, via a collector,
+/// `<prefix>.route.<host>.<path>.<counter>` per registered route.
+void register_metrics(obs::MetricsRegistry& registry, const HttpFabric& fabric,
+                      const std::string& prefix = "fabric");
+
+/// `<prefix>.hits|misses|insertions|evictions` counters and
+/// `<prefix>.bytes|entries` gauges.
+void register_metrics(obs::MetricsRegistry& registry, const ReplicaCache& cache,
+                      const std::string& prefix = "cache.replica");
+
+/// `<prefix>.attempts|successes|failures|retries|breaker_trips|
+/// short_circuits|failovers|backoff_wait_ms` totals plus, via a collector,
+/// `<prefix>.breaker.<host>.state` gauges (0 closed, 1 half-open, 2 open)
+/// and per-host attempt/failure counters.
+void register_metrics(obs::MetricsRegistry& registry, const ResilientClient& client,
+                      const std::string& prefix = "client");
+
+/// Metric-name-safe rendition of a host or path ("mast.stsci.edu/siap" ->
+/// "mast.stsci.edu.siap"): '/' becomes '.', duplicate dots collapse.
+std::string metric_key(const std::string& raw);
+
+}  // namespace nvo::services

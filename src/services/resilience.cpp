@@ -113,6 +113,13 @@ EndpointStats ResilientClient::totals() const {
   return sum;
 }
 
+std::vector<std::string> ResilientClient::known_hosts() const {
+  std::vector<std::string> hosts;
+  hosts.reserve(endpoints_.size());
+  for (const auto& [host, ep] : endpoints_) hosts.push_back(host);
+  return hosts;
+}
+
 BreakerState ResilientClient::breaker_state(const std::string& host) const {
   const auto it = endpoints_.find(host);
   return it == endpoints_.end() ? BreakerState::kClosed : it->second.breaker.state();

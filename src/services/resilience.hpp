@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/expected.hpp"
 #include "common/rng.hpp"
@@ -110,6 +111,8 @@ class ResilientClient : public HttpChannel {
   EndpointStats totals() const;
   /// Breaker state for one endpoint (kClosed when never contacted).
   BreakerState breaker_state(const std::string& host) const;
+  /// Every host this client has contacted (sorted; map iteration order).
+  std::vector<std::string> known_hosts() const;
 
   HttpFabric& fabric() { return fabric_; }
   const RetryPolicy& retry_policy() const { return retry_; }

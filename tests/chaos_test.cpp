@@ -12,6 +12,8 @@
 #include "analysis/campaign.hpp"
 #include "services/chaos.hpp"
 #include "services/federation.hpp"
+#include "services/http.hpp"
+#include "services/resilience.hpp"
 
 namespace nvo::analysis {
 namespace {
@@ -133,6 +135,88 @@ TEST(Chaos, FullArchiveOutageDegradesGracefully) {
   EXPECT_NE(text.find("degraded archive interactions"), std::string::npos);
   EXPECT_NE(text.find("CNOC"), std::string::npos);
   EXPECT_GT(report->total_retries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Regression tests for the metrics-coupled clock bug: now_ms() used to BE
+// metrics_.total_elapsed_ms, so reset_metrics() rewound simulated time —
+// un-tripping circuit breakers and replaying chaos fault windows that had
+// already passed.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, MetricsResetDoesNotRewindTheSimulatedClock) {
+  services::HttpFabric fabric(7);
+  fabric.route("a.sim", "/x", [](const services::Url&) {
+    return services::HttpResponse::text("ok");
+  });
+  ASSERT_TRUE(fabric.get("http://a.sim/x").ok());
+  fabric.advance_clock(500.0);
+  const double before = fabric.now_ms();
+  EXPECT_GT(before, 500.0);
+  EXPECT_GT(fabric.metrics().total_elapsed_ms, 0.0);
+
+  fabric.reset_metrics();
+
+  EXPECT_EQ(fabric.metrics().requests, 0u);
+  EXPECT_EQ(fabric.metrics().total_elapsed_ms, 0.0);
+  // The headline assertion: with the old coupled clock this was 0.0.
+  EXPECT_EQ(fabric.now_ms(), before);
+}
+
+TEST(Chaos, BreakerStateAndOutageWindowPhaseSurviveAMetricsReset) {
+  services::HttpFabric fabric(11);
+  fabric.route("down.sim", "/q", [](const services::Url&) {
+    return services::HttpResponse::text("ok");
+  });
+  // Hard outage covering the start of simulated time only.
+  const double outage_end_ms = 2000.0;
+  services::ChaosSchedule chaos;
+  chaos.outage("down.sim", 0.0, outage_end_ms);
+  services::install_chaos(fabric, chaos);
+
+  services::RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.base_backoff_ms = 10.0;
+  services::BreakerPolicy breaker;
+  breaker.failure_threshold = 2;
+  breaker.cooldown_ms = 500.0;
+  services::ResilientClient client(fabric, retry, breaker, "chaos-test");
+
+  // Trip the breaker inside the outage window.
+  EXPECT_FALSE(client.get("http://down.sim/q").ok());
+  ASSERT_EQ(client.breaker_state("down.sim"), services::BreakerState::kOpen);
+
+  // Move simulated time past both the outage window and the cool-down, then
+  // zero the counters mid-campaign (exactly what Campaign::run() does).
+  fabric.advance_clock(outage_end_ms + breaker.cooldown_ms);
+  fabric.reset_metrics();
+  EXPECT_GT(fabric.now_ms(), outage_end_ms);
+
+  // With the old metrics-coupled clock the reset rewound now_ms() to 0: the
+  // breaker's cool-down never elapsed and the outage window replayed. With
+  // the monotonic clock the host is healthy, the breaker half-opens, and
+  // the probe succeeds (half-open -> closed).
+  auto response = client.get("http://down.sim/q");
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(client.breaker_state("down.sim"), services::BreakerState::kClosed);
+}
+
+TEST(Chaos, SimulatedClockIsMonotonicAcrossConsecutiveCampaignRuns) {
+  CampaignConfig config = base_config(0.05);
+  config.chaos = all_archives_flaky(0.15);
+  Campaign campaign(config);
+  EXPECT_EQ(campaign.fabric().now_ms(), 0.0);
+
+  auto first = campaign.run();
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+  const double after_first = campaign.fabric().now_ms();
+  EXPECT_GT(after_first, 0.0);
+
+  // run() resets the counters at entry; time must keep flowing forward.
+  auto second = campaign.run();
+  ASSERT_TRUE(second.ok()) << second.error().to_string();
+  EXPECT_GT(campaign.fabric().now_ms(), after_first);
+  EXPECT_EQ(first->total_galaxies, second->total_galaxies);
 }
 
 }  // namespace

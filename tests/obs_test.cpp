@@ -1,0 +1,272 @@
+// Unit tests for the observability layer: the monotonic SimClock (the
+// decoupled clock behind the reset_metrics() bugfix), the span tracer and
+// its exports, and the unified metrics registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nvo::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SimClock
+// ---------------------------------------------------------------------------
+
+TEST(SimClock, StartsAtZeroAndAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_ms(), 0.0);
+  clock.advance(125.5);
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 126.0);
+}
+
+TEST(SimClock, IgnoresNonPositiveAndNonFiniteDeltas) {
+  SimClock clock;
+  clock.advance(100.0);
+  clock.advance(0.0);
+  clock.advance(-50.0);
+  clock.advance(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 100.0);  // time never moves backwards
+}
+
+// ---------------------------------------------------------------------------
+// Tracer / Span
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, ImplicitNestingFollowsThePerThreadStack) {
+  Tracer tracer;
+  {
+    Span root = tracer.span("root", "test");
+    Span child = tracer.span("child");
+    Span grandchild = tracer.span("leaf");
+    grandchild.end();
+    child.end();
+    Span sibling = tracer.span("child2");
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].category, "test");
+  EXPECT_EQ(spans[1].parent, spans[0].id);   // child under root
+  EXPECT_EQ(spans[2].parent, spans[1].id);   // leaf under child
+  EXPECT_EQ(spans[3].parent, spans[0].id);   // child2 under root again
+  for (const SpanRecord& s : spans) {
+    EXPECT_FALSE(s.open);
+    EXPECT_GE(s.wall_dur_ms, 0.0);
+  }
+}
+
+TEST(Tracer, SpanUnderParentsAcrossThreads) {
+  Tracer tracer;
+  Span stage = tracer.span("stage");
+  const std::uint64_t stage_id = stage.id();
+  std::thread worker([&] {
+    Span task = tracer.span_under(stage_id, "task", "pool");
+    task.count("items", 3.0);
+  });
+  worker.join();
+  stage.end();
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_NE(spans[1].thread_index, spans[0].thread_index);
+}
+
+TEST(Tracer, CountersAccumulateByKeyAndFreezeAfterEnd) {
+  Tracer tracer;
+  Span s = tracer.span("work");
+  s.count("rows", 2.0);
+  s.count("rows", 3.0);
+  s.count("bytes", 100.0);
+  s.note("cluster", "MS1621");
+  s.end();
+  s.count("rows", 99.0);   // no-op: the handle is inert after end()
+  s.note("late", "nope");
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].counters.size(), 2u);
+  EXPECT_EQ(spans[0].counters[0].first, "rows");
+  EXPECT_DOUBLE_EQ(spans[0].counters[0].second, 5.0);
+  ASSERT_EQ(spans[0].notes.size(), 1u);
+  EXPECT_EQ(spans[0].notes[0].second, "MS1621");
+}
+
+TEST(Tracer, RecordSpanCapturesRetrospectiveSimulatedEvents) {
+  SimClock clock;
+  Tracer tracer;
+  tracer.set_sim_clock(&clock);
+  Span root = tracer.span("dagman");
+  const std::uint64_t id = tracer.record_span(
+      root.id(), "dag.node", "grid", 1500.0, 250.0,
+      {{"attempts", 1.0}}, {{"site", "isi"}});
+  EXPECT_NE(id, 0u);
+  root.end();
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord& node = spans[1];
+  EXPECT_EQ(node.parent, spans[0].id);
+  EXPECT_DOUBLE_EQ(node.sim_start_ms, 1500.0);
+  EXPECT_DOUBLE_EQ(node.sim_dur_ms, 250.0);
+  EXPECT_FALSE(node.open);
+}
+
+TEST(Tracer, SimClockTimelineIsCapturedWhenAttached) {
+  SimClock clock;
+  Tracer tracer;
+  tracer.set_sim_clock(&clock);
+  clock.advance(40.0);
+  Span s = tracer.span("request");
+  clock.advance(60.0);
+  s.end();
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].sim_start_ms, 40.0);
+  EXPECT_DOUBLE_EQ(spans[0].sim_dur_ms, 60.0);
+}
+
+TEST(Tracer, DisabledTracerYieldsInertSpans) {
+  Tracer tracer;
+  tracer.set_enabled(false);
+  Span s = tracer.span("invisible");
+  EXPECT_FALSE(s.active());
+  s.count("x", 1.0);
+  s.end();
+  EXPECT_EQ(tracer.span_count(), 0u);
+
+  Span inert = start_span(nullptr, "also-invisible");
+  EXPECT_FALSE(inert.active());
+}
+
+TEST(Tracer, TreeTextCollapsesRepeatedSiblingsWithSummedCounters) {
+  Tracer tracer;
+  {
+    Span root = tracer.span("portal.run", "portal");
+    for (int i = 0; i < 3; ++i) {
+      Span k = tracer.span("kernel.galmorph", "kernel");
+      k.count("valid", 1.0);
+    }
+    Span q = tracer.span("query.NED", "archive");
+    q.count("rows", 12.0);
+  }
+  EXPECT_EQ(tracer.to_tree_text(),
+            "portal.run [portal]\n"
+            "  kernel.galmorph [kernel] x3 {valid=3}\n"
+            "  query.NED [archive] {rows=12}\n");
+}
+
+TEST(Tracer, ChromeTraceExportHasBothTimelines) {
+  SimClock clock;
+  Tracer tracer;
+  tracer.set_sim_clock(&clock);
+  {
+    Span s = tracer.span("request", "portal");
+    clock.advance(10.0);
+  }
+  const std::string json = tracer.to_chrome_trace();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall time\""), std::string::npos);
+  EXPECT_NE(json.find("\"simulated time\""), std::string::npos);
+  EXPECT_NE(json.find("\"request\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(Tracer, ClearDropsSpansButKeepsTracing) {
+  Tracer tracer;
+  { Span s = tracer.span("a"); }
+  tracer.clear();
+  EXPECT_EQ(tracer.span_count(), 0u);
+  { Span s = tracer.span("b"); }
+  EXPECT_EQ(tracer.span_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram / MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketsValuesByUpperBound) {
+  Histogram h({10.0, 100.0, 1000.0});
+  h.observe(5.0);
+  h.observe(10.0);    // on the edge: belongs to the <=10 bucket
+  h.observe(50.0);
+  h.observe(5000.0);  // overflow
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_DOUBLE_EQ(h.total_sum(), 5065.0);
+}
+
+TEST(MetricsRegistry, SnapshotEvaluatesCallbacksAtOneInstant) {
+  MetricsRegistry registry;
+  double requests = 0.0;
+  double depth = 7.0;
+  registry.register_counter("fabric.requests", [&] { return requests; });
+  registry.register_gauge("pool.queue_depth", [&] { return depth; });
+
+  requests = 42.0;
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.counter("fabric.requests"), 42.0);
+  EXPECT_DOUBLE_EQ(snap.gauge("pool.queue_depth"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.counter("no.such.metric"), 0.0);
+}
+
+TEST(MetricsRegistry, CollectorContributesDynamicFamilies) {
+  MetricsRegistry registry;
+  registry.register_collector("routes", [](std::map<std::string, double>& counters,
+                                           std::map<std::string, double>& gauges) {
+    counters["fabric.route.mast.requests"] = 3.0;
+    gauges["breaker.mast.state"] = 2.0;
+  });
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.counter("fabric.route.mast.requests"), 3.0);
+  EXPECT_DOUBLE_EQ(snap.gauge("breaker.mast.state"), 2.0);
+}
+
+TEST(MetricsRegistry, HistogramIsOwnedAndReused) {
+  MetricsRegistry registry;
+  Histogram* h1 = registry.histogram("request.ms", {10.0, 100.0});
+  Histogram* h2 = registry.histogram("request.ms", {999.0});  // same name: reused
+  EXPECT_EQ(h1, h2);
+  h1->observe(50.0);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.count("request.ms"), 1u);
+  EXPECT_EQ(snap.histograms.at("request.ms").total_count, 1u);
+  ASSERT_EQ(snap.histograms.at("request.ms").bounds.size(), 2u);
+}
+
+TEST(MetricsRegistry, UnregisterRemovesTheMetric) {
+  MetricsRegistry registry;
+  registry.register_counter("gone.soon", [] { return 1.0; });
+  registry.unregister("gone.soon");
+  EXPECT_EQ(registry.snapshot().counters.count("gone.soon"), 0u);
+}
+
+TEST(MetricsSnapshot, TextAndJsonRenditions) {
+  MetricsRegistry registry;
+  registry.register_counter("a.total", [] { return 5.0; });
+  registry.register_gauge("b.depth", [] { return 1.5; });
+  const MetricsSnapshot snap = registry.snapshot();
+  const std::string text = snap.to_text();
+  EXPECT_NE(text.find("a.total 5"), std::string::npos);
+  EXPECT_NE(text.find("b.depth 1.5"), std::string::npos);
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"a.total\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nvo::obs

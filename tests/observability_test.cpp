@@ -1,0 +1,216 @@
+// End-to-end observability tests: one Fig. 5 portal run traced span-by-span
+// (golden tree, Chrome trace export) and the MetricsRegistry snapshot
+// reconciled exactly against the legacy per-component stat structs
+// (HttpFabric::Metrics, per-route metrics_for, ReplicaCache::Stats,
+// ResilientClient totals).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/campaign.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "services/obs_bridge.hpp"
+
+namespace nvo::analysis {
+namespace {
+
+class ObservabilityFixture : public ::testing::Test {
+ protected:
+  ObservabilityFixture() : campaign_(make_config(&tracer_)) {}
+
+  static CampaignConfig make_config(obs::Tracer* tracer) {
+    CampaignConfig config;
+    config.population_scale = 0.02;  // clusters of 8..12 galaxies
+    config.compute_threads = 2;
+    config.tracer = tracer;
+    return config;
+  }
+
+  obs::Tracer tracer_;  // must outlive campaign_ (config holds a pointer)
+  Campaign campaign_;
+};
+
+TEST_F(ObservabilityFixture, Fig5RunProducesTheGoldenSpanTree) {
+  auto outcome = campaign_.portal().run_analysis("MS1621");
+  ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+
+  // The canonical timing-free rendition: children sorted by name, repeated
+  // siblings collapsed with summed counters. Everything here is seeded, so
+  // the tree — stage structure, archive rows, retry counts, per-galaxy
+  // kernel spans, DAGMan node count — is bit-stable.
+  EXPECT_EQ(tracer_.to_tree_text(),
+            std::string(
+                R"(portal.run_analysis [portal] {galaxies=8, invalid=0, valid=8} cluster=MS1621
+  portal.catalog_build [portal]
+    query.CNOC [archive] {attempts=1, retries=0, rows=8}
+    query.NED [archive] {attempts=1, retries=0, rows=8}
+  portal.compute [portal] {galaxies=8, polls=1}
+    compute.request [compute] {invalid=0, valid=8} request=req-000001
+      compute.dagman [compute] {jobs=25}
+        dag.node [grid] x25 {attempts=25, failed=0}
+      compute.plan [compute] {concrete_nodes=25}
+      compute.staging [compute] {images_cached=0, images_fetched=8, retries=0}
+        kernel.galmorph [kernel] x8 {valid=8}
+      compute.vdl_compose [compute] {vdl_bytes=2203}
+  portal.cutout_refs [portal] {queries=6, refs=8}
+  portal.image_search [portal]
+    query.Chandra [archive] {attempts=1, retries=0, rows=1}
+    query.DSS [archive] {attempts=1, retries=0, rows=1}
+    query.ROSAT [archive] {attempts=1, retries=0, rows=1}
+  portal.merge [portal]
+)"));
+}
+
+TEST_F(ObservabilityFixture, ChromeTraceExportIsLoadableAndComplete) {
+  auto outcome = campaign_.portal().run_analysis("MS1621");
+  ASSERT_TRUE(outcome.ok());
+
+  const std::string json = tracer_.to_chrome_trace();
+  // Container shape + both timelines' process metadata.
+  EXPECT_EQ(json.find("{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["), 0u);
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+  EXPECT_NE(json.find("\"wall time\""), std::string::npos);
+  EXPECT_NE(json.find("\"simulated time\""), std::string::npos);
+  // Every stage of the request path appears as a complete ("X") event.
+  for (const char* name :
+       {"portal.run_analysis", "portal.image_search", "query.DSS", "query.NED",
+        "query.CNOC", "portal.catalog_build", "portal.cutout_refs",
+        "compute.request", "compute.staging", "kernel.galmorph",
+        "compute.vdl_compose", "compute.plan", "compute.dagman", "dag.node",
+        "portal.compute", "portal.merge"}) {
+    EXPECT_NE(json.find(std::string("\"name\": \"") + name + "\""),
+              std::string::npos)
+        << name;
+  }
+  // Balanced braces — a cheap structural-validity check for the whole file.
+  int depth = 0;
+  bool in_string = false;
+  char prev = '\0';
+  for (char c : json) {
+    if (c == '"' && prev != '\\') in_string = !in_string;
+    if (!in_string) {
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+      ASSERT_GE(depth, 0);
+    }
+    prev = c;
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ObservabilityFixture, SnapshotReconcilesWithLegacyMetricsExactly) {
+  obs::MetricsRegistry registry;
+  campaign_.register_metrics(registry);
+  auto outcome = campaign_.portal().run_analysis("MS1621");
+  ASSERT_TRUE(outcome.ok());
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+
+  // Fabric totals.
+  const services::HttpFabric::Metrics m = campaign_.fabric().metrics();
+  EXPECT_EQ(snap.counter("fabric.requests"), static_cast<double>(m.requests));
+  EXPECT_EQ(snap.counter("fabric.failures"), static_cast<double>(m.failures));
+  EXPECT_EQ(snap.counter("fabric.unrouted"), static_cast<double>(m.unrouted));
+  EXPECT_EQ(snap.counter("fabric.hard_down"), static_cast<double>(m.hard_down));
+  EXPECT_EQ(snap.counter("fabric.transient_failures"),
+            static_cast<double>(m.transient_failures));
+  EXPECT_EQ(snap.counter("fabric.bytes_transferred"),
+            static_cast<double>(m.bytes_transferred));
+  EXPECT_DOUBLE_EQ(snap.counter("fabric.total_elapsed_ms"), m.total_elapsed_ms);
+  EXPECT_DOUBLE_EQ(snap.gauge("fabric.now_ms"), campaign_.fabric().now_ms());
+  EXPECT_GT(m.requests, 0u);  // the run actually exercised the fabric
+
+  // Per-route family: every registered route's snapshot entry equals the
+  // legacy metrics_for() value, and the family sums back to the totals.
+  double route_requests = 0.0, route_bytes = 0.0;
+  for (const auto& [host, path] : campaign_.fabric().route_keys()) {
+    const auto rm = campaign_.fabric().metrics_for(host, path);
+    ASSERT_TRUE(rm.has_value()) << host << path;
+    const std::string base =
+        "fabric.route." + services::metric_key(host + path) + ".";
+    EXPECT_EQ(snap.counter(base + "requests"),
+              static_cast<double>(rm->requests))
+        << base;
+    EXPECT_EQ(snap.counter(base + "failures"),
+              static_cast<double>(rm->failures))
+        << base;
+    EXPECT_EQ(snap.counter(base + "bytes_transferred"),
+              static_cast<double>(rm->bytes_transferred))
+        << base;
+    EXPECT_DOUBLE_EQ(snap.counter(base + "total_elapsed_ms"),
+                     rm->total_elapsed_ms)
+        << base;
+    route_requests += static_cast<double>(rm->requests);
+    route_bytes += static_cast<double>(rm->bytes_transferred);
+  }
+  EXPECT_EQ(route_requests + static_cast<double>(m.unrouted),
+            static_cast<double>(m.requests));
+  EXPECT_EQ(route_bytes, static_cast<double>(m.bytes_transferred));
+
+  // Replica cache.
+  const services::ReplicaCache::Stats cs =
+      campaign_.compute_service().replica_cache().stats();
+  EXPECT_EQ(snap.counter("cache.replica.hits"), static_cast<double>(cs.hits));
+  EXPECT_EQ(snap.counter("cache.replica.misses"),
+            static_cast<double>(cs.misses));
+  EXPECT_EQ(snap.counter("cache.replica.insertions"),
+            static_cast<double>(cs.insertions));
+  EXPECT_EQ(snap.counter("cache.replica.evictions"),
+            static_cast<double>(cs.evictions));
+  EXPECT_EQ(snap.gauge("cache.replica.bytes"), static_cast<double>(cs.bytes));
+  EXPECT_EQ(snap.gauge("cache.replica.entries"),
+            static_cast<double>(cs.entries));
+  EXPECT_GT(cs.insertions, 0u);
+
+  // Both resilient clients' totals.
+  const services::EndpointStats pt = campaign_.portal().client().totals();
+  EXPECT_EQ(snap.counter("client.portal.attempts"),
+            static_cast<double>(pt.attempts));
+  EXPECT_EQ(snap.counter("client.portal.successes"),
+            static_cast<double>(pt.successes));
+  EXPECT_EQ(snap.counter("client.portal.retries"),
+            static_cast<double>(pt.retries));
+  const services::EndpointStats ct =
+      campaign_.compute_service().client().totals();
+  EXPECT_EQ(snap.counter("client.compute.attempts"),
+            static_cast<double>(ct.attempts));
+  EXPECT_EQ(snap.counter("client.compute.successes"),
+            static_cast<double>(ct.successes));
+  EXPECT_GT(pt.attempts, 0u);
+  EXPECT_GT(ct.attempts, 0u);
+
+  // Per-endpoint breaker gauges: every contacted host reports closed (the
+  // run was fault-free).
+  for (const std::string& host : campaign_.portal().client().known_hosts()) {
+    const std::string name =
+        "client.portal.breaker." + services::metric_key(host) + ".state";
+    ASSERT_EQ(snap.gauges.count(name), 1u) << name;
+    EXPECT_EQ(snap.gauge(name), 0.0) << name;
+  }
+
+  // Kernel pool gauges: idle after the run, sized as configured.
+  EXPECT_EQ(snap.gauge("pool.queue_depth"), 0.0);
+  EXPECT_EQ(snap.gauge("pool.active_tasks"), 0.0);
+  EXPECT_EQ(snap.gauge("pool.threads"), 2.0);
+}
+
+TEST_F(ObservabilityFixture, SnapshotTracksTheLegacyCountersAcrossResets) {
+  obs::MetricsRegistry registry;
+  campaign_.register_metrics(registry);
+  auto first = campaign_.portal().run_analysis("MS1621");
+  ASSERT_TRUE(first.ok());
+  const double now_before_reset = registry.snapshot().gauge("fabric.now_ms");
+  EXPECT_GT(now_before_reset, 0.0);
+
+  campaign_.fabric().reset_metrics();
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  // The pull-based counters read the zeroed legacy structs...
+  EXPECT_EQ(snap.counter("fabric.requests"), 0.0);
+  EXPECT_EQ(snap.counter("fabric.total_elapsed_ms"), 0.0);
+  // ...while the clock gauge keeps the monotonic simulated time.
+  EXPECT_DOUBLE_EQ(snap.gauge("fabric.now_ms"), now_before_reset);
+}
+
+}  // namespace
+}  // namespace nvo::analysis

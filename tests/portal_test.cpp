@@ -375,6 +375,46 @@ TEST_F(PortalFixture, ProvenanceRecordedForProducts) {
   EXPECT_TRUE(galaxy_record->parameters.count("Ho"));
 }
 
+TEST_F(PortalFixture, DualArchiveOutageFailsWithDiagnosableOutcome) {
+  // Both catalog archives down: the run must fail cleanly — a typed error
+  // plus per-archive ArchiveStatus entries in the (partial) trace — rather
+  // than crash on an unchecked Expected in a degraded-federation path.
+  ASSERT_TRUE(campaign_.fabric()
+                  .set_up(services::Federation::kIpacHost, "/ned/cone", false)
+                  .ok());
+  ASSERT_TRUE(campaign_.fabric()
+                  .set_up(services::Federation::kCadcHost, "/cnoc/cone", false)
+                  .ok());
+
+  Portal& portal = campaign_.portal();
+  const std::string cluster = campaign_.universe().clusters().front().name();
+  auto outcome = portal.run_analysis(cluster);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, ErrorCode::kServiceUnavailable);
+  EXPECT_NE(outcome.error().to_string().find("all catalog archives"),
+            std::string::npos);
+
+  // The partial trace names both dead archives, with reasons.
+  bool saw_ned = false, saw_cnoc = false;
+  for (const ArchiveStatus& a : outcome.trace.archives) {
+    if (a.archive == "NED") {
+      saw_ned = true;
+      EXPECT_TRUE(a.degraded());
+      EXPECT_FALSE(a.skipped_reason.empty());
+    }
+    if (a.archive == "CNOC") {
+      saw_cnoc = true;
+      EXPECT_TRUE(a.degraded());
+      EXPECT_FALSE(a.skipped_reason.empty());
+    }
+  }
+  EXPECT_TRUE(saw_ned);
+  EXPECT_TRUE(saw_cnoc);
+  // The image-search stage before the catalog stage still ran and is
+  // accounted in the same partial trace.
+  EXPECT_GT(outcome.trace.image_search_ms, 0.0);
+}
+
 TEST_F(PortalFixture, ComputeProceedsWhenCnocIsDown) {
   // §4.3.1 item 3: caching means the service works "even when the image
   // services like MAST and CADC are down"; the portal also degrades

@@ -11,17 +11,29 @@
 //     --votable <path>    also write results as a VOTable
 //     --demo              generate and measure two synthetic galaxies
 //
+// Portal mode (the full Fig. 5 pipeline on the simulated federation):
+//     --portal            run one portal analysis instead of local files
+//     --cluster <name>    cluster to analyze            (default MS1621)
+//     --scale <s>         population scale              (default 0.05)
+//     --trace-out <path>  write a Chrome trace_event file of the run
+//                         (load in chrome://tracing or Perfetto)
+//     --metrics-out <path> write the unified metrics snapshot as JSON
+//
 // Prints one line per galaxy: id, validity, SB, C, A, r_p — and exits
 // nonzero only on usage errors (bad images produce invalid rows, not
 // failures, per the paper's fault-tolerance design).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "analysis/campaign.hpp"
 #include "common/strings.hpp"
 #include "core/galmorph.hpp"
 #include "image/fits.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/galaxy.hpp"
 #include "votable/votable_io.hpp"
 
@@ -33,7 +45,77 @@ void usage() {
   std::fprintf(stderr,
                "usage: galmorph [--redshift z] [--pixscale deg] [--zeropoint m]\n"
                "                [--Ho h] [--om o] [--flat 0|1] [--votable out.vot]\n"
-               "                (<cutout.fits> ... | --demo)\n");
+               "                (<cutout.fits> ... | --demo)\n"
+               "       galmorph --portal [--cluster name] [--scale s]\n"
+               "                [--trace-out trace.json] [--metrics-out metrics.json]\n");
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+// The full Fig. 5 pipeline against the simulated federation: one cluster
+// through portal -> federation queries -> Pegasus plan -> DAGMan ->
+// morphology kernel, with the observability layer attached. Emits a Chrome
+// trace_event file and/or a unified metrics snapshot on request.
+int run_portal_mode(const std::string& cluster, double scale,
+                    const std::string& trace_out, const std::string& metrics_out) {
+  obs::Tracer tracer;
+  analysis::CampaignConfig cfg;
+  cfg.population_scale = scale;
+  cfg.tracer = &tracer;
+  analysis::Campaign campaign(cfg);
+
+  obs::MetricsRegistry registry;
+  campaign.register_metrics(registry);
+
+  const auto outcome = campaign.portal().run_analysis(cluster);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "portal analysis failed: %s\n",
+                 outcome.error().to_string().c_str());
+    for (const portal::ArchiveStatus& a : outcome.trace.archives) {
+      if (a.degraded()) {
+        std::fprintf(stderr, "  degraded archive %s (%s): %s\n",
+                     a.archive.c_str(), a.endpoint.c_str(),
+                     a.skipped_reason.c_str());
+      }
+    }
+  } else {
+    std::printf("%s: %zu galaxies (%zu valid, %zu invalid), %llu retries\n",
+                cluster.c_str(), outcome.trace.galaxies, outcome.trace.valid,
+                outcome.trace.invalid,
+                static_cast<unsigned long long>(outcome.trace.retries));
+  }
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  std::printf("-- metrics (%zu spans traced) --\n", tracer.span_count());
+  std::printf("fabric.requests        %.0f\n", snap.counter("fabric.requests"));
+  std::printf("fabric.failures        %.0f\n", snap.counter("fabric.failures"));
+  std::printf("fabric.bytes           %.0f\n",
+              snap.counter("fabric.bytes_transferred"));
+  std::printf("fabric.now_ms          %.1f\n", snap.gauge("fabric.now_ms"));
+  std::printf("cache.replica.hits     %.0f\n", snap.counter("cache.replica.hits"));
+  std::printf("cache.replica.misses   %.0f\n", snap.counter("cache.replica.misses"));
+
+  if (!trace_out.empty()) {
+    if (!write_text_file(trace_out, tracer.to_chrome_trace())) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu spans, chrome://tracing format)\n",
+                trace_out.c_str(), tracer.span_count());
+  }
+  if (!metrics_out.empty()) {
+    if (!write_text_file(metrics_out, snap.to_json())) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  return outcome.ok() ? 0 : 1;
 }
 
 image::FitsFile demo_galaxy(sim::MorphType type) {
@@ -60,6 +142,11 @@ int main(int argc, char** argv) {
   core::GalMorphArgs args;
   std::string votable_path;
   bool demo = false;
+  bool portal_mode = false;
+  std::string cluster = "MS1621";
+  double portal_scale = 0.05;
+  std::string trace_out;
+  std::string metrics_out;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -90,6 +177,19 @@ int main(int argc, char** argv) {
       votable_path = argv[++i];
     } else if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--portal") {
+      portal_mode = true;
+    } else if (arg == "--cluster") {
+      if (i + 1 >= argc) { usage(); return 2; }
+      cluster = argv[++i];
+    } else if (arg == "--scale") {
+      if (!next_value(portal_scale)) { usage(); return 2; }
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) { usage(); return 2; }
+      trace_out = argv[++i];
+    } else if (arg == "--metrics-out") {
+      if (i + 1 >= argc) { usage(); return 2; }
+      metrics_out = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -100,6 +200,9 @@ int main(int argc, char** argv) {
     } else {
       files.push_back(arg);
     }
+  }
+  if (portal_mode) {
+    return run_portal_mode(cluster, portal_scale, trace_out, metrics_out);
   }
   if (files.empty() && !demo) {
     usage();

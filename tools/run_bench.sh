@@ -22,10 +22,12 @@ cmake --build "$BUILD" -j \
   --target bench_a3_morphology_kernel
 
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+METRICS_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$METRICS_TMP"' EXIT
 
 echo "=== bench_s5_campaign (NVO_S5_SCALE=$SCALE) ==="
-NVO_S5_SCALE="$SCALE" "$BUILD/bench/bench_s5_campaign" \
+NVO_S5_SCALE="$SCALE" NVO_S5_METRICS_OUT="$METRICS_TMP" \
+  "$BUILD/bench/bench_s5_campaign" \
   --benchmark_min_time=0.5 \
   --benchmark_out="$TMP" --benchmark_out_format=json "$@"
 
@@ -35,11 +37,16 @@ echo "=== bench_fig5_portal ==="
 echo "=== bench_a3_morphology_kernel ==="
 "$BUILD/bench/bench_a3_morphology_kernel"
 
+# The campaign's unified MetricsRegistry snapshot rides along in the report
+# (empty object when the bench binary predates NVO_S5_METRICS_OUT).
+[ -s "$METRICS_TMP" ] || printf '{}' > "$METRICS_TMP"
 {
   printf '{\n"baseline": '
   cat "$ROOT/bench/baselines/bench_s5_seed.json"
   printf ',\n"current": '
   cat "$TMP"
+  printf ',\n"metrics": '
+  cat "$METRICS_TMP"
   printf '}\n'
 } > "$ROOT/BENCH_s5.json"
 echo "wrote $ROOT/BENCH_s5.json"

@@ -6,7 +6,7 @@
 # (sharded cache + pipelined staging) under ThreadSanitizer in build-tsan/.
 #
 # Usage: tools/run_sanitize_tests.sh [ctest -R regex]
-#   default regex: resilience_test|chaos_test|services_test|replica_cache_test|data_plane_test
+#   default regex: resilience_test|chaos_test|services_test|replica_cache_test|data_plane_test|obs_test|observability_test
 #   BUILD_DIR=<dir>       ASan build tree (default: <repo>/build-asan)
 #   TSAN_BUILD_DIR=<dir>  TSan build tree (default: <repo>/build-tsan)
 #   NVO_SKIP_TSAN=1       run only the ASan phase
@@ -15,13 +15,16 @@ set -e
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-asan}"
 TSAN_BUILD="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
-REGEX="${1:-resilience_test|chaos_test|services_test|replica_cache_test|data_plane_test}"
-TSAN_REGEX="${TSAN_REGEX:-replica_cache_test|data_plane_test}"
+REGEX="${1:-resilience_test|chaos_test|services_test|replica_cache_test|data_plane_test|obs_test|observability_test}"
+# obs_test/observability_test drive the traced portal pipeline through the
+# kernel thread pool, so both belong in the TSan lane too.
+TSAN_REGEX="${TSAN_REGEX:-replica_cache_test|data_plane_test|obs_test|observability_test}"
 
 cmake -B "$BUILD" -S "$ROOT" -DNVO_SANITIZE="address;undefined" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j --target \
-      resilience_test chaos_test services_test replica_cache_test data_plane_test
+      resilience_test chaos_test services_test replica_cache_test data_plane_test \
+      obs_test observability_test
 
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
@@ -34,7 +37,8 @@ fi
 
 cmake -B "$TSAN_BUILD" -S "$ROOT" -DNVO_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$TSAN_BUILD" -j --target replica_cache_test data_plane_test
+cmake --build "$TSAN_BUILD" -j --target replica_cache_test data_plane_test \
+      obs_test observability_test
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$TSAN_BUILD" -R "$TSAN_REGEX" --output-on-failure
