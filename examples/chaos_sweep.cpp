@@ -5,9 +5,15 @@
 // cost (simulated-time inflation vs fault-free), and whether the science
 // survived (galaxies measured, clusters showing the relation).
 //
+// A second section (CR) sweeps the corruption faults — bit flips, truncated
+// reads, stale-replica replays on the cutout archive — and a kill/resume
+// scenario on a durable checkpoint journal. The process exits non-zero if
+// any injected corruption goes undetected or any catalog differs byte-wise
+// from the fault-free run.
+//
 //   $ ./chaos_sweep [population_scale]
 //
-// Deterministic: same build, same scale -> same table.
+// Deterministic: same build, same scale -> same tables.
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -15,6 +21,7 @@
 #include <vector>
 
 #include "analysis/campaign.hpp"
+#include "obs/metrics.hpp"
 #include "services/chaos.hpp"
 #include "services/federation.hpp"
 
@@ -41,6 +48,103 @@ struct SweepRow {
   std::string label;
   analysis::CampaignReport report;
 };
+
+bool catalogs_identical(const analysis::CampaignReport& a,
+                        const analysis::CampaignReport& b) {
+  if (a.clusters.size() != b.clusters.size()) return false;
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    if (a.clusters[i].catalog_xml != b.clusters[i].catalog_xml) return false;
+  }
+  return true;
+}
+
+services::ChaosSchedule corruption(const std::string& kind, double rate) {
+  services::ChaosSchedule chaos;
+  const std::string host = services::Federation::kMastHost;
+  if (kind == "bit_flip") chaos.bit_flip(host, rate);
+  else if (kind == "truncate") chaos.truncate(host, rate);
+  else chaos.stale_replica(host, rate);
+  return chaos;
+}
+
+// CR section: corruption sweep + kill/resume. Returns the number of
+// integrity violations (undetected corruptions or catalog mismatches).
+int run_integrity_sweep(double scale, const analysis::CampaignReport& baseline) {
+  int violations = 0;
+  std::printf("\n=== CR — corruption + checkpoint/resume ===\n\n");
+  std::printf("%-24s %9s %9s %11s %10s %10s\n", "scenario", "injected",
+              "caught", "undetected", "reroutes", "catalog");
+
+  for (const std::string kind : {"bit_flip", "truncate", "stale_replica"}) {
+    for (double rate : {0.25, 1.0}) {
+      analysis::CampaignConfig config = make_config(scale);
+      config.chaos = corruption(kind, rate);
+      analysis::Campaign campaign(config);
+      obs::MetricsRegistry registry;
+      campaign.register_metrics(registry);
+      auto report = campaign.run();
+      char label[48];
+      std::snprintf(label, sizeof label, "%s %.0f%%", kind.c_str(),
+                    rate * 100.0);
+      if (!report.ok()) {
+        std::printf("%-24s campaign FAILED: %s\n", label,
+                    report.error().to_string().c_str());
+        ++violations;
+        continue;
+      }
+      const obs::MetricsSnapshot snap = registry.snapshot();
+      const double injected = snap.counter("fabric.corruptions_injected");
+      const double caught = snap.counter("client.portal.integrity_failures") +
+                            snap.counter("client.compute.integrity_failures");
+      const double undetected = injected - caught;
+      const bool identical = catalogs_identical(*report, baseline);
+      std::printf("%-24s %9.0f %9.0f %11.0f %10llu %10s\n", label, injected,
+                  caught, undetected,
+                  static_cast<unsigned long long>(report->total_quarantine_skips),
+                  identical ? "identical" : "DIFFERS");
+      if (undetected > 0.0 || !identical) ++violations;
+    }
+  }
+
+  // Kill/resume: journaled campaign killed mid-run, restarted on the same
+  // journal, must converge to the fault-free catalogs re-executing only the
+  // unfinished DAG nodes.
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string journal =
+      std::string(tmp ? tmp : "/tmp") + "/nvo_chaos_sweep.journal";
+  std::remove(journal.c_str());
+  {
+    analysis::CampaignConfig config = make_config(scale);
+    config.journal_path = journal;
+    config.chaos.kill_after_nodes(50);
+    auto killed = analysis::Campaign(config).run();
+    std::printf("\nkill after 50 node completions: %s\n",
+                killed.ok() ? "campaign unexpectedly survived"
+                            : killed.error().to_string().c_str());
+    if (killed.ok()) ++violations;
+  }
+  analysis::CampaignConfig config = make_config(scale);
+  config.journal_path = journal;
+  auto resumed = analysis::Campaign(config).run();
+  if (!resumed.ok()) {
+    std::printf("resume FAILED: %s\n", resumed.error().to_string().c_str());
+    std::remove(journal.c_str());
+    return violations + 1;
+  }
+  const bool identical = catalogs_identical(*resumed, baseline);
+  std::printf("resume: %zu clusters whole from journal, %zu rows + %zu DAG "
+              "nodes recovered, catalogs %s\n",
+              resumed->clusters_resumed, resumed->total_rows_resumed,
+              resumed->total_nodes_resumed,
+              identical ? "byte-identical to fault-free" : "DIFFER");
+  if (!identical) ++violations;
+  if (resumed->clusters_resumed + resumed->total_nodes_resumed == 0) {
+    std::printf("resume recovered nothing from the journal\n");
+    ++violations;
+  }
+  std::remove(journal.c_str());
+  return violations;
+}
 
 }  // namespace
 
@@ -100,5 +204,12 @@ int main(int argc, char** argv) {
     std::printf("  %s/%s: %s\n", d.cluster.c_str(), d.status.archive.c_str(),
                 d.status.skipped_reason.c_str());
   }
+
+  const int violations = run_integrity_sweep(scale, rows.front().report);
+  if (violations > 0) {
+    std::printf("\nFAIL: %d integrity violation(s)\n", violations);
+    return 1;
+  }
+  std::printf("\nall corruption caught, all catalogs byte-identical\n");
   return 0;
 }

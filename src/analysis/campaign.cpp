@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/log.hpp"
 #include "common/strings.hpp"
+#include "portal/transforms.hpp"
 #include "services/obs_bridge.hpp"
 
 namespace nvo::analysis {
@@ -33,6 +35,17 @@ Campaign::Campaign(CampaignConfig config) : config_(config) {
   rls_ = std::make_unique<pegasus::ReplicaLocationService>();
   tc_ = std::make_unique<pegasus::TransformationCatalog>();
 
+  if (!config_.journal_path.empty()) {
+    auto journal = grid::CheckpointJournal::open(config_.journal_path);
+    if (journal.ok()) {
+      journal_ = std::move(journal.value());
+    } else {
+      // A campaign without durability is still a campaign; warn and run.
+      log_warn("campaign", "checkpoint journal unavailable: " +
+                               journal.error().to_string());
+    }
+  }
+
   portal::ComputeServiceConfig scfg;
   scfg.seed = config_.seed ^ 0x5E47;
   scfg.compute_threads = config_.compute_threads;
@@ -41,6 +54,8 @@ Campaign::Campaign(CampaignConfig config) : config_(config) {
   scfg.breaker = config_.breaker;
   scfg.replica_cache = config_.image_cache;
   scfg.tracer = config_.tracer;
+  scfg.journal = journal_.get();
+  scfg.abort_after_nodes = config_.chaos.kill_after_node_completions();
   if (!federation_.mirror_host.empty()) {
     scfg.mirrors[services::Federation::kMastHost] = federation_.mirror_host;
   }
@@ -68,6 +83,18 @@ void Campaign::register_metrics(obs::MetricsRegistry& registry) const {
   services::register_metrics(registry, *fabric_, "fabric");
   services::register_metrics(registry, portal_->client(), "client.portal");
   compute_->register_metrics(registry);
+  if (journal_) {
+    const grid::CheckpointJournal* j = journal_.get();
+    registry.register_counter("checkpoint.records_loaded", [j] {
+      return static_cast<double>(j->stats().records_loaded);
+    });
+    registry.register_counter("checkpoint.truncated_records", [j] {
+      return static_cast<double>(j->stats().truncated_records);
+    });
+    registry.register_counter("checkpoint.appends", [j] {
+      return static_cast<double>(j->stats().appends);
+    });
+  }
 }
 
 Expected<ClusterOutcome> Campaign::run_cluster(const std::string& name) {
@@ -94,6 +121,15 @@ Expected<ClusterOutcome> Campaign::run_cluster(const std::string& name) {
     out.retries += trace->staging_retries;
     out.breaker_trips += trace->staging_breaker_trips;
     out.failovers += trace->staging_failovers;
+    out.integrity_failures = trace->staging_integrity_failures;
+    out.quarantine_skips = trace->staging_quarantine_skips;
+    out.resumed_from_journal = trace->journal_hit;
+    out.rows_resumed = trace->rows_resumed;
+    out.nodes_resumed = trace->nodes_resumed;
+  }
+  if (const std::string* xml =
+          compute_->result_xml(portal::output_votable_lfn(name))) {
+    out.catalog_xml = *xml;
   }
 
   const sim::Cluster* cluster = universe_->find_cluster(name);
@@ -126,6 +162,11 @@ Expected<CampaignReport> Campaign::run() {
     report.total_retries += o.retries;
     report.total_breaker_trips += o.breaker_trips;
     report.total_failovers += o.failovers;
+    report.total_integrity_failures += o.integrity_failures;
+    report.total_quarantine_skips += o.quarantine_skips;
+    if (o.resumed_from_journal) ++report.clusters_resumed;
+    report.total_rows_resumed += o.rows_resumed;
+    report.total_nodes_resumed += o.nodes_resumed;
     report.archives_degraded += o.archives_degraded;
     for (const portal::ArchiveStatus& a : o.portal_trace.archives) {
       if (a.degraded()) report.degradations.push_back({o.name, a});
@@ -163,6 +204,16 @@ std::string CampaignReport::to_text() const {
                 static_cast<unsigned long long>(total_retries),
                 static_cast<unsigned long long>(total_breaker_trips),
                 static_cast<unsigned long long>(total_failovers));
+  if (total_integrity_failures > 0 || total_quarantine_skips > 0) {
+    out += format("corruptions caught: %llu, quarantine reroutes: %llu\n",
+                  static_cast<unsigned long long>(total_integrity_failures),
+                  static_cast<unsigned long long>(total_quarantine_skips));
+  }
+  if (clusters_resumed > 0 || total_rows_resumed > 0 || total_nodes_resumed > 0) {
+    out += format(
+        "resumed from journal: %zu clusters, %zu rows, %zu DAG nodes\n",
+        clusters_resumed, total_rows_resumed, total_nodes_resumed);
+  }
   if (!degradations.empty()) {
     out += format("degraded archive interactions: %zu\n", archives_degraded);
     for (const Degradation& d : degradations) {

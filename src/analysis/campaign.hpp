@@ -52,6 +52,13 @@ struct CampaignConfig {
   /// service (the fabric's SimClock is attached automatically). Must
   /// outlive the campaign.
   obs::Tracer* tracer = nullptr;
+  /// Durable checkpoint journal path; empty disables journaling. When set,
+  /// staged-replica registrations, DAG node completions, per-galaxy
+  /// morphology rows, and finished cluster catalogs are persisted as they
+  /// happen, and run() resumes from whatever the journal already holds — a
+  /// killed campaign restarted on the same journal re-executes only the
+  /// unfinished work and produces a byte-identical catalog.
+  std::string journal_path;
 };
 
 struct ClusterOutcome {
@@ -67,6 +74,15 @@ struct ClusterOutcome {
   std::uint64_t breaker_trips = 0;
   std::uint64_t failovers = 0;      ///< requests served by the mirror
   std::size_t archives_degraded = 0;  ///< archives that did not deliver
+  std::uint64_t integrity_failures = 0;  ///< corrupted payloads caught staging
+  std::uint64_t quarantine_skips = 0;    ///< fetches rerouted past quarantine
+  bool resumed_from_journal = false;  ///< catalog served whole from the journal
+  std::size_t rows_resumed = 0;       ///< morphology rows recovered, not computed
+  std::size_t nodes_resumed = 0;      ///< DAG nodes skipped as journal-complete
+  /// Exact output VOTable bytes as served by the compute service; the
+  /// byte-identity guarantees (corruption windows, kill/resume) are
+  /// asserted on this, not on a re-serialized table.
+  std::string catalog_xml;
   portal::PortalTrace portal_trace;
   DresslerReport dressler;
 };
@@ -89,6 +105,11 @@ struct CampaignReport {
   std::uint64_t total_retries = 0;
   std::uint64_t total_breaker_trips = 0;
   std::uint64_t total_failovers = 0;
+  std::uint64_t total_integrity_failures = 0;  ///< corruptions caught staging
+  std::uint64_t total_quarantine_skips = 0;
+  std::size_t clusters_resumed = 0;     ///< catalogs served from the journal
+  std::size_t total_rows_resumed = 0;
+  std::size_t total_nodes_resumed = 0;
   std::size_t archives_degraded = 0;  ///< degraded archive interactions, summed
   /// Every degraded archive interaction, labelled "<cluster>/<archive>".
   struct Degradation {
@@ -124,6 +145,8 @@ class Campaign {
   pegasus::ReplicaLocationService& rls() { return *rls_; }
   portal::Portal& portal() { return *portal_; }
   portal::MorphologyService& compute_service() { return *compute_; }
+  /// The checkpoint journal (null when journal_path is empty or unopenable).
+  grid::CheckpointJournal* journal() { return journal_.get(); }
 
  private:
   CampaignConfig config_;
@@ -133,6 +156,7 @@ class Campaign {
   std::unique_ptr<grid::Grid> grid_;
   std::unique_ptr<pegasus::ReplicaLocationService> rls_;
   std::unique_ptr<pegasus::TransformationCatalog> tc_;
+  std::unique_ptr<grid::CheckpointJournal> journal_;
   std::unique_ptr<portal::MorphologyService> compute_;
   std::unique_ptr<portal::Portal> portal_;
 };

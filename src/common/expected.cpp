@@ -24,6 +24,10 @@ const char* to_string(ErrorCode code) {
       return "kAlreadyExists";
     case ErrorCode::kInternal:
       return "kInternal";
+    case ErrorCode::kDataCorruption:
+      return "kDataCorruption";
+    case ErrorCode::kAborted:
+      return "kAborted";
   }
   return "kUnknown";
 }

@@ -24,6 +24,8 @@ enum class ErrorCode {
   kInfeasible,
   kAlreadyExists,
   kInternal,
+  kDataCorruption,  ///< payload failed digest verification after transfer
+  kAborted,         ///< execution killed mid-flight (chaos kill injection)
 };
 
 /// Human-readable name for an ErrorCode.

@@ -186,10 +186,19 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
       r.outcome = NodeOutcome::kFailed;
       failed_permanently.insert(ev.node_id);
       ++report.jobs_failed;
+      if (on_node_) {
+        if (const Status s = on_node_(r); !s.ok()) return s.error();
+      }
       continue;  // descendants stay blocked -> reported skipped
     }
     r.outcome = NodeOutcome::kSucceeded;
     ++report.jobs_succeeded;
+    if (on_node_) {
+      // The completion is final before the callback fires, so a journal
+      // write captures exactly the state a resume must not redo — and an
+      // injected kill here loses only work the journal already holds.
+      if (const Status s = on_node_(r); !s.ok()) return s.error();
+    }
     for (const std::string& child : dag.children(ev.node_id)) {
       if (--waiting_parents[child] == 0) dispatch(child);
     }

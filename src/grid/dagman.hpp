@@ -80,6 +80,14 @@ class DagManSim {
   DagManSim(const Grid& grid, JobCostModel cost, FailureModel failure,
             std::uint64_t seed = 42);
 
+  /// Invoked each time a node reaches a *final* outcome (succeeded, or
+  /// failed with retries exhausted) — the hook checkpoint journals use to
+  /// persist completions as they happen, not at end of run. Returning an
+  /// error aborts the run immediately with that error (simulating the
+  /// submit host dying mid-DAG); already-recorded completions stand.
+  using NodeCallback = std::function<Status(const NodeResult&)>;
+  void set_node_callback(NodeCallback cb) { on_node_ = std::move(cb); }
+
   /// Executes the concrete DAG. Compute nodes must carry a site that exists
   /// in the grid. Transfer nodes consume no slot (GridFTP streams run
   /// beside the pool); compute nodes hold one slot at their site for their
@@ -91,6 +99,7 @@ class DagManSim {
   JobCostModel cost_;
   FailureModel failure_;
   Rng rng_;
+  NodeCallback on_node_;
 };
 
 /// Real-execution backend. Payloads are keyed by transformation name for

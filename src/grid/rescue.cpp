@@ -4,8 +4,21 @@
 
 namespace nvo::grid {
 
+namespace {
+
+/// True when the report contains no node that still needs running.
+bool all_succeeded(const RunReport& report) {
+  return report.jobs_failed == 0 && report.jobs_skipped == 0 &&
+         report.jobs_succeeded == report.jobs_total;
+}
+
+}  // namespace
+
 Expected<vds::Dag> make_rescue_dag(const vds::Dag& concrete,
                                    const RunReport& report) {
+  // All-succeeded (or empty) report: nothing to rescue. Return the empty
+  // DAG straight away rather than building a degenerate one node-by-node.
+  if (all_succeeded(report)) return vds::Dag{};
   vds::Dag rescue;
   for (const NodeResult& r : report.nodes) {
     if (r.outcome == NodeOutcome::kSucceeded) continue;
@@ -26,26 +39,9 @@ Expected<vds::Dag> make_rescue_dag(const vds::Dag& concrete,
   return rescue;
 }
 
-Expected<RescueOutcome> run_with_rescue(DagManSim& dagman, const vds::Dag& concrete,
-                                        int max_rounds) {
-  RescueOutcome outcome;
-  std::map<std::string, NodeResult> latest;
-
-  vds::Dag current = concrete;
-  for (int round = 0; round < max_rounds && !current.empty(); ++round) {
-    auto report = dagman.run(current);
-    if (!report.ok()) return report.error();
-    ++outcome.rounds;
-    for (const NodeResult& r : report->nodes) latest[r.id] = r;
-    if (report->workflow_succeeded) break;
-    auto rescue = make_rescue_dag(current, report.value());
-    if (!rescue.ok()) return rescue.error();
-    current = std::move(rescue.value());
-  }
-
-  // Merge the final per-node outcomes into a report shaped like a single
-  // run over the original DAG.
-  RunReport& merged = outcome.final_report;
+RunReport merge_node_outcomes(const vds::Dag& concrete,
+                              const std::map<std::string, NodeResult>& latest) {
+  RunReport merged;
   merged.jobs_total = concrete.num_nodes();
   for (const std::string& id : concrete.node_ids()) {
     const vds::DagNode* n = concrete.node(id);
@@ -82,7 +78,33 @@ Expected<RescueOutcome> run_with_rescue(DagManSim& dagman, const vds::Dag& concr
     merged.nodes.push_back(std::move(r));
   }
   merged.workflow_succeeded = merged.jobs_succeeded == merged.jobs_total;
-  outcome.fully_succeeded = merged.workflow_succeeded;
+  return merged;
+}
+
+Expected<RescueOutcome> run_with_rescue(DagManSim& dagman, const vds::Dag& concrete,
+                                        int max_rounds) {
+  RescueOutcome outcome;
+  std::map<std::string, NodeResult> latest;
+
+  vds::Dag current = concrete;
+  for (int round = 0; round < max_rounds && !current.empty(); ++round) {
+    auto report = dagman.run(current);
+    if (!report.ok()) return report.error();
+    ++outcome.rounds;
+    for (const NodeResult& r : report->nodes) latest[r.id] = r;
+    // A complete round — whether or not the engine set the flag — is
+    // terminal: building and running a rescue DAG over zero unfinished
+    // nodes would burn a round on an empty execution.
+    if (report->workflow_succeeded || all_succeeded(report.value())) break;
+    auto rescue = make_rescue_dag(current, report.value());
+    if (!rescue.ok()) return rescue.error();
+    current = std::move(rescue.value());
+  }
+
+  // Merge the final per-node outcomes into a report shaped like a single
+  // run over the original DAG.
+  outcome.final_report = merge_node_outcomes(concrete, latest);
+  outcome.fully_succeeded = outcome.final_report.workflow_succeeded;
   return outcome;
 }
 

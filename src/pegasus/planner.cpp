@@ -420,7 +420,11 @@ std::size_t commit_execution(const vds::Dag& concrete, const grid::RunReport& re
                       grid.file_size(n->file).value_or(grid.default_file_bytes));
         break;
       case vds::JobType::kRegister:
-        rls.add(n->file, n->site, "gsiftp://" + n->site + "/" + n->file);
+        // The new replica is the same bytes as the source the transfer read,
+        // so the registration inherits the LFN's recorded content digest —
+        // integrity metadata travels with the data as it propagates.
+        rls.add(n->file, n->site, "gsiftp://" + n->site + "/" + n->file,
+                rls.digest_for(n->file));
         ++registrations;
         break;
     }

@@ -5,17 +5,18 @@
 namespace nvo::pegasus {
 
 void ReplicaLocationService::add(const std::string& lfn, const std::string& site,
-                                 const std::string& pfn) {
+                                 const std::string& pfn, std::uint64_t digest) {
   std::lock_guard lock(mutex_);
   ++stats_.registrations;
   auto& list = replicas_[lfn];
   for (Replica& r : list) {
     if (r.site == site) {
       r.pfn = pfn;
+      if (digest != 0) r.digest = digest;
       return;
     }
   }
-  list.push_back(Replica{lfn, site, pfn});
+  list.push_back(Replica{lfn, site, pfn, digest});
 }
 
 Status ReplicaLocationService::remove(const std::string& lfn, const std::string& site) {
@@ -52,8 +53,35 @@ std::size_t ReplicaLocationService::lookup_into(const std::string& lfn,
     out[i].lfn = src.lfn;
     out[i].site = src.site;
     out[i].pfn = src.pfn;
+    out[i].digest = src.digest;
   }
   return n;
+}
+
+std::uint64_t ReplicaLocationService::digest_for(const std::string& lfn) const {
+  std::lock_guard lock(mutex_);
+  const auto it = replicas_.find(lfn);
+  if (it == replicas_.end()) return 0;
+  for (const Replica& r : it->second) {
+    if (r.digest != 0) return r.digest;
+  }
+  return 0;
+}
+
+Status ReplicaLocationService::verify_digest(const std::string& lfn,
+                                             std::uint64_t digest) const {
+  std::lock_guard lock(mutex_);
+  ++stats_.digest_checks;
+  const auto it = replicas_.find(lfn);
+  if (it == replicas_.end()) return Status::Ok();
+  for (const Replica& r : it->second) {
+    if (r.digest != 0 && digest != 0 && r.digest != digest) {
+      ++stats_.digest_mismatches;
+      return Error(ErrorCode::kDataCorruption,
+                   "digest mismatch for " + lfn + " at " + r.site);
+    }
+  }
+  return Status::Ok();
 }
 
 bool ReplicaLocationService::exists(const std::string& lfn) const {

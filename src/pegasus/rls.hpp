@@ -19,12 +19,19 @@ struct Replica {
   std::string lfn;   ///< logical file name
   std::string site;  ///< grid site (or archive host) holding the copy
   std::string pfn;   ///< physical file name / URL at that site
+  /// Content digest of the replica's bytes (FNV-1a, 0 = unrecorded). The
+  /// RLS carries the digest alongside the location so every consumer —
+  /// cache admission, stage-in verification, checkpoint replay — can check
+  /// the bytes it received against what the producer registered.
+  std::uint64_t digest = 0;
 };
 
 class ReplicaLocationService {
  public:
-  /// Registers a replica; duplicate (lfn, site) pairs update the pfn.
-  void add(const std::string& lfn, const std::string& site, const std::string& pfn);
+  /// Registers a replica; duplicate (lfn, site) pairs update the pfn (and
+  /// the digest, when a non-zero one is supplied).
+  void add(const std::string& lfn, const std::string& site, const std::string& pfn,
+           std::uint64_t digest = 0);
 
   /// Removes one site's replica of a file.
   Status remove(const std::string& lfn, const std::string& site);
@@ -42,11 +49,23 @@ class ReplicaLocationService {
   /// True when at least one replica exists.
   bool exists(const std::string& lfn) const;
 
+  /// The recorded content digest for a logical file: the first non-zero
+  /// digest among its replicas (all replicas of an LFN are the same bytes),
+  /// or 0 when no replica recorded one.
+  std::uint64_t digest_for(const std::string& lfn) const;
+
+  /// Checks `digest` against the recorded digest for `lfn`. Ok when they
+  /// match or when nothing was recorded; kDataCorruption on a mismatch
+  /// (counted in Stats::digest_mismatches).
+  Status verify_digest(const std::string& lfn, std::uint64_t digest) const;
+
   std::size_t num_logical_files() const;
 
   struct Stats {
     std::uint64_t queries = 0;
     std::uint64_t registrations = 0;
+    std::uint64_t digest_checks = 0;
+    std::uint64_t digest_mismatches = 0;
   };
   Stats stats() const;
 

@@ -1,10 +1,16 @@
 #include "portal/compute_service.hpp"
 
+#include <array>
+#include <bit>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "grid/rescue.hpp"
 #include "grid/threadpool.hpp"
+#include "services/integrity.hpp"
 #include "services/obs_bridge.hpp"
 #include "pegasus/request_manager.hpp"
 #include "portal/transforms.hpp"
@@ -18,6 +24,105 @@ double wall_ms_since(const std::chrono::steady_clock::time_point& t0) {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                    t0)
       .count();
+}
+
+// --- checkpoint record codecs ---------------------------------------------
+// The journal stores per-galaxy morphology rows and staged-image
+// registrations as space-separated fields. Doubles are serialized as their
+// 64-bit pattern in hex: a resumed row must be bit-identical to the one the
+// kernel produced, and a decimal round-trip would lose ulps and break the
+// byte-identical-catalog guarantee.
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string hex_double(double d) { return hex_u64(std::bit_cast<std::uint64_t>(d)); }
+
+std::uint64_t parse_hex_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+double parse_hex_double(const std::string& s) {
+  return std::bit_cast<double>(parse_hex_u64(s));
+}
+
+std::string escape_field(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '%' || c == ' ' || c == '\n' || c == '\r') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      out += static_cast<char>(
+          std::strtoul(s.substr(i + 1, 2).c_str(), nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+/// Pointers to the 15 doubles of a result, in serialization order.
+/// Templated so the same list serves encode (const) and decode (mutable).
+template <typename R>
+auto result_doubles(R& r) {
+  return std::array{&r.redshift,
+                    &r.kpc_per_arcsec,
+                    &r.petrosian_r_kpc,
+                    &r.params.surface_brightness,
+                    &r.params.concentration,
+                    &r.params.asymmetry,
+                    &r.params.total_flux,
+                    &r.params.petrosian_r,
+                    &r.params.r20,
+                    &r.params.r80,
+                    &r.params.centroid_x,
+                    &r.params.centroid_y,
+                    &r.params.background_level,
+                    &r.params.background_sigma,
+                    &r.params.snr};
+}
+
+std::string encode_result(const core::GalMorphResult& r) {
+  std::string out = escape_field(r.galaxy_id);
+  out += r.params.valid ? " 1 " : " 0 ";
+  out += r.params.failure_reason.empty() ? "-"
+                                         : escape_field(r.params.failure_reason);
+  for (const double* d : result_doubles(r)) {
+    out += ' ';
+    out += hex_double(*d);
+  }
+  return out;
+}
+
+bool decode_result(const std::string& payload, core::GalMorphResult& out) {
+  const std::vector<std::string> f = split(payload, ' ');
+  if (f.size() != 18) return false;
+  out.galaxy_id = unescape_field(f[0]);
+  out.params.valid = f[1] == "1";
+  out.params.failure_reason = f[2] == "-" ? std::string() : unescape_field(f[2]);
+  const auto slots = result_doubles(out);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    *slots[i] = parse_hex_double(f[3 + i]);
+  }
+  return true;
 }
 }  // namespace
 
@@ -132,6 +237,24 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     return Status::Ok();
   }
 
+  // (2b) Checkpoint-journal result cache: a cluster whose catalog was
+  // persisted by an earlier (possibly killed) campaign completes without
+  // re-staging, re-planning, or re-computing anything.
+  if (config_.journal) {
+    if (const std::string* xml = config_.journal->find("cluster", out_lfn)) {
+      state_->results[out_lfn] = *xml;
+      rls_.add(out_lfn, config_.cache_site, record.result_lfn);
+      grid_.put_file(config_.cache_site, out_lfn, xml->size());
+      trace.journal_hit = true;
+      trace.total_sim_seconds = 0.0;
+      record.state = "completed";
+      record.messages.push_back("output " + out_lfn +
+                                " recovered from checkpoint journal");
+      req.count("journal_hit", 1.0);
+      return Status::Ok();
+    }
+  }
+
   const auto id_col = input.column_index("id");
   const auto url_col = input.column_index("cutout_url");
   if (!id_col || !url_col) {
@@ -141,6 +264,25 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   trace.galaxies = input.num_rows();
   if (trace.galaxies == 0) {
     return Error(ErrorCode::kInvalidArgument, "input VOTable has no rows");
+  }
+
+  // Checkpoint journal: records for this cluster are keyed "<out_lfn>/...".
+  grid::CheckpointJournal* journal = config_.journal;
+  const std::string ck = out_lfn + "/";
+  if (journal) {
+    // Resume replay: re-register journaled staged images (replica location,
+    // size, content digest) so the planner sees the same replica state the
+    // original run had at plan time — identical inputs give an identical
+    // concrete DAG, which is what lets journaled node ids line up.
+    journal->for_each("image", [&](const std::string& key, const std::string& payload) {
+      if (!starts_with(key, ck)) return;
+      const std::vector<std::string> f = split(payload, ' ');
+      if (f.size() != 3) return;
+      const std::string lfn = key.substr(ck.size());
+      rls_.add(lfn, config_.cache_site, unescape_field(f[0]), parse_hex_u64(f[2]));
+      grid_.put_file(config_.cache_site, lfn,
+                     std::strtoull(f[1].c_str(), nullptr, 10));
+    });
   }
 
   // (3) Stage images through the replica cache, pipelined against the
@@ -205,10 +347,27 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     }
     galaxy_ids.push_back(*id);
     const std::string lfn = image_lfn(*id);
+    // Resumed galaxy: the journal holds the kernel's row bit-for-bit, so
+    // neither the image bytes nor the kernel are needed again. The replica
+    // registration was already replayed above, so planning still sees it.
+    if (journal) {
+      if (const std::string* row = journal->find("row", ck + *id)) {
+        if (decode_result(*row, results[i])) {
+          ++trace.rows_resumed;
+          continue;
+        }
+      }
+    }
     services::ReplicaCache::Payload payload = cache_.get(lfn);
     if (payload) {
       ++trace.images_cached;
       request_lfns_.insert(lfn);  // a hit can still be evicted mid-request
+      if (journal && !journal->has("image", ck + lfn)) {
+        (void)journal->append("image", ck + lfn,
+                              escape_field(*url) + ' ' +
+                                  format("%zu", payload->size()) + ' ' +
+                                  hex_u64(cache_.digest_of(lfn)));
+      }
     } else {
       const double fetch_before_ms = fabric_.metrics().total_elapsed_ms;
       auto response = client_.get(*url);
@@ -225,12 +384,22 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
         log_warn("galmorph-svc", "image fetch failed for " + *id + ": " + why);
         payload = cache_.put(lfn, {});
       } else {
+        // The transport layer already verified the body against its signed
+        // digest (retrying/failing over on mismatch), so admission here
+        // records a digest of known-clean bytes.
         payload = cache_.put(lfn, std::move(response->body));
       }
       ++trace.images_fetched;
-      rls_.add(lfn, config_.cache_site, *url);
+      const std::uint64_t digest = cache_.digest_of(lfn);
+      rls_.add(lfn, config_.cache_site, *url, digest);
       grid_.put_file(config_.cache_site, lfn, payload->size());
       request_lfns_.insert(lfn);
+      if (journal && !journal->has("image", ck + lfn)) {
+        (void)journal->append("image", ck + lfn,
+                              escape_field(*url) + ' ' +
+                                  format("%zu", payload->size()) + ' ' +
+                                  hex_u64(digest));
+      }
     }
 
     {
@@ -241,8 +410,8 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     // The shared_ptr pins the bytes for the kernel even if the cache evicts
     // the entry mid-request.
     pool_.submit([this, i, payload = std::move(payload), z_col, staging_id,
-                  &galaxy_ids, &results, &input, &inflight_mu, &inflight_cv,
-                  &in_flight] {
+                  journal, ck, &galaxy_ids, &results, &input, &inflight_mu,
+                  &inflight_cv, &in_flight] {
       obs::Span kernel = config_.tracer
                              ? config_.tracer->span_under(staging_id,
                                                           "kernel.galmorph", "kernel")
@@ -261,6 +430,12 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
         results[i] = core::run_gal_morph_bytes(galaxy_ids[i], *payload, args);
       }
       kernel.count(results[i].params.valid ? "valid" : "invalid", 1.0);
+      if (journal) {
+        // Journaled the moment it exists: a kill any time after this line
+        // cannot lose this galaxy's science. append() is thread-safe.
+        (void)journal->append("row", ck + galaxy_ids[i],
+                              encode_result(results[i]));
+      }
       {
         std::lock_guard lock(inflight_mu);
         --in_flight;
@@ -273,9 +448,22 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   trace.staging_failovers = staging_after.failovers - staging_before.failovers;
   trace.staging_breaker_trips =
       staging_after.breaker_trips - staging_before.breaker_trips;
+  trace.staging_integrity_failures =
+      staging_after.integrity_failures - staging_before.integrity_failures;
+  trace.staging_quarantine_skips =
+      staging_after.quarantine_skips - staging_before.quarantine_skips;
   staging.count("images_fetched", static_cast<double>(trace.images_fetched));
   staging.count("images_cached", static_cast<double>(trace.images_cached));
   staging.count("retries", static_cast<double>(trace.staging_retries));
+  // Integrity/resume counts appear only when the feature fired, so the
+  // zero-fault golden trace stays unchanged.
+  if (trace.staging_integrity_failures > 0) {
+    staging.count("integrity_failures",
+                  static_cast<double>(trace.staging_integrity_failures));
+  }
+  if (trace.rows_resumed > 0) {
+    staging.count("rows_resumed", static_cast<double>(trace.rows_resumed));
+  }
   staging.end();
 
   // (4a) VDL generation (the second stylesheet).
@@ -334,14 +522,70 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
       grid_, cost,
       pegasus::unify_retry_budgets(config_.failure, config_.retry.max_attempts),
       config_.seed ^ 0xDA6);
-  auto report = dagman.run(trace.plan.concrete);
-  if (!report.ok()) return report.error();
-  trace.execution = std::move(report.value());
+  if (journal || config_.abort_after_nodes > 0) {
+    dagman.set_node_callback([this, journal, ck](const grid::NodeResult& nr)
+                                 -> Status {
+      if (journal && nr.outcome == grid::NodeOutcome::kSucceeded &&
+          !journal->has("node", ck + nr.id)) {
+        if (const Status s = journal->append("node", ck + nr.id, ""); !s.ok()) {
+          return s;
+        }
+      }
+      ++nodes_completed_total_;
+      if (config_.abort_after_nodes > 0 &&
+          nodes_completed_total_ >= config_.abort_after_nodes) {
+        // Simulated submit-host death: the run aborts here, after the
+        // completion above was journaled, so resume loses nothing.
+        return Error(ErrorCode::kAborted,
+                     format("chaos kill after %zu node completions",
+                            nodes_completed_total_));
+      }
+      return Status::Ok();
+    });
+  }
+
+  // Journal-completed nodes are cut out of the DAG via the rescue machinery
+  // before execution: a resumed run re-executes only the unfinished tail.
+  std::map<std::string, grid::NodeResult> prior;
+  if (journal) {
+    for (const std::string& node_id : trace.plan.concrete.node_ids()) {
+      if (!journal->has("node", ck + node_id)) continue;
+      const vds::DagNode* n = trace.plan.concrete.node(node_id);
+      grid::NodeResult r;
+      r.id = node_id;
+      r.outcome = grid::NodeOutcome::kSucceeded;
+      if (n) r.site = n->site;
+      prior[node_id] = std::move(r);
+    }
+  }
+  trace.nodes_resumed = prior.size();
+  if (prior.empty()) {
+    auto report = dagman.run(trace.plan.concrete);
+    if (!report.ok()) return report.error();
+    trace.execution = std::move(report.value());
+  } else {
+    record.messages.push_back(format("resuming: %zu of %zu nodes journal-complete",
+                                     prior.size(),
+                                     trace.plan.concrete.num_nodes()));
+    grid::RunReport recovered =
+        grid::merge_node_outcomes(trace.plan.concrete, prior);
+    if (recovered.workflow_succeeded) {
+      trace.execution = std::move(recovered);
+    } else {
+      auto resume_dag = grid::make_rescue_dag(trace.plan.concrete, recovered);
+      if (!resume_dag.ok()) return resume_dag.error();
+      auto report = dagman.run(resume_dag.value());
+      if (!report.ok()) return report.error();
+      for (const grid::NodeResult& r : report->nodes) prior[r.id] = r;
+      trace.execution = grid::merge_node_outcomes(trace.plan.concrete, prior);
+    }
+  }
   if (config_.tracer) {
     // Node executions are simulated, so their spans are recorded
     // retrospectively from the discrete-event report on the sim timeline.
+    // Journal-resumed nodes (attempts == 0) never ran here — no span.
     for (const grid::NodeResult& r : trace.execution.nodes) {
-      if (r.outcome == grid::NodeOutcome::kSkipped) continue;
+      if (r.outcome == grid::NodeOutcome::kSkipped || r.attempts == 0) continue;
       config_.tracer->record_span(
           dag_span.id(), "dag.node", "grid", r.start_seconds * 1000.0,
           (r.end_seconds - r.start_seconds) * 1000.0,
@@ -390,6 +634,11 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   state_->results[out_lfn] = votable::to_votable_xml(out_table);
   rls_.add(out_lfn, config_.cache_site, record.result_lfn);
   grid_.put_file(config_.cache_site, out_lfn, state_->results[out_lfn].size());
+  if (journal) {
+    // The finished catalog is the cluster's terminal record: a resumed
+    // campaign serves these bytes directly (step 2b) instead of re-running.
+    (void)journal->append("cluster", out_lfn, state_->results[out_lfn]);
+  }
 
   trace.total_sim_seconds =
       trace.image_fetch_sim_ms / 1000.0 + trace.execution.makespan_seconds;
@@ -427,6 +676,11 @@ Expected<MorphologyService::PollResult> MorphologyService::poll(
     }
   }
   return out;
+}
+
+const std::string* MorphologyService::result_xml(const std::string& out_lfn) const {
+  const auto it = state_->results.find(out_lfn);
+  return it == state_->results.end() ? nullptr : &it->second;
 }
 
 Expected<votable::Table> MorphologyService::fetch_result(

@@ -28,6 +28,7 @@
 #include "common/expected.hpp"
 #include "common/ids.hpp"
 #include "core/galmorph.hpp"
+#include "grid/checkpoint.hpp"
 #include "grid/dagman.hpp"
 #include "grid/grid.hpp"
 #include "grid/threadpool.hpp"
@@ -68,6 +69,18 @@ struct ComputeServiceConfig {
   /// Optional trace-span sink (staging, planning, DAGMan nodes, kernels).
   /// Must outlive the service.
   obs::Tracer* tracer = nullptr;
+  /// Optional durable checkpoint journal (must outlive the service). When
+  /// set, staged-image registrations, DAG node completions, and per-galaxy
+  /// morphology rows are persisted as they happen, and process() resumes
+  /// from whatever the journal already holds: journaled rows skip staging
+  /// and the kernel, journaled node completions are cut out of the DAG via
+  /// the rescue machinery, and the merged report covers both halves.
+  grid::CheckpointJournal* journal = nullptr;
+  /// Chaos kill injection: abort DAG execution with kAborted once this many
+  /// node completions have been counted across the service's lifetime
+  /// (0 disables). Simulates the submit host dying mid-DAG so the
+  /// checkpoint/resume path can be exercised deterministically.
+  std::size_t abort_after_nodes = 0;
 };
 
 /// Everything measured about one request (drives the Fig. 6 benchmark).
@@ -75,6 +88,7 @@ struct ServiceTrace {
   std::string request_id;
   std::string cluster_name;
   bool cache_hit = false;          ///< output VOTable already in the RLS
+  bool journal_hit = false;        ///< catalog served from the checkpoint journal
   std::size_t galaxies = 0;
   std::size_t images_fetched = 0;  ///< downloaded via SIA this request
   std::size_t images_cached = 0;   ///< served from the local cache
@@ -82,6 +96,10 @@ struct ServiceTrace {
   std::uint64_t staging_retries = 0;    ///< HTTP re-attempts while staging
   std::uint64_t staging_failovers = 0;  ///< staging fetches served by a mirror
   std::uint64_t staging_breaker_trips = 0;
+  std::uint64_t staging_integrity_failures = 0;  ///< corrupted payloads caught
+  std::uint64_t staging_quarantine_skips = 0;    ///< fetches rerouted to mirror
+  std::size_t rows_resumed = 0;   ///< morphology rows loaded from the journal
+  std::size_t nodes_resumed = 0;  ///< DAG nodes skipped as journal-completed
   double vdl_bytes = 0.0;
   double compose_wall_ms = 0.0;
   double plan_wall_ms = 0.0;
@@ -124,6 +142,11 @@ class MorphologyService {
 
   /// Client-side fetch of a completed result.
   Expected<votable::Table> fetch_result(const std::string& result_url) const;
+
+  /// Raw XML bytes of a materialized output VOTable (exactly what /results
+  /// serves); nullptr when the LFN is unknown. Byte-identity checks compare
+  /// these rather than re-serialized tables.
+  const std::string* result_xml(const std::string& out_lfn) const;
 
   /// Trace lookup for benchmarks (by request id). Null when unknown.
   const ServiceTrace* trace(const std::string& request_id) const;
@@ -186,6 +209,9 @@ class MorphologyService {
   bool defer_evictions_ = false;
   std::unordered_set<std::string> request_lfns_;
   std::vector<std::string> deferred_evictions_;
+  /// Node completions across the service's lifetime; drives the chaos
+  /// kill counter (ComputeServiceConfig::abort_after_nodes).
+  std::size_t nodes_completed_total_ = 0;
 
   // Shared with fabric handler closures.
   struct State {

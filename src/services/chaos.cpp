@@ -45,6 +45,46 @@ ChaosSchedule& ChaosSchedule::brownout(std::string host, double bandwidth_factor
   return add(std::move(w));
 }
 
+ChaosSchedule& ChaosSchedule::bit_flip(std::string host, double rate,
+                                       double start_ms, double end_ms) {
+  FaultWindow w;
+  w.kind = FaultWindow::Kind::kBitFlip;
+  w.host = std::move(host);
+  w.corruption_rate = rate;
+  w.start_ms = start_ms;
+  w.end_ms = end_ms;
+  return add(std::move(w));
+}
+
+ChaosSchedule& ChaosSchedule::truncate(std::string host, double rate,
+                                       double start_ms, double end_ms) {
+  FaultWindow w;
+  w.kind = FaultWindow::Kind::kTruncate;
+  w.host = std::move(host);
+  w.corruption_rate = rate;
+  w.start_ms = start_ms;
+  w.end_ms = end_ms;
+  return add(std::move(w));
+}
+
+ChaosSchedule& ChaosSchedule::stale_replica(std::string host, double rate,
+                                            double start_ms, double end_ms) {
+  FaultWindow w;
+  w.kind = FaultWindow::Kind::kStaleReplica;
+  w.host = std::move(host);
+  w.corruption_rate = rate;
+  w.start_ms = start_ms;
+  w.end_ms = end_ms;
+  return add(std::move(w));
+}
+
+bool ChaosSchedule::has_corruption() const {
+  for (const FaultWindow& w : windows_) {
+    if (w.is_corruption()) return true;
+  }
+  return false;
+}
+
 EndpointModel ChaosSchedule::apply(const Url& url, EndpointModel model,
                                    double now_ms) const {
   for (const FaultWindow& w : windows_) {
@@ -62,15 +102,88 @@ EndpointModel ChaosSchedule::apply(const Url& url, EndpointModel model,
         model.bandwidth_mbps *= w.bandwidth_factor;
         model.latency_ms += w.extra_latency_ms;
         break;
+      case FaultWindow::Kind::kBitFlip:
+      case FaultWindow::Kind::kTruncate:
+      case FaultWindow::Kind::kStaleReplica:
+        break;  // corruption acts on the response, not the endpoint model
     }
   }
   return model;
 }
 
+bool ChaosSchedule::tamper(const Url& url, HttpResponse& response, double now_ms,
+                           Rng& rng, StaleStore& stale) const {
+  bool matched_stale_host = false;
+  bool corrupted = false;
+  // Snapshot the clean response up front: if this request is both recorded
+  // (for future stale replays) and corrupted, the *clean* bytes are what a
+  // stale replica would later serve.
+  const std::vector<std::uint8_t> clean_body = response.body;
+  const std::uint64_t clean_digest = response.digest;
+  const std::string clean_type = response.content_type;
+
+  for (const FaultWindow& w : windows_) {
+    if (!w.is_corruption()) continue;
+    if (!w.host.empty() && w.host != url.host) continue;
+    if (!w.path_prefix.empty() && !starts_with(url.path, w.path_prefix)) continue;
+    if (w.kind == FaultWindow::Kind::kStaleReplica) matched_stale_host = true;
+    if (corrupted) continue;  // at most one corruption per response
+    if (now_ms < w.start_ms || now_ms >= w.end_ms) continue;
+    if (w.corruption_rate <= 0.0 || !rng.bernoulli(w.corruption_rate)) continue;
+    switch (w.kind) {
+      case FaultWindow::Kind::kBitFlip: {
+        if (response.body.empty()) break;
+        const std::uint64_t bit =
+            rng.uniform_index(static_cast<std::uint64_t>(response.body.size()) * 8);
+        response.body[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        corrupted = true;
+        break;
+      }
+      case FaultWindow::Kind::kTruncate: {
+        if (response.body.empty()) break;
+        response.body.resize(static_cast<std::size_t>(
+            rng.uniform_index(static_cast<std::uint64_t>(response.body.size()))));
+        corrupted = true;
+        break;
+      }
+      case FaultWindow::Kind::kStaleReplica: {
+        const auto it = stale.find(url.host);
+        // Replay only when the remembered response is genuinely different
+        // content: replaying a response onto its own URL is not corruption.
+        if (it != stale.end() && it->second.digest != response.digest) {
+          response.body = it->second.body;
+          response.content_type = it->second.content_type;
+          response.digest = it->second.digest;  // valid — for the *old* URL
+          corrupted = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  if (matched_stale_host) {
+    stale[url.host] = StaleEntry{clean_body, clean_type, clean_digest};
+  }
+  return corrupted;
+}
+
 void install_chaos(HttpFabric& fabric, ChaosSchedule schedule) {
-  if (schedule.empty()) {
+  if (schedule.windows().empty()) {
     fabric.set_fault_injector(nullptr);
+    fabric.set_response_tamperer(nullptr);
     return;
+  }
+  if (schedule.has_corruption()) {
+    auto stale = std::make_shared<ChaosSchedule::StaleStore>();
+    fabric.set_response_tamperer(
+        [schedule, stale](const Url& url, HttpResponse& response, double now_ms,
+                          Rng& rng) {
+          return schedule.tamper(url, response, now_ms, rng, *stale);
+        });
+  } else {
+    fabric.set_response_tamperer(nullptr);
   }
   fabric.set_fault_injector(
       [schedule = std::move(schedule)](

@@ -9,7 +9,9 @@
 // bit-identical.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -18,9 +20,13 @@
 namespace nvo::services {
 
 /// One scripted fault: a model override active on matching requests inside
-/// [start_ms, end_ms) of the fabric's simulated clock.
+/// [start_ms, end_ms) of the fabric's simulated clock. The corruption kinds
+/// (kBitFlip, kTruncate, kStaleReplica) do not touch the endpoint model —
+/// the request "succeeds" — they tamper with the already-signed response so
+/// the integrity layer is the only thing standing between the bad bytes and
+/// the morphology kernel.
 struct FaultWindow {
-  enum class Kind { kOutage, kFlaky, kBrownout };
+  enum class Kind { kOutage, kFlaky, kBrownout, kBitFlip, kTruncate, kStaleReplica };
   Kind kind = Kind::kOutage;
   std::string host;         ///< exact host; empty matches every host
   std::string path_prefix;  ///< path prefix; empty matches every path
@@ -29,6 +35,12 @@ struct FaultWindow {
   double failure_rate = 0.0;      ///< kFlaky: per-request 503 probability
   double bandwidth_factor = 1.0;  ///< kBrownout: multiplies bandwidth
   double extra_latency_ms = 0.0;  ///< kBrownout: added per-request latency
+  double corruption_rate = 0.0;   ///< corruption kinds: per-request probability
+
+  bool is_corruption() const {
+    return kind == Kind::kBitFlip || kind == Kind::kTruncate ||
+           kind == Kind::kStaleReplica;
+  }
 };
 
 /// An ordered script of fault windows; overlapping windows compose (an
@@ -45,19 +57,67 @@ class ChaosSchedule {
   /// `extra_latency_ms`) during the window.
   ChaosSchedule& brownout(std::string host, double bandwidth_factor,
                           double extra_latency_ms, double start_ms, double end_ms);
+  /// Silent corruption: a sampled fraction of successful responses get one
+  /// random bit flipped after signing.
+  ChaosSchedule& bit_flip(std::string host, double rate, double start_ms = 0.0,
+                          double end_ms = std::numeric_limits<double>::infinity());
+  /// Silent corruption: a sampled fraction of successful responses lose a
+  /// random-length tail (short read that still reports success).
+  ChaosSchedule& truncate(std::string host, double rate, double start_ms = 0.0,
+                          double end_ms = std::numeric_limits<double>::infinity());
+  /// Silent corruption: a sampled fraction of successful responses are
+  /// replaced by the *previous* response the host served — valid bytes with
+  /// a valid signature, but for a different resource (a stale replica).
+  ChaosSchedule& stale_replica(std::string host, double rate, double start_ms = 0.0,
+                               double end_ms = std::numeric_limits<double>::infinity());
 
-  bool empty() const { return windows_.empty(); }
+  /// Process-kill injection: abort the campaign's DAG execution after `n`
+  /// total node completions (0 disables). Consumed by the compute service,
+  /// not the fabric — it simulates the submit host dying mid-DAG so the
+  /// checkpoint/resume path can be exercised deterministically.
+  ChaosSchedule& kill_after_nodes(std::size_t n) {
+    kill_after_node_completions_ = n;
+    return *this;
+  }
+  std::size_t kill_after_node_completions() const {
+    return kill_after_node_completions_;
+  }
+
+  bool empty() const {
+    return windows_.empty() && kill_after_node_completions_ == 0;
+  }
+  bool has_corruption() const;
   const std::vector<FaultWindow>& windows() const { return windows_; }
 
-  /// Applies every matching active window to `model`.
+  /// Applies every matching active window to `model` (corruption windows do
+  /// not alter the model; they act at tamper time).
   EndpointModel apply(const Url& url, EndpointModel model, double now_ms) const;
+
+  /// Per-host memory of the last clean response, for stale-replica replays.
+  struct StaleEntry {
+    std::vector<std::uint8_t> body;
+    std::string content_type;
+    std::uint64_t digest = 0;
+  };
+  using StaleStore = std::map<std::string, StaleEntry>;
+
+  /// Applies corruption windows to an already-signed response. Draws from
+  /// `rng` only for requests matched by an active corruption window (at most
+  /// one corruption is applied per response). Returns true when the response
+  /// was actually altered.
+  bool tamper(const Url& url, HttpResponse& response, double now_ms, Rng& rng,
+              StaleStore& stale) const;
 
  private:
   std::vector<FaultWindow> windows_;
+  std::size_t kill_after_node_completions_ = 0;
 };
 
-/// Installs the schedule as the fabric's fault injector (replacing any
-/// previous one). The schedule is copied into the hook.
+/// Installs the schedule as the fabric's fault injector and — when the
+/// schedule contains corruption windows — its response tamperer (replacing
+/// any previous hooks). The schedule is copied into the hooks. The tamperer
+/// only consumes RNG draws for requests matched by an active corruption
+/// window, so a corruption-free schedule leaves request timings untouched.
 void install_chaos(HttpFabric& fabric, ChaosSchedule schedule);
 
 }  // namespace nvo::services

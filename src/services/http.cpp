@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "services/integrity.hpp"
 
 namespace nvo::services {
 
@@ -253,6 +254,17 @@ Expected<HttpResponse> HttpFabric::get(const std::string& url_text) {
     return result;
   }
   HttpResponse response = std::move(result.value());
+  // Sign the payload at serve time: content digest bound to the canonical
+  // request URL. Clients recompute after transfer; anything that alters the
+  // bytes in flight (or replays another resource's bytes) breaks the match.
+  response.digest = integrity::sign_payload(response.body, url);
+  // Chaos corruption: the tamperer may alter the already-signed response
+  // (bit flips, truncation, stale replays). Counted so tests can assert
+  // every injected corruption was detected downstream.
+  if (tamperer_ && tamperer_(url, response, now_ms(), rng_)) {
+    ++metrics_.corruptions_injected;
+    ++route->metrics.corruptions_injected;
+  }
   // Simulated cost: connection latency + payload / bandwidth, with a mild
   // stochastic jitter so repeated queries are not suspiciously identical.
   const double megabits = static_cast<double>(response.body.size()) * 8.0 / 1e6;

@@ -45,6 +45,11 @@ struct HttpResponse {
   std::string content_type = "text/plain";
   std::vector<std::uint8_t> body;
   double elapsed_ms = 0.0;  ///< simulated wall time for this request
+  /// Serve-time integrity signature: content digest of `body` bound to the
+  /// canonical request URL, attached by the fabric on every successful
+  /// dispatch (see services/integrity.hpp). 0 means "unsigned" (hand-built
+  /// fixture responses); verification treats unsigned as trivially valid.
+  std::uint64_t digest = 0;
 
   std::string body_text() const { return std::string(body.begin(), body.end()); }
   static HttpResponse text(std::string s, const std::string& type = "text/plain");
@@ -103,6 +108,7 @@ class HttpFabric : public HttpChannel {
     std::uint64_t unrouted = 0;           ///< no service matched the URL
     std::uint64_t hard_down = 0;          ///< endpoint was switched off
     std::uint64_t transient_failures = 0; ///< sampled 503s
+    std::uint64_t corruptions_injected = 0; ///< responses tampered post-handler
     std::uint64_t bytes_transferred = 0;
     double total_elapsed_ms = 0.0;
   };
@@ -156,6 +162,20 @@ class HttpFabric : public HttpChannel {
     injector_ = std::move(injector);
   }
 
+  /// Response tamperer hook (the chaos corruption harness): called after a
+  /// handler succeeds and the response has been signed, with the fabric's
+  /// RNG for seeded corruption draws. Returns true when it actually altered
+  /// the response (counted in Metrics::corruptions_injected). The hook MUST
+  /// only consume RNG draws for requests matching an active corruption
+  /// window, so a schedule without corruption leaves the fault-free request
+  /// timings bit-identical.
+  using ResponseTamperer =
+      std::function<bool(const Url&, HttpResponse&, double now_ms, Rng& rng)>;
+  void set_response_tamperer(ResponseTamperer tamperer) {
+    std::lock_guard lock(mu_);
+    tamperer_ = std::move(tamperer);
+  }
+
  private:
   struct Route {
     std::string host;
@@ -175,6 +195,7 @@ class HttpFabric : public HttpChannel {
   Metrics metrics_;
   obs::SimClock clock_;
   FaultInjector injector_;
+  ResponseTamperer tamperer_;
 };
 
 }  // namespace nvo::services

@@ -33,6 +33,9 @@ void register_metrics(obs::MetricsRegistry& registry, const HttpFabric& fabric,
   });
   registry.register_counter(prefix + ".total_elapsed_ms",
                             [f] { return f->metrics().total_elapsed_ms; });
+  registry.register_counter(prefix + ".corruptions_injected", [f] {
+    return static_cast<double>(f->metrics().corruptions_injected);
+  });
   registry.register_gauge(prefix + ".now_ms", [f] { return f->now_ms(); });
   registry.register_collector(prefix + ".route", [f, prefix](auto& counters,
                                                              auto& gauges) {
@@ -61,6 +64,12 @@ void register_metrics(obs::MetricsRegistry& registry, const ReplicaCache& cache,
                             [c] { return static_cast<double>(c->stats().insertions); });
   registry.register_counter(prefix + ".evictions",
                             [c] { return static_cast<double>(c->stats().evictions); });
+  registry.register_counter(prefix + ".integrity_rejects", [c] {
+    return static_cast<double>(c->stats().integrity_rejects);
+  });
+  registry.register_counter(prefix + ".integrity_mismatches", [c] {
+    return static_cast<double>(c->stats().integrity_mismatches);
+  });
   registry.register_gauge(prefix + ".bytes",
                           [c] { return static_cast<double>(c->stats().bytes); });
   registry.register_gauge(prefix + ".entries",
@@ -99,6 +108,15 @@ void register_metrics(obs::MetricsRegistry& registry, const ResilientClient& cli
   });
   registry.register_counter(prefix + ".failovers",
                             [c] { return static_cast<double>(c->totals().failovers); });
+  registry.register_counter(prefix + ".integrity_failures", [c] {
+    return static_cast<double>(c->totals().integrity_failures);
+  });
+  registry.register_counter(prefix + ".quarantine_skips", [c] {
+    return static_cast<double>(c->totals().quarantine_skips);
+  });
+  registry.register_counter(prefix + ".quarantines", [c] {
+    return static_cast<double>(c->quarantine().stats().quarantines);
+  });
   registry.register_counter(prefix + ".backoff_wait_ms",
                             [c] { return c->totals().backoff_wait_ms; });
   registry.register_collector(prefix + ".breaker", [c, prefix](auto& counters,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "services/integrity.hpp"
+
 namespace nvo::services {
 
 namespace {
@@ -35,35 +37,62 @@ const ReplicaCache::Shard& ReplicaCache::shard_for(const std::string& lfn) const
 
 ReplicaCache::Payload ReplicaCache::get(const std::string& lfn) {
   Shard& s = shard_for(lfn);
-  std::lock_guard<std::mutex> lock(s.mu);
-  const auto it = s.map.find(lfn);
-  if (it == s.map.end()) {
-    ++s.misses;
-    return nullptr;
+  bool heal = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.map.find(lfn);
+    if (it == s.map.end()) {
+      ++s.misses;
+      return nullptr;
+    }
+    // Read-time re-verification: the payload must still hash to the digest
+    // recorded at admission. A mismatch is treated as a miss and the rotten
+    // entry is dropped so the caller re-stages from the archive.
+    if (it->second.digest != 0 &&
+        integrity::content_digest(*it->second.payload) != it->second.digest) {
+      ++s.integrity_mismatches;
+      ++s.misses;
+      s.bytes -= it->second.payload->size();
+      s.lru.erase(it->second.lru_it);
+      s.map.erase(it);
+      heal = true;
+    } else {
+      ++s.hits;
+      s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);  // refresh to MRU
+      return it->second.payload;
+    }
   }
-  ++s.hits;
-  s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);  // refresh to MRU
-  return it->second.payload;
+  // Outside the shard lock: deregister the dropped replica like an eviction.
+  if (heal && on_evict_) on_evict_(lfn);
+  return nullptr;
 }
 
 ReplicaCache::Payload ReplicaCache::put(const std::string& lfn,
-                                        std::vector<std::uint8_t> bytes) {
+                                        std::vector<std::uint8_t> bytes,
+                                        std::uint64_t expected_digest) {
+  const std::uint64_t digest = integrity::content_digest(bytes);
   auto payload =
       std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
   std::vector<std::string> evicted;
   Shard& s = shard_for(lfn);
   {
     std::lock_guard<std::mutex> lock(s.mu);
+    if (expected_digest != 0 && digest != expected_digest) {
+      // Admission check failed: the bytes are not what the producer signed.
+      ++s.integrity_rejects;
+      return nullptr;
+    }
     const auto it = s.map.find(lfn);
     if (it != s.map.end()) {
       s.bytes -= it->second.payload->size();
       s.bytes += payload->size();
       it->second.payload = payload;
+      it->second.digest = digest;
       s.lru.splice(s.lru.begin(), s.lru, it->second.lru_it);
       ++s.insertions;  // every put counts, replacements included
     } else {
       s.lru.push_front(lfn);
-      s.map.emplace(lfn, Shard::Entry{payload, s.lru.begin()});
+      s.map.emplace(lfn, Shard::Entry{payload, digest, s.lru.begin()});
       s.bytes += payload->size();
       ++s.insertions;
     }
@@ -87,6 +116,13 @@ ReplicaCache::Payload ReplicaCache::put(const std::string& lfn,
   return payload;
 }
 
+std::uint64_t ReplicaCache::digest_of(const std::string& lfn) const {
+  const Shard& s = shard_for(lfn);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(lfn);
+  return it == s.map.end() ? 0 : it->second.digest;
+}
+
 bool ReplicaCache::contains(const std::string& lfn) const {
   const Shard& s = shard_for(lfn);
   std::lock_guard<std::mutex> lock(s.mu);
@@ -105,6 +141,8 @@ ReplicaCache::Stats ReplicaCache::stats() const {
     out.misses += shard->misses;
     out.insertions += shard->insertions;
     out.evictions += shard->evictions;
+    out.integrity_rejects += shard->integrity_rejects;
+    out.integrity_mismatches += shard->integrity_mismatches;
     out.bytes += shard->bytes;
     out.entries += shard->map.size();
   }

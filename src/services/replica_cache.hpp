@@ -41,12 +41,24 @@ class ReplicaCache {
   explicit ReplicaCache(ReplicaCacheConfig config = {});
 
   /// Looks up and pins a payload; nullptr on miss. Refreshes LRU order.
+  /// Every hit re-verifies the stored bytes against the digest recorded at
+  /// admission; a mismatch (in-memory rot, or a bug writing through the
+  /// immutable payload) self-heals — the entry is dropped, the eviction
+  /// callback deregisters it, and the caller sees a miss and re-stages.
   Payload get(const std::string& lfn);
 
   /// Inserts (or replaces) an entry and returns the pinned payload. May
   /// evict least-recently-used entries from the same shard to fit the
   /// budget; the inserted entry itself is never evicted by its own put.
-  Payload put(const std::string& lfn, std::vector<std::uint8_t> bytes);
+  /// When `expected_digest` is non-zero the bytes are verified on admission
+  /// (FNV-1a content digest, services/integrity.hpp) and a mismatch rejects
+  /// the put (nullptr, counted in Stats::integrity_rejects) — corrupt bytes
+  /// never become a cacheable replica.
+  Payload put(const std::string& lfn, std::vector<std::uint8_t> bytes,
+              std::uint64_t expected_digest = 0);
+
+  /// Content digest recorded at admission; 0 when not resident.
+  std::uint64_t digest_of(const std::string& lfn) const;
 
   /// True when resident, without touching LRU order or hit/miss counters.
   bool contains(const std::string& lfn) const;
@@ -58,6 +70,8 @@ class ReplicaCache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t integrity_rejects = 0;    ///< puts refused on digest mismatch
+    std::uint64_t integrity_mismatches = 0; ///< hits whose bytes failed re-check
     std::size_t bytes = 0;    ///< resident payload bytes
     std::size_t entries = 0;  ///< resident entry count
   };
@@ -73,6 +87,7 @@ class ReplicaCache {
     std::list<std::string> lru;
     struct Entry {
       Payload payload;
+      std::uint64_t digest = 0;  ///< content digest recorded at admission
       std::list<std::string>::iterator lru_it;
     };
     std::unordered_map<std::string, Entry> map;
@@ -81,6 +96,8 @@ class ReplicaCache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t integrity_rejects = 0;
+    std::uint64_t integrity_mismatches = 0;
   };
 
   Shard& shard_for(const std::string& lfn);

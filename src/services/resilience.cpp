@@ -65,7 +65,8 @@ namespace {
 /// (bad parameters, genuinely missing data) are returned to the caller
 /// unchanged — retrying a 404 only burns the deadline.
 bool retryable(const Error& e) {
-  return e.code == ErrorCode::kServiceUnavailable || e.code == ErrorCode::kTimeout;
+  return e.code == ErrorCode::kServiceUnavailable || e.code == ErrorCode::kTimeout ||
+         e.code == ErrorCode::kDataCorruption;
 }
 
 }  // namespace
@@ -108,6 +109,8 @@ EndpointStats ResilientClient::totals() const {
     sum.breaker_trips += ep.stats.breaker_trips;
     sum.short_circuits += ep.stats.short_circuits;
     sum.failovers += ep.stats.failovers;
+    sum.integrity_failures += ep.stats.integrity_failures;
+    sum.quarantine_skips += ep.stats.quarantine_skips;
     sum.backoff_wait_ms += ep.stats.backoff_wait_ms;
   }
   return sum;
@@ -150,19 +153,37 @@ Expected<HttpResponse> ResilientClient::get_from_host(const Url& url,
       const bool timed_out =
           retry_.attempt_timeout_ms > 0.0 && attempt_ms > retry_.attempt_timeout_ms;
       const bool server_error = response->status >= 500;
-      if (!timed_out && !server_error) {
+      // Post-transfer integrity check: a "successful" reply whose bytes do
+      // not match the serve-time signature is a transport fault in disguise
+      // (bit flip, short read, stale replica) and is retried like a 503.
+      const bool corrupted = !timed_out && !server_error && retry_.verify_digests &&
+                             integrity::payload_mismatch(*response, url);
+      if (!timed_out && !server_error && !corrupted) {
         // Success — or a protocol-level reply (4xx) the caller must see.
+        // Verified bytes also lift any standing quarantine on this replica.
+        quarantine_.release(url.host, integrity::resource_key(url));
         ep.breaker.record_success();
         ++ep.stats.successes;
         return response;
       }
-      last = timed_out ? Error(ErrorCode::kTimeout,
-                               format("attempt took %.0f ms (budget %.0f) at %s%s",
-                                      attempt_ms, retry_.attempt_timeout_ms,
-                                      url.host.c_str(), url.path.c_str()))
-                       : Error(ErrorCode::kServiceUnavailable,
-                               format("server error %d at %s%s", response->status,
-                                      url.host.c_str(), url.path.c_str()));
+      if (corrupted) {
+        ++ep.stats.integrity_failures;
+        quarantine_.quarantine(url.host, integrity::resource_key(url),
+                               fabric_.now_ms(), retry_.quarantine_ms);
+        last = Error(ErrorCode::kDataCorruption,
+                     format("payload digest mismatch at %s%s (%zu bytes)",
+                            url.host.c_str(), url.path.c_str(),
+                            response->body.size()));
+      } else {
+        last = timed_out
+                   ? Error(ErrorCode::kTimeout,
+                           format("attempt took %.0f ms (budget %.0f) at %s%s",
+                                  attempt_ms, retry_.attempt_timeout_ms,
+                                  url.host.c_str(), url.path.c_str()))
+                   : Error(ErrorCode::kServiceUnavailable,
+                           format("server error %d at %s%s", response->status,
+                                  url.host.c_str(), url.path.c_str()));
+      }
     } else if (!retryable(response.error())) {
       // Application-level miss (404 and friends): no breaker penalty, no
       // retry — hammering an endpoint for data it does not have is not a
@@ -207,12 +228,32 @@ Expected<HttpResponse> ResilientClient::get(const std::string& url_text) {
                                  : std::numeric_limits<double>::infinity();
 
   Endpoint& primary = endpoint(parsed->host);
+  const auto mirror = mirrors_.find(parsed->host);
+
+  // Quarantine reroute: if this endpoint recently served bytes for this
+  // resource that failed verification, do not re-trust it while the
+  // quarantine lasts — go straight to the alternate archive/mirror.
+  if (mirror != mirrors_.end() &&
+      quarantine_.is_quarantined(parsed->host, integrity::resource_key(parsed.value()),
+                                 fabric_.now_ms())) {
+    quarantine_.count_skip();
+    ++primary.stats.quarantine_skips;
+    Url mirrored = parsed.value();
+    mirrored.host = mirror->second;
+    auto fallback = get_from_host(mirrored, deadline_ms, endpoint(mirror->second));
+    if (fallback.ok()) {
+      ++primary.stats.failovers;
+      return fallback;
+    }
+    if (!retryable(fallback.error())) return fallback;
+    // Mirror also unhealthy: fall through and give the primary its chance.
+  }
+
   auto response = get_from_host(parsed.value(), deadline_ms, primary);
   if (response.ok()) return response;
   if (!retryable(response.error())) return response;
 
   // Failover: re-issue against the registered mirror, same path and query.
-  const auto mirror = mirrors_.find(parsed->host);
   if (mirror == mirrors_.end()) return response;
   Url mirrored = parsed.value();
   mirrored.host = mirror->second;

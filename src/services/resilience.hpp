@@ -17,6 +17,7 @@
 #include "common/expected.hpp"
 #include "common/rng.hpp"
 #include "services/http.hpp"
+#include "services/integrity.hpp"
 
 namespace nvo::services {
 
@@ -34,6 +35,16 @@ struct RetryPolicy {
   /// Overall simulated-time budget for one get() call, retries and backoff
   /// included. 0 disables the deadline.
   double deadline_ms = 20000.0;
+  /// Recompute every signed response's digest after transfer and treat a
+  /// mismatch as a retryable fault (it consumes an attempt from the same
+  /// budget as a 503 — the unified retry budget sees corruption and
+  /// flakiness identically). Verification of an intact payload changes no
+  /// observable behaviour, so this is safe to leave on.
+  bool verify_digests = true;
+  /// How long (simulated ms) an (endpoint, resource) pair stays quarantined
+  /// after serving bytes that failed verification. While quarantined, a
+  /// request for that resource goes straight to the registered mirror.
+  double quarantine_ms = 60000.0;
 };
 
 /// Circuit-breaker thresholds, in simulated time.
@@ -82,6 +93,8 @@ struct EndpointStats {
   std::uint64_t breaker_trips = 0;
   std::uint64_t short_circuits = 0;  ///< calls rejected while the breaker was open
   std::uint64_t failovers = 0;       ///< calls ultimately served by a mirror
+  std::uint64_t integrity_failures = 0;  ///< responses that failed digest checks
+  std::uint64_t quarantine_skips = 0;    ///< calls rerouted around a quarantine
   double backoff_wait_ms = 0.0;      ///< simulated time spent sleeping
 };
 
@@ -116,6 +129,9 @@ class ResilientClient : public HttpChannel {
 
   HttpFabric& fabric() { return fabric_; }
   const RetryPolicy& retry_policy() const { return retry_; }
+  /// The quarantine list: (endpoint, resource) pairs that served bytes which
+  /// failed digest verification, with expiry on the simulated clock.
+  const integrity::QuarantineList& quarantine() const { return quarantine_; }
 
  private:
   struct Endpoint {
@@ -135,6 +151,7 @@ class ResilientClient : public HttpChannel {
   Rng jitter_rng_;
   std::map<std::string, Endpoint> endpoints_;
   std::map<std::string, std::string> mirrors_;
+  integrity::QuarantineList quarantine_;
 };
 
 }  // namespace nvo::services

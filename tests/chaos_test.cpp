@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdio>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "analysis/campaign.hpp"
+#include "obs/metrics.hpp"
 #include "services/chaos.hpp"
 #include "services/federation.hpp"
 #include "services/http.hpp"
@@ -199,6 +202,203 @@ TEST(Chaos, BreakerStateAndOutageWindowPhaseSurviveAMetricsReset) {
   auto response = client.get("http://down.sim/q");
   ASSERT_TRUE(response.ok()) << response.error().to_string();
   EXPECT_EQ(client.breaker_state("down.sim"), services::BreakerState::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// Data-integrity chaos: corruption fault windows (bit flips, truncation,
+// stale-replica replays) on the cutout archive. The digest layer must catch
+// every tampered payload before the morphology kernel sees it, and the final
+// catalogs must be byte-identical to the fault-free run.
+// ---------------------------------------------------------------------------
+
+services::ChaosSchedule corruption_on_mast(const std::string& kind,
+                                           double rate) {
+  // kMastHost is the one mirrored archive, so even a 100% corruption rate
+  // must recover (quarantine the primary, re-fetch from the mirror).
+  services::ChaosSchedule chaos;
+  if (kind == "bit_flip") {
+    chaos.bit_flip(services::Federation::kMastHost, rate);
+  } else if (kind == "truncate") {
+    chaos.truncate(services::Federation::kMastHost, rate);
+  } else {
+    chaos.stale_replica(services::Federation::kMastHost, rate);
+  }
+  return chaos;
+}
+
+TEST(Chaos, CorruptionSweepNeverLeaksBadBytesIntoTheCatalog) {
+  auto baseline = Campaign(base_config(0.05)).run();
+  ASSERT_TRUE(baseline.ok()) << baseline.error().to_string();
+
+  for (const std::string kind : {"bit_flip", "truncate", "stale_replica"}) {
+    for (double rate : {0.25, 1.0}) {
+      CampaignConfig config = base_config(0.05);
+      config.chaos = corruption_on_mast(kind, rate);
+      Campaign campaign(config);
+      obs::MetricsRegistry registry;
+      campaign.register_metrics(registry);
+      auto report = campaign.run();
+      ASSERT_TRUE(report.ok())
+          << kind << " @" << rate << ": " << report.error().to_string();
+
+      // Byte-identical science: every cluster catalog matches the fault-free
+      // serve, byte for byte.
+      ASSERT_EQ(report->clusters.size(), baseline->clusters.size());
+      for (std::size_t i = 0; i < report->clusters.size(); ++i) {
+        EXPECT_EQ(report->clusters[i].catalog_xml,
+                  baseline->clusters[i].catalog_xml)
+            << kind << " @" << rate << ": " << report->clusters[i].name;
+      }
+
+      // The fault windows really fired, and every injected corruption was
+      // caught by a digest check in some resilient client — zero undetected.
+      const obs::MetricsSnapshot snap = registry.snapshot();
+      const double injected = snap.counter("fabric.corruptions_injected");
+      const double detected = snap.counter("client.portal.integrity_failures") +
+                              snap.counter("client.compute.integrity_failures");
+      EXPECT_GT(injected, 0.0) << kind << " @" << rate;
+      EXPECT_EQ(detected, injected) << kind << " @" << rate;
+
+      // Nothing corrupt was ever offered to (or rotted inside) the replica
+      // cache, so no tampered bytes could have reached the kernel.
+      EXPECT_EQ(snap.counter("cache.replica.integrity_rejects"), 0.0)
+          << kind << " @" << rate;
+      EXPECT_EQ(snap.counter("cache.replica.integrity_mismatches"), 0.0)
+          << kind << " @" << rate;
+    }
+  }
+}
+
+TEST(Chaos, PersistentCorruptionQuarantinesThePrimaryArchive) {
+  // At 100% bit-flip rate the primary can never serve a clean payload: the
+  // client must quarantine it and route later fetches straight to the
+  // mirror instead of burning the retry budget on known-bad endpoints.
+  CampaignConfig config = base_config(0.05);
+  config.chaos = corruption_on_mast("bit_flip", 1.0);
+  Campaign campaign(config);
+  obs::MetricsRegistry registry;
+  campaign.register_metrics(registry);
+  auto report = campaign.run();
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_GT(report->total_integrity_failures, 0u);
+  EXPECT_GT(report->total_quarantine_skips, 0u);
+  EXPECT_GT(report->total_failovers, 0u);
+  EXPECT_GT(snap.counter("client.compute.quarantines"), 0.0);
+  const std::string text = report->to_text();
+  EXPECT_NE(text.find("corruptions caught"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Durable checkpoint/resume: a campaign killed mid-run (chaos kill after N
+// DAG node completions) restarted on the same journal must re-execute only
+// the unfinished work and converge to byte-identical catalogs.
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, KilledCampaignResumesToAnIdenticalCatalog) {
+  const std::string journal_path =
+      testing::TempDir() + "nvo_chaos_resume.journal";
+  std::remove(journal_path.c_str());
+
+  // The fault-free, journal-free reference catalogs.
+  auto reference = Campaign(base_config(0.05)).run();
+  ASSERT_TRUE(reference.ok()) << reference.error().to_string();
+
+  // Campaign A: journaled, killed after 40 DAG node completions (mid-run).
+  {
+    CampaignConfig config = base_config(0.05);
+    config.journal_path = journal_path;
+    config.chaos.kill_after_nodes(40);
+    Campaign campaign(config);
+    ASSERT_NE(campaign.journal(), nullptr);
+    auto report = campaign.run();
+    ASSERT_FALSE(report.ok()) << "the chaos kill must abort the campaign";
+    EXPECT_NE(report.error().to_string().find("chaos kill"), std::string::npos)
+        << report.error().to_string();
+  }
+
+  // Campaign B: same configuration minus the kill, same journal. It must
+  // recover the finished clusters whole, replay the journaled rows/nodes of
+  // the killed cluster, and finish the rest — byte-identical to reference.
+  CampaignConfig resume_config = base_config(0.05);
+  resume_config.journal_path = journal_path;
+  Campaign resumed(resume_config);
+  ASSERT_NE(resumed.journal(), nullptr);
+  EXPECT_GT(resumed.journal()->stats().records_loaded, 0u);
+  auto report = resumed.run();
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+
+  ASSERT_EQ(report->clusters.size(), reference->clusters.size());
+  for (std::size_t i = 0; i < report->clusters.size(); ++i) {
+    EXPECT_EQ(report->clusters[i].name, reference->clusters[i].name);
+    EXPECT_EQ(report->clusters[i].catalog_xml,
+              reference->clusters[i].catalog_xml)
+        << report->clusters[i].name;
+  }
+  // Work was genuinely skipped, not redone: the killed cluster resumed its
+  // journaled DAG nodes and morphology rows.
+  EXPECT_GT(report->total_nodes_resumed, 0u);
+  EXPECT_GT(report->total_rows_resumed, 0u);
+  bool saw_partial_resume = false;
+  for (const ClusterOutcome& c : report->clusters) {
+    if (c.nodes_resumed > 0 && !c.resumed_from_journal) {
+      saw_partial_resume = true;
+      // Staging finished before the kill landed in the DAG phase, so every
+      // row of the killed cluster came back from the journal.
+      EXPECT_EQ(c.rows_resumed, c.galaxies) << c.name;
+    }
+  }
+  EXPECT_TRUE(saw_partial_resume);
+  const std::string text = report->to_text();
+  EXPECT_NE(text.find("resumed from journal"), std::string::npos);
+
+  // Campaign C: a third run on the now-complete journal serves every
+  // cluster catalog whole, still byte-identical.
+  Campaign third(resume_config);
+  auto report_c = third.run();
+  ASSERT_TRUE(report_c.ok()) << report_c.error().to_string();
+  EXPECT_EQ(report_c->clusters_resumed, report_c->clusters.size());
+  for (std::size_t i = 0; i < report_c->clusters.size(); ++i) {
+    EXPECT_EQ(report_c->clusters[i].catalog_xml,
+              reference->clusters[i].catalog_xml);
+  }
+  std::remove(journal_path.c_str());
+}
+
+TEST(Chaos, ResumeUnderCorruptionStillConvergesByteIdentical) {
+  // The combined scenario from the acceptance checklist: corruption windows
+  // AND a mid-campaign kill. The resumed run (faults still active) must
+  // still produce the fault-free catalogs.
+  const std::string journal_path =
+      testing::TempDir() + "nvo_chaos_resume_corrupt.journal";
+  std::remove(journal_path.c_str());
+
+  auto reference = Campaign(base_config(0.05)).run();
+  ASSERT_TRUE(reference.ok());
+
+  {
+    CampaignConfig config = base_config(0.05);
+    config.journal_path = journal_path;
+    config.chaos = corruption_on_mast("bit_flip", 0.3);
+    config.chaos.kill_after_nodes(25);
+    auto report = Campaign(config).run();
+    ASSERT_FALSE(report.ok());
+  }
+
+  CampaignConfig resume_config = base_config(0.05);
+  resume_config.journal_path = journal_path;
+  resume_config.chaos = corruption_on_mast("bit_flip", 0.3);
+  auto report = Campaign(resume_config).run();
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  ASSERT_EQ(report->clusters.size(), reference->clusters.size());
+  for (std::size_t i = 0; i < report->clusters.size(); ++i) {
+    EXPECT_EQ(report->clusters[i].catalog_xml,
+              reference->clusters[i].catalog_xml)
+        << report->clusters[i].name;
+  }
+  EXPECT_GT(report->total_nodes_resumed, 0u);
+  std::remove(journal_path.c_str());
 }
 
 TEST(Chaos, SimulatedClockIsMonotonicAcrossConsecutiveCampaignRuns) {

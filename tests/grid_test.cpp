@@ -1,13 +1,16 @@
 // Tests for the execution substrate: thread pool, grid storage/transfer
-// model, the discrete-event DAGMan, and the real-execution DAGMan.
+// model, the discrete-event DAGMan, the real-execution DAGMan, rescue
+// DAGs, and the durable checkpoint journal.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <mutex>
 #include <set>
 #include <thread>
 
+#include "grid/checkpoint.hpp"
 #include "grid/dagman.hpp"
 #include "grid/grid.hpp"
 #include "grid/rescue.hpp"
@@ -451,6 +454,224 @@ TEST(DagManLocal, TransferAndRegisterHooksRun) {
   EXPECT_EQ(registers.load(), 1);
   EXPECT_EQ(report->transfer_jobs, 1u);
   EXPECT_EQ(report->register_jobs, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Rescue edge cases
+// ---------------------------------------------------------------------------
+
+TEST(Rescue, AllSucceededReportYieldsEmptyRescueDag) {
+  Grid g;
+  (void)g.add_site({"s", 4, 1.0, 10.0, 100.0});
+  DagManSim dagman(g, JobCostModel{}, FailureModel{});
+  const vds::Dag dag = compute_chain(3, "s");
+  auto report = dagman.run(dag);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->workflow_succeeded);
+  auto rescue = make_rescue_dag(dag, report.value());
+  ASSERT_TRUE(rescue.ok());
+  EXPECT_TRUE(rescue->empty());
+}
+
+TEST(Rescue, RunWithRescueAllSucceededStopsAfterOneRound) {
+  Grid g;
+  (void)g.add_site({"s", 4, 1.0, 10.0, 100.0});
+  DagManSim dagman(g, JobCostModel{}, FailureModel{});
+  auto outcome = run_with_rescue(dagman, compute_chain(3, "s"), 5);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->fully_succeeded);
+  EXPECT_EQ(outcome->rounds, 1u);  // no degenerate rescue round
+  EXPECT_EQ(outcome->final_report.jobs_succeeded, 3u);
+}
+
+TEST(Rescue, RunWithRescueEmptyDagIsEmptyOutcome) {
+  Grid g = make_paper_grid();
+  DagManSim dagman(g, JobCostModel{}, FailureModel{});
+  auto outcome = run_with_rescue(dagman, vds::Dag{}, 5);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->fully_succeeded);
+  EXPECT_EQ(outcome->rounds, 0u);
+  EXPECT_EQ(outcome->final_report.jobs_total, 0u);
+}
+
+TEST(Rescue, MergeNodeOutcomesReportsAbsentNodesSkipped) {
+  Grid g;
+  (void)g.add_site({"s", 4, 1.0, 10.0, 100.0});
+  const vds::Dag dag = compute_chain(3, "s");
+  std::map<std::string, NodeResult> latest;
+  NodeResult done;
+  done.id = "j0";
+  done.outcome = NodeOutcome::kSucceeded;
+  latest["j0"] = done;
+  const RunReport merged = merge_node_outcomes(dag, latest);
+  EXPECT_EQ(merged.jobs_total, 3u);
+  EXPECT_EQ(merged.jobs_succeeded, 1u);
+  EXPECT_EQ(merged.jobs_skipped, 2u);
+  EXPECT_FALSE(merged.workflow_succeeded);
+}
+
+// ---------------------------------------------------------------------------
+// DagManSim node callback (the checkpoint hook)
+// ---------------------------------------------------------------------------
+
+TEST(DagManSim, NodeCallbackSeesEveryFinalOutcome) {
+  Grid g;
+  (void)g.add_site({"s", 4, 1.0, 10.0, 100.0});
+  FailureModel failure;
+  failure.max_retries = 0;
+  failure.permanent_failures.insert("j1");
+  DagManSim dagman(g, JobCostModel{}, failure);
+  std::vector<std::string> seen;
+  dagman.set_node_callback([&](const NodeResult& r) {
+    seen.push_back(r.id + (r.outcome == NodeOutcome::kSucceeded ? "+" : "-"));
+    return Status::Ok();
+  });
+  auto report = dagman.run(compute_chain(3, "s"));
+  ASSERT_TRUE(report.ok());
+  // j2 is skipped (never reaches a final outcome), so no callback for it.
+  EXPECT_EQ(seen, (std::vector<std::string>{"j0+", "j1-"}));
+}
+
+TEST(DagManSim, NodeCallbackErrorAbortsTheRun) {
+  Grid g;
+  (void)g.add_site({"s", 1, 1.0, 10.0, 100.0});
+  DagManSim dagman(g, JobCostModel{}, FailureModel{});
+  int completions = 0;
+  dagman.set_node_callback([&](const NodeResult&) -> Status {
+    if (++completions >= 2) {
+      return Error(ErrorCode::kAborted, "injected kill");
+    }
+    return Status::Ok();
+  });
+  auto report = dagman.run(compute_chain(5, "s"));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, ErrorCode::kAborted);
+  EXPECT_EQ(completions, 2);  // nothing ran past the kill
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointJournal
+// ---------------------------------------------------------------------------
+
+std::string temp_journal_path(const std::string& name) {
+  return testing::TempDir() + "nvo_ckpt_" + name + ".journal";
+}
+
+TEST(CheckpointJournal, RoundTripsRecordsAcrossReopen) {
+  const std::string path = temp_journal_path("roundtrip");
+  {
+    auto j = CheckpointJournal::open(path, /*fresh=*/true);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE((*j)->append("node", "c1/m_G1", "").ok());
+    ASSERT_TRUE((*j)->append("row", "c1/G1", "payload with spaces\nand newline").ok());
+    ASSERT_TRUE((*j)->append("row", "c1/G1", "second write wins").ok());
+    EXPECT_EQ((*j)->stats().appends, 3u);
+  }
+  auto j = CheckpointJournal::open(path);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->stats().records_loaded, 3u);
+  EXPECT_EQ((*j)->stats().truncated_records, 0u);
+  EXPECT_TRUE((*j)->has("node", "c1/m_G1"));
+  ASSERT_NE((*j)->find("row", "c1/G1"), nullptr);
+  EXPECT_EQ(*(*j)->find("row", "c1/G1"), "second write wins");  // latest wins
+  EXPECT_EQ((*j)->count("row"), 1u);
+  EXPECT_EQ((*j)->find("row", "c9/missing"), nullptr);
+}
+
+TEST(CheckpointJournal, KeysWithSpacesAndNewlinesRoundTrip) {
+  const std::string path = temp_journal_path("keys");
+  {
+    auto j = CheckpointJournal::open(path, true);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE((*j)->append("k", "a key with spaces\nand % signs", "v").ok());
+  }
+  auto j = CheckpointJournal::open(path);
+  ASSERT_TRUE(j.ok());
+  EXPECT_TRUE((*j)->has("k", "a key with spaces\nand % signs"));
+}
+
+TEST(CheckpointJournal, TruncatedTailIsDroppedNotFatal) {
+  const std::string path = temp_journal_path("truncated");
+  {
+    auto j = CheckpointJournal::open(path, true);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE((*j)->append("row", "g1", "first").ok());
+    ASSERT_TRUE((*j)->append("row", "g2", "second").ok());
+  }
+  // Simulate a kill mid-write: chop bytes off the tail.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, bytes.size() - 7);
+  }
+  auto j = CheckpointJournal::open(path);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->stats().records_loaded, 1u);
+  EXPECT_EQ((*j)->stats().truncated_records, 1u);
+  EXPECT_TRUE((*j)->has("row", "g1"));
+  EXPECT_FALSE((*j)->has("row", "g2"));
+  // Appends after recovery extend the clean prefix and reload whole.
+  ASSERT_TRUE((*j)->append("row", "g3", "third").ok());
+  auto again = CheckpointJournal::open(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->stats().records_loaded, 2u);
+  EXPECT_TRUE((*again)->has("row", "g3"));
+}
+
+TEST(CheckpointJournal, CorruptedChecksumEndsTheLoadAtTheBadRecord) {
+  const std::string path = temp_journal_path("checksum");
+  {
+    auto j = CheckpointJournal::open(path, true);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE((*j)->append("row", "g1", "first").ok());
+    ASSERT_TRUE((*j)->append("row", "g2", "second").ok());
+  }
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes[bytes.size() - 4] ^= 0x01;  // flip a bit inside the last payload
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  auto j = CheckpointJournal::open(path);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->stats().records_loaded, 1u);
+  EXPECT_EQ((*j)->stats().truncated_records, 1u);
+  EXPECT_FALSE((*j)->has("row", "g2"));
+}
+
+TEST(CheckpointJournal, ForeignHeaderIsAnError) {
+  const std::string path = temp_journal_path("foreign");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "NOT A JOURNAL\njunk\n";
+  }
+  auto j = CheckpointJournal::open(path);
+  EXPECT_FALSE(j.ok());
+}
+
+TEST(CheckpointJournal, ConcurrentAppendsAllSurvive) {
+  const std::string path = temp_journal_path("concurrent");
+  {
+    auto j = CheckpointJournal::open(path, true);
+    ASSERT_TRUE(j.ok());
+    ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&journal = **j, i] {
+        (void)journal.append("row", "g" + std::to_string(i),
+                             "payload-" + std::to_string(i));
+      });
+    }
+    pool.wait_idle();
+    EXPECT_EQ((*j)->count("row"), 64u);
+  }
+  auto j = CheckpointJournal::open(path);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->stats().records_loaded, 64u);
+  EXPECT_EQ((*j)->stats().truncated_records, 0u);
 }
 
 }  // namespace

@@ -18,6 +18,12 @@
 //     --trace-out <path>  write a Chrome trace_event file of the run
 //                         (load in chrome://tracing or Perfetto)
 //     --metrics-out <path> write the unified metrics snapshot as JSON
+//     --checkpoint-out <journal>  persist progress (staged replicas, DAG node
+//                         completions, morphology rows, catalogs) to a
+//                         durable journal as the analysis runs
+//     --resume <journal>  resume from an existing journal: finished work is
+//                         recovered instead of re-executed (same as
+//                         --checkpoint-out on a journal that has content)
 //
 // Prints one line per galaxy: id, validity, SB, C, A, r_p — and exits
 // nonzero only on usage errors (bad images produce invalid rows, not
@@ -47,7 +53,8 @@ void usage() {
                "                [--Ho h] [--om o] [--flat 0|1] [--votable out.vot]\n"
                "                (<cutout.fits> ... | --demo)\n"
                "       galmorph --portal [--cluster name] [--scale s]\n"
-               "                [--trace-out trace.json] [--metrics-out metrics.json]\n");
+               "                [--trace-out trace.json] [--metrics-out metrics.json]\n"
+               "                [--checkpoint-out journal] [--resume journal]\n");
 }
 
 bool write_text_file(const std::string& path, const std::string& text) {
@@ -62,12 +69,20 @@ bool write_text_file(const std::string& path, const std::string& text) {
 // morphology kernel, with the observability layer attached. Emits a Chrome
 // trace_event file and/or a unified metrics snapshot on request.
 int run_portal_mode(const std::string& cluster, double scale,
-                    const std::string& trace_out, const std::string& metrics_out) {
+                    const std::string& trace_out, const std::string& metrics_out,
+                    const std::string& journal_path) {
   obs::Tracer tracer;
   analysis::CampaignConfig cfg;
   cfg.population_scale = scale;
   cfg.tracer = &tracer;
+  cfg.journal_path = journal_path;
   analysis::Campaign campaign(cfg);
+  if (!journal_path.empty() && campaign.journal()) {
+    std::printf("checkpoint journal %s: %llu records recovered\n",
+                journal_path.c_str(),
+                static_cast<unsigned long long>(
+                    campaign.journal()->stats().records_loaded));
+  }
 
   obs::MetricsRegistry registry;
   campaign.register_metrics(registry);
@@ -88,6 +103,14 @@ int run_portal_mode(const std::string& cluster, double scale,
                 cluster.c_str(), outcome.trace.galaxies, outcome.trace.valid,
                 outcome.trace.invalid,
                 static_cast<unsigned long long>(outcome.trace.retries));
+    if (const portal::ServiceTrace* t = campaign.compute_service().last_trace()) {
+      if (t->journal_hit) {
+        std::printf("  catalog recovered whole from the checkpoint journal\n");
+      } else if (t->rows_resumed > 0 || t->nodes_resumed > 0) {
+        std::printf("  resumed from journal: %zu rows, %zu DAG nodes\n",
+                    t->rows_resumed, t->nodes_resumed);
+      }
+    }
   }
 
   const obs::MetricsSnapshot snap = registry.snapshot();
@@ -147,6 +170,7 @@ int main(int argc, char** argv) {
   double portal_scale = 0.05;
   std::string trace_out;
   std::string metrics_out;
+  std::string journal_path;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -190,6 +214,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics-out") {
       if (i + 1 >= argc) { usage(); return 2; }
       metrics_out = argv[++i];
+    } else if (arg == "--checkpoint-out" || arg == "--resume") {
+      // Both point the campaign at a durable journal; open() recovers
+      // whatever the file already holds, so --resume is the same switch
+      // with intent in its name.
+      if (i + 1 >= argc) { usage(); return 2; }
+      journal_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -202,7 +232,13 @@ int main(int argc, char** argv) {
     }
   }
   if (portal_mode) {
-    return run_portal_mode(cluster, portal_scale, trace_out, metrics_out);
+    return run_portal_mode(cluster, portal_scale, trace_out, metrics_out,
+                           journal_path);
+  }
+  if (!journal_path.empty()) {
+    std::fprintf(stderr, "--checkpoint-out/--resume require --portal\n");
+    usage();
+    return 2;
   }
   if (files.empty() && !demo) {
     usage();

@@ -1,7 +1,11 @@
 #!/usr/bin/env sh
 # Runs the chaos-sweep experiment (examples/chaos_sweep) and prints the
-# table that EXPERIMENTS.md "CH — chaos sweep" records: campaign accounting
-# under increasing transient failure rates plus a full CADC outage.
+# tables that EXPERIMENTS.md "CH — chaos sweep" and "CR — corruption +
+# checkpoint/resume" record: campaign accounting under increasing transient
+# failure rates plus a full CADC outage, then the corruption-fault sweep
+# (bit flips, truncation, stale replays) and a kill/resume scenario on a
+# durable checkpoint journal. Exits non-zero if any injected corruption goes
+# undetected or any catalog differs byte-wise from the fault-free run.
 #
 # Usage: tools/run_chaos_sweep.sh [population_scale]
 #   BUILD_DIR=<dir>  build tree containing examples/chaos_sweep

@@ -1,12 +1,14 @@
 #!/usr/bin/env sh
 # Builds the tree with AddressSanitizer + UBSan into build-asan/ and runs the
 # resilience-facing test lane (retry/breaker/failover unit tests, fabric
-# metrics, the chaos campaign suite, and the replica-cache/data-plane tests)
-# under the instrumented binaries, then repeats the concurrency-facing lane
-# (sharded cache + pipelined staging) under ThreadSanitizer in build-tsan/.
+# metrics, the chaos campaign suite, the digest/quarantine integrity tests,
+# the checkpoint-journal tests in grid_test, and the replica-cache/data-plane
+# tests) under the instrumented binaries, then repeats the concurrency-facing
+# lane (sharded cache + pipelined staging + concurrent journal appends) under
+# ThreadSanitizer in build-tsan/.
 #
 # Usage: tools/run_sanitize_tests.sh [ctest -R regex]
-#   default regex: resilience_test|chaos_test|services_test|replica_cache_test|data_plane_test|obs_test|observability_test
+#   default regex: resilience_test|chaos_test|services_test|replica_cache_test|data_plane_test|obs_test|observability_test|integrity_test|grid_test
 #   BUILD_DIR=<dir>       ASan build tree (default: <repo>/build-asan)
 #   TSAN_BUILD_DIR=<dir>  TSan build tree (default: <repo>/build-tsan)
 #   NVO_SKIP_TSAN=1       run only the ASan phase
@@ -15,16 +17,17 @@ set -e
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-asan}"
 TSAN_BUILD="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
-REGEX="${1:-resilience_test|chaos_test|services_test|replica_cache_test|data_plane_test|obs_test|observability_test}"
+REGEX="${1:-resilience_test|chaos_test|services_test|replica_cache_test|data_plane_test|obs_test|observability_test|integrity_test|grid_test}"
 # obs_test/observability_test drive the traced portal pipeline through the
-# kernel thread pool, so both belong in the TSan lane too.
-TSAN_REGEX="${TSAN_REGEX:-replica_cache_test|data_plane_test|obs_test|observability_test}"
+# kernel thread pool, and grid_test appends to the checkpoint journal from a
+# thread pool, so they belong in the TSan lane too.
+TSAN_REGEX="${TSAN_REGEX:-replica_cache_test|data_plane_test|obs_test|observability_test|grid_test}"
 
 cmake -B "$BUILD" -S "$ROOT" -DNVO_SANITIZE="address;undefined" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j --target \
       resilience_test chaos_test services_test replica_cache_test data_plane_test \
-      obs_test observability_test
+      obs_test observability_test integrity_test grid_test
 
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
@@ -38,7 +41,7 @@ fi
 cmake -B "$TSAN_BUILD" -S "$ROOT" -DNVO_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD" -j --target replica_cache_test data_plane_test \
-      obs_test observability_test
+      obs_test observability_test grid_test
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$TSAN_BUILD" -R "$TSAN_REGEX" --output-on-failure
