@@ -235,6 +235,16 @@ BENCHMARK(BM_VotableParse)->Arg(512)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   print_s5();
+#if defined(__AVX512F__)
+  benchmark::AddCustomContext("simd_width", "512-bit (avx512f)");
+#elif defined(__AVX2__)
+  benchmark::AddCustomContext("simd_width", "256-bit (avx2)");
+#elif defined(__SSE2__) || defined(__x86_64__)
+  benchmark::AddCustomContext("simd_width", "128-bit (sse2)");
+#else
+  benchmark::AddCustomContext("simd_width", "scalar");
+#endif
+  benchmark::AddCustomContext("campaign_compute_threads", "2");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -147,6 +147,7 @@ Expected<CampaignReport> Campaign::run() {
   // fault windows keep their phase across consecutive runs.
   fabric_->reset_metrics();
   report.min_galaxies = SIZE_MAX;
+  report.clusters.reserve(universe_->clusters().size());
   for (const sim::Cluster& c : universe_->clusters()) {
     auto outcome = run_cluster(c.name());
     if (!outcome.ok()) return outcome.error();

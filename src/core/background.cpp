@@ -7,49 +7,73 @@
 namespace nvo::core {
 
 BackgroundEstimate estimate_background(const image::Image& img, int border,
-                                       int iterations, double clip_sigma) {
+                                       int iterations, double clip_sigma,
+                                       std::vector<float>& scratch) {
   BackgroundEstimate out;
   if (img.empty()) return out;
   border = std::min({border, img.width() / 2, img.height() / 2});
   border = std::max(border, 1);
 
-  std::vector<float> samples;
-  samples.reserve(static_cast<std::size_t>(2 * border) *
-                  (img.width() + img.height()));
-  for (int y = 0; y < img.height(); ++y) {
-    const bool edge_row = y < border || y >= img.height() - border;
-    for (int x = 0; x < img.width(); ++x) {
-      if (edge_row || x < border || x >= img.width() - border) {
-        samples.push_back(img.at(x, y));
-      }
+  // Border samples in row-major order: whole rows in the top/bottom bands,
+  // the two column bands elsewhere. Same sequence as a full-frame scan that
+  // tests each pixel, without the per-pixel branch.
+  const int w = img.width();
+  const int h = img.height();
+  scratch.clear();
+  scratch.reserve(static_cast<std::size_t>(2 * border) * (w + h));
+  for (int y = 0; y < h; ++y) {
+    const float* row = img.data() + static_cast<std::size_t>(y) * w;
+    if (y < border || y >= h - border) {
+      scratch.insert(scratch.end(), row, row + w);
+    } else {
+      // border <= w/2, so the two bands [0, border) and [w-border, w) never
+      // overlap (they touch when w == 2*border).
+      scratch.insert(scratch.end(), row, row + border);
+      scratch.insert(scratch.end(), row + (w - border), row + w);
     }
   }
-  if (samples.empty()) return out;
+  if (scratch.empty()) return out;
 
-  // Iterative sigma clipping.
+  // Iterative sigma clipping, in place: survivors of each round are packed
+  // to the front of the buffer in their original order. The moment loops
+  // run four accumulator lanes to break the FP-add latency chain; the lane
+  // merge reassociates the addition order, so level/sigma match a strictly
+  // sequential reduction to summation-order precision (~1e-15 relative).
   double mean = 0.0;
   double sigma = 0.0;
-  std::vector<float> kept = samples;
+  std::size_t count = scratch.size();
   for (int it = 0; it < iterations; ++it) {
-    double sum = 0.0;
-    for (float v : kept) sum += v;
-    mean = sum / static_cast<double>(kept.size());
-    double var = 0.0;
-    for (float v : kept) var += (v - mean) * (v - mean);
-    sigma = kept.size() > 1 ? std::sqrt(var / static_cast<double>(kept.size() - 1)) : 0.0;
-    if (sigma <= 0.0) break;
-    std::vector<float> next;
-    next.reserve(kept.size());
-    for (float v : kept) {
-      if (std::fabs(v - mean) <= clip_sigma * sigma) next.push_back(v);
+    double sum_l[4] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t i = 0; i < count; ++i) sum_l[i & 3] += scratch[i];
+    const double sum = (sum_l[0] + sum_l[1]) + (sum_l[2] + sum_l[3]);
+    mean = sum / static_cast<double>(count);
+    double var_l[4] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t i = 0; i < count; ++i) {
+      var_l[i & 3] += (scratch[i] - mean) * (scratch[i] - mean);
     }
-    if (next.size() == kept.size() || next.size() < 8) break;
-    kept = std::move(next);
+    const double var = (var_l[0] + var_l[1]) + (var_l[2] + var_l[3]);
+    sigma = count > 1 ? std::sqrt(var / static_cast<double>(count - 1)) : 0.0;
+    if (sigma <= 0.0) break;
+    const double cut = clip_sigma * sigma;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const float v = scratch[i];
+      scratch[kept] = v;
+      kept += std::fabs(v - mean) <= cut ? 1 : 0;
+    }
+    if (kept == count || kept < 8) break;
+    count = kept;
   }
   out.level = mean;
   out.sigma = sigma;
-  out.pixels_used = static_cast<int>(kept.size());
+  out.pixels_used = static_cast<int>(count);
   return out;
+}
+
+BackgroundEstimate estimate_background(const image::Image& img, int border,
+                                       int iterations, double clip_sigma) {
+  std::vector<float> scratch;
+  return estimate_background(img, border, iterations, clip_sigma, scratch);
 }
 
 image::Image subtract_background(const image::Image& img,

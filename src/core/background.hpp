@@ -4,6 +4,8 @@
 // frame border (the region least contaminated by the centered galaxy).
 #pragma once
 
+#include <vector>
+
 #include "image/image.hpp"
 
 namespace nvo::core {
@@ -18,6 +20,15 @@ struct BackgroundEstimate {
 /// frame using iterative 3-sigma clipping (max `iterations` rounds).
 BackgroundEstimate estimate_background(const image::Image& img, int border = 6,
                                        int iterations = 5, double clip_sigma = 3.0);
+
+/// Same estimate computed through a caller-owned sample buffer: the border
+/// gather and every clipping round run in place over `scratch`, so batch
+/// callers holding the buffer across galaxies pay zero steady-state
+/// allocations. Results are bit-identical to the allocating overload (the
+/// survivor sequence each round is the same).
+BackgroundEstimate estimate_background(const image::Image& img, int border,
+                                       int iterations, double clip_sigma,
+                                       std::vector<float>& scratch);
 
 /// Returns a copy with the background level subtracted.
 image::Image subtract_background(const image::Image& img,

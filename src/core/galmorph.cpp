@@ -60,7 +60,8 @@ sky::Cosmology GalMorphArgs::cosmology() const {
 }
 
 GalMorphResult run_gal_morph(const std::string& galaxy_id, const image::FitsFile& fits,
-                             const GalMorphArgs& args) {
+                             const GalMorphArgs& args,
+                             const ParallelFor* tile_executor) {
   GalMorphResult out;
   out.galaxy_id = galaxy_id;
   out.redshift = args.redshift;
@@ -68,6 +69,9 @@ GalMorphResult run_gal_morph(const std::string& galaxy_id, const image::FitsFile
   MorphologyOptions options;
   options.pixel_scale_arcsec = args.pix_scale_deg * sky::kArcsecPerDeg;
   options.zero_point = args.zero_point;
+  if (fits.data.width() >= kTileMinDim || fits.data.height() >= kTileMinDim) {
+    options.tile_executor = tile_executor;
+  }
   out.params = measure_morphology(fits.data, options);
 
   const sky::Cosmology cosmology = args.cosmology();
@@ -82,7 +86,8 @@ GalMorphResult run_gal_morph(const std::string& galaxy_id, const image::FitsFile
 
 GalMorphResult run_gal_morph_bytes(const std::string& galaxy_id,
                                    const std::vector<std::uint8_t>& fits_bytes,
-                                   const GalMorphArgs& args) {
+                                   const GalMorphArgs& args,
+                                   const ParallelFor* tile_executor) {
   auto fits = image::read_fits(fits_bytes);
   if (!fits.ok()) {
     GalMorphResult out;
@@ -92,7 +97,7 @@ GalMorphResult run_gal_morph_bytes(const std::string& galaxy_id,
     out.params.failure_reason = "undecodable FITS: " + fits.error().message;
     return out;
   }
-  return run_gal_morph(galaxy_id, fits.value(), args);
+  return run_gal_morph(galaxy_id, fits.value(), args, tile_executor);
 }
 
 std::string GalMorphResult::to_text() const {
@@ -189,8 +194,10 @@ votable::Table concat_results(const std::vector<GalMorphResult>& results,
   });
   t.name = table_name;
   t.description = "galMorph computed morphology parameters";
+  t.reserve_rows(results.size());
   for (const GalMorphResult& r : results) {
     votable::Row row;
+    row.reserve(t.num_columns());
     row.push_back(Value::of_string(r.galaxy_id));
     row.push_back(Value::of_bool(r.params.valid));
     if (r.params.valid) {

@@ -18,8 +18,11 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "core/background.hpp"
 #include "core/photometry.hpp"
+#include "core/segmentation.hpp"
 #include "image/image.hpp"
 
 namespace nvo::core {
@@ -32,6 +35,12 @@ struct MorphologyOptions {
   double aperture_petrosian_factor = 1.5;  ///< measurement aperture = k * r_p
   double min_snr = 3.0;  ///< minimum total S/N for a valid measurement
   int background_border = 6;
+  /// Optional intra-kernel executor: when set, the curve-of-growth build is
+  /// tiled over row bands and the 3x3 asymmetry recentering grid is
+  /// evaluated concurrently through it. Results are identical to the serial
+  /// path (the tiled stages merge deterministically); callers decide the
+  /// size threshold at which fan-out pays for itself.
+  const ParallelFor* tile_executor = nullptr;
 };
 
 /// One galaxy's measured parameters.
@@ -63,6 +72,8 @@ struct MorphologyParams {
 struct MorphologyWorkspace {
   image::Image scratch;
   CurveOfGrowth cog;
+  SegmentationScratch segmentation;
+  std::vector<float> background_samples;
 };
 
 /// Full measurement on a cutout (raw counts, background included). Never
@@ -77,7 +88,18 @@ MorphologyParams measure_morphology(const image::Image& cutout,
 
 /// The asymmetry statistic about a fixed center on background-subtracted
 /// data (exposed for tests): sum|I - R(I)| / (2 sum|I|) within `radius`.
+/// The production implementation sweeps each row's in-circle pixel interval
+/// against an index-reversed view of the mirror row with constant bilinear
+/// weights; its four-lane accumulators reorder the (exactly computed)
+/// per-pixel terms, so it matches the reference to summation-order
+/// precision (~1e-12 relative) rather than bit-for-bit.
 double asymmetry_statistic(const image::Image& background_subtracted, double cx,
                            double cy, double radius);
+
+/// Direct per-pixel evaluation of the same statistic (the PR 1 scalar
+/// kernel, kept verbatim): the equivalence oracle for the swept
+/// implementation above.
+double asymmetry_statistic_reference(const image::Image& background_subtracted,
+                                     double cx, double cy, double radius);
 
 }  // namespace nvo::core

@@ -1,0 +1,20 @@
+// Minimal executor contract for intra-kernel tiling. The core library must
+// not depend on the grid layer's ThreadPool, so the kernel accepts a
+// type-erased parallel-for: callers that want large cutouts tiled across
+// worker threads (the compute service, the CLI) bind one to their pool;
+// everyone else leaves it null and the kernel runs serially. Implementations
+// must invoke fn(i) exactly once for every i in [0, n) and return only after
+// all invocations completed; invocation order is unconstrained because every
+// tiled stage in the kernel writes disjoint slots and merges
+// deterministically afterwards.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace nvo::core {
+
+using ParallelFor =
+    std::function<void(std::size_t n, const std::function<void(std::size_t)>& fn)>;
+
+}  // namespace nvo::core

@@ -25,11 +25,18 @@ inline int subsampled_coverage(int x, int y, double cx, double cy, double r2) {
       const double py = y - 0.5 + (sy + 0.5) / 4.0;
       const double ddx = px - cx;
       const double ddy = py - cy;
-      if (ddx * ddx + ddy * ddy <= r2) ++covered;
+      covered += (ddx * ddx + ddy * ddy <= r2) ? 1 : 0;
     }
   }
   return covered;
 }
+
+// Row-band height for the tiled CurveOfGrowth build. Banding engages only
+// when an executor is supplied and the frame has at least two bands' worth
+// of rows; per-band shell sub-histograms keep the scattered entry order
+// bit-identical to the serial build regardless of execution order.
+constexpr int kBandRows = 32;
+constexpr int kMaxBands = 64;
 
 }  // namespace
 
@@ -38,24 +45,51 @@ Centroid find_centroid(const image::Image& img, double radius, int max_iteration
   c.x = (img.width() - 1) / 2.0;
   c.y = (img.height() - 1) / 2.0;
   for (int it = 0; it < max_iterations; ++it) {
-    double sum = 0.0;
-    double sx = 0.0;
-    double sy = 0.0;
+    // Four independent accumulator lanes per moment break the serial
+    // FP-add latency chain that otherwise bounds this loop. The lane sums
+    // reassociate the addition order, so the centroid matches the strictly
+    // sequential scan to summation-order precision (~1e-15 relative per
+    // iteration), not bit-for-bit — within the kernel's documented
+    // tolerance policy.
+    double sum_l[4] = {0.0, 0.0, 0.0, 0.0};
+    double sx_l[4] = {0.0, 0.0, 0.0, 0.0};
+    double sy_l[4] = {0.0, 0.0, 0.0, 0.0};
     const int x0 = std::max(0, static_cast<int>(c.x - radius));
     const int x1 = std::min(img.width() - 1, static_cast<int>(c.x + radius));
     const int y0 = std::max(0, static_cast<int>(c.y - radius));
     const int y1 = std::min(img.height() - 1, static_cast<int>(c.y + radius));
+    const double r2 = radius * radius;
     for (int y = y0; y <= y1; ++y) {
-      for (int x = x0; x <= x1; ++x) {
-        const double dx = x - c.x;
-        const double dy = y - c.y;
-        if (dx * dx + dy * dy > radius * radius) continue;
-        const double w = std::max(0.0f, img.at(x, y));
-        sum += w;
-        sx += w * x;
-        sy += w * y;
+      const double dy = y - c.y;
+      const double dy2 = dy * dy;
+      if (dy2 > r2) continue;
+      // In-circle x-interval: bracket by sqrt with one pixel of slack, then
+      // tighten with the exact per-pixel predicate, so the pixel set is
+      // identical to the full scan's.
+      const double half = std::sqrt(r2 - dy2);
+      int xlo = std::max(x0, static_cast<int>(std::ceil(c.x - half)) - 1);
+      int xhi = std::min(x1, static_cast<int>(std::floor(c.x + half)) + 1);
+      while (xlo <= xhi) {
+        const double dx = xlo - c.x;
+        if (!(dx * dx + dy2 > r2)) break;
+        ++xlo;
+      }
+      while (xhi >= xlo) {
+        const double dx = xhi - c.x;
+        if (!(dx * dx + dy2 > r2)) break;
+        --xhi;
+      }
+      const float* row = img.data() + static_cast<std::size_t>(y) * img.width();
+      for (int x = xlo; x <= xhi; ++x) {
+        const double w = std::max(0.0f, row[x]);
+        sum_l[x & 3] += w;
+        sx_l[x & 3] += w * x;
+        sy_l[x & 3] += w * y;
       }
     }
+    const double sum = (sum_l[0] + sum_l[1]) + (sum_l[2] + sum_l[3]);
+    const double sx = (sx_l[0] + sx_l[1]) + (sx_l[2] + sx_l[3]);
+    const double sy = (sy_l[0] + sy_l[1]) + (sy_l[2] + sy_l[3]);
     if (sum <= 0.0) return c;  // not converged
     const double nx = sx / sum;
     const double ny = sy / sum;
@@ -142,14 +176,18 @@ int CurveOfGrowth::shell_of(double d2) const {
   return std::min(static_cast<int>(std::sqrt(d2)), num_shells_ - 1);
 }
 
-void CurveOfGrowth::build(const image::Image& img, double cx, double cy) {
+void CurveOfGrowth::build(const image::Image& img, double cx, double cy,
+                          const ParallelFor* par) {
   cx_ = cx;
   cy_ = cy;
   width_ = img.width();
   height_ = img.height();
   const std::size_t n = img.size();
   if (n == 0) {
-    entries_.clear();
+    d2_.clear();
+    value_.clear();
+    x_.clear();
+    y_.clear();
     num_shells_ = 0;
     return;
   }
@@ -162,47 +200,107 @@ void CurveOfGrowth::build(const image::Image& img, double cx, double cy) {
     d2max = std::max(d2max, dx * dx + dy * dy);
   }
   num_shells_ = static_cast<int>(std::sqrt(d2max)) + 2;
+  const int last_shell = num_shells_ - 1;
 
-  // Counting sort into radial shells: histogram pass...
-  shell_start_.assign(static_cast<std::size_t>(num_shells_) + 1, 0);
+  // Column squared offsets, computed once: d2 for pixel (x, y) is
+  // col_dx2_[x] + dy2, which — with contraction disabled — is bit-identical
+  // to the direct (dx*dx + dy*dy) the scan-based references evaluate.
+  col_dx2_.resize(static_cast<std::size_t>(width_));
+  for (int x = 0; x < width_; ++x) {
+    const double dx = x - cx;
+    col_dx2_[x] = dx * dx;
+  }
+
+  int bands = 1;
+  if (par != nullptr && height_ >= 2 * kBandRows) {
+    bands = std::min((height_ + kBandRows - 1) / kBandRows, kMaxBands);
+  }
+  const int rows_per_band = (height_ + bands - 1) / bands;
+  const auto run_bands = [&](const std::function<void(std::size_t)>& fn) {
+    if (bands > 1) {
+      (*par)(static_cast<std::size_t>(bands), fn);
+    } else {
+      for (std::size_t b = 0; b < static_cast<std::size_t>(bands); ++b) fn(b);
+    }
+  };
+
+  // Counting sort into radial shells. Pass 1: per-pixel shell index (a
+  // vectorizable sqrt sweep over the column offsets) plus a per-band shell
+  // histogram.
   shell_scratch_.resize(n);
-  std::size_t i = 0;
-  for (int y = 0; y < height_; ++y) {
-    for (int x = 0; x < width_; ++x, ++i) {
-      const double dx = x - cx;
+  band_cursor_.assign(static_cast<std::size_t>(bands) * num_shells_, 0);
+  run_bands([&](std::size_t b) {
+    const int y_lo = static_cast<int>(b) * rows_per_band;
+    const int y_hi = std::min(height_, y_lo + rows_per_band);
+    std::uint32_t* hist = band_cursor_.data() + b * num_shells_;
+    for (int y = y_lo; y < y_hi; ++y) {
       const double dy = y - cy;
-      const int s = shell_of(dx * dx + dy * dy);
-      shell_scratch_[i] = static_cast<std::uint16_t>(s);
-      ++shell_start_[static_cast<std::size_t>(s) + 1];
+      const double dy2 = dy * dy;
+      std::uint16_t* srow = shell_scratch_.data() + static_cast<std::size_t>(y) * width_;
+      for (int x = 0; x < width_; ++x) {
+        const int s = std::min(static_cast<int>(std::sqrt(col_dx2_[x] + dy2)),
+                               last_shell);
+        srow[x] = static_cast<std::uint16_t>(s);
+      }
+      for (int x = 0; x < width_; ++x) ++hist[srow[x]];
     }
-  }
+  });
+
+  // Global shell prefix, and an exclusive cursor per (band, shell): band b
+  // scatters shell s entries into its own sub-range after bands < b. Band
+  // ranges ascend with y, so the concatenated order is exactly the
+  // row-major order the serial build produces.
+  shell_start_.assign(static_cast<std::size_t>(num_shells_) + 1, 0);
   for (int s = 0; s < num_shells_; ++s) {
-    shell_start_[static_cast<std::size_t>(s) + 1] +=
-        shell_start_[static_cast<std::size_t>(s)];
-  }
-  // ...then scatter. Entries are unordered within a shell; queries resolve
-  // exact squared-distance thresholds per entry.
-  scatter_cursor_.assign(shell_start_.begin(), shell_start_.end() - 1);
-  entries_.resize(n);
-  i = 0;
-  for (int y = 0; y < height_; ++y) {
-    for (int x = 0; x < width_; ++x, ++i) {
-      const double dx = x - cx;
-      const double dy = y - cy;
-      entries_[scatter_cursor_[shell_scratch_[i]]++] =
-          Entry{dx * dx + dy * dy, img.at(x, y), static_cast<std::uint16_t>(x),
-                static_cast<std::uint16_t>(y)};
+    std::uint32_t running = shell_start_[s];
+    for (int b = 0; b < bands; ++b) {
+      std::uint32_t* cur = band_cursor_.data() + static_cast<std::size_t>(b) * num_shells_ + s;
+      const std::uint32_t cnt = *cur;
+      *cur = running;
+      running += cnt;
     }
+    shell_start_[static_cast<std::size_t>(s) + 1] = running;
   }
+
+  // Pass 2: scatter into the structure-of-arrays layout. Entries are
+  // unordered within a shell as far as queries care; the fixed scatter
+  // order only matters for making the flux prefixes reproducible.
+  d2_.resize(n);
+  value_.resize(n);
+  x_.resize(n);
+  y_.resize(n);
+  run_bands([&](std::size_t b) {
+    const int y_lo = static_cast<int>(b) * rows_per_band;
+    const int y_hi = std::min(height_, y_lo + rows_per_band);
+    std::uint32_t* cursor = band_cursor_.data() + b * num_shells_;
+    for (int y = y_lo; y < y_hi; ++y) {
+      const double dy = y - cy;
+      const double dy2 = dy * dy;
+      const std::uint16_t* srow =
+          shell_scratch_.data() + static_cast<std::size_t>(y) * width_;
+      for (int x = 0; x < width_; ++x) {
+        const std::uint32_t idx = cursor[srow[x]]++;
+        d2_[idx] = col_dx2_[x] + dy2;
+        value_[idx] = img.at(x, y);
+        x_[idx] = static_cast<std::uint16_t>(x);
+        y_[idx] = static_cast<std::uint16_t>(y);
+      }
+    }
+  });
+
+  // Per-shell flux sums (each summed in scatter order), then the prefix.
   shell_flux_prefix_.resize(static_cast<std::size_t>(num_shells_) + 1);
-  shell_flux_prefix_[0] = 0.0;
   for (int s = 0; s < num_shells_; ++s) {
     double sum = 0.0;
     for (std::uint32_t e = shell_start_[s]; e < shell_start_[s + 1]; ++e) {
-      sum += entries_[e].value;
+      sum += value_[e];
     }
-    shell_flux_prefix_[static_cast<std::size_t>(s) + 1] =
-        shell_flux_prefix_[static_cast<std::size_t>(s)] + sum;
+    shell_flux_prefix_[static_cast<std::size_t>(s) + 1] = sum;
+  }
+  shell_flux_prefix_[0] = 0.0;
+  for (int s = 0; s < num_shells_; ++s) {
+    shell_flux_prefix_[static_cast<std::size_t>(s) + 1] +=
+        shell_flux_prefix_[static_cast<std::size_t>(s)];
   }
 }
 
@@ -210,16 +308,25 @@ void CurveOfGrowth::scan_shells(int shell_lo, int shell_hi, double in2, double o
                                 double& sum, int& count) const {
   shell_lo = std::clamp(shell_lo, 0, num_shells_);
   shell_hi = std::clamp(shell_hi, shell_lo, num_shells_);
+  const double* d2 = d2_.data();
+  const float* val = value_.data();
+  // Branchless interval test over the contiguous d2/value streams, with
+  // four accumulator lanes to break the FP-add latency chain. Excluded
+  // entries contribute a masked-in 0.0; the lane merge reassociates the
+  // addition order (summation-order precision vs. the sequential scan).
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  int cnt = 0;
   for (std::uint32_t i = shell_start_[shell_lo]; i < shell_start_[shell_hi]; ++i) {
-    const double d2 = entries_[i].d2;
-    if (d2 < in2 || d2 >= out2) continue;
-    sum += entries_[i].value;
-    ++count;
+    const bool in = !(d2[i] < in2 || d2[i] >= out2);
+    acc[i & 3] += in ? static_cast<double>(val[i]) : 0.0;
+    cnt += in ? 1 : 0;
   }
+  sum += (acc[0] + acc[1]) + (acc[2] + acc[3]);
+  count += cnt;
 }
 
 double CurveOfGrowth::aperture_flux(double radius) const {
-  if (radius <= 0.0 || entries_.empty()) return 0.0;
+  if (radius <= 0.0 || value_.empty()) return 0.0;
   const double r2 = radius * radius;
   const double inner = radius - kBoundaryBand;
   const double inner2 = inner > 0.0 ? inner * inner : -1.0;
@@ -232,21 +339,27 @@ double CurveOfGrowth::aperture_flux(double radius) const {
   const int last = std::clamp(static_cast<int>(outer) + 2, full, num_shells_);
   double flux = shell_flux_prefix_[full];
   // Straddling shells: the same squared-distance cuts and sub-pixel
-  // boundary weighting as the direct scan, applied per entry.
+  // boundary weighting as the direct scan, applied per entry. Interior and
+  // exterior entries resolve branchlessly through four masked accumulator
+  // lanes; only genuine boundary pixels take the coverage branch. The lane
+  // merge reassociates the addition order (summation-order precision).
+  const double* d2s = d2_.data();
+  const float* vals = value_.data();
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
   for (std::uint32_t i = shell_start_[full]; i < shell_start_[last]; ++i) {
-    const Entry& e = entries_[i];
-    if (e.d2 >= outer2) continue;
-    if (e.d2 <= inner2) {
-      flux += e.value;
-      continue;
+    const double d2 = d2s[i];
+    const bool interior = d2 <= inner2;
+    const bool outside = d2 >= outer2;
+    acc[i & 3] += interior ? static_cast<double>(vals[i]) : 0.0;
+    if (!interior && !outside) {
+      flux += vals[i] * subsampled_coverage(x_[i], y_[i], cx_, cy_, r2) / 16.0;
     }
-    flux += e.value * subsampled_coverage(e.x, e.y, cx_, cy_, r2) / 16.0;
   }
-  return flux;
+  return flux + ((acc[0] + acc[1]) + (acc[2] + acc[3]));
 }
 
 double CurveOfGrowth::annulus_mean(double r_in, double r_out) const {
-  if (entries_.empty() || r_out <= 0.0) return 0.0;
+  if (value_.empty() || r_out <= 0.0) return 0.0;
   const double in2 = r_in * r_in;
   const double out2 = r_out * r_out;
   // Whole shells strictly inside [r_in, r_out) resolve by prefix lookup;

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "image/image.hpp"
 
 namespace nvo::core {
@@ -64,15 +65,25 @@ std::optional<double> petrosian_radius(const image::Image& img, double cx, doubl
 /// the exactly-resolved edge shells, rather than O(R^2). `build` reuses the
 /// vectors' capacity, so a long-lived instance measures an entire batch of
 /// same-sized cutouts without steady-state heap allocation.
+///
+/// Pixels are held in structure-of-arrays form (d2 / value / x / y in
+/// separate contiguous arrays): the query scans touch only the d2 and value
+/// streams, so the inner loops are branchless compare-and-accumulate sweeps
+/// over dense memory instead of strided walks over a 20-byte record.
 class CurveOfGrowth {
  public:
   CurveOfGrowth() = default;
 
   /// (Re)builds the curve for `img` about (cx, cy). The image reference is
-  /// not retained. Clears any previous state.
-  void build(const image::Image& img, double cx, double cy);
+  /// not retained. Clears any previous state. When `par` is non-null and the
+  /// frame is large, the histogram/scatter passes are tiled over row bands
+  /// through it; per-band shell sub-histograms give every band an exclusive
+  /// destination range, so the scattered order — and therefore every flux
+  /// prefix — is bit-identical to the serial build.
+  void build(const image::Image& img, double cx, double cy,
+             const ParallelFor* par = nullptr);
 
-  bool empty() const { return entries_.empty(); }
+  bool empty() const { return value_.empty(); }
   double cx() const { return cx_; }
   double cy() const { return cy_; }
 
@@ -95,13 +106,6 @@ class CurveOfGrowth {
                                          double max_radius = 1e9) const;
 
  private:
-  struct Entry {
-    double d2;       ///< squared distance of the pixel center from (cx, cy)
-    float value;     ///< pixel value
-    std::uint16_t x; ///< pixel column (frames are far below 65536 wide)
-    std::uint16_t y; ///< pixel row
-  };
-
   /// Accumulates value and pixel count over every entry in shells
   /// [shell_lo, shell_hi) whose exact squared distance lies in [in2, out2).
   /// The shared edge-resolution step of flux and annulus queries.
@@ -111,13 +115,20 @@ class CurveOfGrowth {
   /// Shell index of squared distance d2 (shell s holds d in [s, s+1)).
   int shell_of(double d2) const;
 
-  // Pixels grouped by integer radial shell: entries_[shell_start_[s] ..
-  // shell_start_[s+1]) is shell s (unordered within the shell — queries
-  // resolve exact thresholds per entry).
-  std::vector<Entry> entries_;
+  // Pixels grouped by integer radial shell, structure-of-arrays: index range
+  // [shell_start_[s], shell_start_[s+1]) is shell s (unordered within the
+  // shell — queries resolve exact thresholds per entry). d2_ is kept in
+  // double precision and computed from the one canonical expression
+  // (dx*dx + dy*dy, contraction disabled tree-wide), so every query sees
+  // exactly the squared distances the direct-scan reference computes.
+  std::vector<double> d2_;          ///< squared distance from (cx, cy)
+  std::vector<float> value_;        ///< pixel value
+  std::vector<std::uint16_t> x_;    ///< pixel column (frames far below 65536)
+  std::vector<std::uint16_t> y_;    ///< pixel row
   std::vector<std::uint32_t> shell_start_;  ///< size num_shells + 1
   std::vector<double> shell_flux_prefix_;   ///< prefix over whole shells
-  std::vector<std::uint32_t> scatter_cursor_;   ///< build-time scratch
+  std::vector<double> col_dx2_;             ///< build scratch: (x-cx)^2 per column
+  std::vector<std::uint32_t> band_cursor_;  ///< build scratch: per-band shell cursors
   std::vector<std::uint16_t> shell_scratch_;    ///< build-time per-pixel shell
   double cx_ = 0.0;
   double cy_ = 0.0;

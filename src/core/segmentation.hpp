@@ -6,6 +6,7 @@
 // with background before measurement.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "image/image.hpp"
@@ -32,6 +33,23 @@ struct Segmentation {
 Segmentation segment(const image::Image& background_subtracted, double threshold,
                      double central_box_fraction = 0.3);
 
+/// Reusable buffers for mask_companions_inplace: the two label maps, BFS
+/// frontier, mask planes, and deblend peak tables. Holding one across a
+/// batch of same-sized cutouts makes companion masking allocation-free in
+/// the steady state — it was the single largest per-galaxy heap consumer
+/// in the kernel before being hoisted here.
+struct SegmentationScratch {
+  Segmentation seg;
+  Segmentation cores;
+  std::vector<std::uint32_t> frontier;  ///< flat pixel indices (BFS + dilation)
+  std::vector<std::uint32_t> rim;       ///< dilation wavefront, flat indices
+  std::vector<std::uint8_t> above;      ///< threshold-membership bitmap
+  std::vector<std::uint8_t> mask;
+  std::vector<double> peak_x;
+  std::vector<double> peak_y;
+  std::vector<float> peak_v;
+};
+
 /// Returns a copy of the background-subtracted image with every pixel of
 /// every non-central component (dilated by `dilate_pixels`) set to zero.
 /// If no central source is detected, the input is returned unchanged.
@@ -51,6 +69,15 @@ image::Image mask_companions(const image::Image& background_subtracted,
 /// no per-galaxy image allocation.
 void mask_companions_inplace(image::Image& background_subtracted,
                              double background_sigma,
+                             double threshold_sigma = 2.0, int dilate_pixels = 2,
+                             double deblend_sigma = 10.0);
+
+/// Scratch-buffer form: identical masking decisions (the deblend pass runs
+/// over the same pixel predicate the materialized central-only frame would
+/// produce), with all intermediate state drawn from `scratch`.
+void mask_companions_inplace(image::Image& background_subtracted,
+                             double background_sigma,
+                             SegmentationScratch& scratch,
                              double threshold_sigma = 2.0, int dilate_pixels = 2,
                              double deblend_sigma = 10.0);
 

@@ -138,6 +138,10 @@ MorphologyService::MorphologyService(services::HttpFabric& fabric, grid::Grid& g
       client_(fabric, config_.retry, config_.breaker, "compute"),
       ids_("req"),
       pool_(config_.compute_threads),
+      tile_executor_([this](std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+        grid::parallel_for_shared(pool_, n, fn);
+      }),
       cache_(config_.replica_cache),
       state_(std::make_shared<State>()) {
   for (const auto& [host, mirror] : config_.mirrors) client_.add_mirror(host, mirror);
@@ -427,7 +431,8 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
         results[i].params.valid = false;
         results[i].params.failure_reason = "image unavailable";
       } else {
-        results[i] = core::run_gal_morph_bytes(galaxy_ids[i], *payload, args);
+        results[i] = core::run_gal_morph_bytes(galaxy_ids[i], *payload, args,
+                                               &tile_executor_);
       }
       kernel.count(results[i].params.valid ? "valid" : "invalid", 1.0);
       if (journal) {
@@ -599,6 +604,7 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   (void)pegasus::commit_execution(trace.plan.concrete, trace.execution, rls_, grid_);
   // Record provenance of every product this run materialized.
   std::vector<std::string> succeeded;
+  succeeded.reserve(trace.execution.nodes.size());
   for (const grid::NodeResult& r : trace.execution.nodes) {
     if (r.outcome == grid::NodeOutcome::kSucceeded) succeeded.push_back(r.id);
   }

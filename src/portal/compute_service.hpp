@@ -197,6 +197,11 @@ class MorphologyService {
   // (and with them the kernel's thread-local workspaces), instead of being
   // spawned and joined inside every request.
   grid::ThreadPool pool_;
+  // Intra-kernel executor handed to run_gal_morph for large (>= 128px)
+  // cutouts: tiled kernel stages fan back out over the same pool via
+  // parallel_for_shared, which is safe to enter from a pool worker (the
+  // worker itself drains chunks, so a fully-busy pool cannot deadlock).
+  core::ParallelFor tile_executor_;
   // Sharded byte-budgeted LRU image store replacing the old unbounded map.
   // Entries are registered in the RLS/grid on insert and deregistered on
   // eviction, so Pegasus reduction sees exactly what is resident.

@@ -25,7 +25,14 @@ double sersic_total_flux(double r_e, double n) {
 double regularized_gamma_p(double a, double x) {
   if (x <= 0.0) return 0.0;
   if (a <= 0.0) return 1.0;
+  // lgamma(3) writes the global signgam, which races when pool workers
+  // render concurrently; the reentrant variant returns the same value.
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign_unused = 0;
+  const double log_gamma_a = ::lgamma_r(a, &sign_unused);
+#else
   const double log_gamma_a = std::lgamma(a);
+#endif
   if (x < a + 1.0) {
     // Series: P(a,x) = x^a e^-x / Gamma(a) * sum x^k / (a)_(k+1).
     double term = 1.0 / a;

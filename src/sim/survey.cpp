@@ -1,0 +1,42 @@
+#include "sim/survey.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace nvo::sim {
+
+std::vector<ClusterSpec> survey_cluster_specs(const SurveySpec& spec) {
+  const std::size_t clusters = std::clamp<std::size_t>(
+      spec.target_galaxies / 150, 16, 2048);
+  const double mean_members =
+      static_cast<double>(spec.target_galaxies) / static_cast<double>(clusters);
+
+  std::vector<ClusterSpec> out;
+  out.reserve(clusters);
+  std::uint64_t s = spec.seed ^ 0x5052BEEFull;
+  Rng rng(splitmix64(s));
+  for (std::size_t i = 0; i < clusters; ++i) {
+    ClusterSpec c;
+    c.name = format("SVY%04zu", i);
+    // Footprint: a band of the sky, deterministic but uncorrelated between
+    // neighbors so cutouts never straddle two survey clusters.
+    c.center = {rng.uniform(0.0, 360.0), rng.uniform(-30.0, 60.0)};
+    c.redshift = rng.uniform(0.05, 0.45);
+    // Member counts: factor in [0.3, 2.4] with unit mean around the ~150
+    // field-weighted average, so the realized total tracks target_galaxies
+    // while the upper tail still reaches rich-cluster populations.
+    const double u = rng.uniform();
+    const double factor = 0.3 + 2.1 * u * u;
+    c.n_galaxies = std::max(8, static_cast<int>(std::lround(mean_members * factor)));
+    c.core_radius_arcmin = 2.2;
+    c.extent_arcmin = 14.0;
+    c.seed = splitmix64(s);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace nvo::sim

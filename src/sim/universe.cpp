@@ -157,10 +157,17 @@ image::FitsFile Universe::xray_field(const Cluster& cluster, int size,
   return out;
 }
 
-bool Universe::cutout_is_corrupted(const GalaxyTruth& galaxy) const {
+bool galaxy_cutout_is_corrupted(const GalaxyTruth& galaxy,
+                                std::uint64_t universe_seed,
+                                double corruption_rate) {
   // Deterministic per-galaxy draw, independent of request order.
-  Rng rng(galaxy.seed ^ 0xBADC0DEull ^ config_.seed);
-  return rng.bernoulli(config_.corruption_rate);
+  Rng rng(galaxy.seed ^ 0xBADC0DEull ^ universe_seed);
+  return rng.bernoulli(corruption_rate);
+}
+
+bool Universe::cutout_is_corrupted(const GalaxyTruth& galaxy) const {
+  return galaxy_cutout_is_corrupted(galaxy, config_.seed,
+                                    config_.corruption_rate);
 }
 
 image::FitsFile Universe::galaxy_cutout(const Cluster& cluster,
@@ -181,13 +188,15 @@ image::FitsFile Universe::galaxy_cutout(const Cluster& cluster,
   });
 }
 
-image::FitsFile Universe::render_galaxy_cutout(const Cluster& cluster,
-                                               const GalaxyTruth& galaxy,
-                                               int size) const {
+image::FitsFile synthesize_galaxy_cutout(const Cluster& cluster,
+                                         const GalaxyTruth& galaxy, int size,
+                                         const RenderOptions& render,
+                                         std::uint64_t universe_seed,
+                                         double corruption_rate) {
   image::FitsFile out;
   out.data = image::Image(size, size, 0.0f);
   const double c = (size - 1) / 2.0;
-  RenderOptions opts = config_.render;
+  const RenderOptions& opts = render;
 
   // Main galaxy plus any neighbor whose light reaches the frame.
   add_galaxy_light(out.data, galaxy, c, c, opts);
@@ -207,7 +216,7 @@ image::FitsFile Universe::render_galaxy_cutout(const Cluster& cluster,
 
   Rng noise_rng(galaxy.seed ^ 0x0157EEDull);
   apply_noise(out.data, opts, noise_rng);
-  if (cutout_is_corrupted(galaxy)) {
+  if (galaxy_cutout_is_corrupted(galaxy, universe_seed, corruption_rate)) {
     Rng crng(galaxy.seed ^ 0xBADBEEFull);
     corrupt_image(out.data, crng);
   }
@@ -220,6 +229,13 @@ image::FitsFile Universe::render_galaxy_cutout(const Cluster& cluster,
   out.header.set_real("MAG", galaxy.mag, "apparent magnitude");
   out.bitpix = -32;
   return out;
+}
+
+image::FitsFile Universe::render_galaxy_cutout(const Cluster& cluster,
+                                               const GalaxyTruth& galaxy,
+                                               int size) const {
+  return synthesize_galaxy_cutout(cluster, galaxy, size, config_.render,
+                                  config_.seed, config_.corruption_rate);
 }
 
 votable::Table Universe::ned_catalog(const Cluster& cluster) const {

@@ -91,4 +91,22 @@ class Universe {
   std::vector<Cluster> clusters_;
 };
 
+/// Whether the galaxy's cutout falls in the deterministic corrupted subset
+/// for a universe seeded `universe_seed` (the draw behind
+/// Universe::cutout_is_corrupted, exposed for cache-less pipelines).
+bool galaxy_cutout_is_corrupted(const GalaxyTruth& galaxy,
+                                std::uint64_t universe_seed,
+                                double corruption_rate);
+
+/// Pure cutout synthesis, bypassing the RenderCache: bit-identical to the
+/// frame Universe::galaxy_cutout serves (the Universe method is this
+/// function behind the process-wide cache). Survey-scale pipelines that
+/// visit each galaxy exactly once call this directly — caching a million
+/// never-revisited frames would only burn memory.
+image::FitsFile synthesize_galaxy_cutout(const Cluster& cluster,
+                                         const GalaxyTruth& galaxy, int size,
+                                         const RenderOptions& render,
+                                         std::uint64_t universe_seed,
+                                         double corruption_rate);
+
 }  // namespace nvo::sim

@@ -106,6 +106,11 @@ class Table {
   /// recycle allocations when refilling a table of the same shape.
   void resize_rows(std::size_t n);
 
+  /// Pre-sizes the row storage for builders that know their row count up
+  /// front (concat_results, catalog assembly) — one allocation instead of
+  /// log2(n) growth steps.
+  void reserve_rows(std::size_t n) { rows_.reserve(n); }
+
   const Row& row(std::size_t i) const { return rows_[i]; }
   Row& row(std::size_t i) { return rows_[i]; }
   const std::vector<Row>& rows() const { return rows_; }

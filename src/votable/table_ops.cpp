@@ -69,6 +69,7 @@ Expected<Table> join(const Table& left, const Table& right,
       while (ri < right.num_rows() && rkeys[ri] < lkeys[lr]) ++ri;
       if (ri < right.num_rows() && rkeys[ri] == lkeys[lr]) {
         Row row = left.row(lr);
+        row.reserve(row.size() + right_cols.size());
         for (std::size_t c : right_cols) row.push_back(right.row(ri)[c]);
         (void)out.append_row(std::move(row));
       } else if (kind == JoinKind::kLeft) {
@@ -96,6 +97,7 @@ Expected<Table> join(const Table& left, const Table& right,
       auto [begin, end] = index.equal_range(key_text(key));
       for (auto it = begin; it != end; ++it) {
         Row row = left.row(lr);
+        row.reserve(row.size() + right_cols.size());
         for (std::size_t c : right_cols) row.push_back(right.row(it->second)[c]);
         (void)out.append_row(std::move(row));
         matched = true;
@@ -129,6 +131,7 @@ Expected<Table> vstack(const Table& top, const Table& bottom) {
   Table out(top.fields());
   out.name = top.name;
   out.description = top.description;
+  out.reserve_rows(top.num_rows() + bottom.num_rows());
   for (const Row& r : top.rows()) (void)out.append_row(r);
   for (const Row& r : bottom.rows()) {
     Row row;
@@ -144,6 +147,9 @@ Expected<Table> vstack_all(std::vector<Table> parts) {
   Table out(parts.front().fields());
   out.name = parts.front().name;
   out.description = parts.front().description;
+  std::size_t total_rows = 0;
+  for (const Table& t : parts) total_rows += t.num_rows();
+  out.reserve_rows(total_rows);
   for (Table& t : parts) {
     // Map this part's columns onto the output schema by name (same rules as
     // vstack), then move its rows across.
@@ -203,6 +209,7 @@ Expected<Table> sort_by(const Table& table, const std::string& column, bool asce
   Table out(table.fields());
   out.name = table.name;
   out.description = table.description;
+  out.reserve_rows(table.num_rows());
   for (std::size_t i : order) (void)out.append_row(table.row(i));
   return out;
 }
@@ -218,6 +225,7 @@ Expected<Table> project(const Table& table, const std::vector<std::string>& colu
   }
   Table out(std::move(fields));
   out.name = table.name;
+  out.reserve_rows(table.num_rows());
   for (const Row& r : table.rows()) {
     Row row;
     row.reserve(idx.size());

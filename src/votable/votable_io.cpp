@@ -58,6 +58,14 @@ void to_votable_xml(const Table& table, std::string& out) {
   estimate += table.num_rows() * (30 + table.num_columns() * 44);
   if (out.capacity() < estimate) out.reserve(estimate);
 
+  VotableXmlStream stream;
+  stream.begin(table, out);
+  for (std::size_t r = 0; r < table.num_rows(); ++r) stream.row(table.row(r), out);
+  stream.end(out);
+}
+
+void VotableXmlStream::begin(const Table& table, std::string& out) {
+  any_rows_ = false;
   out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<VOTABLE version=\"1.1\">\n  <RESOURCE>\n    <TABLE";
   if (!table.name.empty()) {
     out += " name=\"";
@@ -96,38 +104,40 @@ void to_votable_xml(const Table& table, std::string& out) {
     }
   }
   out += "      <DATA>\n";
-  if (table.num_rows() == 0) {
-    out += "        <TABLEDATA/>\n";
-  } else {
+}
+
+void VotableXmlStream::row(const Row& row, std::string& out) {
+  if (!any_rows_) {
+    any_rows_ = true;
     out += "        <TABLEDATA>\n";
-    for (std::size_t r = 0; r < table.num_rows(); ++r) {
-      const Row& row = table.row(r);
-      if (row.empty()) {
-        out += "          <TR/>\n";
-        continue;
-      }
-      out += "          <TR>\n";
-      for (const Value& cell : row) {
-        out += "            <TD>";
-        const std::size_t text_start = out.size();
-        if (const std::string* s = cell.string_ref()) {
-          xml_escape_append(*s, out);
-        } else {
-          cell.append_text_to(out);  // numeric/bool text never needs escaping
-        }
-        if (out.size() == text_start) {
-          // Empty text (null cell, NaN, empty string): the tree serializer
-          // self-closes these.
-          out.resize(text_start - 4);
-          out += "<TD/>\n";
-        } else {
-          out += "</TD>\n";
-        }
-      }
-      out += "          </TR>\n";
-    }
-    out += "        </TABLEDATA>\n";
   }
+  if (row.empty()) {
+    out += "          <TR/>\n";
+    return;
+  }
+  out += "          <TR>\n";
+  for (const Value& cell : row) {
+    out += "            <TD>";
+    const std::size_t text_start = out.size();
+    if (const std::string* s = cell.string_ref()) {
+      xml_escape_append(*s, out);
+    } else {
+      cell.append_text_to(out);  // numeric/bool text never needs escaping
+    }
+    if (out.size() == text_start) {
+      // Empty text (null cell, NaN, empty string): the tree serializer
+      // self-closes these.
+      out.resize(text_start - 4);
+      out += "<TD/>\n";
+    } else {
+      out += "</TD>\n";
+    }
+  }
+  out += "          </TR>\n";
+}
+
+void VotableXmlStream::end(std::string& out) {
+  out += any_rows_ ? "        </TABLEDATA>\n" : "        <TABLEDATA/>\n";
   out += "      </DATA>\n    </TABLE>\n  </RESOURCE>\n</VOTABLE>\n";
 }
 

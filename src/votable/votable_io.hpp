@@ -35,6 +35,30 @@ void to_votable_xml(const Table& table, std::string& out);
 /// portal transforms, which walk the tree).
 std::unique_ptr<XmlNode> to_votable_tree(const Table& table);
 
+/// Incremental VOTable serializer: begin(schema) + N x row(...) + end()
+/// append exactly the bytes to_votable_xml would produce for the same
+/// schema and row sequence (to_votable_xml is itself implemented on top of
+/// this class), but one row at a time — a survey-scale catalog can stream
+/// through a small reused buffer instead of ever existing as a Table.
+/// The caller may drain the buffer between calls (e.g. flush to a file);
+/// the writer only ever appends.
+class VotableXmlStream {
+ public:
+  /// Document prologue from the schema (fields + name/description; any rows
+  /// in `schema` are ignored). Emits everything up to the TABLEDATA
+  /// element, which is deferred to row()/end() so an empty table
+  /// self-closes exactly as the batch serializer does.
+  void begin(const Table& schema, std::string& out);
+  /// One TR element. Cells render through the same Value text path as the
+  /// batch serializer (null/NaN/empty cells self-close).
+  void row(const Row& row, std::string& out);
+  /// TABLEDATA closer + document epilogue.
+  void end(std::string& out);
+
+ private:
+  bool any_rows_ = false;
+};
+
 /// Parses the first TABLE of the first RESOURCE of a VOTable document.
 Expected<Table> from_votable_xml(const std::string& xml_text);
 

@@ -25,6 +25,18 @@
 //                         recovered instead of re-executed (same as
 //                         --checkpoint-out on a journal that has content)
 //
+// Survey mode (the bounded-memory 10^5+ galaxy throughput lane):
+//     --survey            sweep a synthetic survey footprint
+//     --target <n>        approximate galaxy count       (default 100000)
+//     --cutout <px>       cutout size in pixels          (default 64)
+//     --out <path>        write the merged VOTable catalog here
+//     --scratch <dir>     spill sorted runs to this directory (default:
+//                         in-memory runs)
+//
+// Either mode:
+//     --threads <n>       compute pool size; NVO_THREADS env is the
+//                         fallback (default: portal 2, survey 1)
+//
 // Prints one line per galaxy: id, validity, SB, C, A, r_p — and exits
 // nonzero only on usage errors (bad images produce invalid rows, not
 // failures, per the paper's fault-tolerance design).
@@ -34,7 +46,10 @@
 #include <string>
 #include <vector>
 
+#include <cstdlib>
+
 #include "analysis/campaign.hpp"
+#include "analysis/survey.hpp"
 #include "common/strings.hpp"
 #include "core/galmorph.hpp"
 #include "image/fits.hpp"
@@ -54,7 +69,23 @@ void usage() {
                "                (<cutout.fits> ... | --demo)\n"
                "       galmorph --portal [--cluster name] [--scale s]\n"
                "                [--trace-out trace.json] [--metrics-out metrics.json]\n"
-               "                [--checkpoint-out journal] [--resume journal]\n");
+               "                [--checkpoint-out journal] [--resume journal]\n"
+               "       galmorph --survey [--target n] [--cutout px] [--out catalog.vot]\n"
+               "                [--scratch dir]\n"
+               "       common:  [--threads n]   (or NVO_THREADS in the environment)\n");
+}
+
+/// Resolves the compute pool size: --threads wins, then NVO_THREADS, then
+/// the mode's default. Returns 0 when unset (caller keeps its default).
+std::size_t resolve_threads(int cli_threads) {
+  if (cli_threads > 0) return static_cast<std::size_t>(cli_threads);
+  if (const char* env = std::getenv("NVO_THREADS")) {
+    if (const auto v = parse_double(env); v && *v >= 1.0) {
+      return static_cast<std::size_t>(*v);
+    }
+    std::fprintf(stderr, "ignoring malformed NVO_THREADS=%s\n", env);
+  }
+  return 0;
 }
 
 bool write_text_file(const std::string& path, const std::string& text) {
@@ -70,12 +101,13 @@ bool write_text_file(const std::string& path, const std::string& text) {
 // trace_event file and/or a unified metrics snapshot on request.
 int run_portal_mode(const std::string& cluster, double scale,
                     const std::string& trace_out, const std::string& metrics_out,
-                    const std::string& journal_path) {
+                    const std::string& journal_path, std::size_t threads) {
   obs::Tracer tracer;
   analysis::CampaignConfig cfg;
   cfg.population_scale = scale;
   cfg.tracer = &tracer;
   cfg.journal_path = journal_path;
+  if (threads > 0) cfg.compute_threads = threads;
   analysis::Campaign campaign(cfg);
   if (!journal_path.empty() && campaign.journal()) {
     std::printf("checkpoint journal %s: %llu records recovered\n",
@@ -141,6 +173,49 @@ int run_portal_mode(const std::string& cluster, double scale,
   return outcome.ok() ? 0 : 1;
 }
 
+// The survey throughput lane: lazily realized clusters, cache-less cutout
+// synthesis, the SoA kernel, and a streaming k-way catalog merge — memory
+// stays flat in the survey size.
+int run_survey_mode(std::size_t target, int cutout, const std::string& out_path,
+                    const std::string& scratch_dir, std::size_t threads) {
+  analysis::SurveyConfig cfg;
+  cfg.target_galaxies = target;
+  cfg.cutout_size = cutout;
+  cfg.catalog_path = out_path;
+  cfg.scratch_dir = scratch_dir;
+  if (threads > 0) cfg.compute_threads = threads;
+  analysis::Survey survey(cfg);
+  const auto report = survey.run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "survey failed: %s\n",
+                 report.error().to_string().c_str());
+    return 1;
+  }
+  const analysis::SurveyReport& r = report.value();
+  const double gal_per_s =
+      r.compute_seconds > 0.0
+          ? static_cast<double>(r.galaxies) / r.compute_seconds
+          : 0.0;
+  std::printf("survey: %zu clusters, %zu galaxies (%zu valid, %zu invalid)\n",
+              r.clusters, r.galaxies, r.valid, r.invalid);
+  std::printf("  compute %.2fs (%.0f gal/s, %zu threads), merge %.2fs over "
+              "%zu runs (%.1f MiB spilled)\n",
+              r.compute_seconds, gal_per_s, cfg.compute_threads,
+              r.merge_seconds, r.spill_runs,
+              static_cast<double>(r.spill_bytes) / (1024.0 * 1024.0));
+  if (r.vm_hwm_kb > 0) {
+    std::printf("  rss %zu kB -> %zu kB (hwm %zu kB)\n", r.vm_rss_start_kb,
+                r.vm_rss_end_kb, r.vm_hwm_kb);
+  }
+  if (!out_path.empty()) {
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::printf("catalog: %zu bytes of VOTable XML (use --out to save)\n",
+                r.catalog_xml.size());
+  }
+  return 0;
+}
+
 image::FitsFile demo_galaxy(sim::MorphType type) {
   sim::GalaxyTruth g;
   g.id = std::string("DEMO_") + sim::to_string(type);
@@ -166,11 +241,17 @@ int main(int argc, char** argv) {
   std::string votable_path;
   bool demo = false;
   bool portal_mode = false;
+  bool survey_mode = false;
   std::string cluster = "MS1621";
   double portal_scale = 0.05;
   std::string trace_out;
   std::string metrics_out;
   std::string journal_path;
+  int cli_threads = 0;
+  double survey_target = 100000;
+  double survey_cutout = 64;
+  std::string survey_out;
+  std::string survey_scratch;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -214,6 +295,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics-out") {
       if (i + 1 >= argc) { usage(); return 2; }
       metrics_out = argv[++i];
+    } else if (arg == "--survey") {
+      survey_mode = true;
+    } else if (arg == "--target") {
+      if (!next_value(survey_target) || survey_target < 1) { usage(); return 2; }
+    } else if (arg == "--cutout") {
+      if (!next_value(survey_cutout) || survey_cutout < 8) { usage(); return 2; }
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) { usage(); return 2; }
+      survey_out = argv[++i];
+    } else if (arg == "--scratch") {
+      if (i + 1 >= argc) { usage(); return 2; }
+      survey_scratch = argv[++i];
+    } else if (arg == "--threads") {
+      double n = 0.0;
+      if (!next_value(n) || n < 1) { usage(); return 2; }
+      cli_threads = static_cast<int>(n);
     } else if (arg == "--checkpoint-out" || arg == "--resume") {
       // Both point the campaign at a durable journal; open() recovers
       // whatever the file already holds, so --resume is the same switch
@@ -231,9 +328,20 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
+  const std::size_t threads = resolve_threads(cli_threads);
+  if (portal_mode && survey_mode) {
+    std::fprintf(stderr, "--portal and --survey are mutually exclusive\n");
+    usage();
+    return 2;
+  }
   if (portal_mode) {
     return run_portal_mode(cluster, portal_scale, trace_out, metrics_out,
-                           journal_path);
+                           journal_path, threads);
+  }
+  if (survey_mode) {
+    return run_survey_mode(static_cast<std::size_t>(survey_target),
+                           static_cast<int>(survey_cutout), survey_out,
+                           survey_scratch, threads);
   }
   if (!journal_path.empty()) {
     std::fprintf(stderr, "--checkpoint-out/--resume require --portal\n");
