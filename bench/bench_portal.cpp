@@ -1,0 +1,170 @@
+// Multi-tenant async portal under overload: open-loop Poisson + burst
+// arrivals at 1x/2x/5x of calibrated capacity, three tenants with shared
+// cluster lists (duplicate derivations exercise the single-flight +
+// memoization path), reporting simulated p50/p99 latency, goodput, and
+// shed rate — plus an intake microbench showing that shedding a request on
+// a saturated portal is a fast, explicitly-bounded decision.
+//
+// tools/run_bench.sh runs this binary, writes BENCH_portal.json
+// ({"baseline", "current"}), and gates on: >10% p99 or goodput regression
+// vs bench/baselines/bench_portal_seed.json, a non-zero shed rate at 5x,
+// and recomputes < completed requests (the memoization claim). The latency
+// and goodput figures are simulated-clock quantities, so they are
+// deterministic across hosts; only the intake microbench measures wall
+// time, and it carries no regression gate.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/campaign.hpp"
+#include "portal/async_portal.hpp"
+#include "portal/load_gen.hpp"
+#include "sim/universe.hpp"
+
+namespace {
+
+using namespace nvo;
+
+constexpr double kPopulationScale = 0.05;  // clusters of ~19..28 galaxies
+
+analysis::CampaignConfig campaign_config() {
+  analysis::CampaignConfig config;
+  config.population_scale = kPopulationScale;
+  config.compute_threads = 2;
+  return config;
+}
+
+std::unique_ptr<portal::AsyncPortal> make_portal(
+    analysis::Campaign& campaign, portal::AsyncPortalConfig config = {}) {
+  auto p = std::make_unique<portal::AsyncPortal>(
+      campaign.fabric(), campaign.federation(), campaign.compute_service(),
+      config);
+  for (const sim::Cluster& c : campaign.universe().clusters()) {
+    portal::ClusterEntry entry;
+    entry.name = c.name();
+    entry.position = c.center();
+    entry.redshift = c.redshift();
+    entry.search_radius_deg = c.spec.extent_arcmin / 60.0;
+    p->add_cluster(entry);
+  }
+  return p;
+}
+
+std::vector<std::string> cluster_names(const analysis::Campaign& campaign,
+                                       std::size_t n) {
+  std::vector<std::string> names;
+  const auto& clusters = campaign.universe().clusters();
+  for (std::size_t i = 0; i < n && i < clusters.size(); ++i) {
+    names.push_back(clusters[i].name());
+  }
+  return names;
+}
+
+// One calibrated mean service time shared by every overload point, measured
+// once on a scratch campaign (same population scale, same clusters) via the
+// synchronous portal. Simulated milliseconds — deterministic.
+double calibrated_service_ms() {
+  static const double value = [] {
+    analysis::Campaign campaign(campaign_config());
+    return portal::measure_mean_service_ms(campaign.portal(),
+                                           cluster_names(campaign, 3));
+  }();
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// The overload sweep: one fresh campaign + portal per point.
+// ---------------------------------------------------------------------------
+
+void BM_PortalOverload(benchmark::State& state) {
+  const double overload = static_cast<double>(state.range(0));
+  const double mean_service_ms = calibrated_service_ms();
+  if (mean_service_ms <= 0.0) {
+    state.SkipWithError("service-time calibration failed");
+    return;
+  }
+
+  portal::LoadOutcome out;
+  for (auto _ : state) {
+    analysis::Campaign campaign(campaign_config());
+    portal::AsyncPortalConfig config;
+    config.admission.per_tenant_queue_limit = 4;
+    config.admission.global_queue_limit = 8;
+    auto async = make_portal(campaign, config);
+
+    // Three tenants, overlapping cluster lists: every cluster is wanted by
+    // at least two tenants, so duplicate derivations are guaranteed.
+    const std::vector<std::string> names = cluster_names(campaign, 4);
+    const std::vector<portal::LoadTenantSpec> specs = {
+        {"archive", 2.0, {names[0], names[1], names[2]}, 1.0},
+        {"survey", 1.0, {names[0], names[2], names[3]}, 1.0},
+        {"grad_student", 1.0, {names[1], names[3]}, 0.5},
+    };
+    portal::LoadConfig load;
+    load.mean_service_ms = mean_service_ms;
+    load.overload = overload;
+    load.requests_per_tenant = 10;
+    load.seed = 20031115;
+    out = portal::run_load(*async, campaign.fabric(), specs, load);
+  }
+
+  state.counters["p50_ms"] = benchmark::Counter(out.latency.p50_ms);
+  state.counters["p99_ms"] = benchmark::Counter(out.latency.p99_ms);
+  state.counters["goodput_per_s"] = benchmark::Counter(out.goodput_per_s);
+  state.counters["shed_rate"] = benchmark::Counter(out.shed_rate);
+  state.counters["requests"] = benchmark::Counter(static_cast<double>(out.submitted));
+  state.counters["done"] = benchmark::Counter(static_cast<double>(out.done));
+  state.counters["partial"] = benchmark::Counter(static_cast<double>(out.partial));
+  state.counters["failed"] = benchmark::Counter(static_cast<double>(out.failed));
+  state.counters["shed"] = benchmark::Counter(static_cast<double>(out.shed));
+  state.counters["recomputes"] =
+      benchmark::Counter(static_cast<double>(out.portal.recomputes));
+  state.counters["memo_hits"] =
+      benchmark::Counter(static_cast<double>(out.portal.memo_hits));
+  state.counters["coalesced"] =
+      benchmark::Counter(static_cast<double>(out.portal.coalesced));
+  state.counters["sim_elapsed_ms"] = benchmark::Counter(out.sim_elapsed_ms);
+  state.counters["mean_service_ms"] = benchmark::Counter(mean_service_ms);
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.done + out.partial));
+}
+BENCHMARK(BM_PortalOverload)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(5)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Intake under saturation: how fast is an explicit rejection?
+// ---------------------------------------------------------------------------
+
+void BM_PortalShedDecision(benchmark::State& state) {
+  // Saturate the queues once, then measure the wall-clock cost of turning a
+  // request away: a map lookup and two counter bumps, no fabric traffic, no
+  // allocation of pipeline state. items_per_second == shed decisions/s.
+  analysis::Campaign campaign(campaign_config());
+  portal::AsyncPortalConfig config;
+  config.admission.per_tenant_queue_limit = 2;
+  config.admission.global_queue_limit = 2;
+  auto async = make_portal(campaign, config);
+  async->add_tenant("flood");
+  const std::string cluster =
+      campaign.universe().clusters().front().name();
+  while (async->submit("flood", cluster).admitted) {
+  }
+
+  std::int64_t sheds = 0;
+  for (auto _ : state) {
+    const portal::Submission s = async->submit("flood", cluster);
+    benchmark::DoNotOptimize(s);
+    if (!s.admitted) ++sheds;
+  }
+  state.SetItemsProcessed(sheds);
+}
+BENCHMARK(BM_PortalShedDecision);
+
+}  // namespace
+
+BENCHMARK_MAIN();

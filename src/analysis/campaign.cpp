@@ -113,7 +113,11 @@ Expected<ClusterOutcome> Campaign::run_cluster(const std::string& name) {
   out.failovers = outcome->trace.failovers;
   out.archives_degraded = outcome->trace.archives_degraded();
 
-  if (const portal::ServiceTrace* trace = compute_->last_trace()) {
+  // Looked up by the id carried in the portal trace, not last_trace():
+  // interleaved runs from other front-ends (the async portal) may have
+  // pushed newer requests through the shared service in the meantime.
+  if (const portal::ServiceTrace* trace =
+          compute_->trace(outcome->trace.compute_request_id)) {
     out.compute_jobs = trace->execution.compute_jobs;
     out.transfer_jobs = trace->execution.transfer_jobs;
     out.register_jobs = trace->execution.register_jobs;

@@ -135,6 +135,10 @@ class Campaign {
   // Internals, exposed for examples and benchmarks.
   const sim::Universe& universe() const { return *universe_; }
   services::HttpFabric& fabric() { return *fabric_; }
+  /// The registered archive federation (endpoint URLs + mirror host) —
+  /// front-ends layered over this campaign (portal::AsyncPortal) build
+  /// their per-tenant portals from it.
+  const services::Federation& federation() const { return federation_; }
 
   /// Registers the whole stack's metrics (fabric + routes, portal client,
   /// compute client, replica cache, kernel pool) in `registry` under the

@@ -62,6 +62,35 @@ double Histogram::total_sum() const {
   return sum_;
 }
 
+namespace {
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& counts,
+                       std::uint64_t total, double q) {
+  if (total == 0 || counts.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Target rank in [1, total]; walk the cumulative counts to its bucket.
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t prev = cum;
+    cum += counts[i];
+    if (static_cast<double>(cum) < rank || counts[i] == 0) continue;
+    if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+}  // namespace
+
+double Histogram::quantile(double q) const {
+  std::lock_guard lock(mu_);
+  return bucket_quantile(bounds_, counts_, total_, q);
+}
+
 // ---------------------------------------------------------------------------
 // MetricsSnapshot
 // ---------------------------------------------------------------------------
@@ -74,6 +103,10 @@ double MetricsSnapshot::counter(const std::string& name) const {
 double MetricsSnapshot::gauge(const std::string& name) const {
   const auto it = gauges.find(name);
   return it == gauges.end() ? 0.0 : it->second;
+}
+
+double MetricsSnapshot::HistogramData::quantile(double q) const {
+  return bucket_quantile(bounds, counts, total_count, q);
 }
 
 std::string MetricsSnapshot::to_json() const {

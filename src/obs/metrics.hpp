@@ -38,6 +38,10 @@ class Histogram {
   std::vector<std::uint64_t> counts() const;
   std::uint64_t total_count() const;
   double total_sum() const;
+  /// Approximate q-quantile (q in [0,1]) by linear interpolation within the
+  /// bucket holding the target rank (overflow bucket reports the last
+  /// bound). 0 when the histogram is empty.
+  double quantile(double q) const;
 
  private:
   mutable std::mutex mu_;
@@ -54,6 +58,9 @@ struct MetricsSnapshot {
     std::vector<std::uint64_t> counts;  ///< size = bounds.size() + 1
     std::uint64_t total_count = 0;
     double sum = 0.0;
+
+    /// Same estimator as Histogram::quantile, over the snapshot's counts.
+    double quantile(double q) const;
   };
 
   /// Monotonic totals (requests, bytes, hits...), keyed by metric name.

@@ -1,0 +1,655 @@
+#include "portal/async_portal.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.hpp"
+#include "portal/transforms.hpp"
+#include "votable/table_ops.hpp"
+#include "votable/votable_io.hpp"
+
+namespace nvo::portal {
+
+const char* to_string(RequestState state) {
+  switch (state) {
+    case RequestState::kQueued: return "queued";
+    case RequestState::kRunning: return "running";
+    case RequestState::kPartial: return "partial";
+    case RequestState::kDone: return "done";
+    case RequestState::kFailed: return "failed";
+    case RequestState::kShed: return "shed";
+  }
+  return "?";
+}
+
+const char* AsyncPortal::stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kStart: return "start";
+    case Stage::kImages: return "images";
+    case Stage::kCatalog: return "catalog";
+    case Stage::kCutouts: return "cutouts";
+    case Stage::kCompute: return "compute";
+    case Stage::kMerge: return "merge";
+    case Stage::kMemoServe: return "memo_serve";
+    case Stage::kFinished: return "finished";
+  }
+  return "?";
+}
+
+AsyncPortal::AsyncPortal(services::HttpFabric& fabric,
+                         const services::Federation& federation,
+                         MorphologyService& compute, AsyncPortalConfig config)
+    : fabric_(fabric),
+      federation_(federation),
+      compute_(compute),
+      config_(std::move(config)),
+      admission_(config_.admission),
+      drr_(config_.drr),
+      memo_cache_(config_.memo_cache),
+      ids_("preq-"),
+      status_board_(std::make_shared<std::map<std::string, std::string>>()) {
+  // Evicted memo entries silently demote future duplicates to full runs;
+  // the hook only keeps accounting honest. Runs outside every cache lock
+  // (see the EvictionCallback lock-discipline contract), so it could even
+  // re-enter the cache.
+  stats_ = Stats{};
+  auto* evictions = &stats_.memo_evictions;
+  memo_cache_.set_eviction_callback(
+      [evictions](const std::string&) { ++*evictions; });
+
+  // The portal's own Fig. 6-style status endpoint: poll-able over the
+  // fabric, one id per request. The board is shared so the handler stays
+  // valid independent of the portal's lifetime.
+  auto board = status_board_;
+  fabric_.route(
+      config_.host, "/status",
+      [board](const services::Url& url) -> Expected<services::HttpResponse> {
+        const auto it = url.query.find("id");
+        if (it == url.query.end()) {
+          return Error(ErrorCode::kInvalidArgument, "missing id parameter");
+        }
+        const auto found = board->find(it->second);
+        if (found == board->end()) {
+          return Error(ErrorCode::kNotFound, "no request " + it->second);
+        }
+        return services::HttpResponse::text(found->second, "text/plain");
+      },
+      services::EndpointModel{2.0, 100.0, 0.0, true});
+}
+
+void AsyncPortal::add_cluster(ClusterEntry entry) {
+  clusters_.push_back(entry);
+  for (auto& [name, tenant] : tenants_) tenant->portal->add_cluster(entry);
+}
+
+void AsyncPortal::add_tenant(const std::string& name, double weight) {
+  if (tenants_.count(name)) return;
+  auto tenant = std::make_unique<Tenant>();
+  tenant->name = name;
+  tenant->weight = weight;
+  // Per-tenant portal over the shared compute service: breaker, retry and
+  // quarantine state are scoped to the tenant (label separates the jitter
+  // streams too, keeping multi-tenant runs deterministic).
+  PortalConfig pcfg = config_.portal;
+  tenant->portal = std::make_unique<Portal>(fabric_, federation_, compute_, pcfg);
+  for (const ClusterEntry& c : clusters_) tenant->portal->add_cluster(c);
+  drr_.set_weight(name, weight);
+  if (registry_ && !tenant_hists_.count(name)) {
+    tenant_hists_[name] = registry_->histogram(
+        "portal.async.latency_ms." + name,
+        {50, 100, 200, 500, 1000, 2000, 5000, 10000, 20000, 50000, 100000,
+         200000, 500000});
+  }
+  tenants_.emplace(name, std::move(tenant));
+}
+
+double AsyncPortal::now_ms() const { return fabric_.now_ms(); }
+
+std::string AsyncPortal::status_url(const std::string& id) const {
+  return "http://" + config_.host + "/status?id=" + id;
+}
+
+Submission AsyncPortal::submit(const std::string& tenant_name,
+                               const std::string& cluster,
+                               const std::string& params) {
+  Submission out;
+  const auto tit = tenants_.find(tenant_name);
+  if (tit == tenants_.end()) {
+    out.reason = "unknown tenant " + tenant_name;
+    return out;
+  }
+  Tenant& tenant = *tit->second;
+  const bool known_cluster =
+      std::any_of(clusters_.begin(), clusters_.end(),
+                  [&](const ClusterEntry& c) { return c.name == cluster; });
+  if (!known_cluster) {
+    out.reason = "unknown cluster " + cluster;
+    return out;
+  }
+
+  ++stats_.submitted;
+  ++tenant.stats.submitted;
+
+  Request req;
+  req.id = ids_.next();
+  req.tenant = tenant_name;
+  req.cluster = cluster;
+  req.params = params;
+  req.memo_key = cluster + "\x1f" + params;
+  req.out_name = params.empty() ? cluster : cluster + "_" + params;
+  req.out_lfn = output_votable_lfn(req.out_name);
+  req.result_url =
+      "http://" + compute_.config().host + "/results?name=" + req.out_lfn;
+  req.submit_ms = now_ms();
+  out.id = req.id;
+
+  const auto decision =
+      admission_.offer(tenant_name, config_.estimated_request_bytes);
+  if (!decision.admitted) {
+    // Explicit shed: instantaneous, with a congestion-scaled retry-after.
+    // The record stays poll-able so the client sees WHY it was turned away.
+    req.state = RequestState::kShed;
+    req.retry_after_ms = decision.retry_after_ms;
+    req.error = services::to_string(decision.reason);
+    req.finish_ms = req.submit_ms;
+    ++stats_.shed;
+    ++tenant.stats.shed;
+    out.admitted = false;
+    out.reason = req.error;
+    out.retry_after_ms = decision.retry_after_ms;
+    publish_status(req);
+    shed_ring_.push_back(req.id);
+    requests_.emplace(req.id, std::move(req));
+    // Bounded-memory shedding: under sustained overload the shed path must
+    // not accumulate state, so only the freshest records stay poll-able.
+    while (config_.shed_record_limit > 0 &&
+           shed_ring_.size() > config_.shed_record_limit) {
+      requests_.erase(shed_ring_.front());
+      status_board_->erase(shed_ring_.front());
+      shed_ring_.pop_front();
+    }
+    return out;
+  }
+
+  req.admission_held = true;
+  ++stats_.admitted;
+  ++stats_.queued;
+  out.admitted = true;
+  publish_status(req);
+  tenant.queue.push_back(req.id);
+  requests_.emplace(req.id, std::move(req));
+  drr_.activate(tenant_name);
+  return out;
+}
+
+bool AsyncPortal::step() {
+  const std::string who = drr_.pick();
+  if (who.empty()) return false;
+  Tenant& tenant = *tenants_.at(who);
+  const double t0 = now_ms();
+  run_unit(tenant);
+  // Charge the ACTUAL simulated cost of the unit (every fabric round-trip
+  // and the compute makespan advance the clock), floored so local-only
+  // units still rotate the ring.
+  const double cost = std::max(now_ms() - t0, config_.min_stage_charge_ms);
+  drr_.charge(who, cost);
+  tenant.stats.busy_ms += cost;
+  refresh_activation(tenant);
+  return true;
+}
+
+std::size_t AsyncPortal::drain(std::size_t max_steps) {
+  std::size_t steps = 0;
+  while (steps < max_steps && step()) ++steps;
+  return steps;
+}
+
+bool AsyncPortal::idle() const { return drr_.active_count() == 0; }
+
+void AsyncPortal::run_unit(Tenant& tenant) {
+  if (!tenant.running.empty()) {
+    advance(tenant, requests_.at(tenant.running));
+    return;
+  }
+  if (tenant.queue.empty()) return;
+  const std::string id = tenant.queue.front();
+  tenant.queue.pop_front();
+  start_request(tenant, id);
+}
+
+void AsyncPortal::start_request(Tenant& tenant, const std::string& id) {
+  Request& req = requests_.at(id);
+  if (memo_ready(req)) {
+    // Completed-derivation memo hit: the request still runs (and pays for)
+    // one catalog fetch through its own tenant's client, but skips the
+    // whole derivation pipeline.
+    release_admission(req);
+    req.state = RequestState::kRunning;
+    req.stage = Stage::kMemoServe;
+    req.start_ms = now_ms();
+    ++stats_.running;
+    tenant.running = id;
+    publish_status(req);
+    return;
+  }
+  if (const auto leader = inflight_.find(req.memo_key); leader != inflight_.end()) {
+    // Single-flight: an identical derivation is in flight — park behind it
+    // rather than racing it. Admission stays held (the request is still
+    // occupying the system); the tenant's slot frees up for other work.
+    req.coalesced = true;
+    ++stats_.coalesced;
+    ++stats_.waiting;
+    --stats_.queued;
+    ++waiting_;
+    followers_[leader->second].push_back(id);
+    publish_status(req);
+    return;
+  }
+  release_admission(req);
+  inflight_[req.memo_key] = id;
+  req.leader = true;
+  req.state = RequestState::kRunning;
+  req.stage = Stage::kImages;
+  req.start_ms = now_ms();
+  ++stats_.running;
+  tenant.running = id;
+  publish_status(req);
+}
+
+void AsyncPortal::advance(Tenant& tenant, Request& req) {
+  switch (req.stage) {
+    case Stage::kImages: {
+      auto images = tenant.portal->find_large_scale_images(req.cluster, &req.trace);
+      if (!images.ok()) return fail_request(tenant, req, images.error().to_string());
+      req.images = std::move(images.value());
+      req.stage = Stage::kCatalog;
+      return;
+    }
+    case Stage::kCatalog: {
+      auto catalog = tenant.portal->build_galaxy_catalog(req.cluster, &req.trace);
+      if (!catalog.ok()) return fail_request(tenant, req, catalog.error().to_string());
+      req.catalog = std::move(catalog.value());
+      req.stage = Stage::kCutouts;
+      return;
+    }
+    case Stage::kCutouts: {
+      auto with_refs = tenant.portal->attach_cutout_refs(std::move(req.catalog),
+                                                         req.cluster, &req.trace);
+      if (!with_refs.ok()) {
+        return fail_request(tenant, req, with_refs.error().to_string());
+      }
+      req.catalog = std::move(with_refs.value());
+      req.trace.galaxies = req.catalog.num_rows();
+      req.stage = Stage::kCompute;
+      return;
+    }
+    case Stage::kCompute: {
+      const auto url_col = req.catalog.column_index("cutout_url");
+      if (!url_col) {
+        return fail_request(tenant, req, "cutout stage produced no cutout_url column");
+      }
+      votable::Table input =
+          votable::select(req.catalog, [&](const votable::Row& row) {
+            const auto url = row[*url_col].as_string();
+            return url && !url->empty();
+          });
+      if (input.num_rows() == 0) {
+        return fail_request(tenant, req,
+                            "no galaxy in " + req.cluster + " has a cutout reference");
+      }
+      const double before = now_ms();
+      auto status_url = compute_.gal_morph_compute(input, req.out_name);
+      if (!status_url.ok()) {
+        return fail_request(tenant, req, status_url.error().to_string());
+      }
+      if (const auto pos = status_url->find("id="); pos != std::string::npos) {
+        req.trace.compute_request_id = status_url->substr(pos + 3);
+      }
+      std::string result_url;
+      for (int i = 0; i < config_.portal.poll_limit; ++i) {
+        auto poll = compute_.poll(status_url.value());
+        if (!poll.ok()) return fail_request(tenant, req, poll.error().to_string());
+        ++req.trace.polls;
+        if (poll->state == "completed") {
+          result_url = poll->result_url;
+          break;
+        }
+        if (poll->state == "failed") {
+          return fail_request(tenant, req, "compute service failed: " +
+                                               join(poll->messages, "; "));
+        }
+      }
+      if (result_url.empty()) {
+        return fail_request(tenant, req, "compute service never completed");
+      }
+      auto fetched = tenant.portal->client().get(result_url);
+      if (!fetched.ok()) return fail_request(tenant, req, fetched.error().to_string());
+      auto morphology = votable::from_votable_xml(fetched->body_text());
+      if (!morphology.ok()) {
+        return fail_request(tenant, req, morphology.error().to_string());
+      }
+      req.morphology = std::move(morphology.value());
+      req.trace.compute_wait_ms += now_ms() - before;
+      if (const ServiceTrace* st = compute_.trace(req.trace.compute_request_id)) {
+        // The service reports its staging + workflow makespan as a trace
+        // quantity; surface it on the shared timeline so every tenant's
+        // latency — and the DRR's cost accounting — sees the compute time.
+        fabric_.advance_clock(st->total_sim_seconds * 1000.0);
+        req.trace.compute_wait_ms += st->total_sim_seconds * 1000.0;
+        if (st->cache_hit || st->journal_hit) {
+          ++stats_.compute_cache_hits;
+        } else {
+          ++stats_.recomputes;
+        }
+      }
+      req.result_url = result_url;
+      req.stage = Stage::kMerge;
+      return;
+    }
+    case Stage::kMerge: {
+      auto merged = votable::join(req.catalog, req.morphology, "id", "id",
+                                  votable::JoinKind::kLeft);
+      if (!merged.ok()) return fail_request(tenant, req, merged.error().to_string());
+      req.result = std::move(merged.value());
+      req.result.name = req.cluster + "_analysis";
+      req.trace.valid = count_valid(req.result, &req.trace.invalid);
+      finish(tenant, req,
+             req.trace.archives_degraded() > 0 ? RequestState::kPartial
+                                               : RequestState::kDone);
+      return;
+    }
+    case Stage::kMemoServe:
+      return serve_from_memo(tenant, req);
+    case Stage::kStart:
+    case Stage::kFinished:
+      return;
+  }
+}
+
+void AsyncPortal::serve_from_memo(Tenant& tenant, Request& req) {
+  const auto payload = memo_cache_.get(req.out_lfn);
+  const std::string* xml = compute_.result_xml(req.out_lfn);
+  if (!payload || !xml) {
+    // Evicted (or the backing store lost it) between scheduling and serve:
+    // demote to a full derivation, re-entering the single-flight protocol.
+    if (const auto leader = inflight_.find(req.memo_key);
+        leader != inflight_.end()) {
+      req.coalesced = true;
+      ++stats_.coalesced;
+      ++stats_.waiting;
+      --stats_.running;
+      ++waiting_;
+      followers_[leader->second].push_back(req.id);
+      tenant.running.clear();
+      req.state = RequestState::kQueued;
+      publish_status(req);
+      return;
+    }
+    inflight_[req.memo_key] = req.id;
+    req.leader = true;
+    req.stage = Stage::kImages;
+    return;
+  }
+  // Serve the memoized catalog through the tenant's own client — a real
+  // fabric fetch (latency, integrity verification, breaker accounting)
+  // against the RLS-backed result store, not a zero-cost map lookup.
+  auto fetched = tenant.portal->client().get(req.result_url);
+  if (!fetched.ok()) return fail_request(tenant, req, fetched.error().to_string());
+  auto table = votable::from_votable_xml(fetched->body_text());
+  if (!table.ok()) return fail_request(tenant, req, table.error().to_string());
+  req.result = std::move(table.value());
+  req.trace.galaxies = req.result.num_rows();
+  req.trace.valid = count_valid(req.result, &req.trace.invalid);
+  req.memo_hit = true;
+  ++stats_.memo_hits;
+  finish(tenant, req, RequestState::kDone);
+}
+
+void AsyncPortal::fail_request(Tenant& tenant, Request& req,
+                               const std::string& error) {
+  req.error = error;
+  finish(tenant, req, RequestState::kFailed);
+}
+
+void AsyncPortal::finish(Tenant& tenant, Request& req, RequestState state) {
+  req.state = state;
+  req.stage = Stage::kFinished;
+  req.finish_ms = now_ms();
+  if (tenant.running == req.id) {
+    tenant.running.clear();
+    --stats_.running;
+  }
+  switch (state) {
+    case RequestState::kDone: ++stats_.done; ++tenant.stats.done; break;
+    case RequestState::kPartial: ++stats_.partial; ++tenant.stats.partial; break;
+    case RequestState::kFailed: ++stats_.failed; ++tenant.stats.failed; break;
+    default: break;
+  }
+  observe_latency(req);
+  publish_status(req);
+  if (config_.portal.tracer) {
+    config_.portal.tracer->record_span(
+        0, "async.request", "portal", req.submit_ms, req.finish_ms - req.submit_ms,
+        {{"galaxies", static_cast<double>(req.trace.galaxies)},
+         {"valid", static_cast<double>(req.trace.valid)},
+         {"archives_degraded",
+          static_cast<double>(req.trace.archives_degraded())}},
+        {{"tenant", req.tenant},
+         {"request", req.id},
+         {"cluster", req.cluster},
+         {"state", to_string(state)},
+         {"memo", req.memo_hit ? "hit" : (req.coalesced ? "coalesced" : "miss")}});
+  }
+
+  if (!req.leader) return;
+  // Leader bookkeeping: resolve the single-flight entry and promote every
+  // parked follower. A clean result is memoized and followers ride the memo
+  // fast path (queue front — they have waited the longest); a degraded or
+  // failed result is NOT memoized and followers re-run independently, so
+  // one tenant's chaos never propagates a bad catalog to another tenant.
+  inflight_.erase(req.memo_key);
+  const auto fit = followers_.find(req.id);
+  if (state == RequestState::kDone) memoize(req);
+  if (fit == followers_.end()) return;
+  std::vector<std::string> promoted = std::move(fit->second);
+  followers_.erase(fit);
+  for (const std::string& fid : promoted) {
+    Request& follower = requests_.at(fid);
+    follower.stage = Stage::kStart;
+    follower.state = RequestState::kQueued;
+    --stats_.waiting;
+    ++stats_.queued;
+    --waiting_;
+    Tenant& ft = *tenants_.at(follower.tenant);
+    if (state == RequestState::kDone) {
+      ft.queue.push_front(fid);
+    } else {
+      ft.queue.push_back(fid);
+    }
+    publish_status(follower);
+    drr_.activate(follower.tenant);
+  }
+}
+
+void AsyncPortal::release_admission(Request& req) {
+  if (!req.admission_held) return;
+  req.admission_held = false;
+  admission_.release(req.tenant, config_.estimated_request_bytes);
+  if (stats_.queued > 0) --stats_.queued;
+}
+
+void AsyncPortal::refresh_activation(Tenant& tenant) {
+  if (tenant.running.empty() && tenant.queue.empty()) {
+    drr_.deactivate(tenant.name);
+  } else {
+    drr_.activate(tenant.name);
+  }
+}
+
+void AsyncPortal::memoize(const Request& req) {
+  const std::string* xml = compute_.result_xml(req.out_lfn);
+  if (!xml) return;
+  memo_cache_.put(req.out_lfn,
+                  std::vector<std::uint8_t>(xml->begin(), xml->end()));
+}
+
+bool AsyncPortal::memo_ready(const Request& req) const {
+  // Valid only while BOTH layers hold the catalog: the portal's memo cache
+  // (byte-budgeted; evictions demote to recompute) and the compute
+  // service's RLS-backed result store that /results serves from.
+  return memo_cache_.contains(req.out_lfn) &&
+         compute_.result_xml(req.out_lfn) != nullptr;
+}
+
+void AsyncPortal::publish_status(const Request& req) {
+  std::string line = "id=" + req.id + " tenant=" + req.tenant +
+                     " cluster=" + req.cluster + " state=" + to_string(req.state) +
+                     " stage=" + stage_name(req.stage);
+  if (req.state == RequestState::kShed) {
+    line += format(" retry_after_ms=%.0f reason=%s", req.retry_after_ms,
+                   req.error.c_str());
+  }
+  if (!req.error.empty() && req.state == RequestState::kFailed) {
+    line += " error=" + req.error;
+  }
+  (*status_board_)[req.id] = std::move(line);
+}
+
+void AsyncPortal::observe_latency(const Request& req) {
+  const double latency = req.finish_ms - req.submit_ms;
+  Tenant& tenant = *tenants_.at(req.tenant);
+  if (req.state == RequestState::kDone || req.state == RequestState::kPartial) {
+    tenant.stats.total_latency_ms += latency;
+    tenant.stats.max_latency_ms = std::max(tenant.stats.max_latency_ms, latency);
+  }
+  if (latency_hist_) latency_hist_->observe(latency);
+  const auto hit = tenant_hists_.find(req.tenant);
+  if (hit != tenant_hists_.end() && hit->second) hit->second->observe(latency);
+}
+
+std::size_t AsyncPortal::count_valid(const votable::Table& table,
+                                     std::size_t* invalid) {
+  std::size_t valid = 0;
+  std::size_t bad = 0;
+  const auto valid_col = table.column_index("valid");
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    if (valid_col) {
+      const auto v = table.row(i)[*valid_col].as_bool();
+      if (v && *v) {
+        ++valid;
+        continue;
+      }
+    }
+    ++bad;
+  }
+  if (invalid) *invalid = bad;
+  return valid;
+}
+
+Expected<RequestStatus> AsyncPortal::status(const std::string& id) const {
+  const auto it = requests_.find(id);
+  if (it == requests_.end()) {
+    return Error(ErrorCode::kNotFound, "no request " + id);
+  }
+  const Request& req = it->second;
+  RequestStatus out;
+  out.id = req.id;
+  out.tenant = req.tenant;
+  out.cluster = req.cluster;
+  out.params = req.params;
+  out.state = req.state;
+  out.stage = stage_name(req.stage);
+  out.submit_ms = req.submit_ms;
+  out.start_ms = req.start_ms;
+  out.finish_ms = req.finish_ms;
+  out.retry_after_ms = req.retry_after_ms;
+  out.error = req.error;
+  out.memo_hit = req.memo_hit;
+  out.coalesced = req.coalesced;
+  out.galaxies = req.trace.galaxies;
+  out.valid = req.trace.valid;
+  out.invalid = req.trace.invalid;
+  out.archives_degraded = req.trace.archives_degraded();
+  return out;
+}
+
+const votable::Table* AsyncPortal::result(const std::string& id) const {
+  const auto it = requests_.find(id);
+  if (it == requests_.end()) return nullptr;
+  const Request& req = it->second;
+  if (req.state != RequestState::kDone && req.state != RequestState::kPartial) {
+    return nullptr;
+  }
+  return &req.result;
+}
+
+AsyncPortal::Stats AsyncPortal::stats() const { return stats_; }
+
+Expected<TenantStats> AsyncPortal::tenant_stats(const std::string& name) const {
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Error(ErrorCode::kNotFound, "no tenant " + name);
+  }
+  return it->second->stats;
+}
+
+void AsyncPortal::register_metrics(obs::MetricsRegistry& registry) {
+  registry_ = &registry;
+  const std::vector<double> bounds = {50,    100,   200,   500,    1000,
+                                      2000,  5000,  10000, 20000,  50000,
+                                      100000, 200000, 500000};
+  latency_hist_ = registry.histogram("portal.async.latency_ms", bounds);
+  for (const auto& [name, tenant] : tenants_) {
+    (void)tenant;
+    if (!tenant_hists_.count(name)) {
+      tenant_hists_[name] =
+          registry.histogram("portal.async.latency_ms." + name, bounds);
+    }
+  }
+  registry.register_collector(
+      "portal.async", [this](std::map<std::string, double>& counters,
+                             std::map<std::string, double>& gauges) {
+        counters["portal.async.submitted"] = static_cast<double>(stats_.submitted);
+        counters["portal.async.admitted"] = static_cast<double>(stats_.admitted);
+        counters["portal.async.shed"] = static_cast<double>(stats_.shed);
+        counters["portal.async.done"] = static_cast<double>(stats_.done);
+        counters["portal.async.partial"] = static_cast<double>(stats_.partial);
+        counters["portal.async.failed"] = static_cast<double>(stats_.failed);
+        counters["portal.async.recomputes"] =
+            static_cast<double>(stats_.recomputes);
+        counters["portal.async.compute_cache_hits"] =
+            static_cast<double>(stats_.compute_cache_hits);
+        counters["portal.async.memo_hits"] = static_cast<double>(stats_.memo_hits);
+        counters["portal.async.coalesced"] = static_cast<double>(stats_.coalesced);
+        counters["portal.async.memo_evictions"] =
+            static_cast<double>(stats_.memo_evictions);
+        gauges["portal.async.queued"] = static_cast<double>(stats_.queued);
+        gauges["portal.async.running"] = static_cast<double>(stats_.running);
+        gauges["portal.async.waiting"] = static_cast<double>(stats_.waiting);
+        const services::AdmissionStats a = admission_.stats();
+        counters["portal.async.admission.shed_tenant_queue"] =
+            static_cast<double>(a.shed_tenant_queue);
+        counters["portal.async.admission.shed_global_queue"] =
+            static_cast<double>(a.shed_global_queue);
+        counters["portal.async.admission.shed_byte_budget"] =
+            static_cast<double>(a.shed_byte_budget);
+        gauges["portal.async.admission.queued_bytes"] =
+            static_cast<double>(a.queued_bytes);
+        gauges["portal.async.admission.max_queued"] =
+            static_cast<double>(a.max_queued);
+        for (const auto& [name, tenant] : tenants_) {
+          const std::string prefix = "portal.async.tenant." + name + ".";
+          counters[prefix + "submitted"] =
+              static_cast<double>(tenant->stats.submitted);
+          counters[prefix + "shed"] = static_cast<double>(tenant->stats.shed);
+          counters[prefix + "done"] = static_cast<double>(tenant->stats.done);
+          counters[prefix + "partial"] =
+              static_cast<double>(tenant->stats.partial);
+          counters[prefix + "failed"] = static_cast<double>(tenant->stats.failed);
+          counters[prefix + "busy_ms"] = tenant->stats.busy_ms;
+          gauges[prefix + "queued"] = static_cast<double>(tenant->queue.size());
+        }
+      });
+}
+
+}  // namespace nvo::portal

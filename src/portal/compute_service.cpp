@@ -537,10 +537,14 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
         }
       }
       ++nodes_completed_total_;
-      if (config_.abort_after_nodes > 0 &&
+      if (config_.abort_after_nodes > 0 && !kill_fired_ &&
           nodes_completed_total_ >= config_.abort_after_nodes) {
         // Simulated submit-host death: the run aborts here, after the
-        // completion above was journaled, so resume loses nothing.
+        // completion above was journaled, so resume loses nothing. The kill
+        // is one-shot — it takes down exactly the request whose DAG crosses
+        // the threshold; later requests through the same (multi-tenant)
+        // service run normally, as they would after a submit-host restart.
+        kill_fired_ = true;
         return Error(ErrorCode::kAborted,
                      format("chaos kill after %zu node completions",
                             nodes_completed_total_));

@@ -160,6 +160,9 @@ class MorphologyService {
 
   const ComputeServiceConfig& config() const { return config_; }
 
+  /// True once the one-shot abort_after_nodes chaos kill has fired.
+  bool kill_fired() const { return kill_fired_; }
+
   /// The service's resilient HTTP client (staging + poll tolerance state).
   const services::ResilientClient& client() const { return client_; }
 
@@ -217,6 +220,10 @@ class MorphologyService {
   /// Node completions across the service's lifetime; drives the chaos
   /// kill counter (ComputeServiceConfig::abort_after_nodes).
   std::size_t nodes_completed_total_ = 0;
+  /// The abort_after_nodes kill has fired. One-shot: only the request in
+  /// flight when the threshold is crossed aborts; subsequent requests
+  /// (other tenants through a shared service) proceed normally.
+  bool kill_fired_ = false;
 
   // Shared with fabric handler closures.
   struct State {

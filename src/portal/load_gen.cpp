@@ -1,0 +1,164 @@
+#include "portal/load_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace nvo::portal {
+namespace {
+
+struct Arrival {
+  double at_ms = 0.0;
+  std::size_t order = 0;  ///< stable tiebreak for simultaneous arrivals
+  std::string tenant;
+  std::string cluster;
+};
+
+LatencySummary summarize(std::vector<double> latencies) {
+  LatencySummary out;
+  out.count = latencies.size();
+  if (latencies.empty()) return out;
+  std::sort(latencies.begin(), latencies.end());
+  const auto rank = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(latencies.size())));
+    return latencies[std::min(latencies.size() - 1, idx == 0 ? 0 : idx - 1)];
+  };
+  out.p50_ms = rank(0.50);
+  out.p99_ms = rank(0.99);
+  out.max_ms = latencies.back();
+  double sum = 0.0;
+  for (double v : latencies) sum += v;
+  out.mean_ms = sum / static_cast<double>(latencies.size());
+  return out;
+}
+
+}  // namespace
+
+LoadOutcome run_load(AsyncPortal& portal, services::HttpFabric& fabric,
+                     const std::vector<LoadTenantSpec>& specs,
+                     const LoadConfig& config) {
+  LoadOutcome out;
+  if (specs.empty() || config.mean_service_ms <= 0.0) return out;
+
+  double scale_total = 0.0;
+  for (const LoadTenantSpec& spec : specs) {
+    scale_total += std::max(spec.rate_scale, 0.0);
+  }
+  if (scale_total <= 0.0) return out;
+  // Offered rate in requests per simulated ms, split across tenants. At
+  // overload = 1 the aggregate arrival rate matches one request per mean
+  // service time — the knife's edge; > 1 guarantees a growing backlog that
+  // only admission control keeps bounded.
+  const double total_rate = config.overload / config.mean_service_ms;
+
+  std::vector<Arrival> schedule;
+  std::size_t order = 0;
+  Rng root(config.seed);
+  for (const LoadTenantSpec& spec : specs) {
+    portal.add_tenant(spec.tenant, spec.weight);
+    Rng rng = root.fork();
+    const double share = std::max(spec.rate_scale, 0.0) / scale_total;
+    const double rate = total_rate * share;
+    if (rate <= 0.0 || spec.clusters.empty()) continue;
+    double t = 0.0;
+    std::size_t produced = 0;
+    std::size_t cluster_cursor = 0;
+    while (produced < config.requests_per_tenant) {
+      t += rng.exponential(rate);
+      std::size_t n = 1;
+      if (config.burst_size > 1 && rng.uniform() < config.burst_fraction) {
+        n = config.burst_size;
+      }
+      n = std::min(n, config.requests_per_tenant - produced);
+      for (std::size_t i = 0; i < n; ++i) {
+        schedule.push_back(Arrival{t, order++, spec.tenant,
+                                   spec.clusters[cluster_cursor]});
+        cluster_cursor = (cluster_cursor + 1) % spec.clusters.size();
+      }
+      produced += n;
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const Arrival& a, const Arrival& b) {
+              return a.at_ms != b.at_ms ? a.at_ms < b.at_ms
+                                        : a.order < b.order;
+            });
+
+  // Drive loop: submissions fire exactly at their scheduled simulated time;
+  // between arrivals the portal works the backlog. When the portal is idle
+  // and work is still due later, jump the clock to the next arrival.
+  const double start_ms = fabric.now_ms();
+  std::size_t next = 0;
+  std::size_t steps = 0;
+  while (next < schedule.size() || !portal.idle()) {
+    if (next < schedule.size() &&
+        schedule[next].at_ms <= fabric.now_ms() - start_ms) {
+      const Arrival& a = schedule[next++];
+      const Submission sub = portal.submit(a.tenant, a.cluster);
+      if (!sub.id.empty()) out.request_ids.push_back(sub.id);
+      continue;
+    }
+    if (portal.step()) {
+      if (++steps >= config.max_steps) break;
+      continue;
+    }
+    if (next >= schedule.size()) break;
+    fabric.advance_clock(schedule[next].at_ms - (fabric.now_ms() - start_ms));
+  }
+  out.steps = steps;
+  out.sim_elapsed_ms = fabric.now_ms() - start_ms;
+
+  std::vector<double> all_latencies;
+  std::map<std::string, std::vector<double>> tenant_latencies;
+  for (const std::string& id : out.request_ids) {
+    const auto status = portal.status(id);
+    if (!status.ok()) continue;
+    ++out.submitted;
+    TenantOutcome& t = out.tenants[status->tenant];
+    ++t.submitted;
+    switch (status->state) {
+      case RequestState::kShed: ++out.shed; ++t.shed; break;
+      case RequestState::kDone: ++out.done; ++t.done; break;
+      case RequestState::kPartial: ++out.partial; ++t.partial; break;
+      case RequestState::kFailed: ++out.failed; ++t.failed; break;
+      default: break;
+    }
+    if (status->state == RequestState::kDone ||
+        status->state == RequestState::kPartial) {
+      all_latencies.push_back(status->latency_ms());
+      tenant_latencies[status->tenant].push_back(status->latency_ms());
+    }
+  }
+  out.latency = summarize(std::move(all_latencies));
+  for (auto& [name, lats] : tenant_latencies) {
+    out.tenants[name].latency = summarize(std::move(lats));
+  }
+  if (out.sim_elapsed_ms > 0.0) {
+    out.goodput_per_s = static_cast<double>(out.done + out.partial) /
+                        (out.sim_elapsed_ms / 1000.0);
+  }
+  if (out.submitted > 0) {
+    out.shed_rate =
+        static_cast<double>(out.shed) / static_cast<double>(out.submitted);
+  }
+  out.portal = portal.stats();
+  return out;
+}
+
+double measure_mean_service_ms(Portal& portal,
+                               const std::vector<std::string>& clusters) {
+  if (clusters.empty()) return 0.0;
+  double total = 0.0;
+  std::size_t runs = 0;
+  for (const std::string& cluster : clusters) {
+    const auto outcome = portal.run_analysis(cluster);
+    if (!outcome.ok()) continue;
+    total += outcome.trace.total_ms();
+    ++runs;
+  }
+  return runs == 0 ? 0.0 : total / static_cast<double>(runs);
+}
+
+}  // namespace nvo::portal

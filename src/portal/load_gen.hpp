@@ -1,0 +1,97 @@
+// Open-loop load generation for the async portal: per-tenant Poisson
+// arrival processes with occasional synchronized bursts, replayed on the
+// simulated fabric clock. Open-loop means arrivals do NOT wait for
+// completions — exactly the regime where admission control and load
+// shedding earn their keep — so the offered rate is set by the overload
+// factor, not by the portal's throughput.
+//
+// The generator is deterministic: one seed fixes the full arrival schedule
+// (per-tenant forked streams), so a bench or test replays identically.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "portal/async_portal.hpp"
+
+namespace nvo::portal {
+
+/// One synthetic tenant: its DRR weight, the clusters it cycles through
+/// (shared cluster lists across tenants are what exercise cross-request
+/// memoization), and its share of the offered load.
+struct LoadTenantSpec {
+  std::string tenant;
+  double weight = 1.0;
+  std::vector<std::string> clusters;
+  double rate_scale = 1.0;  ///< share of the total offered rate
+};
+
+struct LoadConfig {
+  /// Calibrated mean per-request service time (simulated ms); the offered
+  /// rate is overload / mean_service_ms across all tenants. Must be > 0 —
+  /// use measure_mean_service_ms() to calibrate.
+  double mean_service_ms = 1000.0;
+  /// Offered-load multiple of the portal's single-stream capacity: 1.0 is
+  /// critically loaded, 5.0 is deep overload.
+  double overload = 1.0;
+  std::size_t requests_per_tenant = 20;
+  /// Probability that an arrival is a synchronized burst instead of a
+  /// single request (bursts stress the bounded queues).
+  double burst_fraction = 0.25;
+  std::size_t burst_size = 4;
+  std::uint64_t seed = 42;
+  /// Scheduler-step safety valve for the drive loop.
+  std::size_t max_steps = 2'000'000;
+};
+
+/// Exact-order latency statistics (not histogram-estimated); completed
+/// (done + partial) requests only.
+struct LatencySummary {
+  std::size_t count = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct TenantOutcome {
+  std::size_t submitted = 0;
+  std::size_t shed = 0;
+  std::size_t done = 0;
+  std::size_t partial = 0;
+  std::size_t failed = 0;
+  LatencySummary latency;
+};
+
+struct LoadOutcome {
+  std::size_t submitted = 0;
+  std::size_t shed = 0;
+  std::size_t done = 0;
+  std::size_t partial = 0;
+  std::size_t failed = 0;
+  double sim_elapsed_ms = 0.0;  ///< fabric clock advance over the run
+  std::size_t steps = 0;        ///< scheduler units executed
+  double goodput_per_s = 0.0;   ///< (done + partial) per simulated second
+  double shed_rate = 0.0;       ///< shed / submitted
+  LatencySummary latency;
+  AsyncPortal::Stats portal;    ///< portal counters at end of run
+  std::map<std::string, TenantOutcome> tenants;
+  std::vector<std::string> request_ids;  ///< in submission order
+};
+
+/// Registers the spec'd tenants on the portal, generates the arrival
+/// schedule, drives submissions and portal.step() interleaved on the fabric
+/// clock until every arrival is terminal (or max_steps), and summarizes.
+/// Clusters must already be added to the portal.
+LoadOutcome run_load(AsyncPortal& portal, services::HttpFabric& fabric,
+                     const std::vector<LoadTenantSpec>& specs,
+                     const LoadConfig& config);
+
+/// Calibrates LoadConfig::mean_service_ms: runs each cluster once through a
+/// plain synchronous Portal and averages the traced per-request service
+/// time. Run it against a scratch portal/compute pair — it warms caches.
+double measure_mean_service_ms(Portal& portal,
+                               const std::vector<std::string>& clusters);
+
+}  // namespace nvo::portal

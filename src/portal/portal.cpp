@@ -450,6 +450,11 @@ Portal::AnalysisOutcome Portal::run_analysis(const std::string& cluster_name) {
   const double before_compute = fabric_.metrics().total_elapsed_ms;
   auto status_url = compute_.gal_morph_compute(compute_input, cluster_name);
   if (!status_url.ok()) return fail(status_url.error());
+  // The unique request id rides in the status URL ("...?id=req-N"); keep it
+  // so the service trace can be found again after other requests interleave.
+  if (const auto pos = status_url->find("id="); pos != std::string::npos) {
+    trace.compute_request_id = status_url->substr(pos + 3);
+  }
   std::string result_url;
   for (int i = 0; i < config_.poll_limit; ++i) {
     auto poll = compute_.poll(status_url.value());
@@ -472,7 +477,7 @@ Portal::AnalysisOutcome Portal::run_analysis(const std::string& cluster_name) {
   // Simulated compute latency: the service's own accounting (staging +
   // makespan) plus the polling round-trips recorded by the fabric.
   trace.compute_wait_ms += fabric_.metrics().total_elapsed_ms - before_compute;
-  if (const ServiceTrace* st = compute_.last_trace()) {
+  if (const ServiceTrace* st = compute_.trace(trace.compute_request_id)) {
     trace.compute_wait_ms += st->total_sim_seconds * 1000.0;
   }
   compute_span.count("polls", static_cast<double>(trace.polls));

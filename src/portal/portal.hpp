@@ -85,6 +85,11 @@ struct PortalTrace {
   std::size_t galaxies = 0;
   std::size_t valid = 0;
   std::size_t invalid = 0;
+  /// Compute-service request id ("req-N") of this run's submission; empty
+  /// when the run failed before reaching the compute stage. Callers use
+  /// MorphologyService::trace(id) with this instead of last_trace(), which
+  /// is wrong once runs from several portals interleave on one service.
+  std::string compute_request_id;
 
   // Resilience accounting, summed over the portal's archive interactions.
   std::vector<ArchiveStatus> archives;

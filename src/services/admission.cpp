@@ -1,0 +1,151 @@
+#include "services/admission.hpp"
+
+#include <algorithm>
+
+namespace nvo::services {
+
+const char* to_string(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kAdmitted: return "admitted";
+    case ShedReason::kTenantQueueFull: return "tenant_queue_full";
+    case ShedReason::kGlobalQueueFull: return "global_queue_full";
+    case ShedReason::kByteBudget: return "byte_budget";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+// ---------------------------------------------------------------------------
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {}
+
+AdmissionDecision AdmissionController::offer(const std::string& tenant,
+                                             std::size_t estimated_bytes) {
+  ++stats_.offered;
+  const auto shed = [&](ShedReason reason, std::size_t backlog) {
+    AdmissionDecision d;
+    d.admitted = false;
+    d.reason = reason;
+    d.retry_after_ms = config_.retry_after_floor_ms +
+                       config_.retry_after_per_queued_ms *
+                           static_cast<double>(backlog);
+    switch (reason) {
+      case ShedReason::kTenantQueueFull: ++stats_.shed_tenant_queue; break;
+      case ShedReason::kGlobalQueueFull: ++stats_.shed_global_queue; break;
+      case ShedReason::kByteBudget: ++stats_.shed_byte_budget; break;
+      case ShedReason::kAdmitted: break;
+    }
+    return d;
+  };
+
+  const std::size_t tenant_depth = queued(tenant);
+  if (config_.per_tenant_queue_limit > 0 &&
+      tenant_depth >= config_.per_tenant_queue_limit) {
+    return shed(ShedReason::kTenantQueueFull, tenant_depth);
+  }
+  if (config_.global_queue_limit > 0 &&
+      stats_.queued >= config_.global_queue_limit) {
+    return shed(ShedReason::kGlobalQueueFull, stats_.queued);
+  }
+  if (config_.queued_bytes_budget > 0 &&
+      stats_.queued_bytes + estimated_bytes > config_.queued_bytes_budget) {
+    return shed(ShedReason::kByteBudget, stats_.queued);
+  }
+
+  ++stats_.admitted;
+  ++per_tenant_[tenant];
+  ++stats_.queued;
+  stats_.queued_bytes += estimated_bytes;
+  stats_.max_queued = std::max(stats_.max_queued, stats_.queued);
+  stats_.max_queued_bytes = std::max(stats_.max_queued_bytes, stats_.queued_bytes);
+  return AdmissionDecision{};
+}
+
+void AdmissionController::release(const std::string& tenant,
+                                  std::size_t estimated_bytes) {
+  const auto it = per_tenant_.find(tenant);
+  if (it != per_tenant_.end() && it->second > 0) --it->second;
+  if (stats_.queued > 0) --stats_.queued;
+  stats_.queued_bytes -= std::min(stats_.queued_bytes, estimated_bytes);
+}
+
+std::size_t AdmissionController::queued(const std::string& tenant) const {
+  const auto it = per_tenant_.find(tenant);
+  return it == per_tenant_.end() ? 0 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// DeficitRoundRobin
+// ---------------------------------------------------------------------------
+
+DeficitRoundRobin::DeficitRoundRobin(DrrConfig config) : config_(config) {}
+
+void DeficitRoundRobin::set_weight(const std::string& tenant, double weight) {
+  weights_[tenant] = std::max(weight, 1e-6);
+}
+
+double DeficitRoundRobin::weight(const std::string& tenant) const {
+  const auto it = weights_.find(tenant);
+  return it == weights_.end() ? 1.0 : it->second;
+}
+
+void DeficitRoundRobin::activate(const std::string& tenant) {
+  if (active(tenant)) return;
+  ring_.push_back(tenant);
+  deficits_.emplace(tenant, 0.0);
+}
+
+void DeficitRoundRobin::deactivate(const std::string& tenant) {
+  const auto it = std::find(ring_.begin(), ring_.end(), tenant);
+  if (it == ring_.end()) return;
+  const auto idx = static_cast<std::size_t>(it - ring_.begin());
+  ring_.erase(it);
+  // An idle tenant forfeits its credit: fairness is over backlogged tenants.
+  deficits_.erase(tenant);
+  if (idx < cursor_) --cursor_;
+  if (cursor_ >= ring_.size()) cursor_ = 0;
+}
+
+bool DeficitRoundRobin::active(const std::string& tenant) const {
+  return std::find(ring_.begin(), ring_.end(), tenant) != ring_.end();
+}
+
+std::string DeficitRoundRobin::pick() {
+  if (ring_.empty()) return {};
+  // Deficits are bounded below by one stage's overdraft, so a bounded
+  // number of quantum top-ups always surfaces a serviceable tenant; the cap
+  // is a safety net against degenerate weight/quantum choices.
+  constexpr std::size_t kMaxTopups = 1u << 20;
+  for (std::size_t round = 0; round < kMaxTopups; ++round) {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      const std::size_t idx = (cursor_ + i) % ring_.size();
+      if (deficits_[ring_[idx]] >= 0.0) {
+        cursor_ = idx;  // keep serving this tenant while its credit lasts
+        return ring_[idx];
+      }
+    }
+    // Everyone is in debt: a service round is over. Rotate past the
+    // last-served tenant before extending credit, so the new round starts
+    // with its successor (plain round robin under equal weights) instead of
+    // re-serving whoever happened to run last.
+    cursor_ = (cursor_ + 1) % ring_.size();
+    for (const std::string& t : ring_) {
+      deficits_[t] += config_.quantum_ms * weight(t);
+    }
+  }
+  return ring_[cursor_ % ring_.size()];
+}
+
+void DeficitRoundRobin::charge(const std::string& tenant, double cost_ms) {
+  const auto it = deficits_.find(tenant);
+  if (it != deficits_.end()) it->second -= cost_ms;
+}
+
+double DeficitRoundRobin::deficit(const std::string& tenant) const {
+  const auto it = deficits_.find(tenant);
+  return it == deficits_.end() ? 0.0 : it->second;
+}
+
+}  // namespace nvo::services

@@ -1,0 +1,142 @@
+// Overload control for the multi-tenant portal front-end: admission with
+// bounded per-tenant and global queues plus a byte budget over queued work
+// (explicit load shedding with retry-after, instead of queue collapse), and
+// deficit-round-robin fair scheduling across tenants.
+//
+// Both classes are deliberately mechanism-only — no threads, no clocks of
+// their own. The caller (portal::AsyncPortal) drives them from its
+// discrete-event loop on the fabric's simulated clock and charges actual
+// simulated milliseconds, so fairness is measured in the same currency as
+// every latency in this system.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nvo::services {
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+struct AdmissionConfig {
+  /// Max queued (admitted, not yet running) requests per tenant.
+  std::size_t per_tenant_queue_limit = 8;
+  /// Max queued requests across every tenant.
+  std::size_t global_queue_limit = 32;
+  /// Budget over the estimated bytes of queued work; 0 disables. A third
+  /// shedding axis for workloads whose requests differ wildly in size.
+  std::size_t queued_bytes_budget = 0;
+  /// Retry-after = floor + per_queued * (backlog the request ran into):
+  /// the deeper the congestion, the longer the client is told to stay away.
+  double retry_after_floor_ms = 500.0;
+  double retry_after_per_queued_ms = 250.0;
+};
+
+/// Why a request was shed (or kAdmitted).
+enum class ShedReason { kAdmitted, kTenantQueueFull, kGlobalQueueFull, kByteBudget };
+const char* to_string(ShedReason reason);
+
+struct AdmissionDecision {
+  bool admitted = true;
+  ShedReason reason = ShedReason::kAdmitted;
+  /// Explicit back-pressure signal handed to the client on a shed; 0 when
+  /// admitted.
+  double retry_after_ms = 0.0;
+};
+
+struct AdmissionStats {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_tenant_queue = 0;
+  std::uint64_t shed_global_queue = 0;
+  std::uint64_t shed_byte_budget = 0;
+  std::size_t queued = 0;        ///< current global queue depth
+  std::size_t queued_bytes = 0;  ///< current estimated queued bytes
+  /// High-water marks: the bounded-memory proof — they can never exceed the
+  /// configured limits no matter the offered load.
+  std::size_t max_queued = 0;
+  std::size_t max_queued_bytes = 0;
+
+  std::uint64_t shed_total() const {
+    return shed_tenant_queue + shed_global_queue + shed_byte_budget;
+  }
+};
+
+/// Decides, at submission time and in O(1), whether a request may join the
+/// queue. Shedding is instantaneous and explicit — the caller gets a reason
+/// and a retry-after, never a timeout. Not thread-safe (driven by the
+/// single-threaded portal scheduler).
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config = {});
+
+  /// Offers one request of `estimated_bytes`. On admit, the queue
+  /// accounting is charged; the caller must call release() exactly once
+  /// when the request leaves the queue (starts running, or is abandoned).
+  AdmissionDecision offer(const std::string& tenant, std::size_t estimated_bytes);
+  void release(const std::string& tenant, std::size_t estimated_bytes);
+
+  std::size_t queued(const std::string& tenant) const;
+  const AdmissionStats& stats() const { return stats_; }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  AdmissionStats stats_;
+  std::map<std::string, std::size_t> per_tenant_;
+};
+
+// ---------------------------------------------------------------------------
+// Deficit round robin
+// ---------------------------------------------------------------------------
+
+struct DrrConfig {
+  /// Simulated milliseconds of service granted per tenant per top-up round,
+  /// scaled by the tenant's weight. Smaller quanta interleave tenants at
+  /// finer granularity; larger quanta approach run-to-completion.
+  double quantum_ms = 250.0;
+};
+
+/// Deficit round robin over tenants, with post-charging: pick() returns a
+/// tenant whose deficit is non-negative (topping everyone up by
+/// quantum*weight when all are in debt), the caller runs one scheduling
+/// unit and charges the *actual* simulated cost afterwards. Because stage
+/// costs are unknown in advance, a tenant can overdraw by at most one
+/// stage; the debt is repaid before it is served again, so long-run service
+/// shares converge to the weights. Idle tenants are deactivated and their
+/// deficit reset — a tenant cannot bank credit while it has no backlog.
+class DeficitRoundRobin {
+ public:
+  explicit DeficitRoundRobin(DrrConfig config = {});
+
+  /// Relative service share; default 1.0. May be set before or after
+  /// activation.
+  void set_weight(const std::string& tenant, double weight);
+  double weight(const std::string& tenant) const;
+
+  /// Marks the tenant as having backlog (idempotent).
+  void activate(const std::string& tenant);
+  /// Removes the tenant from the ring and forfeits its deficit (idempotent).
+  void deactivate(const std::string& tenant);
+  bool active(const std::string& tenant) const;
+  std::size_t active_count() const { return ring_.size(); }
+
+  /// Next tenant to serve ("" when none active). Deterministic: round-robin
+  /// order over activation sequence, gated by deficits.
+  std::string pick();
+  /// Charges actual cost after serving (may push the deficit negative).
+  void charge(const std::string& tenant, double cost_ms);
+  double deficit(const std::string& tenant) const;
+
+ private:
+  DrrConfig config_;
+  std::map<std::string, double> weights_;
+  std::map<std::string, double> deficits_;
+  std::vector<std::string> ring_;  ///< active tenants, activation order
+  std::size_t cursor_ = 0;         ///< ring index served last (or next)
+};
+
+}  // namespace nvo::services

@@ -63,7 +63,7 @@ ReplicaCache::Payload ReplicaCache::get(const std::string& lfn) {
     }
   }
   // Outside the shard lock: deregister the dropped replica like an eviction.
-  if (heal && on_evict_) on_evict_(lfn);
+  if (heal) notify_evicted(lfn);
   return nullptr;
 }
 
@@ -110,10 +110,19 @@ ReplicaCache::Payload ReplicaCache::put(const std::string& lfn,
       ++s.evictions;
     }
   }
-  if (on_evict_) {
-    for (const std::string& victim : evicted) on_evict_(victim);
-  }
+  for (const std::string& victim : evicted) notify_evicted(victim);
   return payload;
+}
+
+void ReplicaCache::notify_evicted(const std::string& lfn) {
+  EvictionCallback cb;
+  {
+    std::lock_guard<std::mutex> lock(cb_mu_);
+    cb = on_evict_;
+  }
+  // Invoked with no lock held: the callback may re-enter the cache (see the
+  // lock-discipline note on EvictionCallback).
+  if (cb) cb(lfn);
 }
 
 std::uint64_t ReplicaCache::digest_of(const std::string& lfn) const {
@@ -130,6 +139,7 @@ bool ReplicaCache::contains(const std::string& lfn) const {
 }
 
 void ReplicaCache::set_eviction_callback(EvictionCallback cb) {
+  std::lock_guard<std::mutex> lock(cb_mu_);
   on_evict_ = std::move(cb);
 }
 

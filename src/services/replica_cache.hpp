@@ -34,8 +34,19 @@ struct ReplicaCacheConfig {
 class ReplicaCache {
  public:
   using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
-  /// Invoked (outside any shard lock) for every entry dropped by the LRU
-  /// policy; owners use it to deregister the replica from the RLS/grid.
+  /// Invoked for every entry dropped by the LRU policy (and for self-healed
+  /// integrity mismatches); owners use it to deregister the replica from
+  /// the RLS/grid.
+  ///
+  /// Lock discipline: the callback always fires OUTSIDE every shard lock,
+  /// and the callback slot itself is guarded by a dedicated mutex that is
+  /// released before invocation. Re-entrant calls into the same cache from
+  /// inside the callback — get/put/contains/digest_of/stats, and even
+  /// set_eviction_callback — are therefore safe; a re-entrant put may
+  /// trigger nested evictions, whose callbacks fire in nesting order. The
+  /// one obligation on the callback is termination: a put from inside a
+  /// callback that always overflows the budget recurses until it evicts
+  /// nothing new.
   using EvictionCallback = std::function<void(const std::string& lfn)>;
 
   explicit ReplicaCache(ReplicaCacheConfig config = {});
@@ -103,9 +114,14 @@ class ReplicaCache {
   Shard& shard_for(const std::string& lfn);
   const Shard& shard_for(const std::string& lfn) const;
 
+  /// Copies the callback out under cb_mu_ (so set_eviction_callback can
+  /// race with eviction paths) and invokes it unlocked.
+  void notify_evicted(const std::string& lfn);
+
   ReplicaCacheConfig config_;
   std::size_t shard_budget_ = 0;  ///< per-shard slice of the byte budget
   std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex cb_mu_;  ///< guards on_evict_ only; never held in calls
   EvictionCallback on_evict_;
 };
 

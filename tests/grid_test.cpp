@@ -653,6 +653,60 @@ TEST(CheckpointJournal, ForeignHeaderIsAnError) {
   EXPECT_FALSE(j.ok());
 }
 
+TEST(CheckpointJournal, KillDuringRacingAppendsRecoversTheCleanPrefix) {
+  // The crash model the journal promises to survive: many threads appending
+  // when the process dies mid-write. Simulated by chopping the file inside
+  // the last record. Recovery must keep every complete record, drop exactly
+  // the torn tail, and accept clean appends afterwards.
+  const std::string path = temp_journal_path("racing_kill");
+  constexpr int kRecords = 48;
+  {
+    auto j = CheckpointJournal::open(path, true);
+    ASSERT_TRUE(j.ok());
+    ThreadPool pool(4);
+    for (int i = 0; i < kRecords; ++i) {
+      pool.submit([&journal = **j, i] {
+        (void)journal.append("row", "g" + std::to_string(i),
+                             "payload-" + std::to_string(i));
+      });
+    }
+    pool.wait_idle();
+  }
+  // The kill: tear bytes off the tail, mid-record.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, bytes.size() - 5);
+  }
+  std::set<std::string> survivors;
+  {
+    auto j = CheckpointJournal::open(path);
+    ASSERT_TRUE(j.ok());
+    // Exactly one record was torn; every complete one survived. Which keys
+    // survived depends on the racy append order, but the count does not.
+    EXPECT_EQ((*j)->stats().records_loaded, kRecords - 1u);
+    EXPECT_EQ((*j)->stats().truncated_records, 1u);
+    EXPECT_EQ((*j)->count("row"), kRecords - 1u);
+    for (int i = 0; i < kRecords; ++i) {
+      const std::string key = "g" + std::to_string(i);
+      if ((*j)->has("row", key)) survivors.insert(key);
+    }
+    EXPECT_EQ(survivors.size(), kRecords - 1u);
+    // Appends after recovery extend the clean prefix.
+    ASSERT_TRUE((*j)->append("row", "post_recovery", "v").ok());
+  }
+  auto again = CheckpointJournal::open(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->stats().records_loaded, kRecords);  // 47 + the re-append
+  EXPECT_EQ((*again)->stats().truncated_records, 0u);
+  EXPECT_TRUE((*again)->has("row", "post_recovery"));
+  for (const std::string& key : survivors) {
+    EXPECT_TRUE((*again)->has("row", key)) << key;
+  }
+}
+
 TEST(CheckpointJournal, ConcurrentAppendsAllSurvive) {
   const std::string path = temp_journal_path("concurrent");
   {

@@ -109,6 +109,34 @@ TEST(QuarantineList, QuarantineExpiresOnTheClockAndReleasesEarly) {
   EXPECT_EQ(q.stats().releases, 1u);
 }
 
+TEST(QuarantineList, EarlyReleaseReopensTheResourceImmediately) {
+  integrity::QuarantineList q;
+  // Long quarantine, then a verified fetch releases it early: the resource
+  // must be usable at once, not at expiry, and the accounting must show the
+  // skip/release history.
+  q.quarantine("mast.sim", "/img?id=G7", 0.0, 1e9);
+  EXPECT_EQ(q.active(1.0), 1u);
+  q.count_skip();
+  q.count_skip();
+  EXPECT_TRUE(q.is_quarantined("mast.sim", "/img?id=G7", 1.0));
+
+  q.release("mast.sim", "/img?id=G7");
+  EXPECT_FALSE(q.is_quarantined("mast.sim", "/img?id=G7", 2.0));
+  EXPECT_EQ(q.active(2.0), 0u);
+
+  // Releasing an absent entry is a no-op and NOT counted — `releases`
+  // tracks real early releases only.
+  q.release("mast.sim", "/img?id=NEVER");
+
+  // Re-quarantine after release works — release does not whitelist.
+  q.quarantine("mast.sim", "/img?id=G7", 10.0, 100.0);
+  EXPECT_TRUE(q.is_quarantined("mast.sim", "/img?id=G7", 20.0));
+
+  EXPECT_EQ(q.stats().quarantines, 2u);
+  EXPECT_EQ(q.stats().releases, 1u);
+  EXPECT_EQ(q.stats().skips, 2u);
+}
+
 // ---------------------------------------------------------------------------
 // ResilientClient: verify-after-transfer, retry, quarantine, failover
 // ---------------------------------------------------------------------------

@@ -101,6 +101,79 @@ TEST(ReplicaCache, EmptyPayloadIsResident) {
   EXPECT_EQ(cache.stats().hits, 1u);
 }
 
+TEST(ReplicaCache, EvictionCallbackMayReenterTheCache) {
+  // The lock-discipline contract (replica_cache.hpp): callbacks fire
+  // OUTSIDE every shard lock and the callback-slot lock, so a callback may
+  // call straight back into the cache — get/put/contains/stats and even
+  // set_eviction_callback — without deadlocking.
+  ReplicaCacheConfig config;
+  config.byte_budget = 250;
+  config.shards = 1;
+  ReplicaCache cache(config);
+
+  std::vector<std::string> evicted;
+  int depth = 0;
+  cache.set_eviction_callback([&](const std::string& lfn) {
+    evicted.push_back(lfn);
+    EXPECT_LE(++depth, 2);  // the nested put below evicts at depth 2, no more
+    // Re-entrant reads are safe mid-eviction...
+    EXPECT_FALSE(cache.contains(lfn));
+    (void)cache.get(lfn);
+    (void)cache.stats();
+    // ...and so is a re-entrant put, whose own eviction nests one level.
+    if (depth == 1) cache.put("nested_" + lfn, payload_bytes(100, 9));
+    --depth;
+  });
+
+  cache.put("a", payload_bytes(100, 1));
+  cache.put("b", payload_bytes(100, 2));
+  // Over budget: "a" goes; the callback's nested put of "nested_a" pushes
+  // the cache over budget again and evicts "b" from inside the callback.
+  cache.put("c", payload_bytes(100, 3));
+  EXPECT_EQ(evicted, std::vector<std::string>({"a", "b"}));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_TRUE(cache.contains("nested_a"));
+
+  // A callback may replace itself; the swap must not fire mid-callback
+  // state on later evictions.
+  cache.set_eviction_callback(nullptr);
+  cache.put("d", payload_bytes(200, 4));
+  EXPECT_EQ(evicted.size(), 2u);  // silent after reset
+}
+
+TEST(ReplicaCache, SetEvictionCallbackRacesWithEvictions) {
+  // set_eviction_callback vs concurrent puts that evict: the callback slot
+  // is read under its own mutex and invoked on a copy, so swapping it while
+  // shards evict is data-race-free (the TSan lane is the real assertion).
+  ReplicaCacheConfig config;
+  config.byte_budget = 4 * 1024;
+  config.shards = 4;
+  ReplicaCache cache(config);
+  std::atomic<std::uint64_t> fired{0};
+  std::atomic<bool> stop{false};
+
+  std::thread swapper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      cache.set_eviction_callback(
+          [&](const std::string&) { fired.fetch_add(1, std::memory_order_relaxed); });
+      cache.set_eviction_callback(nullptr);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&cache, t] {
+      for (int i = 0; i < 1000; ++i) {
+        (void)cache.put("k" + std::to_string((t * 13 + i) % 32),
+                        std::vector<std::uint8_t>(512, 1));
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  swapper.join();
+  EXPECT_GT(cache.stats().evictions, 0u);  // the race window actually opened
+}
+
 TEST(ReplicaCache, ShardedConcurrentAccessSmoke) {
   // Overlapping keys from many threads while the budget forces eviction:
   // run under ASan/TSan for the real assertions; here we check the

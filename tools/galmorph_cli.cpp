@@ -33,6 +33,16 @@
 //     --scratch <dir>     spill sorted runs to this directory (default:
 //                         in-memory runs)
 //
+// Portal-load mode (the multi-tenant async portal under open-loop load):
+//     --portal-load       drive Poisson+burst arrivals through the async
+//                         portal and report latency/goodput/shed per tenant
+//     --tenants <n>       synthetic tenant count         (default 3)
+//     --overload <f>      offered load as a multiple of calibrated
+//                         single-stream capacity         (default 2)
+//     --requests <n>      arrivals per tenant            (default 10)
+//     --seed <n>          arrival-schedule seed          (default 42)
+//     --scale, --metrics-out as in portal mode
+//
 // Either mode:
 //     --threads <n>       compute pool size; NVO_THREADS env is the
 //                         fallback (default: portal 2, survey 1)
@@ -40,6 +50,7 @@
 // Prints one line per galaxy: id, validity, SB, C, A, r_p — and exits
 // nonzero only on usage errors (bad images produce invalid rows, not
 // failures, per the paper's fault-tolerance design).
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -50,6 +61,8 @@
 
 #include "analysis/campaign.hpp"
 #include "analysis/survey.hpp"
+#include "portal/async_portal.hpp"
+#include "portal/load_gen.hpp"
 #include "common/strings.hpp"
 #include "core/galmorph.hpp"
 #include "image/fits.hpp"
@@ -72,6 +85,8 @@ void usage() {
                "                [--checkpoint-out journal] [--resume journal]\n"
                "       galmorph --survey [--target n] [--cutout px] [--out catalog.vot]\n"
                "                [--scratch dir]\n"
+               "       galmorph --portal-load [--tenants n] [--overload f] [--requests n]\n"
+               "                [--seed n] [--scale s] [--metrics-out metrics.json]\n"
                "       common:  [--threads n]   (or NVO_THREADS in the environment)\n");
 }
 
@@ -216,6 +231,114 @@ int run_survey_mode(std::size_t target, int cutout, const std::string& out_path,
   return 0;
 }
 
+// The multi-tenant async portal under open-loop Poisson+burst load: builds
+// a campaign-backed AsyncPortal, calibrates mean service time on a scratch
+// campaign, then replays a deterministic arrival schedule and reports
+// latency/goodput/shed totals and the per-tenant breakdown.
+int run_portal_load_mode(std::size_t tenants, double overload,
+                         std::size_t requests, std::uint64_t seed, double scale,
+                         const std::string& metrics_out, std::size_t threads) {
+  analysis::CampaignConfig cfg;
+  cfg.population_scale = scale;
+  if (threads > 0) cfg.compute_threads = threads;
+
+  const auto clusters_of = [](const analysis::Campaign& campaign) {
+    std::vector<portal::ClusterEntry> entries;
+    for (const sim::Cluster& c : campaign.universe().clusters()) {
+      portal::ClusterEntry entry;
+      entry.name = c.name();
+      entry.position = c.center();
+      entry.redshift = c.redshift();
+      entry.search_radius_deg = c.spec.extent_arcmin / 60.0;
+      entries.push_back(entry);
+    }
+    return entries;
+  };
+
+  // Calibrate on a throwaway campaign so the measured runs do not warm the
+  // load run's caches.
+  double mean_service_ms = 0.0;
+  {
+    analysis::Campaign scratch(cfg);
+    std::vector<std::string> names;
+    for (const auto& e : clusters_of(scratch)) {
+      names.push_back(e.name);
+      if (names.size() == 3) break;
+    }
+    mean_service_ms = portal::measure_mean_service_ms(scratch.portal(), names);
+  }
+  if (mean_service_ms <= 0.0) {
+    std::fprintf(stderr, "portal-load: service-time calibration failed\n");
+    return 1;
+  }
+
+  analysis::Campaign campaign(cfg);
+  portal::AsyncPortal async(campaign.fabric(), campaign.federation(),
+                            campaign.compute_service());
+  const auto entries = clusters_of(campaign);
+  for (const auto& e : entries) async.add_cluster(e);
+
+  obs::MetricsRegistry registry;
+
+  // Tenant i cycles through 3 clusters starting at offset i, so every
+  // cluster is wanted by several tenants — the duplicate-derivation load
+  // that cross-request memoization exists for.
+  std::vector<portal::LoadTenantSpec> specs;
+  for (std::size_t i = 0; i < tenants; ++i) {
+    portal::LoadTenantSpec spec;
+    spec.tenant = format("tenant-%zu", i + 1);
+    spec.weight = i == 0 ? 2.0 : 1.0;  // one premium tenant
+    for (std::size_t k = 0; k < 3 && k < entries.size(); ++k) {
+      spec.clusters.push_back(entries[(i + k) % entries.size()].name);
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  portal::LoadConfig load;
+  load.mean_service_ms = mean_service_ms;
+  load.overload = overload;
+  load.requests_per_tenant = requests;
+  load.seed = seed;
+  const portal::LoadOutcome out =
+      portal::run_load(async, campaign.fabric(), specs, load);
+  async.register_metrics(registry);
+
+  std::printf("portal-load: %zu tenants, %.1fx overload, %zu requests/tenant "
+              "(mean service %.0f ms, seed %llu)\n",
+              tenants, overload, requests, mean_service_ms,
+              static_cast<unsigned long long>(seed));
+  std::printf("  %zu submitted: %zu done, %zu partial, %zu failed, %zu shed "
+              "(%.1f%%)\n",
+              out.submitted, out.done, out.partial, out.failed, out.shed,
+              100.0 * out.shed_rate);
+  std::printf("  latency p50 %.0f ms, p99 %.0f ms, max %.0f ms; goodput "
+              "%.3f/s over %.1f simulated s\n",
+              out.latency.p50_ms, out.latency.p99_ms, out.latency.max_ms,
+              out.goodput_per_s, out.sim_elapsed_ms / 1000.0);
+  std::printf("  memoization: %llu recomputes, %llu RLS hits, %llu memo "
+              "serves, %llu coalesced\n",
+              static_cast<unsigned long long>(out.portal.recomputes),
+              static_cast<unsigned long long>(out.portal.compute_cache_hits),
+              static_cast<unsigned long long>(out.portal.memo_hits),
+              static_cast<unsigned long long>(out.portal.coalesced));
+  std::printf("  %-12s %9s %6s %6s %6s %10s %10s\n", "tenant", "submitted",
+              "done", "shed", "fail", "p50_ms", "p99_ms");
+  for (const auto& [name, t] : out.tenants) {
+    std::printf("  %-12s %9zu %6zu %6zu %6zu %10.0f %10.0f\n", name.c_str(),
+                t.submitted, t.done + t.partial, t.shed, t.failed,
+                t.latency.p50_ms, t.latency.p99_ms);
+  }
+
+  if (!metrics_out.empty()) {
+    if (!write_text_file(metrics_out, registry.snapshot().to_json())) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  return out.failed == 0 ? 0 : 1;
+}
+
 image::FitsFile demo_galaxy(sim::MorphType type) {
   sim::GalaxyTruth g;
   g.id = std::string("DEMO_") + sim::to_string(type);
@@ -242,6 +365,11 @@ int main(int argc, char** argv) {
   bool demo = false;
   bool portal_mode = false;
   bool survey_mode = false;
+  bool portal_load_mode = false;
+  double load_tenants = 3;
+  double load_overload = 2.0;
+  double load_requests = 10;
+  double load_seed = 42;
   std::string cluster = "MS1621";
   double portal_scale = 0.05;
   std::string trace_out;
@@ -297,6 +425,16 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (arg == "--survey") {
       survey_mode = true;
+    } else if (arg == "--portal-load") {
+      portal_load_mode = true;
+    } else if (arg == "--tenants") {
+      if (!next_value(load_tenants) || load_tenants < 1) { usage(); return 2; }
+    } else if (arg == "--overload") {
+      if (!next_value(load_overload) || load_overload <= 0) { usage(); return 2; }
+    } else if (arg == "--requests") {
+      if (!next_value(load_requests) || load_requests < 1) { usage(); return 2; }
+    } else if (arg == "--seed") {
+      if (!next_value(load_seed) || load_seed < 0) { usage(); return 2; }
     } else if (arg == "--target") {
       if (!next_value(survey_target) || survey_target < 1) { usage(); return 2; }
     } else if (arg == "--cutout") {
@@ -329,10 +467,20 @@ int main(int argc, char** argv) {
     }
   }
   const std::size_t threads = resolve_threads(cli_threads);
-  if (portal_mode && survey_mode) {
-    std::fprintf(stderr, "--portal and --survey are mutually exclusive\n");
+  if (portal_mode + survey_mode + portal_load_mode > 1) {
+    std::fprintf(stderr,
+                 "--portal, --survey, and --portal-load are mutually "
+                 "exclusive\n");
     usage();
     return 2;
+  }
+  if (portal_load_mode) {
+    if (portal_scale <= 0.0) { usage(); return 2; }
+    return run_portal_load_mode(static_cast<std::size_t>(load_tenants),
+                                load_overload,
+                                static_cast<std::size_t>(load_requests),
+                                static_cast<std::uint64_t>(load_seed),
+                                portal_scale, metrics_out, threads);
   }
   if (portal_mode) {
     return run_portal_mode(cluster, portal_scale, trace_out, metrics_out,

@@ -11,6 +11,13 @@
 # survey throughput >= 3x the campaign data plane at 10^5 galaxies, flat
 # RSS between 2x10^4 and 10^5, and a zero-allocation merge inner loop.
 #
+# And the portal lane (bench_portal -> BENCH_portal.json): the multi-tenant
+# async portal under 1x/2x/5x overload. Gates on >10% p99-latency or goodput
+# regression vs bench/baselines/bench_portal_seed.json, a non-zero shed rate
+# at 5x, and recomputes < requests (cross-request memoization). Those
+# figures are simulated-clock quantities — deterministic across hosts — so
+# the gate compares counters, not wall time.
+#
 # Usage: tools/run_bench.sh [extra google-benchmark flags for bench_s5_campaign]
 #   BUILD_DIR=<dir>     Release build tree (default: <repo>/build-release)
 #   NVO_S5_SCALE=<f>    campaign population scale (default 0.1, matches the
@@ -24,12 +31,14 @@ SCALE="${NVO_S5_SCALE:-0.1}"
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j \
   --target bench_s5_campaign --target bench_fig5_portal \
-  --target bench_a3_morphology_kernel --target bench_survey
+  --target bench_a3_morphology_kernel --target bench_survey \
+  --target bench_portal
 
 TMP="$(mktemp)"
 METRICS_TMP="$(mktemp)"
 SURVEY_TMP="$(mktemp)"
-trap 'rm -f "$TMP" "$METRICS_TMP" "$SURVEY_TMP"' EXIT
+PORTAL_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$METRICS_TMP" "$SURVEY_TMP" "$PORTAL_TMP"' EXIT
 
 echo "=== bench_s5_campaign (NVO_S5_SCALE=$SCALE) ==="
 NVO_S5_SCALE="$SCALE" NVO_S5_METRICS_OUT="$METRICS_TMP" \
@@ -197,4 +206,76 @@ if failures:
         print(f"  {f}", file=sys.stderr)
     sys.exit(1)
 print("OK: survey lane >= 3x campaign, flat RSS, allocation-free merge loop")
+EOF
+
+# --- Portal lane: the multi-tenant async portal under 1x/2x/5x overload ---
+echo "=== bench_portal ==="
+"$BUILD/bench/bench_portal" \
+  --benchmark_out="$PORTAL_TMP" --benchmark_out_format=json
+
+{
+  printf '{\n"baseline": '
+  cat "$ROOT/bench/baselines/bench_portal_seed.json"
+  printf ',\n"current": '
+  cat "$PORTAL_TMP"
+  printf '}\n'
+} > "$ROOT/BENCH_portal.json"
+echo "wrote $ROOT/BENCH_portal.json"
+
+python3 - "$ROOT/BENCH_portal.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def by_name(run):
+    out = {}
+    for b in run["benchmarks"]:
+        name = "/".join(p for p in b["name"].split("/") if ":" not in p)
+        out[name] = b
+    return out
+
+baseline = by_name(doc["baseline"])
+current = by_name(doc["current"])
+failures = []
+
+# The overload sweep reports simulated-clock latency/goodput counters, which
+# are deterministic in the seed: any drift is a real behavior change. The
+# wall-time of the sweep (and the shed-decision microbench) is host noise
+# and carries no gate.
+print(f"{'overload':>8} {'p50_ms':>10} {'p99_ms':>10} {'goodput/s':>10} "
+      f"{'shed%':>6} {'recompute':>9}")
+for arg in ("1", "2", "5"):
+    name = f"BM_PortalOverload/{arg}"
+    base, cur = baseline.get(name), current.get(name)
+    if cur is None or base is None:
+        failures.append(f"{name}: missing from {'current' if base else 'baseline'} run")
+        continue
+    print(f"{arg + 'x':>8} {cur['p50_ms']:>10.1f} {cur['p99_ms']:>10.1f} "
+          f"{cur['goodput_per_s']:>10.3f} {100 * cur['shed_rate']:>5.1f} "
+          f"{cur['recomputes']:>9.0f}")
+    if cur["p99_ms"] > 1.10 * base["p99_ms"]:
+        failures.append(
+            f"{name}: p99 regressed >10% ({base['p99_ms']:.1f} -> {cur['p99_ms']:.1f} ms)")
+    if cur["goodput_per_s"] < 0.90 * base["goodput_per_s"]:
+        failures.append(
+            f"{name}: goodput regressed >10% "
+            f"({base['goodput_per_s']:.3f} -> {cur['goodput_per_s']:.3f}/s)")
+    if cur["recomputes"] >= cur["requests"]:
+        failures.append(
+            f"{name}: memoization inert — {cur['recomputes']:.0f} recomputes "
+            f"for {cur['requests']:.0f} requests")
+
+deep = current.get("BM_PortalOverload/5", {})
+if deep.get("shed_rate", 0.0) <= 0.0:
+    failures.append("BM_PortalOverload/5: no load shed at 5x overload")
+
+if failures:
+    print("\nFAIL:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("OK: portal p99/goodput within 10% of seed; 5x overload sheds; "
+      "recomputes < requests")
 EOF
