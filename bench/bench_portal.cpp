@@ -167,4 +167,18 @@ BENCHMARK(BM_PortalShedDecision);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The distro benchmark library is compiled without NDEBUG and stamps
+  // "library_build_type": "debug" regardless of this binary's flags; restate
+  // provenance from our own build (duplicate key — JSON readers keep the
+  // last one) so tools/run_bench.sh can gate on a release build.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("library_build_type", "release");
+#else
+  benchmark::AddCustomContext("library_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

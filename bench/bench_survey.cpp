@@ -241,6 +241,15 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext(
       "hardware_threads",
       std::to_string(std::thread::hardware_concurrency()));
+  // The distro benchmark library is compiled without NDEBUG and stamps
+  // "library_build_type": "debug" regardless of this binary's flags; restate
+  // provenance from our own build (duplicate key — JSON readers keep the
+  // last one) so tools/run_bench.sh can gate on a release build.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("library_build_type", "release");
+#else
+  benchmark::AddCustomContext("library_build_type", "debug");
+#endif
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

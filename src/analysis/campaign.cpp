@@ -53,6 +53,8 @@ Campaign::Campaign(CampaignConfig config) : config_(config) {
   scfg.retry = config_.retry;
   scfg.breaker = config_.breaker;
   scfg.replica_cache = config_.image_cache;
+  scfg.execution_mode = config_.execution_mode;
+  scfg.stage_in_window = config_.stage_in_window;
   scfg.tracer = config_.tracer;
   scfg.journal = journal_.get();
   scfg.abort_after_nodes = config_.chaos.kill_after_node_completions();

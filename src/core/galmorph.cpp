@@ -173,11 +173,9 @@ Expected<GalMorphResult> GalMorphResult::parse_text(const std::string& text) {
   return out;
 }
 
-votable::Table concat_results(const std::vector<GalMorphResult>& results,
-                              const std::string& table_name) {
+votable::Table morphology_schema(const std::string& table_name) {
   using votable::DataType;
   using votable::Field;
-  using votable::Value;
   votable::Table t({
       Field{"id", DataType::kString, "", "meta.id", "galaxy identifier"},
       Field{"valid", DataType::kBool, "", "meta.code.qual",
@@ -194,23 +192,34 @@ votable::Table concat_results(const std::vector<GalMorphResult>& results,
   });
   t.name = table_name;
   t.description = "galMorph computed morphology parameters";
+  return t;
+}
+
+votable::Row morphology_row(const GalMorphResult& r, std::size_t num_columns) {
+  using votable::Value;
+  votable::Row row;
+  row.reserve(num_columns);
+  row.push_back(Value::of_string(r.galaxy_id));
+  row.push_back(Value::of_bool(r.params.valid));
+  if (r.params.valid) {
+    row.push_back(Value::of_double(r.params.surface_brightness));
+    row.push_back(Value::of_double(r.params.concentration));
+    row.push_back(Value::of_double(r.params.asymmetry));
+    row.push_back(Value::of_double(r.params.petrosian_r));
+    row.push_back(Value::of_double(r.params.snr));
+    row.push_back(Value::of_double(r.kpc_per_arcsec));
+  } else {
+    row.resize(num_columns);  // null measurements
+  }
+  return row;
+}
+
+votable::Table concat_results(const std::vector<GalMorphResult>& results,
+                              const std::string& table_name) {
+  votable::Table t = morphology_schema(table_name);
   t.reserve_rows(results.size());
   for (const GalMorphResult& r : results) {
-    votable::Row row;
-    row.reserve(t.num_columns());
-    row.push_back(Value::of_string(r.galaxy_id));
-    row.push_back(Value::of_bool(r.params.valid));
-    if (r.params.valid) {
-      row.push_back(Value::of_double(r.params.surface_brightness));
-      row.push_back(Value::of_double(r.params.concentration));
-      row.push_back(Value::of_double(r.params.asymmetry));
-      row.push_back(Value::of_double(r.params.petrosian_r));
-      row.push_back(Value::of_double(r.params.snr));
-      row.push_back(Value::of_double(r.kpc_per_arcsec));
-    } else {
-      row.resize(t.num_columns());  // null measurements
-    }
-    (void)t.append_row(std::move(row));
+    (void)t.append_row(morphology_row(r, t.num_columns()));
   }
   return t;
 }

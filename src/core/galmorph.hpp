@@ -77,6 +77,18 @@ GalMorphResult run_gal_morph_bytes(const std::string& galaxy_id,
                                    const GalMorphArgs& args,
                                    const ParallelFor* tile_executor = nullptr);
 
+/// The morphology catalog's schema (fields, name, description) with no
+/// rows: the prologue a streaming serializer needs before any galaxy has
+/// finished. concat_results builds on exactly this table, so batch and
+/// incremental paths share one definition byte-for-byte.
+votable::Table morphology_schema(const std::string& table_name);
+
+/// One catalog row for a result, in morphology_schema column order.
+/// Invalid galaxies carry null measurements ("this prevented a few
+/// failures from taking down the entire experiment").
+votable::Row morphology_row(const GalMorphResult& result,
+                            std::size_t num_columns);
+
 /// The final concatenation: merges per-galaxy products into the output
 /// VOTable. Invalid galaxies appear with valid=false and null measurements
 /// ("this prevented a few failures from taking down the entire

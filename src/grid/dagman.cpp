@@ -26,7 +26,7 @@ const NodeResult* RunReport::result_for(const std::string& id) const {
 
 DagManSim::DagManSim(const Grid& grid, JobCostModel cost, FailureModel failure,
                      std::uint64_t seed)
-    : grid_(grid), cost_(std::move(cost)), failure_(failure), rng_(seed) {}
+    : grid_(grid), cost_(std::move(cost)), failure_(failure), seed_(seed) {}
 
 namespace {
 
@@ -34,11 +34,39 @@ struct SimEvent {
   double time = 0.0;
   std::size_t sequence = 0;  // tie-break for determinism
   std::string node_id;
+  /// A data-readiness wakeup (dispatch the node now) rather than an
+  /// attempt completion.
+  bool ready_wakeup = false;
   bool operator>(const SimEvent& other) const {
     if (time != other.time) return time > other.time;
     return sequence > other.sequence;
   }
 };
+
+/// Per-(node, attempt) failure draw, independent of event order: the same
+/// seed gives every attempt of every node the same verdict whether the
+/// schedule is phase-barriered or pipelined on data arrivals. (A shared
+/// sequential generator would entangle outcomes with completion order and
+/// break the byte-identical-science guarantee across execution modes.)
+/// FNV-1a over the node id, attempt index, and seed, finalized splitmix64-
+/// style for uniformity.
+bool attempt_fails(std::uint64_t seed, const std::string& node_id, int attempt,
+                   double rate) {
+  if (rate <= 0.0) return false;
+  std::uint64_t h = 1469598103934665603ull ^ seed;
+  for (const char c : node_id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= static_cast<std::uint64_t>(attempt);
+  h *= 1099511628211ull;
+  h += 0x9E3779B97F4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
+}
 
 }  // namespace
 
@@ -120,7 +148,7 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
     events.push(SimEvent{now + d, ++sequence, id});
   };
 
-  auto dispatch = [&](const std::string& id) {
+  auto dispatch_now = [&](const std::string& id) {
     const vds::DagNode* n = dag.node(id);
     if (n->type == vds::JobType::kCompute) {
       if (free_slots[n->site] > 0) {
@@ -134,6 +162,21 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
     }
   };
 
+  // Parent-satisfied nodes still wait for their data: a node with a ready
+  // time in the future is parked as a wakeup event instead of being handed
+  // to the site queue (where it would start the moment a slot freed,
+  // before its inputs exist).
+  auto dispatch = [&](const std::string& id) {
+    if (!ready_.empty()) {
+      const auto it = ready_.find(id);
+      if (it != ready_.end() && it->second > now) {
+        events.push(SimEvent{it->second, ++sequence, id, /*ready_wakeup=*/true});
+        return;
+      }
+    }
+    dispatch_now(id);
+  };
+
   // Seed with roots.
   for (const std::string& id : dag.node_ids()) {
     if (waiting_parents[id] == 0) dispatch(id);
@@ -144,10 +187,16 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
     const SimEvent ev = events.top();
     events.pop();
     now = ev.time;
+    if (ev.ready_wakeup) {
+      dispatch_now(ev.node_id);
+      continue;
+    }
     const vds::DagNode* n = dag.node(ev.node_id);
     NodeResult& r = results[ev.node_id];
 
-    // Outcome draw.
+    // Outcome draw, keyed on (node, lifetime draw index) so it is
+    // event-order invariant: barriered and pipelined schedules reach
+    // identical verdicts, while rescue rounds re-running a node draw fresh.
     bool failed = failure_.permanent_failures.count(ev.node_id) != 0;
     if (!failed) {
       const double rate = n->type == vds::JobType::kTransfer
@@ -155,7 +204,7 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
                               : n->type == vds::JobType::kCompute
                                     ? failure_.compute_failure_rate
                                     : 0.0;
-      failed = rate > 0.0 && rng_.bernoulli(rate);
+      failed = attempt_fails(seed_, ev.node_id, ++draw_count_[ev.node_id], rate);
     }
 
     if (failed && r.attempts <= failure_.max_retries) {

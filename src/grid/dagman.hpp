@@ -88,6 +88,18 @@ class DagManSim {
   using NodeCallback = std::function<Status(const NodeResult&)>;
   void set_node_callback(NodeCallback cb) { on_node_ = std::move(cb); }
 
+  /// Data-readiness constraints: a node may not start before its ready
+  /// time (simulated seconds), even with every parent satisfied and a free
+  /// slot. This is how pipelined staging feeds the DAG: the planner's
+  /// ready-on-data edges map each compute node to the stage-in arrivals of
+  /// its inputs, and the executor holds the node until the data has landed
+  /// instead of assuming a phase barrier staged everything at t=0. Nodes
+  /// absent from the map are ready immediately. The map persists across
+  /// run() calls (rescue-DAG resumes reuse it) until replaced.
+  void set_ready_times(std::map<std::string, double> ready_seconds) {
+    ready_ = std::move(ready_seconds);
+  }
+
   /// Executes the concrete DAG. Compute nodes must carry a site that exists
   /// in the grid. Transfer nodes consume no slot (GridFTP streams run
   /// beside the pool); compute nodes hold one slot at their site for their
@@ -98,7 +110,14 @@ class DagManSim {
   const Grid& grid_;
   JobCostModel cost_;
   FailureModel failure_;
-  Rng rng_;
+  std::uint64_t seed_;
+  std::map<std::string, double> ready_;
+  /// Lifetime failure draws per node, persisting across run() calls. Each
+  /// draw's verdict is a pure function of (seed, node, draw index), so
+  /// outcomes are event-order invariant — a pipelined schedule reaches the
+  /// same verdicts as a barriered one — while a rescue-DAG round re-running
+  /// a failed node still gets a fresh draw rather than its old one.
+  std::map<std::string, int> draw_count_;
   NodeCallback on_node_;
 };
 

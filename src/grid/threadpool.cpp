@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 namespace nvo::grid {
@@ -20,7 +21,23 @@ ThreadPool::~ThreadPool() {
   wait_idle();
   for (auto& w : workers_) w.request_stop();
   work_available_.notify_all();
-  // jthread destructors join.
+  for (auto& w : workers_) w.join();
+  // A submit that raced shutdown (enqueued after wait_idle saw the pool
+  // drained, observed by no worker before the stop) would otherwise strand
+  // its task in the queue — destroyed unrun, leaving whatever completion
+  // signal it carried (an in-flight counter, a promise) permanently
+  // unsatisfied. With the workers joined this thread owns the queue; run
+  // the leftovers inline.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard lock(mutex_);
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -41,7 +58,11 @@ void ThreadPool::worker_loop(std::stop_token stop) {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
+      const auto park = std::chrono::steady_clock::now();
       work_available_.wait(lock, stop, [this] { return !queue_.empty(); });
+      idle_ms_ += std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - park)
+                      .count();
       if (queue_.empty()) return;  // stop requested and nothing left
       task = std::move(queue_.front());
       queue_.pop_front();

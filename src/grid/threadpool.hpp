@@ -46,6 +46,17 @@ class ThreadPool {
     return active_;
   }
 
+  /// Cumulative wall milliseconds workers have spent parked on the
+  /// work-available wait, summed across all workers. The direct observable
+  /// for pipeline overlap: a phase-barriered executor idles the pool while
+  /// staging runs; a pipelined one keeps this flat while fetches are in
+  /// flight. Updated when a worker wakes, so the value is stable while no
+  /// work arrives.
+  double idle_ms() const {
+    std::lock_guard lock(mutex_);
+    return idle_ms_;
+  }
+
  private:
   void worker_loop(std::stop_token stop);
 
@@ -54,6 +65,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::size_t active_ = 0;
+  double idle_ms_ = 0.0;
   std::vector<std::jthread> workers_;  // declared last: joins before members die
 };
 

@@ -278,8 +278,12 @@ Expected<PlanResult> Planner::concretize(vds::Dag reduced, std::size_t abstract_
         }
         continue;
       }
-      // Raw input: stage in from a selected replica, unless a copy is
-      // already at the execution site.
+      // Raw input: a ready-on-data edge for dataflow executors, then stage
+      // in from a selected replica, unless a copy is already at the
+      // execution site.
+      if (n->type == vds::JobType::kCompute) {
+        result.data_inputs[id].push_back(lfn);
+      }
       if (grid_.has_file(exec_site, lfn)) continue;
       const auto key = std::make_pair(exec_site, lfn);
       auto it = staged.find(key);

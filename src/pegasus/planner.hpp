@@ -60,6 +60,14 @@ struct PlanResult {
   /// Final products satisfied directly from the RLS (whole request already
   /// materialized).
   std::vector<std::string> reused_outputs;
+  /// Ready-on-data edges: compute node id -> the raw (staged, not produced
+  /// in-workflow) input LFNs it consumes, in the node's input order. A
+  /// dataflow executor keys each node's earliest start on the stage-in
+  /// arrival of these files instead of assuming everything landed before
+  /// the DAG was submitted. Recorded for every compute node with raw
+  /// inputs, whether or not a transfer node was inserted (a replica local
+  /// to the execution site at plan time still had to arrive over the WAN).
+  std::map<std::string, std::vector<std::string>> data_inputs;
 };
 
 class Planner {

@@ -1,10 +1,14 @@
 #include "portal/compute_service.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <queue>
+#include <utility>
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
@@ -13,6 +17,7 @@
 #include "services/integrity.hpp"
 #include "services/obs_bridge.hpp"
 #include "pegasus/request_manager.hpp"
+#include "portal/streaming_merge.hpp"
 #include "portal/transforms.hpp"
 #include "services/sia.hpp"
 #include "votable/votable_io.hpp"
@@ -307,6 +312,20 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   std::vector<core::GalMorphResult> results(trace.galaxies);
   std::vector<std::string> galaxy_ids;
   galaxy_ids.reserve(trace.galaxies);  // exact: element refs stay stable
+  const bool pipelined = config_.execution_mode == ExecutionMode::kPipelined;
+  // Pipelined mode: per-fetch simulated durations in issue order, replayed
+  // below onto stage_in_window concurrent channels to derive each cutout's
+  // arrival time on the sim clock (the barriered mode bills the same
+  // durations sequentially).
+  std::vector<std::pair<std::string, double>> fetch_timeline;
+  // Pipelined mode: rows stream into the output VOTable as galaxies finish
+  // (kernel done + node final) instead of one concat after the (4e)
+  // barrier. Declared before Drain: kernel tasks hold a pointer into it, so
+  // it must outlive the pool drain on every exit path.
+  std::unique_ptr<StreamingCatalogWriter> writer;
+  if (pipelined) {
+    writer = std::make_unique<StreamingCatalogWriter>(out_lfn, results);
+  }
 
   // Declared before Drain so it flushes after the pool is idle: deferred
   // evictions deregister (only if still non-resident) once nothing in this
@@ -332,9 +351,11 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     }
   } deferral{*this};
 
+  // The live count lives in staging_inflight_ (atomic, member) so the
+  // "staging.inflight" gauge can observe it; the mutex/cv pair still
+  // serializes the blocking-bound protocol around it.
   std::mutex inflight_mu;
   std::condition_variable inflight_cv;
-  std::size_t in_flight = 0;
   const std::size_t depth = std::max<std::size_t>(1, config_.prefetch_depth);
   // Any exit path (including mid-staging errors) must drain the pool before
   // the locals the tasks reference go out of scope.
@@ -358,6 +379,9 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
       if (const std::string* row = journal->find("row", ck + *id)) {
         if (decode_result(*row, results[i])) {
           ++trace.rows_resumed;
+          // The journaled row is the kernel's output bit-for-bit; only the
+          // node outcome is still pending for this galaxy's catalog row.
+          if (writer) writer->mark_kernel_done(i);
           continue;
         }
       }
@@ -375,8 +399,10 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     } else {
       const double fetch_before_ms = fabric_.metrics().total_elapsed_ms;
       auto response = client_.get(*url);
-      trace.image_fetch_sim_ms +=
+      const double fetch_ms =
           fabric_.metrics().total_elapsed_ms - fetch_before_ms;
+      trace.image_fetch_sim_ms += fetch_ms;
+      if (pipelined) fetch_timeline.emplace_back(lfn, fetch_ms);
       if (!response.ok() || response->status != 200) {
         // An unreachable image is a per-galaxy failure, not a request
         // failure: cache an empty payload and register it like any other
@@ -408,14 +434,16 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
 
     {
       std::unique_lock lock(inflight_mu);
-      inflight_cv.wait(lock, [&] { return in_flight < depth; });
-      ++in_flight;
+      inflight_cv.wait(lock, [&] {
+        return staging_inflight_.load(std::memory_order_relaxed) < depth;
+      });
+      staging_inflight_.fetch_add(1, std::memory_order_relaxed);
     }
     // The shared_ptr pins the bytes for the kernel even if the cache evicts
     // the entry mid-request.
     pool_.submit([this, i, payload = std::move(payload), z_col, staging_id,
-                  journal, ck, &galaxy_ids, &results, &input, &inflight_mu,
-                  &inflight_cv, &in_flight] {
+                  journal, ck, w = writer.get(), &galaxy_ids, &results, &input,
+                  &inflight_mu, &inflight_cv] {
       obs::Span kernel = config_.tracer
                              ? config_.tracer->span_under(staging_id,
                                                           "kernel.galmorph", "kernel")
@@ -441,9 +469,13 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
         (void)journal->append("row", ck + galaxy_ids[i],
                               encode_result(results[i]));
       }
+      // After this line results[i] is immutable from this thread; the
+      // writer may serialize it (under its own lock) the moment the node
+      // outcome lands.
+      if (w) w->mark_kernel_done(i);
       {
         std::lock_guard lock(inflight_mu);
-        --in_flight;
+        staging_inflight_.fetch_sub(1, std::memory_order_relaxed);
       }
       inflight_cv.notify_one();
     });
@@ -527,9 +559,59 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
       grid_, cost,
       pegasus::unify_retry_budgets(config_.failure, config_.retry.max_attempts),
       config_.seed ^ 0xDA6);
-  if (journal || config_.abort_after_nodes > 0) {
-    dagman.set_node_callback([this, journal, ck](const grid::NodeResult& nr)
+  // Pipelined mode: replay the recorded per-fetch durations onto
+  // stage_in_window concurrent channels (list scheduling: each fetch takes
+  // the earliest-free channel, in issue order) to derive each cutout's
+  // arrival on the sim clock, then hand DagManSim a ready time per compute
+  // node — the node becomes dispatchable the moment its data lands, while
+  // other galaxies are still in flight. Only the timeline changes; the
+  // per-(node, attempt) failure draws are schedule-invariant.
+  if (pipelined && !fetch_timeline.empty()) {
+    const std::size_t window = std::max<std::size_t>(1, config_.stage_in_window);
+    std::priority_queue<double, std::vector<double>, std::greater<>> channels;
+    for (std::size_t c = 0; c < window; ++c) channels.push(0.0);
+    std::map<std::string, double> arrival_ms;
+    for (const auto& [lfn, dur_ms] : fetch_timeline) {
+      const double start = channels.top();
+      channels.pop();
+      const double done = start + dur_ms;
+      channels.push(done);
+      arrival_ms[lfn] = done;
+    }
+    std::map<std::string, double> ready;
+    for (const auto& [node_id, inputs] : trace.plan.data_inputs) {
+      double node_ready_ms = 0.0;
+      for (const std::string& lfn : inputs) {
+        const auto it = arrival_ms.find(lfn);
+        // Absent = cache hit or journal replay: resident before the run.
+        if (it != arrival_ms.end()) {
+          node_ready_ms = std::max(node_ready_ms, it->second);
+        }
+      }
+      if (node_ready_ms > 0.0) ready[node_id] = node_ready_ms / 1000.0;
+    }
+    dagman.set_ready_times(std::move(ready));
+  }
+  // Row index of each galaxy's compute node, for the incremental merge.
+  std::map<std::string, std::size_t> node_row;
+  if (writer) {
+    for (std::size_t i = 0; i < galaxy_ids.size(); ++i) {
+      node_row["m_" + galaxy_ids[i]] = i;
+    }
+  }
+  if (journal || config_.abort_after_nodes > 0 || writer) {
+    dagman.set_node_callback([this, journal, ck, w = writer.get(),
+                              &node_row](const grid::NodeResult& nr)
                                  -> Status {
+      if (w) {
+        // Final outcome for this galaxy's node: its catalog row can be
+        // absorbed as soon as the kernel is also done.
+        const auto it = node_row.find(nr.id);
+        if (it != node_row.end()) {
+          w->mark_node_final(it->second,
+                             nr.outcome == grid::NodeOutcome::kFailed);
+        }
+      }
       if (journal && nr.outcome == grid::NodeOutcome::kSucceeded &&
           !journal->has("node", ck + nr.id)) {
         if (const Status s = journal->append("node", ck + nr.id, ""); !s.ok()) {
@@ -624,11 +706,24 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
 
   // Grid-level failures (when injected) override kernel success: a job that
   // never ran produces no product.
-  for (std::size_t i = 0; i < galaxy_ids.size(); ++i) {
-    const grid::NodeResult* nr = trace.execution.result_for("m_" + galaxy_ids[i]);
-    if (nr && nr->outcome == grid::NodeOutcome::kFailed) {
-      results[i].params.valid = false;
-      results[i].params.failure_reason = "grid job failed";
+  if (writer) {
+    // Sweep rows whose node outcome never went through this run's event
+    // loop — journal-resumed nodes and outcomes recovered by rescue-merge.
+    // mark_node_final is idempotent, so callback-finalized rows are safe.
+    for (std::size_t i = 0; i < galaxy_ids.size(); ++i) {
+      if (writer->node_finalized(i)) continue;
+      const grid::NodeResult* nr =
+          trace.execution.result_for("m_" + galaxy_ids[i]);
+      writer->mark_node_final(i,
+                              nr && nr->outcome == grid::NodeOutcome::kFailed);
+    }
+  } else {
+    for (std::size_t i = 0; i < galaxy_ids.size(); ++i) {
+      const grid::NodeResult* nr = trace.execution.result_for("m_" + galaxy_ids[i]);
+      if (nr && nr->outcome == grid::NodeOutcome::kFailed) {
+        results[i].params.valid = false;
+        results[i].params.failure_reason = "grid job failed";
+      }
     }
   }
   for (const core::GalMorphResult& r : results) {
@@ -639,9 +734,15 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     }
   }
 
-  // (5) Materialize, register, and expose the output VOTable.
-  const votable::Table out_table = core::concat_results(results, out_lfn);
-  state_->results[out_lfn] = votable::to_votable_xml(out_table);
+  // (5) Materialize, register, and expose the output VOTable. The streamed
+  // document is a byte-identical decomposition of the concat path (shared
+  // schema, shared row serialization through VotableXmlStream).
+  if (writer) {
+    state_->results[out_lfn] = writer->finish();
+  } else {
+    const votable::Table out_table = core::concat_results(results, out_lfn);
+    state_->results[out_lfn] = votable::to_votable_xml(out_table);
+  }
   rls_.add(out_lfn, config_.cache_site, record.result_lfn);
   grid_.put_file(config_.cache_site, out_lfn, state_->results[out_lfn].size());
   if (journal) {
@@ -650,8 +751,14 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     (void)journal->append("cluster", out_lfn, state_->results[out_lfn]);
   }
 
+  // Barriered: staging bills sequentially, then the DAG runs. Pipelined:
+  // staging arrivals are folded into the makespan as per-node ready times,
+  // so the makespan alone IS the end-to-end window (fetch latency that
+  // overlapped kernel time is not billed twice).
   trace.total_sim_seconds =
-      trace.image_fetch_sim_ms / 1000.0 + trace.execution.makespan_seconds;
+      pipelined ? trace.execution.makespan_seconds
+                : trace.image_fetch_sim_ms / 1000.0 +
+                      trace.execution.makespan_seconds;
   req.count("valid", static_cast<double>(trace.valid_results));
   req.count("invalid", static_cast<double>(trace.invalid_results));
   record.state = "completed";
@@ -707,14 +814,10 @@ Expected<votable::Table> MorphologyService::fetch_result(
 void MorphologyService::register_metrics(obs::MetricsRegistry& registry) const {
   services::register_metrics(registry, cache_, "cache.replica");
   services::register_metrics(registry, client_, "client.compute");
-  const grid::ThreadPool* pool = &pool_;
-  registry.register_gauge("pool.queue_depth",
-                          [pool] { return static_cast<double>(pool->queue_depth()); });
-  registry.register_gauge("pool.active_tasks", [pool] {
-    return static_cast<double>(pool->active_tasks());
-  });
-  registry.register_gauge("pool.threads", [pool] {
-    return static_cast<double>(pool->num_threads());
+  services::register_metrics(registry, pool_, "pool");
+  const std::atomic<std::size_t>* inflight = &staging_inflight_;
+  registry.register_gauge("staging.inflight", [inflight] {
+    return static_cast<double>(inflight->load(std::memory_order_relaxed));
   });
 }
 

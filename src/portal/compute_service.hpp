@@ -19,6 +19,7 @@
 // request failures (§4.3.1 item 4).
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -46,6 +47,22 @@
 
 namespace nvo::portal {
 
+/// How the simulated workflow execution is scheduled against image staging.
+enum class ExecutionMode {
+  /// Phase barrier: all images stage (sequentially on the sim clock), then
+  /// the DAG runs. The original executor; kept as the overlap baseline and
+  /// as the byte-identity oracle for the pipelined path.
+  kBarriered,
+  /// Event-driven dataflow: stage-in requests occupy a bounded window of
+  /// concurrent channels on the sim clock, each galaxy's compute node
+  /// becomes dispatchable the moment its cutout lands in the replica cache
+  /// (ready-on-data edges through DagManSim::set_ready_times), and finished
+  /// rows are absorbed into the output VOTable incrementally while other
+  /// galaxies are still staging. Science output is byte-identical to
+  /// kBarriered; only the simulated timeline changes.
+  kPipelined,
+};
+
 struct ComputeServiceConfig {
   std::string host = "galmorph.isi.sim";  ///< service host on the fabric
   std::string cache_site = "isi";         ///< grid site holding the image cache
@@ -66,6 +83,14 @@ struct ComputeServiceConfig {
   /// blocks once this many kernel tasks are pending, keeping pinned cutout
   /// memory proportional to the bound rather than the cluster size.
   std::size_t prefetch_depth = 32;
+  /// Execution scheduling mode (see ExecutionMode). Pipelined is the
+  /// default; barriered remains for benchmarking and identity checks.
+  ExecutionMode execution_mode = ExecutionMode::kPipelined;
+  /// Pipelined mode: number of concurrent stage-in channels on the sim
+  /// clock. Fetch latencies overlap each other up to this bound (and all of
+  /// them overlap kernel time), modeling a client that keeps this many
+  /// transfers in flight against the archive.
+  std::size_t stage_in_window = 8;
   /// Optional trace-span sink (staging, planning, DAGMan nodes, kernels).
   /// Must outlive the service.
   obs::Tracer* tracer = nullptr;
@@ -111,8 +136,10 @@ struct ServiceTrace {
   grid::RunReport execution;       ///< simulated DAGMan run
   std::size_t valid_results = 0;
   std::size_t invalid_results = 0;
-  /// End-to-end simulated latency the portal would observe: image staging +
-  /// workflow makespan (zero on a cache hit).
+  /// End-to-end simulated latency the portal would observe (zero on a
+  /// cache hit). Barriered: sequential image staging + workflow makespan.
+  /// Pipelined: the makespan alone — staging arrivals are folded into it
+  /// as per-node ready times, so overlapped fetch latency is not billed.
   double total_sim_seconds = 0.0;
 };
 
@@ -169,9 +196,13 @@ class MorphologyService {
   /// The sharded LRU replica store (hit/miss/eviction/bytes metrics).
   const services::ReplicaCache& replica_cache() const { return cache_; }
 
+  /// The service-lifetime kernel pool (queue/active/idle observables).
+  const grid::ThreadPool& pool() const { return pool_; }
+
   /// Registers this service's metrics (staging client, replica cache,
-  /// kernel-pool queue depth) under "client.compute.*", "cache.replica.*"
-  /// and "pool.*". The service must outlive the registry's use.
+  /// kernel pool) under "client.compute.*", "cache.replica.*" and "pool.*",
+  /// plus "staging.inflight" (live staged-but-uncomputed image count). The
+  /// service must outlive the registry's use.
   void register_metrics(obs::MetricsRegistry& registry) const;
 
  private:
@@ -224,6 +255,10 @@ class MorphologyService {
   /// flight when the threshold is crossed aborts; subsequent requests
   /// (other tenants through a shared service) proceed normally.
   bool kill_fired_ = false;
+  /// Staged-but-uncomputed images currently pinned for pending kernel
+  /// tasks (the prefetch_depth bound's live occupancy). Atomic so the
+  /// "staging.inflight" gauge can read it while pool workers decrement.
+  std::atomic<std::size_t> staging_inflight_{0};
 
   // Shared with fabric handler closures.
   struct State {

@@ -133,4 +133,16 @@ void register_metrics(obs::MetricsRegistry& registry, const ResilientClient& cli
   });
 }
 
+void register_metrics(obs::MetricsRegistry& registry, const grid::ThreadPool& pool,
+                      const std::string& prefix) {
+  const grid::ThreadPool* p = &pool;
+  registry.register_gauge(prefix + ".queue_depth",
+                          [p] { return static_cast<double>(p->queue_depth()); });
+  registry.register_gauge(prefix + ".active_tasks",
+                          [p] { return static_cast<double>(p->active_tasks()); });
+  registry.register_gauge(prefix + ".threads",
+                          [p] { return static_cast<double>(p->num_threads()); });
+  registry.register_gauge(prefix + ".idle_ms", [p] { return p->idle_ms(); });
+}
+
 }  // namespace nvo::services

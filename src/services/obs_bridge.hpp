@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "grid/threadpool.hpp"
 #include "obs/metrics.hpp"
 #include "services/http.hpp"
 #include "services/replica_cache.hpp"
@@ -37,6 +38,13 @@ void register_metrics(obs::MetricsRegistry& registry, const ReplicaCache& cache,
 /// and per-host attempt/failure counters.
 void register_metrics(obs::MetricsRegistry& registry, const ResilientClient& client,
                       const std::string& prefix = "client");
+
+/// `<prefix>.queue_depth|active_tasks|threads` gauges plus
+/// `<prefix>.idle_ms`, the cumulative worker park time — the direct
+/// observable for pipeline overlap (a barriered executor idles the pool
+/// while staging runs; a pipelined one keeps it flat).
+void register_metrics(obs::MetricsRegistry& registry, const grid::ThreadPool& pool,
+                      const std::string& prefix = "pool");
 
 /// Metric-name-safe rendition of a host or path ("mast.stsci.edu/siap" ->
 /// "mast.stsci.edu.siap"): '/' becomes '.', duplicate dots collapse.

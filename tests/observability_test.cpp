@@ -193,6 +193,18 @@ TEST_F(ObservabilityFixture, SnapshotReconcilesWithLegacyMetricsExactly) {
   EXPECT_EQ(snap.gauge("pool.queue_depth"), 0.0);
   EXPECT_EQ(snap.gauge("pool.active_tasks"), 0.0);
   EXPECT_EQ(snap.gauge("pool.threads"), 2.0);
+
+  // pool.idle_ms reconciles exactly with the pool's own accessor: the value
+  // is stable while no work arrives, and the run is over.
+  ASSERT_EQ(snap.gauges.count("pool.idle_ms"), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauge("pool.idle_ms"),
+                   campaign_.compute_service().pool().idle_ms());
+  EXPECT_GE(snap.gauge("pool.idle_ms"), 0.0);
+
+  // The stage-in in-flight gauge drains to zero once the pool is idle:
+  // every pinned cutout has been consumed by its kernel task.
+  ASSERT_EQ(snap.gauges.count("staging.inflight"), 1u);
+  EXPECT_EQ(snap.gauge("staging.inflight"), 0.0);
 }
 
 TEST_F(ObservabilityFixture, SnapshotTracksTheLegacyCountersAcrossResets) {

@@ -3,8 +3,12 @@
 # the data-plane benchmarks, and refreshes BENCH_s5.json at the repository
 # root ({"baseline": frozen seed run, "current": fresh run} — same shape as
 # BENCH_a3.json). Fails loudly if campaign throughput regresses more than
-# 10% against the stored baseline, or if the VOTable codec hot paths
-# allocate on the heap in steady state.
+# 10% against the stored baseline, if the VOTable codec hot paths allocate
+# on the heap in steady state, if the pipelined executor's overlap_speedup
+# under an archive brownout drops below 1.3x the barriered baseline, or if
+# the emitted JSON context does not report a release build (each bench main
+# restates "library_build_type" from its own NDEBUG flag because the distro
+# libbenchmark bakes in "debug").
 #
 # Also runs the survey lane (bench_survey -> BENCH_survey.json) and gates
 # on: >10% regression vs bench/baselines/bench_survey_seed.json, streaming
@@ -80,6 +84,17 @@ baseline = by_name(doc["baseline"])
 current = by_name(doc["current"])
 failures = []
 
+# Provenance: the numbers are meaningless from a debug build. The bench
+# binary restates library_build_type from its own NDEBUG flag (the distro
+# libbenchmark always says "debug"); json.load keeps the last duplicate key,
+# so this reads the binary's value. Only the CURRENT run is gated — the
+# frozen baseline predates the override.
+build_type = doc["current"].get("context", {}).get("library_build_type")
+if build_type != "release":
+    failures.append(
+        f"current run context reports library_build_type={build_type!r}, "
+        "expected 'release' — rerun via tools/run_bench.sh (Release build)")
+
 print(f"{'benchmark':<28} {'baseline':>12} {'current':>12} {'speedup':>8}")
 for name, base in baseline.items():
     cur = current.get(name)
@@ -106,6 +121,24 @@ for name in ("BM_VotableSerialize/512", "BM_VotableParse/512"):
 ratio = (current["BM_CampaignThroughput/15"]["items_per_second"]
          / baseline["BM_CampaignThroughput/15"]["items_per_second"])
 print(f"\ncampaign throughput: {ratio:.2f}x the seed baseline")
+
+# Pipelined-dataflow gate: under the injected archive brownout the
+# completion-triggered executor must finish the campaign >= 1.3x faster (in
+# simulated seconds) than the phase-barriered baseline. The counter is a
+# sim-clock quantity, deterministic in the seed — any drop is a real
+# scheduling regression, not host noise.
+overlap = current.get("BM_PipelineOverlap/5")
+if overlap is None:
+    failures.append("BM_PipelineOverlap/5: missing from current run")
+else:
+    speedup = overlap.get("overlap_speedup", 0.0)
+    print(f"pipeline overlap under brownout: {speedup:.2f}x the barriered "
+          f"baseline ({overlap.get('barriered_sim_seconds', 0.0):.1f}s -> "
+          f"{overlap.get('pipelined_sim_seconds', 0.0):.1f}s simulated)")
+    if speedup < 1.3:
+        failures.append(
+            f"BM_PipelineOverlap/5: overlap_speedup = {speedup:.2f}x, "
+            "need >= 1.3x over the barriered baseline")
 
 if failures:
     print("\nFAIL:", file=sys.stderr)
@@ -149,6 +182,13 @@ def by_name(run):
 baseline = by_name(doc["baseline"])
 current = by_name(doc["current"])
 failures = []
+
+# Same release-provenance gate as the s5 lane (current run only).
+build_type = doc["current"].get("context", {}).get("library_build_type")
+if build_type != "release":
+    failures.append(
+        f"current run context reports library_build_type={build_type!r}, "
+        "expected 'release' — rerun via tools/run_bench.sh (Release build)")
 
 print(f"{'benchmark':<32} {'baseline':>12} {'current':>12} {'speedup':>8}")
 for name, base in baseline.items():
@@ -239,6 +279,13 @@ def by_name(run):
 baseline = by_name(doc["baseline"])
 current = by_name(doc["current"])
 failures = []
+
+# Same release-provenance gate as the s5 lane (current run only).
+build_type = doc["current"].get("context", {}).get("library_build_type")
+if build_type != "release":
+    failures.append(
+        f"current run context reports library_build_type={build_type!r}, "
+        "expected 'release' — rerun via tools/run_bench.sh (Release build)")
 
 # The overload sweep reports simulated-clock latency/goodput counters, which
 # are deterministic in the seed: any drift is a real behavior change. The
