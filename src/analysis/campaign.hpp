@@ -67,6 +67,13 @@ struct CampaignConfig {
   /// killed campaign restarted on the same journal re-executes only the
   /// unfinished work and produces a byte-identical catalog.
   std::string journal_path;
+  /// In-request rescue-DAG rounds after a failed execution (0 = off). With
+  /// site-outage chaos scripted, each round re-maps the unfinished portion
+  /// onto surviving pools (see ChaosSchedule::site_outage).
+  std::size_t rescue_rounds = 0;
+  /// Straggler rebalancing: idle pools pull queued-but-unstarted jobs from
+  /// backlogged ones in the simulated executor.
+  bool work_stealing = false;
 };
 
 struct ClusterOutcome {

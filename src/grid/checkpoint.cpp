@@ -16,11 +16,14 @@ namespace {
 constexpr const char kHeader[] = "NVOCKPT 1";
 
 /// Percent-encodes the characters that would break record-line framing.
+/// The loader tokenizes header lines with `istream >>`, which splits on
+/// *any* whitespace — so every byte <= 0x20 (tab, \v, \f included, not just
+/// space/CR/LF) must be escaped, plus '%' itself so escapes round-trip.
 std::string encode_key(const std::string& key) {
   std::string out;
   out.reserve(key.size());
   for (unsigned char c : key) {
-    if (c == '%' || c == ' ' || c == '\n' || c == '\r') {
+    if (c == '%' || c <= 0x20) {
       out += format("%%%02X", c);
     } else {
       out += static_cast<char>(c);

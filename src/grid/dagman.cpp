@@ -31,12 +31,15 @@ DagManSim::DagManSim(const Grid& grid, JobCostModel cost, FailureModel failure,
 namespace {
 
 struct SimEvent {
+  enum class Kind {
+    kCompletion,    ///< a node attempt finished
+    kReadyWakeup,   ///< data-readiness wakeup: dispatch the node now
+    kSiteOutage,    ///< a pool drops off the grid (node_id carries the site)
+  };
   double time = 0.0;
   std::size_t sequence = 0;  // tie-break for determinism
   std::string node_id;
-  /// A data-readiness wakeup (dispatch the node now) rather than an
-  /// attempt completion.
-  bool ready_wakeup = false;
+  Kind kind = Kind::kCompletion;
   bool operator>(const SimEvent& other) const {
     if (time != other.time) return time > other.time;
     return sequence > other.sequence;
@@ -119,12 +122,30 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
   std::map<std::string, int> attempts;
   std::set<std::string> failed_permanently;
 
-  auto duration_of = [&](const vds::DagNode& n) -> double {
+  // Scripted whole-pool outages. Sites already latched dead by a previous
+  // run() (an earlier rescue round) stay dead from t=0; the rest are parked
+  // as outage events at their scripted second.
+  for (const auto& [site_name, at_s] : failure_.site_outage_at_s) {
+    if (dead_sites_.count(site_name) != 0) {
+      free_slots[site_name] = 0;
+      continue;
+    }
+    events.push(SimEvent{at_s, ++sequence, site_name, SimEvent::Kind::kSiteOutage});
+  }
+
+  auto file_bytes = [&](const std::string& lfn) {
+    return grid_.file_size(lfn).value_or(grid_.default_file_bytes);
+  };
+
+  // `exec_site` is where the node actually runs — normally n.site, but a
+  // stolen node runs (and is billed) at the thief pool.
+  auto duration_of = [&](const vds::DagNode& n,
+                         const std::string& exec_site) -> double {
     switch (n.type) {
       case vds::JobType::kCompute: {
         const double ref = cost_.compute_seconds ? cost_.compute_seconds(n)
                                                  : cost_.compute_reference_seconds;
-        const SiteConfig* site = grid_.site(n.site);
+        const SiteConfig* site = grid_.site(exec_site);
         return ref / std::max(site ? site->speed_factor : 1.0, 1e-6);
       }
       case vds::JobType::kTransfer:
@@ -135,22 +156,32 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
     return 0.0;
   };
 
-  auto start_node = [&](const std::string& id) {
+  auto start_node = [&](const std::string& id, const std::string& site_override = {},
+                        double migration_delay = 0.0) {
     const vds::DagNode* n = dag.node(id);
     NodeResult& r = results[id];
     if (r.attempts == 0) r.start_seconds = now;
     ++r.attempts;
-    r.site = n->site;
-    const double d = duration_of(*n);
+    r.site = site_override.empty() ? n->site : site_override;
+    const double d = duration_of(*n, r.site);
+    double delay = migration_delay;
     if (n->type == vds::JobType::kCompute) {
-      report.site_busy_seconds[n->site] += d;
+      report.site_busy_seconds[r.site] += d;
+      const SiteConfig* site = grid_.site(r.site);
+      if (site) delay += site->queue_delay_s;
+    } else if (n->type == vds::JobType::kTransfer &&
+               n->source_site != n->site) {
+      report.wan_bytes += file_bytes(n->file);
     }
-    events.push(SimEvent{now + d, ++sequence, id});
+    events.push(SimEvent{now + delay + d, ++sequence, id});
   };
 
   auto dispatch_now = [&](const std::string& id) {
     const vds::DagNode* n = dag.node(id);
     if (n->type == vds::JobType::kCompute) {
+      // A pool that is gone accepts nothing: the node is left unstarted
+      // (reported skipped) for a rescue round to re-map.
+      if (dead_sites_.count(n->site) != 0) return;
       if (free_slots[n->site] > 0) {
         --free_slots[n->site];
         start_node(id);
@@ -158,6 +189,11 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
         site_queue[n->site].push_back(id);
       }
     } else {
+      if (n->type == vds::JobType::kTransfer &&
+          (dead_sites_.count(n->site) != 0 ||
+           dead_sites_.count(n->source_site) != 0)) {
+        return;  // no endpoint to stream to/from; left skipped for rescue
+      }
       start_node(id);
     }
   };
@@ -170,16 +206,66 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
     if (!ready_.empty()) {
       const auto it = ready_.find(id);
       if (it != ready_.end() && it->second > now) {
-        events.push(SimEvent{it->second, ++sequence, id, /*ready_wakeup=*/true});
+        events.push(SimEvent{it->second, ++sequence, id,
+                             SimEvent::Kind::kReadyWakeup});
         return;
       }
     }
     dispatch_now(id);
   };
 
+  // Work stealing: a freed slot at `thief` with no local backlog pulls the
+  // newest queued node from the most backlogged other pool (newest = the
+  // entry a busy pool would reach last, so stealing helps the tail without
+  // reordering the head). Returns true when a node was migrated onto the
+  // already-held slot.
+  auto steal_into = [&](const std::string& thief) -> bool {
+    if (!work_stealing_) return false;
+    std::string victim;
+    std::string stolen;
+    std::size_t best_backlog = 0;
+    for (const auto& [site_name, q] : site_queue) {
+      if (site_name == thief || q.empty() || q.size() <= best_backlog) continue;
+      // Newest-first scan for a node the thief can actually run.
+      for (auto it = q.rbegin(); it != q.rend(); ++it) {
+        if (steal_filter_ && !steal_filter_(*dag.node(*it), thief)) continue;
+        victim = site_name;
+        stolen = *it;
+        best_backlog = q.size();
+        break;
+      }
+    }
+    if (stolen.empty()) return false;
+    auto& q = site_queue[victim];
+    q.erase(std::find(q.begin(), q.end(), stolen));
+    ++report.stolen_jobs;
+    // The staged inputs sit at the victim pool; migrating the job moves
+    // them over the inter-site link before the attempt can start.
+    double migration_s = 0.0;
+    const vds::DagNode* sn = dag.node(stolen);
+    for (const std::string& lfn : sn->inputs) {
+      migration_s += grid_.transfer_seconds(victim, thief, lfn);
+      report.wan_bytes += file_bytes(lfn);
+    }
+    start_node(stolen, thief, migration_s);
+    return true;
+  };
+
   // Seed with roots.
   for (const std::string& id : dag.node_ids()) {
     if (waiting_parents[id] == 0) dispatch(id);
+  }
+  // A pool that starts idle would otherwise never steal — it only re-enters
+  // the loop on its own completions, and it has none. Let every pool with
+  // leftover slots pull from backlogged queues before the clock starts.
+  if (work_stealing_) {
+    for (const SiteConfig& s : grid_.sites()) {
+      if (dead_sites_.count(s.name) != 0) continue;
+      while (free_slots[s.name] > 0 && site_queue[s.name].empty() &&
+             steal_into(s.name)) {
+        --free_slots[s.name];
+      }
+    }
   }
 
   std::size_t completed = 0;
@@ -187,12 +273,43 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
     const SimEvent ev = events.top();
     events.pop();
     now = ev.time;
-    if (ev.ready_wakeup) {
+    if (ev.kind == SimEvent::Kind::kReadyWakeup) {
       dispatch_now(ev.node_id);
+      continue;
+    }
+    if (ev.kind == SimEvent::Kind::kSiteOutage) {
+      // The pool is gone: no free slots, and its queued-but-unstarted jobs
+      // have nowhere to run (they stay skipped; a rescue round re-maps
+      // them). Attempts in flight there fail when their completion fires.
+      dead_sites_.insert(ev.node_id);
+      report.sites_lost.push_back(ev.node_id);
+      free_slots[ev.node_id] = 0;
+      site_queue[ev.node_id].clear();
       continue;
     }
     const vds::DagNode* n = dag.node(ev.node_id);
     NodeResult& r = results[ev.node_id];
+
+    // An attempt whose pool died under it (or whose transfer endpoint
+    // vanished) fails terminally: there is no pool to resubmit to, so the
+    // DAGMan retry policy does not apply and the slot dies with the pool.
+    const bool lost_site =
+        n->type == vds::JobType::kCompute
+            ? dead_sites_.count(r.site) != 0
+            : n->type == vds::JobType::kTransfer &&
+                  (dead_sites_.count(n->site) != 0 ||
+                   dead_sites_.count(n->source_site) != 0);
+    if (lost_site) {
+      r.end_seconds = now;
+      r.outcome = NodeOutcome::kFailed;
+      failed_permanently.insert(ev.node_id);
+      ++report.jobs_failed;
+      ++completed;
+      if (on_node_) {
+        if (const Status s = on_node_(r); !s.ok()) return s.error();
+      }
+      continue;
+    }
 
     // Outcome draw, keyed on (node, lifetime draw index) so it is
     // event-order invariant: barriered and pipelined schedules reach
@@ -211,21 +328,30 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
       ++report.retries;
       ++r.attempts;
       // Retry in place: the slot is still held (DAGMan resubmits).
-      const double d = duration_of(*n);
-      if (n->type == vds::JobType::kCompute) report.site_busy_seconds[n->site] += d;
-      events.push(SimEvent{now + d, ++sequence, ev.node_id});
+      const double d = duration_of(*n, r.site);
+      double delay = 0.0;
+      if (n->type == vds::JobType::kCompute) {
+        report.site_busy_seconds[r.site] += d;
+        const SiteConfig* site = grid_.site(r.site);
+        if (site) delay = site->queue_delay_s;
+      } else if (n->type == vds::JobType::kTransfer &&
+                 n->source_site != n->site) {
+        report.wan_bytes += file_bytes(n->file);  // the stream restarts
+      }
+      events.push(SimEvent{now + delay + d, ++sequence, ev.node_id});
       continue;
     }
 
-    // Slot release.
+    // Slot release: hand it to the local queue first, then (when enabled)
+    // to the most backlogged other pool's tail, else free it.
     if (n->type == vds::JobType::kCompute) {
-      auto& q = site_queue[n->site];
+      auto& q = site_queue[r.site];
       if (!q.empty()) {
         const std::string next = q.front();
         q.pop_front();
         start_node(next);  // slot handed directly to the next queued job
-      } else {
-        ++free_slots[n->site];
+      } else if (!steal_into(r.site)) {
+        ++free_slots[r.site];
       }
     }
 

@@ -44,6 +44,13 @@ struct FailureModel {
   /// Node ids that fail every attempt (e.g. jobs on corrupted images when
   /// the kernel-level validity flag is disabled).
   std::set<std::string> permanent_failures;
+  /// Whole-pool outages: site -> simulated second at which the pool drops
+  /// off the grid. From that instant the site accepts no new dispatches,
+  /// jobs running there (and transfers touching it) fail terminally with no
+  /// retry, and queued-but-unstarted nodes are left skipped for a rescue
+  /// round to re-map onto survivors. A fired outage latches across run()
+  /// calls (DagManSim::dead_sites), so rescue rounds keep avoiding the pool.
+  std::map<std::string, double> site_outage_at_s;
 };
 
 enum class NodeOutcome { kSucceeded, kFailed, kSkipped };
@@ -68,6 +75,14 @@ struct RunReport {
   std::size_t transfer_jobs = 0;
   std::size_t register_jobs = 0;
   std::size_t retries = 0;
+  /// Queued-but-unstarted compute nodes migrated to an idle pool by work
+  /// stealing (straggler rebalancing).
+  std::size_t stolen_jobs = 0;
+  /// Bytes moved between distinct sites: every transfer-node attempt whose
+  /// source and destination differ, plus steal migrations of staged inputs.
+  std::size_t wan_bytes = 0;
+  /// Pools whose scripted outage fired during this run.
+  std::vector<std::string> sites_lost;
   std::map<std::string, double> site_busy_seconds;
   std::vector<NodeResult> nodes;
 
@@ -100,6 +115,21 @@ class DagManSim {
     ready_ = std::move(ready_seconds);
   }
 
+  /// Straggler rebalancing: when a pool drains its own queue, a freed slot
+  /// may pull the newest queued-but-unstarted compute node from the most
+  /// backlogged other pool, paying the migration cost of the node's staged
+  /// inputs over the inter-site links. Off by default (the paper's pools
+  /// never migrated jobs).
+  void set_work_stealing(bool on) { work_stealing_ = on; }
+  /// Gates which nodes a thief site may take (e.g. the transformation must
+  /// be installed there). Unset = any queued node may move.
+  using StealFilter = std::function<bool(const vds::DagNode&, const std::string&)>;
+  void set_steal_filter(StealFilter filter) { steal_filter_ = std::move(filter); }
+
+  /// Sites whose scripted outage has fired, latched across run() calls so
+  /// rescue-DAG rounds keep treating the pool as gone.
+  const std::set<std::string>& dead_sites() const { return dead_sites_; }
+
   /// Executes the concrete DAG. Compute nodes must carry a site that exists
   /// in the grid. Transfer nodes consume no slot (GridFTP streams run
   /// beside the pool); compute nodes hold one slot at their site for their
@@ -119,6 +149,10 @@ class DagManSim {
   /// a failed node still gets a fresh draw rather than its old one.
   std::map<std::string, int> draw_count_;
   NodeCallback on_node_;
+  bool work_stealing_ = false;
+  StealFilter steal_filter_;
+  /// Pools lost to fired outages, persisting across run() calls.
+  std::set<std::string> dead_sites_;
 };
 
 /// Real-execution backend. Payloads are keyed by transformation name for

@@ -57,9 +57,26 @@ std::vector<std::string> Grid::locations(const std::string& lfn) const {
   return out;
 }
 
+void Grid::set_link(const std::string& a, const std::string& b, double latency_ms,
+                    double bandwidth_mbps) {
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  links_[key] = LinkConfig{latency_ms, bandwidth_mbps};
+}
+
+const LinkConfig* Grid::link(const std::string& a, const std::string& b) const {
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  const auto it = links_.find(key);
+  return it == links_.end() ? nullptr : &it->second;
+}
+
 double Grid::transfer_seconds_for_bytes(const std::string& src, const std::string& dst,
                                         std::size_t bytes) const {
   if (src == dst) return 0.0;
+  const double megabits_all = static_cast<double>(bytes) * 8.0 / 1e6;
+  if (const LinkConfig* l = link(src, dst)) {
+    return l->latency_ms / 1000.0 +
+           (l->bandwidth_mbps > 0.0 ? megabits_all / l->bandwidth_mbps : 0.0);
+  }
   const SiteConfig* a = site(src);
   const SiteConfig* b = site(dst);
   // Unknown endpoints (e.g. a user-facing storage location outside the

@@ -23,6 +23,19 @@ struct SiteConfig {
   double speed_factor = 1.0;   ///< relative CPU speed (1 = reference)
   double gridftp_latency_ms = 20.0;
   double gridftp_bandwidth_mbps = 100.0;  ///< per-stream WAN bandwidth
+  /// Local scheduler dispatch latency: seconds between a job being handed a
+  /// slot and actually starting (Condor negotiation + match time). Zero by
+  /// default so single-pool workloads are unaffected.
+  double queue_delay_s = 0.0;
+};
+
+/// A measured inter-site channel. When present it overrides the endpoint
+/// min-bandwidth estimate for that (src, dst) pair — the paper's pools were
+/// linked by very different WAN paths (ISI to Fermilab is not ISI to
+/// Wisconsin), which an endpoint-only model cannot express.
+struct LinkConfig {
+  double latency_ms = 40.0;
+  double bandwidth_mbps = 100.0;
 };
 
 /// Storage-and-sites model. Files are logical names with sizes; a file may
@@ -43,8 +56,16 @@ class Grid {
   /// Sites currently holding the file.
   std::vector<std::string> locations(const std::string& lfn) const;
 
-  /// Simulated seconds to move `lfn` from src to dst (latency + size over
-  /// the min of the two endpoints' bandwidth). Unknown file sizes use
+  /// Records a measured channel between two sites (stored symmetrically:
+  /// the same path serves both directions). Overrides the endpoint
+  /// min-bandwidth estimate in transfer_seconds_for_bytes.
+  void set_link(const std::string& a, const std::string& b, double latency_ms,
+                double bandwidth_mbps);
+  const LinkConfig* link(const std::string& a, const std::string& b) const;
+
+  /// Simulated seconds to move `lfn` from src to dst: the recorded link for
+  /// the pair when one exists, otherwise latency sum + size over the min of
+  /// the two endpoints' bandwidth. Unknown file sizes use
   /// `default_file_bytes`.
   double transfer_seconds(const std::string& src, const std::string& dst,
                           const std::string& lfn) const;
@@ -57,6 +78,8 @@ class Grid {
   std::vector<SiteConfig> sites_;
   std::map<std::string, std::set<std::string>> files_at_site_;  // site -> lfns
   std::map<std::string, std::size_t> file_bytes_;               // lfn -> size
+  /// (src, dst) -> channel; keys stored with src < dst (symmetric paths).
+  std::map<std::pair<std::string, std::string>, LinkConfig> links_;
 };
 
 /// The three Condor pools of paper §5, with distinct sizes and speeds

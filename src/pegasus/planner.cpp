@@ -153,11 +153,45 @@ Expected<std::string> Planner::select_site(const vds::DagNode& node,
       }
       return fallback;
     }
+    case SitePolicy::kDataLocality: {
+      // Estimated stage-in seconds from each raw input's nearest replica,
+      // plus a load penalty so a hot pool next to the data does not absorb
+      // the whole campaign while the rest of the grid idles.
+      std::string best = candidates.front();
+      double best_metric = 1e300;
+      for (const std::string& site : candidates) {
+        double stage_s = 0.0;
+        for (const std::string& lfn : node.inputs) {
+          if (grid_.has_file(site, lfn)) continue;  // already local
+          const std::size_t n_rep = rls_.lookup_into(lfn, replica_scratch_);
+          if (n_rep == 0) continue;  // produced in-workflow: placement-neutral
+          double cheapest = 1e300;
+          for (std::size_t i = 0; i < n_rep; ++i) {
+            cheapest = std::min(
+                cheapest, grid_.transfer_seconds(replica_scratch_[i].site, site, lfn));
+          }
+          stage_s += cheapest;
+        }
+        double load_units = static_metric(site);
+        if (mds_) {
+          if (const auto info = mds_->query(site, mds_now_s_)) {
+            load_units += info->pressure();
+          }
+        }
+        const double metric = stage_s + config_.locality_load_weight * load_units;
+        if (metric < best_metric) {
+          best_metric = metric;
+          best = site;
+        }
+      }
+      return best;
+    }
   }
   return candidates.front();
 }
 
-Expected<Replica> Planner::select_replica(const std::string& lfn) {
+Expected<Replica> Planner::select_replica(const std::string& lfn,
+                                          const std::string& exec_site) {
   // lookup_into reuses the planner's scratch vector: concretizing a
   // campaign-sized workflow resolves hundreds of LFNs, and the by-value
   // lookup() paid a vector + string allocations for each.
@@ -170,6 +204,18 @@ Expected<Replica> Planner::select_replica(const std::string& lfn) {
       return replica_scratch_[rng_.uniform_index(n)];
     case ReplicaPolicy::kFirst:
       return replica_scratch_.front();
+    case ReplicaPolicy::kNearest: {
+      std::size_t best = 0;
+      double best_s = 1e300;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double s = grid_.transfer_seconds(replica_scratch_[i].site, exec_site, lfn);
+        if (s < best_s) {
+          best_s = s;
+          best = i;
+        }
+      }
+      return replica_scratch_[best];
+    }
   }
   return replica_scratch_.front();
 }
@@ -288,7 +334,7 @@ Expected<PlanResult> Planner::concretize(vds::Dag reduced, std::size_t abstract_
       const auto key = std::make_pair(exec_site, lfn);
       auto it = staged.find(key);
       if (it == staged.end()) {
-        auto replica = select_replica(lfn);
+        auto replica = select_replica(lfn, exec_site);
         if (!replica.ok()) return replica.error();
         if (replica->site == exec_site) continue;  // registered replica local
         vds::DagNode tx;
@@ -411,11 +457,14 @@ std::size_t commit_execution(const vds::Dag& concrete, const grid::RunReport& re
     if (r.outcome != grid::NodeOutcome::kSucceeded) continue;
     const vds::DagNode* n = concrete.node(r.id);
     if (!n) continue;
+    // Where the node actually ran: a stolen or rescue-remapped node's
+    // products land at the site the executor reports, not the planned one.
+    const std::string& exec_site = r.site.empty() ? n->site : r.site;
     switch (n->type) {
       case vds::JobType::kCompute:
         // Products appear in the execution site's storage.
         for (const std::string& lfn : n->outputs) {
-          grid.put_file(n->site, lfn,
+          grid.put_file(exec_site, lfn,
                         grid.file_size(lfn).value_or(grid.default_file_bytes));
         }
         break;
@@ -434,6 +483,167 @@ std::size_t commit_execution(const vds::Dag& concrete, const grid::RunReport& re
     }
   }
   return registrations;
+}
+
+Expected<RescueRemap> remap_rescue_sites(vds::Dag& rescue, const grid::Grid& grid,
+                                         const std::set<std::string>& dead_sites,
+                                         const TransformationCatalog& tc,
+                                         const ReplicaLocationService& rls,
+                                         const std::string& fallback_source_site) {
+  RescueRemap remap;
+  if (dead_sites.empty()) return remap;
+
+  const auto alive = [&](const std::string& site) {
+    return !site.empty() && dead_sites.count(site) == 0;
+  };
+
+  // Pass 1: move compute nodes off dead pools, spreading them over the
+  // least-remapped surviving site that has the transformation installed.
+  std::map<std::string, int> remap_load;
+  std::map<std::string, std::string> producer_site;  // lfn -> (new) producer site
+  std::map<std::string, std::string> producer_node;  // lfn -> in-rescue producer id
+  std::vector<std::string> moved;                    // remapped compute node ids
+  for (const std::string& id : rescue.node_ids()) {
+    vds::DagNode* n = rescue.mutable_node(id);
+    if (n->type != vds::JobType::kCompute) continue;
+    if (!alive(n->site)) {
+      std::string best;
+      int best_load = 0;
+      for (const std::string& site : tc.sites_for(n->transformation)) {
+        if (!grid.site(site) || !alive(site)) continue;
+        const int l = remap_load[site];
+        if (best.empty() || l < best_load) {
+          best = site;
+          best_load = l;
+        }
+      }
+      if (best.empty()) {
+        return Error(ErrorCode::kInfeasible,
+                     "rescue: transformation '" + n->transformation +
+                         "' of " + id + " is not installed at any surviving site");
+      }
+      n->site = best;
+      ++remap_load[best];
+      if (const auto entry = tc.lookup_at(n->transformation, n->site); entry.ok()) {
+        n->executable = entry->executable;
+      }
+      ++remap.compute_remapped;
+      moved.push_back(id);
+    }
+    for (const std::string& lfn : n->outputs) {
+      producer_site[lfn] = n->site;
+      producer_node[lfn] = id;
+    }
+  }
+
+  // Pass 2: re-point transfer endpoints. Destinations follow the (possibly
+  // remapped) consumer; dead sources fall through the replica chain.
+  for (const std::string& id : rescue.node_ids()) {
+    vds::DagNode* n = rescue.mutable_node(id);
+    if (n->type != vds::JobType::kTransfer) continue;
+    bool changed = false;
+    if (!alive(n->site)) {
+      // A stage-in's destination is wherever its consumer now runs.
+      for (const std::string& child : rescue.children(id)) {
+        const vds::DagNode* c = rescue.node(child);
+        if (c->type == vds::JobType::kCompute && alive(c->site)) {
+          n->site = c->site;
+          changed = true;
+          break;
+        }
+      }
+      if (!alive(n->site)) {
+        return Error(ErrorCode::kInfeasible,
+                     "rescue: transfer " + id + " destination '" + n->site +
+                         "' is dead and no surviving consumer names a new one");
+      }
+    }
+    if (!alive(n->source_site)) {
+      std::string src;
+      // (a) a surviving registered replica;
+      for (const Replica& rep : rls.lookup(n->file)) {
+        if (alive(rep.site) && grid.site(rep.site)) {
+          src = rep.site;
+          break;
+        }
+      }
+      // (b) any surviving grid copy (e.g. committed by an earlier round);
+      if (src.empty()) {
+        for (const std::string& site : grid.locations(n->file)) {
+          if (alive(site)) {
+            src = site;
+            break;
+          }
+        }
+      }
+      // (c) the in-rescue producer, which pass 1 moved to a live pool;
+      if (src.empty()) {
+        const auto it = producer_site.find(n->file);
+        if (it != producer_site.end() && alive(it->second)) src = it->second;
+      }
+      // (d) the submit host re-stages from its own copy.
+      if (src.empty()) src = fallback_source_site;
+      n->source_site = src;
+      changed = true;
+    }
+    if (changed) ++remap.transfers_retargeted;
+  }
+
+  // Pass 3: re-stage orphaned inputs. A stage-in that completed on a pool
+  // before it died left its replica in the wreckage — the remapped consumer
+  // needs the bytes moved again, to wherever it runs now. Synthesize one
+  // transfer per missing (site, lfn), sourced through the same replica chain
+  // as pass 2, and dedup across consumers sharing an input.
+  std::set<std::pair<std::string, std::string>> provided;  // (dest site, lfn)
+  for (const std::string& id : rescue.node_ids()) {
+    const vds::DagNode* n = rescue.node(id);
+    if (n->type == vds::JobType::kTransfer) provided.insert({n->site, n->file});
+  }
+  std::size_t restage_seq = 0;
+  for (const std::string& id : moved) {
+    const vds::DagNode* n = rescue.node(id);
+    for (const std::string& lfn : n->inputs) {
+      const std::string& dest = n->site;
+      if (grid.has_file(dest, lfn)) continue;
+      if (provided.count({dest, lfn})) continue;
+      std::string src;
+      for (const Replica& rep : rls.lookup(lfn)) {
+        if (alive(rep.site) && grid.site(rep.site)) {
+          src = rep.site;
+          break;
+        }
+      }
+      if (src.empty()) {
+        for (const std::string& site : grid.locations(lfn)) {
+          if (alive(site)) {
+            src = site;
+            break;
+          }
+        }
+      }
+      const auto prod = producer_node.find(lfn);
+      if (src.empty() && prod != producer_node.end() &&
+          alive(producer_site[lfn])) {
+        src = producer_site[lfn];
+      }
+      if (src.empty()) src = fallback_source_site;
+      if (src == dest) continue;  // already local once the producer commits
+      vds::DagNode tx;
+      tx.id = "restage_" + std::to_string(restage_seq++) + "_" + lfn;
+      tx.type = vds::JobType::kTransfer;
+      tx.file = lfn;
+      tx.site = dest;
+      tx.source_site = src;
+      rescue.add_node(tx);
+      if (prod != producer_node.end() && rescue.node(prod->second) != nullptr) {
+        rescue.add_edge(prod->second, tx.id);
+      }
+      rescue.add_edge(tx.id, id);
+      provided.insert({dest, lfn});
+      ++remap.inputs_restaged;
+    }
+  }
+  return remap;
 }
 
 }  // namespace nvo::pegasus

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -36,9 +37,15 @@ namespace nvo::pegasus {
 /// location"); kLeastLoaded balances by this plan's own assignments;
 /// kMdsRank uses dynamic resource information from the MDS (the paper's
 /// named future work), falling back to kLeastLoaded when no fresh record
-/// exists.
-enum class SitePolicy { kRandom, kLeastLoaded, kMdsRank };
-enum class ReplicaPolicy { kRandom, kFirst };
+/// exists; kDataLocality scores each candidate by the estimated stage-in
+/// seconds for the node's raw inputs from their nearest RLS replicas, plus
+/// `locality_load_weight` seconds per unit of load (plan-local assignments
+/// per slot, and MDS pressure when attached) — the Deelman et al. tradeoff
+/// of moving the computation to the data vs. spreading it over idle pools.
+enum class SitePolicy { kRandom, kLeastLoaded, kMdsRank, kDataLocality };
+/// kNearest picks the replica with the cheapest modeled transfer to the
+/// execution site (ties to catalog order); the others ignore the site.
+enum class ReplicaPolicy { kRandom, kFirst, kNearest };
 
 struct PlannerConfig {
   SitePolicy site_policy = SitePolicy::kRandom;
@@ -48,6 +55,10 @@ struct PlannerConfig {
   bool stage_out = true;            ///< deliver final outputs to output_site
   std::string output_site = "user"; ///< the "user-specified location U" of Fig. 4
   std::size_t default_output_bytes = 4 * 1024;  ///< size estimate for new products
+  /// kDataLocality: seconds of stage-in a site may cost before one unit of
+  /// load (a full slot's worth of assignments, or 100% MDS pressure) makes
+  /// a farther site preferable.
+  double locality_load_weight = 10.0;
 };
 
 struct PlanResult {
@@ -102,7 +113,8 @@ class Planner {
                                   std::vector<std::string> reused_outputs);
   Expected<std::string> select_site(const vds::DagNode& node,
                                     const std::map<std::string, int>& load);
-  Expected<Replica> select_replica(const std::string& lfn);
+  Expected<Replica> select_replica(const std::string& lfn,
+                                   const std::string& exec_site);
 
   const grid::Grid& grid_;
   const ReplicaLocationService& rls_;
@@ -128,8 +140,35 @@ SubmitFiles generate_submit_files(const vds::Dag& concrete);
 /// Applies the side effects of a successful (or partial) execution to the
 /// RLS and grid storage: every succeeded register node publishes its file
 /// at the planner's output site; every succeeded transfer lands its file at
-/// the destination site. Returns the number of new registrations.
+/// the destination site. Compute products land at the site the node
+/// *actually ran* (the report's per-node site — work stealing and rescue
+/// remaps move nodes off their planned site). Returns the number of new
+/// registrations.
 std::size_t commit_execution(const vds::Dag& concrete, const grid::RunReport& report,
                              ReplicaLocationService& rls, grid::Grid& grid);
+
+/// What remap_rescue_sites changed, for reporting.
+struct RescueRemap {
+  std::size_t compute_remapped = 0;      ///< compute nodes moved off dead pools
+  std::size_t transfers_retargeted = 0;  ///< transfer endpoints re-pointed
+  /// Inputs whose only staged copy died with the pool: a fresh stage-in to
+  /// the consumer's new site is synthesized into the rescue DAG for each.
+  std::size_t inputs_restaged = 0;
+};
+
+/// Re-maps a rescue DAG around dead pools: compute nodes planned for a site
+/// in `dead_sites` move to the least-remapped surviving site where their
+/// transformation is installed; transfer destinations follow their consumer;
+/// transfer sources pointing at a dead pool are re-pointed at a surviving
+/// RLS replica, then any surviving grid copy, then the (remapped) in-rescue
+/// producer, then `fallback_source_site` (the submit host's own copy — the
+/// last resort that always exists for raw inputs staged from the cache).
+/// Transfers that end up with source == destination are kept: they cost
+/// zero simulated seconds and preserve ordering edges.
+Expected<RescueRemap> remap_rescue_sites(vds::Dag& rescue, const grid::Grid& grid,
+                                         const std::set<std::string>& dead_sites,
+                                         const TransformationCatalog& tc,
+                                         const ReplicaLocationService& rls,
+                                         const std::string& fallback_source_site);
 
 }  // namespace nvo::pegasus

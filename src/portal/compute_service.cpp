@@ -559,6 +559,13 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
       grid_, cost,
       pegasus::unify_retry_budgets(config_.failure, config_.retry.max_attempts),
       config_.seed ^ 0xDA6);
+  if (config_.work_stealing) {
+    dagman.set_work_stealing(true);
+    // A thief pool can only take jobs whose transformation it has installed.
+    dagman.set_steal_filter([this](const vds::DagNode& n, const std::string& site) {
+      return tc_.lookup_at(n.transformation, site).ok();
+    });
+  }
   // Pipelined mode: replay the recorded per-fetch durations onto
   // stage_in_window concurrent channels (list scheduling: each fetch takes
   // the earliest-free channel, in issue order) to derive each cutout's
@@ -590,6 +597,21 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
       }
       if (node_ready_ms > 0.0) ready[node_id] = node_ready_ms / 1000.0;
     }
+    // Multi-pool plans insert stage-in transfers sourced at the cache site
+    // for cutouts that are themselves still arriving from the archive: the
+    // inter-site stream cannot start before its file lands in the cache.
+    for (const std::string& tid : trace.plan.concrete.node_ids()) {
+      const vds::DagNode* tn = trace.plan.concrete.node(tid);
+      if (tn->type != vds::JobType::kTransfer ||
+          tn->source_site != config_.cache_site) {
+        continue;
+      }
+      const auto it = arrival_ms.find(tn->file);
+      if (it != arrival_ms.end()) {
+        double& slot = ready[tid];
+        slot = std::max(slot, it->second / 1000.0);
+      }
+    }
     dagman.set_ready_times(std::move(ready));
   }
   // Row index of each galaxy's compute node, for the incremental merge.
@@ -605,11 +627,17 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
                                  -> Status {
       if (w) {
         // Final outcome for this galaxy's node: its catalog row can be
-        // absorbed as soon as the kernel is also done.
+        // absorbed as soon as the kernel is also done. With rescue rounds
+        // budgeted, a failure is NOT final — a later round may still
+        // succeed, and mark_node_final is first-wins — so failed rows are
+        // left for the post-drain sweep over the merged report.
         const auto it = node_row.find(nr.id);
         if (it != node_row.end()) {
-          w->mark_node_final(it->second,
-                             nr.outcome == grid::NodeOutcome::kFailed);
+          if (nr.outcome != grid::NodeOutcome::kFailed) {
+            w->mark_node_final(it->second, false);
+          } else if (config_.rescue_rounds == 0) {
+            w->mark_node_final(it->second, true);
+          }
         }
       }
       if (journal && nr.outcome == grid::NodeOutcome::kSucceeded &&
@@ -650,26 +678,76 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     }
   }
   trace.nodes_resumed = prior.size();
+  // merge_node_outcomes rebuilds a report from per-node outcomes only, so
+  // run-level counters are accumulated by hand across rescue rounds.
+  std::size_t acc_retries = 0;
+  std::size_t acc_stolen = 0;
+  std::size_t acc_wan = 0;
+  std::vector<std::string> acc_sites_lost;
+  std::map<std::string, double> acc_busy;
+  const auto absorb = [&](const grid::RunReport& rep) {
+    acc_retries += rep.retries;
+    acc_stolen += rep.stolen_jobs;
+    acc_wan += rep.wan_bytes;
+    acc_sites_lost.insert(acc_sites_lost.end(), rep.sites_lost.begin(),
+                          rep.sites_lost.end());
+    for (const auto& [s, t] : rep.site_busy_seconds) acc_busy[s] += t;
+  };
+  bool report_is_merged = false;
+  const bool resumed_from_journal = !prior.empty();
   if (prior.empty()) {
     auto report = dagman.run(trace.plan.concrete);
     if (!report.ok()) return report.error();
+    absorb(report.value());
+    // Seed the outcome map too: rescue rounds merge against `prior`, and a
+    // map missing the first run's successes would report them skipped.
+    for (const grid::NodeResult& r : report->nodes) prior[r.id] = r;
     trace.execution = std::move(report.value());
   } else {
     record.messages.push_back(format("resuming: %zu of %zu nodes journal-complete",
                                      prior.size(),
                                      trace.plan.concrete.num_nodes()));
-    grid::RunReport recovered =
-        grid::merge_node_outcomes(trace.plan.concrete, prior);
-    if (recovered.workflow_succeeded) {
-      trace.execution = std::move(recovered);
-    } else {
-      auto resume_dag = grid::make_rescue_dag(trace.plan.concrete, recovered);
-      if (!resume_dag.ok()) return resume_dag.error();
-      auto report = dagman.run(resume_dag.value());
-      if (!report.ok()) return report.error();
-      for (const grid::NodeResult& r : report->nodes) prior[r.id] = r;
-      trace.execution = grid::merge_node_outcomes(trace.plan.concrete, prior);
+    trace.execution = grid::merge_node_outcomes(trace.plan.concrete, prior);
+    report_is_merged = true;
+  }
+  // Rescue rounds. Journal resume keeps its single implicit round (the
+  // pre-multi-pool behavior); config_.rescue_rounds budgets explicit rounds
+  // for failure and whole-pool-outage recovery. Rounds reuse the same sim
+  // engine, so latched dead pools and lifetime failure draws carry across;
+  // the unfinished portion is re-mapped off dead pools before each rerun.
+  std::size_t rounds_left =
+      std::max<std::size_t>(config_.rescue_rounds, resumed_from_journal ? 1 : 0);
+  while (rounds_left > 0 && !trace.execution.workflow_succeeded) {
+    --rounds_left;
+    auto resume_dag = grid::make_rescue_dag(trace.plan.concrete, trace.execution);
+    if (!resume_dag.ok()) return resume_dag.error();
+    if (resume_dag->empty()) break;
+    if (!dagman.dead_sites().empty()) {
+      auto remap = pegasus::remap_rescue_sites(resume_dag.value(), grid_,
+                                               dagman.dead_sites(), tc_, rls_,
+                                               config_.cache_site);
+      if (!remap.ok()) return remap.error();
+      if (remap->compute_remapped > 0 || remap->transfers_retargeted > 0) {
+        record.messages.push_back(
+            format("rescue: re-mapped %zu jobs, re-pointed %zu transfers, "
+                   "re-staged %zu inputs off %zu lost pool(s)",
+                   remap->compute_remapped, remap->transfers_retargeted,
+                   remap->inputs_restaged, dagman.dead_sites().size()));
+      }
     }
+    auto report = dagman.run(resume_dag.value());
+    if (!report.ok()) return report.error();
+    absorb(report.value());
+    for (const grid::NodeResult& r : report->nodes) prior[r.id] = r;
+    trace.execution = grid::merge_node_outcomes(trace.plan.concrete, prior);
+    report_is_merged = true;
+  }
+  if (report_is_merged) {
+    trace.execution.retries = acc_retries;
+    trace.execution.stolen_jobs = acc_stolen;
+    trace.execution.wan_bytes = acc_wan;
+    trace.execution.sites_lost = std::move(acc_sites_lost);
+    trace.execution.site_busy_seconds = std::move(acc_busy);
   }
   if (config_.tracer) {
     // Node executions are simulated, so their spans are recorded

@@ -106,6 +106,16 @@ struct ComputeServiceConfig {
   /// (0 disables). Simulates the submit host dying mid-DAG so the
   /// checkpoint/resume path can be exercised deterministically.
   std::size_t abort_after_nodes = 0;
+  /// Rescue-DAG rounds after a failed execution (0 preserves the old
+  /// behavior: no in-request rescue; journal resume still performs its
+  /// single implicit round). Each round rebuilds the unfinished portion,
+  /// re-maps it off any pools the executor has latched dead (site-outage
+  /// chaos), and reruns it on the same sim engine.
+  std::size_t rescue_rounds = 0;
+  /// Straggler rebalancing in the simulated executor: idle pools pull
+  /// queued-but-unstarted jobs from backlogged ones, gated on the thief
+  /// site having the transformation installed (TC lookup).
+  bool work_stealing = false;
 };
 
 /// Everything measured about one request (drives the Fig. 6 benchmark).

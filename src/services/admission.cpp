@@ -28,9 +28,14 @@ AdmissionDecision AdmissionController::offer(const std::string& tenant,
     AdmissionDecision d;
     d.admitted = false;
     d.reason = reason;
-    d.retry_after_ms = config_.retry_after_floor_ms +
-                       config_.retry_after_per_queued_ms *
-                           static_cast<double>(backlog);
+    // Clamp to the floor: a shed at an empty queue (byte-budget sheds can
+    // fire with backlog 0, and misconfigured floors can be negative) must
+    // still hand the client a usable, non-zero backoff hint.
+    d.retry_after_ms = std::max(
+        config_.retry_after_floor_ms,
+        config_.retry_after_floor_ms + config_.retry_after_per_queued_ms *
+                                           static_cast<double>(backlog));
+    if (d.retry_after_ms < 0.0) d.retry_after_ms = 0.0;
     switch (reason) {
       case ShedReason::kTenantQueueFull: ++stats_.shed_tenant_queue; break;
       case ShedReason::kGlobalQueueFull: ++stats_.shed_global_queue; break;

@@ -83,8 +83,21 @@ class ChaosSchedule {
     return kill_after_node_completions_;
   }
 
+  /// Whole-pool outage: the named execution site drops off the grid at
+  /// `at_s` simulated seconds into DAG execution. Consumed by the compute
+  /// service (it forwards the script to DagManSim's failure model), not the
+  /// HTTP fabric — site seconds and fabric milliseconds are separate clocks.
+  ChaosSchedule& site_outage(std::string site, double at_s) {
+    site_outage_at_s_[std::move(site)] = at_s;
+    return *this;
+  }
+  const std::map<std::string, double>& site_outages() const {
+    return site_outage_at_s_;
+  }
+
   bool empty() const {
-    return windows_.empty() && kill_after_node_completions_ == 0;
+    return windows_.empty() && kill_after_node_completions_ == 0 &&
+           site_outage_at_s_.empty();
   }
   bool has_corruption() const;
   const std::vector<FaultWindow>& windows() const { return windows_; }
@@ -111,6 +124,7 @@ class ChaosSchedule {
  private:
   std::vector<FaultWindow> windows_;
   std::size_t kill_after_node_completions_ = 0;
+  std::map<std::string, double> site_outage_at_s_;  // site -> sim second
 };
 
 /// Installs the schedule as the fabric's fault injector and — when the

@@ -4,6 +4,7 @@
 // open-loop load generator.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -101,6 +102,82 @@ TEST(Drr, WeightsProportionService) {
   const double ratio = static_cast<double>(served["heavy"]) /
                        static_cast<double>(served["light"]);
   EXPECT_NEAR(ratio, 3.0, 0.25);
+}
+
+TEST(Admission, FirstShedAtEmptyQueueStillHandsBackAUsableHint) {
+  // Regression: the byte-budget check samples the backlog *after* the shed
+  // decision — the very first over-budget offer sees zero queued requests.
+  // The hint must still come back at the floor, not zero.
+  services::AdmissionConfig config;
+  config.per_tenant_queue_limit = 0;
+  config.global_queue_limit = 0;
+  config.queued_bytes_budget = 100;
+  services::AdmissionController ctl(config);
+  const auto shed = ctl.offer("a", 1000);  // nothing queued yet
+  ASSERT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.reason, services::ShedReason::kByteBudget);
+  EXPECT_EQ(shed.retry_after_ms, config.retry_after_floor_ms);
+  EXPECT_GT(shed.retry_after_ms, 0.0);
+}
+
+TEST(Admission, RetryAfterNeverGoesNegative) {
+  // A misconfigured (negative) floor must clamp to zero, and a populated
+  // backlog must never drag the hint below the floor.
+  services::AdmissionConfig config;
+  config.per_tenant_queue_limit = 1;
+  config.retry_after_floor_ms = -250.0;
+  services::AdmissionController ctl(config);
+  EXPECT_TRUE(ctl.offer("a", 0).admitted);
+  const auto shed = ctl.offer("a", 0);
+  ASSERT_FALSE(shed.admitted);
+  EXPECT_GE(shed.retry_after_ms, 0.0);
+
+  services::AdmissionConfig sane;
+  sane.per_tenant_queue_limit = 1;
+  services::AdmissionController ctl2(sane);
+  EXPECT_TRUE(ctl2.offer("a", 0).admitted);
+  EXPECT_GE(ctl2.offer("a", 0).retry_after_ms, sane.retry_after_floor_ms);
+}
+
+TEST(Drr, LateActivationIsFairFromAnyCursorPosition) {
+  // Sweep: a tenant that activates while the scheduler's cursor sits at any
+  // position in any size ring must converge to an equal service share — no
+  // arrival position may be silently skipped for a round.
+  for (std::size_t ring = 1; ring <= 4; ++ring) {
+    for (std::size_t cursor = 0; cursor < ring; ++cursor) {
+      services::DeficitRoundRobin drr(services::DrrConfig{100.0});
+      std::vector<std::string> tenants;
+      for (std::size_t i = 0; i < ring; ++i) {
+        tenants.push_back("t" + std::to_string(i));
+        drr.set_weight(tenants.back(), 1.0);
+        drr.activate(tenants.back());
+      }
+      // Advance the cursor to the swept position by serving whole quanta.
+      for (std::size_t i = 0; i < cursor; ++i) drr.charge(drr.pick(), 100.0);
+
+      drr.set_weight("late", 1.0);
+      drr.activate("late");
+      tenants.push_back("late");
+
+      std::map<std::string, int> served;
+      const int kPicks = 100 * static_cast<int>(tenants.size());
+      for (int i = 0; i < kPicks; ++i) {
+        const std::string who = drr.pick();
+        ASSERT_FALSE(who.empty());
+        ++served[who];
+        drr.charge(who, 100.0);
+      }
+      int lo = kPicks, hi = 0;
+      for (const std::string& t : tenants) {
+        lo = std::min(lo, served[t]);
+        hi = std::max(hi, served[t]);
+      }
+      // Equal weights, unit-quantum charges: shares may differ only by the
+      // partial round in flight when the window closed.
+      EXPECT_LE(hi - lo, 2) << "ring=" << ring << " cursor=" << cursor
+                            << " late tenant served " << served["late"];
+    }
+  }
 }
 
 TEST(Drr, DeactivationForfeitsCreditAndKeepsCursorValid) {

@@ -590,6 +590,46 @@ TEST(CheckpointJournal, KeysWithSpacesAndNewlinesRoundTrip) {
   EXPECT_TRUE((*j)->has("k", "a key with spaces\nand % signs"));
 }
 
+TEST(CheckpointJournal, AdversarialKeysStayDistinctAcrossReopen) {
+  // Property: any byte string is a valid key, and keys that *look like* the
+  // escaped form of another key stay distinct. Regression for the escaper
+  // passing literal '%' through: "a%20b" and "a b" used to collide on reload.
+  const std::string path = temp_journal_path("escaping");
+  const std::vector<std::string> keys = {
+      "plain",
+      "%",
+      "%%",
+      "%25",
+      "%20",
+      "a b",
+      "a%20b",        // literal percent-two-zero, NOT a space
+      "tab\there",
+      "newline\nhere",
+      "cr\rlf\n",
+      std::string("\v\f"),
+      std::string("\x01\x1f ctl", 8),
+      "trailing%",
+      "50% off\nnow",
+  };
+  {
+    auto j = CheckpointJournal::open(path, /*fresh=*/true);
+    ASSERT_TRUE(j.ok());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_TRUE((*j)->append("k", keys[i], "v" + std::to_string(i)).ok());
+    }
+  }
+  auto j = CheckpointJournal::open(path);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->stats().records_loaded, keys.size());
+  EXPECT_EQ((*j)->stats().truncated_records, 0u);
+  EXPECT_EQ((*j)->count("k"), keys.size());  // no two keys collided
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::string* payload = (*j)->find("k", keys[i]);
+    ASSERT_NE(payload, nullptr) << "key " << i << " lost";
+    EXPECT_EQ(*payload, "v" + std::to_string(i)) << "key " << i << " collided";
+  }
+}
+
 TEST(CheckpointJournal, TruncatedTailIsDroppedNotFatal) {
   const std::string path = temp_journal_path("truncated");
   {

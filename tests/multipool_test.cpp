@@ -1,0 +1,530 @@
+// Multi-pool execution: inter-site link matrix, queue delays, WAN byte
+// accounting, work stealing, whole-pool outages with rescue re-mapping,
+// locality-aware site selection, nearest-replica staging, and the
+// end-to-end guarantee that a pool lost mid-campaign still converges (via
+// rescue DAG) to a byte-identical catalog on the surviving sites.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/campaign.hpp"
+#include "grid/dagman.hpp"
+#include "grid/grid.hpp"
+#include "grid/rescue.hpp"
+#include "pegasus/planner.hpp"
+#include "pegasus/rls.hpp"
+#include "pegasus/tc.hpp"
+#include "vds/dag.hpp"
+
+namespace nvo {
+namespace {
+
+using grid::DagManSim;
+using grid::FailureModel;
+using grid::Grid;
+using grid::JobCostModel;
+using grid::NodeOutcome;
+
+// ---------------------------------------------------------------------------
+// Grid: link matrix + queue delay
+// ---------------------------------------------------------------------------
+
+TEST(MultiPoolGrid, LinkMatrixOverridesEndpointEstimate) {
+  Grid g = grid::make_paper_grid();
+  g.put_file("isi", "f", 10 * 1000 * 1000);  // 80 megabits
+
+  const double endpoint_estimate = g.transfer_seconds("isi", "fermilab", "f");
+  g.set_link("isi", "fermilab", 10.0, 1000.0);
+  const double with_link = g.transfer_seconds("isi", "fermilab", "f");
+  EXPECT_NEAR(with_link, 10.0 / 1000.0 + 80.0 / 1000.0, 1e-9);
+  EXPECT_LT(with_link, endpoint_estimate);
+  // Symmetric: one recorded path serves both directions.
+  EXPECT_DOUBLE_EQ(g.transfer_seconds("fermilab", "isi", "f"), with_link);
+  // Pairs without a recorded link keep the endpoint min-bandwidth estimate.
+  EXPECT_EQ(g.link("isi", "uwisc"), nullptr);
+  EXPECT_GT(g.transfer_seconds("isi", "uwisc", "f"), with_link);
+  // Local access stays free.
+  EXPECT_DOUBLE_EQ(g.transfer_seconds("isi", "isi", "f"), 0.0);
+}
+
+vds::Dag compute_chain(int n, const std::string& site) {
+  vds::Dag dag;
+  for (int i = 0; i < n; ++i) {
+    vds::DagNode node;
+    node.id = "job" + std::to_string(i);
+    node.transformation = "t";
+    node.site = site;
+    (void)dag.add_node(node);
+  }
+  return dag;
+}
+
+TEST(MultiPoolGrid, QueueDelayExtendsMakespan) {
+  JobCostModel cost;
+  cost.compute_reference_seconds = 2.0;
+
+  Grid fast;
+  (void)fast.add_site({"pool", 1, 1.0, 20.0, 100.0, /*queue_delay_s=*/0.0});
+  Grid slow;
+  (void)slow.add_site({"pool", 1, 1.0, 20.0, 100.0, /*queue_delay_s=*/1.5});
+
+  DagManSim a(fast, cost, FailureModel{});
+  DagManSim b(slow, cost, FailureModel{});
+  auto ra = a.run(compute_chain(2, "pool"));
+  auto rb = b.run(compute_chain(2, "pool"));
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  // Each of the two serialized jobs pays the dispatch latency once.
+  EXPECT_NEAR(ra->makespan_seconds, 4.0, 1e-9);
+  EXPECT_NEAR(rb->makespan_seconds, 4.0 + 2 * 1.5, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// DagManSim: WAN accounting, stealing, outages
+// ---------------------------------------------------------------------------
+
+TEST(MultiPoolSim, WanBytesCountInterSiteTransfersOnly) {
+  Grid g = grid::make_paper_grid();
+  g.put_file("isi", "big", 5 * 1000 * 1000);
+  g.put_file("isi", "local", 7 * 1000 * 1000);
+
+  vds::Dag dag;
+  vds::DagNode wan;
+  wan.id = "tx_wan";
+  wan.type = vds::JobType::kTransfer;
+  wan.file = "big";
+  wan.source_site = "isi";
+  wan.site = "uwisc";
+  (void)dag.add_node(wan);
+  vds::DagNode lan = wan;
+  lan.id = "tx_lan";
+  lan.file = "local";
+  lan.site = "isi";  // src == dst: no WAN movement
+  (void)dag.add_node(lan);
+
+  DagManSim sim(g, JobCostModel{}, FailureModel{});
+  auto report = sim.run(dag);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->workflow_succeeded);
+  EXPECT_EQ(report->wan_bytes, 5u * 1000 * 1000);
+  EXPECT_EQ(report->stolen_jobs, 0u);
+}
+
+TEST(MultiPoolSim, RetriedTransferBillsTheWanTwice) {
+  Grid g = grid::make_paper_grid();
+  g.put_file("isi", "f", 1000 * 1000);
+
+  vds::Dag dag;
+  vds::DagNode tx;
+  tx.id = "tx_0";
+  tx.type = vds::JobType::kTransfer;
+  tx.file = "f";
+  tx.source_site = "isi";
+  tx.site = "uwisc";
+  (void)dag.add_node(tx);
+
+  // Find a seed whose first draw fails so the stream restarts exactly once.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    FailureModel failure;
+    failure.transfer_failure_rate = 0.5;
+    failure.max_retries = 3;
+    DagManSim sim(g, JobCostModel{}, failure, seed);
+    auto report = sim.run(dag);
+    ASSERT_TRUE(report.ok());
+    if (report->retries == 1 && report->workflow_succeeded) {
+      EXPECT_EQ(report->wan_bytes, 2u * 1000 * 1000);
+      return;
+    }
+  }
+  FAIL() << "no seed produced exactly one transfer retry";
+}
+
+TEST(MultiPoolSim, WorkStealingDrainsBackloggedPool) {
+  Grid g;
+  (void)g.add_site({"busy", 1, 1.0, 20.0, 100.0});
+  (void)g.add_site({"idle", 1, 1.0, 20.0, 100.0});
+
+  // 8 jobs all mapped to "busy": one seeds the idle pool so its slot frees
+  // and starts pulling from the backlog.
+  vds::Dag dag = compute_chain(7, "busy");
+  vds::DagNode seed_job;
+  seed_job.id = "seed";
+  seed_job.transformation = "t";
+  seed_job.site = "idle";
+  (void)dag.add_node(seed_job);
+
+  JobCostModel cost;
+  cost.compute_reference_seconds = 2.0;
+
+  DagManSim plain(g, cost, FailureModel{});
+  auto without = plain.run(dag);
+  ASSERT_TRUE(without.ok());
+
+  DagManSim stealing(g, cost, FailureModel{});
+  stealing.set_work_stealing(true);
+  auto with = stealing.run(dag);
+  ASSERT_TRUE(with.ok());
+
+  EXPECT_TRUE(with->workflow_succeeded);
+  EXPECT_GT(with->stolen_jobs, 0u);
+  EXPECT_LT(with->makespan_seconds, without->makespan_seconds);
+  // Migrations of staged inputs are billed; these jobs carry none.
+  EXPECT_EQ(with->wan_bytes, 0u);
+}
+
+TEST(MultiPoolSim, StealFilterBlocksUninstalledTransformations) {
+  Grid g;
+  (void)g.add_site({"busy", 1, 1.0, 20.0, 100.0});
+  (void)g.add_site({"idle", 1, 1.0, 20.0, 100.0});
+  vds::Dag dag = compute_chain(6, "busy");
+
+  DagManSim sim(g, JobCostModel{}, FailureModel{});
+  sim.set_work_stealing(true);
+  sim.set_steal_filter([](const vds::DagNode&, const std::string&) { return false; });
+  auto report = sim.run(dag);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->stolen_jobs, 0u);
+}
+
+TEST(MultiPoolSim, SiteOutageFailsRunningSkipsQueuedAndLatches) {
+  Grid g;
+  (void)g.add_site({"doomed", 1, 1.0, 20.0, 100.0});
+  (void)g.add_site({"safe", 1, 1.0, 20.0, 100.0});
+
+  // Four 2s jobs on one slot: at the 3s outage, job #1 is running (started
+  // at 2s), job #0 finished, jobs #2/#3 are still queued.
+  vds::Dag dag = compute_chain(4, "doomed");
+  JobCostModel cost;
+  cost.compute_reference_seconds = 2.0;
+  FailureModel failure;
+  failure.site_outage_at_s["doomed"] = 3.0;
+
+  DagManSim sim(g, cost, failure);
+  auto report = sim.run(dag);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->workflow_succeeded);
+  EXPECT_EQ(report->jobs_succeeded, 1u);
+  EXPECT_EQ(report->jobs_failed, 1u);   // the in-flight attempt, no retry
+  EXPECT_EQ(report->jobs_skipped, 2u);  // queued, never started
+  ASSERT_EQ(report->sites_lost.size(), 1u);
+  EXPECT_EQ(report->sites_lost[0], "doomed");
+  EXPECT_EQ(sim.dead_sites().count("doomed"), 1u);
+
+  // The latch holds across runs: a rescue round that still maps work to the
+  // dead pool leaves it skipped from t=0 (and does not re-fire the outage).
+  auto rescue = grid::make_rescue_dag(dag, report.value());
+  ASSERT_TRUE(rescue.ok());
+  auto second = sim.run(rescue.value());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->jobs_succeeded, 0u);
+  EXPECT_EQ(second->jobs_skipped, second->jobs_total);
+  EXPECT_TRUE(second->sites_lost.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rescue re-mapping
+// ---------------------------------------------------------------------------
+
+TEST(MultiPoolRescue, RemapMovesComputeAndRetargetsTransfers) {
+  Grid g = grid::make_paper_grid();
+  pegasus::TransformationCatalog tc;
+  ASSERT_TRUE(tc.add({"t", "fermilab", "/bin/t", {}}).ok());
+  ASSERT_TRUE(tc.add({"t", "uwisc", "/opt/t", {}}).ok());
+  pegasus::ReplicaLocationService rls;
+  rls.add("raw", "fermilab", "gsiftp://fermilab/raw");
+  rls.add("raw", "uwisc", "gsiftp://uwisc/raw");
+
+  // Stage-in (fermilab -> fermilab consumer) + compute + stage-out, all
+  // touching the dead pool.
+  vds::Dag rescue;
+  vds::DagNode tx_in;
+  tx_in.id = "tx_in";
+  tx_in.type = vds::JobType::kTransfer;
+  tx_in.file = "raw";
+  tx_in.source_site = "fermilab";
+  tx_in.site = "fermilab";
+  (void)rescue.add_node(tx_in);
+  vds::DagNode job;
+  job.id = "job";
+  job.transformation = "t";
+  job.site = "fermilab";
+  job.inputs = {"raw"};
+  job.outputs = {"product"};
+  (void)rescue.add_node(job);
+  vds::DagNode tx_out;
+  tx_out.id = "tx_out";
+  tx_out.type = vds::JobType::kTransfer;
+  tx_out.file = "product";
+  tx_out.source_site = "fermilab";
+  tx_out.site = "isi";
+  (void)rescue.add_node(tx_out);
+  (void)rescue.add_edge("tx_in", "job");
+  (void)rescue.add_edge("job", "tx_out");
+
+  const std::set<std::string> dead = {"fermilab"};
+  auto remap = pegasus::remap_rescue_sites(rescue, g, dead, tc, rls, "isi");
+  ASSERT_TRUE(remap.ok()) << remap.error().to_string();
+  EXPECT_EQ(remap->compute_remapped, 1u);
+  EXPECT_EQ(remap->transfers_retargeted, 2u);
+
+  // The compute moved to the only surviving installation.
+  EXPECT_EQ(rescue.node("job")->site, "uwisc");
+  EXPECT_EQ(rescue.node("job")->executable, "/opt/t");
+  // Stage-in follows its consumer and re-sources from the surviving replica.
+  EXPECT_EQ(rescue.node("tx_in")->site, "uwisc");
+  EXPECT_EQ(rescue.node("tx_in")->source_site, "uwisc");
+  // Stage-out re-sources from the (remapped) in-rescue producer.
+  EXPECT_EQ(rescue.node("tx_out")->source_site, "uwisc");
+  EXPECT_EQ(rescue.node("tx_out")->site, "isi");
+
+  // No surviving installation anywhere -> infeasible, reported as such.
+  pegasus::TransformationCatalog only_dead;
+  ASSERT_TRUE(only_dead.add({"t", "fermilab", "/bin/t", {}}).ok());
+  vds::Dag doomed;
+  (void)doomed.add_node(*rescue.node("job"));
+  doomed.mutable_node("job")->site = "fermilab";
+  auto bad = pegasus::remap_rescue_sites(doomed, g, dead, only_dead, rls, "isi");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(MultiPoolRescue, TransferSourceFallsBackToSubmitHostCopy) {
+  Grid g = grid::make_paper_grid();
+  pegasus::TransformationCatalog tc;
+  pegasus::ReplicaLocationService rls;  // no replica registered anywhere
+
+  vds::Dag rescue;
+  vds::DagNode tx;
+  tx.id = "tx";
+  tx.type = vds::JobType::kTransfer;
+  tx.file = "orphan";
+  tx.source_site = "fermilab";
+  tx.site = "uwisc";
+  (void)rescue.add_node(tx);
+
+  auto remap =
+      pegasus::remap_rescue_sites(rescue, g, {"fermilab"}, tc, rls, "isi");
+  ASSERT_TRUE(remap.ok());
+  EXPECT_EQ(rescue.node("tx")->source_site, "isi");
+}
+
+// ---------------------------------------------------------------------------
+// Planner: locality-aware placement + nearest-replica staging
+// ---------------------------------------------------------------------------
+
+vds::Dag one_job_abstract(const std::string& id, const std::string& input,
+                          const std::string& output) {
+  vds::Dag dag;
+  vds::DagNode n;
+  n.id = id;
+  n.transformation = "t";
+  n.inputs = {input};
+  n.outputs = {output};
+  (void)dag.add_node(n);
+  return dag;
+}
+
+TEST(MultiPoolPlanner, DataLocalityPlacesComputeAtTheReplica) {
+  Grid g = grid::make_paper_grid();
+  const std::size_t big = 50 * 1000 * 1000;
+  g.put_file("uwisc", "raw", big);
+  pegasus::ReplicaLocationService rls;
+  rls.add("raw", "uwisc", "gsiftp://uwisc/raw");
+  pegasus::TransformationCatalog tc;
+  for (const std::string& site : g.site_names()) {
+    ASSERT_TRUE(tc.add({"t", site, "/bin/t", {}}).ok());
+  }
+
+  pegasus::PlannerConfig config;
+  config.site_policy = pegasus::SitePolicy::kDataLocality;
+  config.register_outputs = false;
+  config.stage_out = false;
+  pegasus::Planner planner(g, rls, tc, config);
+  auto plan = planner.plan(one_job_abstract("job", "raw", "out"));
+  ASSERT_TRUE(plan.ok()) << plan.error().to_string();
+  EXPECT_EQ(plan->concrete.node("job")->site, "uwisc");
+  // The replica is local to the chosen site: no stage-in transfer at all.
+  EXPECT_EQ(plan->transfer_nodes, 0u);
+}
+
+TEST(MultiPoolPlanner, LoadWeightSpreadsOffTheHotReplicaSite) {
+  Grid g;
+  (void)g.add_site({"data", 1, 1.0, 20.0, 100.0});  // one slot, holds the data
+  (void)g.add_site({"farm", 32, 1.0, 20.0, 100.0});
+  g.put_file("data", "raw", 1000);
+  pegasus::ReplicaLocationService rls;
+  rls.add("raw", "data", "gsiftp://data/raw");
+  pegasus::TransformationCatalog tc;
+  ASSERT_TRUE(tc.add({"t", "data", "/bin/t", {}}).ok());
+  ASSERT_TRUE(tc.add({"t", "farm", "/bin/t", {}}).ok());
+
+  vds::Dag abstract;
+  for (int i = 0; i < 4; ++i) {
+    vds::DagNode n;
+    n.id = "job" + std::to_string(i);
+    n.transformation = "t";
+    n.inputs = {"raw"};
+    n.outputs = {"out" + std::to_string(i)};
+    (void)abstract.add_node(n);
+  }
+
+  pegasus::PlannerConfig config;
+  config.site_policy = pegasus::SitePolicy::kDataLocality;
+  config.register_outputs = false;
+  config.stage_out = false;
+  config.locality_load_weight = 1000.0;  // load dominates the tiny stage-in
+  pegasus::Planner planner(g, rls, tc, config);
+  auto plan = planner.plan(abstract);
+  ASSERT_TRUE(plan.ok());
+  std::set<std::string> sites;
+  for (const std::string& id : plan->concrete.node_ids()) {
+    const vds::DagNode* n = plan->concrete.node(id);
+    if (n->type == vds::JobType::kCompute) sites.insert(n->site);
+  }
+  // The single-slot data site cannot absorb all four jobs once one unit of
+  // load outweighs the transfer.
+  EXPECT_EQ(sites.count("farm"), 1u);
+}
+
+TEST(MultiPoolPlanner, NearestReplicaAvoidsTheWanStage) {
+  Grid g = grid::make_paper_grid();
+  g.put_file("uwisc", "raw", 1000 * 1000);
+  pegasus::ReplicaLocationService rls;
+  rls.add("raw", "uwisc", "gsiftp://uwisc/raw");     // catalog-first entry
+  rls.add("raw", "fermilab", "gsiftp://fermilab/raw");
+  pegasus::TransformationCatalog tc;
+  ASSERT_TRUE(tc.add({"t", "fermilab", "/bin/t", {}}).ok());  // forced site
+
+  pegasus::PlannerConfig config;
+  config.register_outputs = false;
+  config.stage_out = false;
+
+  config.replica_policy = pegasus::ReplicaPolicy::kFirst;
+  {
+    pegasus::Planner planner(g, rls, tc, config);
+    auto plan = planner.plan(one_job_abstract("job", "raw", "out"));
+    ASSERT_TRUE(plan.ok());
+    // kFirst blindly stages from the catalog-first (remote) replica.
+    EXPECT_EQ(plan->transfer_nodes, 1u);
+  }
+  config.replica_policy = pegasus::ReplicaPolicy::kNearest;
+  {
+    pegasus::Planner planner(g, rls, tc, config);
+    auto plan = planner.plan(one_job_abstract("job", "raw", "out"));
+    ASSERT_TRUE(plan.ok());
+    // kNearest notices the local copy: nothing to move.
+    EXPECT_EQ(plan->transfer_nodes, 0u);
+  }
+}
+
+// Satellite: Rls::remove of one site's replica mid-campaign must never be
+// re-selected, and stage-in pruning (skip when the file is already at the
+// execution site) stays correct.
+TEST(MultiPoolPlanner, RemovedReplicaIsNeverSelectedAgain) {
+  Grid g = grid::make_paper_grid();
+  g.put_file("uwisc", "raw", 1000);
+  g.put_file("fermilab", "raw", 1000);
+  pegasus::ReplicaLocationService rls;
+  rls.add("raw", "uwisc", "gsiftp://uwisc/raw");
+  rls.add("raw", "fermilab", "gsiftp://fermilab/raw");
+  pegasus::TransformationCatalog tc;
+  ASSERT_TRUE(tc.add({"t", "isi", "/bin/t", {}}).ok());  // exec away from both
+
+  pegasus::PlannerConfig config;
+  config.register_outputs = false;
+  config.stage_out = false;
+  config.replica_policy = pegasus::ReplicaPolicy::kRandom;
+
+  ASSERT_TRUE(rls.remove("raw", "uwisc").ok());
+  g.remove_file("uwisc", "raw");
+
+  // Random replica selection across many seeds: the removed site must never
+  // come back out of the RLS.
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    pegasus::Planner planner(g, rls, tc, config, seed);
+    auto plan = planner.plan(one_job_abstract("job", "raw", "out"));
+    ASSERT_TRUE(plan.ok());
+    for (const std::string& id : plan->concrete.node_ids()) {
+      const vds::DagNode* n = plan->concrete.node(id);
+      if (n->type == vds::JobType::kTransfer) {
+        EXPECT_EQ(n->source_site, "fermilab");
+      }
+    }
+  }
+
+  // Pruning: once the surviving replica's bytes are at the execution site,
+  // the stage-in disappears entirely (and planning still succeeds).
+  g.put_file("isi", "raw", 1000);
+  pegasus::Planner planner(g, rls, tc, config);
+  auto plan = planner.plan(one_job_abstract("job", "raw", "out"));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->transfer_nodes, 0u);
+
+  // Removing the last replica makes the request infeasible, not misplanned.
+  ASSERT_TRUE(rls.remove("raw", "fermilab").ok());
+  pegasus::Planner empty_planner(g, rls, tc, config);
+  auto infeasible = empty_planner.plan(one_job_abstract("job2", "raw", "out2"));
+  EXPECT_FALSE(infeasible.ok());
+}
+
+// ---------------------------------------------------------------------------
+// End to end: whole-pool outage mid-campaign -> rescue -> identical catalog
+// ---------------------------------------------------------------------------
+
+analysis::CampaignConfig outage_base() {
+  analysis::CampaignConfig config;
+  config.population_scale = 0.1;
+  config.compute_threads = 2;
+  // Deterministic spread over all three pools, so the doomed one is
+  // guaranteed a share of the work.
+  config.site_policy = pegasus::SitePolicy::kLeastLoaded;
+  return config;
+}
+
+TEST(MultiPoolCampaign, PoolOutageConvergesToByteIdenticalCatalog) {
+  analysis::Campaign clean(outage_base());
+  const std::string name = clean.universe().clusters().front().name();
+  auto reference = clean.run_cluster(name);
+  ASSERT_TRUE(reference.ok()) << reference.error().to_string();
+  ASSERT_FALSE(reference->catalog_xml.empty());
+
+  analysis::CampaignConfig cfg = outage_base();
+  cfg.chaos.site_outage("fermilab", 1.0);  // mid-DAG: jobs are in flight
+  cfg.rescue_rounds = 3;
+  analysis::Campaign wounded(cfg);
+  auto outcome = wounded.run_cluster(name);
+  ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+
+  // The rescue rounds re-mapped the lost pool's share onto survivors and
+  // the catalog is the same bytes the healthy grid produced.
+  EXPECT_EQ(outcome->catalog_xml, reference->catalog_xml);
+  EXPECT_EQ(outcome->valid, reference->valid);
+  EXPECT_EQ(outcome->invalid, reference->invalid);
+
+  // The lost pool is really gone: no compute of the final state ran there.
+  // (Stage-ins that finished before the outage keep their historical record;
+  // the rescue re-stages those inputs to wherever the consumer moved.)
+  const grid::RunReport& exec =
+      wounded.compute_service().last_trace()->execution;
+  for (const grid::NodeResult& r : exec.nodes) {
+    if (r.outcome == NodeOutcome::kSucceeded && !r.id.starts_with("tx_")) {
+      EXPECT_NE(r.site, "fermilab") << r.id;
+    }
+  }
+  ASSERT_EQ(exec.sites_lost.size(), 1u);
+  EXPECT_EQ(exec.sites_lost.front(), "fermilab");
+}
+
+TEST(MultiPoolCampaign, OutageWithoutRescueBudgetDegradesInsteadOfDiverging) {
+  analysis::CampaignConfig cfg = outage_base();
+  cfg.chaos.site_outage("fermilab", 1.0);
+  cfg.rescue_rounds = 0;  // no recovery: rows on the lost pool flag invalid
+  analysis::Campaign campaign(cfg);
+  const std::string name = campaign.universe().clusters().front().name();
+  auto outcome = campaign.run_cluster(name);
+  ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+  EXPECT_GT(outcome->invalid, 0u);
+  EXPECT_GT(outcome->valid, 0u);  // survivors still delivered their rows
+}
+
+}  // namespace
+}  // namespace nvo

@@ -15,6 +15,14 @@
 # survey throughput >= 3x the campaign data plane at 10^5 galaxies, flat
 # RSS between 2x10^4 and 10^5, and a zero-allocation merge inner loop.
 #
+# The multi-pool lane (bench_multipool -> BENCH_multipool.json) compares
+# random vs load-aware vs locality-aware site selection on a three-pool grid
+# with an explicit link matrix, plus the work-stealing rebalance scenario.
+# Gates: locality beats random on BOTH simulated makespan and WAN bytes
+# (the deltas are written into BENCH_multipool.json), stealing beats the
+# no-steal pin, and no counter regresses >10% vs the frozen seed. All gated
+# figures are sim-clock/accounting counters — deterministic across hosts.
+#
 # And the portal lane (bench_portal -> BENCH_portal.json): the multi-tenant
 # async portal under 1x/2x/5x overload. Gates on >10% p99-latency or goodput
 # regression vs bench/baselines/bench_portal_seed.json, a non-zero shed rate
@@ -36,13 +44,14 @@ cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j \
   --target bench_s5_campaign --target bench_fig5_portal \
   --target bench_a3_morphology_kernel --target bench_survey \
-  --target bench_portal
+  --target bench_portal --target bench_multipool
 
 TMP="$(mktemp)"
 METRICS_TMP="$(mktemp)"
 SURVEY_TMP="$(mktemp)"
 PORTAL_TMP="$(mktemp)"
-trap 'rm -f "$TMP" "$METRICS_TMP" "$SURVEY_TMP" "$PORTAL_TMP"' EXIT
+MULTIPOOL_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$METRICS_TMP" "$SURVEY_TMP" "$PORTAL_TMP" "$MULTIPOOL_TMP"' EXIT
 
 echo "=== bench_s5_campaign (NVO_S5_SCALE=$SCALE) ==="
 NVO_S5_SCALE="$SCALE" NVO_S5_METRICS_OUT="$METRICS_TMP" \
@@ -325,4 +334,111 @@ if failures:
     sys.exit(1)
 print("OK: portal p99/goodput within 10% of seed; 5x overload sheds; "
       "recomputes < requests")
+EOF
+
+# --- Multi-pool lane: site-selection policies and straggler rebalancing ---
+echo "=== bench_multipool ==="
+"$BUILD/bench/bench_multipool" \
+  --benchmark_out="$MULTIPOOL_TMP" --benchmark_out_format=json
+
+{
+  printf '{\n"baseline": '
+  cat "$ROOT/bench/baselines/bench_multipool_seed.json"
+  printf ',\n"current": '
+  cat "$MULTIPOOL_TMP"
+  printf '}\n'
+} > "$ROOT/BENCH_multipool.json"
+echo "wrote $ROOT/BENCH_multipool.json"
+
+python3 - "$ROOT/BENCH_multipool.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def by_name(run):
+    out = {}
+    for b in run["benchmarks"]:
+        name = "/".join(p for p in b["name"].split("/") if ":" not in p)
+        out[name] = b
+    return out
+
+baseline = by_name(doc["baseline"])
+current = by_name(doc["current"])
+failures = []
+
+# Same release-provenance gate as the s5 lane (current run only).
+build_type = doc["current"].get("context", {}).get("library_build_type")
+if build_type != "release":
+    failures.append(
+        f"current run context reports library_build_type={build_type!r}, "
+        "expected 'release' — rerun via tools/run_bench.sh (Release build)")
+
+# Every gated figure is a simulated-clock or byte-accounting counter:
+# deterministic in the seed, so drift vs the frozen baseline is a real
+# scheduling/accounting change, not host noise. Lower is better for both.
+print(f"{'policy':<28} {'makespan(sim s)':>16} {'wan_bytes':>14}")
+for name in ("BM_MultiPoolRandom", "BM_MultiPoolLoadAware",
+             "BM_MultiPoolLocality", "BM_MultiPoolWorkStealing"):
+    base, cur = baseline.get(name), current.get(name)
+    if cur is None or base is None:
+        failures.append(
+            f"{name}: missing from {'current' if base else 'baseline'} run")
+        continue
+    print(f"{name:<28} {cur['makespan_sim_s']:>16.1f} {cur['wan_bytes']:>14.0f}")
+    for counter in ("makespan_sim_s", "wan_bytes"):
+        b, c = base[counter], cur[counter]
+        if b > 0 and c > 1.10 * b:
+            failures.append(
+                f"{name}: {counter} regressed >10% ({b:.1f} -> {c:.1f})")
+
+rand = current.get("BM_MultiPoolRandom", {})
+loc = current.get("BM_MultiPoolLocality", {})
+deltas = {}
+if rand and loc:
+    deltas = {
+        "makespan_random_s": rand["makespan_sim_s"],
+        "makespan_locality_s": loc["makespan_sim_s"],
+        "makespan_delta_s": rand["makespan_sim_s"] - loc["makespan_sim_s"],
+        "wan_bytes_random": rand["wan_bytes"],
+        "wan_bytes_locality": loc["wan_bytes"],
+        "wan_bytes_delta": rand["wan_bytes"] - loc["wan_bytes"],
+    }
+    print(f"\nlocality vs random: "
+          f"{deltas['makespan_delta_s']:.1f} sim s faster, "
+          f"{deltas['wan_bytes_delta']:.0f} fewer WAN bytes")
+    if deltas["makespan_delta_s"] <= 0:
+        failures.append(
+            "locality-aware does not beat random on makespan "
+            f"({loc['makespan_sim_s']:.1f} vs {rand['makespan_sim_s']:.1f} sim s)")
+    if deltas["wan_bytes_delta"] <= 0:
+        failures.append(
+            "locality-aware does not beat random on WAN bytes "
+            f"({loc['wan_bytes']:.0f} vs {rand['wan_bytes']:.0f})")
+
+steal = current.get("BM_MultiPoolWorkStealing", {})
+if steal:
+    print(f"work stealing: {steal['stolen_jobs']:.0f} jobs migrated, "
+          f"{steal['makespan_nosteal_s']:.1f} -> {steal['makespan_sim_s']:.1f} sim s")
+    if steal.get("stolen_jobs", 0) <= 0:
+        failures.append("work stealing never fired (stolen_jobs = 0)")
+    if steal.get("makespan_sim_s", 0) >= steal.get("makespan_nosteal_s", 0):
+        failures.append(
+            "work stealing did not improve the pinned-pool makespan "
+            f"({steal.get('makespan_nosteal_s', 0):.1f} -> "
+            f"{steal.get('makespan_sim_s', 0):.1f} sim s)")
+
+# The headline deltas ride along in the report for downstream consumers.
+doc["deltas"] = deltas
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=1)
+
+if failures:
+    print("\nFAIL:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("OK: locality-aware beats random on makespan and WAN bytes; "
+      "stealing rebalances the pinned pool")
 EOF
