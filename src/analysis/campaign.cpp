@@ -61,6 +61,9 @@ Campaign::Campaign(CampaignConfig config) : config_(config) {
   scfg.failure.site_outage_at_s = config_.chaos.site_outages();
   scfg.rescue_rounds = config_.rescue_rounds;
   scfg.work_stealing = config_.work_stealing;
+  scfg.hedge_stage_ins = config_.hedge_stage_ins;
+  scfg.hedge_quantile = config_.hedge_quantile;
+  scfg.hedge_min_samples = config_.hedge_min_samples;
   if (!federation_.mirror_host.empty()) {
     scfg.mirrors[services::Federation::kMastHost] = federation_.mirror_host;
   }

@@ -74,6 +74,12 @@ struct CampaignConfig {
   /// Straggler rebalancing: idle pools pull queued-but-unstarted jobs from
   /// backlogged ones in the simulated executor.
   bool work_stealing = false;
+  /// Hedged stage-ins in the pipelined executor: slow archive fetches are
+  /// re-issued against the mirror after a quantile-derived delay, first
+  /// verified success wins (portal::ComputeServiceConfig::hedge_stage_ins).
+  bool hedge_stage_ins = false;
+  double hedge_quantile = 0.95;
+  std::size_t hedge_min_samples = 8;
 };
 
 struct ClusterOutcome {

@@ -1,0 +1,62 @@
+// Cooperative cancellation for request-scoped work. A CancellationToken is
+// a copyable handle onto shared state: the portal (or a test, or a chaos
+// hook) flips it once, and every layer holding a copy — federation fetches,
+// the staging loop, queued kernel tasks on the thread pool, the DAGMan
+// event loop — observes the flip at its next check point and unwinds.
+// Cancellation is advisory, never preemptive: in-flight work finishes its
+// current step and releases its resources on the way out, which is what
+// keeps the inflight gauges balanced.
+//
+// Lives in common (not services) because grid::ThreadPool and
+// grid::DagManSim consume tokens and must not depend on the services layer.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace nvo {
+
+/// Shared-state cancellation flag. Default-constructed tokens are live
+/// (never cancelled) and independent; copies share one flag. Thread-safe:
+/// cancel()/cancelled() may race from pool workers and the portal thread.
+class CancellationToken {
+ public:
+  CancellationToken() : state_(std::make_shared<State>()) {}
+
+  /// Flips the flag (idempotent; the first reason wins).
+  void cancel(const std::string& reason = "cancelled") const {
+    if (state_->flag.exchange(true, std::memory_order_acq_rel)) return;
+    std::lock_guard lock(state_->mutex);
+    state_->reason = reason;
+  }
+
+  bool cancelled() const {
+    return state_->flag.load(std::memory_order_acquire);
+  }
+
+  /// Why the token was cancelled ("" while live). Valid only after
+  /// cancelled() returned true.
+  std::string reason() const {
+    if (!cancelled()) return {};
+    std::lock_guard lock(state_->mutex);
+    return state_->reason;
+  }
+
+  /// Two tokens observing the same flag?
+  bool same_as(const CancellationToken& other) const {
+    return state_ == other.state_;
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> flag{false};
+    mutable std::mutex mutex;
+    std::string reason;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace nvo

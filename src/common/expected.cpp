@@ -28,6 +28,10 @@ const char* to_string(ErrorCode code) {
       return "kDataCorruption";
     case ErrorCode::kAborted:
       return "kAborted";
+    case ErrorCode::kCancelled:
+      return "kCancelled";
+    case ErrorCode::kDeadlineExceeded:
+      return "kDeadlineExceeded";
   }
   return "kUnknown";
 }

@@ -26,6 +26,8 @@ enum class ErrorCode {
   kInternal,
   kDataCorruption,  ///< payload failed digest verification after transfer
   kAborted,         ///< execution killed mid-flight (chaos kill injection)
+  kCancelled,         ///< request cancelled cooperatively (token observed)
+  kDeadlineExceeded,  ///< request's end-to-end deadline budget ran out
 };
 
 /// Human-readable name for an ErrorCode.

@@ -176,9 +176,29 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
     events.push(SimEvent{now + delay + d, ++sequence, id});
   };
 
+  // Deadline gate at dispatch: a compute node whose remaining budget
+  // cannot cover queue delay + estimated duration is terminally expired —
+  // no attempt is issued, no slot taken, descendants stay blocked. Idempotent
+  // (a node may be re-examined from a queue or a steal scan); the verdict
+  // can only tighten because `now` is monotone.
+  std::set<std::string> expired_nodes;
+  auto expire_if_due = [&](const std::string& id) -> bool {
+    if (deadline_s_ <= 0.0) return false;
+    const vds::DagNode* n = dag.node(id);
+    if (n->type != vds::JobType::kCompute) return false;
+    const SiteConfig* site = grid_.site(n->site);
+    const double queue_delay = site ? site->queue_delay_s : 0.0;
+    if (now + queue_delay + duration_of(*n, n->site) <= deadline_s_) {
+      return false;
+    }
+    if (expired_nodes.insert(id).second) ++report.jobs_expired;
+    return true;
+  };
+
   auto dispatch_now = [&](const std::string& id) {
     const vds::DagNode* n = dag.node(id);
     if (n->type == vds::JobType::kCompute) {
+      if (expire_if_due(id)) return;
       // A pool that is gone accepts nothing: the node is left unstarted
       // (reported skipped) for a rescue round to re-map.
       if (dead_sites_.count(n->site) != 0) return;
@@ -228,6 +248,7 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
       if (site_name == thief || q.empty() || q.size() <= best_backlog) continue;
       // Newest-first scan for a node the thief can actually run.
       for (auto it = q.rbegin(); it != q.rend(); ++it) {
+        if (expire_if_due(*it)) continue;  // dropped for good at pop time
         if (steal_filter_ && !steal_filter_(*dag.node(*it), thief)) continue;
         victim = site_name;
         stolen = *it;
@@ -270,6 +291,15 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
 
   std::size_t completed = 0;
   while (!events.empty()) {
+    // Cooperative cancellation: observed between events, never mid-node.
+    // Everything still pending — queued nodes, parked wakeups, in-flight
+    // completions — is dropped with the run-local state (slots, queues and
+    // events are locals, so nothing survives the return), and completions
+    // already recorded stand. The caller sees a partial report.
+    if (cancel_.cancelled()) {
+      report.cancelled = true;
+      break;
+    }
     const SimEvent ev = events.top();
     events.pop();
     now = ev.time;
@@ -342,13 +372,21 @@ Expected<RunReport> DagManSim::run(const vds::Dag& dag) {
       continue;
     }
 
-    // Slot release: hand it to the local queue first, then (when enabled)
-    // to the most backlogged other pool's tail, else free it.
+    // Slot release: hand it to the local queue first (skipping nodes whose
+    // budget expired while they waited), then (when enabled) to the most
+    // backlogged other pool's tail, else free it.
     if (n->type == vds::JobType::kCompute) {
       auto& q = site_queue[r.site];
-      if (!q.empty()) {
-        const std::string next = q.front();
+      std::string next;
+      while (!q.empty()) {
+        const std::string cand = q.front();
         q.pop_front();
+        if (!expire_if_due(cand)) {
+          next = cand;
+          break;
+        }
+      }
+      if (!next.empty()) {
         start_node(next);  // slot handed directly to the next queued job
       } else if (!steal_into(r.site)) {
         ++free_slots[r.site];

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/expected.hpp"
 #include "common/rng.hpp"
 #include "grid/grid.hpp"
@@ -81,6 +82,15 @@ struct RunReport {
   /// Bytes moved between distinct sites: every transfer-node attempt whose
   /// source and destination differ, plus steal migrations of staged inputs.
   std::size_t wan_bytes = 0;
+  /// Compute nodes terminally expired at dispatch: the remaining deadline
+  /// budget could not cover queue delay + estimated compute, so no attempt
+  /// was ever issued (they appear kSkipped in `nodes`, descendants stay
+  /// blocked, and no rescue round should retry them in this request).
+  std::size_t jobs_expired = 0;
+  /// The run was cut short by cooperative cancellation: queued nodes were
+  /// dropped and every held slot died with the run-local state. The report
+  /// is partial (completions up to the cancel point stand).
+  bool cancelled = false;
   /// Pools whose scripted outage fired during this run.
   std::vector<std::string> sites_lost;
   std::map<std::string, double> site_busy_seconds;
@@ -126,6 +136,22 @@ class DagManSim {
   using StealFilter = std::function<bool(const vds::DagNode&, const std::string&)>;
   void set_steal_filter(StealFilter filter) { steal_filter_ = std::move(filter); }
 
+  /// End-to-end deadline on the run's own simulated timeline (seconds from
+  /// t=0 of run()); <= 0 disables. At dispatch time a compute node whose
+  /// remaining budget cannot cover queue delay + estimated duration is
+  /// terminally expired: it never takes a slot, its descendants stay
+  /// blocked (reported skipped), and RunReport::jobs_expired counts it.
+  /// Nodes already in flight when the deadline passes run to completion —
+  /// expiry is a dispatch gate, not preemption.
+  void set_deadline_s(double deadline_s) { deadline_s_ = deadline_s; }
+
+  /// Cooperative cancellation: the token is checked before each simulated
+  /// event is processed. Once cancelled, the loop stops — queued nodes and
+  /// parked events are dropped (outcomes stay kSkipped), every held slot
+  /// dies with the run-local state, and the returned report is partial
+  /// with RunReport::cancelled set. Safe to flip from another thread.
+  void set_cancel_token(CancellationToken token) { cancel_ = std::move(token); }
+
   /// Sites whose scripted outage has fired, latched across run() calls so
   /// rescue-DAG rounds keep treating the pool as gone.
   const std::set<std::string>& dead_sites() const { return dead_sites_; }
@@ -149,6 +175,8 @@ class DagManSim {
   /// a failed node still gets a fresh draw rather than its old one.
   std::map<std::string, int> draw_count_;
   NodeCallback on_node_;
+  double deadline_s_ = 0.0;
+  CancellationToken cancel_;
   bool work_stealing_ = false;
   StealFilter steal_filter_;
   /// Pools lost to fired outages, persisting across run() calls.

@@ -48,6 +48,23 @@ void ThreadPool::submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+void ThreadPool::submit_cancellable(CancellationToken token,
+                                    std::function<void()> task,
+                                    std::function<void()> on_cancel) {
+  submit([this, token = std::move(token), task = std::move(task),
+          on_cancel = std::move(on_cancel)] {
+    if (token.cancelled()) {
+      {
+        std::lock_guard lock(mutex_);
+        ++cancelled_tasks_;
+      }
+      if (on_cancel) on_cancel();
+      return;
+    }
+    task();
+  });
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });

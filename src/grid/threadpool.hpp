@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
+
 namespace nvo::grid {
 
 class ThreadPool {
@@ -28,6 +30,21 @@ class ThreadPool {
   /// Enqueues a task. Tasks must not throw (payload errors are reported
   /// through their own channels; an escaping exception terminates).
   void submit(std::function<void()> task);
+
+  /// Enqueues a cancellable task: the token is checked when the task is
+  /// dequeued (by a worker or by the destructor's inline drain) — cancelled
+  /// runs `on_cancel`, live runs `task`. This is how a cancelled request's
+  /// queued work is dropped without executing the expensive body while the
+  /// bookkeeping it owes (in-flight counter decrements, cv notifications)
+  /// still happens exactly once.
+  void submit_cancellable(CancellationToken token, std::function<void()> task,
+                          std::function<void()> on_cancel);
+
+  /// Tasks whose cancel branch ran instead of the body (cumulative).
+  std::size_t cancelled_tasks() const {
+    std::lock_guard lock(mutex_);
+    return cancelled_tasks_;
+  }
 
   /// Blocks until the queue is empty and all workers are idle.
   void wait_idle();
@@ -65,6 +82,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::size_t active_ = 0;
+  std::size_t cancelled_tasks_ = 0;
   double idle_ms_ = 0.0;
   std::vector<std::jthread> workers_;  // declared last: joins before members die
 };

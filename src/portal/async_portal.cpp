@@ -18,6 +18,8 @@ const char* to_string(RequestState state) {
     case RequestState::kDone: return "done";
     case RequestState::kFailed: return "failed";
     case RequestState::kShed: return "shed";
+    case RequestState::kExpired: return "expired";
+    case RequestState::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -111,7 +113,7 @@ std::string AsyncPortal::status_url(const std::string& id) const {
 
 Submission AsyncPortal::submit(const std::string& tenant_name,
                                const std::string& cluster,
-                               const std::string& params) {
+                               const std::string& params, double deadline_ms) {
   Submission out;
   const auto tit = tenants_.find(tenant_name);
   if (tit == tenants_.end()) {
@@ -141,6 +143,12 @@ Submission AsyncPortal::submit(const std::string& tenant_name,
   req.result_url =
       "http://" + compute_.config().host + "/results?name=" + req.out_lfn;
   req.submit_ms = now_ms();
+  // The absolute deadline is fixed HERE, at submission — every layer below
+  // computes its remaining budget against this instant, so queue time counts
+  // against the SLO just like service time does.
+  const double budget =
+      deadline_ms > 0.0 ? deadline_ms : config_.default_deadline_ms;
+  req.ctx.budget = services::DeadlineBudget::after(req.submit_ms, budget);
   out.id = req.id;
 
   const auto decision =
@@ -158,16 +166,9 @@ Submission AsyncPortal::submit(const std::string& tenant_name,
     out.reason = req.error;
     out.retry_after_ms = decision.retry_after_ms;
     publish_status(req);
-    shed_ring_.push_back(req.id);
-    requests_.emplace(req.id, std::move(req));
-    // Bounded-memory shedding: under sustained overload the shed path must
-    // not accumulate state, so only the freshest records stay poll-able.
-    while (config_.shed_record_limit > 0 &&
-           shed_ring_.size() > config_.shed_record_limit) {
-      requests_.erase(shed_ring_.front());
-      status_board_->erase(shed_ring_.front());
-      shed_ring_.pop_front();
-    }
+    const std::string shed_id = req.id;
+    requests_.emplace(shed_id, std::move(req));
+    retire_to_ring(shed_id);
     return out;
   }
 
@@ -217,8 +218,87 @@ void AsyncPortal::run_unit(Tenant& tenant) {
   start_request(tenant, id);
 }
 
+void AsyncPortal::retire_to_ring(const std::string& id) {
+  // Bounded-memory terminal records: under sustained overload (or a cancel
+  // storm) the reject/abandon path must not accumulate state, so shed,
+  // expired and cancelled records share one ring and only the freshest stay
+  // poll-able. The id just pushed is the ring's newest entry, so the trim
+  // below can never erase the record mid-use.
+  terminal_ring_.push_back(id);
+  while (config_.shed_record_limit > 0 &&
+         terminal_ring_.size() > config_.shed_record_limit) {
+    requests_.erase(terminal_ring_.front());
+    status_board_->erase(terminal_ring_.front());
+    terminal_ring_.pop_front();
+  }
+}
+
+Status AsyncPortal::cancel(const std::string& id, const std::string& reason) {
+  const auto it = requests_.find(id);
+  if (it == requests_.end()) {
+    return Error(ErrorCode::kNotFound, "no request " + id);
+  }
+  Request& req = it->second;
+  if (req.state != RequestState::kQueued && req.state != RequestState::kRunning) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "request " + id + " already terminal (" +
+                     to_string(req.state) + ")");
+  }
+  req.ctx.cancel.cancel(reason);
+  Tenant& tenant = *tenants_.at(req.tenant);
+
+  // Queued in the tenant FIFO: drop it there and terminalize immediately.
+  auto& q = tenant.queue;
+  if (const auto qit = std::find(q.begin(), q.end(), id); qit != q.end()) {
+    q.erase(qit);
+    release_admission(req);
+    req.error = "cancelled: " + reason;
+    req.retry_after_ms = admission_.retry_after_hint();
+    finish(tenant, req, RequestState::kCancelled);
+    refresh_activation(tenant);
+    return Status::Ok();
+  }
+
+  // Parked follower: unpark from its leader's list and terminalize. The
+  // leader (someone else's identical derivation) keeps running.
+  if (req.coalesced && tenant.running != id) {
+    for (auto& [leader_id, parked] : followers_) {
+      const auto fit = std::find(parked.begin(), parked.end(), id);
+      if (fit == parked.end()) continue;
+      parked.erase(fit);
+      --stats_.waiting;
+      ++stats_.queued;  // rejoin queued accounting so release balances it
+      --waiting_;
+      release_admission(req);
+      req.error = "cancelled: " + reason;
+      req.retry_after_ms = admission_.retry_after_hint();
+      finish(tenant, req, RequestState::kCancelled);
+      return Status::Ok();
+    }
+  }
+
+  // Running: the token is flagged; every layer below unwinds at its next
+  // cooperative checkpoint (staging fetch boundary, kernel dequeue, DAG
+  // event), and the request terminalizes at its next scheduling unit. No
+  // immediate finish here — a cancel arriving from inside a fabric handler
+  // mid-stage must not re-enter the scheduler under the running stage.
+  return Status::Ok();
+}
+
 void AsyncPortal::start_request(Tenant& tenant, const std::string& id) {
   Request& req = requests_.at(id);
+  if (req.ctx.cancel.cancelled()) {
+    release_admission(req);
+    req.error = "cancelled: " + req.ctx.cancel.reason();
+    req.retry_after_ms = admission_.retry_after_hint();
+    finish(tenant, req, RequestState::kCancelled);
+    return;
+  }
+  if (req.ctx.expired(now_ms())) {
+    release_admission(req);
+    expire_request(tenant, req, "deadline budget exhausted in queue");
+    return;
+  }
   if (memo_ready(req)) {
     // Completed-derivation memo hit: the request still runs (and pays for)
     // one catalog fetch through its own tenant's client, but skips the
@@ -232,10 +312,13 @@ void AsyncPortal::start_request(Tenant& tenant, const std::string& id) {
     publish_status(req);
     return;
   }
-  if (const auto leader = inflight_.find(req.memo_key); leader != inflight_.end()) {
+  if (const auto leader = inflight_.find(req.memo_key);
+      leader != inflight_.end() && leader->second != id) {
     // Single-flight: an identical derivation is in flight — park behind it
     // rather than racing it. Admission stays held (the request is still
     // occupying the system); the tenant's slot frees up for other work.
+    // (A request finding ITSELF in the registry was re-elected leader after
+    // the previous leader cancelled; it proceeds to run below.)
     req.coalesced = true;
     ++stats_.coalesced;
     ++stats_.waiting;
@@ -257,6 +340,25 @@ void AsyncPortal::start_request(Tenant& tenant, const std::string& id) {
 }
 
 void AsyncPortal::advance(Tenant& tenant, Request& req) {
+  // Cooperative checkpoints at stage granularity: a token flagged while a
+  // stage was in flight (or between scheduling units) terminalizes here,
+  // before the next stage spends anything.
+  if (req.ctx.cancel.cancelled()) {
+    req.error = "cancelled: " + req.ctx.cancel.reason();
+    req.retry_after_ms = admission_.retry_after_hint();
+    return finish(tenant, req, RequestState::kCancelled);
+  }
+  if (req.ctx.expired(now_ms())) {
+    return expire_request(
+        tenant, req,
+        format("deadline budget exhausted at stage %s", stage_name(req.stage)));
+  }
+  // Federation queries, cutout resolution and result fetches all go through
+  // the tenant's own resilient client: scope the request's remaining budget
+  // and token onto it for the duration of this stage, so per-call deadlines
+  // clamp to what's left and backoff never sleeps past the SLO.
+  services::ResilientClient::ScopedContext scoped(tenant.portal->client(),
+                                                  req.ctx);
   switch (req.stage) {
     case Stage::kImages: {
       auto images = tenant.portal->find_large_scale_images(req.cluster, &req.trace);
@@ -298,7 +400,7 @@ void AsyncPortal::advance(Tenant& tenant, Request& req) {
                             "no galaxy in " + req.cluster + " has a cutout reference");
       }
       const double before = now_ms();
-      auto status_url = compute_.gal_morph_compute(input, req.out_name);
+      auto status_url = compute_.gal_morph_compute(input, req.out_name, req.ctx);
       if (!status_url.ok()) {
         return fail_request(tenant, req, status_url.error().to_string());
       }
@@ -313,6 +415,16 @@ void AsyncPortal::advance(Tenant& tenant, Request& req) {
         if (poll->state == "completed") {
           result_url = poll->result_url;
           break;
+        }
+        if (poll->state == "cancelled") {
+          req.error = "compute cancelled: " + join(poll->messages, "; ");
+          req.retry_after_ms = admission_.retry_after_hint();
+          return finish(tenant, req, RequestState::kCancelled);
+        }
+        if (poll->state == "expired") {
+          return expire_request(tenant, req,
+                                "compute deadline exceeded: " +
+                                    join(poll->messages, "; "));
         }
         if (poll->state == "failed") {
           return fail_request(tenant, req, "compute service failed: " +
@@ -411,6 +523,22 @@ void AsyncPortal::fail_request(Tenant& tenant, Request& req,
   finish(tenant, req, RequestState::kFailed);
 }
 
+void AsyncPortal::expire_request(Tenant& tenant, Request& req,
+                                 const std::string& why) {
+  req.error = why;
+  // Consistent back-pressure: an expired client retries against the same
+  // congestion floors a shed one does.
+  req.retry_after_ms = admission_.retry_after_hint();
+  // Partial results: whatever the pipeline had built when the budget ran out
+  // (typically the federation catalog with cutout refs) stays retrievable —
+  // the tenant paid for it.
+  if (req.result.num_rows() == 0 && req.catalog.num_rows() > 0) {
+    req.result = req.catalog;
+    req.result.name = req.cluster + "_partial";
+  }
+  finish(tenant, req, RequestState::kExpired);
+}
+
 void AsyncPortal::finish(Tenant& tenant, Request& req, RequestState state) {
   req.state = state;
   req.stage = Stage::kFinished;
@@ -423,6 +551,11 @@ void AsyncPortal::finish(Tenant& tenant, Request& req, RequestState state) {
     case RequestState::kDone: ++stats_.done; ++tenant.stats.done; break;
     case RequestState::kPartial: ++stats_.partial; ++tenant.stats.partial; break;
     case RequestState::kFailed: ++stats_.failed; ++tenant.stats.failed; break;
+    case RequestState::kExpired: ++stats_.expired; ++tenant.stats.expired; break;
+    case RequestState::kCancelled:
+      ++stats_.cancelled;
+      ++tenant.stats.cancelled;
+      break;
     default: break;
   }
   observe_latency(req);
@@ -441,6 +574,13 @@ void AsyncPortal::finish(Tenant& tenant, Request& req, RequestState state) {
          {"memo", req.memo_hit ? "hit" : (req.coalesced ? "coalesced" : "miss")}});
   }
 
+  // Terminal reject/abandon records age out through the shared bounded ring
+  // (the same O(1)-memory contract shedding has; the id just pushed is the
+  // newest, so `req` stays valid through the bookkeeping below).
+  if (state == RequestState::kExpired || state == RequestState::kCancelled) {
+    retire_to_ring(req.id);
+  }
+
   if (!req.leader) return;
   // Leader bookkeeping: resolve the single-flight entry and promote every
   // parked follower. A clean result is memoized and followers ride the memo
@@ -453,6 +593,32 @@ void AsyncPortal::finish(Tenant& tenant, Request& req, RequestState state) {
   if (fit == followers_.end()) return;
   std::vector<std::string> promoted = std::move(fit->second);
   followers_.erase(fit);
+  if ((state == RequestState::kCancelled || state == RequestState::kExpired) &&
+      !promoted.empty()) {
+    // Leader re-election: the leader abandoned the derivation, but its
+    // followers still want the result. The longest-waiting follower inherits
+    // leadership — it takes the single-flight slot, re-runs the derivation
+    // from the front of its tenant's queue, and the remaining followers stay
+    // parked behind IT instead of fanning out into duplicate runs.
+    const std::string new_leader_id = promoted.front();
+    promoted.erase(promoted.begin());
+    Request& new_leader = requests_.at(new_leader_id);
+    new_leader.leader = true;
+    inflight_[new_leader.memo_key] = new_leader_id;
+    if (!promoted.empty()) {
+      followers_[new_leader_id] = std::move(promoted);
+    }
+    new_leader.stage = Stage::kStart;
+    new_leader.state = RequestState::kQueued;
+    --stats_.waiting;
+    ++stats_.queued;
+    --waiting_;
+    Tenant& nt = *tenants_.at(new_leader.tenant);
+    nt.queue.push_front(new_leader_id);
+    publish_status(new_leader);
+    drr_.activate(new_leader.tenant);
+    return;
+  }
   for (const std::string& fid : promoted) {
     Request& follower = requests_.at(fid);
     follower.stage = Stage::kStart;
@@ -505,7 +671,8 @@ void AsyncPortal::publish_status(const Request& req) {
   std::string line = "id=" + req.id + " tenant=" + req.tenant +
                      " cluster=" + req.cluster + " state=" + to_string(req.state) +
                      " stage=" + stage_name(req.stage);
-  if (req.state == RequestState::kShed) {
+  if (req.state == RequestState::kShed || req.state == RequestState::kExpired ||
+      req.state == RequestState::kCancelled) {
     line += format(" retry_after_ms=%.0f reason=%s", req.retry_after_ms,
                    req.error.c_str());
   }
@@ -563,6 +730,7 @@ Expected<RequestStatus> AsyncPortal::status(const std::string& id) const {
   out.start_ms = req.start_ms;
   out.finish_ms = req.finish_ms;
   out.retry_after_ms = req.retry_after_ms;
+  out.deadline_ms = req.ctx.budget.bounded() ? req.ctx.budget.deadline_ms : 0.0;
   out.error = req.error;
   out.memo_hit = req.memo_hit;
   out.coalesced = req.coalesced;
@@ -577,6 +745,11 @@ const votable::Table* AsyncPortal::result(const std::string& id) const {
   const auto it = requests_.find(id);
   if (it == requests_.end()) return nullptr;
   const Request& req = it->second;
+  // An expired request surfaces the partial catalog it had built when the
+  // budget ran out (nullptr when it expired before producing anything).
+  if (req.state == RequestState::kExpired) {
+    return req.result.num_rows() > 0 ? &req.result : nullptr;
+  }
   if (req.state != RequestState::kDone && req.state != RequestState::kPartial) {
     return nullptr;
   }
@@ -615,6 +788,9 @@ void AsyncPortal::register_metrics(obs::MetricsRegistry& registry) {
         counters["portal.async.done"] = static_cast<double>(stats_.done);
         counters["portal.async.partial"] = static_cast<double>(stats_.partial);
         counters["portal.async.failed"] = static_cast<double>(stats_.failed);
+        counters["portal.async.expired"] = static_cast<double>(stats_.expired);
+        counters["portal.async.cancelled"] =
+            static_cast<double>(stats_.cancelled);
         counters["portal.async.recomputes"] =
             static_cast<double>(stats_.recomputes);
         counters["portal.async.compute_cache_hits"] =
@@ -646,6 +822,10 @@ void AsyncPortal::register_metrics(obs::MetricsRegistry& registry) {
           counters[prefix + "partial"] =
               static_cast<double>(tenant->stats.partial);
           counters[prefix + "failed"] = static_cast<double>(tenant->stats.failed);
+          counters[prefix + "expired"] =
+              static_cast<double>(tenant->stats.expired);
+          counters[prefix + "cancelled"] =
+              static_cast<double>(tenant->stats.cancelled);
           counters[prefix + "busy_ms"] = tenant->stats.busy_ms;
           gauges[prefix + "queued"] = static_cast<double>(tenant->queue.size());
         }

@@ -46,12 +46,18 @@
 #include "obs/trace.hpp"
 #include "portal/portal.hpp"
 #include "services/admission.hpp"
+#include "services/lifecycle.hpp"
 #include "services/replica_cache.hpp"
 
 namespace nvo::portal {
 
-/// Lifecycle of one portal request.
-enum class RequestState { kQueued, kRunning, kPartial, kDone, kFailed, kShed };
+/// Lifecycle of one portal request. kExpired: the end-to-end deadline budget
+/// ran out before the derivation finished (partial results, where built, are
+/// surfaced). kCancelled: the client withdrew the request; queued work was
+/// dropped cooperatively.
+enum class RequestState {
+  kQueued, kRunning, kPartial, kDone, kFailed, kShed, kExpired, kCancelled
+};
 const char* to_string(RequestState state);
 
 struct AsyncPortalConfig {
@@ -63,11 +69,19 @@ struct AsyncPortalConfig {
   services::ReplicaCacheConfig memo_cache{8ull << 20, 1};
   /// Admission byte estimate per request (queued-bytes budget accounting).
   std::size_t estimated_request_bytes = 96 * 1024;
-  /// Shed requests stay poll-able (state kShed + retry-after), but only the
-  /// most recent this-many records are retained — under sustained overload
-  /// the shed path must stay O(1) memory, so the oldest shed records age
-  /// out of status() (kNotFound afterwards). 0 keeps every record.
+  /// Shed, expired and cancelled requests stay poll-able (terminal state +
+  /// retry-after), but only the most recent this-many such records are
+  /// retained — under sustained overload the reject/abandon path must stay
+  /// O(1) memory, so the oldest records age out of status() (kNotFound
+  /// afterwards). All three terminal kinds share ONE bounded ring. 0 keeps
+  /// every record.
   std::size_t shed_record_limit = 1024;
+  /// Default end-to-end deadline budget (simulated ms from submit) applied
+  /// when submit() passes none. <= 0 means unbounded. The budget rides the
+  /// request through federation queries, staging fetches (clamping retry
+  /// backoff), and workflow dispatch; when it runs out the request finishes
+  /// kExpired with whatever partial results were built.
+  double default_deadline_ms = 0.0;
   /// Floor on the simulated cost charged to a tenant per scheduling unit,
   /// so zero-fabric-cost units (local merges, scheduling decisions) still
   /// rotate the round robin.
@@ -99,6 +113,7 @@ struct RequestStatus {
   double start_ms = 0.0;      ///< 0 until the request starts running
   double finish_ms = 0.0;     ///< 0 until terminal
   double retry_after_ms = 0.0;
+  double deadline_ms = 0.0;   ///< absolute sim deadline; 0 when unbounded
   std::string error;
   bool memo_hit = false;      ///< served from the memoized catalog
   bool coalesced = false;     ///< waited on an identical in-flight derivation
@@ -109,7 +124,8 @@ struct RequestStatus {
 
   bool terminal() const {
     return state == RequestState::kDone || state == RequestState::kPartial ||
-           state == RequestState::kFailed || state == RequestState::kShed;
+           state == RequestState::kFailed || state == RequestState::kShed ||
+           state == RequestState::kExpired || state == RequestState::kCancelled;
   }
   /// Submit-to-finish simulated latency; 0 until terminal.
   double latency_ms() const {
@@ -124,6 +140,8 @@ struct TenantStats {
   std::uint64_t done = 0;
   std::uint64_t partial = 0;
   std::uint64_t failed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t cancelled = 0;
   double busy_ms = 0.0;        ///< simulated service charged by the DRR
   double total_latency_ms = 0.0;
   double max_latency_ms = 0.0;
@@ -148,14 +166,29 @@ class AsyncPortal {
   /// Request intake. Answers immediately: an admitted request joins the
   /// tenant's FIFO queue; a shed one gets an explicit reason + retry-after
   /// (and remains poll-able in state kShed). `params` tags the derivation
-  /// variant — the memoization key is (cluster, params).
+  /// variant — the memoization key is (cluster, params). `deadline_ms` is
+  /// the end-to-end budget in simulated ms from now (<= 0 falls back to
+  /// AsyncPortalConfig::default_deadline_ms; both <= 0 means unbounded).
   Submission submit(const std::string& tenant, const std::string& cluster,
-                    const std::string& params = "");
+                    const std::string& params = "", double deadline_ms = 0.0);
+
+  /// Cooperative cancellation of a non-terminal request. A queued request or
+  /// parked follower terminalizes immediately (admission released, queued
+  /// work dropped); a cancelled single-flight LEADER hands leadership to its
+  /// longest-waiting follower, which re-runs the derivation while the rest
+  /// stay parked behind it. A running request's token is flagged and every
+  /// layer (federation fetches, staging, kernel tasks, DAG dispatch) unwinds
+  /// at its next cooperative checkpoint — queued pool tasks drop via their
+  /// cancel branch, in-flight stage-in counters return to zero, and nothing
+  /// is memoized. Errors: kNotFound for unknown ids, kInvalidArgument when
+  /// already terminal.
+  Status cancel(const std::string& id, const std::string& reason = "client cancel");
 
   Expected<RequestStatus> status(const std::string& id) const;
   /// The fabric status URL for a request (served by this portal's host).
   std::string status_url(const std::string& id) const;
-  /// Final catalog of a done/partial request; nullptr otherwise.
+  /// Final catalog of a done/partial request, or the partial catalog an
+  /// expired request had built when its budget ran out; nullptr otherwise.
   const votable::Table* result(const std::string& id) const;
 
   /// Runs one scheduling unit (start a request, or advance the running
@@ -174,6 +207,8 @@ class AsyncPortal {
     std::uint64_t done = 0;
     std::uint64_t partial = 0;
     std::uint64_t failed = 0;
+    std::uint64_t expired = 0;    ///< deadline budget ran out mid-derivation
+    std::uint64_t cancelled = 0;  ///< withdrawn by the client
     /// Full derivations actually executed by the compute pipeline (compute
     /// stage ran without an RLS/journal result hit). The memoization claim
     /// is recomputes < admitted requests under duplicate load.
@@ -215,6 +250,10 @@ class AsyncPortal {
     std::string result_url;
     RequestState state = RequestState::kQueued;
     Stage stage = Stage::kStart;
+    /// Deadline budget + cancellation token, carried down through federation
+    /// queries, staging fetches and workflow dispatch. Each request owns an
+    /// independent token.
+    services::RequestContext ctx;
     bool leader = false;
     bool coalesced = false;
     bool memo_hit = false;
@@ -246,6 +285,12 @@ class AsyncPortal {
   void serve_from_memo(Tenant& tenant, Request& req);
   void finish(Tenant& tenant, Request& req, RequestState state);
   void fail_request(Tenant& tenant, Request& req, const std::string& error);
+  /// Terminalizes an expired request: retry-after from the admission floors,
+  /// partial results surfaced from whatever pipeline stage had completed.
+  void expire_request(Tenant& tenant, Request& req, const std::string& why);
+  /// Ages terminal reject/abandon records (shed, expired, cancelled) through
+  /// the shared bounded ring.
+  void retire_to_ring(const std::string& id);
   void release_admission(Request& req);
   void refresh_activation(Tenant& tenant);
   void memoize(const Request& req);
@@ -269,8 +314,10 @@ class AsyncPortal {
   std::unordered_map<std::string, std::string> inflight_;
   /// Leader id -> parked follower ids (promoted when the leader resolves).
   std::unordered_map<std::string, std::vector<std::string>> followers_;
-  /// Retained shed-record ids, oldest first (bounded by shed_record_limit).
-  std::deque<std::string> shed_ring_;
+  /// Retained shed/expired/cancelled record ids, oldest first (bounded by
+  /// shed_record_limit; one ring for all three terminal kinds, so none of
+  /// them can grow the status map without bound).
+  std::deque<std::string> terminal_ring_;
   std::size_t waiting_ = 0;  ///< parked follower count
   Stats stats_;
   /// Fabric status board: id -> status line (shared with the /status route

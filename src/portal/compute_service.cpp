@@ -69,6 +69,20 @@ std::string escape_field(const std::string& s) {
   return out;
 }
 
+/// Cap on the service-level rolling window of primary stage-in durations
+/// (hedge_history_): old weather ages out, the quantile sort stays cheap.
+constexpr std::size_t kHedgeHistoryLimit = 512;
+
+/// Linear-interpolated quantile of a sample set (q in [0,1]).
+double quantile_of(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  return v[lo] + (v[hi] - v[lo]) * (pos - static_cast<double>(lo));
+}
+
 std::string unescape_field(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -205,8 +219,9 @@ MorphologyService::MorphologyService(services::HttpFabric& fabric, grid::Grid& g
                 services::EndpointModel{10.0, 50.0, 0.0, true});
 }
 
-Expected<std::string> MorphologyService::gal_morph_compute(const votable::Table& input,
-                                                           const std::string& out_name) {
+Expected<std::string> MorphologyService::gal_morph_compute(
+    const votable::Table& input, const std::string& out_name,
+    const services::RequestContext& ctx) {
   RequestRecord record;
   record.id = ids_.next();
   record.trace.request_id = record.id;
@@ -215,9 +230,14 @@ Expected<std::string> MorphologyService::gal_morph_compute(const votable::Table&
       "http://" + config_.host + "/status?id=" + record.id;
   record.messages.push_back("request accepted: " + out_name);
 
-  const Status s = process(record, input, out_name);
+  const Status s = process(record, input, out_name, ctx);
   if (!s.ok()) {
-    record.state = "failed";
+    // Cancelled/expired are first-class terminal states — the portal maps
+    // them back onto its own request lifecycle; everything else is "failed".
+    record.state = s.error().code == ErrorCode::kCancelled ? "cancelled"
+                   : s.error().code == ErrorCode::kDeadlineExceeded
+                       ? "expired"
+                       : "failed";
     record.messages.push_back("error: " + s.error().to_string());
   }
   const std::string request_id = record.id;
@@ -227,10 +247,24 @@ Expected<std::string> MorphologyService::gal_morph_compute(const votable::Table&
 }
 
 Status MorphologyService::process(RequestRecord& record, const votable::Table& input,
-                                  const std::string& out_name) {
+                                  const std::string& out_name,
+                                  const services::RequestContext& ctx) {
   ServiceTrace& trace = record.trace;
   obs::Span req = obs::start_span(config_.tracer, "compute.request", "compute");
   req.note("request", record.id);
+  if (ctx.cancelled()) {
+    return Error(ErrorCode::kCancelled,
+                 "request cancelled before staging: " + ctx.cancel.reason());
+  }
+  if (ctx.expired(fabric_.now_ms())) {
+    return Error(ErrorCode::kDeadlineExceeded,
+                 "deadline budget exhausted before staging");
+  }
+  // Every transport call this request makes — staging fetches and their
+  // retries — now sees the caller's remaining budget and cancellation token;
+  // restored when process() returns, so polls from other requests are
+  // unaffected.
+  services::ResilientClient::ScopedContext scoped_ctx(client_, ctx);
   const std::string out_lfn = ends_with(out_name, ".vot")
                                   ? out_name
                                   : output_votable_lfn(out_name);
@@ -318,6 +352,10 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   // arrival time on the sim clock (the barriered mode bills the same
   // durations sequentially).
   std::vector<std::pair<std::string, double>> fetch_timeline;
+  // Effective per-fetch durations the request observed (post hedging), for
+  // the stage-in tail metric. The hedge delay itself derives from
+  // hedge_history_, the service-level rolling window of primary durations.
+  std::vector<double> effective_durations;
   // Pipelined mode: rows stream into the output VOTable as galaxies finish
   // (kernel done + node final) instead of one concat after the (4e)
   // barrier. Declared before Drain: kernel tasks hold a pointer into it, so
@@ -365,6 +403,20 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   } drain{pool_};
 
   for (std::size_t i = 0; i < input.num_rows(); ++i) {
+    // Cooperative cancellation / deadline expiry, checked between galaxies:
+    // rows journaled so far are preserved (a resubmission resumes instead of
+    // recomputing), kernel tasks already queued drop via their cancel branch,
+    // and the Drain/EvictionDeferral guards unwind everything else.
+    if (ctx.cancelled()) {
+      return Error(ErrorCode::kCancelled,
+                   format("staging cancelled after %zu of %zu galaxies", i,
+                          input.num_rows()));
+    }
+    if (ctx.expired(fabric_.now_ms())) {
+      return Error(ErrorCode::kDeadlineExceeded,
+                   format("deadline exceeded while staging (%zu of %zu galaxies)",
+                          i, input.num_rows()));
+    }
     const auto id = input.row(i)[*id_col].as_string();
     const auto url = input.row(i)[*url_col].as_string();
     if (!id || !url) {
@@ -402,7 +454,56 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
       const double fetch_ms =
           fabric_.metrics().total_elapsed_ms - fetch_before_ms;
       trace.image_fetch_sim_ms += fetch_ms;
-      if (pipelined) fetch_timeline.emplace_back(lfn, fetch_ms);
+      if (response.ok()) trace.staging_wan_bytes += response->body.size();
+      double effective_ms = fetch_ms;
+      // Hedged stage-in: a fetch slower than the hedge delay (the configured
+      // quantile of the rolling primary-duration history) is re-issued
+      // against the archive's mirror. First verified success wins — on the
+      // overlapped timeline the mirror's copy lands at delay + hedge
+      // duration, so the effective arrival is the minimum — and the loser's
+      // bytes are charged to hedge_wasted_bytes (its stream is cancelled,
+      // but the WAN transfer already happened). Pipelined-only: the
+      // barriered baseline bills serialized fetches, where a second stream
+      // cannot overlap anything.
+      if (pipelined && config_.hedge_stage_ins &&
+          hedge_history_.size() >= config_.hedge_min_samples) {
+        const double hedge_delay =
+            quantile_of(hedge_history_, config_.hedge_quantile);
+        trace.hedge_delay_ms = hedge_delay;
+        std::string hedge_url;
+        if (const auto parsed = services::Url::parse(*url); parsed.ok()) {
+          const std::string mirror = client_.mirror_for(parsed->host);
+          if (!mirror.empty()) {
+            services::Url m = parsed.value();
+            m.host = mirror;
+            hedge_url = m.to_string();
+          }
+        }
+        if (!hedge_url.empty() && hedge_delay > 0.0 && fetch_ms > hedge_delay) {
+          const double hedge_before_ms = fabric_.metrics().total_elapsed_ms;
+          auto hedge = client_.get(hedge_url);
+          const double hedge_ms =
+              fabric_.metrics().total_elapsed_ms - hedge_before_ms;
+          ++trace.hedged_fetches;
+          const bool hedge_ok = hedge.ok() && hedge->status == 200;
+          const bool primary_ok = response.ok() && response->status == 200;
+          if (hedge_ok) trace.staging_wan_bytes += hedge->body.size();
+          if (hedge_ok && (!primary_ok || hedge_delay + hedge_ms < fetch_ms)) {
+            ++trace.hedge_wins;
+            effective_ms = hedge_delay + hedge_ms;
+            if (primary_ok) trace.hedge_wasted_bytes += response->body.size();
+            response = std::move(hedge);
+          } else if (hedge_ok) {
+            trace.hedge_wasted_bytes += hedge->body.size();
+          }
+        }
+      }
+      hedge_history_.push_back(fetch_ms);
+      if (hedge_history_.size() > kHedgeHistoryLimit) {
+        hedge_history_.erase(hedge_history_.begin());
+      }
+      effective_durations.push_back(effective_ms);
+      if (pipelined) fetch_timeline.emplace_back(lfn, effective_ms);
       if (!response.ok() || response->status != 200) {
         // An unreachable image is a per-galaxy failure, not a request
         // failure: cache an empty payload and register it like any other
@@ -441,7 +542,9 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     }
     // The shared_ptr pins the bytes for the kernel even if the cache evicts
     // the entry mid-request.
-    pool_.submit([this, i, payload = std::move(payload), z_col, staging_id,
+    pool_.submit_cancellable(
+        ctx.cancel,
+        [this, i, payload = std::move(payload), z_col, staging_id,
                   journal, ck, w = writer.get(), &galaxy_ids, &results, &input,
                   &inflight_mu, &inflight_cv] {
       obs::Span kernel = config_.tracer
@@ -478,7 +581,19 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
         staging_inflight_.fetch_sub(1, std::memory_order_relaxed);
       }
       inflight_cv.notify_one();
-    });
+        },
+        // A cancelled request's queued kernels drop without running, but the
+        // bookkeeping they owe still happens exactly once: the in-flight
+        // bound is released (the staging loop may be parked on it) and the
+        // gauge returns to zero. No journal row, no writer progress — the
+        // galaxy was never computed.
+        [this, &inflight_mu, &inflight_cv] {
+          {
+            std::lock_guard lock(inflight_mu);
+            staging_inflight_.fetch_sub(1, std::memory_order_relaxed);
+          }
+          inflight_cv.notify_one();
+        });
   }
   const services::EndpointStats staging_after = client_.totals();
   trace.staging_retries = staging_after.retries - staging_before.retries;
@@ -489,9 +604,14 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
       staging_after.integrity_failures - staging_before.integrity_failures;
   trace.staging_quarantine_skips =
       staging_after.quarantine_skips - staging_before.quarantine_skips;
+  trace.stage_in_p99_ms = quantile_of(effective_durations, 0.99);
   staging.count("images_fetched", static_cast<double>(trace.images_fetched));
   staging.count("images_cached", static_cast<double>(trace.images_cached));
   staging.count("retries", static_cast<double>(trace.staging_retries));
+  if (trace.hedged_fetches > 0) {
+    staging.count("hedged_fetches", static_cast<double>(trace.hedged_fetches));
+    staging.count("hedge_wins", static_cast<double>(trace.hedge_wins));
+  }
   // Integrity/resume counts appear only when the feature fired, so the
   // zero-fault golden trace stays unchanged.
   if (trace.staging_integrity_failures > 0) {
@@ -559,6 +679,18 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
       grid_, cost,
       pegasus::unify_retry_budgets(config_.failure, config_.retry.max_attempts),
       config_.seed ^ 0xDA6);
+  dagman.set_cancel_token(ctx.cancel);
+  if (ctx.budget.bounded()) {
+    // The DAG runs on its own simulated timeline starting at t=0 == now:
+    // whatever budget survives staging/planning is the run's deadline. A
+    // budget already at zero is caught here rather than letting 0 read as
+    // "no deadline" in the executor.
+    if (ctx.expired(fabric_.now_ms())) {
+      return Error(ErrorCode::kDeadlineExceeded,
+                   "deadline budget exhausted before workflow dispatch");
+    }
+    dagman.set_deadline_s(ctx.budget.remaining_ms(fabric_.now_ms()) / 1000.0);
+  }
   if (config_.work_stealing) {
     dagman.set_work_stealing(true);
     // A thief pool can only take jobs whose transformation it has installed.
@@ -683,12 +815,14 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   std::size_t acc_retries = 0;
   std::size_t acc_stolen = 0;
   std::size_t acc_wan = 0;
+  std::size_t acc_expired = 0;
   std::vector<std::string> acc_sites_lost;
   std::map<std::string, double> acc_busy;
   const auto absorb = [&](const grid::RunReport& rep) {
     acc_retries += rep.retries;
     acc_stolen += rep.stolen_jobs;
     acc_wan += rep.wan_bytes;
+    acc_expired += rep.jobs_expired;
     acc_sites_lost.insert(acc_sites_lost.end(), rep.sites_lost.begin(),
                           rep.sites_lost.end());
     for (const auto& [s, t] : rep.site_busy_seconds) acc_busy[s] += t;
@@ -698,6 +832,10 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   if (prior.empty()) {
     auto report = dagman.run(trace.plan.concrete);
     if (!report.ok()) return report.error();
+    if (report->cancelled) {
+      return Error(ErrorCode::kCancelled,
+                   "workflow cancelled mid-execution: " + ctx.cancel.reason());
+    }
     absorb(report.value());
     // Seed the outcome map too: rescue rounds merge against `prior`, and a
     // map missing the first run's successes would report them skipped.
@@ -717,7 +855,10 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
   // the unfinished portion is re-mapped off dead pools before each rerun.
   std::size_t rounds_left =
       std::max<std::size_t>(config_.rescue_rounds, resumed_from_journal ? 1 : 0);
-  while (rounds_left > 0 && !trace.execution.workflow_succeeded) {
+  // An expired or cancelled request must not burn rescue rounds: its nodes
+  // were dropped deliberately, not lost to a failure worth recovering from.
+  while (rounds_left > 0 && !trace.execution.workflow_succeeded &&
+         acc_expired == 0 && !ctx.cancelled()) {
     --rounds_left;
     auto resume_dag = grid::make_rescue_dag(trace.plan.concrete, trace.execution);
     if (!resume_dag.ok()) return resume_dag.error();
@@ -737,6 +878,10 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     }
     auto report = dagman.run(resume_dag.value());
     if (!report.ok()) return report.error();
+    if (report->cancelled) {
+      return Error(ErrorCode::kCancelled,
+                   "rescue round cancelled mid-execution: " + ctx.cancel.reason());
+    }
     absorb(report.value());
     for (const grid::NodeResult& r : report->nodes) prior[r.id] = r;
     trace.execution = grid::merge_node_outcomes(trace.plan.concrete, prior);
@@ -746,8 +891,25 @@ Status MorphologyService::process(RequestRecord& record, const votable::Table& i
     trace.execution.retries = acc_retries;
     trace.execution.stolen_jobs = acc_stolen;
     trace.execution.wan_bytes = acc_wan;
+    trace.execution.jobs_expired = acc_expired;
     trace.execution.sites_lost = std::move(acc_sites_lost);
     trace.execution.site_busy_seconds = std::move(acc_busy);
+  }
+  if (trace.execution.jobs_expired > 0) {
+    // The deadline gate dropped part of the workflow: surface expiry instead
+    // of materializing a catalog with silently missing galaxies. Journal
+    // rows and node completions persisted so far are kept — a resubmission
+    // with a fresh budget resumes from them.
+    dag_span.count("jobs_expired",
+                   static_cast<double>(trace.execution.jobs_expired));
+    dag_span.end();
+    record.messages.push_back(
+        format("deadline: %zu compute node(s) expired before dispatch",
+               trace.execution.jobs_expired));
+    return Error(ErrorCode::kDeadlineExceeded,
+                 format("deadline budget exhausted: %zu compute node(s) "
+                        "expired before dispatch",
+                        trace.execution.jobs_expired));
   }
   if (config_.tracer) {
     // Node executions are simulated, so their spans are recorded

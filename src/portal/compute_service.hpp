@@ -39,6 +39,7 @@
 #include "pegasus/rls.hpp"
 #include "pegasus/tc.hpp"
 #include "services/http.hpp"
+#include "services/lifecycle.hpp"
 #include "services/replica_cache.hpp"
 #include "services/resilience.hpp"
 #include "vds/chimera.hpp"
@@ -116,6 +117,20 @@ struct ComputeServiceConfig {
   /// queued-but-unstarted jobs from backlogged ones, gated on the thief
   /// site having the transformation installed (TC lookup).
   bool work_stealing = false;
+  /// Hedged stage-ins (pipelined executor only): once enough fetch
+  /// durations have been observed, a fetch slower than the hedge delay —
+  /// the `hedge_quantile` of a service-level rolling window of primary
+  /// durations (learned across requests, so a warm service protects a new
+  /// request's first fetches too) — is re-issued against the archive's
+  /// registered mirror. First verified success wins:
+  /// the cutout's effective arrival on the stage-in channels is
+  /// min(primary, delay + hedge), and the loser's bytes are charged to
+  /// `hedge_wasted_bytes` (the stream is cancelled, but its WAN transfer
+  /// already happened). Requires a mirror in `mirrors` for the archive
+  /// host; fetches without one are never hedged.
+  bool hedge_stage_ins = false;
+  double hedge_quantile = 0.95;
+  std::size_t hedge_min_samples = 8;
 };
 
 /// Everything measured about one request (drives the Fig. 6 benchmark).
@@ -133,6 +148,17 @@ struct ServiceTrace {
   std::uint64_t staging_breaker_trips = 0;
   std::uint64_t staging_integrity_failures = 0;  ///< corrupted payloads caught
   std::uint64_t staging_quarantine_skips = 0;    ///< fetches rerouted to mirror
+  std::uint64_t hedged_fetches = 0;  ///< stage-ins that issued a mirror hedge
+  std::uint64_t hedge_wins = 0;      ///< hedges whose arrival beat the primary
+  /// Loser-transfer bytes: WAN traffic the slower copy of a hedged fetch
+  /// had already moved when it was cancelled. The honest cost of hedging.
+  std::size_t hedge_wasted_bytes = 0;
+  double hedge_delay_ms = 0.0;       ///< last quantile-derived hedge delay
+  /// Archive payload bytes fetched while staging (primary + hedge streams).
+  std::size_t staging_wan_bytes = 0;
+  /// p99 of effective per-fetch stage-in durations (simulated ms) — the
+  /// tail the hedging defends; 0 when nothing was fetched.
+  double stage_in_p99_ms = 0.0;
   std::size_t rows_resumed = 0;   ///< morphology rows loaded from the journal
   std::size_t nodes_resumed = 0;  ///< DAG nodes skipped as journal-completed
   double vdl_bytes = 0.0;
@@ -165,9 +191,15 @@ class MorphologyService {
   /// The paper's client call: galMorphCompute(vot, outVOTName) -> status
   /// URL. The input table needs `id`, `redshift`, and `cutout_url` columns;
   /// `out_name` is the logical name of the output VOTable (named after the
-  /// cluster).
+  /// cluster). The optional request context carries the caller's remaining
+  /// deadline budget and cancellation token through staging fetches, kernel
+  /// tasks and DAG dispatch; an expired budget fails the request with state
+  /// "expired" (journal rows persisted so far are kept — a resubmission
+  /// resumes instead of recomputing), a cancelled token with "cancelled".
+  /// Neither outcome materializes or memoizes a catalog.
   Expected<std::string> gal_morph_compute(const votable::Table& input,
-                                          const std::string& out_name);
+                                          const std::string& out_name,
+                                          const services::RequestContext& ctx = {});
 
   /// Client-side poll of a status URL.
   struct PollResult {
@@ -225,7 +257,7 @@ class MorphologyService {
   };
 
   Status process(RequestRecord& record, const votable::Table& input,
-                 const std::string& out_name);
+                 const std::string& out_name, const services::RequestContext& ctx);
 
   services::HttpFabric& fabric_;
   grid::Grid& grid_;
@@ -269,6 +301,12 @@ class MorphologyService {
   /// tasks (the prefetch_depth bound's live occupancy). Atomic so the
   /// "staging.inflight" gauge can read it while pool workers decrement.
   std::atomic<std::size_t> staging_inflight_{0};
+  /// Rolling window of primary (unhedged) stage-in durations across the
+  /// service's lifetime — the sample set the hedge delay is derived from.
+  /// Service-level on purpose: the delay learned on one request protects
+  /// the next one's earliest fetches, instead of re-warming per request.
+  /// Bounded (oldest dropped) so the delay tracks current archive weather.
+  std::vector<double> hedge_history_;
 
   // Shared with fabric handler closures.
   struct State {

@@ -13,6 +13,7 @@ struct Arrival {
   std::size_t order = 0;  ///< stable tiebreak for simultaneous arrivals
   std::string tenant;
   std::string cluster;
+  double deadline_ms = 0.0;  ///< tenant SLO carried by this request
 };
 
 LatencySummary summarize(std::vector<double> latencies) {
@@ -74,7 +75,8 @@ LoadOutcome run_load(AsyncPortal& portal, services::HttpFabric& fabric,
       n = std::min(n, config.requests_per_tenant - produced);
       for (std::size_t i = 0; i < n; ++i) {
         schedule.push_back(Arrival{t, order++, spec.tenant,
-                                   spec.clusters[cluster_cursor]});
+                                   spec.clusters[cluster_cursor],
+                                   spec.deadline_slo_ms});
         cluster_cursor = (cluster_cursor + 1) % spec.clusters.size();
       }
       produced += n;
@@ -96,7 +98,8 @@ LoadOutcome run_load(AsyncPortal& portal, services::HttpFabric& fabric,
     if (next < schedule.size() &&
         schedule[next].at_ms <= fabric.now_ms() - start_ms) {
       const Arrival& a = schedule[next++];
-      const Submission sub = portal.submit(a.tenant, a.cluster);
+      const Submission sub =
+          portal.submit(a.tenant, a.cluster, "", a.deadline_ms);
       if (!sub.id.empty()) out.request_ids.push_back(sub.id);
       continue;
     }
@@ -112,6 +115,7 @@ LoadOutcome run_load(AsyncPortal& portal, services::HttpFabric& fabric,
 
   std::vector<double> all_latencies;
   std::map<std::string, std::vector<double>> tenant_latencies;
+  std::size_t deadlines_met = 0;
   for (const std::string& id : out.request_ids) {
     const auto status = portal.status(id);
     if (!status.ok()) continue;
@@ -123,13 +127,24 @@ LoadOutcome run_load(AsyncPortal& portal, services::HttpFabric& fabric,
       case RequestState::kDone: ++out.done; ++t.done; break;
       case RequestState::kPartial: ++out.partial; ++t.partial; break;
       case RequestState::kFailed: ++out.failed; ++t.failed; break;
+      case RequestState::kExpired: ++out.expired; ++t.expired; break;
+      case RequestState::kCancelled: ++out.cancelled; ++t.cancelled; break;
       default: break;
     }
-    if (status->state == RequestState::kDone ||
-        status->state == RequestState::kPartial) {
+    const bool completed = status->state == RequestState::kDone ||
+                           status->state == RequestState::kPartial;
+    if (status->deadline_ms > 0.0) {
+      ++out.deadlines_assigned;
+      if (completed) ++deadlines_met;
+    }
+    if (completed) {
       all_latencies.push_back(status->latency_ms());
       tenant_latencies[status->tenant].push_back(status->latency_ms());
     }
+  }
+  if (out.deadlines_assigned > 0) {
+    out.deadline_attainment = static_cast<double>(deadlines_met) /
+                              static_cast<double>(out.deadlines_assigned);
   }
   out.latency = summarize(std::move(all_latencies));
   for (auto& [name, lats] : tenant_latencies) {

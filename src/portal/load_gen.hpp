@@ -25,6 +25,11 @@ struct LoadTenantSpec {
   double weight = 1.0;
   std::vector<std::string> clusters;
   double rate_scale = 1.0;  ///< share of the total offered rate
+  /// Per-tenant SLO: every request this tenant submits carries this
+  /// end-to-end deadline budget (simulated ms; <= 0 = unbounded). Requests
+  /// the portal cannot finish inside the budget terminalize as expired
+  /// instead of occupying the system.
+  double deadline_slo_ms = 0.0;
 };
 
 struct LoadConfig {
@@ -61,6 +66,8 @@ struct TenantOutcome {
   std::size_t done = 0;
   std::size_t partial = 0;
   std::size_t failed = 0;
+  std::size_t expired = 0;    ///< deadline budget ran out
+  std::size_t cancelled = 0;
   LatencySummary latency;
 };
 
@@ -70,10 +77,18 @@ struct LoadOutcome {
   std::size_t done = 0;
   std::size_t partial = 0;
   std::size_t failed = 0;
+  std::size_t expired = 0;    ///< deadline budget ran out
+  std::size_t cancelled = 0;
   double sim_elapsed_ms = 0.0;  ///< fabric clock advance over the run
   std::size_t steps = 0;        ///< scheduler units executed
   double goodput_per_s = 0.0;   ///< (done + partial) per simulated second
   double shed_rate = 0.0;       ///< shed / submitted
+  /// SLO attainment: of the requests submitted WITH a deadline, the fraction
+  /// that completed (done or partial). Shed and expired both count against
+  /// it — the client did not get a catalog inside the budget either way.
+  /// 1.0 when no request carried a deadline.
+  std::size_t deadlines_assigned = 0;
+  double deadline_attainment = 1.0;
   LatencySummary latency;
   AsyncPortal::Stats portal;    ///< portal counters at end of run
   std::map<std::string, TenantOutcome> tenants;

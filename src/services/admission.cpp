@@ -28,14 +28,7 @@ AdmissionDecision AdmissionController::offer(const std::string& tenant,
     AdmissionDecision d;
     d.admitted = false;
     d.reason = reason;
-    // Clamp to the floor: a shed at an empty queue (byte-budget sheds can
-    // fire with backlog 0, and misconfigured floors can be negative) must
-    // still hand the client a usable, non-zero backoff hint.
-    d.retry_after_ms = std::max(
-        config_.retry_after_floor_ms,
-        config_.retry_after_floor_ms + config_.retry_after_per_queued_ms *
-                                           static_cast<double>(backlog));
-    if (d.retry_after_ms < 0.0) d.retry_after_ms = 0.0;
+    d.retry_after_ms = retry_after_for(backlog);
     switch (reason) {
       case ShedReason::kTenantQueueFull: ++stats_.shed_tenant_queue; break;
       case ShedReason::kGlobalQueueFull: ++stats_.shed_global_queue; break;
@@ -66,6 +59,17 @@ AdmissionDecision AdmissionController::offer(const std::string& tenant,
   stats_.max_queued = std::max(stats_.max_queued, stats_.queued);
   stats_.max_queued_bytes = std::max(stats_.max_queued_bytes, stats_.queued_bytes);
   return AdmissionDecision{};
+}
+
+double AdmissionController::retry_after_for(std::size_t backlog) const {
+  // Clamp to the floor: a hint at an empty queue (byte-budget sheds can
+  // fire with backlog 0, and misconfigured floors can be negative) must
+  // still hand the client a usable, non-zero backoff.
+  double hint = std::max(
+      config_.retry_after_floor_ms,
+      config_.retry_after_floor_ms +
+          config_.retry_after_per_queued_ms * static_cast<double>(backlog));
+  return hint < 0.0 ? 0.0 : hint;
 }
 
 void AdmissionController::release(const std::string& tenant,

@@ -79,11 +79,19 @@ class AdmissionController {
   AdmissionDecision offer(const std::string& tenant, std::size_t estimated_bytes);
   void release(const std::string& tenant, std::size_t estimated_bytes);
 
+  /// The retry-after a shed at the CURRENT global backlog would carry
+  /// (floor + per_queued * backlog, clamped to the floor). Terminal records
+  /// that invite a resubmission (expired, cancelled) use this so every
+  /// back-pressure hint the portal hands out obeys the same floors.
+  double retry_after_hint() const { return retry_after_for(stats_.queued); }
+
   std::size_t queued(const std::string& tenant) const;
   const AdmissionStats& stats() const { return stats_; }
   const AdmissionConfig& config() const { return config_; }
 
  private:
+  double retry_after_for(std::size_t backlog) const;
+
   AdmissionConfig config_;
   AdmissionStats stats_;
   std::map<std::string, std::size_t> per_tenant_;

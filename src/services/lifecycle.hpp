@@ -1,0 +1,62 @@
+// Request-lifecycle primitives for the portal → dataflow → multi-pool
+// stack: an end-to-end deadline budget on the simulated clock, and the
+// request context (budget + cancellation token) that rides a request from
+// AsyncPortal::submit down through federation queries, ResilientClient
+// calls, stage-in channels, and DagManSim dispatch.
+//
+// Propagation rules (DESIGN.md §14):
+//   * The budget is an ABSOLUTE deadline on the fabric clock, fixed at
+//     submit time. Every layer computes its remaining allowance as
+//     (deadline - now); nothing re-bases, so queue time, backoff sleeps,
+//     staging latency, and simulated makespan all draw from one account.
+//   * A layer that cannot finish inside the remaining budget fails fast
+//     with kDeadlineExceeded instead of doing the work and missing anyway.
+//   * Cancellation (CancellationToken) is the same plumbing with a
+//     different trigger: the client abandons the request rather than the
+//     clock running out.
+#pragma once
+
+#include <limits>
+
+#include "common/cancel.hpp"
+
+namespace nvo::services {
+
+/// An absolute deadline on the simulated clock (milliseconds). The default
+/// is unbounded — a request with no SLO behaves exactly as before this
+/// layer existed.
+struct DeadlineBudget {
+  double deadline_ms = std::numeric_limits<double>::infinity();
+
+  static DeadlineBudget unbounded() { return {}; }
+  /// Budget of `budget_ms` starting at `now_ms`; non-positive budget means
+  /// unbounded (the "no SLO" convention used by configs throughout).
+  static DeadlineBudget after(double now_ms, double budget_ms) {
+    DeadlineBudget b;
+    if (budget_ms > 0.0) b.deadline_ms = now_ms + budget_ms;
+    return b;
+  }
+
+  bool bounded() const {
+    return deadline_ms != std::numeric_limits<double>::infinity();
+  }
+  bool expired(double now_ms) const { return now_ms >= deadline_ms; }
+  /// Remaining allowance at `now_ms`, clamped at zero (infinity when
+  /// unbounded).
+  double remaining_ms(double now_ms) const {
+    if (!bounded()) return std::numeric_limits<double>::infinity();
+    return deadline_ms > now_ms ? deadline_ms - now_ms : 0.0;
+  }
+};
+
+/// Everything a request carries through the stack. Cheap to copy; the
+/// token is a shared handle, the budget a value.
+struct RequestContext {
+  DeadlineBudget budget;
+  CancellationToken cancel;
+
+  bool cancelled() const { return cancel.cancelled(); }
+  bool expired(double now_ms) const { return budget.expired(now_ms); }
+};
+
+}  // namespace nvo::services

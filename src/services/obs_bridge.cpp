@@ -143,6 +143,12 @@ void register_metrics(obs::MetricsRegistry& registry, const grid::ThreadPool& po
   registry.register_gauge(prefix + ".threads",
                           [p] { return static_cast<double>(p->num_threads()); });
   registry.register_gauge(prefix + ".idle_ms", [p] { return p->idle_ms(); });
+  // Cumulative count of cancellable tasks whose cancel branch ran instead of
+  // the body — the pool-side evidence that shed/expired requests' queued
+  // work was actually dropped, not executed.
+  registry.register_gauge(prefix + ".cancelled_tasks", [p] {
+    return static_cast<double>(p->cancelled_tasks());
+  });
 }
 
 }  // namespace nvo::services

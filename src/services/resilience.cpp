@@ -134,6 +134,10 @@ Expected<HttpResponse> ResilientClient::get_from_host(const Url& url,
   Error last(ErrorCode::kServiceUnavailable, url.host + " unreachable");
   for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
     const double now = fabric_.now_ms();
+    if (ctx_.cancelled()) {
+      return Error(ErrorCode::kCancelled,
+                   "request cancelled before attempt at " + url.host + url.path);
+    }
     if (now >= deadline_ms) {
       return Error(ErrorCode::kTimeout,
                    "deadline exhausted before attempt at " + url.host + url.path);
@@ -209,7 +213,16 @@ Expected<HttpResponse> ResilientClient::get_from_host(const Url& url,
     if (retry_.jitter_fraction > 0.0) {
       wait *= 1.0 + retry_.jitter_fraction * (jitter_rng_.uniform() - 0.5);
     }
-    if (fabric_.now_ms() + wait >= deadline_ms) {
+    // A backoff that would cross the deadline is clamped to the remaining
+    // budget: the clock advances exactly to the deadline — elapsed-time
+    // accounting upstream stays exact — and the timeout is reported AT the
+    // deadline, never a full jittered backoff later.
+    const double remaining = deadline_ms - fabric_.now_ms();
+    if (wait >= remaining) {
+      if (remaining > 0.0) {
+        fabric_.advance_clock(remaining);
+        ep.stats.backoff_wait_ms += remaining;
+      }
       return Error(ErrorCode::kTimeout,
                    "retry deadline exhausted at " + url.host + url.path);
     }
@@ -223,9 +236,18 @@ Expected<HttpResponse> ResilientClient::get(const std::string& url_text) {
   const auto parsed = Url::parse(url_text);
   if (!parsed.ok()) return parsed.error();
 
-  const double deadline_ms = retry_.deadline_ms > 0.0
-                                 ? fabric_.now_ms() + retry_.deadline_ms
-                                 : std::numeric_limits<double>::infinity();
+  if (ctx_.cancelled()) {
+    return Error(ErrorCode::kCancelled,
+                 "request cancelled before fetch of " + url_text);
+  }
+  // The per-call deadline is the TIGHTER of the policy's own budget and the
+  // request's remaining end-to-end budget: a request running out of SLO
+  // must not spend a fresh full retry budget on one late fetch.
+  const double deadline_ms =
+      std::min(retry_.deadline_ms > 0.0
+                   ? fabric_.now_ms() + retry_.deadline_ms
+                   : std::numeric_limits<double>::infinity(),
+               ctx_.budget.deadline_ms);
 
   Endpoint& primary = endpoint(parsed->host);
   const auto mirror = mirrors_.find(parsed->host);

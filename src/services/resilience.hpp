@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "services/http.hpp"
 #include "services/integrity.hpp"
+#include "services/lifecycle.hpp"
 
 namespace nvo::services {
 
@@ -116,7 +117,35 @@ class ResilientClient : public HttpChannel {
   /// against `mirror_host` with the same path and query.
   void add_mirror(const std::string& host, const std::string& mirror_host);
 
+  /// Mirror registered for `host` (empty when none).
+  std::string mirror_for(const std::string& host) const {
+    const auto it = mirrors_.find(host);
+    return it == mirrors_.end() ? std::string() : it->second;
+  }
+
   Expected<HttpResponse> get(const std::string& url_text) override;
+
+  /// Applies a request-lifecycle context to every get() issued while the
+  /// guard lives: the per-call deadline becomes min(policy deadline,
+  /// remaining budget), backoff sleeps are clamped to the remaining budget
+  /// (the clock advances exactly to the deadline, never past it), and a
+  /// cancelled token fails calls fast with kCancelled. Guards nest
+  /// (restore-on-destruct); the client is single-threaded per the fabric's
+  /// thread-compatibility contract, so no locking.
+  class ScopedContext {
+   public:
+    ScopedContext(ResilientClient& client, const RequestContext& ctx)
+        : client_(client), prev_(client.ctx_) {
+      client_.ctx_ = ctx;
+    }
+    ~ScopedContext() { client_.ctx_ = prev_; }
+    ScopedContext(const ScopedContext&) = delete;
+    ScopedContext& operator=(const ScopedContext&) = delete;
+
+   private:
+    ResilientClient& client_;
+    RequestContext prev_;
+  };
 
   /// Stats for one endpoint; nullptr when the host was never contacted.
   const EndpointStats* stats_for(const std::string& host) const;
@@ -149,6 +178,9 @@ class ResilientClient : public HttpChannel {
   RetryPolicy retry_;
   BreakerPolicy breaker_policy_;
   Rng jitter_rng_;
+  /// Active request context (unbounded + live token by default); swapped by
+  /// ScopedContext around a request's lifetime.
+  RequestContext ctx_;
   std::map<std::string, Endpoint> endpoints_;
   std::map<std::string, std::string> mirrors_;
   integrity::QuarantineList quarantine_;

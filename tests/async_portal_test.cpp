@@ -379,6 +379,155 @@ TEST(AsyncPortal, ShedRecordsAreBoundedUnderSustainedOverload) {
   EXPECT_EQ(portal->stats().done + portal->stats().partial, 1u);
 }
 
+TEST(AsyncPortal, CancelQueuedReleasesSlotImmediately) {
+  analysis::Campaign campaign(small_campaign());
+  AsyncPortalConfig config;
+  config.admission.per_tenant_queue_limit = 2;
+  config.admission.global_queue_limit = 2;
+  auto portal = make_portal(campaign, config);
+  portal->add_tenant("alice");
+
+  const std::string cluster = cluster_name(campaign, 0);
+  const Submission keep = portal->submit("alice", cluster);
+  const Submission drop = portal->submit("alice", cluster_name(campaign, 1));
+  ASSERT_TRUE(keep.admitted);
+  ASSERT_TRUE(drop.admitted);
+  ASSERT_FALSE(portal->submit("alice", cluster).admitted);  // queues full
+
+  ASSERT_TRUE(portal->cancel(drop.id, "client gave up").ok());
+  const auto dropped = portal->status(drop.id);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->state, RequestState::kCancelled);
+  EXPECT_TRUE(dropped->terminal());
+  EXPECT_NE(dropped->error.find("client gave up"), std::string::npos);
+  // The freed slot is immediately usable, and the back-pressure hint obeys
+  // the same floor the admission controller quotes for sheds.
+  EXPECT_GE(dropped->retry_after_ms, config.admission.retry_after_floor_ms);
+  EXPECT_TRUE(portal->submit("alice", cluster).admitted);
+
+  // Unknown and already-terminal requests are rejected, not re-cancelled.
+  EXPECT_FALSE(portal->cancel("preq-999").ok());
+  EXPECT_FALSE(portal->cancel(drop.id).ok());
+
+  portal->drain();
+  EXPECT_EQ(portal->stats().cancelled, 1u);
+  EXPECT_EQ(portal->stats().done + portal->stats().partial, 2u);
+  EXPECT_EQ(portal->stats().queued, 0u);
+  EXPECT_EQ(portal->stats().running, 0u);
+}
+
+TEST(AsyncPortal, DeadlineExpiresIntoExpiredStateWithRetryAfter) {
+  analysis::Campaign campaign(small_campaign());
+  auto portal = make_portal(campaign);
+  portal->add_tenant("alice");
+
+  // A 1 ms end-to-end budget cannot cover any real derivation: the request
+  // must terminalize as expired at a cooperative checkpoint, not complete
+  // and not fail.
+  const Submission sub =
+      portal->submit("alice", cluster_name(campaign, 0), "", 1.0);
+  ASSERT_TRUE(sub.admitted);
+  portal->drain();
+
+  const auto status = portal->status(sub.id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, RequestState::kExpired);
+  EXPECT_TRUE(status->terminal());
+  EXPECT_GT(status->deadline_ms, 0.0);  // the absolute deadline is surfaced
+  EXPECT_GT(status->retry_after_ms, 0.0);
+  EXPECT_EQ(portal->stats().expired, 1u);
+  EXPECT_EQ(portal->stats().done, 0u);
+  EXPECT_EQ(portal->stats().failed, 0u);
+  const auto alice = portal->tenant_stats("alice");
+  ASSERT_TRUE(alice.ok());
+  EXPECT_EQ(alice->expired, 1u);
+
+  // An unbounded resubmission of the same cluster completes normally: the
+  // expiry left no residue in the memo/single-flight registries.
+  const Submission retry = portal->submit("alice", cluster_name(campaign, 0));
+  ASSERT_TRUE(retry.admitted);
+  portal->drain();
+  EXPECT_EQ(portal->status(retry.id)->state, RequestState::kDone);
+}
+
+TEST(AsyncPortal, TerminalRingAgesOutExpiredAndCancelledWithShed) {
+  analysis::Campaign campaign(small_campaign());
+  AsyncPortalConfig config;
+  config.shed_record_limit = 2;
+  auto portal = make_portal(campaign, config);
+  portal->add_tenant("alice");
+
+  // Three cancelled requests churn the bounded terminal ring exactly like
+  // shed records: only the freshest two stay poll-able.
+  std::vector<std::string> ids;
+  for (int i = 0; i < 3; ++i) {
+    const Submission s = portal->submit("alice", cluster_name(campaign, i));
+    ASSERT_TRUE(s.admitted);
+    ids.push_back(s.id);
+    ASSERT_TRUE(portal->cancel(s.id).ok());
+  }
+  EXPECT_FALSE(portal->status(ids[0]).ok());
+  EXPECT_TRUE(portal->status(ids[1]).ok());
+  EXPECT_TRUE(portal->status(ids[2]).ok());
+
+  // An expired terminal shares the same ring: it evicts the oldest record.
+  const Submission exp =
+      portal->submit("alice", cluster_name(campaign, 0), "", 1.0);
+  ASSERT_TRUE(exp.admitted);
+  portal->drain();
+  ASSERT_TRUE(portal->status(exp.id).ok());
+  EXPECT_EQ(portal->status(exp.id)->state, RequestState::kExpired);
+  EXPECT_FALSE(portal->status(ids[1]).ok());
+  EXPECT_TRUE(portal->status(ids[2]).ok());
+
+  // Aging out of the ring never loses accounting.
+  EXPECT_EQ(portal->stats().cancelled, 3u);
+  EXPECT_EQ(portal->stats().expired, 1u);
+}
+
+TEST(AsyncPortal, CancelledLeaderHandsSingleFlightToFollower) {
+  analysis::Campaign campaign(small_campaign());
+  auto portal = make_portal(campaign);
+  portal->add_tenant("alice");
+  portal->add_tenant("bob");
+  portal->add_tenant("carol");
+
+  // Identical derivation from three tenants: alice leads, bob and carol
+  // park behind her single-flight slot.
+  const std::string cluster = cluster_name(campaign, 0);
+  const Submission lead = portal->submit("alice", cluster);
+  const Submission follow = portal->submit("bob", cluster);
+  const Submission parked = portal->submit("carol", cluster);
+  ASSERT_TRUE(lead.admitted);
+  ASSERT_TRUE(follow.admitted);
+  ASSERT_TRUE(parked.admitted);
+  for (int i = 0; i < 500 && portal->stats().waiting < 2; ++i) portal->step();
+  ASSERT_EQ(portal->stats().waiting, 2u);
+  ASSERT_EQ(portal->status(lead.id)->state, RequestState::kRunning);
+
+  // Cancelling a parked follower leaves the leader untouched.
+  ASSERT_TRUE(portal->cancel(parked.id, "follower bailed").ok());
+  EXPECT_EQ(portal->status(parked.id)->state, RequestState::kCancelled);
+  EXPECT_EQ(portal->stats().waiting, 1u);
+  EXPECT_EQ(portal->status(lead.id)->state, RequestState::kRunning);
+
+  // Cancelling the RUNNING leader flags its token; at the next scheduling
+  // unit it terminalizes and the longest-waiting follower inherits the
+  // single-flight slot instead of losing its own derivation.
+  ASSERT_TRUE(portal->cancel(lead.id, "leader abandoned").ok());
+  portal->drain();
+  EXPECT_EQ(portal->status(lead.id)->state, RequestState::kCancelled);
+  const auto promoted = portal->status(follow.id);
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_EQ(promoted->state, RequestState::kDone);
+  EXPECT_GT(promoted->galaxies, 0u);
+  ASSERT_NE(portal->result(follow.id), nullptr);
+  EXPECT_EQ(portal->stats().cancelled, 2u);
+  EXPECT_EQ(portal->stats().done, 1u);
+  EXPECT_EQ(portal->stats().waiting, 0u);
+  EXPECT_EQ(portal->stats().running, 0u);
+}
+
 TEST(AsyncPortal, MemoizationCoalescesDuplicateDerivations) {
   analysis::Campaign campaign(small_campaign());
   auto portal = make_portal(campaign);

@@ -9,6 +9,7 @@
 
 #include "services/chaos.hpp"
 #include "services/http.hpp"
+#include "services/lifecycle.hpp"
 #include "services/resilience.hpp"
 
 namespace nvo::services {
@@ -153,6 +154,60 @@ TEST(ResilientClient, DeadlineBoundsTotalSimulatedTime) {
   const EndpointStats* stats = client.stats_for("down.sim");
   ASSERT_NE(stats, nullptr);
   EXPECT_LT(stats->attempts, 100u);
+}
+
+TEST(ResilientClient, RequestBudgetClampsBackoffToDeadline) {
+  HttpFabric fabric(7);
+  fabric.route("down.sim", "/x", ok_handler(),
+               EndpointModel{50.0, 8.0, 0.0, false});
+  RetryPolicy retry;
+  retry.max_attempts = 10;
+  retry.base_backoff_ms = 1000.0;  // would sleep far past the budget
+  retry.deadline_ms = 0.0;         // the policy itself is unbounded
+  BreakerPolicy breaker;
+  breaker.failure_threshold = 1000;
+  ResilientClient client(fabric, retry, breaker);
+
+  {
+    RequestContext ctx;
+    ctx.budget = DeadlineBudget::after(fabric.now_ms(), 150.0);
+    ResilientClient::ScopedContext scoped(client, ctx);
+    auto r = client.get("http://down.sim/x");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::kTimeout);
+    // The expiring budget fails fast: the 1000 ms backoff is clamped to the
+    // remaining allowance, so the failure lands exactly AT the deadline —
+    // never a full jittered backoff later.
+    EXPECT_DOUBLE_EQ(fabric.metrics().total_elapsed_ms, 150.0);
+    const EndpointStats* stats = client.stats_for("down.sim");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->attempts, 1u);  // no second attempt inside 150 ms
+    EXPECT_DOUBLE_EQ(stats->backoff_wait_ms, 100.0);  // 150 - 50 ms latency
+  }
+
+  // Outside the scope the client is unbounded again: the same fetch now
+  // burns real backoff instead of failing at a stale deadline.
+  auto r2 = client.get("http://down.sim/x");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_GT(fabric.metrics().total_elapsed_ms, 150.0 + 50.0);
+}
+
+TEST(ResilientClient, CancelledContextFailsFastWithoutTraffic) {
+  HttpFabric fabric(7);
+  fabric.route("up.sim", "/x", ok_handler());
+  ResilientClient client(fabric);
+
+  RequestContext ctx;
+  ctx.cancel.cancel("client abandoned request");
+  ResilientClient::ScopedContext scoped(client, ctx);
+  const double before_ms = fabric.metrics().total_elapsed_ms;
+  auto r = client.get("http://up.sim/x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kCancelled);
+  // No attempt, no retries, no simulated time: the cancelled request never
+  // reaches the fabric.
+  EXPECT_DOUBLE_EQ(fabric.metrics().total_elapsed_ms, before_ms);
+  EXPECT_EQ(client.stats_for("up.sim"), nullptr);
 }
 
 TEST(ResilientClient, NonRetryableErrorReturnsImmediately) {

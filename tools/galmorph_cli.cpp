@@ -41,6 +41,9 @@
 //                         single-stream capacity         (default 2)
 //     --requests <n>      arrivals per tenant            (default 10)
 //     --seed <n>          arrival-schedule seed          (default 42)
+//     --deadline-ms <ms>  end-to-end deadline budget each request carries
+//                         (simulated ms; requests the portal cannot finish
+//                         in budget expire with partial results; 0 = none)
 //     --scale, --metrics-out as in portal mode
 //
 // Either mode:
@@ -86,7 +89,8 @@ void usage() {
                "       galmorph --survey [--target n] [--cutout px] [--out catalog.vot]\n"
                "                [--scratch dir]\n"
                "       galmorph --portal-load [--tenants n] [--overload f] [--requests n]\n"
-               "                [--seed n] [--scale s] [--metrics-out metrics.json]\n"
+               "                [--seed n] [--deadline-ms ms] [--scale s]\n"
+               "                [--metrics-out metrics.json]\n"
                "       common:  [--threads n]   (or NVO_THREADS in the environment)\n");
 }
 
@@ -236,7 +240,8 @@ int run_survey_mode(std::size_t target, int cutout, const std::string& out_path,
 // campaign, then replays a deterministic arrival schedule and reports
 // latency/goodput/shed totals and the per-tenant breakdown.
 int run_portal_load_mode(std::size_t tenants, double overload,
-                         std::size_t requests, std::uint64_t seed, double scale,
+                         std::size_t requests, std::uint64_t seed,
+                         double deadline_ms, double scale,
                          const std::string& metrics_out, std::size_t threads) {
   analysis::CampaignConfig cfg;
   cfg.population_scale = scale;
@@ -288,6 +293,7 @@ int run_portal_load_mode(std::size_t tenants, double overload,
     portal::LoadTenantSpec spec;
     spec.tenant = format("tenant-%zu", i + 1);
     spec.weight = i == 0 ? 2.0 : 1.0;  // one premium tenant
+    spec.deadline_slo_ms = deadline_ms;
     for (std::size_t k = 0; k < 3 && k < entries.size(); ++k) {
       spec.clusters.push_back(entries[(i + k) % entries.size()].name);
     }
@@ -308,9 +314,14 @@ int run_portal_load_mode(std::size_t tenants, double overload,
               tenants, overload, requests, mean_service_ms,
               static_cast<unsigned long long>(seed));
   std::printf("  %zu submitted: %zu done, %zu partial, %zu failed, %zu shed "
-              "(%.1f%%)\n",
+              "(%.1f%%), %zu expired\n",
               out.submitted, out.done, out.partial, out.failed, out.shed,
-              100.0 * out.shed_rate);
+              100.0 * out.shed_rate, out.expired);
+  if (out.deadlines_assigned > 0) {
+    std::printf("  deadline SLO %.0f ms: %.1f%% attainment over %zu requests\n",
+                deadline_ms, 100.0 * out.deadline_attainment,
+                out.deadlines_assigned);
+  }
   std::printf("  latency p50 %.0f ms, p99 %.0f ms, max %.0f ms; goodput "
               "%.3f/s over %.1f simulated s\n",
               out.latency.p50_ms, out.latency.p99_ms, out.latency.max_ms,
@@ -321,11 +332,11 @@ int run_portal_load_mode(std::size_t tenants, double overload,
               static_cast<unsigned long long>(out.portal.compute_cache_hits),
               static_cast<unsigned long long>(out.portal.memo_hits),
               static_cast<unsigned long long>(out.portal.coalesced));
-  std::printf("  %-12s %9s %6s %6s %6s %10s %10s\n", "tenant", "submitted",
-              "done", "shed", "fail", "p50_ms", "p99_ms");
+  std::printf("  %-12s %9s %6s %6s %6s %7s %10s %10s\n", "tenant", "submitted",
+              "done", "shed", "fail", "expired", "p50_ms", "p99_ms");
   for (const auto& [name, t] : out.tenants) {
-    std::printf("  %-12s %9zu %6zu %6zu %6zu %10.0f %10.0f\n", name.c_str(),
-                t.submitted, t.done + t.partial, t.shed, t.failed,
+    std::printf("  %-12s %9zu %6zu %6zu %6zu %7zu %10.0f %10.0f\n", name.c_str(),
+                t.submitted, t.done + t.partial, t.shed, t.failed, t.expired,
                 t.latency.p50_ms, t.latency.p99_ms);
   }
 
@@ -370,6 +381,7 @@ int main(int argc, char** argv) {
   double load_overload = 2.0;
   double load_requests = 10;
   double load_seed = 42;
+  double load_deadline_ms = 0.0;  // 0 = no end-to-end deadline budget
   std::string cluster = "MS1621";
   double portal_scale = 0.05;
   std::string trace_out;
@@ -435,6 +447,11 @@ int main(int argc, char** argv) {
       if (!next_value(load_requests) || load_requests < 1) { usage(); return 2; }
     } else if (arg == "--seed") {
       if (!next_value(load_seed) || load_seed < 0) { usage(); return 2; }
+    } else if (arg == "--deadline-ms") {
+      if (!next_value(load_deadline_ms) || load_deadline_ms < 0) {
+        usage();
+        return 2;
+      }
     } else if (arg == "--target") {
       if (!next_value(survey_target) || survey_target < 1) { usage(); return 2; }
     } else if (arg == "--cutout") {
@@ -480,7 +497,8 @@ int main(int argc, char** argv) {
                                 load_overload,
                                 static_cast<std::size_t>(load_requests),
                                 static_cast<std::uint64_t>(load_seed),
-                                portal_scale, metrics_out, threads);
+                                load_deadline_ms, portal_scale, metrics_out,
+                                threads);
   }
   if (portal_mode) {
     return run_portal_mode(cluster, portal_scale, trace_out, metrics_out,

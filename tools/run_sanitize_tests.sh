@@ -8,7 +8,7 @@
 # ThreadSanitizer in build-tsan/.
 #
 # Usage: tools/run_sanitize_tests.sh [ctest -R regex]
-#   default regex: resilience_test|chaos_test|services_test|replica_cache_test|data_plane_test|obs_test|observability_test|integrity_test|grid_test|soa_kernel_test|survey_test|async_portal_test|dataflow_test|multipool_test
+#   default regex: resilience_test|chaos_test|services_test|replica_cache_test|data_plane_test|obs_test|observability_test|integrity_test|grid_test|soa_kernel_test|survey_test|async_portal_test|dataflow_test|multipool_test|lifecycle_test
 #   BUILD_DIR=<dir>       ASan build tree (default: <repo>/build-asan)
 #   TSAN_BUILD_DIR=<dir>  TSan build tree (default: <repo>/build-tsan)
 #   NVO_SKIP_TSAN=1       run only the ASan phase
@@ -17,7 +17,7 @@ set -e
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-asan}"
 TSAN_BUILD="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
-REGEX="${1:-resilience_test|chaos_test|services_test|replica_cache_test|data_plane_test|obs_test|observability_test|integrity_test|grid_test|soa_kernel_test|survey_test|async_portal_test|dataflow_test|multipool_test}"
+REGEX="${1:-resilience_test|chaos_test|services_test|replica_cache_test|data_plane_test|obs_test|observability_test|integrity_test|grid_test|soa_kernel_test|survey_test|async_portal_test|dataflow_test|multipool_test|lifecycle_test}"
 # obs_test/observability_test drive the traced portal pipeline through the
 # kernel thread pool, and grid_test appends to the checkpoint journal from a
 # thread pool, so they belong in the TSan lane too. soa_kernel_test exercises
@@ -35,14 +35,20 @@ REGEX="${1:-resilience_test|chaos_test|services_test|replica_cache_test|data_pla
 # full pipelined service (kernel pool + staging channels) through whole-pool
 # failure, re-mapping, and work stealing — the new code paths this lane
 # exists to shake down.
-TSAN_REGEX="${TSAN_REGEX:-replica_cache_test|data_plane_test|obs_test|observability_test|grid_test|soa_kernel_test|survey_test|async_portal_test|dataflow_test|multipool_test}"
+# lifecycle_test joins both lanes: cancellation flips a token on the portal
+# thread while pool workers dequeue cancellable tasks, and the mid-stage-in
+# cancel unwinds staging channels concurrently with running kernels — the
+# cancel/cleanup races are exactly what TSan exists to catch, and the
+# leak-freedom assertions (inflight gauges back to zero) are what LeakSanitizer
+# cross-checks in the ASan lane.
+TSAN_REGEX="${TSAN_REGEX:-replica_cache_test|data_plane_test|obs_test|observability_test|grid_test|soa_kernel_test|survey_test|async_portal_test|dataflow_test|multipool_test|lifecycle_test}"
 
 cmake -B "$BUILD" -S "$ROOT" -DNVO_SANITIZE="address;undefined" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD" -j --target \
       resilience_test chaos_test services_test replica_cache_test data_plane_test \
       obs_test observability_test integrity_test grid_test soa_kernel_test \
-      survey_test async_portal_test dataflow_test multipool_test
+      survey_test async_portal_test dataflow_test multipool_test lifecycle_test
 
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
@@ -58,7 +64,7 @@ cmake -B "$TSAN_BUILD" -S "$ROOT" -DNVO_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD" -j --target replica_cache_test data_plane_test \
       obs_test observability_test grid_test soa_kernel_test survey_test \
-      async_portal_test dataflow_test multipool_test
+      async_portal_test dataflow_test multipool_test lifecycle_test
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 NVO_SURVEY_TEST_TARGET="${NVO_SURVEY_TEST_TARGET:-5000}" \
